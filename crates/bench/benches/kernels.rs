@@ -1,0 +1,51 @@
+//! Kernel-level latency: optimized vs reference resolvers, float vs int8 —
+//! the real-hardware analogue of Table 4's per-op gaps on this machine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mlexray_nn::{
+    Activation, Graph, GraphBuilder, Interpreter, InterpreterOptions, KernelFlavor, Padding,
+};
+use mlexray_tensor::{he_normal, Shape, Tensor};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn conv_graph(depthwise: bool) -> Graph {
+    let mut rng = SmallRng::seed_from_u64(1);
+    let mut b = GraphBuilder::new("bench");
+    let x = b.input("x", Shape::nhwc(1, 32, 32, 16));
+    if depthwise {
+        let w = b.constant("w", he_normal(Shape::new(vec![1, 3, 3, 16]), 9, &mut rng).unwrap());
+        let y = b
+            .depthwise_conv2d("dw", x, w, None, 1, Padding::Same, Activation::Relu6)
+            .unwrap();
+        b.output(y);
+    } else {
+        let w = b.constant("w", he_normal(Shape::new(vec![16, 3, 3, 16]), 144, &mut rng).unwrap());
+        let y = b.conv2d("conv", x, w, None, 1, Padding::Same, Activation::Relu6).unwrap();
+        b.output(y);
+    }
+    b.finish().unwrap()
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let input = Tensor::filled_f32(Shape::nhwc(1, 32, 32, 16), 0.25);
+    for (name, depthwise) in [("conv3x3", false), ("dwconv3x3", true)] {
+        let graph = conv_graph(depthwise);
+        for (flavor_name, flavor) in
+            [("optimized", KernelFlavor::Optimized), ("reference", KernelFlavor::Reference)]
+        {
+            let mut interp = Interpreter::new(
+                &graph,
+                InterpreterOptions { flavor, ..Default::default() },
+            )
+            .unwrap();
+            c.bench_function(&format!("{name}/{flavor_name}"), |b| {
+                b.iter(|| interp.invoke(std::slice::from_ref(&input)).unwrap())
+            });
+        }
+    }
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! The Table 2 claim, measured for real on this machine: instrumentation
+//! overhead of the EdgeML Monitor in runtime vs offline-validation modes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mlexray_core::{Monitor, MonitorConfig};
+use mlexray_models::{mini_model, MiniFamily};
+use mlexray_nn::{Interpreter, InterpreterOptions};
+use mlexray_tensor::{Shape, Tensor};
+
+fn bench_monitor(c: &mut Criterion) {
+    let model = mini_model(MiniFamily::MiniV2, 24, 8, 1).unwrap();
+    let input = Tensor::filled_f32(Shape::nhwc(1, 24, 24, 3), 0.1);
+    let mut interp = Interpreter::new(&model.graph, InterpreterOptions::optimized()).unwrap();
+
+    c.bench_function("invoke/uninstrumented", |b| {
+        b.iter(|| interp.invoke(std::slice::from_ref(&input)).unwrap())
+    });
+    for (name, config) in [
+        ("runtime", MonitorConfig::runtime()),
+        ("offline_validation", MonitorConfig::offline_validation()),
+    ] {
+        c.bench_function(&format!("invoke/instrumented_{name}"), |b| {
+            b.iter(|| {
+                let monitor = Monitor::new(config);
+                monitor.on_inference_start();
+                interp
+                    .invoke_observed(std::slice::from_ref(&input), &mut monitor.layer_observer())
+                    .unwrap();
+                monitor.on_inference_stop();
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench_monitor);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Cost of the deployment-preparation steps: conversion, calibration and
+//! full-integer quantization of a mini MobileNetV2.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mlexray_models::{mini_model, MiniFamily};
+use mlexray_nn::{calibrate, convert_to_mobile, quantize_model, QuantizationOptions};
+use mlexray_tensor::{Shape, Tensor};
+
+fn bench_quantization(c: &mut Criterion) {
+    let ckpt = mini_model(MiniFamily::MiniV2, 24, 8, 1).unwrap();
+    let samples: Vec<Vec<Tensor>> = (0..8)
+        .map(|i| vec![Tensor::filled_f32(Shape::nhwc(1, 24, 24, 3), i as f32 * 0.1 - 0.4)])
+        .collect();
+
+    c.bench_function("convert_to_mobile/mini_v2", |b| {
+        b.iter(|| convert_to_mobile(&ckpt).unwrap())
+    });
+    let mobile = convert_to_mobile(&ckpt).unwrap();
+    c.bench_function("calibrate/mini_v2_8samples", |b| {
+        b.iter(|| calibrate(&mobile.graph, samples.iter().map(Vec::as_slice)).unwrap())
+    });
+    let calib = calibrate(&mobile.graph, samples.iter().map(Vec::as_slice)).unwrap();
+    c.bench_function("quantize_model/mini_v2", |b| {
+        b.iter(|| quantize_model(&mobile, &calib, QuantizationOptions::default()).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_quantization);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Offline-validation throughput: per-layer drift comparison over full log
+//! dumps — §4.2's "comparing these two logs takes only a few seconds on
+//! commodity workstations".
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mlexray_core::{per_layer_drift, DeploymentValidator, LogRecord, LogSet, LogValue};
+use mlexray_tensor::Shape;
+
+fn synth_logs(layers: usize, frames: u64, len: usize, offset: f32) -> LogSet {
+    let mut records = Vec::new();
+    for frame in 0..frames {
+        for l in 0..layers {
+            let values: Vec<f32> =
+                (0..len).map(|i| (i as f32 * 0.01 + l as f32) + offset).collect();
+            records.push(LogRecord {
+                frame,
+                key: format!("layer/block{l}/conv/output"),
+                value: LogValue::TensorFull { shape: Shape::vector(len), values },
+            });
+        }
+    }
+    LogSet::new(records)
+}
+
+fn bench_validation(c: &mut Criterion) {
+    // ~60 layers x 8 frames x 4k values ≈ the per-layer dump of a mini model.
+    let edge = synth_logs(60, 8, 4096, 0.01);
+    let reference = synth_logs(60, 8, 4096, 0.0);
+    c.bench_function("per_layer_drift/60layers_8frames_4k", |b| {
+        b.iter(|| per_layer_drift(&edge, &reference))
+    });
+    let validator = DeploymentValidator::new();
+    c.bench_function("deployment_validator/full_flow", |b| {
+        b.iter(|| validator.validate(&edge, &reference))
+    });
+}
+
+criterion_group!(benches, bench_validation);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+let validator = DeploymentValidator::empty()
+    .with_assertion(LatencyBudgetAssertion { budget_ms: 50.0 })
+    .with_assertion(MemoryBudgetAssertion { budget_bytes: 64_000_000 });
+let report = validator.validate(&edge_logs, &reference_logs);

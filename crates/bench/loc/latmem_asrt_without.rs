@@ -1,0 +1,11 @@
+let text = std::fs::read_to_string("/sdcard/mlexray_manual/latency.csv")?;
+let mut latencies = Vec::new();
+let mut peaks = Vec::new();
+for line in text.lines() {
+    let cols: Vec<&str> = line.split(',').collect();
+    latencies.push(cols[1].parse::<u64>().unwrap_or(0));
+    peaks.push(cols[2].parse::<u64>().unwrap_or(0));
+}
+let mean_ms = latencies.iter().sum::<u64>() as f64 / latencies.len() as f64 / 1e6;
+assert!(mean_ms <= 50.0, "mean latency {mean_ms:.1} ms exceeds 50 ms budget");
+assert!(*peaks.iter().max().unwrap() <= 64_000_000, "peak memory exceeds budget");

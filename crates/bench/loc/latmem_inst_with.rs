@@ -1,0 +1,4 @@
+monitor.on_inference_start();
+interpreter.invoke(&inputs)?;
+monitor.on_inference_stop();
+monitor.log_memory(interpreter.last_stats().unwrap().peak_activation_bytes as u64);

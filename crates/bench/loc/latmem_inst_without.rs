@@ -1,0 +1,14 @@
+let started = std::time::Instant::now();
+interpreter.invoke(&inputs)?;
+let elapsed_ns = started.elapsed().as_nanos() as u64;
+let peak = interpreter.last_stats().map(|s| s.peak_activation_bytes).unwrap_or(0);
+let dir = std::path::Path::new("/sdcard/mlexray_manual");
+std::fs::create_dir_all(dir)?;
+let mut file = std::fs::OpenOptions::new()
+    .create(true)
+    .append(true)
+    .open(dir.join("latency.csv"))?;
+writeln!(file, "{frame_id},{elapsed_ns},{peak}")?;
+latency_samples.push(elapsed_ns);
+memory_samples.push(peak);
+frame_id += 1;

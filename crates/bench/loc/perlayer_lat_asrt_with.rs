@@ -1,0 +1,7 @@
+let latencies = per_layer_latency(&edge_logs);
+for straggler in stragglers(&latencies, 0.25) {
+    println!("straggler: {} ({:.1}%)", straggler.layer_name(), straggler.share * 100.0);
+}
+let validator = DeploymentValidator::empty()
+    .with_assertion(StragglerLayerAssertion { share: 0.25 });
+let report = validator.validate(&edge_logs, &reference_logs);

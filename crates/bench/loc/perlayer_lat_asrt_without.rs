@@ -1,0 +1,73 @@
+// Manual straggler analysis over the hand-rolled CSV: parse, aggregate by
+// layer across frames, aggregate by op type, rank, and compare against the
+// reference device's CSV to compute per-layer slowdown ratios.
+#[derive(Default, Clone)]
+struct LayerAgg {
+    name: String,
+    op: String,
+    total_ns: u128,
+    count: u64,
+}
+
+fn parse_csv(path: &std::path::Path) -> std::io::Result<Vec<LayerAgg>> {
+    let text = std::fs::read_to_string(path)?;
+    let mut by_name: std::collections::HashMap<String, LayerAgg> = Default::default();
+    for line in text.lines() {
+        let cols: Vec<&str> = line.split(',').collect();
+        if cols.len() != 4 {
+            eprintln!("malformed row: {line}");
+            continue;
+        }
+        let entry = by_name.entry(cols[1].to_string()).or_insert_with(|| LayerAgg {
+            name: cols[1].to_string(),
+            op: cols[2].to_string(),
+            ..Default::default()
+        });
+        entry.total_ns += cols[3].parse::<u128>().unwrap_or(0);
+        entry.count += 1;
+    }
+    let mut layers: Vec<LayerAgg> = by_name.into_values().collect();
+    layers.sort_by_key(|l| std::cmp::Reverse(l.total_ns));
+    Ok(layers)
+}
+
+fn main() -> std::io::Result<()> {
+    let edge = parse_csv(std::path::Path::new("/sdcard/mlexray_manual/layer_latency.csv"))?;
+    let reference = parse_csv(std::path::Path::new("reference/layer_latency.csv"))?;
+    let total: u128 = edge.iter().map(|l| l.total_ns).sum();
+
+    println!("stragglers (>25% of total):");
+    for layer in &edge {
+        let share = layer.total_ns as f64 / total as f64;
+        if share > 0.25 {
+            let mean_ms = layer.total_ns as f64 / layer.count as f64 / 1e6;
+            println!("  {} [{}]: {mean_ms:.2} ms/frame ({:.1}%)", layer.name, layer.op, share * 100.0);
+        }
+    }
+
+    let mut by_op: std::collections::BTreeMap<String, (u64, u128)> = Default::default();
+    for layer in &edge {
+        let entry = by_op.entry(layer.op.clone()).or_default();
+        entry.0 += 1;
+        entry.1 += layer.total_ns;
+    }
+    println!("latency by op type:");
+    for (op, (count, ns)) in &by_op {
+        println!("  {op}({count}): {:.1} ms", *ns as f64 / 1e6);
+    }
+
+    println!("slowdown vs reference device:");
+    for layer in &edge {
+        let Some(base) = reference.iter().find(|r| r.name == layer.name) else {
+            continue;
+        };
+        if base.total_ns == 0 {
+            continue;
+        }
+        let ratio = layer.total_ns as f64 / base.total_ns as f64;
+        if ratio > 5.0 {
+            println!("  {}: {ratio:.0}x slower", layer.name);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,2 @@
+let monitor = Monitor::new(MonitorConfig { per_layer: LayerCapture::Stats, layer_latency: true, full_io: false });
+interpreter.invoke_observed(&inputs, &mut monitor.layer_observer())?;

@@ -1,0 +1,20 @@
+struct TimingObserver {
+    file: std::fs::File,
+}
+impl LayerObserver for TimingObserver {
+    fn on_layer(&mut self, record: &LayerRecord<'_>) {
+        let _ = writeln!(
+            self.file,
+            "{},{},{},{}",
+            record.index,
+            record.name,
+            record.op.type_label(),
+            record.latency.as_nanos()
+        );
+    }
+}
+let dir = std::path::Path::new("/sdcard/mlexray_manual");
+std::fs::create_dir_all(dir)?;
+let file = std::fs::File::create(dir.join("layer_latency.csv"))?;
+let mut observer = TimingObserver { file };
+interpreter.invoke_observed(&inputs, &mut observer)?;

@@ -1,0 +1,3 @@
+let validator = DeploymentValidator::empty()
+    .with_assertion(ChannelArrangementAssertion);
+let report = validator.validate(&edge_logs, &reference_logs);

@@ -1,0 +1,9 @@
+let edge_out = read_binary_dump("/sdcard/mlexray_manual/preprocess_00000.bin")?;
+let ref_out = read_binary_dump("reference/preprocess_00000.bin")?;
+if !allclose(&edge_out, &ref_out, 1e-3, 1e-3) {
+    let mut swapped = edge_out.clone();
+    for px in swapped.chunks_exact_mut(3) { px.swap(0, 2); }
+    if allclose(&swapped, &ref_out, 1e-3, 1e-3) {
+        panic!("channel arrangement mismatch: BGR vs RGB");
+    }
+}

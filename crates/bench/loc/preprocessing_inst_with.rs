@@ -1,0 +1,1 @@
+monitor.log_tensor(KEY_PREPROCESS_OUTPUT, &input);

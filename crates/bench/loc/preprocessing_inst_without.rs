@@ -1,0 +1,18 @@
+let mut dump = Vec::with_capacity(input.len() * 4 + 16);
+dump.extend_from_slice(&(frame_id as u64).to_le_bytes());
+dump.extend_from_slice(&(input.shape().rank() as u32).to_le_bytes());
+for dim in input.shape().dims() {
+    dump.extend_from_slice(&(*dim as u32).to_le_bytes());
+}
+for v in input.as_f32()? {
+    dump.extend_from_slice(&v.to_le_bytes());
+}
+let dir = std::path::Path::new("/sdcard/mlexray_manual");
+std::fs::create_dir_all(dir)?;
+let path = dir.join(format!("preprocess_{frame_id:05}.bin"));
+let mut file = std::fs::File::create(path)?;
+file.write_all(&dump)?;
+file.flush()?;
+let meta = dir.join(format!("preprocess_{frame_id:05}.meta"));
+std::fs::write(meta, format!("{:?}\n{}\n", input.shape(), input.len()))?;
+frame_id += 1;

@@ -1,0 +1,10 @@
+let drifts = per_layer_drift(&edge_logs, &reference_logs);
+let suspects = layers_above(&drifts, 0.15);
+for layer in &suspects {
+    println!("error-prone layer: {} (nRMSE {:.3})", layer.layer_name(), layer.mean_nrmse);
+}
+let validator = DeploymentValidator::empty()
+    .with_assertion(QuantizationDriftAssertion { threshold: 0.15 })
+    .with_assertion(ConstantOutputAssertion);
+let report = validator.validate(&edge_logs, &reference_logs);
+println!("{report}");

@@ -1,0 +1,140 @@
+// Manual per-layer validation: parse the two manifests, align layers by
+// name, load both dumps, normalize, compute rMSE, rank suspects.
+#[derive(Debug)]
+struct LayerDump {
+    index: usize,
+    name: String,
+    op: String,
+    shape: Vec<usize>,
+    file: String,
+}
+
+fn parse_manifest(path: &std::path::Path) -> std::io::Result<Vec<LayerDump>> {
+    let text = std::fs::read_to_string(path)?;
+    let mut layers = Vec::new();
+    for line in text.lines().skip(1) {
+        if line.starts_with('#') || line.trim().is_empty() {
+            continue;
+        }
+        let cols: Vec<&str> = line.split('\t').collect();
+        if cols.len() < 8 {
+            eprintln!("malformed manifest line: {line}");
+            continue;
+        }
+        let shape: Vec<usize> = cols[3]
+            .trim_matches(|c| c == '[' || c == ']')
+            .split(',')
+            .filter_map(|s| s.trim().parse().ok())
+            .collect();
+        layers.push(LayerDump {
+            index: cols[0].parse().unwrap_or(0),
+            name: cols[1].to_string(),
+            op: cols[2].to_string(),
+            shape,
+            file: cols[7].to_string(),
+        });
+    }
+    Ok(layers)
+}
+
+fn load_dump(dir: &std::path::Path, file: &str) -> std::io::Result<Vec<f32>> {
+    let bytes = std::fs::read(dir.join(file))?;
+    if bytes.len() % 4 != 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "dump length is not a multiple of 4",
+        ));
+    }
+    Ok(bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect())
+}
+
+fn rmse(a: &[f32], b: &[f32]) -> f32 {
+    let sum: f64 = a
+        .iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = (x - y) as f64;
+            d * d
+        })
+        .sum();
+    ((sum / a.len() as f64).sqrt()) as f32
+}
+
+fn value_range(values: &[f32]) -> f32 {
+    let mut lo = f32::INFINITY;
+    let mut hi = f32::NEG_INFINITY;
+    for &v in values {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    (hi - lo).max(f32::EPSILON)
+}
+
+fn main() -> std::io::Result<()> {
+    let edge_dir = std::path::Path::new("/sdcard/mlexray_manual/layers");
+    let ref_dir = std::path::Path::new("reference/layers");
+    let edge_layers = parse_manifest(&edge_dir.join("manifest.tsv"))?;
+    let ref_layers = parse_manifest(&ref_dir.join("manifest.tsv"))?;
+
+    let mut results: Vec<(usize, String, String, f32)> = Vec::new();
+    for edge in &edge_layers {
+        // Quantize/dequantize wrapper nodes exist only in the edge graph;
+        // skip anything without a same-named reference layer.
+        let Some(reference) = ref_layers.iter().find(|r| r.name == edge.name) else {
+            continue;
+        };
+        if edge.shape != reference.shape {
+            eprintln!(
+                "layer {} shape mismatch {:?} vs {:?}; skipping",
+                edge.name, edge.shape, reference.shape
+            );
+            continue;
+        }
+        let edge_values = load_dump(edge_dir, &edge.file)?;
+        let ref_values = load_dump(ref_dir, &reference.file)?;
+        if edge_values.len() != ref_values.len() {
+            eprintln!("layer {} length mismatch; skipping", edge.name);
+            continue;
+        }
+        let normalized = rmse(&edge_values, &ref_values) / value_range(&ref_values);
+        results.push((edge.index, edge.name.clone(), edge.op.clone(), normalized));
+    }
+
+    results.sort_by(|a, b| b.3.partial_cmp(&a.3).unwrap());
+    println!("worst layers by normalized rMSE:");
+    for (index, name, op, nrmse) in results.iter().take(10) {
+        println!("  #{index:3} {name} [{op}]: {nrmse:.4}");
+    }
+    let suspects: Vec<_> = results.iter().filter(|r| r.3 > 0.15).collect();
+    if suspects.is_empty() {
+        println!("no layer exceeded the 0.15 threshold");
+    } else {
+        println!("{} suspect layer(s) exceeded the threshold:", suspects.len());
+        for (index, name, op, nrmse) in &suspects {
+            println!("  #{index:3} {name} [{op}]: {nrmse:.4}");
+        }
+    }
+
+    // Constant-output check: compare output spread across frames.
+    let mut spreads = Vec::new();
+    for frame in 0..10 {
+        let file = format!("output_{frame:04}.f32");
+        if !edge_dir.join(&file).exists() {
+            break;
+        }
+        spreads.push(load_dump(edge_dir, &file)?);
+    }
+    if spreads.len() >= 2 {
+        let mut total = 0.0f32;
+        for pair in spreads.windows(2) {
+            total += rmse(&pair[0], &pair[1]);
+        }
+        if total / (spreads.len() - 1) as f32 < 1e-6 {
+            println!("WARNING: edge model output is constant across frames");
+        }
+    }
+    Ok(())
+}

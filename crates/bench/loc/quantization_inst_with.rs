@@ -1,0 +1,4 @@
+let monitor = Monitor::new(MonitorConfig::offline_validation());
+monitor.on_inference_start();
+interpreter.invoke_observed(&inputs, &mut monitor.layer_observer())?;
+monitor.on_inference_stop();

@@ -1,0 +1,79 @@
+// Manual per-layer dumping: run the graph node by node, capture every
+// intermediate tensor, dequantize it, and persist it with enough metadata
+// to match layers against the reference run later.
+let dir = std::path::Path::new("/sdcard/mlexray_manual/layers");
+std::fs::create_dir_all(dir)?;
+let mut manifest = std::fs::File::create(dir.join("manifest.tsv"))?;
+writeln!(manifest, "index\tname\top\tshape\tdtype\tscale\tzero_point\tfile")?;
+for (index, node) in graph.nodes().iter().enumerate() {
+    let started = std::time::Instant::now();
+    let output = run_single_node(&graph, node, &value_cache)?;
+    let elapsed = started.elapsed().as_nanos();
+    let dequantized: Vec<f32> = match output.dtype() {
+        DType::U8 => {
+            let (scale, zero_point) = match output.quant() {
+                Some(QuantParams::PerTensor { scale, zero_point }) => (*scale, *zero_point),
+                _ => {
+                    eprintln!("layer {index} missing qparams; skipping");
+                    continue;
+                }
+            };
+            output
+                .as_u8()?
+                .iter()
+                .map(|&q| scale * (q as i32 - zero_point) as f32)
+                .collect()
+        }
+        DType::F32 => output.as_f32()?.to_vec(),
+        other => {
+            eprintln!("layer {index} has unsupported dtype {other:?}");
+            continue;
+        }
+    };
+    let file_name = format!("layer_{index:04}.f32");
+    let mut file = std::fs::File::create(dir.join(&file_name))?;
+    for v in &dequantized {
+        file.write_all(&v.to_le_bytes())?;
+    }
+    file.flush()?;
+    let (scale, zp) = output
+        .quant()
+        .map(|q| q.scalar())
+        .unwrap_or((1.0, 0));
+    writeln!(
+        manifest,
+        "{index}\t{}\t{}\t{:?}\t{:?}\t{scale}\t{zp}\t{file_name}",
+        node.name,
+        node.op.type_label(),
+        output.shape().dims(),
+        output.dtype(),
+    )?;
+    writeln!(manifest, "# latency_ns={elapsed}")?;
+    value_cache.insert(node.output, output);
+}
+manifest.flush()?;
+// Repeat the whole procedure for the reference build of the model, with a
+// second manifest, taking care to keep node naming consistent between the
+// two binaries (the converter renames fused nodes).
+let ref_dir = std::path::Path::new("reference/layers");
+std::fs::create_dir_all(ref_dir)?;
+let mut ref_manifest = std::fs::File::create(ref_dir.join("manifest.tsv"))?;
+writeln!(ref_manifest, "index\tname\top\tshape\tdtype\tscale\tzero_point\tfile")?;
+for (index, node) in reference_graph.nodes().iter().enumerate() {
+    let output = run_single_node(&reference_graph, node, &ref_value_cache)?;
+    let values = output.as_f32()?.to_vec();
+    let file_name = format!("layer_{index:04}.f32");
+    let mut file = std::fs::File::create(ref_dir.join(&file_name))?;
+    for v in &values {
+        file.write_all(&v.to_le_bytes())?;
+    }
+    writeln!(
+        ref_manifest,
+        "{index}\t{}\t{}\t{:?}\tF32\t1.0\t0\t{file_name}",
+        node.name,
+        node.op.type_label(),
+        output.shape().dims(),
+    )?;
+    ref_value_cache.insert(node.output, output);
+}
+ref_manifest.flush()?;

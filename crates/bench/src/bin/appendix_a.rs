@@ -1,0 +1,5 @@
+//! Regenerates the Appendix A text experiment.
+fn main() {
+    let scale = mlexray_bench::support::Scale::from_env();
+    println!("{}", mlexray_bench::experiments::appendix_a::run(&scale));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 3 (task/model/assertion coverage matrix).
+fn main() {
+    let scale = mlexray_bench::support::Scale::from_env();
+    println!("{}", mlexray_bench::experiments::fig3::run(&scale));
+}

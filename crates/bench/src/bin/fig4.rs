@@ -1,0 +1,5 @@
+//! Regenerates Figure 4 (preprocessing-bug impact, three panels).
+fn main() {
+    let scale = mlexray_bench::support::Scale::from_env();
+    println!("{}", mlexray_bench::experiments::fig4::run(&scale));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 5 (accuracy across deployment stages).
+fn main() {
+    let scale = mlexray_bench::support::Scale::from_env();
+    println!("{}", mlexray_bench::experiments::fig5::run(&scale));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 6 (per-layer normalized rMSE panels).
+fn main() {
+    let scale = mlexray_bench::support::Scale::from_env();
+    println!("{}", mlexray_bench::experiments::fig6::run(&scale));
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 1 (LoC with vs without ML-EXray).
+fn main() {
+    println!("{}", mlexray_bench::experiments::table1::run());
+}

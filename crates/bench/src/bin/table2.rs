@@ -1,0 +1,5 @@
+//! Regenerates Table 2 (runtime instrumentation overhead).
+fn main() {
+    let scale = mlexray_bench::support::Scale::from_env();
+    println!("{}", mlexray_bench::experiments::table2::run(&scale));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 3 (offline validation overhead, int8 models).
+fn main() {
+    let scale = mlexray_bench::support::Scale::from_env();
+    println!("{}", mlexray_bench::experiments::table3_5::run_int8(&scale));
+}

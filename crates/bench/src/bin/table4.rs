@@ -1,0 +1,5 @@
+//! Regenerates Table 4 (latency by layer type).
+fn main() {
+    let scale = mlexray_bench::support::Scale::from_env();
+    println!("{}", mlexray_bench::experiments::table4::run(&scale));
+}

@@ -1,0 +1,39 @@
+//! One module per paper artifact. Every `run` function returns the
+//! formatted output its binary prints; `EXPERIMENTS.md` records these
+//! outputs next to the paper's numbers.
+
+pub mod appendix_a;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod table1;
+pub mod table2;
+pub mod table3_5;
+pub mod table4;
+
+use mlexray_nn::{Interpreter, InterpreterOptions, Model};
+use mlexray_trainer::Sample;
+
+/// Top-1 accuracy of a model under explicit interpreter options (the
+/// trainer's `evaluate` always uses optimized kernels; Fig. 5 needs all four
+/// kernel/variant combinations).
+pub fn accuracy_with_options(model: &Model, data: &[Sample], options: InterpreterOptions) -> f32 {
+    let mut interp =
+        Interpreter::new(&model.graph, options).expect("model graphs validate");
+    let mut correct = 0usize;
+    for s in data {
+        let out = interp.invoke(&s.inputs).expect("inference succeeds");
+        let probs = out[0].to_f32_vec();
+        let pred = probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        if pred == s.label {
+            correct += 1;
+        }
+    }
+    correct as f32 / data.len().max(1) as f32
+}

@@ -1,0 +1,17 @@
+//! Benchmark harness regenerating every table and figure of the ML-EXray
+//! paper.
+//!
+//! Each experiment lives in [`experiments`] as a function returning the
+//! formatted table/series it reproduces; the `src/bin/*` binaries are thin
+//! wrappers (`cargo run -p mlexray-bench --release --bin fig5`). The mapping
+//! from experiment to paper artifact is catalogued in `DESIGN.md` §4 and the
+//! measured outputs are recorded in `EXPERIMENTS.md`.
+//!
+//! Set `MLEXRAY_QUICK=1` to shrink datasets/models for smoke runs (used by
+//! the integration tests); trained mini models are cached under
+//! `target/mlexray-cache/` so repeated invocations skip training.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod support;

@@ -1,0 +1,65 @@
+use std::fmt;
+
+use mlexray_nn::NnError;
+use mlexray_preprocess::PreprocessError;
+use mlexray_tensor::TensorError;
+
+/// Errors produced by the ML-EXray framework.
+#[derive(Debug)]
+pub enum ExrayError {
+    /// Preprocessing failed.
+    Preprocess(PreprocessError),
+    /// Model execution failed.
+    Nn(NnError),
+    /// Tensor-level failure.
+    Tensor(TensorError),
+    /// Validation was asked to compare incompatible logs.
+    Validation(String),
+    /// I/O failure (log persistence).
+    Io(std::io::Error),
+    /// Log (de)serialization failure.
+    Format(String),
+}
+
+impl fmt::Display for ExrayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExrayError::Preprocess(e) => write!(f, "preprocess: {e}"),
+            ExrayError::Nn(e) => write!(f, "model execution: {e}"),
+            ExrayError::Tensor(e) => write!(f, "tensor: {e}"),
+            ExrayError::Validation(msg) => write!(f, "validation: {msg}"),
+            ExrayError::Io(e) => write!(f, "i/o: {e}"),
+            ExrayError::Format(msg) => write!(f, "format: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ExrayError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExrayError::Preprocess(e) => Some(e),
+            ExrayError::Nn(e) => Some(e),
+            ExrayError::Tensor(e) => Some(e),
+            ExrayError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PreprocessError> for ExrayError {
+    fn from(e: PreprocessError) -> Self {
+        ExrayError::Preprocess(e)
+    }
+}
+
+impl From<NnError> for ExrayError {
+    fn from(e: NnError) -> Self {
+        ExrayError::Nn(e)
+    }
+}
+
+impl From<TensorError> for ExrayError {
+    fn from(e: TensorError) -> Self {
+        ExrayError::Tensor(e)
+    }
+}

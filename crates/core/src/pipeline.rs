@@ -1,0 +1,310 @@
+//! Instrumentable inference pipelines: the "edge app" side of ML-EXray.
+//!
+//! A pipeline couples a preprocessing configuration with a model and
+//! interpreter options. Its runner executes frames while reporting telemetry
+//! to a [`Monitor`] — preprocessing output, model I/O, per-layer details
+//! (per the monitor's capture mode), latency, memory and the final decision.
+
+use mlexray_nn::{Interpreter, InterpreterOptions, Model};
+use mlexray_preprocess::{
+    AudioPreprocessConfig, Image, ImagePreprocessConfig, TextPreprocessConfig, Vocabulary,
+};
+use mlexray_tensor::{Shape, Tensor};
+
+use crate::log::{KEY_MODEL_INPUT, KEY_MODEL_OUTPUT, KEY_PREPROCESS_OUTPUT};
+use crate::monitor::Monitor;
+use crate::Result;
+
+/// A frame from a playback source: the raw sensor image plus ground truth
+/// when known.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabeledFrame {
+    /// The captured image.
+    pub image: Image,
+    /// Ground-truth class, if the frame came from a labelled dataset.
+    pub label: Option<usize>,
+}
+
+impl LabeledFrame {
+    /// Labels a raw image.
+    pub fn new(image: Image, label: Option<usize>) -> Self {
+        LabeledFrame { image, label }
+    }
+}
+
+fn argmax(values: &[f32]) -> usize {
+    values
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+/// An image-classification app: preprocessing + model + kernel options.
+#[derive(Debug, Clone)]
+pub struct ImagePipeline {
+    /// Preprocessing stage (the §4.3 bug surface).
+    pub preprocess: ImagePreprocessConfig,
+    /// The deployed model.
+    pub model: Model,
+    /// Kernel flavor and bug injection.
+    pub options: InterpreterOptions,
+}
+
+impl ImagePipeline {
+    /// Builds a pipeline with default (optimized, bug-free) options.
+    pub fn new(model: Model, preprocess: ImagePreprocessConfig) -> Self {
+        ImagePipeline { preprocess, model, options: InterpreterOptions::optimized() }
+    }
+
+    /// Overrides interpreter options (reference kernels, injected bugs).
+    pub fn with_options(mut self, options: InterpreterOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Prepares a reusable runner (weights are materialized once).
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph validation errors.
+    pub fn runner(&self) -> Result<ImageRunner<'_>> {
+        Ok(ImageRunner {
+            pipeline: self,
+            interp: Interpreter::new(&self.model.graph, self.options)?,
+        })
+    }
+}
+
+/// Executes an [`ImagePipeline`] frame by frame.
+#[derive(Debug)]
+pub struct ImageRunner<'p> {
+    pipeline: &'p ImagePipeline,
+    interp: Interpreter<'p>,
+}
+
+impl ImageRunner<'_> {
+    /// Classifies one frame, streaming telemetry into `monitor`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates preprocessing and execution errors.
+    pub fn classify(&mut self, frame: &LabeledFrame, monitor: &Monitor) -> Result<usize> {
+        let input = self.pipeline.preprocess.apply(&frame.image)?;
+        monitor.log_tensor(KEY_PREPROCESS_OUTPUT, &input);
+        monitor.log_tensor(KEY_MODEL_INPUT, &input);
+        monitor.on_inference_start();
+        let outputs = self
+            .interp
+            .invoke_observed(std::slice::from_ref(&input), &mut monitor.layer_observer())?;
+        let probs = outputs[0].to_f32_vec();
+        let predicted = argmax(&probs);
+        monitor.log_tensor(KEY_MODEL_OUTPUT, &outputs[0]);
+        if let Some(stats) = self.interp.last_stats() {
+            monitor.log_memory(stats.peak_activation_bytes as u64);
+        }
+        monitor.log_decision(predicted, frame.label);
+        monitor.on_inference_stop();
+        Ok(predicted)
+    }
+
+    /// Classifies a playback sequence, returning the predictions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-frame errors.
+    pub fn run(&mut self, frames: &[LabeledFrame], monitor: &Monitor) -> Result<Vec<usize>> {
+        frames.iter().map(|f| self.classify(f, monitor)).collect()
+    }
+}
+
+/// An audio-keyword app: STFT preprocessing + spectrogram CNN.
+#[derive(Debug, Clone)]
+pub struct AudioPipeline {
+    /// STFT + normalization stage (the Fig. 4c bug surface).
+    pub preprocess: AudioPreprocessConfig,
+    /// The deployed model.
+    pub model: Model,
+    /// Kernel flavor and bug injection.
+    pub options: InterpreterOptions,
+}
+
+impl AudioPipeline {
+    /// Builds a pipeline with default options.
+    pub fn new(model: Model, preprocess: AudioPreprocessConfig) -> Self {
+        AudioPipeline { preprocess, model, options: InterpreterOptions::optimized() }
+    }
+
+    /// Prepares a reusable runner.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph validation errors.
+    pub fn runner(&self) -> Result<AudioRunner<'_>> {
+        Ok(AudioRunner {
+            pipeline: self,
+            interp: Interpreter::new(&self.model.graph, self.options)?,
+        })
+    }
+}
+
+/// Executes an [`AudioPipeline`] clip by clip.
+#[derive(Debug)]
+pub struct AudioRunner<'p> {
+    pipeline: &'p AudioPipeline,
+    interp: Interpreter<'p>,
+}
+
+impl AudioRunner<'_> {
+    /// Classifies one waveform.
+    ///
+    /// # Errors
+    ///
+    /// Propagates preprocessing and execution errors.
+    pub fn classify(
+        &mut self,
+        waveform: &[f32],
+        label: Option<usize>,
+        monitor: &Monitor,
+    ) -> Result<usize> {
+        let spec = self.pipeline.preprocess.apply(waveform)?;
+        let input = spec.to_tensor()?;
+        monitor.log_tensor(KEY_PREPROCESS_OUTPUT, &input);
+        monitor.on_inference_start();
+        let outputs = self
+            .interp
+            .invoke_observed(std::slice::from_ref(&input), &mut monitor.layer_observer())?;
+        let predicted = argmax(&outputs[0].to_f32_vec());
+        monitor.log_tensor(KEY_MODEL_OUTPUT, &outputs[0]);
+        monitor.log_decision(predicted, label);
+        monitor.on_inference_stop();
+        Ok(predicted)
+    }
+}
+
+/// A text-classification app: tokenizer + vocabulary + embedding model.
+#[derive(Debug, Clone)]
+pub struct TextPipeline {
+    /// Tokenization stage (the Appendix A case-mismatch surface).
+    pub preprocess: TextPreprocessConfig,
+    /// Token vocabulary.
+    pub vocab: Vocabulary,
+    /// The deployed model.
+    pub model: Model,
+    /// Kernel flavor and bug injection.
+    pub options: InterpreterOptions,
+}
+
+impl TextPipeline {
+    /// Builds a pipeline with default options.
+    pub fn new(model: Model, preprocess: TextPreprocessConfig, vocab: Vocabulary) -> Self {
+        TextPipeline { preprocess, vocab, model, options: InterpreterOptions::optimized() }
+    }
+
+    /// Prepares a reusable runner.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph validation errors.
+    pub fn runner(&self) -> Result<TextRunner<'_>> {
+        Ok(TextRunner {
+            pipeline: self,
+            interp: Interpreter::new(&self.model.graph, self.options)?,
+        })
+    }
+}
+
+/// Executes a [`TextPipeline`] document by document.
+#[derive(Debug)]
+pub struct TextRunner<'p> {
+    pipeline: &'p TextPipeline,
+    interp: Interpreter<'p>,
+}
+
+impl TextRunner<'_> {
+    /// Classifies one document.
+    ///
+    /// # Errors
+    ///
+    /// Propagates preprocessing and execution errors.
+    pub fn classify(&mut self, text: &str, label: Option<usize>, monitor: &Monitor) -> Result<usize> {
+        let ids = self.pipeline.preprocess.encode(text, &self.pipeline.vocab)?;
+        let data: Vec<i32> = ids.iter().map(|&i| i as i32).collect();
+        let input = Tensor::from_i32(Shape::matrix(1, data.len()), data, None)?;
+        monitor.log_tensor(KEY_PREPROCESS_OUTPUT, &input);
+        monitor.on_inference_start();
+        let outputs = self
+            .interp
+            .invoke_observed(std::slice::from_ref(&input), &mut monitor.layer_observer())?;
+        let predicted = argmax(&outputs[0].to_f32_vec());
+        monitor.log_tensor(KEY_MODEL_OUTPUT, &outputs[0]);
+        monitor.log_decision(predicted, label);
+        monitor.on_inference_stop();
+        Ok(predicted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::{LayerCapture, MonitorConfig};
+    use mlexray_nn::{Activation, Padding};
+    use mlexray_preprocess::ChannelOrder;
+
+    fn tiny_image_model() -> Model {
+        let mut b = mlexray_nn::GraphBuilder::new("tiny");
+        let x = b.input("image", Shape::nhwc(1, 4, 4, 3));
+        let w = b.constant(
+            "w",
+            Tensor::filled_f32(Shape::new(vec![2, 1, 1, 3]), 0.5),
+        );
+        let c = b.conv2d("conv", x, w, None, 1, Padding::Same, Activation::Relu).unwrap();
+        let m = b.mean("gap", c).unwrap();
+        let s = b.softmax("softmax", m).unwrap();
+        b.output(s);
+        Model::checkpoint(b.finish().unwrap(), "tiny")
+    }
+
+    #[test]
+    fn image_pipeline_logs_everything() {
+        let model = tiny_image_model();
+        let pp = ImagePreprocessConfig {
+            target_height: 4,
+            target_width: 4,
+            channel_order: ChannelOrder::Rgb,
+            ..ImagePreprocessConfig::mobilenet_style(4, 4)
+        };
+        let pipeline = ImagePipeline::new(model, pp);
+        let mut runner = pipeline.runner().unwrap();
+        let monitor = Monitor::new(MonitorConfig {
+            per_layer: LayerCapture::Full,
+            full_io: true,
+            layer_latency: true,
+        });
+        let frame = LabeledFrame::new(Image::solid(8, 8, [128, 0, 255]), Some(1));
+        let pred = runner.classify(&frame, &monitor).unwrap();
+        assert!(pred < 2);
+        let logs = monitor.take_logs();
+        assert!(logs.get(0, KEY_PREPROCESS_OUTPUT).is_some());
+        assert!(logs.get(0, KEY_MODEL_OUTPUT).is_some());
+        assert!(logs.get(0, "layer/conv/output").is_some());
+        assert_eq!(logs.inference_latencies().len(), 1);
+        assert!(logs.accuracy().is_some());
+    }
+
+    #[test]
+    fn run_processes_all_frames() {
+        let model = tiny_image_model();
+        let pipeline =
+            ImagePipeline::new(model, ImagePreprocessConfig::mobilenet_style(4, 4));
+        let mut runner = pipeline.runner().unwrap();
+        let monitor = Monitor::new(MonitorConfig::runtime());
+        let frames: Vec<LabeledFrame> = (0..3)
+            .map(|i| LabeledFrame::new(Image::solid(8, 8, [i * 40, 100, 200]), Some(0)))
+            .collect();
+        let preds = runner.run(&frames, &monitor).unwrap();
+        assert_eq!(preds.len(), 3);
+        assert_eq!(monitor.frames_logged(), 3);
+    }
+}

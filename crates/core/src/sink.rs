@@ -1,0 +1,203 @@
+//! Log sinks: in-memory buffering and JSONL persistence.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+use parking_lot::Mutex;
+
+use crate::log::LogRecord;
+use crate::{ExrayError, Result};
+
+/// A destination for telemetry records. Sinks are thread-safe: the monitor
+/// logs from wherever inference runs.
+pub trait LogSink: Send + Sync {
+    /// Appends one record.
+    fn write(&self, record: LogRecord);
+
+    /// Bytes persisted/buffered so far (storage accounting for Table 2).
+    fn bytes_written(&self) -> u64;
+}
+
+/// Buffers records in memory; the default sink, drained by the offline
+/// validator.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    records: Mutex<Vec<LogRecord>>,
+    bytes: Mutex<u64>,
+}
+
+impl MemorySink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Removes and returns everything buffered so far.
+    pub fn drain(&self) -> Vec<LogRecord> {
+        std::mem::take(&mut self.records.lock())
+    }
+
+    /// Copies everything buffered so far without draining.
+    pub fn snapshot(&self) -> Vec<LogRecord> {
+        self.records.lock().clone()
+    }
+
+    /// Number of buffered records.
+    pub fn len(&self) -> usize {
+        self.records.lock().len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.records.lock().is_empty()
+    }
+}
+
+impl LogSink for MemorySink {
+    fn write(&self, record: LogRecord) {
+        *self.bytes.lock() += record.byte_size();
+        self.records.lock().push(record);
+    }
+
+    fn bytes_written(&self) -> u64 {
+        *self.bytes.lock()
+    }
+}
+
+/// Writes records as JSON lines to a file (the "EXray logs on the SD card").
+#[derive(Debug)]
+pub struct JsonlFileSink {
+    writer: Mutex<BufWriter<File>>,
+    bytes: Mutex<u64>,
+}
+
+impl JsonlFileSink {
+    /// Creates (truncating) the log file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExrayError::Io`] on filesystem failures.
+    pub fn create(path: &Path) -> Result<Self> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent).map_err(ExrayError::Io)?;
+        }
+        let file = File::create(path).map_err(ExrayError::Io)?;
+        Ok(JsonlFileSink { writer: Mutex::new(BufWriter::new(file)), bytes: Mutex::new(0) })
+    }
+
+    /// Flushes buffered output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExrayError::Io`] on failure.
+    pub fn flush(&self) -> Result<()> {
+        self.writer.lock().flush().map_err(ExrayError::Io)
+    }
+
+    /// Reads a JSONL log file back into records.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExrayError::Io`] / [`ExrayError::Format`] on failure.
+    pub fn read(path: &Path) -> Result<Vec<LogRecord>> {
+        let data = std::fs::read_to_string(path).map_err(ExrayError::Io)?;
+        data.lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(|l| serde_json::from_str(l).map_err(|e| ExrayError::Format(e.to_string())))
+            .collect()
+    }
+}
+
+impl LogSink for JsonlFileSink {
+    fn write(&self, record: LogRecord) {
+        if let Ok(line) = serde_json::to_string(&record) {
+            let mut w = self.writer.lock();
+            *self.bytes.lock() += line.len() as u64 + 1;
+            let _ = writeln!(w, "{line}");
+        }
+    }
+
+    fn bytes_written(&self) -> u64 {
+        *self.bytes.lock()
+    }
+}
+
+/// Duplicates records to two sinks (e.g. memory for validation + JSONL for
+/// persistence).
+pub struct TeeSink<A: LogSink, B: LogSink> {
+    a: A,
+    b: B,
+}
+
+impl<A: LogSink, B: LogSink> TeeSink<A, B> {
+    /// Combines two sinks.
+    pub fn new(a: A, b: B) -> Self {
+        TeeSink { a, b }
+    }
+
+    /// The first sink.
+    pub fn first(&self) -> &A {
+        &self.a
+    }
+
+    /// The second sink.
+    pub fn second(&self) -> &B {
+        &self.b
+    }
+}
+
+impl<A: LogSink, B: LogSink> LogSink for TeeSink<A, B> {
+    fn write(&self, record: LogRecord) {
+        self.a.write(record.clone());
+        self.b.write(record);
+    }
+
+    fn bytes_written(&self) -> u64 {
+        self.a.bytes_written().max(self.b.bytes_written())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::LogValue;
+
+    fn rec(frame: u64) -> LogRecord {
+        LogRecord { frame, key: "k".into(), value: LogValue::Scalar(1.0) }
+    }
+
+    #[test]
+    fn memory_sink_buffers_and_drains() {
+        let sink = MemorySink::new();
+        sink.write(rec(0));
+        sink.write(rec(1));
+        assert_eq!(sink.len(), 2);
+        assert!(sink.bytes_written() > 0);
+        let drained = sink.drain();
+        assert_eq!(drained.len(), 2);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn jsonl_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("mlexray-sink-{}", std::process::id()));
+        let path = dir.join("log.jsonl");
+        let sink = JsonlFileSink::create(&path).unwrap();
+        sink.write(rec(0));
+        sink.write(rec(1));
+        sink.flush().unwrap();
+        let back = JsonlFileSink::read(&path).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[1].frame, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tee_duplicates() {
+        let tee = TeeSink::new(MemorySink::new(), MemorySink::new());
+        tee.write(rec(0));
+        assert_eq!(tee.first().len(), 1);
+        assert_eq!(tee.second().len(), 1);
+    }
+}

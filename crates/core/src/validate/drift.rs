@@ -1,0 +1,168 @@
+//! Per-layer output drift: the normalized-rMSE analysis of §3.4 that
+//! produces Fig. 6 and localizes error-prone ops.
+
+use mlexray_tensor::normalized_rmse;
+
+use crate::log::LogSet;
+
+/// Drift of one layer between the edge and reference pipelines, aggregated
+/// over frames.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerDrift {
+    /// Execution order of the layer in the edge logs.
+    pub index: usize,
+    /// Layer log key (`layer/<name>/output`).
+    pub key: String,
+    /// Mean normalized rMSE over compared frames.
+    pub mean_nrmse: f32,
+    /// Worst-frame normalized rMSE.
+    pub max_nrmse: f32,
+    /// Number of frames compared.
+    pub frames: usize,
+}
+
+impl LayerDrift {
+    /// The bare layer name (strips the `layer/` prefix and `/output`
+    /// suffix).
+    pub fn layer_name(&self) -> &str {
+        self.key
+            .strip_prefix("layer/")
+            .and_then(|s| s.strip_suffix("/output"))
+            .unwrap_or(&self.key)
+    }
+}
+
+/// Computes per-layer normalized rMSE between two log sets, matching layers
+/// *by name* (graph variants insert/remove nodes, so indices don't align —
+/// names are stable across conversion and quantization in this stack).
+///
+/// Layers appearing in only one pipeline (e.g. `Quantize` boundaries) are
+/// skipped, as are frames where either side logged only summaries.
+pub fn per_layer_drift(edge: &LogSet, reference: &LogSet) -> Vec<LayerDrift> {
+    let frames = edge.frame_count().min(reference.frame_count());
+    let mut drifts = Vec::new();
+    for (index, key) in edge.keys_with_prefix("layer/").iter().enumerate() {
+        if !key.ends_with("/output") {
+            continue;
+        }
+        let mut sum = 0.0f64;
+        let mut max = 0.0f32;
+        let mut compared = 0usize;
+        for frame in 0..frames {
+            let (Some(e), Some(r)) = (edge.get(frame, key), reference.get(frame, key)) else {
+                continue;
+            };
+            let (Some(ev), Some(rv)) = (e.value.values(), r.value.values()) else {
+                continue;
+            };
+            if ev.len() != rv.len() {
+                continue;
+            }
+            let nrmse = normalized_rmse(ev, rv);
+            sum += nrmse as f64;
+            max = max.max(nrmse);
+            compared += 1;
+        }
+        if compared > 0 {
+            drifts.push(LayerDrift {
+                index,
+                key: (*key).to_string(),
+                mean_nrmse: (sum / compared as f64) as f32,
+                max_nrmse: max,
+                frames: compared,
+            });
+        }
+    }
+    drifts
+}
+
+/// Layers whose mean drift exceeds `threshold` — the suspects list.
+pub fn layers_above(drifts: &[LayerDrift], threshold: f32) -> Vec<&LayerDrift> {
+    drifts.iter().filter(|d| d.mean_nrmse > threshold).collect()
+}
+
+/// The first layer whose drift jumps by more than `factor` over the running
+/// maximum of all earlier layers — "a jump of rMSE after a particular op can
+/// indicate an error in that op" (§3.4).
+pub fn first_drift_jump(drifts: &[LayerDrift], factor: f32) -> Option<&LayerDrift> {
+    let mut running_max = 0.0f32;
+    for d in drifts {
+        if running_max > 0.0 && d.mean_nrmse > running_max * factor {
+            return Some(d);
+        }
+        if running_max == 0.0 && d.mean_nrmse > 0.05 {
+            // A jump from (near-)zero is also a jump.
+            return Some(d);
+        }
+        running_max = running_max.max(d.mean_nrmse);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::{LogRecord, LogValue};
+    use mlexray_tensor::Shape;
+
+    fn tensor_record(frame: u64, key: &str, values: Vec<f32>) -> LogRecord {
+        LogRecord {
+            frame,
+            key: key.into(),
+            value: LogValue::TensorFull { shape: Shape::vector(values.len()), values },
+        }
+    }
+
+    fn logsets() -> (LogSet, LogSet) {
+        let reference = LogSet::new(vec![
+            tensor_record(0, "layer/a/output", vec![0.0, 1.0]),
+            tensor_record(0, "layer/b/output", vec![0.0, 2.0]),
+        ]);
+        let edge = LogSet::new(vec![
+            tensor_record(0, "layer/a/output", vec![0.0, 1.0]),
+            tensor_record(0, "layer/b/output", vec![2.0, 0.0]),
+        ]);
+        (edge, reference)
+    }
+
+    #[test]
+    fn drift_is_zero_for_identical_layers() {
+        let (edge, reference) = logsets();
+        let drifts = per_layer_drift(&edge, &reference);
+        assert_eq!(drifts.len(), 2);
+        assert_eq!(drifts[0].mean_nrmse, 0.0);
+        assert!(drifts[1].mean_nrmse > 0.5);
+        assert_eq!(drifts[1].layer_name(), "b");
+    }
+
+    #[test]
+    fn suspects_and_jumps() {
+        let (edge, reference) = logsets();
+        let drifts = per_layer_drift(&edge, &reference);
+        let suspects = layers_above(&drifts, 0.1);
+        assert_eq!(suspects.len(), 1);
+        assert_eq!(suspects[0].layer_name(), "b");
+        let jump = first_drift_jump(&drifts, 3.0).unwrap();
+        assert_eq!(jump.layer_name(), "b");
+    }
+
+    #[test]
+    fn mismatched_layers_skipped() {
+        let reference = LogSet::new(vec![tensor_record(0, "layer/a/output", vec![1.0])]);
+        let edge = LogSet::new(vec![
+            tensor_record(0, "layer/a/output", vec![1.0]),
+            tensor_record(0, "layer/only_edge/output", vec![1.0]),
+        ]);
+        let drifts = per_layer_drift(&edge, &reference);
+        assert_eq!(drifts.len(), 1);
+    }
+
+    #[test]
+    fn no_jump_in_flat_profile() {
+        let drifts = vec![
+            LayerDrift { index: 0, key: "layer/a/output".into(), mean_nrmse: 0.01, max_nrmse: 0.01, frames: 1 },
+            LayerDrift { index: 1, key: "layer/b/output".into(), mean_nrmse: 0.012, max_nrmse: 0.02, frames: 1 },
+        ];
+        assert!(first_drift_jump(&drifts, 3.0).is_none());
+    }
+}

@@ -1,0 +1,120 @@
+//! Per-layer latency validation (§3.4/§4.5): aggregates per-layer timings
+//! and finds straggler layers and sub-optimal kernels.
+
+use crate::log::{LogSet, LogValue};
+
+/// Aggregated latency of one layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerLatency {
+    /// Execution order in the logs.
+    pub index: usize,
+    /// Layer log key (`layer/<name>/latency_ns`).
+    pub key: String,
+    /// Mean latency over frames, ns.
+    pub mean_ns: f64,
+    /// Share of the summed per-layer latency (0..1).
+    pub share: f64,
+}
+
+impl LayerLatency {
+    /// The bare layer name.
+    pub fn layer_name(&self) -> &str {
+        self.key
+            .strip_prefix("layer/")
+            .and_then(|s| s.strip_suffix("/latency_ns"))
+            .unwrap_or(&self.key)
+    }
+}
+
+/// Mean per-layer latency, in execution order, with total shares.
+pub fn per_layer_latency(logs: &LogSet) -> Vec<LayerLatency> {
+    let mut layers = Vec::new();
+    for (index, key) in logs.keys_with_prefix("layer/").iter().enumerate() {
+        if !key.ends_with("/latency_ns") {
+            continue;
+        }
+        let records = logs.all(key);
+        let mut sum = 0.0f64;
+        let mut n = 0usize;
+        for r in records {
+            if let LogValue::LatencyNs(ns) = r.value {
+                sum += ns as f64;
+                n += 1;
+            }
+        }
+        if n > 0 {
+            layers.push(LayerLatency {
+                index,
+                key: (*key).to_string(),
+                mean_ns: sum / n as f64,
+                share: 0.0,
+            });
+        }
+    }
+    let total: f64 = layers.iter().map(|l| l.mean_ns).sum();
+    if total > 0.0 {
+        for l in &mut layers {
+            l.share = l.mean_ns / total;
+        }
+    }
+    layers
+}
+
+/// Layers consuming more than `share_threshold` of total latency.
+pub fn stragglers(latencies: &[LayerLatency], share_threshold: f64) -> Vec<&LayerLatency> {
+    latencies.iter().filter(|l| l.share > share_threshold).collect()
+}
+
+/// Compares per-layer latency between pipelines by layer name:
+/// `(name, edge_ns, reference_ns, ratio)`. Layers present in both only.
+pub fn compare_layer_latency(edge: &LogSet, reference: &LogSet) -> Vec<(String, f64, f64, f64)> {
+    let edge_lat = per_layer_latency(edge);
+    let ref_lat = per_layer_latency(reference);
+    edge_lat
+        .iter()
+        .filter_map(|e| {
+            ref_lat.iter().find(|r| r.key == e.key).map(|r| {
+                let ratio = if r.mean_ns > 0.0 { e.mean_ns / r.mean_ns } else { f64::INFINITY };
+                (e.layer_name().to_string(), e.mean_ns, r.mean_ns, ratio)
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::LogRecord;
+
+    fn lat(frame: u64, key: &str, ns: u64) -> LogRecord {
+        LogRecord { frame, key: key.into(), value: LogValue::LatencyNs(ns) }
+    }
+
+    #[test]
+    fn aggregates_means_and_shares() {
+        let logs = LogSet::new(vec![
+            lat(0, "layer/a/latency_ns", 100),
+            lat(1, "layer/a/latency_ns", 300),
+            lat(0, "layer/b/latency_ns", 800),
+            lat(1, "layer/b/latency_ns", 800),
+        ]);
+        let l = per_layer_latency(&logs);
+        assert_eq!(l.len(), 2);
+        assert_eq!(l[0].mean_ns, 200.0);
+        assert_eq!(l[1].mean_ns, 800.0);
+        assert!((l[1].share - 0.8).abs() < 1e-9);
+        let s = stragglers(&l, 0.5);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].layer_name(), "b");
+    }
+
+    #[test]
+    fn comparison_computes_ratio() {
+        let edge = LogSet::new(vec![lat(0, "layer/a/latency_ns", 1000)]);
+        let reference = LogSet::new(vec![lat(0, "layer/a/latency_ns", 10)]);
+        let cmp = compare_layer_latency(&edge, &reference);
+        assert_eq!(cmp.len(), 1);
+        assert_eq!(cmp[0].0, "a");
+        assert!((cmp[0].3 - 100.0).abs() < 1e-9);
+    }
+}

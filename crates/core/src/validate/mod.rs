@@ -1,0 +1,18 @@
+//! Deployment validation (§3.4): accuracy comparison, per-layer output
+//! drift, per-layer latency analysis, the assertion framework and the
+//! Figure-2 debugging flow.
+
+mod assertions;
+mod drift;
+mod latency;
+mod report;
+
+pub use assertions::{
+    Assertion, AssertionOutcome, AssertionStatus, ChannelArrangementAssertion,
+    ConstantOutputAssertion, FnAssertion, LatencyBudgetAssertion, MemoryBudgetAssertion,
+    NormalizationRangeAssertion, OrientationAssertion, QuantizationDriftAssertion,
+    ResizeFunctionAssertion, StragglerLayerAssertion, ValidationContext,
+};
+pub use drift::{first_drift_jump, layers_above, per_layer_drift, LayerDrift};
+pub use latency::{compare_layer_latency, per_layer_latency, stragglers, LayerLatency};
+pub use report::{AccuracyComparison, DeploymentValidator, ValidationReport, Verdict};

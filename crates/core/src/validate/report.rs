@@ -1,0 +1,239 @@
+//! The Figure-2 deployment-validation flow: accuracy match → per-layer
+//! scrutiny → root-cause assertions, producing a single report.
+
+use std::fmt;
+
+use crate::log::LogSet;
+use crate::validate::assertions::{
+    Assertion, AssertionOutcome, AssertionStatus, ChannelArrangementAssertion,
+    ConstantOutputAssertion, NormalizationRangeAssertion, OrientationAssertion,
+    QuantizationDriftAssertion, ResizeFunctionAssertion, ValidationContext,
+};
+use crate::validate::drift::{first_drift_jump, layers_above, per_layer_drift, LayerDrift};
+
+/// Side-by-side accuracy of the two pipelines.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccuracyComparison {
+    /// Edge top-1 accuracy (None when no labelled decisions were logged).
+    pub edge: Option<f32>,
+    /// Reference top-1 accuracy.
+    pub reference: Option<f32>,
+}
+
+impl AccuracyComparison {
+    /// Accuracy drop `reference - edge`, when both sides are known.
+    pub fn drop(&self) -> Option<f32> {
+        Some(self.reference? - self.edge?)
+    }
+}
+
+/// Final verdict of a validation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// No significant deviation found.
+    Healthy,
+    /// Deployment issues detected; see the report body.
+    Degraded,
+}
+
+/// Everything the validator found.
+#[derive(Debug, Clone)]
+pub struct ValidationReport {
+    /// Accuracy comparison (step 1 of Fig. 2).
+    pub accuracy: AccuracyComparison,
+    /// Per-layer drift, in execution order (step 2).
+    pub drift: Vec<LayerDrift>,
+    /// Names of layers flagged as error-prone.
+    pub suspect_layers: Vec<String>,
+    /// Assertion outcomes (step 3).
+    pub outcomes: Vec<AssertionOutcome>,
+    /// Overall verdict.
+    pub verdict: Verdict,
+}
+
+impl ValidationReport {
+    /// Outcomes of failed (bug-detected) assertions.
+    pub fn failures(&self) -> Vec<&AssertionOutcome> {
+        self.outcomes.iter().filter(|o| o.status == AssertionStatus::Fail).collect()
+    }
+
+    /// Convenience: root-cause strings of all failed assertions.
+    pub fn root_causes(&self) -> Vec<String> {
+        self.failures().iter().map(|o| format!("{}: {}", o.name, o.detail)).collect()
+    }
+}
+
+impl fmt::Display for ValidationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== ML-EXray deployment validation report ===")?;
+        match (self.accuracy.edge, self.accuracy.reference) {
+            (Some(e), Some(r)) => writeln!(
+                f,
+                "accuracy: edge {:.1}% vs reference {:.1}% (drop {:+.1} pp)",
+                e * 100.0,
+                r * 100.0,
+                (r - e) * 100.0
+            )?,
+            _ => writeln!(f, "accuracy: not available (no labelled decisions logged)")?,
+        }
+        if !self.suspect_layers.is_empty() {
+            writeln!(f, "error-prone layers: {}", self.suspect_layers.join(", "))?;
+        }
+        for o in &self.outcomes {
+            let tag = match o.status {
+                AssertionStatus::Pass => "PASS",
+                AssertionStatus::Fail => "FAIL",
+                AssertionStatus::Skipped => "SKIP",
+            };
+            writeln!(f, "  [{tag}] {}: {}", o.name, o.detail)?;
+        }
+        write!(f, "verdict: {:?}", self.verdict)
+    }
+}
+
+/// The deployment validator: holds thresholds and the assertion suite, and
+/// drives the Fig. 2 flow over a pair of log sets.
+pub struct DeploymentValidator {
+    /// Accuracy drop (fraction) above which the deployment counts as
+    /// degraded.
+    pub accuracy_tolerance: f32,
+    /// Normalized-rMSE threshold for flagging a layer.
+    pub drift_threshold: f32,
+    assertions: Vec<Box<dyn Assertion>>,
+}
+
+impl Default for DeploymentValidator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DeploymentValidator {
+    /// A validator with the built-in assertion suite: channel arrangement,
+    /// normalization range, orientation, resize heuristic, quantization
+    /// drift and constant-output detection.
+    pub fn new() -> Self {
+        DeploymentValidator {
+            accuracy_tolerance: 0.02,
+            drift_threshold: 0.15,
+            assertions: vec![
+                Box::new(ChannelArrangementAssertion),
+                Box::new(NormalizationRangeAssertion),
+                Box::new(OrientationAssertion),
+                Box::new(ResizeFunctionAssertion),
+                Box::new(QuantizationDriftAssertion::default()),
+                Box::new(ConstantOutputAssertion),
+            ],
+        }
+    }
+
+    /// A validator with no built-ins (build your own suite).
+    pub fn empty() -> Self {
+        DeploymentValidator {
+            accuracy_tolerance: 0.02,
+            drift_threshold: 0.15,
+            assertions: Vec::new(),
+        }
+    }
+
+    /// Adds an assertion (built-in or user-defined).
+    #[must_use]
+    pub fn with_assertion(mut self, assertion: impl Assertion + 'static) -> Self {
+        self.assertions.push(Box::new(assertion));
+        self
+    }
+
+    /// Number of registered assertions.
+    pub fn assertion_count(&self) -> usize {
+        self.assertions.len()
+    }
+
+    /// Runs the Fig. 2 flow: (1) compare accuracy, (2) per-layer drift when
+    /// degraded or on request, (3) all assertions for root-cause analysis.
+    pub fn validate(&self, edge: &LogSet, reference: &LogSet) -> ValidationReport {
+        let accuracy = AccuracyComparison { edge: edge.accuracy(), reference: reference.accuracy() };
+        let degraded_accuracy =
+            accuracy.drop().map(|d| d > self.accuracy_tolerance).unwrap_or(false);
+
+        let drift = per_layer_drift(edge, reference);
+        let mut suspect_layers: Vec<String> = layers_above(&drift, self.drift_threshold)
+            .iter()
+            .map(|d| d.layer_name().to_string())
+            .collect();
+        if suspect_layers.is_empty() {
+            if let Some(jump) = first_drift_jump(&drift, 5.0) {
+                if jump.mean_nrmse > self.drift_threshold / 3.0 {
+                    suspect_layers.push(jump.layer_name().to_string());
+                }
+            }
+        }
+
+        let ctx = ValidationContext { edge, reference };
+        let outcomes: Vec<AssertionOutcome> =
+            self.assertions.iter().map(|a| a.check(&ctx)).collect();
+        let any_failed = outcomes.iter().any(|o| o.status == AssertionStatus::Fail);
+
+        let verdict = if degraded_accuracy || any_failed {
+            Verdict::Degraded
+        } else {
+            Verdict::Healthy
+        };
+        ValidationReport { accuracy, drift, suspect_layers, outcomes, verdict }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::{LogRecord, LogValue, KEY_DECISION};
+
+    fn decisions(correct: usize, total: usize) -> LogSet {
+        LogSet::new(
+            (0..total)
+                .map(|i| LogRecord {
+                    frame: i as u64,
+                    key: KEY_DECISION.into(),
+                    value: LogValue::Decision {
+                        predicted: if i < correct { 1 } else { 0 },
+                        label: Some(1),
+                    },
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn healthy_when_accuracies_match() {
+        let v = DeploymentValidator::new();
+        let edge = decisions(9, 10);
+        let reference = decisions(9, 10);
+        let report = v.validate(&edge, &reference);
+        assert_eq!(report.verdict, Verdict::Healthy);
+        assert_eq!(report.accuracy.drop(), Some(0.0));
+    }
+
+    #[test]
+    fn degraded_on_accuracy_drop() {
+        let v = DeploymentValidator::new();
+        let edge = decisions(5, 10);
+        let reference = decisions(9, 10);
+        let report = v.validate(&edge, &reference);
+        assert_eq!(report.verdict, Verdict::Degraded);
+        let text = report.to_string();
+        assert!(text.contains("drop"), "{text}");
+    }
+
+    #[test]
+    fn custom_assertion_participates() {
+        use crate::validate::assertions::FnAssertion;
+        let v = DeploymentValidator::empty()
+            .with_assertion(FnAssertion::new("always_fail", |_| {
+                FnAssertion::failed("always_fail", "domain check tripped")
+            }));
+        assert_eq!(v.assertion_count(), 1);
+        let logs = decisions(1, 1);
+        let report = v.validate(&logs, &logs);
+        assert_eq!(report.verdict, Verdict::Degraded);
+        assert_eq!(report.root_causes().len(), 1);
+    }
+}

@@ -1,0 +1,168 @@
+//! SD-card style data playback.
+//!
+//! §4 of the paper: "these apps are instrumented, using our APIs, in a way
+//! that they can accept data from an SD card in addition to the original
+//! sensor streams". This module is that SD card: labelled frames are written
+//! to a directory once and replayed deterministically by both the edge and
+//! the reference pipeline, guaranteeing the two see byte-identical input.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use mlexray_preprocess::{ChannelOrder, Image};
+
+use crate::synth_image::LabeledImage;
+use crate::{DatasetError, Result};
+
+#[derive(Debug, Serialize, Deserialize)]
+struct FrameMeta {
+    width: usize,
+    height: usize,
+    order: ChannelOrder,
+    label: usize,
+}
+
+/// A directory of stored frames, replayable in index order.
+#[derive(Debug, Clone)]
+pub struct SdCard {
+    dir: PathBuf,
+}
+
+impl SdCard {
+    /// Opens (creating if needed) an SD-card directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::Io`] on filesystem failures.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(SdCard { dir })
+    }
+
+    /// The backing directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn frame_paths(&self, index: usize) -> (PathBuf, PathBuf) {
+        (
+            self.dir.join(format!("frame_{index:05}.raw")),
+            self.dir.join(format!("frame_{index:05}.json")),
+        )
+    }
+
+    /// Writes a labelled frame at `index`, overwriting any previous frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::Io`] / [`DatasetError::Format`] on failure.
+    pub fn write_frame(&self, index: usize, sample: &LabeledImage) -> Result<()> {
+        let (raw, meta) = self.frame_paths(index);
+        fs::write(&raw, sample.image.data())?;
+        let m = FrameMeta {
+            width: sample.image.width(),
+            height: sample.image.height(),
+            order: sample.image.order(),
+            label: sample.label,
+        };
+        let json = serde_json::to_string(&m).map_err(|e| DatasetError::Format(e.to_string()))?;
+        fs::write(&meta, json)?;
+        Ok(())
+    }
+
+    /// Writes a whole dataset, one frame per index.
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-frame failures.
+    pub fn write_all(&self, samples: &[LabeledImage]) -> Result<()> {
+        for (i, s) in samples.iter().enumerate() {
+            self.write_frame(i, s)?;
+        }
+        Ok(())
+    }
+
+    /// Reads the frame at `index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::Io`] for missing frames and
+    /// [`DatasetError::Format`] for corrupted metadata.
+    pub fn read_frame(&self, index: usize) -> Result<LabeledImage> {
+        let (raw, meta) = self.frame_paths(index);
+        let data = fs::read(&raw)?;
+        let json = fs::read_to_string(&meta)?;
+        let m: FrameMeta =
+            serde_json::from_str(&json).map_err(|e| DatasetError::Format(e.to_string()))?;
+        let image = Image::from_raw(m.width, m.height, m.order, data)
+            .map_err(|e| DatasetError::Format(e.to_string()))?;
+        Ok(LabeledImage { image, label: m.label })
+    }
+
+    /// Number of stored frames (contiguous from 0).
+    pub fn frame_count(&self) -> usize {
+        let mut count = 0;
+        while self.frame_paths(count).0.exists() {
+            count += 1;
+        }
+        count
+    }
+
+    /// Reads all stored frames in index order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-frame failures.
+    pub fn read_all(&self) -> Result<Vec<LabeledImage>> {
+        (0..self.frame_count()).map(|i| self.read_frame(i)).collect()
+    }
+
+    /// Total bytes stored on the card.
+    pub fn bytes_used(&self) -> u64 {
+        let mut total = 0;
+        for i in 0..self.frame_count() {
+            let (raw, meta) = self.frame_paths(i);
+            for p in [raw, meta] {
+                if let Ok(md) = fs::metadata(p) {
+                    total += md.len();
+                }
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth_image::{generate, SynthImageSpec};
+
+    fn temp_card(tag: &str) -> SdCard {
+        let dir = std::env::temp_dir().join(format!("mlexray-sdcard-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        SdCard::open(dir).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_frames() {
+        let card = temp_card("roundtrip");
+        let data = generate(SynthImageSpec { resolution: 32, count: 6, seed: 1 }).unwrap();
+        card.write_all(&data).unwrap();
+        assert_eq!(card.frame_count(), 6);
+        let back = card.read_all().unwrap();
+        assert_eq!(data, back);
+        assert!(card.bytes_used() > 0);
+        fs::remove_dir_all(card.dir()).ok();
+    }
+
+    #[test]
+    fn missing_frame_errors() {
+        let card = temp_card("missing");
+        assert!(card.read_frame(0).is_err());
+        assert_eq!(card.frame_count(), 0);
+        fs::remove_dir_all(card.dir()).ok();
+    }
+}

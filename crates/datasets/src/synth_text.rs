@@ -1,0 +1,182 @@
+//! Synthetic sentiment dataset (IMDB stand-in) for the Appendix A text
+//! experiment: templated sentences with polarity words, some capitalized, so
+//! a case-sensitivity mismatch between pipelines changes embeddings without
+//! necessarily changing the verdict.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::{DatasetError, Result};
+
+/// Positive-polarity vocabulary.
+pub const POSITIVE_WORDS: [&str; 10] = [
+    "great", "wonderful", "excellent", "superb", "delightful", "amazing", "loved", "brilliant",
+    "charming", "masterful",
+];
+
+/// Negative-polarity vocabulary.
+pub const NEGATIVE_WORDS: [&str; 10] = [
+    "terrible", "awful", "boring", "dreadful", "horrible", "lousy", "hated", "disappointing",
+    "tedious", "clumsy",
+];
+
+/// Neutral filler vocabulary.
+pub const FILLER_WORDS: [&str; 12] = [
+    "the", "movie", "film", "plot", "acting", "was", "and", "with", "a", "really", "script",
+    "scene",
+];
+
+/// One labelled review.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabeledText {
+    /// The review text.
+    pub text: String,
+    /// 0 = negative, 1 = positive.
+    pub label: usize,
+}
+
+/// Generator parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SynthTextSpec {
+    /// Number of reviews (labels alternate).
+    pub count: usize,
+    /// Words per review.
+    pub length: usize,
+    /// Probability a word is Capitalized (exercises the case-mismatch bug).
+    pub capitalize_prob: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SynthTextSpec {
+    fn default() -> Self {
+        SynthTextSpec { count: 256, length: 12, capitalize_prob: 0.3, seed: 42 }
+    }
+}
+
+fn capitalize(word: &str) -> String {
+    let mut chars = word.chars();
+    match chars.next() {
+        Some(c) => c.to_uppercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+/// Generates a balanced labelled review dataset.
+///
+/// # Errors
+///
+/// Returns [`DatasetError::InvalidSpec`] for zero counts/lengths.
+///
+/// # Example
+///
+/// ```
+/// use mlexray_datasets::synth_text::{generate, SynthTextSpec};
+///
+/// let data = generate(SynthTextSpec { count: 4, ..Default::default() })?;
+/// assert_eq!(data.len(), 4);
+/// # Ok::<(), mlexray_datasets::DatasetError>(())
+/// ```
+pub fn generate(spec: SynthTextSpec) -> Result<Vec<LabeledText>> {
+    if spec.count == 0 || spec.length < 3 {
+        return Err(DatasetError::InvalidSpec("count must be > 0 and length >= 3".into()));
+    }
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
+    let mut out = Vec::with_capacity(spec.count);
+    for i in 0..spec.count {
+        let label = i % 2;
+        out.push(render(label, &spec, &mut rng));
+    }
+    Ok(out)
+}
+
+fn render(label: usize, spec: &SynthTextSpec, rng: &mut SmallRng) -> LabeledText {
+    let polarity: &[&str] = if label == 1 { &POSITIVE_WORDS } else { &NEGATIVE_WORDS };
+    // 1/3 of the words carry polarity; the rest is filler.
+    let n_polar = (spec.length / 3).max(1);
+    let mut words: Vec<String> = Vec::with_capacity(spec.length);
+    for _ in 0..n_polar {
+        words.push((*polarity.choose(rng).expect("non-empty")).to_string());
+    }
+    for _ in n_polar..spec.length {
+        words.push((*FILLER_WORDS.choose(rng).expect("non-empty")).to_string());
+    }
+    words.shuffle(rng);
+    for w in &mut words {
+        if rng.gen_bool(spec.capitalize_prob) {
+            *w = capitalize(w);
+        }
+    }
+    LabeledText { text: words.join(" "), label }
+}
+
+/// All lowercase tokens that may appear, for vocabulary building.
+pub fn full_vocabulary() -> Vec<&'static str> {
+    POSITIVE_WORDS
+        .iter()
+        .chain(NEGATIVE_WORDS.iter())
+        .chain(FILLER_WORDS.iter())
+        .copied()
+        .collect()
+}
+
+/// Train/test split with disjoint seeds.
+///
+/// # Errors
+///
+/// Propagates generator errors.
+pub fn train_test_split(
+    train: usize,
+    test: usize,
+    seed: u64,
+) -> Result<(Vec<LabeledText>, Vec<LabeledText>)> {
+    Ok((
+        generate(SynthTextSpec { count: train, seed, ..Default::default() })?,
+        generate(SynthTextSpec { count: test, seed: seed ^ 0x7e47, ..Default::default() })?,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_balanced() {
+        let spec = SynthTextSpec { count: 10, ..Default::default() };
+        assert_eq!(generate(spec).unwrap(), generate(spec).unwrap());
+        let data = generate(spec).unwrap();
+        assert_eq!(data.iter().filter(|t| t.label == 1).count(), 5);
+    }
+
+    #[test]
+    fn positive_reviews_contain_positive_words() {
+        let data = generate(SynthTextSpec { count: 20, capitalize_prob: 0.0, seed: 8, length: 12 })
+            .unwrap();
+        for t in data.iter().filter(|t| t.label == 1) {
+            assert!(
+                POSITIVE_WORDS.iter().any(|w| t.text.contains(w)),
+                "missing positive word: {}",
+                t.text
+            );
+        }
+    }
+
+    #[test]
+    fn capitalization_occurs() {
+        let data = generate(SynthTextSpec { capitalize_prob: 1.0, ..Default::default() }).unwrap();
+        let first = &data[0].text;
+        assert!(first.split(' ').all(|w| w.chars().next().unwrap().is_uppercase()));
+    }
+
+    #[test]
+    fn vocabulary_is_lowercase() {
+        assert!(full_vocabulary().iter().all(|w| w.chars().all(|c| c.is_lowercase())));
+    }
+
+    #[test]
+    fn invalid_spec_rejected() {
+        assert!(generate(SynthTextSpec { count: 0, ..Default::default() }).is_err());
+        assert!(generate(SynthTextSpec { length: 2, ..Default::default() }).is_err());
+    }
+}

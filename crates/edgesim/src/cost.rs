@@ -1,0 +1,263 @@
+//! Per-op latency cost tables.
+
+use mlexray_nn::OpKind;
+use serde::{Deserialize, Serialize};
+
+/// Coarse op category used by the cost tables (the row granularity of the
+/// paper's Table 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpCategory {
+    /// Depthwise convolution ("D-Conv").
+    DwConv,
+    /// Standard convolution.
+    Conv,
+    /// Fully connected / matmul.
+    Fc,
+    /// Global mean reduction.
+    Mean,
+    /// Windowed pooling.
+    Pool,
+    /// Spatial padding.
+    Pad,
+    /// Element-wise add/mul.
+    Elementwise,
+    /// Softmax.
+    Softmax,
+    /// Quantize/dequantize boundaries.
+    QuantBoundary,
+    /// Everything else (activations, norms, reshape, concat, embedding).
+    Other,
+}
+
+impl OpCategory {
+    /// Maps an op to its cost category.
+    pub fn of(op: &OpKind) -> Self {
+        match op {
+            OpKind::DepthwiseConv2d { .. } => OpCategory::DwConv,
+            OpKind::Conv2d { .. } => OpCategory::Conv,
+            OpKind::FullyConnected { .. } | OpKind::MatMul { .. } => OpCategory::Fc,
+            OpKind::Mean => OpCategory::Mean,
+            OpKind::AveragePool2d { .. } | OpKind::MaxPool2d { .. } => OpCategory::Pool,
+            OpKind::Pad { .. } => OpCategory::Pad,
+            OpKind::Add { .. } | OpKind::Mul => OpCategory::Elementwise,
+            OpKind::Softmax => OpCategory::Softmax,
+            OpKind::Quantize | OpKind::Dequantize => OpCategory::QuantBoundary,
+            _ => OpCategory::Other,
+        }
+    }
+}
+
+/// Whether a layer executes integer or float kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DtypeClass {
+    /// 32-bit float kernels.
+    Float,
+    /// 8-bit integer kernels.
+    Quant,
+}
+
+/// ns/MAC coefficients per op category for one (dtype, flavor) combination,
+/// plus a fixed per-node dispatch overhead.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostTable {
+    /// Depthwise conv ns/MAC.
+    pub dwconv: f64,
+    /// Conv ns/MAC.
+    pub conv: f64,
+    /// FC/MatMul ns/MAC.
+    pub fc: f64,
+    /// Mean ns/element.
+    pub mean: f64,
+    /// Pooling ns/(window element).
+    pub pool: f64,
+    /// Pad ns/element.
+    pub pad: f64,
+    /// Add/Mul ns/element.
+    pub elementwise: f64,
+    /// Softmax ns/element.
+    pub softmax: f64,
+    /// Quantize/Dequantize ns/element.
+    pub quant_boundary: f64,
+    /// Everything else, ns/element.
+    pub other: f64,
+    /// Fixed per-node dispatch cost in ns.
+    pub fixed_ns: f64,
+}
+
+impl CostTable {
+    /// Nanoseconds for `macs` work units of the given category.
+    pub fn cost_ns(&self, category: OpCategory, macs: u64) -> f64 {
+        let per = match category {
+            OpCategory::DwConv => self.dwconv,
+            OpCategory::Conv => self.conv,
+            OpCategory::Fc => self.fc,
+            OpCategory::Mean => self.mean,
+            OpCategory::Pool => self.pool,
+            OpCategory::Pad => self.pad,
+            OpCategory::Elementwise => self.elementwise,
+            OpCategory::Softmax => self.softmax,
+            OpCategory::QuantBoundary => self.quant_boundary,
+            OpCategory::Other => self.other,
+        };
+        self.fixed_ns + per * macs as f64
+    }
+
+    /// Scales every coefficient (used for Pixel-3 derating and GPU speedup).
+    pub fn scaled(&self, factor: f64) -> CostTable {
+        CostTable {
+            dwconv: self.dwconv * factor,
+            conv: self.conv * factor,
+            fc: self.fc * factor,
+            mean: self.mean * factor,
+            pool: self.pool * factor,
+            pad: self.pad * factor,
+            elementwise: self.elementwise * factor,
+            softmax: self.softmax * factor,
+            quant_boundary: self.quant_boundary * factor,
+            other: self.other * factor,
+            fixed_ns: self.fixed_ns * factor,
+        }
+    }
+}
+
+/// Pixel-4 CPU, float kernels, optimized resolver. Calibrated so that
+/// full-size MobileNetV2 lands near Table 4's 136 ms with the paper's
+/// per-layer-type split (D-Conv dominates float).
+pub(crate) fn pixel4_float_optimized() -> CostTable {
+    CostTable {
+        dwconv: 2.7,
+        conv: 0.09,
+        fc: 5.8,
+        mean: 97.0,
+        pool: 10.0,
+        pad: 1.5,
+        elementwise: 0.15,
+        softmax: 400.0,
+        quant_boundary: 10.0,
+        other: 0.6,
+        fixed_ns: 15_000.0,
+    }
+}
+
+/// Pixel-4 CPU, quantized kernels, optimized resolver (~98 ms MobileNetV2).
+pub(crate) fn pixel4_quant_optimized() -> CostTable {
+    CostTable {
+        dwconv: 0.65,
+        conv: 0.12,
+        fc: 5.5,
+        mean: 89.0,
+        pool: 8.0,
+        pad: 17.0,
+        elementwise: 0.77,
+        softmax: 300.0,
+        quant_boundary: 22.0,
+        other: 0.5,
+        fixed_ns: 15_000.0,
+    }
+}
+
+/// Pixel-4 CPU, float kernels, reference resolver (orders of magnitude
+/// slower; the paper reports only the quantized-reference column, float
+/// reference is extrapolated with the same conv blowup).
+pub(crate) fn pixel4_float_reference() -> CostTable {
+    CostTable {
+        dwconv: 75.0,
+        conv: 55.0,
+        fc: 6.0,
+        mean: 90.0,
+        pool: 60.0,
+        pad: 50.0,
+        elementwise: 8.0,
+        softmax: 400.0,
+        quant_boundary: 15.0,
+        other: 5.0,
+        fixed_ns: 20_000.0,
+    }
+}
+
+/// Pixel-4 CPU, quantized kernels, reference resolver (~21.7 s MobileNetV2:
+/// Conv 18.6 s, D-Conv 2.9 s per Table 4).
+pub(crate) fn pixel4_quant_reference() -> CostTable {
+    CostTable {
+        dwconv: 82.0,
+        conv: 70.0,
+        fc: 5.5,
+        mean: 80.0,
+        pool: 65.0,
+        pad: 55.0,
+        elementwise: 10.0,
+        softmax: 300.0,
+        quant_boundary: 10.0,
+        other: 5.0,
+        fixed_ns: 20_000.0,
+    }
+}
+
+/// x86 emulator, float optimized: convolutions are catastrophically slower
+/// (no ARM NEON paths; Table 4 shows 44x on Conv), reductions are fine.
+pub(crate) fn x86_float_optimized() -> CostTable {
+    CostTable {
+        dwconv: 3.4,
+        conv: 5.3,
+        fc: 55.0,
+        mean: 40.0,
+        pool: 30.0,
+        pad: 95.0,
+        elementwise: 0.7,
+        softmax: 200.0,
+        quant_boundary: 15.0,
+        other: 2.0,
+        fixed_ns: 10_000.0,
+    }
+}
+
+/// x86 emulator, quantized optimized: integer SIMD also absent; roughly
+/// float-like costs.
+pub(crate) fn x86_quant_optimized() -> CostTable {
+    pixel4_quant_optimized().scaled(8.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlexray_nn::{Activation, Padding};
+
+    #[test]
+    fn categories_map_table4_rows() {
+        assert_eq!(
+            OpCategory::of(&OpKind::DepthwiseConv2d {
+                stride: 1,
+                padding: Padding::Same,
+                activation: Activation::None
+            }),
+            OpCategory::DwConv
+        );
+        assert_eq!(OpCategory::of(&OpKind::Mean), OpCategory::Mean);
+        assert_eq!(OpCategory::of(&OpKind::Quantize), OpCategory::QuantBoundary);
+    }
+
+    #[test]
+    fn cost_scales_with_macs() {
+        let t = pixel4_float_optimized();
+        let one = t.cost_ns(OpCategory::Conv, 1_000_000);
+        let two = t.cost_ns(OpCategory::Conv, 2_000_000);
+        assert!(two > one);
+        assert!((two - t.fixed_ns) / (one - t.fixed_ns) > 1.9);
+    }
+
+    #[test]
+    fn reference_resolver_is_orders_of_magnitude_slower() {
+        let opt = pixel4_quant_optimized();
+        let reference = pixel4_quant_reference();
+        let macs = 100_000_000u64;
+        let ratio = reference.cost_ns(OpCategory::Conv, macs) / opt.cost_ns(OpCategory::Conv, macs);
+        assert!(ratio > 200.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn scaled_multiplies_everything() {
+        let t = pixel4_float_optimized().scaled(2.0);
+        assert!((t.conv - 0.18).abs() < 1e-9);
+        assert!((t.fixed_ns - 30_000.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,35 @@
+//! The model zoo of the ML-EXray reproduction.
+//!
+//! Two tiers of models are provided:
+//!
+//! * **Full-size architectures** (`mobilenet_v1/v2/v3`, `resnet50_v2`,
+//!   `inception_v3`, `densenet121`) with randomly initialized weights and
+//!   checkpoint-style graphs (unfused batch-norm, standalone activations).
+//!   These drive the *structural* experiments — layer counts, parameter
+//!   counts, conversion, quantization overhead, per-layer latency (Tables
+//!   2–5) — where trained weights are unnecessary.
+//! * **Mini architectures** (`mini_*`) that keep each family's topological
+//!   signature (depthwise separable stacks, inverted residuals,
+//!   squeeze-excite average pooling, residual adds, dense concatenation,
+//!   parallel branches) at a size the trainer crate can train in seconds on
+//!   the synthetic datasets. These drive the *accuracy* experiments
+//!   (Figs. 4–6).
+//!
+//! Each family also declares its canonical preprocessing
+//! ([`zoo::canonical_preprocess`]) — the ground truth the reference pipelines
+//! replay and deployment bugs deviate from.
+
+#![warn(missing_docs)]
+
+pub mod audio;
+mod blocks;
+pub mod densenet;
+pub mod inception;
+pub mod mobilenet;
+pub mod resnet;
+pub mod ssd;
+pub mod text;
+pub mod zoo;
+
+pub use blocks::NetBuilder;
+pub use zoo::{canonical_preprocess, full_model, mini_model, FullFamily, MiniFamily};

@@ -1,0 +1,200 @@
+//! Registry of model families and their canonical preprocessing.
+//!
+//! The per-family preprocessing differences are intentional and faithful to
+//! the paper's §1 example: "a MobileNet model takes an RGB image of
+//! `[-1.0, 1.0]` as input, whereas a VGG model takes a BGR image, and a
+//! DenseNet model takes `[0.0, 1.0]` inputs" — the information that gets
+//! lost in the hand-off from training to deployment.
+
+use mlexray_nn::{Model, Result};
+use mlexray_preprocess::{ImagePreprocessConfig, NormalizationScheme};
+
+use crate::{densenet, inception, mobilenet, resnet};
+
+/// Full-size architecture families (Tables 2–5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FullFamily {
+    /// MobileNet v1.
+    MobileNetV1,
+    /// MobileNet v2.
+    MobileNetV2,
+    /// MobileNet v3-small.
+    MobileNetV3Small,
+    /// ResNet-50 v2.
+    ResNet50V2,
+    /// Inception v3.
+    InceptionV3,
+    /// DenseNet-121.
+    DenseNet121,
+}
+
+impl FullFamily {
+    /// The five models of Tables 3/5, in the paper's row order, plus v3.
+    pub const ALL: [FullFamily; 6] = [
+        FullFamily::MobileNetV1,
+        FullFamily::MobileNetV2,
+        FullFamily::ResNet50V2,
+        FullFamily::InceptionV3,
+        FullFamily::DenseNet121,
+        FullFamily::MobileNetV3Small,
+    ];
+
+    /// Family name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            FullFamily::MobileNetV1 => "mobilenet_v1",
+            FullFamily::MobileNetV2 => "mobilenet_v2",
+            FullFamily::MobileNetV3Small => "mobilenet_v3_small",
+            FullFamily::ResNet50V2 => "resnet50_v2",
+            FullFamily::InceptionV3 => "inception_v3",
+            FullFamily::DenseNet121 => "densenet121",
+        }
+    }
+}
+
+/// Builds a full-size checkpoint model.
+///
+/// # Errors
+///
+/// Propagates graph-construction errors (input resolutions below ~32 are
+/// rejected by the deeper families).
+pub fn full_model(
+    family: FullFamily,
+    input: usize,
+    classes: usize,
+    width: f32,
+    seed: u64,
+) -> Result<Model> {
+    match family {
+        FullFamily::MobileNetV1 => mobilenet::mobilenet_v1(input, classes, width, seed),
+        FullFamily::MobileNetV2 => mobilenet::mobilenet_v2(input, classes, width, seed),
+        FullFamily::MobileNetV3Small => mobilenet::mobilenet_v3_small(input, classes, width, seed),
+        FullFamily::ResNet50V2 => resnet::resnet50_v2(input, classes, width, seed),
+        FullFamily::InceptionV3 => inception::inception_v3(input, classes, width, seed),
+        FullFamily::DenseNet121 => densenet::densenet121(input, classes, width, seed),
+    }
+}
+
+/// Mini (trainable) architecture families (Figs. 4–6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MiniFamily {
+    /// Depthwise-separable stack (MobileNet v1 signature).
+    MiniV1,
+    /// Inverted residuals + `Mean` head (v2 signature).
+    MiniV2,
+    /// SE blocks + `AveragePool2d` head (v3 signature).
+    MiniV3,
+    /// Residual blocks (ResNet signature).
+    MiniResNet,
+    /// Parallel branches + in-branch pooling (Inception signature).
+    MiniInception,
+    /// Dense concatenation (DenseNet signature).
+    MiniDenseNet,
+}
+
+impl MiniFamily {
+    /// All mini families, in the Fig. 4(a)/Fig. 5 order.
+    pub const ALL: [MiniFamily; 6] = [
+        MiniFamily::MiniV1,
+        MiniFamily::MiniV2,
+        MiniFamily::MiniV3,
+        MiniFamily::MiniResNet,
+        MiniFamily::MiniInception,
+        MiniFamily::MiniDenseNet,
+    ];
+
+    /// Family name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MiniFamily::MiniV1 => "mini_mobilenet_v1",
+            MiniFamily::MiniV2 => "mini_mobilenet_v2",
+            MiniFamily::MiniV3 => "mini_mobilenet_v3",
+            MiniFamily::MiniResNet => "mini_resnet",
+            MiniFamily::MiniInception => "mini_inception",
+            MiniFamily::MiniDenseNet => "mini_densenet",
+        }
+    }
+
+    /// Short label for figure rows.
+    pub fn label(self) -> &'static str {
+        match self {
+            MiniFamily::MiniV1 => "MobileNetv1",
+            MiniFamily::MiniV2 => "MobileNetv2",
+            MiniFamily::MiniV3 => "MobileNetv3",
+            MiniFamily::MiniResNet => "Resnet50v2",
+            MiniFamily::MiniInception => "Inceptionv3",
+            MiniFamily::MiniDenseNet => "Densenet121",
+        }
+    }
+}
+
+/// Builds a mini (trainable) model with fresh random weights.
+///
+/// # Errors
+///
+/// Propagates graph-construction errors.
+pub fn mini_model(family: MiniFamily, input: usize, classes: usize, seed: u64) -> Result<Model> {
+    match family {
+        MiniFamily::MiniV1 => mobilenet::mini_v1(input, classes, seed),
+        MiniFamily::MiniV2 => mobilenet::mini_v2(input, classes, seed),
+        MiniFamily::MiniV3 => mobilenet::mini_v3(input, classes, seed),
+        MiniFamily::MiniResNet => resnet::mini_resnet(input, classes, seed),
+        MiniFamily::MiniInception => inception::mini_inception(input, classes, seed),
+        MiniFamily::MiniDenseNet => densenet::mini_densenet(input, classes, seed),
+    }
+}
+
+/// Canonical preprocessing of a model family: what the training pipeline
+/// used and what the reference pipeline replays. Deployments that deviate
+/// from this configuration are, by definition, carrying a §4.3 bug.
+pub fn canonical_preprocess(family: &str, input: usize) -> ImagePreprocessConfig {
+    if family.contains("densenet") {
+        // DenseNet family: [0, 1] inputs.
+        ImagePreprocessConfig::densenet_style(input, input)
+    } else if family.contains("resnet") {
+        // ResNet family: ImageNet mean/std.
+        ImagePreprocessConfig {
+            normalization: NormalizationScheme::MeanStd {
+                mean: [0.485, 0.456, 0.406],
+                std: [0.229, 0.224, 0.225],
+            },
+            ..ImagePreprocessConfig::mobilenet_style(input, input)
+        }
+    } else {
+        // MobileNet/Inception family: [-1, 1] inputs.
+        ImagePreprocessConfig::mobilenet_style(input, input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlexray_preprocess::ChannelOrder;
+
+    #[test]
+    fn every_mini_family_builds() {
+        for f in MiniFamily::ALL {
+            let m = mini_model(f, 32, 8, 1).unwrap();
+            assert_eq!(m.family, f.name());
+            assert!(m.graph.param_count() < 60_000, "{}", f.name());
+        }
+    }
+
+    #[test]
+    fn every_full_family_builds_small() {
+        for f in FullFamily::ALL {
+            let m = full_model(f, 64, 10, 0.25, 1).unwrap();
+            assert_eq!(m.family, f.name());
+        }
+    }
+
+    #[test]
+    fn canonical_preprocess_differs_by_family() {
+        let mobile = canonical_preprocess("mini_mobilenet_v2", 32);
+        let dense = canonical_preprocess("mini_densenet", 32);
+        let res = canonical_preprocess("mini_resnet", 32);
+        assert_ne!(mobile.normalization, dense.normalization);
+        assert_ne!(mobile.normalization, res.normalization);
+        assert_eq!(mobile.channel_order, ChannelOrder::Rgb);
+    }
+}

@@ -1,0 +1,54 @@
+use std::fmt;
+
+use mlexray_tensor::TensorError;
+
+/// Errors produced by graph construction, conversion, quantization and
+/// interpretation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// A graph invariant was violated (dangling tensor, duplicate output...).
+    InvalidGraph(String),
+    /// An op received incompatible input shapes or dtypes.
+    InvalidOp {
+        /// Name of the offending node.
+        node: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The interpreter was invoked with the wrong number or shape of inputs.
+    InvalidInput(String),
+    /// Quantization failed (missing calibration, unsupported op...).
+    Quantization(String),
+    /// Conversion failed (unfusable pattern...).
+    Conversion(String),
+    /// A tensor-level error surfaced.
+    Tensor(TensorError),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::InvalidGraph(msg) => write!(f, "invalid graph: {msg}"),
+            NnError::InvalidOp { node, reason } => write!(f, "invalid op at '{node}': {reason}"),
+            NnError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            NnError::Quantization(msg) => write!(f, "quantization error: {msg}"),
+            NnError::Conversion(msg) => write!(f, "conversion error: {msg}"),
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}

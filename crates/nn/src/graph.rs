@@ -1,0 +1,1157 @@
+use serde::{Deserialize, Serialize};
+
+use mlexray_tensor::{DType, QuantParams, Shape, Tensor};
+
+use crate::ops::{conv_out_size, Activation, OpKind, Padding};
+use crate::{NnError, Result};
+
+/// Identifier of a tensor slot within a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TensorId(pub usize);
+
+/// Identifier of a node within a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+/// A tensor slot: graph input, baked-in constant (weights) or runtime
+/// activation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TensorDef {
+    /// Fed by the caller at invoke time.
+    Input {
+        /// Display name.
+        name: String,
+        /// Expected shape.
+        shape: Shape,
+        /// Expected dtype.
+        dtype: DType,
+        /// Quantization parameters for quantized inputs.
+        quant: Option<QuantParams>,
+    },
+    /// Weights/bias baked into the model.
+    Constant {
+        /// Display name.
+        name: String,
+        /// The constant value.
+        tensor: Tensor,
+    },
+    /// Produced by a node at runtime.
+    Activation {
+        /// Display name.
+        name: String,
+        /// Inferred shape.
+        shape: Shape,
+        /// Runtime dtype.
+        dtype: DType,
+        /// Quantization parameters for quantized activations.
+        quant: Option<QuantParams>,
+    },
+}
+
+impl TensorDef {
+    /// Display name of the slot.
+    pub fn name(&self) -> &str {
+        match self {
+            TensorDef::Input { name, .. }
+            | TensorDef::Constant { name, .. }
+            | TensorDef::Activation { name, .. } => name,
+        }
+    }
+
+    /// Shape of the slot.
+    pub fn shape(&self) -> &Shape {
+        match self {
+            TensorDef::Input { shape, .. } | TensorDef::Activation { shape, .. } => shape,
+            TensorDef::Constant { tensor, .. } => tensor.shape(),
+        }
+    }
+
+    /// Dtype of the slot.
+    pub fn dtype(&self) -> DType {
+        match self {
+            TensorDef::Input { dtype, .. } | TensorDef::Activation { dtype, .. } => *dtype,
+            TensorDef::Constant { tensor, .. } => tensor.dtype(),
+        }
+    }
+
+    /// Quantization parameters of the slot, if any.
+    pub fn quant(&self) -> Option<&QuantParams> {
+        match self {
+            TensorDef::Input { quant, .. } | TensorDef::Activation { quant, .. } => quant.as_ref(),
+            TensorDef::Constant { tensor, .. } => tensor.quant(),
+        }
+    }
+
+    /// The constant tensor, when this slot is a constant.
+    pub fn as_constant(&self) -> Option<&Tensor> {
+        match self {
+            TensorDef::Constant { tensor, .. } => Some(tensor),
+            _ => None,
+        }
+    }
+}
+
+/// One operation in the dataflow graph. Nodes are stored in topological
+/// (execution) order and produce exactly one output tensor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// Display name ("conv1", "block3/se/pool", ...).
+    pub name: String,
+    /// The operation.
+    pub op: OpKind,
+    /// Input tensor slots (data inputs first, then weights/bias).
+    pub inputs: Vec<TensorId>,
+    /// Output tensor slot.
+    pub output: TensorId,
+}
+
+/// An immutable dataflow graph: tensors, topologically ordered nodes, and
+/// designated input/output slots.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Graph {
+    name: String,
+    tensors: Vec<TensorDef>,
+    nodes: Vec<Node>,
+    inputs: Vec<TensorId>,
+    outputs: Vec<TensorId>,
+}
+
+impl Graph {
+    /// Graph display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All tensor slots.
+    pub fn tensors(&self) -> &[TensorDef] {
+        &self.tensors
+    }
+
+    /// The slot behind `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range (ids are only minted by the builder).
+    pub fn tensor(&self, id: TensorId) -> &TensorDef {
+        &self.tensors[id.0]
+    }
+
+    /// Nodes in execution order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Graph input slots.
+    pub fn inputs(&self) -> &[TensorId] {
+        &self.inputs
+    }
+
+    /// Graph output slots.
+    pub fn outputs(&self) -> &[TensorId] {
+        &self.outputs
+    }
+
+    /// Number of nodes ("layers" in the paper's Tables 3/5 counting).
+    pub fn layer_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Total number of weight elements across all constants.
+    pub fn param_count(&self) -> usize {
+        self.tensors
+            .iter()
+            .filter_map(TensorDef::as_constant)
+            .map(Tensor::len)
+            .sum()
+    }
+
+    /// Total byte size of all constants (the model file footprint).
+    pub fn param_bytes(&self) -> usize {
+        self.tensors
+            .iter()
+            .filter_map(TensorDef::as_constant)
+            .map(Tensor::byte_size)
+            .sum()
+    }
+
+    /// Multiply-accumulate estimate for a node, used by the device simulator's
+    /// latency cost model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node_macs(&self, id: NodeId) -> u64 {
+        let node = &self.nodes[id.0];
+        let out_elems = self.tensor(node.output).shape().num_elements() as u64;
+        match &node.op {
+            OpKind::Conv2d { .. } => {
+                let w = self.tensor(node.inputs[1]).shape();
+                out_elems * (w.dims()[1] * w.dims()[2] * w.dims()[3]) as u64
+            }
+            OpKind::DepthwiseConv2d { .. } => {
+                let w = self.tensor(node.inputs[1]).shape();
+                out_elems * (w.dims()[1] * w.dims()[2]) as u64
+            }
+            OpKind::FullyConnected { .. } => {
+                let w = self.tensor(node.inputs[1]).shape();
+                out_elems * w.dims()[1] as u64
+            }
+            OpKind::MatMul { .. } => {
+                let a = self.tensor(node.inputs[0]).shape();
+                out_elems * a.dims()[a.rank() - 1] as u64
+            }
+            OpKind::AveragePool2d { pool_h, pool_w, .. }
+            | OpKind::MaxPool2d { pool_h, pool_w, .. } => out_elems * (pool_h * pool_w) as u64,
+            OpKind::Mean => self.tensor(node.inputs[0]).shape().num_elements() as u64,
+            _ => out_elems,
+        }
+    }
+
+    /// Sum of [`Graph::node_macs`] over all nodes.
+    pub fn total_macs(&self) -> u64 {
+        (0..self.nodes.len()).map(|i| self.node_macs(NodeId(i))).sum()
+    }
+
+    /// Finds a node by display name.
+    pub fn node_by_name(&self, name: &str) -> Option<(NodeId, &Node)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .find(|(_, n)| n.name == name)
+            .map(|(i, n)| (NodeId(i), n))
+    }
+
+    /// Mutable node access for in-crate rewrite passes (conversion).
+    pub(crate) fn nodes_mut(&mut self) -> &mut Vec<Node> {
+        &mut self.nodes
+    }
+
+    /// Replaces the value of a constant slot (weight updates during training,
+    /// loading pre-trained weights). The new tensor must match the old
+    /// tensor's shape and dtype.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidGraph`] if `id` is not a constant or the
+    /// replacement is shape/dtype-incompatible.
+    pub fn set_constant(&mut self, id: TensorId, tensor: Tensor) -> Result<()> {
+        let def = self
+            .tensors
+            .get_mut(id.0)
+            .ok_or_else(|| NnError::InvalidGraph(format!("no tensor slot {}", id.0)))?;
+        match def {
+            TensorDef::Constant { name, tensor: old } => {
+                if old.shape() != tensor.shape() || old.dtype() != tensor.dtype() {
+                    return Err(NnError::InvalidGraph(format!(
+                        "constant '{name}' replacement must keep shape {} and dtype {:?}",
+                        old.shape(),
+                        old.dtype()
+                    )));
+                }
+                *old = tensor;
+                Ok(())
+            }
+            other => Err(NnError::InvalidGraph(format!(
+                "tensor '{}' is not a constant",
+                other.name()
+            ))),
+        }
+    }
+
+    /// Splits every fused activation into a standalone `Act` node, leaving
+    /// the producing op linear. Training uses this view so pre-activation
+    /// values materialize as node outputs (needed for exact gradients of
+    /// non-monotonic activations like hard-swish). Constant slot ids are
+    /// preserved, so weights trained on the split graph can be copied back
+    /// to the original by id.
+    pub fn split_fused_activations(&self) -> Graph {
+        let mut g = self.clone();
+        let mut new_nodes: Vec<Node> = Vec::with_capacity(g.nodes.len());
+        let old_nodes = std::mem::take(&mut g.nodes);
+        for mut node in old_nodes {
+            let act = node.op.fused_activation().unwrap_or(crate::ops::Activation::None);
+            if act == crate::ops::Activation::None {
+                new_nodes.push(node);
+                continue;
+            }
+            // Rewrite the op to be linear, writing to a fresh pre-act slot.
+            match &mut node.op {
+                OpKind::Conv2d { activation, .. }
+                | OpKind::DepthwiseConv2d { activation, .. }
+                | OpKind::FullyConnected { activation }
+                | OpKind::Add { activation } => *activation = crate::ops::Activation::None,
+                _ => {}
+            }
+            let final_out = node.output;
+            let out_def = &g.tensors[final_out.0];
+            let pre = TensorDef::Activation {
+                name: format!("{}:pre_act", node.name),
+                shape: out_def.shape().clone(),
+                dtype: out_def.dtype(),
+                quant: out_def.quant().cloned(),
+            };
+            g.tensors.push(pre);
+            let pre_id = TensorId(g.tensors.len() - 1);
+            node.output = pre_id;
+            let act_node = Node {
+                name: format!("{}:act", node.name),
+                op: OpKind::Act(act),
+                inputs: vec![pre_id],
+                output: final_out,
+            };
+            new_nodes.push(node);
+            new_nodes.push(act_node);
+        }
+        g.nodes = new_nodes;
+        g
+    }
+
+    /// Mutable tensor-slot access for in-crate rewrite passes.
+    pub(crate) fn tensors_mut(&mut self) -> &mut Vec<TensorDef> {
+        &mut self.tensors
+    }
+
+    /// Renames the graph (used when conversion derives a new variant).
+    pub(crate) fn set_name(&mut self, name: String) {
+        self.name = name;
+    }
+
+    /// Checks structural invariants: non-empty interface, slot indices in
+    /// range, and topological order (every node input defined before use).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidGraph`] describing the first violation.
+    pub fn validate(&self) -> Result<()> {
+        if self.inputs.is_empty() {
+            return Err(NnError::InvalidGraph("graph has no inputs".into()));
+        }
+        if self.outputs.is_empty() {
+            return Err(NnError::InvalidGraph("graph has no outputs".into()));
+        }
+        let mut defined = vec![false; self.tensors.len()];
+        for (i, t) in self.tensors.iter().enumerate() {
+            if !matches!(t, TensorDef::Activation { .. }) {
+                defined[i] = true;
+            }
+        }
+        for node in &self.nodes {
+            for &input in &node.inputs {
+                if input.0 >= self.tensors.len() {
+                    return Err(NnError::InvalidGraph(format!(
+                        "node '{}' references missing tensor {}",
+                        node.name, input.0
+                    )));
+                }
+                if !defined[input.0] {
+                    return Err(NnError::InvalidGraph(format!(
+                        "node '{}' uses tensor '{}' before it is produced",
+                        node.name,
+                        self.tensors[input.0].name()
+                    )));
+                }
+            }
+            if node.output.0 >= self.tensors.len() {
+                return Err(NnError::InvalidGraph(format!(
+                    "node '{}' writes missing tensor {}",
+                    node.name, node.output.0
+                )));
+            }
+            if defined[node.output.0] && matches!(self.tensors[node.output.0], TensorDef::Activation { .. })
+            {
+                return Err(NnError::InvalidGraph(format!(
+                    "tensor '{}' written twice",
+                    self.tensors[node.output.0].name()
+                )));
+            }
+            defined[node.output.0] = true;
+        }
+        for &out in &self.outputs {
+            if out.0 >= self.tensors.len() || !defined[out.0] {
+                return Err(NnError::InvalidGraph("graph output is never produced".into()));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Incremental [`Graph`] constructor with builder-side shape inference.
+///
+/// # Example
+///
+/// ```
+/// use mlexray_nn::{GraphBuilder, Activation, Padding};
+/// use mlexray_tensor::{Shape, Tensor};
+///
+/// let mut b = GraphBuilder::new("tiny");
+/// let x = b.input("image", Shape::nhwc(1, 4, 4, 3));
+/// let w = b.constant("w", Tensor::zeros(mlexray_tensor::DType::F32, Shape::new(vec![8, 3, 3, 3])));
+/// let y = b.conv2d("conv", x, w, None, 1, Padding::Same, Activation::Relu6)?;
+/// b.output(y);
+/// let graph = b.finish()?;
+/// assert_eq!(graph.layer_count(), 1);
+/// # Ok::<(), mlexray_nn::NnError>(())
+/// ```
+#[derive(Debug)]
+pub struct GraphBuilder {
+    graph: Graph,
+}
+
+impl GraphBuilder {
+    /// Starts building a graph with the given display name.
+    pub fn new(name: impl Into<String>) -> Self {
+        GraphBuilder {
+            graph: Graph {
+                name: name.into(),
+                tensors: Vec::new(),
+                nodes: Vec::new(),
+                inputs: Vec::new(),
+                outputs: Vec::new(),
+            },
+        }
+    }
+
+    fn push_tensor(&mut self, def: TensorDef) -> TensorId {
+        self.graph.tensors.push(def);
+        TensorId(self.graph.tensors.len() - 1)
+    }
+
+    /// Shape of an already-registered tensor.
+    pub fn shape_of(&self, id: TensorId) -> &Shape {
+        self.graph.tensor(id).shape()
+    }
+
+    /// Dtype of an already-registered tensor.
+    pub fn dtype_of(&self, id: TensorId) -> DType {
+        self.graph.tensor(id).dtype()
+    }
+
+    /// Registers a float graph input.
+    pub fn input(&mut self, name: impl Into<String>, shape: Shape) -> TensorId {
+        self.input_typed(name, shape, DType::F32, None)
+    }
+
+    /// Registers a graph input with explicit dtype and quantization.
+    pub fn input_typed(
+        &mut self,
+        name: impl Into<String>,
+        shape: Shape,
+        dtype: DType,
+        quant: Option<QuantParams>,
+    ) -> TensorId {
+        let id = self.push_tensor(TensorDef::Input { name: name.into(), shape, dtype, quant });
+        self.graph.inputs.push(id);
+        id
+    }
+
+    /// Registers a constant (weights/bias) tensor.
+    pub fn constant(&mut self, name: impl Into<String>, tensor: Tensor) -> TensorId {
+        self.push_tensor(TensorDef::Constant { name: name.into(), tensor })
+    }
+
+    /// Marks a tensor as a graph output.
+    pub fn output(&mut self, id: TensorId) {
+        self.graph.outputs.push(id);
+    }
+
+    /// Low-level node insertion with an explicit output definition; used by
+    /// the conversion and quantization passes, which know the output dtype
+    /// and quantization they want.
+    pub fn push_node(
+        &mut self,
+        name: impl Into<String>,
+        op: OpKind,
+        inputs: Vec<TensorId>,
+        out_shape: Shape,
+        out_dtype: DType,
+        out_quant: Option<QuantParams>,
+    ) -> TensorId {
+        let name = name.into();
+        let out = self.push_tensor(TensorDef::Activation {
+            name: format!("{name}:out"),
+            shape: out_shape,
+            dtype: out_dtype,
+            quant: out_quant,
+        });
+        self.graph.nodes.push(Node { name, op, inputs, output: out });
+        out
+    }
+
+    fn err(&self, node: &str, reason: impl Into<String>) -> NnError {
+        NnError::InvalidOp { node: node.into(), reason: reason.into() }
+    }
+
+    fn expect_rank(&self, node: &str, id: TensorId, rank: usize) -> Result<()> {
+        let actual = self.shape_of(id).rank();
+        if actual != rank {
+            return Err(self.err(node, format!("expected rank {rank}, got rank {actual}")));
+        }
+        Ok(())
+    }
+
+    /// Adds a 2-D convolution. `weights` must be `[out_c, kh, kw, in_c]`;
+    /// `bias`, when present, `[out_c]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidOp`] on rank/channel mismatches.
+    pub fn conv2d(
+        &mut self,
+        name: impl Into<String>,
+        input: TensorId,
+        weights: TensorId,
+        bias: Option<TensorId>,
+        stride: usize,
+        padding: Padding,
+        activation: Activation,
+    ) -> Result<TensorId> {
+        let name = name.into();
+        self.expect_rank(&name, input, 4)?;
+        self.expect_rank(&name, weights, 4)?;
+        let in_shape = self.shape_of(input).clone();
+        let w = self.shape_of(weights).clone();
+        let (out_c, kh, kw, w_in_c) = (w.dims()[0], w.dims()[1], w.dims()[2], w.dims()[3]);
+        if w_in_c != in_shape.dims()[3] {
+            return Err(self.err(
+                &name,
+                format!("weight in_c {} != input channels {}", w_in_c, in_shape.dims()[3]),
+            ));
+        }
+        if stride == 0 {
+            return Err(self.err(&name, "stride must be positive"));
+        }
+        if let Some(b) = bias {
+            if self.shape_of(b).num_elements() != out_c {
+                return Err(self.err(&name, "bias length must equal out_c"));
+            }
+        }
+        let oh = conv_out_size(in_shape.dims()[1], kh, stride, padding);
+        let ow = conv_out_size(in_shape.dims()[2], kw, stride, padding);
+        if oh == 0 || ow == 0 {
+            return Err(self.err(&name, "kernel larger than input under Valid padding"));
+        }
+        let mut inputs = vec![input, weights];
+        inputs.extend(bias);
+        let out_shape = Shape::nhwc(in_shape.dims()[0], oh, ow, out_c);
+        Ok(self.push_node(
+            name,
+            OpKind::Conv2d { stride, padding, activation },
+            inputs,
+            out_shape,
+            DType::F32,
+            None,
+        ))
+    }
+
+    /// Adds a depthwise 2-D convolution. `weights` must be `[1, kh, kw, c]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidOp`] on rank/channel mismatches.
+    pub fn depthwise_conv2d(
+        &mut self,
+        name: impl Into<String>,
+        input: TensorId,
+        weights: TensorId,
+        bias: Option<TensorId>,
+        stride: usize,
+        padding: Padding,
+        activation: Activation,
+    ) -> Result<TensorId> {
+        let name = name.into();
+        self.expect_rank(&name, input, 4)?;
+        self.expect_rank(&name, weights, 4)?;
+        let in_shape = self.shape_of(input).clone();
+        let w = self.shape_of(weights).clone();
+        let (kh, kw, c) = (w.dims()[1], w.dims()[2], w.dims()[3]);
+        if w.dims()[0] != 1 {
+            return Err(self.err(&name, "depthwise weights must be [1, kh, kw, c]"));
+        }
+        if c != in_shape.dims()[3] {
+            return Err(self.err(
+                &name,
+                format!("weight channels {} != input channels {}", c, in_shape.dims()[3]),
+            ));
+        }
+        if stride == 0 {
+            return Err(self.err(&name, "stride must be positive"));
+        }
+        if let Some(b) = bias {
+            if self.shape_of(b).num_elements() != c {
+                return Err(self.err(&name, "bias length must equal channels"));
+            }
+        }
+        let oh = conv_out_size(in_shape.dims()[1], kh, stride, padding);
+        let ow = conv_out_size(in_shape.dims()[2], kw, stride, padding);
+        if oh == 0 || ow == 0 {
+            return Err(self.err(&name, "kernel larger than input under Valid padding"));
+        }
+        let mut inputs = vec![input, weights];
+        inputs.extend(bias);
+        let out_shape = Shape::nhwc(in_shape.dims()[0], oh, ow, c);
+        Ok(self.push_node(
+            name,
+            OpKind::DepthwiseConv2d { stride, padding, activation },
+            inputs,
+            out_shape,
+            DType::F32,
+            None,
+        ))
+    }
+
+    /// Adds a fully connected layer. Input must be `[n, in]`; weights
+    /// `[out, in]`; bias `[out]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidOp`] on rank/size mismatches.
+    pub fn fully_connected(
+        &mut self,
+        name: impl Into<String>,
+        input: TensorId,
+        weights: TensorId,
+        bias: Option<TensorId>,
+        activation: Activation,
+    ) -> Result<TensorId> {
+        let name = name.into();
+        self.expect_rank(&name, input, 2)?;
+        self.expect_rank(&name, weights, 2)?;
+        let in_shape = self.shape_of(input).clone();
+        let w = self.shape_of(weights).clone();
+        if w.dims()[1] != in_shape.dims()[1] {
+            return Err(self.err(
+                &name,
+                format!("weight in {} != input features {}", w.dims()[1], in_shape.dims()[1]),
+            ));
+        }
+        if let Some(b) = bias {
+            if self.shape_of(b).num_elements() != w.dims()[0] {
+                return Err(self.err(&name, "bias length must equal out features"));
+            }
+        }
+        let mut inputs = vec![input, weights];
+        inputs.extend(bias);
+        let out_shape = Shape::matrix(in_shape.dims()[0], w.dims()[0]);
+        Ok(self.push_node(
+            name,
+            OpKind::FullyConnected { activation },
+            inputs,
+            out_shape,
+            DType::F32,
+            None,
+        ))
+    }
+
+    fn pool(
+        &mut self,
+        name: String,
+        input: TensorId,
+        pool_h: usize,
+        pool_w: usize,
+        stride: usize,
+        padding: Padding,
+        max: bool,
+    ) -> Result<TensorId> {
+        self.expect_rank(&name, input, 4)?;
+        if pool_h == 0 || pool_w == 0 || stride == 0 {
+            return Err(self.err(&name, "pool window and stride must be positive"));
+        }
+        let s = self.shape_of(input).clone();
+        let oh = conv_out_size(s.dims()[1], pool_h, stride, padding);
+        let ow = conv_out_size(s.dims()[2], pool_w, stride, padding);
+        if oh == 0 || ow == 0 {
+            return Err(self.err(&name, "pool window larger than input under Valid padding"));
+        }
+        let out_shape = Shape::nhwc(s.dims()[0], oh, ow, s.dims()[3]);
+        let op = if max {
+            OpKind::MaxPool2d { pool_h, pool_w, stride, padding }
+        } else {
+            OpKind::AveragePool2d { pool_h, pool_w, stride, padding }
+        };
+        Ok(self.push_node(name, op, vec![input], out_shape, DType::F32, None))
+    }
+
+    /// Adds an average-pooling layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidOp`] on invalid windows.
+    pub fn avg_pool2d(
+        &mut self,
+        name: impl Into<String>,
+        input: TensorId,
+        pool_h: usize,
+        pool_w: usize,
+        stride: usize,
+        padding: Padding,
+    ) -> Result<TensorId> {
+        self.pool(name.into(), input, pool_h, pool_w, stride, padding, false)
+    }
+
+    /// Adds a global average pool implemented as `AveragePool2d` spanning the
+    /// whole feature map (MobileNet v3 squeeze-excite style), output
+    /// `[n, 1, 1, c]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidOp`] for non-4D inputs.
+    pub fn avg_pool_global(&mut self, name: impl Into<String>, input: TensorId) -> Result<TensorId> {
+        let s = self.shape_of(input).clone();
+        let name = name.into();
+        self.expect_rank(&name, input, 4)?;
+        self.pool(name, input, s.dims()[1], s.dims()[2], 1, Padding::Valid, false)
+    }
+
+    /// Adds a max-pooling layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidOp`] on invalid windows.
+    pub fn max_pool2d(
+        &mut self,
+        name: impl Into<String>,
+        input: TensorId,
+        pool_h: usize,
+        pool_w: usize,
+        stride: usize,
+        padding: Padding,
+    ) -> Result<TensorId> {
+        self.pool(name.into(), input, pool_h, pool_w, stride, padding, true)
+    }
+
+    /// Adds a global reduce-mean (`Mean` op), `[n, ..., c] → [n, c]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidOp`] for inputs of rank < 2.
+    pub fn mean(&mut self, name: impl Into<String>, input: TensorId) -> Result<TensorId> {
+        let name = name.into();
+        let s = self.shape_of(input).clone();
+        if s.rank() < 2 {
+            return Err(self.err(&name, "Mean requires rank >= 2"));
+        }
+        let out_shape = Shape::matrix(s.dims()[0], s.dims()[s.rank() - 1]);
+        Ok(self.push_node(name, OpKind::Mean, vec![input], out_shape, DType::F32, None))
+    }
+
+    /// Adds element-wise addition. `rhs` may have the same shape as `lhs` or
+    /// broadcast from a trailing-suffix shape (e.g. `[l, d]` onto `[n, l, d]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidOp`] on incompatible shapes.
+    pub fn add(
+        &mut self,
+        name: impl Into<String>,
+        lhs: TensorId,
+        rhs: TensorId,
+        activation: Activation,
+    ) -> Result<TensorId> {
+        let name = name.into();
+        let a = self.shape_of(lhs).clone();
+        let b = self.shape_of(rhs).clone();
+        let suffix_ok = b.rank() <= a.rank()
+            && a.dims()[a.rank() - b.rank()..] == *b.dims();
+        if !suffix_ok {
+            return Err(self.err(&name, format!("cannot broadcast {b} onto {a}")));
+        }
+        Ok(self.push_node(name, OpKind::Add { activation }, vec![lhs, rhs], a, DType::F32, None))
+    }
+
+    /// Adds element-wise multiplication. `rhs` may equal `lhs` in shape, be a
+    /// scalar, or be an `[n, 1, 1, c]` gate against an `[n, h, w, c]` input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidOp`] on incompatible shapes.
+    pub fn mul(&mut self, name: impl Into<String>, lhs: TensorId, rhs: TensorId) -> Result<TensorId> {
+        let name = name.into();
+        let a = self.shape_of(lhs).clone();
+        let b = self.shape_of(rhs).clone();
+        let gate_ok = a.rank() == 4
+            && b.rank() == 4
+            && b.dims()[0] == a.dims()[0]
+            && b.dims()[1] == 1
+            && b.dims()[2] == 1
+            && b.dims()[3] == a.dims()[3];
+        if !(b == a || b.num_elements() == 1 || gate_ok) {
+            return Err(self.err(&name, format!("cannot broadcast {b} onto {a}")));
+        }
+        Ok(self.push_node(name, OpKind::Mul, vec![lhs, rhs], a, DType::F32, None))
+    }
+
+    /// Adds concatenation along `axis`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidOp`] if shapes disagree off-axis.
+    pub fn concat(
+        &mut self,
+        name: impl Into<String>,
+        inputs: &[TensorId],
+        axis: usize,
+    ) -> Result<TensorId> {
+        let name = name.into();
+        if inputs.is_empty() {
+            return Err(self.err(&name, "concat requires at least one input"));
+        }
+        let first = self.shape_of(inputs[0]).clone();
+        if axis >= first.rank() {
+            return Err(self.err(&name, "concat axis out of range"));
+        }
+        let mut axis_sum = 0usize;
+        for &id in inputs {
+            let s = self.shape_of(id);
+            if s.rank() != first.rank() {
+                return Err(self.err(&name, "concat rank mismatch"));
+            }
+            for (d, (&x, &y)) in s.dims().iter().zip(first.dims()).enumerate() {
+                if d != axis && x != y {
+                    return Err(self.err(&name, "concat off-axis dimension mismatch"));
+                }
+            }
+            axis_sum += s.dims()[axis];
+        }
+        let mut dims = first.dims().to_vec();
+        dims[axis] = axis_sum;
+        Ok(self.push_node(
+            name,
+            OpKind::Concat { axis },
+            inputs.to_vec(),
+            Shape::new(dims),
+            DType::F32,
+            None,
+        ))
+    }
+
+    /// Adds zero padding of the spatial axes of an NHWC tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidOp`] for non-4D inputs.
+    pub fn pad(
+        &mut self,
+        name: impl Into<String>,
+        input: TensorId,
+        top: usize,
+        bottom: usize,
+        left: usize,
+        right: usize,
+    ) -> Result<TensorId> {
+        let name = name.into();
+        self.expect_rank(&name, input, 4)?;
+        let s = self.shape_of(input).clone();
+        let out_shape = Shape::nhwc(
+            s.dims()[0],
+            s.dims()[1] + top + bottom,
+            s.dims()[2] + left + right,
+            s.dims()[3],
+        );
+        Ok(self.push_node(
+            name,
+            OpKind::Pad { top, bottom, left, right },
+            vec![input],
+            out_shape,
+            DType::F32,
+            None,
+        ))
+    }
+
+    /// Adds softmax over the last axis.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible but kept fallible for interface uniformity.
+    pub fn softmax(&mut self, name: impl Into<String>, input: TensorId) -> Result<TensorId> {
+        let s = self.shape_of(input).clone();
+        Ok(self.push_node(name, OpKind::Softmax, vec![input], s, DType::F32, None))
+    }
+
+    /// Adds a standalone activation node (checkpoint-style graphs keep these
+    /// unfused; conversion fuses them into the preceding op).
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible but kept fallible for interface uniformity.
+    pub fn activation(
+        &mut self,
+        name: impl Into<String>,
+        input: TensorId,
+        act: Activation,
+    ) -> Result<TensorId> {
+        let s = self.shape_of(input).clone();
+        Ok(self.push_node(name, OpKind::Act(act), vec![input], s, DType::F32, None))
+    }
+
+    /// Adds inference-style batch normalization with constant
+    /// `gamma, beta, mean, variance` vectors over the channel axis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidOp`] if the vectors don't match the channel
+    /// count.
+    pub fn batch_norm(
+        &mut self,
+        name: impl Into<String>,
+        input: TensorId,
+        gamma: TensorId,
+        beta: TensorId,
+        mean: TensorId,
+        variance: TensorId,
+        epsilon: f32,
+    ) -> Result<TensorId> {
+        let name = name.into();
+        let s = self.shape_of(input).clone();
+        let c = s.dims()[s.rank() - 1];
+        for &v in &[gamma, beta, mean, variance] {
+            if self.shape_of(v).num_elements() != c {
+                return Err(self.err(&name, "batch-norm vectors must match channels"));
+            }
+        }
+        Ok(self.push_node(
+            name,
+            OpKind::BatchNorm { epsilon },
+            vec![input, gamma, beta, mean, variance],
+            s,
+            DType::F32,
+            None,
+        ))
+    }
+
+    /// Adds layer normalization over the last axis with `gamma, beta`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidOp`] if the vectors don't match the last axis.
+    pub fn layer_norm(
+        &mut self,
+        name: impl Into<String>,
+        input: TensorId,
+        gamma: TensorId,
+        beta: TensorId,
+        epsilon: f32,
+    ) -> Result<TensorId> {
+        let name = name.into();
+        let s = self.shape_of(input).clone();
+        let d = s.dims()[s.rank() - 1];
+        if self.shape_of(gamma).num_elements() != d || self.shape_of(beta).num_elements() != d {
+            return Err(self.err(&name, "layer-norm vectors must match last axis"));
+        }
+        Ok(self.push_node(
+            name,
+            OpKind::LayerNorm { epsilon },
+            vec![input, gamma, beta],
+            s,
+            DType::F32,
+            None,
+        ))
+    }
+
+    /// Adds a 2-D matrix multiplication.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidOp`] on rank or inner-dimension mismatches.
+    pub fn matmul(
+        &mut self,
+        name: impl Into<String>,
+        a: TensorId,
+        b: TensorId,
+        transpose_b: bool,
+    ) -> Result<TensorId> {
+        let name = name.into();
+        self.expect_rank(&name, a, 2)?;
+        self.expect_rank(&name, b, 2)?;
+        let sa = self.shape_of(a).clone();
+        let sb = self.shape_of(b).clone();
+        let (k_b, n) = if transpose_b {
+            (sb.dims()[1], sb.dims()[0])
+        } else {
+            (sb.dims()[0], sb.dims()[1])
+        };
+        if sa.dims()[1] != k_b {
+            return Err(self.err(&name, "inner dimensions must agree"));
+        }
+        let out_shape = Shape::matrix(sa.dims()[0], n);
+        Ok(self.push_node(
+            name,
+            OpKind::MatMul { transpose_b },
+            vec![a, b],
+            out_shape,
+            DType::F32,
+            None,
+        ))
+    }
+
+    /// Adds an embedding lookup: `i32` ids `[n, l]` + table `[v, d]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidOp`] on rank or dtype mismatches.
+    pub fn embedding(
+        &mut self,
+        name: impl Into<String>,
+        ids: TensorId,
+        table: TensorId,
+    ) -> Result<TensorId> {
+        let name = name.into();
+        self.expect_rank(&name, ids, 2)?;
+        self.expect_rank(&name, table, 2)?;
+        if self.dtype_of(ids) != DType::I32 {
+            return Err(self.err(&name, "embedding ids must be i32"));
+        }
+        let si = self.shape_of(ids).clone();
+        let st = self.shape_of(table).clone();
+        let out_shape = Shape::new(vec![si.dims()[0], si.dims()[1], st.dims()[1]]);
+        Ok(self.push_node(name, OpKind::Embedding, vec![ids, table], out_shape, DType::F32, None))
+    }
+
+    /// Adds a reshape to explicit target dims.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidOp`] if element counts differ.
+    pub fn reshape(
+        &mut self,
+        name: impl Into<String>,
+        input: TensorId,
+        dims: Vec<usize>,
+    ) -> Result<TensorId> {
+        let name = name.into();
+        let s = self.shape_of(input).clone();
+        let target = Shape::new(dims.clone());
+        if target.num_elements() != s.num_elements() {
+            return Err(self.err(&name, format!("cannot reshape {s} to {target}")));
+        }
+        let dtype = self.dtype_of(input);
+        let quant = self.graph.tensor(input).quant().cloned();
+        Ok(self.push_node(name, OpKind::Reshape { dims }, vec![input], target, dtype, quant))
+    }
+
+    /// Finalizes and validates the graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidGraph`] if validation fails.
+    pub fn finish(self) -> Result<Graph> {
+        self.graph.validate()?;
+        Ok(self.graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn zeros(shape: Shape) -> Tensor {
+        Tensor::zeros(DType::F32, shape)
+    }
+
+    #[test]
+    fn builder_infers_conv_shapes() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", Shape::nhwc(1, 8, 8, 3));
+        let w = b.constant("w", zeros(Shape::new(vec![16, 3, 3, 3])));
+        let y = b
+            .conv2d("c", x, w, None, 2, Padding::Same, Activation::Relu6)
+            .unwrap();
+        assert_eq!(b.shape_of(y).dims(), &[1, 4, 4, 16]);
+    }
+
+    #[test]
+    fn conv_channel_mismatch_rejected() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", Shape::nhwc(1, 8, 8, 3));
+        let w = b.constant("w", zeros(Shape::new(vec![16, 3, 3, 4])));
+        assert!(b.conv2d("c", x, w, None, 1, Padding::Same, Activation::None).is_err());
+    }
+
+    #[test]
+    fn mean_reduces_to_batch_channels() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", Shape::nhwc(2, 8, 8, 5));
+        let y = b.mean("m", x).unwrap();
+        assert_eq!(b.shape_of(y).dims(), &[2, 5]);
+    }
+
+    #[test]
+    fn concat_sums_axis() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", Shape::nhwc(1, 4, 4, 3));
+        let y = b.input("y", Shape::nhwc(1, 4, 4, 5));
+        let z = b.concat("cat", &[x, y], 3).unwrap();
+        assert_eq!(b.shape_of(z).dims(), &[1, 4, 4, 8]);
+        assert!(b.concat("bad", &[x, y], 1).is_err());
+    }
+
+    #[test]
+    fn global_avg_pool_spans_input() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", Shape::nhwc(1, 7, 5, 8));
+        let y = b.avg_pool_global("gap", x).unwrap();
+        assert_eq!(b.shape_of(y).dims(), &[1, 1, 1, 8]);
+    }
+
+    #[test]
+    fn finish_validates() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", Shape::nhwc(1, 4, 4, 3));
+        let y = b.softmax("s", x).unwrap();
+        b.output(y);
+        let g = b.finish().unwrap();
+        assert_eq!(g.layer_count(), 1);
+
+        let b2 = GraphBuilder::new("empty");
+        assert!(b2.finish().is_err());
+    }
+
+    #[test]
+    fn param_and_mac_counting() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", Shape::nhwc(1, 8, 8, 3));
+        let w = b.constant("w", zeros(Shape::new(vec![4, 3, 3, 3])));
+        let bias = b.constant("b", zeros(Shape::vector(4)));
+        let y = b.conv2d("c", x, w, Some(bias), 1, Padding::Same, Activation::None).unwrap();
+        b.output(y);
+        let g = b.finish().unwrap();
+        assert_eq!(g.param_count(), 4 * 3 * 3 * 3 + 4);
+        // 8x8x4 outputs, 3*3*3 macs each.
+        assert_eq!(g.node_macs(NodeId(0)), (8 * 8 * 4 * 27) as u64);
+        assert_eq!(g.total_macs(), (8 * 8 * 4 * 27) as u64);
+    }
+
+    #[test]
+    fn add_broadcast_rules() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", Shape::new(vec![1, 6, 8]));
+        let pos = b.constant("pos", zeros(Shape::matrix(6, 8)));
+        assert!(b.add("ok", x, pos, Activation::None).is_ok());
+        let bad = b.constant("bad", zeros(Shape::matrix(5, 8)));
+        assert!(b.add("bad", x, bad, Activation::None).is_err());
+    }
+
+    #[test]
+    fn mul_gate_rules() {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", Shape::nhwc(1, 4, 4, 8));
+        let gate = b.input("g", Shape::nhwc(1, 1, 1, 8));
+        assert!(b.mul("se", x, gate).is_ok());
+        let scalar = b.constant("s", Tensor::scalar_f32(0.5));
+        assert!(b.mul("scale", x, scalar).is_ok());
+        let bad = b.input("b", Shape::nhwc(1, 2, 2, 8));
+        assert!(b.mul("bad", x, bad).is_err());
+    }
+
+    #[test]
+    fn validate_catches_use_before_def() {
+        // Hand-assemble a malformed graph: node consumes the activation it
+        // produces.
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", Shape::vector(4));
+        let y = b.softmax("s", x).unwrap();
+        b.output(y);
+        let mut g = b.finish().unwrap();
+        g.nodes[0].inputs = vec![g.nodes[0].output];
+        assert!(g.validate().is_err());
+    }
+}

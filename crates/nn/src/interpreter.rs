@@ -1,0 +1,352 @@
+use std::time::{Duration, Instant};
+
+use mlexray_tensor::{DType, Tensor};
+
+use crate::graph::{Graph, TensorDef};
+use crate::kernels::execute_node;
+use crate::ops::OpKind;
+use crate::resolver::{KernelBugs, KernelFlavor};
+use crate::{NnError, Result};
+
+/// Interpreter configuration: which kernel family to dispatch and which
+/// injected defects are active.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct InterpreterOptions {
+    /// Kernel family (TFLite `OpResolver` vs `RefOpResolver`).
+    pub flavor: KernelFlavor,
+    /// Injected kernel defects (off by default).
+    pub bugs: KernelBugs,
+}
+
+impl InterpreterOptions {
+    /// Optimized kernels, no bugs — the production default.
+    pub fn optimized() -> Self {
+        InterpreterOptions { flavor: KernelFlavor::Optimized, bugs: KernelBugs::none() }
+    }
+
+    /// Reference kernels, no bugs — the debugging resolver.
+    pub fn reference() -> Self {
+        InterpreterOptions { flavor: KernelFlavor::Reference, bugs: KernelBugs::none() }
+    }
+}
+
+/// Everything ML-EXray's per-layer instrumentation can see about one executed
+/// node: identity, op, output values and measured latency.
+#[derive(Debug)]
+pub struct LayerRecord<'a> {
+    /// Execution index of the node.
+    pub index: usize,
+    /// Node display name.
+    pub name: &'a str,
+    /// The operation performed.
+    pub op: &'a OpKind,
+    /// The node's output tensor.
+    pub output: &'a Tensor,
+    /// Wall-clock latency of the kernel.
+    pub latency: Duration,
+    /// MAC estimate for the node (drives simulated-device cost models).
+    pub macs: u64,
+}
+
+/// Observer invoked after every node — the hook ML-EXray's EdgeML Monitor
+/// (and the device simulator) attaches to.
+pub trait LayerObserver {
+    /// Called once per executed node, in execution order.
+    fn on_layer(&mut self, record: &LayerRecord<'_>);
+}
+
+/// A no-op observer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl LayerObserver for NullObserver {
+    fn on_layer(&mut self, _record: &LayerRecord<'_>) {}
+}
+
+/// Aggregate statistics of one `invoke`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvokeStats {
+    /// End-to-end wall-clock latency.
+    pub latency: Duration,
+    /// Peak bytes held by live activation tensors during the run.
+    pub peak_activation_bytes: usize,
+}
+
+/// Executes a [`Graph`] node by node, TFLite-interpreter style.
+///
+/// # Example
+///
+/// ```
+/// use mlexray_nn::{GraphBuilder, Interpreter, InterpreterOptions};
+/// use mlexray_tensor::{Shape, Tensor};
+///
+/// let mut b = GraphBuilder::new("softmax-only");
+/// let x = b.input("x", Shape::matrix(1, 3));
+/// let y = b.softmax("s", x)?;
+/// b.output(y);
+/// let graph = b.finish()?;
+///
+/// let mut interp = Interpreter::new(&graph, InterpreterOptions::optimized())?;
+/// let out = interp.invoke(&[Tensor::from_f32(Shape::matrix(1, 3), vec![0.0, 1.0, 2.0])?])?;
+/// let p = out[0].as_f32()?;
+/// assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Interpreter<'g> {
+    graph: &'g Graph,
+    options: InterpreterOptions,
+    /// One slot per graph tensor; constants are materialized once.
+    values: Vec<Option<Tensor>>,
+    last_stats: Option<InvokeStats>,
+}
+
+impl<'g> Interpreter<'g> {
+    /// Prepares an interpreter for a graph (validates it and materializes
+    /// constants).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidGraph`] if validation fails.
+    pub fn new(graph: &'g Graph, options: InterpreterOptions) -> Result<Self> {
+        graph.validate()?;
+        let values = graph
+            .tensors()
+            .iter()
+            .map(|def| def.as_constant().cloned())
+            .collect();
+        Ok(Interpreter { graph, options, values, last_stats: None })
+    }
+
+    /// The interpreter's options.
+    pub fn options(&self) -> InterpreterOptions {
+        self.options
+    }
+
+    /// The graph being executed.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// Statistics of the most recent invoke, if any.
+    pub fn last_stats(&self) -> Option<InvokeStats> {
+        self.last_stats
+    }
+
+    fn check_inputs(&self, inputs: &[Tensor]) -> Result<()> {
+        let expected = self.graph.inputs();
+        if inputs.len() != expected.len() {
+            return Err(NnError::InvalidInput(format!(
+                "expected {} inputs, got {}",
+                expected.len(),
+                inputs.len()
+            )));
+        }
+        for (&id, t) in expected.iter().zip(inputs) {
+            let def = self.graph.tensor(id);
+            if def.shape() != t.shape() {
+                return Err(NnError::InvalidInput(format!(
+                    "input '{}' expects shape {}, got {}",
+                    def.name(),
+                    def.shape(),
+                    t.shape()
+                )));
+            }
+            if def.dtype() != t.dtype() {
+                return Err(NnError::InvalidInput(format!(
+                    "input '{}' expects {:?}, got {:?}",
+                    def.name(),
+                    def.dtype(),
+                    t.dtype()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs the graph and returns its outputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidInput`] on interface mismatches and
+    /// [`NnError::InvalidOp`] if a kernel rejects its operands.
+    pub fn invoke(&mut self, inputs: &[Tensor]) -> Result<Vec<Tensor>> {
+        self.invoke_observed(inputs, &mut NullObserver)
+    }
+
+    /// Runs the graph, reporting every executed node to `observer`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Interpreter::invoke`].
+    pub fn invoke_observed(
+        &mut self,
+        inputs: &[Tensor],
+        observer: &mut dyn LayerObserver,
+    ) -> Result<Vec<Tensor>> {
+        self.check_inputs(inputs)?;
+        let start = Instant::now();
+
+        // Reset activation slots and bind inputs (attaching declared input
+        // quantization so quantized graphs see parameterized tensors).
+        for (i, def) in self.graph.tensors().iter().enumerate() {
+            if matches!(def, TensorDef::Activation { .. } | TensorDef::Input { .. }) {
+                self.values[i] = None;
+            }
+        }
+        for (&id, t) in self.graph.inputs().iter().zip(inputs) {
+            let def = self.graph.tensor(id);
+            let mut bound = t.clone();
+            if bound.dtype() != DType::F32 && bound.quant().is_none() {
+                bound.set_quant(def.quant().cloned());
+            }
+            self.values[id.0] = Some(bound);
+        }
+
+        let mut peak = 0usize;
+        for (index, node) in self.graph.nodes().iter().enumerate() {
+            let out_def = self.graph.tensor(node.output);
+            let node_start = Instant::now();
+            let result = {
+                let input_refs: Vec<&Tensor> = node
+                    .inputs
+                    .iter()
+                    .map(|id| {
+                        self.values[id.0]
+                            .as_ref()
+                            .expect("validated graph guarantees def-before-use")
+                    })
+                    .collect();
+                execute_node(
+                    self.graph,
+                    node,
+                    &input_refs,
+                    out_def,
+                    self.options.flavor,
+                    &self.options.bugs,
+                )?
+            };
+            let latency = node_start.elapsed();
+            observer.on_layer(&LayerRecord {
+                index,
+                name: &node.name,
+                op: &node.op,
+                output: &result,
+                latency,
+                macs: self.graph.node_macs(crate::graph::NodeId(index)),
+            });
+            self.values[node.output.0] = Some(result);
+
+            let live: usize = self
+                .graph
+                .tensors()
+                .iter()
+                .enumerate()
+                .filter(|(_, d)| matches!(d, TensorDef::Activation { .. }))
+                .filter_map(|(i, _)| self.values[i].as_ref())
+                .map(Tensor::byte_size)
+                .sum();
+            peak = peak.max(live);
+        }
+
+        let outputs = self
+            .graph
+            .outputs()
+            .iter()
+            .map(|&id| {
+                self.values[id.0]
+                    .clone()
+                    .ok_or_else(|| NnError::InvalidGraph("output never produced".into()))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        self.last_stats =
+            Some(InvokeStats { latency: start.elapsed(), peak_activation_bytes: peak });
+        Ok(outputs)
+    }
+
+    /// The value of any tensor slot after the last invoke (useful for
+    /// debugging intermediate activations by id).
+    pub fn tensor_value(&self, id: crate::graph::TensorId) -> Option<&Tensor> {
+        self.values.get(id.0).and_then(Option::as_ref)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use crate::ops::{Activation, Padding};
+    use mlexray_tensor::Shape;
+
+    fn conv_graph() -> Graph {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", Shape::nhwc(1, 3, 3, 1));
+        // Identity 1x1 kernel scaled by 2.
+        let w = b.constant(
+            "w",
+            Tensor::from_f32(Shape::new(vec![1, 1, 1, 1]), vec![2.0]).unwrap(),
+        );
+        let y = b.conv2d("c", x, w, None, 1, Padding::Same, Activation::Relu).unwrap();
+        b.output(y);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn conv_identity_scales() {
+        let g = conv_graph();
+        let mut interp = Interpreter::new(&g, InterpreterOptions::optimized()).unwrap();
+        let input = Tensor::from_f32(
+            Shape::nhwc(1, 3, 3, 1),
+            vec![1.0, -1.0, 2.0, 0.5, 0.0, -3.0, 1.5, 2.5, -0.5],
+        )
+        .unwrap();
+        let out = interp.invoke(&[input]).unwrap();
+        let v = out[0].as_f32().unwrap();
+        assert_eq!(v[0], 2.0);
+        assert_eq!(v[1], 0.0, "ReLU clips negatives");
+        assert_eq!(v[2], 4.0);
+        assert!(interp.last_stats().unwrap().peak_activation_bytes > 0);
+    }
+
+    #[test]
+    fn wrong_input_shape_rejected() {
+        let g = conv_graph();
+        let mut interp = Interpreter::new(&g, InterpreterOptions::optimized()).unwrap();
+        let bad = Tensor::zeros(DType::F32, Shape::nhwc(1, 2, 2, 1));
+        assert!(matches!(interp.invoke(&[bad]), Err(NnError::InvalidInput(_))));
+        assert!(matches!(interp.invoke(&[]), Err(NnError::InvalidInput(_))));
+    }
+
+    #[test]
+    fn observer_sees_every_layer() {
+        struct Count(Vec<String>);
+        impl LayerObserver for Count {
+            fn on_layer(&mut self, r: &LayerRecord<'_>) {
+                self.0.push(format!("{}:{}", r.index, r.name));
+            }
+        }
+        let g = conv_graph();
+        let mut interp = Interpreter::new(&g, InterpreterOptions::optimized()).unwrap();
+        let mut obs = Count(Vec::new());
+        let x = Tensor::zeros(DType::F32, Shape::nhwc(1, 3, 3, 1));
+        interp.invoke_observed(&[x], &mut obs).unwrap();
+        assert_eq!(obs.0, vec!["0:c"]);
+    }
+
+    #[test]
+    fn flavors_agree_on_small_float_conv() {
+        let g = conv_graph();
+        let x = Tensor::from_f32(
+            Shape::nhwc(1, 3, 3, 1),
+            vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9],
+        )
+        .unwrap();
+        let mut opt = Interpreter::new(&g, InterpreterOptions::optimized()).unwrap();
+        let mut reference = Interpreter::new(&g, InterpreterOptions::reference()).unwrap();
+        let a = opt.invoke(std::slice::from_ref(&x)).unwrap();
+        let b = reference.invoke(std::slice::from_ref(&x)).unwrap();
+        for (u, v) in a[0].as_f32().unwrap().iter().zip(b[0].as_f32().unwrap()) {
+            assert!((u - v).abs() < 1e-5);
+        }
+    }
+}

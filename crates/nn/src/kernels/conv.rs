@@ -1,0 +1,381 @@
+//! Convolution kernels: float/quantized, reference/optimized, plus the
+//! injected optimized-depthwise defect of §4.4.
+
+use mlexray_tensor::{QuantParams, Tensor};
+
+use crate::graph::{Node, TensorDef};
+use crate::kernels::{
+    act_qbounds, build_f_output, build_q_output, out_qparams, qparams_of, requantize,
+};
+use crate::ops::{same_pad_before, Activation, Padding};
+use crate::resolver::{KernelBugs, KernelFlavor};
+use crate::Result;
+
+/// Blocked dot product with four partial accumulators. Matches the optimized
+/// kernel's summation order, which differs from the reference kernel's
+/// sequential order — the benign float drift between the two resolvers.
+#[inline]
+fn dot_blocked(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut s = [0.0f32; 4];
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        let o = i * 4;
+        s[0] += a[o] * b[o];
+        s[1] += a[o + 1] * b[o + 1];
+        s[2] += a[o + 2] * b[o + 2];
+        s[3] += a[o + 3] * b[o + 3];
+    }
+    let mut rest = 0.0;
+    for i in chunks * 4..a.len() {
+        rest += a[i] * b[i];
+    }
+    (s[0] + s[1]) + (s[2] + s[3]) + rest
+}
+
+struct ConvGeom {
+    n: usize,
+    in_h: usize,
+    in_w: usize,
+    in_c: usize,
+    out_h: usize,
+    out_w: usize,
+    #[allow(dead_code)]
+    kh: usize,
+    #[allow(dead_code)]
+    kw: usize,
+    pad_top: usize,
+    pad_left: usize,
+}
+
+fn geometry(
+    input: &Tensor,
+    out_def: &TensorDef,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    padding: Padding,
+) -> ConvGeom {
+    let is = input.shape().dims();
+    let os = out_def.shape().dims();
+    let (pad_top, pad_left) = match padding {
+        Padding::Same => (same_pad_before(is[1], kh, stride), same_pad_before(is[2], kw, stride)),
+        Padding::Valid => (0, 0),
+    };
+    ConvGeom {
+        n: is[0],
+        in_h: is[1],
+        in_w: is[2],
+        in_c: is[3],
+        out_h: os[1],
+        out_w: os[2],
+        kh,
+        kw,
+        pad_top,
+        pad_left,
+    }
+}
+
+/// Float 2-D convolution.
+pub(crate) fn conv2d_f32(
+    node: &Node,
+    inputs: &[&Tensor],
+    out_def: &TensorDef,
+    stride: usize,
+    padding: Padding,
+    activation: Activation,
+    flavor: KernelFlavor,
+) -> Result<Tensor> {
+    let _ = node;
+    let input = inputs[0];
+    let weights = inputs[1];
+    let bias = inputs.get(2).map(|t| t.as_f32()).transpose()?;
+    let x = input.as_f32()?;
+    let w = weights.as_f32()?;
+    let ws = weights.shape().dims();
+    let (out_c, kh, kw) = (ws[0], ws[1], ws[2]);
+    let g = geometry(input, out_def, kh, kw, stride, padding);
+    let mut out = vec![0.0f32; out_def.shape().num_elements()];
+    let ksize = kh * kw * g.in_c;
+
+    match flavor {
+        KernelFlavor::Reference => {
+            // Naive loops, sequential accumulation.
+            for n in 0..g.n {
+                for oy in 0..g.out_h {
+                    for ox in 0..g.out_w {
+                        for oc in 0..out_c {
+                            let mut acc = bias.map(|b| b[oc]).unwrap_or(0.0);
+                            for ky in 0..kh {
+                                let iy = (oy * stride + ky) as isize - g.pad_top as isize;
+                                if iy < 0 || iy >= g.in_h as isize {
+                                    continue;
+                                }
+                                for kx in 0..kw {
+                                    let ix = (ox * stride + kx) as isize - g.pad_left as isize;
+                                    if ix < 0 || ix >= g.in_w as isize {
+                                        continue;
+                                    }
+                                    let ibase =
+                                        ((n * g.in_h + iy as usize) * g.in_w + ix as usize) * g.in_c;
+                                    let wbase = ((oc * kh + ky) * kw + kx) * g.in_c;
+                                    for ic in 0..g.in_c {
+                                        acc += x[ibase + ic] * w[wbase + ic];
+                                    }
+                                }
+                            }
+                            let obase = ((n * g.out_h + oy) * g.out_w + ox) * out_c + oc;
+                            out[obase] = activation.apply(acc);
+                        }
+                    }
+                }
+            }
+        }
+        KernelFlavor::Optimized => {
+            // im2col + blocked dot products.
+            let mut patch = vec![0.0f32; ksize];
+            for n in 0..g.n {
+                for oy in 0..g.out_h {
+                    for ox in 0..g.out_w {
+                        patch.iter_mut().for_each(|v| *v = 0.0);
+                        for ky in 0..kh {
+                            let iy = (oy * stride + ky) as isize - g.pad_top as isize;
+                            if iy < 0 || iy >= g.in_h as isize {
+                                continue;
+                            }
+                            for kx in 0..kw {
+                                let ix = (ox * stride + kx) as isize - g.pad_left as isize;
+                                if ix < 0 || ix >= g.in_w as isize {
+                                    continue;
+                                }
+                                let ibase =
+                                    ((n * g.in_h + iy as usize) * g.in_w + ix as usize) * g.in_c;
+                                let pbase = (ky * kw + kx) * g.in_c;
+                                patch[pbase..pbase + g.in_c]
+                                    .copy_from_slice(&x[ibase..ibase + g.in_c]);
+                            }
+                        }
+                        let obase = ((n * g.out_h + oy) * g.out_w + ox) * out_c;
+                        for oc in 0..out_c {
+                            let wrow = &w[oc * ksize..(oc + 1) * ksize];
+                            let acc =
+                                dot_blocked(&patch, wrow) + bias.map(|b| b[oc]).unwrap_or(0.0);
+                            out[obase + oc] = activation.apply(acc);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    build_f_output(out_def, out)
+}
+
+/// Float depthwise 2-D convolution.
+pub(crate) fn dwconv_f32(
+    node: &Node,
+    inputs: &[&Tensor],
+    out_def: &TensorDef,
+    stride: usize,
+    padding: Padding,
+    activation: Activation,
+    flavor: KernelFlavor,
+) -> Result<Tensor> {
+    let _ = node;
+    let input = inputs[0];
+    let weights = inputs[1];
+    let bias = inputs.get(2).map(|t| t.as_f32()).transpose()?;
+    let x = input.as_f32()?;
+    let w = weights.as_f32()?;
+    let ws = weights.shape().dims();
+    let (kh, kw, c) = (ws[1], ws[2], ws[3]);
+    let g = geometry(input, out_def, kh, kw, stride, padding);
+    let mut out = vec![0.0f32; out_def.shape().num_elements()];
+
+    // Same arithmetic in both flavors for float depthwise — the loop order
+    // differs (channel-outer for optimized), giving identical results since
+    // each channel is an independent sequential sum.
+    let channel_outer = flavor == KernelFlavor::Optimized;
+    let mut body = |ch: usize, n: usize, oy: usize, ox: usize| {
+        let mut acc = bias.map(|b| b[ch]).unwrap_or(0.0);
+        for ky in 0..kh {
+            let iy = (oy * stride + ky) as isize - g.pad_top as isize;
+            if iy < 0 || iy >= g.in_h as isize {
+                continue;
+            }
+            for kx in 0..kw {
+                let ix = (ox * stride + kx) as isize - g.pad_left as isize;
+                if ix < 0 || ix >= g.in_w as isize {
+                    continue;
+                }
+                let i = ((n * g.in_h + iy as usize) * g.in_w + ix as usize) * c + ch;
+                acc += x[i] * w[(ky * kw + kx) * c + ch];
+            }
+        }
+        let o = ((n * g.out_h + oy) * g.out_w + ox) * c + ch;
+        out[o] = activation.apply(acc);
+    };
+    if channel_outer {
+        for ch in 0..c {
+            for n in 0..g.n {
+                for oy in 0..g.out_h {
+                    for ox in 0..g.out_w {
+                        body(ch, n, oy, ox);
+                    }
+                }
+            }
+        }
+    } else {
+        for n in 0..g.n {
+            for oy in 0..g.out_h {
+                for ox in 0..g.out_w {
+                    for ch in 0..c {
+                        body(ch, n, oy, ox);
+                    }
+                }
+            }
+        }
+    }
+    build_f_output(out_def, out)
+}
+
+fn weight_scale(q: &QuantParams, c: usize) -> f32 {
+    q.for_channel(c).0
+}
+
+/// Quantized 2-D convolution (both flavors compute identical i32 math).
+pub(crate) fn conv2d_q(
+    node: &Node,
+    inputs: &[&Tensor],
+    out_def: &TensorDef,
+    stride: usize,
+    padding: Padding,
+    activation: Activation,
+) -> Result<Tensor> {
+    let input = inputs[0];
+    let weights = inputs[1];
+    let bias = inputs.get(2).map(|t| t.as_i32()).transpose()?;
+    let (s_in, zp_in) = qparams_of(node, input)?;
+    let (s_out, zp_out) = out_qparams(node, out_def)?;
+    let wq = weights.quant().cloned().unwrap_or(QuantParams::PerTensor {
+        scale: 1.0,
+        zero_point: 0,
+    });
+    let x = input.as_u8()?;
+    let w = weights.as_i8()?;
+    let ws = weights.shape().dims();
+    let (out_c, kh, kw) = (ws[0], ws[1], ws[2]);
+    let g = geometry(input, out_def, kh, kw, stride, padding);
+    let (qlo, qhi) = act_qbounds(activation, s_out, zp_out);
+    let mut out = vec![0u8; out_def.shape().num_elements()];
+
+    for n in 0..g.n {
+        for oy in 0..g.out_h {
+            for ox in 0..g.out_w {
+                let obase = ((n * g.out_h + oy) * g.out_w + ox) * out_c;
+                for oc in 0..out_c {
+                    let mut acc: i32 = bias.map(|b| b[oc]).unwrap_or(0);
+                    for ky in 0..kh {
+                        let iy = (oy * stride + ky) as isize - g.pad_top as isize;
+                        if iy < 0 || iy >= g.in_h as isize {
+                            continue;
+                        }
+                        for kx in 0..kw {
+                            let ix = (ox * stride + kx) as isize - g.pad_left as isize;
+                            if ix < 0 || ix >= g.in_w as isize {
+                                continue;
+                            }
+                            let ibase =
+                                ((n * g.in_h + iy as usize) * g.in_w + ix as usize) * g.in_c;
+                            let wbase = ((oc * kh + ky) * kw + kx) * g.in_c;
+                            for ic in 0..g.in_c {
+                                let xv = x[ibase + ic] as i32 - zp_in;
+                                let wv = w[wbase + ic] as i32;
+                                acc += xv * wv;
+                            }
+                        }
+                    }
+                    let m = (s_in as f64) * (weight_scale(&wq, oc) as f64) / (s_out as f64);
+                    out[obase + oc] = requantize(acc, m, zp_out, qlo, qhi);
+                }
+            }
+        }
+    }
+    build_q_output(node, out_def, out)
+}
+
+/// Quantized depthwise convolution. The optimized flavor carries the
+/// injectable i16-accumulator defect (§4.4): products are accumulated into a
+/// wrapping 16-bit register, overflowing on realistic activations.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn dwconv_q(
+    node: &Node,
+    inputs: &[&Tensor],
+    out_def: &TensorDef,
+    stride: usize,
+    padding: Padding,
+    activation: Activation,
+    flavor: KernelFlavor,
+    bugs: &KernelBugs,
+) -> Result<Tensor> {
+    let input = inputs[0];
+    let weights = inputs[1];
+    let bias = inputs.get(2).map(|t| t.as_i32()).transpose()?;
+    let (s_in, zp_in) = qparams_of(node, input)?;
+    let (s_out, zp_out) = out_qparams(node, out_def)?;
+    let wq = weights.quant().cloned().unwrap_or(QuantParams::PerTensor {
+        scale: 1.0,
+        zero_point: 0,
+    });
+    let x = input.as_u8()?;
+    let w = weights.as_i8()?;
+    let ws = weights.shape().dims();
+    let (kh, kw, c) = (ws[1], ws[2], ws[3]);
+    let g = geometry(input, out_def, kh, kw, stride, padding);
+    let (qlo, qhi) = act_qbounds(activation, s_out, zp_out);
+    let buggy = flavor == KernelFlavor::Optimized && bugs.optimized_dwconv_i16_accumulator;
+    let mut out = vec![0u8; out_def.shape().num_elements()];
+
+    for n in 0..g.n {
+        for oy in 0..g.out_h {
+            for ox in 0..g.out_w {
+                let obase = ((n * g.out_h + oy) * g.out_w + ox) * c;
+                for ch in 0..c {
+                    let mut acc: i32 = 0;
+                    let mut acc16: i16 = 0;
+                    for ky in 0..kh {
+                        let iy = (oy * stride + ky) as isize - g.pad_top as isize;
+                        if iy < 0 || iy >= g.in_h as isize {
+                            continue;
+                        }
+                        for kx in 0..kw {
+                            let ix = (ox * stride + kx) as isize - g.pad_left as isize;
+                            if ix < 0 || ix >= g.in_w as isize {
+                                continue;
+                            }
+                            let i = ((n * g.in_h + iy as usize) * g.in_w + ix as usize) * c + ch;
+                            let prod = (x[i] as i32 - zp_in) * w[(ky * kw + kx) * c + ch] as i32;
+                            if buggy {
+                                // Injected defect: the optimized kernel
+                                // pre-scales products into the Q13 domain of
+                                // its 16-bit SIMD lane and accumulates with
+                                // wrapping arithmetic.
+                                acc16 = acc16.wrapping_add((prod << 2) as i16);
+                            } else {
+                                acc += prod;
+                            }
+                        }
+                    }
+                    let total = if buggy {
+                        // ...and forgets to scale back down before the bias.
+                        (acc16 as i32 >> 2) + bias.map(|b| b[ch]).unwrap_or(0)
+                    } else {
+                        acc + bias.map(|b| b[ch]).unwrap_or(0)
+                    };
+                    let m = (s_in as f64) * (weight_scale(&wq, ch) as f64) / (s_out as f64);
+                    out[obase + ch] = requantize(total, m, zp_out, qlo, qhi);
+                }
+            }
+        }
+    }
+    build_q_output(node, out_def, out)
+}

@@ -1,0 +1,131 @@
+//! Fully-connected and matrix-multiplication kernels.
+
+use mlexray_tensor::{QuantParams, Tensor};
+
+use crate::graph::{Node, TensorDef};
+use crate::kernels::{
+    act_qbounds, build_f_output, build_q_output, out_qparams, qparams_of, requantize,
+};
+use crate::ops::Activation;
+use crate::resolver::KernelFlavor;
+use crate::Result;
+
+/// Float fully-connected layer, `[n, in] x [out, in]^T`.
+pub(crate) fn fc_f32(
+    node: &Node,
+    inputs: &[&Tensor],
+    out_def: &TensorDef,
+    activation: Activation,
+    flavor: KernelFlavor,
+) -> Result<Tensor> {
+    let _ = node;
+    let x = inputs[0].as_f32()?;
+    let w = inputs[1].as_f32()?;
+    let bias = inputs.get(2).map(|t| t.as_f32()).transpose()?;
+    let in_f = inputs[1].shape().dims()[1];
+    let out_f = inputs[1].shape().dims()[0];
+    let batch = inputs[0].shape().dims()[0];
+    let mut out = vec![0.0f32; batch * out_f];
+    for n in 0..batch {
+        let xrow = &x[n * in_f..(n + 1) * in_f];
+        for o in 0..out_f {
+            let wrow = &w[o * in_f..(o + 1) * in_f];
+            let acc = match flavor {
+                KernelFlavor::Reference => {
+                    let mut acc = 0.0f32;
+                    for i in 0..in_f {
+                        acc += xrow[i] * wrow[i];
+                    }
+                    acc
+                }
+                KernelFlavor::Optimized => {
+                    let mut s = [0.0f32; 4];
+                    let chunks = in_f / 4;
+                    for i in 0..chunks {
+                        let b = i * 4;
+                        s[0] += xrow[b] * wrow[b];
+                        s[1] += xrow[b + 1] * wrow[b + 1];
+                        s[2] += xrow[b + 2] * wrow[b + 2];
+                        s[3] += xrow[b + 3] * wrow[b + 3];
+                    }
+                    let mut rest = 0.0;
+                    for i in chunks * 4..in_f {
+                        rest += xrow[i] * wrow[i];
+                    }
+                    (s[0] + s[1]) + (s[2] + s[3]) + rest
+                }
+            };
+            out[n * out_f + o] = activation.apply(acc + bias.map(|b| b[o]).unwrap_or(0.0));
+        }
+    }
+    build_f_output(out_def, out)
+}
+
+/// Quantized fully-connected layer.
+pub(crate) fn fc_q(
+    node: &Node,
+    inputs: &[&Tensor],
+    out_def: &TensorDef,
+    activation: Activation,
+) -> Result<Tensor> {
+    let input = inputs[0];
+    let weights = inputs[1];
+    let bias = inputs.get(2).map(|t| t.as_i32()).transpose()?;
+    let (s_in, zp_in) = qparams_of(node, input)?;
+    let (s_out, zp_out) = out_qparams(node, out_def)?;
+    let wq = weights.quant().cloned().unwrap_or(QuantParams::PerTensor {
+        scale: 1.0,
+        zero_point: 0,
+    });
+    let x = input.as_u8()?;
+    let w = weights.as_i8()?;
+    let in_f = weights.shape().dims()[1];
+    let out_f = weights.shape().dims()[0];
+    let batch = input.shape().dims()[0];
+    let (qlo, qhi) = act_qbounds(activation, s_out, zp_out);
+    let mut out = vec![0u8; batch * out_f];
+    for n in 0..batch {
+        for o in 0..out_f {
+            let mut acc: i32 = bias.map(|b| b[o]).unwrap_or(0);
+            for i in 0..in_f {
+                acc += (x[n * in_f + i] as i32 - zp_in) * w[o * in_f + i] as i32;
+            }
+            let m = (s_in as f64) * (wq.for_channel(o).0 as f64) / (s_out as f64);
+            out[n * out_f + o] = requantize(acc, m, zp_out, qlo, qhi);
+        }
+    }
+    build_q_output(node, out_def, out)
+}
+
+/// Float 2-D matrix multiplication (used by the transformer encoder).
+pub(crate) fn matmul_f32(
+    node: &Node,
+    inputs: &[&Tensor],
+    out_def: &TensorDef,
+    transpose_b: bool,
+) -> Result<Tensor> {
+    let _ = node;
+    let a = inputs[0].as_f32()?;
+    let b = inputs[1].as_f32()?;
+    let sa = inputs[0].shape().dims();
+    let sb = inputs[1].shape().dims();
+    let (m, k) = (sa[0], sa[1]);
+    let n = if transpose_b { sb[0] } else { sb[1] };
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            if transpose_b {
+                for p in 0..k {
+                    acc += a[i * k + p] * b[j * k + p];
+                }
+            } else {
+                for p in 0..k {
+                    acc += a[i * k + p] * b[p * n + j];
+                }
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    build_f_output(out_def, out)
+}

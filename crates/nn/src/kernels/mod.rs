@@ -1,0 +1,164 @@
+//! Kernel implementations, both float and quantized, in reference and
+//! optimized flavors.
+//!
+//! The dispatch rule mirrors TFLite: `(op, dtype, flavor)` selects an
+//! implementation. Reference kernels are deliberately naive nested loops;
+//! optimized kernels restructure loops (im2col, blocked accumulation), which
+//! changes float summation order — the benign source of the small
+//! checkpoint-vs-mobile drift in Fig. 5 — and is where the injected
+//! depthwise-conv defect of [`KernelBugs`] lives.
+
+mod conv;
+mod elementwise;
+mod fc;
+mod pool;
+
+use mlexray_tensor::{DType, QuantParams, Tensor};
+
+use crate::graph::{Graph, Node, TensorDef};
+use crate::ops::{Activation, OpKind};
+use crate::resolver::{KernelBugs, KernelFlavor};
+use crate::{NnError, Result};
+
+/// Executes one node given resolved input tensors and the output slot
+/// definition (shape, dtype, quantization).
+pub(crate) fn execute_node(
+    graph: &Graph,
+    node: &Node,
+    inputs: &[&Tensor],
+    out_def: &TensorDef,
+    flavor: KernelFlavor,
+    bugs: &KernelBugs,
+) -> Result<Tensor> {
+    let quantized = inputs.first().map(|t| t.dtype() == DType::U8).unwrap_or(false);
+    match (&node.op, quantized) {
+        (OpKind::Conv2d { stride, padding, activation }, false) => {
+            conv::conv2d_f32(node, inputs, out_def, *stride, *padding, *activation, flavor)
+        }
+        (OpKind::Conv2d { stride, padding, activation }, true) => {
+            conv::conv2d_q(node, inputs, out_def, *stride, *padding, *activation)
+        }
+        (OpKind::DepthwiseConv2d { stride, padding, activation }, false) => {
+            conv::dwconv_f32(node, inputs, out_def, *stride, *padding, *activation, flavor)
+        }
+        (OpKind::DepthwiseConv2d { stride, padding, activation }, true) => {
+            conv::dwconv_q(node, inputs, out_def, *stride, *padding, *activation, flavor, bugs)
+        }
+        (OpKind::FullyConnected { activation }, false) => {
+            fc::fc_f32(node, inputs, out_def, *activation, flavor)
+        }
+        (OpKind::FullyConnected { activation }, true) => {
+            fc::fc_q(node, inputs, out_def, *activation)
+        }
+        (OpKind::MatMul { transpose_b }, _) => fc::matmul_f32(node, inputs, out_def, *transpose_b),
+        (OpKind::AveragePool2d { pool_h, pool_w, stride, padding }, false) => {
+            pool::avgpool_f32(node, inputs, out_def, *pool_h, *pool_w, *stride, *padding)
+        }
+        (OpKind::AveragePool2d { pool_h, pool_w, stride, padding }, true) => {
+            pool::avgpool_q(node, inputs, out_def, *pool_h, *pool_w, *stride, *padding, bugs)
+        }
+        (OpKind::MaxPool2d { pool_h, pool_w, stride, padding }, false) => {
+            pool::maxpool_f32(node, inputs, out_def, *pool_h, *pool_w, *stride, *padding)
+        }
+        (OpKind::MaxPool2d { pool_h, pool_w, stride, padding }, true) => {
+            pool::maxpool_q(node, inputs, out_def, *pool_h, *pool_w, *stride, *padding)
+        }
+        (OpKind::Mean, false) => pool::mean_f32(node, inputs, out_def),
+        (OpKind::Mean, true) => pool::mean_q(node, inputs, out_def),
+        (OpKind::Add { activation }, false) => {
+            elementwise::add_f32(node, inputs, out_def, *activation)
+        }
+        (OpKind::Add { activation }, true) => {
+            elementwise::add_q(node, inputs, out_def, *activation)
+        }
+        (OpKind::Mul, false) => elementwise::mul_f32(node, inputs, out_def),
+        (OpKind::Mul, true) => elementwise::mul_q(node, inputs, out_def),
+        (OpKind::Concat { axis }, _) => elementwise::concat(node, inputs, out_def, *axis),
+        (OpKind::Pad { top, bottom, left, right }, _) => {
+            elementwise::pad(node, inputs, out_def, *top, *bottom, *left, *right)
+        }
+        (OpKind::Softmax, false) => elementwise::softmax_f32(node, inputs, out_def),
+        (OpKind::Softmax, true) => Err(unsupported(node, "quantized softmax (insert Dequantize)")),
+        (OpKind::Act(act), false) => elementwise::act_f32(node, inputs, out_def, *act),
+        (OpKind::Act(act), true) => elementwise::act_q(node, inputs, out_def, *act),
+        (OpKind::BatchNorm { epsilon }, false) => {
+            elementwise::batch_norm_f32(node, inputs, out_def, *epsilon)
+        }
+        (OpKind::LayerNorm { epsilon }, false) => {
+            elementwise::layer_norm_f32(node, inputs, out_def, *epsilon)
+        }
+        (OpKind::Embedding, _) => elementwise::embedding_f32(node, inputs, out_def),
+        (OpKind::Reshape { .. }, _) => elementwise::reshape(node, inputs, out_def),
+        (OpKind::Quantize, _) => elementwise::quantize(node, inputs, out_def),
+        (OpKind::Dequantize, _) => elementwise::dequantize(node, inputs, out_def),
+        (op, true) => Err(unsupported(node, &format!("quantized {}", op.type_label()))),
+    }
+    .map(|t| {
+        let _ = graph;
+        t
+    })
+}
+
+pub(crate) fn unsupported(node: &Node, what: &str) -> NnError {
+    NnError::InvalidOp { node: node.name.clone(), reason: format!("unsupported: {what}") }
+}
+
+/// Extracts per-tensor `(scale, zero_point)` from a runtime tensor.
+pub(crate) fn qparams_of(node: &Node, t: &Tensor) -> Result<(f32, i32)> {
+    match t.quant() {
+        Some(QuantParams::PerTensor { scale, zero_point }) => Ok((*scale, *zero_point)),
+        Some(QuantParams::PerChannel { .. }) => Err(NnError::InvalidOp {
+            node: node.name.clone(),
+            reason: "expected per-tensor quantization on activation".into(),
+        }),
+        None => Err(NnError::InvalidOp {
+            node: node.name.clone(),
+            reason: "missing quantization parameters".into(),
+        }),
+    }
+}
+
+/// Extracts the output `(scale, zero_point)` from the output slot definition.
+pub(crate) fn out_qparams(node: &Node, out_def: &TensorDef) -> Result<(f32, i32)> {
+    match out_def.quant() {
+        Some(QuantParams::PerTensor { scale, zero_point }) => Ok((*scale, *zero_point)),
+        _ => Err(NnError::InvalidOp {
+            node: node.name.clone(),
+            reason: "missing per-tensor quantization on output".into(),
+        }),
+    }
+}
+
+/// Quantized clamp bounds implied by a fused activation.
+pub(crate) fn act_qbounds(act: Activation, scale: f32, zp: i32) -> (i32, i32) {
+    let (mut lo, mut hi) = (0i32, 255i32);
+    if let Some((rlo, rhi)) = act.clamp_bounds() {
+        lo = lo.max(zp + (rlo / scale).round() as i32);
+        if rhi.is_finite() {
+            hi = hi.min(zp + (rhi / scale).round() as i32);
+        }
+    }
+    (lo, hi.max(lo))
+}
+
+/// Requantizes an `i32` accumulator to `u8` with real multiplier `m`.
+#[inline]
+pub(crate) fn requantize(acc: i32, m: f64, zp_out: i32, qlo: i32, qhi: i32) -> u8 {
+    let v = zp_out + (m * acc as f64).round() as i32;
+    v.clamp(qlo, qhi) as u8
+}
+
+/// Builds the output tensor for a quantized kernel from raw `u8` values and
+/// the output slot's parameters.
+pub(crate) fn build_q_output(node: &Node, out_def: &TensorDef, data: Vec<u8>) -> Result<Tensor> {
+    let quant = out_def.quant().cloned().ok_or_else(|| NnError::InvalidOp {
+        node: node.name.clone(),
+        reason: "missing output quantization".into(),
+    })?;
+    Ok(Tensor::from_u8(out_def.shape().clone(), data, quant)?)
+}
+
+/// Builds the output tensor for a float kernel.
+pub(crate) fn build_f_output(out_def: &TensorDef, data: Vec<f32>) -> Result<Tensor> {
+    Ok(Tensor::from_f32(out_def.shape().clone(), data)?)
+}

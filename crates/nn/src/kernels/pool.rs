@@ -1,0 +1,280 @@
+//! Pooling and reduction kernels, including the injectable quantized
+//! AveragePool2D defect of §4.4.
+
+use mlexray_tensor::Tensor;
+
+use crate::graph::{Node, TensorDef};
+use crate::kernels::{build_f_output, build_q_output, out_qparams, qparams_of, requantize};
+use crate::ops::{same_pad_before, Padding};
+use crate::resolver::KernelBugs;
+use crate::Result;
+
+struct PoolGeom {
+    n: usize,
+    in_h: usize,
+    in_w: usize,
+    c: usize,
+    out_h: usize,
+    out_w: usize,
+    pad_top: usize,
+    pad_left: usize,
+}
+
+fn geometry(
+    input: &Tensor,
+    out_def: &TensorDef,
+    pool_h: usize,
+    pool_w: usize,
+    stride: usize,
+    padding: Padding,
+) -> PoolGeom {
+    let is = input.shape().dims();
+    let os = out_def.shape().dims();
+    let (pad_top, pad_left) = match padding {
+        Padding::Same => {
+            (same_pad_before(is[1], pool_h, stride), same_pad_before(is[2], pool_w, stride))
+        }
+        Padding::Valid => (0, 0),
+    };
+    PoolGeom {
+        n: is[0],
+        in_h: is[1],
+        in_w: is[2],
+        c: is[3],
+        out_h: os[1],
+        out_w: os[2],
+        pad_top,
+        pad_left,
+    }
+}
+
+/// Iterates the valid input window of an output cell.
+fn window(
+    g: &PoolGeom,
+    oy: usize,
+    ox: usize,
+    pool_h: usize,
+    pool_w: usize,
+    stride: usize,
+) -> impl Iterator<Item = (usize, usize)> + '_ {
+    let y0 = (oy * stride) as isize - g.pad_top as isize;
+    let x0 = (ox * stride) as isize - g.pad_left as isize;
+    (0..pool_h).flat_map(move |ky| {
+        (0..pool_w).filter_map(move |kx| {
+            let iy = y0 + ky as isize;
+            let ix = x0 + kx as isize;
+            if iy >= 0 && iy < g.in_h as isize && ix >= 0 && ix < g.in_w as isize {
+                Some((iy as usize, ix as usize))
+            } else {
+                None
+            }
+        })
+    })
+}
+
+/// Float average pooling.
+pub(crate) fn avgpool_f32(
+    node: &Node,
+    inputs: &[&Tensor],
+    out_def: &TensorDef,
+    pool_h: usize,
+    pool_w: usize,
+    stride: usize,
+    padding: Padding,
+) -> Result<Tensor> {
+    let _ = node;
+    let x = inputs[0].as_f32()?;
+    let g = geometry(inputs[0], out_def, pool_h, pool_w, stride, padding);
+    let mut out = vec![0.0f32; out_def.shape().num_elements()];
+    for n in 0..g.n {
+        for oy in 0..g.out_h {
+            for ox in 0..g.out_w {
+                let cells: Vec<(usize, usize)> =
+                    window(&g, oy, ox, pool_h, pool_w, stride).collect();
+                let count = cells.len().max(1) as f32;
+                for ch in 0..g.c {
+                    let mut acc = 0.0f32;
+                    for &(iy, ix) in &cells {
+                        acc += x[((n * g.in_h + iy) * g.in_w + ix) * g.c + ch];
+                    }
+                    out[((n * g.out_h + oy) * g.out_w + ox) * g.c + ch] = acc / count;
+                }
+            }
+        }
+    }
+    build_f_output(out_def, out)
+}
+
+/// Float max pooling.
+pub(crate) fn maxpool_f32(
+    node: &Node,
+    inputs: &[&Tensor],
+    out_def: &TensorDef,
+    pool_h: usize,
+    pool_w: usize,
+    stride: usize,
+    padding: Padding,
+) -> Result<Tensor> {
+    let _ = node;
+    let x = inputs[0].as_f32()?;
+    let g = geometry(inputs[0], out_def, pool_h, pool_w, stride, padding);
+    let mut out = vec![0.0f32; out_def.shape().num_elements()];
+    for n in 0..g.n {
+        for oy in 0..g.out_h {
+            for ox in 0..g.out_w {
+                let cells: Vec<(usize, usize)> =
+                    window(&g, oy, ox, pool_h, pool_w, stride).collect();
+                for ch in 0..g.c {
+                    let mut best = f32::NEG_INFINITY;
+                    for &(iy, ix) in &cells {
+                        best = best.max(x[((n * g.in_h + iy) * g.in_w + ix) * g.c + ch]);
+                    }
+                    out[((n * g.out_h + oy) * g.out_w + ox) * g.c + ch] = best;
+                }
+            }
+        }
+    }
+    build_f_output(out_def, out)
+}
+
+/// Float global reduce-mean: `[n, ..., c] → [n, c]`.
+pub(crate) fn mean_f32(node: &Node, inputs: &[&Tensor], out_def: &TensorDef) -> Result<Tensor> {
+    let _ = node;
+    let x = inputs[0].as_f32()?;
+    let dims = inputs[0].shape().dims();
+    let n = dims[0];
+    let c = dims[dims.len() - 1];
+    let mid: usize = dims[1..dims.len() - 1].iter().product::<usize>().max(1);
+    let mut out = vec![0.0f32; n * c];
+    for b in 0..n {
+        for m in 0..mid {
+            let base = (b * mid + m) * c;
+            for ch in 0..c {
+                out[b * c + ch] += x[base + ch];
+            }
+        }
+        for ch in 0..c {
+            out[b * c + ch] /= mid as f32;
+        }
+    }
+    build_f_output(out_def, out)
+}
+
+/// Quantized average pooling. When [`KernelBugs::avgpool_double_division`] is
+/// set (both resolvers — it is an op-spec defect), the accumulator is divided
+/// by the pool area twice, collapsing outputs toward quantized zero: the
+/// constant-output failure that zeroes MobileNet v3 in Fig. 5.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn avgpool_q(
+    node: &Node,
+    inputs: &[&Tensor],
+    out_def: &TensorDef,
+    pool_h: usize,
+    pool_w: usize,
+    stride: usize,
+    padding: Padding,
+    bugs: &KernelBugs,
+) -> Result<Tensor> {
+    let input = inputs[0];
+    let (s_in, zp_in) = qparams_of(node, input)?;
+    let (s_out, zp_out) = out_qparams(node, out_def)?;
+    let x = input.as_u8()?;
+    let g = geometry(input, out_def, pool_h, pool_w, stride, padding);
+    let mut out = vec![0u8; out_def.shape().num_elements()];
+    let m = (s_in as f64) / (s_out as f64);
+    let buggy = bugs.avgpool_double_division && pool_h * pool_w >= 16;
+    for n in 0..g.n {
+        for oy in 0..g.out_h {
+            for ox in 0..g.out_w {
+                let cells: Vec<(usize, usize)> =
+                    window(&g, oy, ox, pool_h, pool_w, stride).collect();
+                let count = cells.len().max(1) as i32;
+                for ch in 0..g.c {
+                    let mut acc: i32 = 0;
+                    for &(iy, ix) in &cells {
+                        acc += x[((n * g.in_h + iy) * g.in_w + ix) * g.c + ch] as i32;
+                    }
+                    let avg_q = if buggy {
+                        // Injected defect: divides by the area twice.
+                        (acc / count) / count
+                    } else {
+                        // Rounded average in the quantized domain.
+                        (acc + count / 2) / count
+                    };
+                    let centered = avg_q - zp_in;
+                    out[((n * g.out_h + oy) * g.out_w + ox) * g.c + ch] =
+                        requantize(centered, m, zp_out, 0, 255);
+                }
+            }
+        }
+    }
+    build_q_output(node, out_def, out)
+}
+
+/// Quantized max pooling (correct in both resolvers).
+pub(crate) fn maxpool_q(
+    node: &Node,
+    inputs: &[&Tensor],
+    out_def: &TensorDef,
+    pool_h: usize,
+    pool_w: usize,
+    stride: usize,
+    padding: Padding,
+) -> Result<Tensor> {
+    let input = inputs[0];
+    let (s_in, zp_in) = qparams_of(node, input)?;
+    let (s_out, zp_out) = out_qparams(node, out_def)?;
+    let x = input.as_u8()?;
+    let g = geometry(input, out_def, pool_h, pool_w, stride, padding);
+    let m = (s_in as f64) / (s_out as f64);
+    let mut out = vec![0u8; out_def.shape().num_elements()];
+    for n in 0..g.n {
+        for oy in 0..g.out_h {
+            for ox in 0..g.out_w {
+                let cells: Vec<(usize, usize)> =
+                    window(&g, oy, ox, pool_h, pool_w, stride).collect();
+                for ch in 0..g.c {
+                    let mut best: i32 = 0;
+                    let mut first = true;
+                    for &(iy, ix) in &cells {
+                        let v = x[((n * g.in_h + iy) * g.in_w + ix) * g.c + ch] as i32;
+                        if first || v > best {
+                            best = v;
+                            first = false;
+                        }
+                    }
+                    out[((n * g.out_h + oy) * g.out_w + ox) * g.c + ch] =
+                        requantize(best - zp_in, m, zp_out, 0, 255);
+                }
+            }
+        }
+    }
+    build_q_output(node, out_def, out)
+}
+
+/// Quantized global reduce-mean (TFLite `Mean`, correct — which is why
+/// MobileNet v1/v2 survive quantization in Fig. 5 while v3's `AveragePool2d`
+/// does not).
+pub(crate) fn mean_q(node: &Node, inputs: &[&Tensor], out_def: &TensorDef) -> Result<Tensor> {
+    let input = inputs[0];
+    let (s_in, zp_in) = qparams_of(node, input)?;
+    let (s_out, zp_out) = out_qparams(node, out_def)?;
+    let x = input.as_u8()?;
+    let dims = input.shape().dims();
+    let n = dims[0];
+    let c = dims[dims.len() - 1];
+    let mid: usize = dims[1..dims.len() - 1].iter().product::<usize>().max(1);
+    let m = (s_in as f64) / (s_out as f64);
+    let mut out = vec![0u8; n * c];
+    for b in 0..n {
+        for ch in 0..c {
+            let mut acc: i64 = 0;
+            for mi in 0..mid {
+                acc += x[(b * mid + mi) * c + ch] as i64;
+            }
+            let avg = ((acc + (mid as i64) / 2) / mid as i64) as i32;
+            out[b * c + ch] = requantize(avg - zp_in, m, zp_out, 0, 255);
+        }
+    }
+    build_q_output(node, out_def, out)
+}

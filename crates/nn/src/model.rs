@@ -1,0 +1,128 @@
+use std::fmt;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::Graph;
+use crate::{NnError, Result};
+
+/// Which stage of the deployment process a model artifact represents (§3.3):
+/// the training checkpoint, the converted mobile FlatBuffer, or the
+/// post-training fully-quantized model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelVariant {
+    /// Training-pipeline checkpoint: unfused batch-norm, standalone
+    /// activations, float weights.
+    Checkpoint,
+    /// Conversion output: batch-norm folded, activations fused, float
+    /// weights — the "Mobile" bars of Fig. 5.
+    MobileFloat,
+    /// Post-training full-integer quantization — the "Mobile Quant" bars.
+    Quantized,
+}
+
+impl ModelVariant {
+    /// Label matching the paper's figure legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            ModelVariant::Checkpoint => "Reference",
+            ModelVariant::MobileFloat => "Mobile",
+            ModelVariant::Quantized => "Mobile Quant",
+        }
+    }
+}
+
+impl fmt::Display for ModelVariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A deployable model: a graph plus provenance metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Model {
+    /// The executable dataflow graph.
+    pub graph: Graph,
+    /// Architecture family ("mobilenet_v2", "resnet50_v2", ...).
+    pub family: String,
+    /// Deployment stage of this artifact.
+    pub variant: ModelVariant,
+}
+
+impl Model {
+    /// Wraps a graph as a checkpoint-stage model.
+    pub fn checkpoint(graph: Graph, family: impl Into<String>) -> Self {
+        Model { graph, family: family.into(), variant: ModelVariant::Checkpoint }
+    }
+
+    /// Display name, e.g. `mobilenet_v2 [Mobile Quant]`.
+    pub fn display_name(&self) -> String {
+        format!("{} [{}]", self.family, self.variant)
+    }
+
+    /// Serializes the model to JSON (weight caching for trained minis).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidGraph`] wrapping I/O or serialization
+    /// failures.
+    pub fn save_json(&self, path: &Path) -> Result<()> {
+        let json = serde_json::to_string(self)
+            .map_err(|e| NnError::InvalidGraph(format!("serialize: {e}")))?;
+        std::fs::write(path, json).map_err(|e| NnError::InvalidGraph(format!("write: {e}")))
+    }
+
+    /// Loads a model serialized by [`Model::save_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidGraph`] wrapping I/O or deserialization
+    /// failures, and re-validates the graph.
+    pub fn load_json(path: &Path) -> Result<Self> {
+        let data =
+            std::fs::read_to_string(path).map_err(|e| NnError::InvalidGraph(format!("read: {e}")))?;
+        let model: Model = serde_json::from_str(&data)
+            .map_err(|e| NnError::InvalidGraph(format!("deserialize: {e}")))?;
+        model.graph.validate()?;
+        Ok(model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use mlexray_tensor::Shape;
+
+    fn tiny() -> Model {
+        let mut b = GraphBuilder::new("tiny");
+        let x = b.input("x", Shape::matrix(1, 4));
+        let y = b.softmax("s", x).unwrap();
+        b.output(y);
+        Model::checkpoint(b.finish().unwrap(), "tiny")
+    }
+
+    #[test]
+    fn labels_match_figures() {
+        assert_eq!(ModelVariant::Checkpoint.label(), "Reference");
+        assert_eq!(ModelVariant::MobileFloat.label(), "Mobile");
+        assert_eq!(ModelVariant::Quantized.label(), "Mobile Quant");
+    }
+
+    #[test]
+    fn display_name_includes_variant() {
+        assert_eq!(tiny().display_name(), "tiny [Reference]");
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let m = tiny();
+        let dir = std::env::temp_dir().join("mlexray-model-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.json");
+        m.save_json(&path).unwrap();
+        let back = Model::load_json(&path).unwrap();
+        assert_eq!(m, back);
+        std::fs::remove_file(&path).ok();
+    }
+}

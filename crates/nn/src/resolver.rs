@@ -1,0 +1,91 @@
+use serde::{Deserialize, Serialize};
+
+/// Which kernel implementation family the interpreter uses.
+///
+/// Mirrors TFLite's two built-in op resolvers (§4.4): the production
+/// `OpResolver` dispatches *optimized kernels* (im2col, blocked loops), the
+/// debugging `RefOpResolver` dispatches *reference kernels* (naive, easy to
+/// read, orders of magnitude slower — the paper measures >200x on mobile).
+/// ML-EXray leverages the pair to separate optimization bugs from
+/// quantization-spec bugs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum KernelFlavor {
+    /// Production kernels.
+    #[default]
+    Optimized,
+    /// Naive reference kernels.
+    Reference,
+}
+
+impl KernelFlavor {
+    /// Human-readable label matching the paper's figure legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelFlavor::Optimized => "OpResolver",
+            KernelFlavor::Reference => "RefOpResolver",
+        }
+    }
+}
+
+/// Injectable kernel defects reproducing the two real TFLite bugs the paper
+/// discovered with per-layer drift analysis (§4.4, Figs. 5–6).
+///
+/// Both default to **off**; [`KernelBugs::paper_2021`] switches both on for
+/// the reproduction experiments. The substitution is documented in DESIGN.md:
+/// we cannot ship the 2021 TFLite binaries containing the original defects,
+/// so we inject numerically equivalent ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct KernelBugs {
+    /// The **optimized** quantized `DepthwiseConv2D` kernel accumulates into
+    /// a wrapping 16-bit register instead of 32-bit, overflowing on realistic
+    /// activations. Reference kernels are unaffected — exactly the
+    /// `Mobile Quant` vs `Mobile Quant Ref` discrepancy of Fig. 5 and the
+    /// layer-2 rMSE spike of Fig. 6 (left).
+    pub optimized_dwconv_i16_accumulator: bool,
+    /// The quantized `AveragePool2D` kernel (in **both** resolvers — it is an
+    /// op-spec bug, not an optimization bug) divides the accumulator by the
+    /// pool area twice for windows of area >= 16 (the large-window
+    /// accumulation path), collapsing outputs toward the quantized zero and
+    /// yielding the constant/invalid output that zeroes MobileNet v3 accuracy
+    /// in Fig. 5 and the periodic rMSE peaks of Fig. 6 (right). Small branch
+    /// pools (Inception's 3x3) are unaffected, as in the paper.
+    pub avgpool_double_division: bool,
+}
+
+impl KernelBugs {
+    /// No injected bugs (library default).
+    pub fn none() -> Self {
+        KernelBugs::default()
+    }
+
+    /// The two defects active in the paper's 2021 TFLite snapshot.
+    pub fn paper_2021() -> Self {
+        KernelBugs {
+            optimized_dwconv_i16_accumulator: true,
+            avgpool_double_division: true,
+        }
+    }
+
+    /// True if any defect is enabled.
+    pub fn any(self) -> bool {
+        self.optimized_dwconv_i16_accumulator || self.avgpool_double_division
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_clean() {
+        assert!(!KernelBugs::default().any());
+        assert!(KernelBugs::paper_2021().any());
+        assert_eq!(KernelFlavor::default(), KernelFlavor::Optimized);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(KernelFlavor::Optimized.label(), "OpResolver");
+        assert_eq!(KernelFlavor::Reference.label(), "RefOpResolver");
+    }
+}

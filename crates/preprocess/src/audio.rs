@@ -1,0 +1,335 @@
+use serde::{Deserialize, Serialize};
+
+use mlexray_tensor::{Shape, Tensor};
+
+use crate::{PreprocessError, Result};
+
+/// Spectrogram post-scaling applied after the STFT.
+///
+/// §4.3 (Fig. 4c): "mismatching spectrogram normalization can significantly
+/// hurt these speech models" — two training pipelines of the same task used
+/// different schemes, and deploying one model with the other's scheme is the
+/// audio analogue of the image normalization bug.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SpectrogramNormalization {
+    /// Raw linear magnitude.
+    LinearMagnitude,
+    /// `ln(1 + magnitude)` compression (simple_audio-tutorial style).
+    LogMagnitude,
+    /// Log magnitude, then standardized to zero mean / unit variance over the
+    /// whole spectrogram.
+    LogStandardized,
+}
+
+/// A time × frequency magnitude spectrogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spectrogram {
+    frames: usize,
+    bins: usize,
+    data: Vec<f32>,
+}
+
+impl Spectrogram {
+    /// Number of time frames.
+    pub fn frames(&self) -> usize {
+        self.frames
+    }
+
+    /// Number of frequency bins per frame.
+    pub fn bins(&self) -> usize {
+        self.bins
+    }
+
+    /// Magnitude at `(frame, bin)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn at(&self, frame: usize, bin: usize) -> f32 {
+        assert!(frame < self.frames && bin < self.bins);
+        self.data[frame * self.bins + bin]
+    }
+
+    /// Flat row-major `[frames, bins]` values.
+    pub fn values(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Converts to a `[1, frames, bins, 1]` NHWC tensor (the model-input
+    /// layout used by the audio CNN).
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor construction errors (cannot occur for valid data).
+    pub fn to_tensor(&self) -> Result<Tensor> {
+        Ok(Tensor::from_f32(
+            Shape::nhwc(1, self.frames, self.bins, 1),
+            self.data.clone(),
+        )?)
+    }
+}
+
+/// Hann window of the given length.
+pub fn hann_window(len: usize) -> Vec<f32> {
+    if len <= 1 {
+        return vec![1.0; len];
+    }
+    (0..len)
+        .map(|i| {
+            let x = std::f32::consts::PI * i as f32 / (len - 1) as f32;
+            (x.sin()) * (x.sin())
+        })
+        .collect()
+}
+
+/// In-place iterative radix-2 Cooley-Tukey FFT over interleaved
+/// `(re, im)` pairs.
+fn fft_in_place(re: &mut [f32], im: &mut [f32]) {
+    let n = re.len();
+    debug_assert!(n.is_power_of_two());
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+    }
+    let mut len = 2;
+    while len <= n {
+        let ang = -2.0 * std::f32::consts::PI / len as f32;
+        let (wr, wi) = (ang.cos(), ang.sin());
+        let mut i = 0;
+        while i < n {
+            let (mut cr, mut ci) = (1.0f32, 0.0f32);
+            for k in 0..len / 2 {
+                let (ur, ui) = (re[i + k], im[i + k]);
+                let (vr, vi) = (
+                    re[i + k + len / 2] * cr - im[i + k + len / 2] * ci,
+                    re[i + k + len / 2] * ci + im[i + k + len / 2] * cr,
+                );
+                re[i + k] = ur + vr;
+                im[i + k] = ui + vi;
+                re[i + k + len / 2] = ur - vr;
+                im[i + k + len / 2] = ui - vi;
+                let ncr = cr * wr - ci * wi;
+                ci = cr * wi + ci * wr;
+                cr = ncr;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// Magnitudes of the first `n/2 + 1` FFT bins of a real signal.
+///
+/// # Errors
+///
+/// Returns [`PreprocessError::InvalidAudio`] unless the length is a
+/// power of two ≥ 2.
+pub fn fft_magnitude(signal: &[f32]) -> Result<Vec<f32>> {
+    let n = signal.len();
+    if n < 2 || !n.is_power_of_two() {
+        return Err(PreprocessError::InvalidAudio(format!(
+            "FFT length must be a power of two >= 2, got {n}"
+        )));
+    }
+    let mut re = signal.to_vec();
+    let mut im = vec![0.0f32; n];
+    fft_in_place(&mut re, &mut im);
+    Ok((0..=n / 2).map(|i| (re[i] * re[i] + im[i] * im[i]).sqrt()).collect())
+}
+
+/// The audio preprocessing stage: STFT parameters plus the normalization
+/// scheme whose mismatch Fig. 4c benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AudioPreprocessConfig {
+    /// STFT frame length (power of two).
+    pub frame_len: usize,
+    /// Hop between successive frames.
+    pub hop: usize,
+    /// Whether a Hann window is applied per frame.
+    pub hann: bool,
+    /// Post-STFT scaling.
+    pub normalization: SpectrogramNormalization,
+}
+
+impl AudioPreprocessConfig {
+    /// The canonical configuration used by the reference speech pipeline:
+    /// 64-sample frames, 32-sample hop, Hann window, log magnitude.
+    pub fn speech_default() -> Self {
+        AudioPreprocessConfig {
+            frame_len: 64,
+            hop: 32,
+            hann: true,
+            normalization: SpectrogramNormalization::LogMagnitude,
+        }
+    }
+
+    /// Computes the spectrogram of a waveform.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PreprocessError::InvalidAudio`] if the waveform is shorter
+    /// than one frame or `frame_len` is not a power of two.
+    pub fn apply(&self, waveform: &[f32]) -> Result<Spectrogram> {
+        if self.hop == 0 {
+            return Err(PreprocessError::InvalidAudio("hop must be positive".into()));
+        }
+        if waveform.len() < self.frame_len {
+            return Err(PreprocessError::InvalidAudio(format!(
+                "waveform ({}) shorter than one frame ({})",
+                waveform.len(),
+                self.frame_len
+            )));
+        }
+        let window = if self.hann { hann_window(self.frame_len) } else { vec![1.0; self.frame_len] };
+        let frames = (waveform.len() - self.frame_len) / self.hop + 1;
+        let bins = self.frame_len / 2 + 1;
+        let mut data = Vec::with_capacity(frames * bins);
+        let mut buf = vec![0.0f32; self.frame_len];
+        for f in 0..frames {
+            let start = f * self.hop;
+            for (i, b) in buf.iter_mut().enumerate() {
+                *b = waveform[start + i] * window[i];
+            }
+            data.extend(fft_magnitude(&buf)?);
+        }
+        let mut spec = Spectrogram { frames, bins, data };
+        self.normalize(&mut spec);
+        Ok(spec)
+    }
+
+    fn normalize(&self, spec: &mut Spectrogram) {
+        match self.normalization {
+            SpectrogramNormalization::LinearMagnitude => {}
+            SpectrogramNormalization::LogMagnitude => {
+                for v in &mut spec.data {
+                    *v = (1.0 + *v).ln();
+                }
+            }
+            SpectrogramNormalization::LogStandardized => {
+                for v in &mut spec.data {
+                    *v = (1.0 + *v).ln();
+                }
+                let n = spec.data.len() as f32;
+                let mean = spec.data.iter().sum::<f32>() / n;
+                let var = spec.data.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+                let std = var.sqrt().max(1e-6);
+                for v in &mut spec.data {
+                    *v = (*v - mean) / std;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine(freq_bin: usize, n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| (2.0 * std::f32::consts::PI * freq_bin as f32 * i as f32 / n as f32).sin())
+            .collect()
+    }
+
+    #[test]
+    fn fft_detects_pure_tone() {
+        let signal = sine(4, 64);
+        let mags = fft_magnitude(&signal).unwrap();
+        let peak = mags
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(peak, 4);
+        // Energy of sin at bin k is n/2.
+        assert!((mags[4] - 32.0).abs() < 1.0, "peak magnitude {}", mags[4]);
+    }
+
+    #[test]
+    fn fft_rejects_bad_lengths() {
+        assert!(fft_magnitude(&[0.0; 3]).is_err());
+        assert!(fft_magnitude(&[0.0; 1]).is_err());
+        assert!(fft_magnitude(&[0.0; 8]).is_ok());
+    }
+
+    #[test]
+    fn fft_of_dc_signal() {
+        let mags = fft_magnitude(&[1.0; 16]).unwrap();
+        assert!((mags[0] - 16.0).abs() < 1e-3);
+        assert!(mags[1..].iter().all(|&m| m < 1e-3));
+    }
+
+    #[test]
+    fn hann_window_shape() {
+        let w = hann_window(64);
+        assert!(w[0] < 1e-6);
+        assert!(w[63] < 1e-6);
+        assert!((w[32] - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn spectrogram_dimensions() {
+        let cfg = AudioPreprocessConfig::speech_default();
+        let wave = sine(8, 256);
+        let spec = cfg.apply(&wave).unwrap();
+        assert_eq!(spec.frames(), (256 - 64) / 32 + 1);
+        assert_eq!(spec.bins(), 33);
+        let t = spec.to_tensor().unwrap();
+        assert_eq!(t.shape().dims(), &[1, spec.frames(), 33, 1]);
+    }
+
+    #[test]
+    fn tone_concentrates_energy_in_expected_bin() {
+        let cfg = AudioPreprocessConfig {
+            normalization: SpectrogramNormalization::LinearMagnitude,
+            ..AudioPreprocessConfig::speech_default()
+        };
+        // Frequency that lands on bin 8 of a 64-sample frame.
+        let wave: Vec<f32> = (0..512)
+            .map(|i| (2.0 * std::f32::consts::PI * 8.0 * i as f32 / 64.0).sin())
+            .collect();
+        let spec = cfg.apply(&wave).unwrap();
+        for f in 0..spec.frames() {
+            let peak = (0..spec.bins())
+                .max_by(|&a, &b| spec.at(f, a).partial_cmp(&spec.at(f, b)).unwrap())
+                .unwrap();
+            assert_eq!(peak, 8, "frame {f}");
+        }
+    }
+
+    #[test]
+    fn normalization_schemes_differ() {
+        let cfg_lin = AudioPreprocessConfig {
+            normalization: SpectrogramNormalization::LinearMagnitude,
+            ..AudioPreprocessConfig::speech_default()
+        };
+        let cfg_std = AudioPreprocessConfig {
+            normalization: SpectrogramNormalization::LogStandardized,
+            ..AudioPreprocessConfig::speech_default()
+        };
+        let wave = sine(4, 256);
+        let a = cfg_lin.apply(&wave).unwrap();
+        let b = cfg_std.apply(&wave).unwrap();
+        assert_ne!(a, b);
+        // Standardized spectrogram has ~zero mean.
+        let mean: f32 = b.values().iter().sum::<f32>() / b.values().len() as f32;
+        assert!(mean.abs() < 1e-4);
+    }
+
+    #[test]
+    fn short_waveform_rejected() {
+        let cfg = AudioPreprocessConfig::speech_default();
+        assert!(cfg.apply(&[0.0; 10]).is_err());
+    }
+}

@@ -1,0 +1,196 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{Image, PreprocessError, Result};
+
+/// Interleaved channel arrangement of an 8-bit image buffer.
+///
+/// MobileNet-family models expect RGB while (for example) OpenCV decodes BGR;
+/// confusing the two is one of the silent preprocessing bugs of §2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ChannelOrder {
+    /// Red, green, blue.
+    Rgb,
+    /// Blue, green, red (OpenCV default).
+    Bgr,
+}
+
+/// Color-matrix standard for YUV→RGB conversion.
+///
+/// §2 notes that even with a correct channel arrangement, "the library being
+/// used to extract the RGB values can be important, since there can be
+/// differences in color space and gamma conversions". Converting a BT.601
+/// camera frame with BT.709 coefficients is that class of bug.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum YuvStandard {
+    /// ITU-R BT.601 (SD video, the usual Android camera default).
+    Bt601,
+    /// ITU-R BT.709 (HD video).
+    Bt709,
+}
+
+impl YuvStandard {
+    /// `(kr, kb)` luma coefficients of the standard.
+    fn coefficients(self) -> (f32, f32) {
+        match self {
+            YuvStandard::Bt601 => (0.299, 0.114),
+            YuvStandard::Bt709 => (0.2126, 0.0722),
+        }
+    }
+}
+
+/// A planar YUV 4:2:0 frame, the native output of a mobile camera stack.
+///
+/// `y` is full-resolution; `u` and `v` are subsampled by 2 in each dimension.
+#[derive(Debug, Clone, PartialEq)]
+pub struct YuvImage {
+    width: usize,
+    height: usize,
+    y: Vec<u8>,
+    u: Vec<u8>,
+    v: Vec<u8>,
+}
+
+impl YuvImage {
+    /// Creates a YUV frame from its three planes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PreprocessError::InvalidImage`] if dimensions are zero, odd,
+    /// or plane lengths are inconsistent.
+    pub fn from_planes(
+        width: usize,
+        height: usize,
+        y: Vec<u8>,
+        u: Vec<u8>,
+        v: Vec<u8>,
+    ) -> Result<Self> {
+        if width == 0 || height == 0 || width % 2 != 0 || height % 2 != 0 {
+            return Err(PreprocessError::InvalidImage(
+                "YUV420 requires non-zero even dimensions".into(),
+            ));
+        }
+        if y.len() != width * height {
+            return Err(PreprocessError::InvalidImage("Y plane length mismatch".into()));
+        }
+        let chroma = (width / 2) * (height / 2);
+        if u.len() != chroma || v.len() != chroma {
+            return Err(PreprocessError::InvalidImage("chroma plane length mismatch".into()));
+        }
+        Ok(YuvImage { width, height, y, u, v })
+    }
+
+    /// Encodes an RGB image into YUV 4:2:0 using the given standard
+    /// (chroma is averaged over each 2x2 block).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PreprocessError::InvalidImage`] for odd-sized images.
+    pub fn encode(img: &Image, standard: YuvStandard) -> Result<Self> {
+        let rgb = img.to_order(ChannelOrder::Rgb);
+        let (w, h) = (rgb.width(), rgb.height());
+        if w % 2 != 0 || h % 2 != 0 {
+            return Err(PreprocessError::InvalidImage(
+                "YUV420 encode requires even dimensions".into(),
+            ));
+        }
+        let (kr, kb) = standard.coefficients();
+        let kg = 1.0 - kr - kb;
+        let mut y = vec![0u8; w * h];
+        let mut uf = vec![0f32; (w / 2) * (h / 2)];
+        let mut vf = vec![0f32; (w / 2) * (h / 2)];
+        for py in 0..h {
+            for px in 0..w {
+                let [r, g, b] = rgb.pixel(px, py);
+                let (r, g, b) = (r as f32, g as f32, b as f32);
+                let luma = kr * r + kg * g + kb * b;
+                y[py * w + px] = luma.round().clamp(0.0, 255.0) as u8;
+                let cb = (b - luma) / (2.0 * (1.0 - kb)) + 128.0;
+                let cr = (r - luma) / (2.0 * (1.0 - kr)) + 128.0;
+                let ci = (py / 2) * (w / 2) + px / 2;
+                uf[ci] += cb / 4.0;
+                vf[ci] += cr / 4.0;
+            }
+        }
+        let u = uf.iter().map(|&v| v.round().clamp(0.0, 255.0) as u8).collect();
+        let v = vf.iter().map(|&v| v.round().clamp(0.0, 255.0) as u8).collect();
+        Ok(YuvImage { width: w, height: h, y, u, v })
+    }
+
+    /// Frame width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Frame height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Decodes to RGB with the given standard. Decoding with a different
+    /// standard than the frame was encoded with reproduces the "library
+    /// color-space difference" bug of §2.
+    pub fn to_rgb(&self, standard: YuvStandard) -> Image {
+        let (kr, kb) = standard.coefficients();
+        let kg = 1.0 - kr - kb;
+        let (w, h) = (self.width, self.height);
+        let mut data = Vec::with_capacity(w * h * 3);
+        for py in 0..h {
+            for px in 0..w {
+                let luma = self.y[py * w + px] as f32;
+                let ci = (py / 2) * (w / 2) + px / 2;
+                let cb = self.u[ci] as f32 - 128.0;
+                let cr = self.v[ci] as f32 - 128.0;
+                let r = luma + 2.0 * (1.0 - kr) * cr;
+                let b = luma + 2.0 * (1.0 - kb) * cb;
+                let g = (luma - kr * r - kb * b) / kg;
+                data.push(r.round().clamp(0.0, 255.0) as u8);
+                data.push(g.round().clamp(0.0, 255.0) as u8);
+                data.push(b.round().clamp(0.0, 255.0) as u8);
+            }
+        }
+        Image::from_raw(w, h, ChannelOrder::Rgb, data).expect("dimensions verified")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn max_abs_diff(a: &Image, b: &Image) -> i32 {
+        a.data()
+            .iter()
+            .zip(b.data())
+            .map(|(&x, &y)| (x as i32 - y as i32).abs())
+            .max()
+            .unwrap_or(0)
+    }
+
+    #[test]
+    fn yuv_roundtrip_same_standard_is_close() {
+        let img = Image::checkerboard(8, 8, [200, 40, 90], [20, 180, 230]);
+        // 2x2 block-uniform image survives chroma subsampling:
+        let solid = Image::solid(8, 8, [123, 45, 210]);
+        let yuv = YuvImage::encode(&solid, YuvStandard::Bt601).unwrap();
+        let back = yuv.to_rgb(YuvStandard::Bt601);
+        assert!(max_abs_diff(&solid, &back) <= 3, "diff {}", max_abs_diff(&solid, &back));
+        // Checkerboard still decodes without panicking (chroma is averaged).
+        let yuv2 = YuvImage::encode(&img, YuvStandard::Bt601).unwrap();
+        let _ = yuv2.to_rgb(YuvStandard::Bt601);
+    }
+
+    #[test]
+    fn mismatched_standard_shifts_colors() {
+        let solid = Image::solid(8, 8, [180, 60, 40]);
+        let yuv = YuvImage::encode(&solid, YuvStandard::Bt601).unwrap();
+        let good = yuv.to_rgb(YuvStandard::Bt601);
+        let bad = yuv.to_rgb(YuvStandard::Bt709);
+        assert!(max_abs_diff(&good, &bad) > 5, "BT.709 decode should visibly shift colors");
+    }
+
+    #[test]
+    fn plane_validation() {
+        assert!(YuvImage::from_planes(3, 2, vec![0; 6], vec![0; 1], vec![0; 1]).is_err());
+        assert!(YuvImage::from_planes(2, 2, vec![0; 4], vec![0; 2], vec![0; 1]).is_err());
+        assert!(YuvImage::from_planes(2, 2, vec![0; 4], vec![0; 1], vec![0; 1]).is_ok());
+    }
+}

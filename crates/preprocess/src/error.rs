@@ -1,0 +1,43 @@
+use std::fmt;
+
+use mlexray_tensor::TensorError;
+
+/// Errors produced while preprocessing sensor data.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PreprocessError {
+    /// Image dimensions were invalid (zero-sized, mismatched buffer, ...).
+    InvalidImage(String),
+    /// Audio parameters were invalid (frame longer than waveform, non
+    /// power-of-two FFT, ...).
+    InvalidAudio(String),
+    /// Text parameters were invalid (empty vocabulary, ...).
+    InvalidText(String),
+    /// A tensor-level error surfaced during conversion.
+    Tensor(TensorError),
+}
+
+impl fmt::Display for PreprocessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PreprocessError::InvalidImage(msg) => write!(f, "invalid image: {msg}"),
+            PreprocessError::InvalidAudio(msg) => write!(f, "invalid audio: {msg}"),
+            PreprocessError::InvalidText(msg) => write!(f, "invalid text: {msg}"),
+            PreprocessError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PreprocessError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PreprocessError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for PreprocessError {
+    fn from(e: TensorError) -> Self {
+        PreprocessError::Tensor(e)
+    }
+}

@@ -1,0 +1,180 @@
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{PreprocessError, Result};
+
+/// Token-to-id mapping with reserved `<pad>` (0) and `<unk>` (1) entries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Vocabulary {
+    token_to_id: HashMap<String, usize>,
+}
+
+/// Id of the padding token.
+pub const PAD_ID: usize = 0;
+/// Id of the unknown token.
+pub const UNK_ID: usize = 1;
+
+impl Vocabulary {
+    /// Builds a vocabulary from a token iterator; ids are assigned in first-
+    /// seen order starting at 2.
+    pub fn build<'a>(tokens: impl IntoIterator<Item = &'a str>) -> Self {
+        let mut token_to_id = HashMap::new();
+        for tok in tokens {
+            let next = token_to_id.len() + 2;
+            token_to_id.entry(tok.to_string()).or_insert(next);
+        }
+        Vocabulary { token_to_id }
+    }
+
+    /// Number of entries including the two reserved ids.
+    pub fn len(&self) -> usize {
+        self.token_to_id.len() + 2
+    }
+
+    /// True when only the reserved entries exist.
+    pub fn is_empty(&self) -> bool {
+        self.token_to_id.is_empty()
+    }
+
+    /// Id for `token`, or [`UNK_ID`] when absent.
+    pub fn id(&self, token: &str) -> usize {
+        self.token_to_id.get(token).copied().unwrap_or(UNK_ID)
+    }
+}
+
+/// Whitespace tokenizer with configurable case folding.
+///
+/// The NNLM case-sensitivity anecdote of Appendix A — raw text vs lowercased
+/// text produces drastically different embeddings but identical downstream
+/// sentiment accuracy — is reproduced by toggling `lowercase` between the
+/// edge and reference pipelines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tokenizer {
+    /// Fold tokens to lowercase before lookup.
+    pub lowercase: bool,
+    /// Strip ASCII punctuation from token edges.
+    pub strip_punctuation: bool,
+}
+
+impl Default for Tokenizer {
+    fn default() -> Self {
+        Tokenizer { lowercase: true, strip_punctuation: true }
+    }
+}
+
+impl Tokenizer {
+    /// Splits text into tokens under this tokenizer's rules.
+    pub fn tokenize(&self, text: &str) -> Vec<String> {
+        text.split_whitespace()
+            .map(|raw| {
+                let trimmed = if self.strip_punctuation {
+                    raw.trim_matches(|c: char| c.is_ascii_punctuation())
+                } else {
+                    raw
+                };
+                if self.lowercase {
+                    trimmed.to_lowercase()
+                } else {
+                    trimmed.to_string()
+                }
+            })
+            .filter(|t| !t.is_empty())
+            .collect()
+    }
+}
+
+/// The text preprocessing stage: tokenizer rules + sequence length.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TextPreprocessConfig {
+    /// Tokenization rules.
+    pub tokenizer: Tokenizer,
+    /// Fixed sequence length (padded/truncated).
+    pub max_len: usize,
+}
+
+impl TextPreprocessConfig {
+    /// Canonical sentiment-pipeline configuration: lowercase, strip
+    /// punctuation, 16-token sequences.
+    pub fn sentiment_default() -> Self {
+        TextPreprocessConfig { tokenizer: Tokenizer::default(), max_len: 16 }
+    }
+
+    /// Encodes text to a fixed-length id sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PreprocessError::InvalidText`] when `max_len` is zero.
+    pub fn encode(&self, text: &str, vocab: &Vocabulary) -> Result<Vec<usize>> {
+        if self.max_len == 0 {
+            return Err(PreprocessError::InvalidText("max_len must be positive".into()));
+        }
+        let mut ids: Vec<usize> = self
+            .tokenizer
+            .tokenize(text)
+            .iter()
+            .map(|t| vocab.id(t))
+            .take(self.max_len)
+            .collect();
+        ids.resize(self.max_len, PAD_ID);
+        Ok(ids)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vocabulary_assigns_stable_ids() {
+        let v = Vocabulary::build(["good", "bad", "good"]);
+        assert_eq!(v.len(), 4);
+        assert_eq!(v.id("good"), 2);
+        assert_eq!(v.id("bad"), 3);
+        assert_eq!(v.id("missing"), UNK_ID);
+    }
+
+    #[test]
+    fn tokenizer_case_folding_matters() {
+        let cased = Tokenizer { lowercase: false, strip_punctuation: true };
+        let folded = Tokenizer::default();
+        assert_eq!(folded.tokenize("Great Movie!"), vec!["great", "movie"]);
+        assert_eq!(cased.tokenize("Great Movie!"), vec!["Great", "Movie"]);
+    }
+
+    #[test]
+    fn punctuation_stripping() {
+        let t = Tokenizer::default();
+        assert_eq!(t.tokenize("...wow!!! (really)"), vec!["wow", "really"]);
+        let keep = Tokenizer { lowercase: true, strip_punctuation: false };
+        assert_eq!(keep.tokenize("wow!"), vec!["wow!"]);
+    }
+
+    #[test]
+    fn encode_pads_and_truncates() {
+        let v = Vocabulary::build(["a", "b"]);
+        let cfg = TextPreprocessConfig { tokenizer: Tokenizer::default(), max_len: 4 };
+        assert_eq!(cfg.encode("a b", &v).unwrap(), vec![2, 3, PAD_ID, PAD_ID]);
+        let long = cfg.encode("a b a b a b", &v).unwrap();
+        assert_eq!(long.len(), 4);
+        assert!(TextPreprocessConfig { tokenizer: Tokenizer::default(), max_len: 0 }
+            .encode("a", &v)
+            .is_err());
+    }
+
+    #[test]
+    fn case_mismatch_changes_ids() {
+        // Vocabulary built from lowercased corpus; cased pipeline maps
+        // capitalized tokens to UNK — the Appendix A embedding divergence.
+        let v = Vocabulary::build(["great", "movie"]);
+        let reference = TextPreprocessConfig::sentiment_default();
+        let edge = TextPreprocessConfig {
+            tokenizer: Tokenizer { lowercase: false, strip_punctuation: true },
+            max_len: 16,
+        };
+        let r = reference.encode("Great Movie", &v).unwrap();
+        let e = edge.encode("Great Movie", &v).unwrap();
+        assert_eq!(&r[..2], &[2, 3]);
+        assert_eq!(&e[..2], &[UNK_ID, UNK_ID]);
+    }
+}

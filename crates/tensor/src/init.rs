@@ -1,0 +1,144 @@
+use rand::distributions::{Distribution, Uniform};
+use rand::Rng;
+
+use crate::{Result, Shape, Tensor};
+
+/// Weight initialization schemes for freshly-built models.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Initializer {
+    /// He (Kaiming) normal: `N(0, sqrt(2 / fan_in))`, suited to ReLU nets.
+    HeNormal {
+        /// Fan-in of the layer (inputs feeding one output unit).
+        fan_in: usize,
+    },
+    /// Xavier (Glorot) uniform: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+    XavierUniform {
+        /// Fan-in of the layer.
+        fan_in: usize,
+        /// Fan-out of the layer.
+        fan_out: usize,
+    },
+    /// Plain uniform over `[lo, hi)`.
+    Uniform {
+        /// Inclusive lower bound.
+        lo: f32,
+        /// Exclusive upper bound.
+        hi: f32,
+    },
+    /// Every element set to the same constant.
+    Constant(f32),
+}
+
+impl Initializer {
+    /// Samples a tensor of the given shape.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape/length errors from tensor construction (none occur
+    /// for well-formed shapes).
+    pub fn sample<R: Rng + ?Sized>(&self, shape: Shape, rng: &mut R) -> Result<Tensor> {
+        let n = shape.num_elements();
+        let data = match *self {
+            Initializer::HeNormal { fan_in } => {
+                let std = (2.0 / fan_in.max(1) as f32).sqrt();
+                (0..n).map(|_| sample_normal(rng) * std).collect()
+            }
+            Initializer::XavierUniform { fan_in, fan_out } => {
+                let a = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+                let dist = Uniform::new(-a, a);
+                (0..n).map(|_| dist.sample(rng)).collect()
+            }
+            Initializer::Uniform { lo, hi } => {
+                let dist = Uniform::new(lo, hi);
+                (0..n).map(|_| dist.sample(rng)).collect()
+            }
+            Initializer::Constant(v) => vec![v; n],
+        };
+        Tensor::from_f32(shape, data)
+    }
+}
+
+/// Standard normal sample via Box-Muller (avoids a dependency on
+/// `rand_distr`, which is outside the allowed crate set).
+fn sample_normal<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+    loop {
+        let u1: f32 = rng.gen::<f32>();
+        let u2: f32 = rng.gen::<f32>();
+        if u1 > f32::MIN_POSITIVE {
+            let r = (-2.0 * u1.ln()).sqrt();
+            return r * (2.0 * std::f32::consts::PI * u2).cos();
+        }
+    }
+}
+
+/// Convenience: He-normal tensor for a layer with the given fan-in.
+///
+/// # Errors
+///
+/// Propagates tensor-construction errors.
+pub fn he_normal<R: Rng + ?Sized>(shape: Shape, fan_in: usize, rng: &mut R) -> Result<Tensor> {
+    Initializer::HeNormal { fan_in }.sample(shape, rng)
+}
+
+/// Convenience: Xavier-uniform tensor.
+///
+/// # Errors
+///
+/// Propagates tensor-construction errors.
+pub fn xavier_uniform<R: Rng + ?Sized>(
+    shape: Shape,
+    fan_in: usize,
+    fan_out: usize,
+    rng: &mut R,
+) -> Result<Tensor> {
+    Initializer::XavierUniform { fan_in, fan_out }.sample(shape, rng)
+}
+
+/// Convenience: uniform tensor over `[lo, hi)`.
+///
+/// # Errors
+///
+/// Propagates tensor-construction errors.
+pub fn uniform<R: Rng + ?Sized>(shape: Shape, lo: f32, hi: f32, rng: &mut R) -> Result<Tensor> {
+    Initializer::Uniform { lo, hi }.sample(shape, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TensorStats;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn he_normal_has_expected_spread() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let t = he_normal(Shape::vector(20_000), 50, &mut rng).unwrap();
+        let s = TensorStats::of(t.as_f32().unwrap());
+        let expected_std = (2.0f32 / 50.0).sqrt();
+        assert!(s.mean.abs() < 0.01, "mean {}", s.mean);
+        assert!((s.std - expected_std).abs() < 0.01, "std {}", s.std);
+    }
+
+    #[test]
+    fn xavier_stays_in_bound() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let t = xavier_uniform(Shape::vector(1000), 30, 30, &mut rng).unwrap();
+        let a = (6.0f32 / 60.0).sqrt();
+        assert!(t.as_f32().unwrap().iter().all(|v| v.abs() <= a));
+    }
+
+    #[test]
+    fn constant_fills() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let t = Initializer::Constant(3.5).sample(Shape::vector(4), &mut rng).unwrap();
+        assert_eq!(t.as_f32().unwrap(), &[3.5; 4]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = he_normal(Shape::vector(16), 4, &mut SmallRng::seed_from_u64(1)).unwrap();
+        let b = he_normal(Shape::vector(16), 4, &mut SmallRng::seed_from_u64(1)).unwrap();
+        assert_eq!(a.as_f32().unwrap(), b.as_f32().unwrap());
+    }
+}

@@ -1,0 +1,39 @@
+//! N-dimensional tensors for the ML-EXray stack.
+//!
+//! This crate provides the data substrate shared by every other crate in the
+//! workspace: a dynamically-shaped [`Tensor`] with `f32`, `u8`, `i8` and
+//! `i32` storage (the dtypes used by TFLite-style full-integer quantization),
+//! NHWC layout helpers, [`QuantParams`] for per-tensor and per-channel affine
+//! quantization, weight initializers, and the statistics used by ML-EXray's
+//! deployment validation (per-layer normalized rMSE, value ranges).
+//!
+//! # Example
+//!
+//! ```
+//! use mlexray_tensor::{Tensor, Shape};
+//!
+//! let t = Tensor::from_f32(Shape::nhwc(1, 2, 2, 3), vec![0.0; 12]).unwrap();
+//! assert_eq!(t.shape().num_elements(), 12);
+//! assert_eq!(t.shape().channels(), Some(3));
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+mod init;
+mod quant;
+mod shape;
+mod stats;
+mod tensor;
+
+pub use error::TensorError;
+pub use init::{he_normal, uniform, xavier_uniform, Initializer};
+pub use quant::{
+    affine_dequantize, affine_quantize_i8, affine_quantize_u8, MinMaxObserver, QuantParams,
+};
+pub use shape::Shape;
+pub use stats::{allclose, normalized_rmse, rmse, TensorStats};
+pub use tensor::{DType, Tensor, TensorData};
+
+/// Result alias used throughout the tensor crate.
+pub type Result<T> = std::result::Result<T, TensorError>;

@@ -1,0 +1,164 @@
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a tensor's values, the compact representation
+/// ML-EXray logs when full per-layer dumps are too expensive.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TensorStats {
+    /// Minimum value.
+    pub min: f32,
+    /// Maximum value.
+    pub max: f32,
+    /// Arithmetic mean.
+    pub mean: f32,
+    /// Population standard deviation.
+    pub std: f32,
+    /// L2 norm.
+    pub l2: f32,
+    /// Number of values summarized.
+    pub count: usize,
+}
+
+impl TensorStats {
+    /// Computes statistics over a value slice.
+    ///
+    /// Empty slices produce a zeroed summary with `count == 0`.
+    pub fn of(values: &[f32]) -> Self {
+        if values.is_empty() {
+            return TensorStats { min: 0.0, max: 0.0, mean: 0.0, std: 0.0, l2: 0.0, count: 0 };
+        }
+        let mut min = f32::INFINITY;
+        let mut max = f32::NEG_INFINITY;
+        let mut sum = 0.0f64;
+        let mut sq = 0.0f64;
+        for &v in values {
+            min = min.min(v);
+            max = max.max(v);
+            sum += v as f64;
+            sq += (v as f64) * (v as f64);
+        }
+        let n = values.len() as f64;
+        let mean = sum / n;
+        let var = (sq / n - mean * mean).max(0.0);
+        TensorStats {
+            min,
+            max,
+            mean: mean as f32,
+            std: var.sqrt() as f32,
+            l2: sq.sqrt() as f32,
+            count: values.len(),
+        }
+    }
+
+    /// The value range `max - min`.
+    pub fn range(&self) -> f32 {
+        self.max - self.min
+    }
+}
+
+/// Root-mean-square error between two equally-long value slices.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length (caller bug: per-layer comparisons
+/// are only meaningful between identically-shaped outputs).
+pub fn rmse(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "rmse requires equal-length slices");
+    if a.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = a
+        .iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = (x - y) as f64;
+            d * d
+        })
+        .sum();
+    ((sum / a.len() as f64).sqrt()) as f32
+}
+
+/// The paper's per-layer drift metric (§3.4): rMSE normalized by the
+/// *reference* layer output scale, `rMSE / (max(ref) − min(ref))`.
+///
+/// A constant reference output (zero range) degenerates to the raw rMSE so a
+/// drift is still reported rather than dividing by zero.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn normalized_rmse(edge: &[f32], reference: &[f32]) -> f32 {
+    let e = rmse(edge, reference);
+    let stats = TensorStats::of(reference);
+    let range = stats.range();
+    if range > f32::EPSILON {
+        e / range
+    } else {
+        e
+    }
+}
+
+/// Element-wise closeness check, mirroring `np.allclose` with absolute and
+/// relative tolerances. Used by assertion functions such as the channel
+/// arrangement check in §3.2.
+pub fn allclose(a: &[f32], b: &[f32], rtol: f32, atol: f32) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(&x, &y)| (x - y).abs() <= atol + rtol * y.abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_known_values() {
+        let s = TensorStats::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.mean - 2.5).abs() < 1e-6);
+        assert!((s.std - 1.118034).abs() < 1e-5);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.range(), 3.0);
+    }
+
+    #[test]
+    fn stats_of_empty() {
+        let s = TensorStats::of(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.range(), 0.0);
+    }
+
+    #[test]
+    fn rmse_zero_for_identical() {
+        let v = [0.5f32, -1.0, 2.0];
+        assert_eq!(rmse(&v, &v), 0.0);
+    }
+
+    #[test]
+    fn rmse_of_constant_offset() {
+        let a = [1.0f32, 2.0, 3.0];
+        let b = [2.0f32, 3.0, 4.0];
+        assert!((rmse(&a, &b) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normalized_rmse_uses_reference_range() {
+        let reference = [0.0f32, 10.0];
+        let edge = [1.0f32, 11.0];
+        // rMSE 1.0 over range 10.0 = 0.1
+        assert!((normalized_rmse(&edge, &reference) - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normalized_rmse_constant_reference_degenerates() {
+        let reference = [5.0f32, 5.0];
+        let edge = [6.0f32, 6.0];
+        assert!((normalized_rmse(&edge, &reference) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn allclose_behaviour() {
+        assert!(allclose(&[1.0, 2.0], &[1.0 + 1e-7, 2.0], 1e-5, 1e-6));
+        assert!(!allclose(&[1.0, 2.0], &[1.1, 2.0], 1e-5, 1e-6));
+        assert!(!allclose(&[1.0], &[1.0, 1.0], 1e-5, 1e-6));
+    }
+}

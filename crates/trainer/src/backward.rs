@@ -1,0 +1,512 @@
+//! Hand-written backward passes for the op inventory of the mini models.
+//!
+//! Each function receives the forward values (from the interpreter, run on
+//! the split-activation graph so pre-activation values are visible) and the
+//! gradient of the loss w.r.t. the node's output, and produces gradients for
+//! the node's inputs — including constant (weight/bias) inputs, which is
+//! what the optimizer consumes.
+
+use std::collections::HashMap;
+
+use mlexray_nn::{Activation, Node, OpKind, Padding, TensorId};
+use mlexray_tensor::Tensor;
+
+use crate::{Result, TrainError};
+
+/// Gradient accumulator keyed by tensor-slot id.
+#[derive(Debug, Default)]
+pub(crate) struct Grads {
+    map: HashMap<usize, Vec<f32>>,
+}
+
+impl Grads {
+    pub(crate) fn new() -> Self {
+        Grads::default()
+    }
+
+    /// Adds a contribution (element-wise) to a tensor's gradient.
+    pub(crate) fn add(&mut self, id: TensorId, contribution: Vec<f32>) {
+        match self.map.get_mut(&id.0) {
+            Some(g) => {
+                for (a, b) in g.iter_mut().zip(&contribution) {
+                    *a += b;
+                }
+            }
+            None => {
+                self.map.insert(id.0, contribution);
+            }
+        }
+    }
+
+    /// Removes and returns a tensor's gradient.
+    pub(crate) fn take(&mut self, id: TensorId) -> Option<Vec<f32>> {
+        self.map.remove(&id.0)
+    }
+
+    /// Drains all remaining gradients (constants keep theirs until the
+    /// optimizer consumes them).
+    pub(crate) fn drain(self) -> HashMap<usize, Vec<f32>> {
+        self.map
+    }
+}
+
+fn out_size(input: usize, k: usize, stride: usize, padding: Padding) -> usize {
+    match padding {
+        Padding::Same => input.div_ceil(stride),
+        Padding::Valid => (input - k) / stride + 1,
+    }
+}
+
+fn pad_before(input: usize, k: usize, stride: usize, padding: Padding) -> usize {
+    match padding {
+        Padding::Valid => 0,
+        Padding::Same => {
+            let out = input.div_ceil(stride);
+            (((out - 1) * stride + k).saturating_sub(input)) / 2
+        }
+    }
+}
+
+fn act_grad(act: Activation, x: f32) -> f32 {
+    match act {
+        Activation::None => 1.0,
+        Activation::Relu => {
+            if x > 0.0 {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        Activation::Relu6 => {
+            if x > 0.0 && x < 6.0 {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        Activation::HardSwish => {
+            if x <= -3.0 {
+                0.0
+            } else if x >= 3.0 {
+                1.0
+            } else {
+                (2.0 * x + 3.0) / 6.0
+            }
+        }
+        Activation::HardSigmoid => {
+            if x > -3.0 && x < 3.0 {
+                1.0 / 6.0
+            } else {
+                0.0
+            }
+        }
+        Activation::Sigmoid => {
+            let s = 1.0 / (1.0 + (-x).exp());
+            s * (1.0 - s)
+        }
+        Activation::Gelu => {
+            let c = (2.0f32 / std::f32::consts::PI).sqrt();
+            let u = c * (x + 0.044715 * x * x * x);
+            let t = u.tanh();
+            0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * c * (1.0 + 3.0 * 0.044715 * x * x)
+        }
+    }
+}
+
+fn err_unsupported(node: &Node) -> TrainError {
+    TrainError::UnsupportedOp { node: node.name.clone(), op: node.op.type_label().to_string() }
+}
+
+/// Backpropagates through one node. `get` resolves forward values.
+pub(crate) fn backward_node<'a>(
+    node: &Node,
+    get: &impl Fn(TensorId) -> &'a Tensor,
+    gout: &[f32],
+    grads: &mut Grads,
+) -> Result<()> {
+    match &node.op {
+        OpKind::Conv2d { stride, padding, activation } => {
+            if *activation != Activation::None {
+                return Err(TrainError::BadClassifier(
+                    "train on the split-activation graph (fused activation found)".into(),
+                ));
+            }
+            conv2d_backward(node, get, gout, grads, *stride, *padding)
+        }
+        OpKind::DepthwiseConv2d { stride, padding, activation } => {
+            if *activation != Activation::None {
+                return Err(TrainError::BadClassifier(
+                    "train on the split-activation graph (fused activation found)".into(),
+                ));
+            }
+            dwconv_backward(node, get, gout, grads, *stride, *padding)
+        }
+        OpKind::FullyConnected { .. } => fc_backward(node, get, gout, grads),
+        OpKind::Mean => mean_backward(node, get, gout, grads),
+        OpKind::AveragePool2d { pool_h, pool_w, stride, padding } => {
+            avgpool_backward(node, get, gout, grads, *pool_h, *pool_w, *stride, *padding)
+        }
+        OpKind::Add { .. } => {
+            // Fused activations were split; Add is linear here.
+            let rhs = get(node.inputs[1]);
+            let rhs_len = rhs.len().max(1);
+            grads.add(node.inputs[0], gout.to_vec());
+            let mut grhs = vec![0.0f32; rhs_len];
+            for (i, &g) in gout.iter().enumerate() {
+                grhs[i % rhs_len] += g;
+            }
+            grads.add(node.inputs[1], grhs);
+            Ok(())
+        }
+        OpKind::Mul => mul_backward(node, get, gout, grads),
+        OpKind::Concat { axis } => concat_backward(node, get, gout, grads, *axis),
+        OpKind::Reshape { .. } => {
+            grads.add(node.inputs[0], gout.to_vec());
+            Ok(())
+        }
+        OpKind::Act(act) => {
+            let x = get(node.inputs[0]).as_f32()?;
+            let gin = x
+                .iter()
+                .zip(gout)
+                .map(|(&xv, &g)| g * act_grad(*act, xv))
+                .collect();
+            grads.add(node.inputs[0], gin);
+            Ok(())
+        }
+        OpKind::Embedding => {
+            let ids = get(node.inputs[0]).as_i32()?;
+            let table = get(node.inputs[1]);
+            let (v, d) = (table.shape().dims()[0], table.shape().dims()[1]);
+            let mut gt = vec![0.0f32; v * d];
+            for (i, &id) in ids.iter().enumerate() {
+                let row = (id.max(0) as usize).min(v - 1);
+                for j in 0..d {
+                    gt[row * d + j] += gout[i * d + j];
+                }
+            }
+            grads.add(node.inputs[1], gt);
+            Ok(())
+        }
+        OpKind::Softmax => {
+            // Mid-graph softmax (attention): g_in = p .* (g - sum(g .* p)).
+            let p = get(node.output).as_f32()?;
+            let dims = get(node.output).shape().dims();
+            let last = dims[dims.len() - 1];
+            let mut gin = vec![0.0f32; p.len()];
+            for r in 0..p.len() / last {
+                let row = &p[r * last..(r + 1) * last];
+                let grow = &gout[r * last..(r + 1) * last];
+                let dot: f32 = row.iter().zip(grow).map(|(&a, &b)| a * b).sum();
+                for i in 0..last {
+                    gin[r * last + i] = row[i] * (grow[i] - dot);
+                }
+            }
+            grads.add(node.inputs[0], gin);
+            Ok(())
+        }
+        _ => Err(err_unsupported(node)),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn conv2d_backward<'a>(
+    node: &Node,
+    get: &impl Fn(TensorId) -> &'a Tensor,
+    gout: &[f32],
+    grads: &mut Grads,
+    stride: usize,
+    padding: Padding,
+) -> Result<()> {
+    let input = get(node.inputs[0]);
+    let weights = get(node.inputs[1]);
+    let x = input.as_f32()?;
+    let w = weights.as_f32()?;
+    let is = input.shape().dims();
+    let ws = weights.shape().dims();
+    let (n_b, in_h, in_w, in_c) = (is[0], is[1], is[2], is[3]);
+    let (out_c, kh, kw) = (ws[0], ws[1], ws[2]);
+    let out_h = out_size(in_h, kh, stride, padding);
+    let out_w = out_size(in_w, kw, stride, padding);
+    let (pt, pl) = (pad_before(in_h, kh, stride, padding), pad_before(in_w, kw, stride, padding));
+
+    let mut gx = vec![0.0f32; x.len()];
+    let mut gw = vec![0.0f32; w.len()];
+    let mut gb = vec![0.0f32; out_c];
+    for n in 0..n_b {
+        for oy in 0..out_h {
+            for ox in 0..out_w {
+                let obase = ((n * out_h + oy) * out_w + ox) * out_c;
+                for ky in 0..kh {
+                    let iy = (oy * stride + ky) as isize - pt as isize;
+                    if iy < 0 || iy >= in_h as isize {
+                        continue;
+                    }
+                    for kx in 0..kw {
+                        let ix = (ox * stride + kx) as isize - pl as isize;
+                        if ix < 0 || ix >= in_w as isize {
+                            continue;
+                        }
+                        let ibase = ((n * in_h + iy as usize) * in_w + ix as usize) * in_c;
+                        for oc in 0..out_c {
+                            let g = gout[obase + oc];
+                            if g == 0.0 {
+                                continue;
+                            }
+                            let wbase = ((oc * kh + ky) * kw + kx) * in_c;
+                            for ic in 0..in_c {
+                                gx[ibase + ic] += g * w[wbase + ic];
+                                gw[wbase + ic] += g * x[ibase + ic];
+                            }
+                        }
+                    }
+                }
+                for oc in 0..out_c {
+                    gb[oc] += gout[obase + oc];
+                }
+            }
+        }
+    }
+    grads.add(node.inputs[0], gx);
+    grads.add(node.inputs[1], gw);
+    if let Some(&b) = node.inputs.get(2) {
+        grads.add(b, gb);
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dwconv_backward<'a>(
+    node: &Node,
+    get: &impl Fn(TensorId) -> &'a Tensor,
+    gout: &[f32],
+    grads: &mut Grads,
+    stride: usize,
+    padding: Padding,
+) -> Result<()> {
+    let input = get(node.inputs[0]);
+    let weights = get(node.inputs[1]);
+    let x = input.as_f32()?;
+    let w = weights.as_f32()?;
+    let is = input.shape().dims();
+    let ws = weights.shape().dims();
+    let (n_b, in_h, in_w, c) = (is[0], is[1], is[2], is[3]);
+    let (kh, kw) = (ws[1], ws[2]);
+    let out_h = out_size(in_h, kh, stride, padding);
+    let out_w = out_size(in_w, kw, stride, padding);
+    let (pt, pl) = (pad_before(in_h, kh, stride, padding), pad_before(in_w, kw, stride, padding));
+
+    let mut gx = vec![0.0f32; x.len()];
+    let mut gw = vec![0.0f32; w.len()];
+    let mut gb = vec![0.0f32; c];
+    for n in 0..n_b {
+        for oy in 0..out_h {
+            for ox in 0..out_w {
+                let obase = ((n * out_h + oy) * out_w + ox) * c;
+                for ky in 0..kh {
+                    let iy = (oy * stride + ky) as isize - pt as isize;
+                    if iy < 0 || iy >= in_h as isize {
+                        continue;
+                    }
+                    for kx in 0..kw {
+                        let ix = (ox * stride + kx) as isize - pl as isize;
+                        if ix < 0 || ix >= in_w as isize {
+                            continue;
+                        }
+                        let ibase = ((n * in_h + iy as usize) * in_w + ix as usize) * c;
+                        let wbase = (ky * kw + kx) * c;
+                        for ch in 0..c {
+                            let g = gout[obase + ch];
+                            gx[ibase + ch] += g * w[wbase + ch];
+                            gw[wbase + ch] += g * x[ibase + ch];
+                        }
+                    }
+                }
+                for ch in 0..c {
+                    gb[ch] += gout[obase + ch];
+                }
+            }
+        }
+    }
+    grads.add(node.inputs[0], gx);
+    grads.add(node.inputs[1], gw);
+    if let Some(&b) = node.inputs.get(2) {
+        grads.add(b, gb);
+    }
+    Ok(())
+}
+
+fn fc_backward<'a>(
+    node: &Node,
+    get: &impl Fn(TensorId) -> &'a Tensor,
+    gout: &[f32],
+    grads: &mut Grads,
+) -> Result<()> {
+    let input = get(node.inputs[0]);
+    let weights = get(node.inputs[1]);
+    let x = input.as_f32()?;
+    let w = weights.as_f32()?;
+    let (batch, in_f) = (input.shape().dims()[0], input.shape().dims()[1]);
+    let out_f = weights.shape().dims()[0];
+    let mut gx = vec![0.0f32; x.len()];
+    let mut gw = vec![0.0f32; w.len()];
+    let mut gb = vec![0.0f32; out_f];
+    for n in 0..batch {
+        for o in 0..out_f {
+            let g = gout[n * out_f + o];
+            if g == 0.0 {
+                continue;
+            }
+            gb[o] += g;
+            for i in 0..in_f {
+                gx[n * in_f + i] += g * w[o * in_f + i];
+                gw[o * in_f + i] += g * x[n * in_f + i];
+            }
+        }
+    }
+    grads.add(node.inputs[0], gx);
+    grads.add(node.inputs[1], gw);
+    if let Some(&b) = node.inputs.get(2) {
+        grads.add(b, gb);
+    }
+    Ok(())
+}
+
+fn mean_backward<'a>(
+    node: &Node,
+    get: &impl Fn(TensorId) -> &'a Tensor,
+    gout: &[f32],
+    grads: &mut Grads,
+) -> Result<()> {
+    let input = get(node.inputs[0]);
+    let dims = input.shape().dims();
+    let n = dims[0];
+    let c = dims[dims.len() - 1];
+    let mid: usize = dims[1..dims.len() - 1].iter().product::<usize>().max(1);
+    let mut gx = vec![0.0f32; input.len()];
+    for b in 0..n {
+        for m in 0..mid {
+            for ch in 0..c {
+                gx[(b * mid + m) * c + ch] = gout[b * c + ch] / mid as f32;
+            }
+        }
+    }
+    grads.add(node.inputs[0], gx);
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn avgpool_backward<'a>(
+    node: &Node,
+    get: &impl Fn(TensorId) -> &'a Tensor,
+    gout: &[f32],
+    grads: &mut Grads,
+    pool_h: usize,
+    pool_w: usize,
+    stride: usize,
+    padding: Padding,
+) -> Result<()> {
+    let input = get(node.inputs[0]);
+    let is = input.shape().dims();
+    let (n_b, in_h, in_w, c) = (is[0], is[1], is[2], is[3]);
+    let out_h = out_size(in_h, pool_h, stride, padding);
+    let out_w = out_size(in_w, pool_w, stride, padding);
+    let (pt, pl) =
+        (pad_before(in_h, pool_h, stride, padding), pad_before(in_w, pool_w, stride, padding));
+    let mut gx = vec![0.0f32; input.len()];
+    for n in 0..n_b {
+        for oy in 0..out_h {
+            for ox in 0..out_w {
+                // Collect the valid window (the forward pass averages over
+                // valid cells only).
+                let mut cells = Vec::new();
+                for ky in 0..pool_h {
+                    let iy = (oy * stride + ky) as isize - pt as isize;
+                    if iy < 0 || iy >= in_h as isize {
+                        continue;
+                    }
+                    for kx in 0..pool_w {
+                        let ix = (ox * stride + kx) as isize - pl as isize;
+                        if ix >= 0 && ix < in_w as isize {
+                            cells.push((iy as usize, ix as usize));
+                        }
+                    }
+                }
+                let count = cells.len().max(1) as f32;
+                let obase = ((n * out_h + oy) * out_w + ox) * c;
+                for (iy, ix) in cells {
+                    let ibase = ((n * in_h + iy) * in_w + ix) * c;
+                    for ch in 0..c {
+                        gx[ibase + ch] += gout[obase + ch] / count;
+                    }
+                }
+            }
+        }
+    }
+    grads.add(node.inputs[0], gx);
+    Ok(())
+}
+
+fn mul_backward<'a>(
+    node: &Node,
+    get: &impl Fn(TensorId) -> &'a Tensor,
+    gout: &[f32],
+    grads: &mut Grads,
+) -> Result<()> {
+    let a = get(node.inputs[0]);
+    let b = get(node.inputs[1]);
+    let av = a.as_f32()?;
+    let bv = b.as_f32()?;
+    let rhs_index = |i: usize| -> usize {
+        if bv.len() == 1 {
+            0
+        } else if bv.len() == av.len() {
+            i
+        } else {
+            // [n,1,1,c] gate against [n,h,w,c].
+            let d = a.shape().dims();
+            let c = d[3];
+            let n = i / (d[1] * d[2] * c);
+            n * c + i % c
+        }
+    };
+    let mut ga = vec![0.0f32; av.len()];
+    let mut gb = vec![0.0f32; bv.len()];
+    for (i, &g) in gout.iter().enumerate() {
+        let j = rhs_index(i);
+        ga[i] = g * bv[j];
+        gb[j] += g * av[i];
+    }
+    grads.add(node.inputs[0], ga);
+    grads.add(node.inputs[1], gb);
+    Ok(())
+}
+
+fn concat_backward<'a>(
+    node: &Node,
+    get: &impl Fn(TensorId) -> &'a Tensor,
+    gout: &[f32],
+    grads: &mut Grads,
+    axis: usize,
+) -> Result<()> {
+    // Recompute the output layout from the input shapes.
+    let first = get(node.inputs[0]).shape().dims().to_vec();
+    let outer: usize = first[..axis].iter().product::<usize>().max(1);
+    let inner: usize = first[axis + 1..].iter().product::<usize>().max(1);
+    let out_axis: usize = node.inputs.iter().map(|&id| get(id).shape().dims()[axis]).sum();
+    let mut axis_off = 0usize;
+    for &id in &node.inputs {
+        let a = get(id).shape().dims()[axis];
+        let mut g = vec![0.0f32; get(id).len()];
+        for o in 0..outer {
+            for ai in 0..a {
+                let src = (o * out_axis + axis_off + ai) * inner;
+                let dst = (o * a + ai) * inner;
+                g[dst..dst + inner].copy_from_slice(&gout[src..src + inner]);
+            }
+        }
+        grads.add(id, g);
+        axis_off += a;
+    }
+    Ok(())
+}

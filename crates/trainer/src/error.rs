@@ -1,0 +1,63 @@
+use std::fmt;
+
+use mlexray_nn::NnError;
+use mlexray_tensor::TensorError;
+
+/// Errors produced during training.
+#[derive(Debug)]
+pub enum TrainError {
+    /// The graph contains an op with no implemented backward pass.
+    UnsupportedOp {
+        /// Node name.
+        node: String,
+        /// Op label.
+        op: String,
+    },
+    /// The graph does not end in the softmax classifier the loss expects.
+    BadClassifier(String),
+    /// Invalid training configuration.
+    InvalidConfig(String),
+    /// Weight-cache I/O failure.
+    Cache(String),
+    /// Forward-pass failure.
+    Nn(NnError),
+    /// Tensor-level failure.
+    Tensor(TensorError),
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::UnsupportedOp { node, op } => {
+                write!(f, "no backward pass for op {op} at node '{node}'")
+            }
+            TrainError::BadClassifier(msg) => write!(f, "bad classifier: {msg}"),
+            TrainError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
+            TrainError::Cache(msg) => write!(f, "weight cache: {msg}"),
+            TrainError::Nn(e) => write!(f, "forward pass: {e}"),
+            TrainError::Tensor(e) => write!(f, "tensor: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TrainError::Nn(e) => Some(e),
+            TrainError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for TrainError {
+    fn from(e: NnError) -> Self {
+        TrainError::Nn(e)
+    }
+}
+
+impl From<TensorError> for TrainError {
+    fn from(e: TensorError) -> Self {
+        TrainError::Tensor(e)
+    }
+}

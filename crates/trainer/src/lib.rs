@@ -1,0 +1,40 @@
+//! A minimal training engine for the mini models of the ML-EXray
+//! reproduction.
+//!
+//! The paper's accuracy experiments (Figs. 4-6) need models with real
+//! decision boundaries; this crate provides them by training the mini
+//! architectures from `mlexray-models` on the synthetic datasets with
+//! hand-written backward passes — no autodiff framework, just the exact
+//! gradients of the op inventory the minis use (conv, depthwise conv, FC,
+//! pooling, residual adds, SE gates, concat, embeddings, softmax
+//! cross-entropy).
+//!
+//! Training runs on the [`mlexray_nn::Graph::split_fused_activations`] view
+//! of a model so that pre-activation values materialize for exact gradients
+//! of non-monotonic activations (hard-swish).
+//!
+//! # Example
+//!
+//! ```no_run
+//! use mlexray_trainer::{train, evaluate, Sample, TrainConfig};
+//! # fn model() -> mlexray_nn::Model { unimplemented!() }
+//! # fn data() -> Vec<Sample> { unimplemented!() }
+//! let (trained, report) = train(model(), &data(), &TrainConfig::default())?;
+//! let acc = evaluate(&trained, &data())?;
+//! println!("final loss {:.3}, accuracy {:.1}%", report.final_loss, acc * 100.0);
+//! # Ok::<(), mlexray_trainer::TrainError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod backward;
+mod error;
+mod optimizer;
+mod train;
+
+pub use error::TrainError;
+pub use optimizer::{Optimizer, OptimizerKind};
+pub use train::{evaluate, gradients, predict, train, train_or_load, Sample, TrainConfig, TrainReport};
+
+/// Result alias used throughout the trainer crate.
+pub type Result<T> = std::result::Result<T, TrainError>;

@@ -1,0 +1,175 @@
+//! SGD-with-momentum and Adam optimizers operating directly on graph
+//! constants.
+
+use std::collections::HashMap;
+
+use mlexray_nn::{Graph, TensorId};
+use mlexray_tensor::{DType, Tensor};
+
+use crate::Result;
+
+/// Optimizer family and hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OptimizerKind {
+    /// Stochastic gradient descent with classical momentum.
+    Sgd {
+        /// Momentum coefficient (0 disables).
+        momentum: f32,
+    },
+    /// Adam.
+    Adam {
+        /// First-moment decay.
+        beta1: f32,
+        /// Second-moment decay.
+        beta2: f32,
+        /// Denominator stabilizer.
+        eps: f32,
+    },
+}
+
+impl OptimizerKind {
+    /// Adam with the customary defaults.
+    pub fn adam_default() -> Self {
+        OptimizerKind::Adam { beta1: 0.9, beta2: 0.999, eps: 1e-8 }
+    }
+}
+
+#[derive(Debug, Default, Clone)]
+struct ParamState {
+    m: Vec<f32>,
+    v: Vec<f32>,
+}
+
+/// Applies gradient updates to the constants of a graph.
+#[derive(Debug)]
+pub struct Optimizer {
+    kind: OptimizerKind,
+    lr: f32,
+    state: HashMap<usize, ParamState>,
+    step_count: usize,
+}
+
+impl Optimizer {
+    /// Creates an optimizer with a starting learning rate.
+    pub fn new(kind: OptimizerKind, lr: f32) -> Self {
+        Optimizer { kind, lr, state: HashMap::new(), step_count: 0 }
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Updates the learning rate (schedules live in the training loop).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Number of steps applied so far.
+    pub fn steps(&self) -> usize {
+        self.step_count
+    }
+
+    /// Applies one update with the given per-constant gradients (keyed by
+    /// tensor-slot id). Gradients addressed at non-constant or non-float
+    /// slots are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph/tensor errors.
+    pub fn step(&mut self, graph: &mut Graph, grads: &HashMap<usize, Vec<f32>>) -> Result<()> {
+        self.step_count += 1;
+        for (&id, g) in grads {
+            let def = graph.tensor(TensorId(id));
+            let Some(c) = def.as_constant() else { continue };
+            if c.dtype() != DType::F32 {
+                continue;
+            }
+            let shape = c.shape().clone();
+            let mut w = c.as_f32()?.to_vec();
+            let state = self.state.entry(id).or_insert_with(|| ParamState {
+                m: vec![0.0; w.len()],
+                v: vec![0.0; w.len()],
+            });
+            match self.kind {
+                OptimizerKind::Sgd { momentum } => {
+                    for i in 0..w.len() {
+                        state.m[i] = momentum * state.m[i] + g[i];
+                        w[i] -= self.lr * state.m[i];
+                    }
+                }
+                OptimizerKind::Adam { beta1, beta2, eps } => {
+                    let t = self.step_count as f32;
+                    let bias1 = 1.0 - beta1.powf(t);
+                    let bias2 = 1.0 - beta2.powf(t);
+                    for i in 0..w.len() {
+                        state.m[i] = beta1 * state.m[i] + (1.0 - beta1) * g[i];
+                        state.v[i] = beta2 * state.v[i] + (1.0 - beta2) * g[i] * g[i];
+                        let mh = state.m[i] / bias1;
+                        let vh = state.v[i] / bias2;
+                        w[i] -= self.lr * mh / (vh.sqrt() + eps);
+                    }
+                }
+            }
+            graph.set_constant(TensorId(id), Tensor::from_f32(shape, w)?)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlexray_nn::{Activation, GraphBuilder};
+    use mlexray_tensor::Shape;
+
+    fn graph_with_weight(v: f32) -> (Graph, TensorId) {
+        let mut b = GraphBuilder::new("t");
+        let x = b.input("x", Shape::matrix(1, 1));
+        let w = b.constant("w", Tensor::from_f32(Shape::matrix(1, 1), vec![v]).unwrap());
+        let y = b.fully_connected("fc", x, w, None, Activation::None).unwrap();
+        b.output(y);
+        (b.finish().unwrap(), w)
+    }
+
+    #[test]
+    fn sgd_moves_against_gradient() {
+        let (mut g, w) = graph_with_weight(1.0);
+        let mut opt = Optimizer::new(OptimizerKind::Sgd { momentum: 0.0 }, 0.1);
+        let grads = HashMap::from([(w.0, vec![2.0])]);
+        opt.step(&mut g, &grads).unwrap();
+        let v = g.tensor(w).as_constant().unwrap().as_f32().unwrap()[0];
+        assert!((v - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn momentum_accumulates() {
+        let (mut g, w) = graph_with_weight(0.0);
+        let mut opt = Optimizer::new(OptimizerKind::Sgd { momentum: 0.9 }, 0.1);
+        let grads = HashMap::from([(w.0, vec![1.0])]);
+        opt.step(&mut g, &grads).unwrap();
+        opt.step(&mut g, &grads).unwrap();
+        let v = g.tensor(w).as_constant().unwrap().as_f32().unwrap()[0];
+        // Step 1: -0.1; step 2: velocity 1.9 -> -0.19; total -0.29.
+        assert!((v + 0.29).abs() < 1e-6, "{v}");
+    }
+
+    #[test]
+    fn adam_step_is_bounded_by_lr() {
+        let (mut g, w) = graph_with_weight(0.0);
+        let mut opt = Optimizer::new(OptimizerKind::adam_default(), 0.01);
+        let grads = HashMap::from([(w.0, vec![1000.0])]);
+        opt.step(&mut g, &grads).unwrap();
+        let v = g.tensor(w).as_constant().unwrap().as_f32().unwrap()[0];
+        assert!(v.abs() <= 0.011, "Adam normalizes the step: {v}");
+    }
+
+    #[test]
+    fn non_constant_grads_ignored() {
+        let (mut g, _) = graph_with_weight(1.0);
+        let mut opt = Optimizer::new(OptimizerKind::Sgd { momentum: 0.0 }, 0.1);
+        // Tensor 0 is the graph input, not a constant.
+        let grads = HashMap::from([(0usize, vec![1.0])]);
+        opt.step(&mut g, &grads).unwrap();
+    }
+}

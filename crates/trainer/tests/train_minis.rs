@@ -1,0 +1,53 @@
+//! End-to-end training smoke tests: the mini architectures must reach high
+//! accuracy on the synthetic image dataset (the precondition for every
+//! accuracy experiment in Figs. 4–6).
+
+use mlexray_datasets::synth_image::{self, LabeledImage};
+use mlexray_models::{canonical_preprocess, mini_model, MiniFamily};
+use mlexray_trainer::{evaluate, train, Sample, TrainConfig};
+
+fn to_samples(images: &[LabeledImage], family: &str, input: usize) -> Vec<Sample> {
+    let cfg = canonical_preprocess(family, input);
+    images
+        .iter()
+        .map(|s| Sample { inputs: vec![cfg.apply(&s.image).unwrap()], label: s.label })
+        .collect()
+}
+
+fn train_one(family: MiniFamily, train_n: usize, test_n: usize, epochs: usize) -> f32 {
+    let input = 24;
+    let (train_imgs, test_imgs) = synth_image::train_test_split(48, train_n, test_n, 17).unwrap();
+    let model = mini_model(family, input, synth_image::NUM_CLASSES, 3).unwrap();
+    let train_data = to_samples(&train_imgs, family.name(), input);
+    let test_data = to_samples(&test_imgs, family.name(), input);
+    let cfg = TrainConfig { epochs, batch_size: 16, lr: 0.01, ..Default::default() };
+    let (trained, report) = train(model, &train_data, &cfg).unwrap();
+    assert!(
+        report.final_loss < report.epoch_losses[0],
+        "{}: loss should decrease {:?}",
+        family.name(),
+        report.epoch_losses
+    );
+    evaluate(&trained, &test_data).unwrap()
+}
+
+#[test]
+fn mini_v2_learns_synth_images() {
+    let acc = train_one(MiniFamily::MiniV2, 320, 160, 6);
+    assert!(acc > 0.75, "mini_v2 accuracy {acc}");
+}
+
+#[test]
+fn mini_v3_learns_synth_images() {
+    let acc = train_one(MiniFamily::MiniV3, 320, 160, 6);
+    assert!(acc > 0.70, "mini_v3 accuracy {acc}");
+}
+
+#[test]
+#[ignore = "slow: trains all six mini families; run with --ignored"]
+fn all_minis_learn_synth_images() {
+    for family in MiniFamily::ALL {
+        let acc = train_one(family, 320, 160, 6);
+        assert!(acc > 0.70, "{} accuracy {acc}", family.name());
+    }
+}

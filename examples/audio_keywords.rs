@@ -1,0 +1,62 @@
+//! The Fig. 4(c) audio scenario: a home-assistant keyword spotter deployed
+//! with the wrong spectrogram normalization. ML-EXray's normalization-range
+//! assertion identifies the mismatch from the logged preprocessing outputs.
+//!
+//! Run with: `cargo run --release --example audio_keywords`
+
+use mlexray::core::{AudioPipeline, DeploymentValidator, Monitor, MonitorConfig};
+use mlexray::datasets::synth_audio::{self, SynthAudioSpec};
+use mlexray::models::audio::mini_audio_cnn;
+use mlexray::preprocess::{AudioPreprocessConfig, SpectrogramNormalization};
+use mlexray::trainer::{evaluate, train, Sample, TrainConfig};
+
+fn samples(
+    clips: &[synth_audio::LabeledWaveform],
+    cfg: &AudioPreprocessConfig,
+) -> Result<Vec<Sample>, Box<dyn std::error::Error>> {
+    clips
+        .iter()
+        .map(|w| {
+            Ok(Sample { inputs: vec![cfg.apply(&w.samples)?.to_tensor()?], label: w.label })
+        })
+        .collect()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let canonical = AudioPreprocessConfig::speech_default();
+    let deployed_cfg = AudioPreprocessConfig {
+        normalization: SpectrogramNormalization::LogStandardized, // wrong!
+        ..canonical
+    };
+    let train_clips = synth_audio::generate(SynthAudioSpec { count: 320, seed: 11 })?;
+    let test_clips = synth_audio::generate(SynthAudioSpec { count: 128, seed: 12 })?;
+
+    let frames = (synth_audio::WAVEFORM_LEN - 64) / 32 + 1;
+    println!("training the keyword model on {}-frame spectrograms...", frames);
+    let model = mini_audio_cnn(frames, 33, synth_audio::NUM_CLASSES, 6)?;
+    let (model, _) = train(
+        model,
+        &samples(&train_clips, &canonical)?,
+        &TrainConfig { epochs: 6, ..Default::default() },
+    )?;
+    let good = evaluate(&model, &samples(&test_clips, &canonical)?)?;
+    let bad = evaluate(&model, &samples(&test_clips, &deployed_cfg)?)?;
+    println!("accuracy with the training pipeline's normalization: {:.1}%", good * 100.0);
+    println!("accuracy as deployed (standardized spectrograms):    {:.1}%", bad * 100.0);
+
+    // Instrument both pipelines over the same clips and validate.
+    let collect = |cfg: AudioPreprocessConfig| -> Result<_, Box<dyn std::error::Error>> {
+        let pipeline = AudioPipeline::new(model.clone(), cfg);
+        let monitor = Monitor::new(MonitorConfig::offline_validation());
+        let mut runner = pipeline.runner()?;
+        for clip in test_clips.iter().take(8) {
+            runner.classify(&clip.samples, Some(clip.label), &monitor)?;
+        }
+        Ok(monitor.take_logs())
+    };
+    let edge_logs = collect(deployed_cfg)?;
+    let reference_logs = collect(canonical)?;
+    let report = DeploymentValidator::new().validate(&edge_logs, &reference_logs);
+    println!("\n{report}");
+    Ok(())
+}

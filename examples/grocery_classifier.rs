@@ -1,0 +1,72 @@
+//! The paper's motivating scenario (§1): an automated-grocery-store
+//! classification app whose camera stack delivers BGR bytes that the app
+//! mislabels as RGB, plus a sideways-mounted camera. Two bugs at once —
+//! ML-EXray's assertions name both.
+//!
+//! Run with: `cargo run --release --example grocery_classifier`
+
+use mlexray::core::{
+    collect_logs, DeploymentValidator, ImagePipeline, LabeledFrame, MonitorConfig,
+    ReferencePipeline, Verdict,
+};
+use mlexray::datasets::synth_image::{self, SynthImageSpec, CLASS_NAMES};
+use mlexray::models::{canonical_preprocess, mini_model, MiniFamily};
+use mlexray::preprocess::{ChannelOrder, Rotation};
+use mlexray::trainer::{evaluate, train, Sample, TrainConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let input = 24;
+    let canonical = canonical_preprocess("mini_mobilenet_v1", input);
+    let data = synth_image::generate(SynthImageSpec { resolution: 60, count: 320, seed: 5 })?;
+    let samples: Vec<Sample> = data
+        .iter()
+        .map(|s| Ok(Sample { inputs: vec![canonical.apply(&s.image)?], label: s.label }))
+        .collect::<Result<_, Box<dyn std::error::Error>>>()?;
+    println!("training the store's product classifier ({} classes)...", CLASS_NAMES.len());
+    let model = mini_model(MiniFamily::MiniV1, input, synth_image::NUM_CLASSES, 3)?;
+    let (model, _) = train(model, &samples, &TrainConfig { epochs: 5, ..Default::default() })?;
+
+    // The deployment: camera bytes arrive BGR (relabeled, not converted) and
+    // the camera is mounted sideways.
+    let test = synth_image::generate(SynthImageSpec { resolution: 60, count: 64, seed: 77 })?;
+    let frames: Vec<LabeledFrame> = test
+        .iter()
+        .map(|s| LabeledFrame::new(s.image.relabeled(ChannelOrder::Bgr), Some(s.label)))
+        .collect();
+    let deployed = ImagePipeline::new(
+        model.clone(),
+        mlexray::preprocess::ImagePreprocessConfig { rotation: Rotation::Deg90, ..canonical.clone() },
+    );
+
+    // Accuracy check the way the app team would do it first:
+    let eval_samples: Vec<Sample> = frames
+        .iter()
+        .map(|f| {
+            Ok(Sample {
+                inputs: vec![deployed.preprocess.apply(&f.image)?],
+                label: f.label.unwrap_or(0),
+            })
+        })
+        .collect::<Result<_, Box<dyn std::error::Error>>>()?;
+    let deployed_acc = evaluate(&model, &eval_samples)?;
+    println!("deployed accuracy: {:.1}% — something is wrong!", deployed_acc * 100.0);
+
+    // ML-EXray: replay the same frames through both pipelines and validate.
+    let edge_logs = collect_logs(&deployed, &frames, MonitorConfig::offline_validation())?;
+    // The reference pipeline replays the *correctly captured* frames.
+    let reference_frames: Vec<LabeledFrame> = test
+        .iter()
+        .map(|s| LabeledFrame::new(s.image.clone(), Some(s.label)))
+        .collect();
+    let reference = ReferencePipeline::new(model, canonical);
+    let reference_logs = reference.replay(&reference_frames)?;
+
+    let report = DeploymentValidator::new().validate(&edge_logs, &reference_logs);
+    println!("\n{report}\n");
+    assert_eq!(report.verdict, Verdict::Degraded);
+    println!("both deployment bugs were caught:");
+    for cause in report.root_causes() {
+        println!("  - {cause}");
+    }
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! Quickstart: instrument an edge pipeline, replay a reference pipeline, and
+//! let ML-EXray's validator find the deployment bug.
+//!
+//! The "app" here deploys a trained mini-MobileNetV2 with a classic §2
+//! mistake: its developer normalized pixels to `[0, 1]` while the model was
+//! trained on `[-1, 1]`. No runtime error occurs — accuracy just silently
+//! drops — until the validator compares the logs.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use mlexray::core::{
+    collect_logs, DeploymentValidator, ImagePipeline, LabeledFrame, MonitorConfig,
+    ReferencePipeline,
+};
+use mlexray::datasets::synth_image::{self, SynthImageSpec};
+use mlexray::models::{canonical_preprocess, mini_model, MiniFamily};
+use mlexray::preprocess::NormalizationScheme;
+use mlexray::trainer::{train, Sample, TrainConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Train a small model on the synthetic image task (seconds).
+    let input = 24;
+    let canonical = canonical_preprocess("mini_mobilenet_v2", input);
+    let train_set = synth_image::generate(SynthImageSpec {
+        resolution: 60,
+        count: 320,
+        seed: 1,
+    })?;
+    let samples: Vec<Sample> = train_set
+        .iter()
+        .map(|s| {
+            Ok(Sample { inputs: vec![canonical.apply(&s.image)?], label: s.label })
+        })
+        .collect::<Result<_, Box<dyn std::error::Error>>>()?;
+    println!("training mini MobileNetV2 on {} synthetic frames...", samples.len());
+    let model = mini_model(MiniFamily::MiniV2, input, synth_image::NUM_CLASSES, 7)?;
+    let (model, report) = train(model, &samples, &TrainConfig { epochs: 5, ..Default::default() })?;
+    println!("final training loss: {:.3}", report.final_loss);
+
+    // 2. The deployed app — with the silent normalization bug.
+    let buggy = ImagePipeline::new(
+        model.clone(),
+        mlexray::preprocess::ImagePreprocessConfig {
+            normalization: NormalizationScheme::ZeroToOne, // should be [-1, 1]!
+            ..canonical.clone()
+        },
+    );
+
+    // 3. Replay the same frames through both pipelines (the SD-card trick).
+    let frames: Vec<LabeledFrame> = synth_image::generate(SynthImageSpec {
+        resolution: 60,
+        count: 24,
+        seed: 99,
+    })?
+    .into_iter()
+    .map(|s| LabeledFrame::new(s.image, Some(s.label)))
+    .collect();
+
+    let edge_logs = collect_logs(&buggy, &frames, MonitorConfig::offline_validation())?;
+    let reference = ReferencePipeline::new(model, canonical);
+    let reference_logs = reference.replay(&frames)?;
+
+    // 4. Validate: accuracy comparison -> per-layer drift -> assertions.
+    let validator = DeploymentValidator::new();
+    let verdict = validator.validate(&edge_logs, &reference_logs);
+    println!("\n{verdict}\n");
+    for cause in verdict.root_causes() {
+        println!("root cause: {cause}");
+    }
+    Ok(())
+}

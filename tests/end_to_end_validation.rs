@@ -1,0 +1,125 @@
+//! End-to-end integration: train → deploy with a bug → instrument both
+//! pipelines → ML-EXray names the root cause. Exercises every crate in the
+//! workspace through the facade.
+
+use mlexray::core::{
+    collect_logs, AssertionStatus, DeploymentValidator, ImagePipeline, LabeledFrame,
+    MonitorConfig, ReferencePipeline, Verdict,
+};
+use mlexray::datasets::synth_image::{self, SynthImageSpec};
+use mlexray::models::{canonical_preprocess, mini_model, MiniFamily};
+use mlexray::nn::Model;
+use mlexray::preprocess::PreprocessBug;
+use mlexray::trainer::{train, Sample, TrainConfig};
+
+const INPUT: usize = 16;
+const RES: usize = 40;
+
+fn trained_model() -> Model {
+    let canonical = canonical_preprocess("mini_mobilenet_v2", INPUT);
+    let data = synth_image::generate(SynthImageSpec { resolution: RES, count: 128, seed: 3 })
+        .unwrap();
+    let samples: Vec<Sample> = data
+        .iter()
+        .map(|s| Sample { inputs: vec![canonical.apply(&s.image).unwrap()], label: s.label })
+        .collect();
+    let model = mini_model(MiniFamily::MiniV2, INPUT, synth_image::NUM_CLASSES, 7).unwrap();
+    let (model, _) =
+        train(model, &samples, &TrainConfig { epochs: 3, ..Default::default() }).unwrap();
+    model
+}
+
+fn frames(n: usize, seed: u64) -> Vec<LabeledFrame> {
+    synth_image::generate(SynthImageSpec { resolution: RES, count: n, seed })
+        .unwrap()
+        .into_iter()
+        .map(|s| LabeledFrame::new(s.image, Some(s.label)))
+        .collect()
+}
+
+#[test]
+fn validator_names_each_preprocessing_bug() {
+    let model = trained_model();
+    let canonical = canonical_preprocess("mini_mobilenet_v2", INPUT);
+    let frames = frames(6, 42);
+    let reference = ReferencePipeline::with_optimized_kernels(model.clone(), canonical.clone());
+    let reference_logs = reference.replay(&frames).unwrap();
+    let validator = DeploymentValidator::new();
+
+    let expectations = [
+        (PreprocessBug::Channel, "channel_arrangement"),
+        (PreprocessBug::Normalization, "normalization_range"),
+        (PreprocessBug::Rotation, "orientation"),
+    ];
+    for (bug, expected_assertion) in expectations {
+        let edge = ImagePipeline::new(model.clone(), canonical.with_bug(bug));
+        let edge_logs =
+            collect_logs(&edge, &frames, MonitorConfig::offline_validation()).unwrap();
+        let report = validator.validate(&edge_logs, &reference_logs);
+        assert_eq!(report.verdict, Verdict::Degraded, "{bug:?}");
+        let fired: Vec<&str> = report.failures().iter().map(|o| o.name.as_str()).collect();
+        assert!(
+            fired.contains(&expected_assertion),
+            "{bug:?}: expected {expected_assertion}, got {fired:?}"
+        );
+    }
+}
+
+#[test]
+fn healthy_deployment_stays_healthy() {
+    let model = trained_model();
+    let canonical = canonical_preprocess("mini_mobilenet_v2", INPUT);
+    let frames = frames(6, 43);
+    let reference = ReferencePipeline::with_optimized_kernels(model.clone(), canonical.clone());
+    let reference_logs = reference.replay(&frames).unwrap();
+    let edge = ImagePipeline::new(model, canonical);
+    let edge_logs = collect_logs(&edge, &frames, MonitorConfig::offline_validation()).unwrap();
+    let report = DeploymentValidator::new().validate(&edge_logs, &reference_logs);
+    assert_eq!(report.verdict, Verdict::Healthy, "{report}");
+    // Every built-in assertion either passed or was skipped.
+    assert!(report
+        .outcomes
+        .iter()
+        .all(|o| o.status != AssertionStatus::Fail));
+}
+
+#[test]
+fn runtime_monitoring_is_cheap_and_small() {
+    // §4.2: the always-on configuration logs well under a kilobyte per frame.
+    let model = trained_model();
+    let canonical = canonical_preprocess("mini_mobilenet_v2", INPUT);
+    let frames = frames(10, 44);
+    let edge = ImagePipeline::new(model, canonical);
+    let logs = collect_logs(&edge, &frames, MonitorConfig::runtime()).unwrap();
+    let per_frame = logs.byte_size() / frames.len() as u64;
+    assert!(per_frame < 1024, "runtime logging should be < 1 KB/frame, got {per_frame}");
+    // And contains no per-layer dumps.
+    assert!(logs.keys_with_prefix("layer/").is_empty());
+    // While the offline mode does contain them.
+    let reference = ReferencePipeline::with_optimized_kernels(
+        edge.model.clone(),
+        edge.preprocess.clone(),
+    );
+    let full = reference.replay(&frames[..2]).unwrap();
+    assert!(!full.keys_with_prefix("layer/").is_empty());
+    assert!(full.byte_size() / 2 > per_frame * 10);
+}
+
+#[test]
+fn jsonl_logs_roundtrip_through_disk() {
+    use mlexray::core::{JsonlFileSink, LogSink, Monitor};
+    use std::sync::Arc;
+
+    let dir = std::env::temp_dir().join(format!("mlexray-e2e-{}", std::process::id()));
+    let path = dir.join("edge.jsonl");
+    let sink = Arc::new(JsonlFileSink::create(&path).unwrap());
+    let monitor = Monitor::with_sink(MonitorConfig::runtime(), sink.clone());
+    monitor.on_inference_start();
+    monitor.log_decision(3, Some(3));
+    monitor.on_inference_stop();
+    sink.flush().unwrap();
+    let records = JsonlFileSink::read(&path).unwrap();
+    assert_eq!(records.len(), 2);
+    assert!(sink.bytes_written() > 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
