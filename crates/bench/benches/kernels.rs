@@ -15,14 +15,22 @@ fn conv_graph(depthwise: bool) -> Graph {
     let mut b = GraphBuilder::new("bench");
     let x = b.input("x", Shape::nhwc(1, 32, 32, 16));
     if depthwise {
-        let w = b.constant("w", he_normal(Shape::new(vec![1, 3, 3, 16]), 9, &mut rng).unwrap());
+        let w = b.constant(
+            "w",
+            he_normal(Shape::new(vec![1, 3, 3, 16]), 9, &mut rng).unwrap(),
+        );
         let y = b
             .depthwise_conv2d("dw", x, w, None, 1, Padding::Same, Activation::Relu6)
             .unwrap();
         b.output(y);
     } else {
-        let w = b.constant("w", he_normal(Shape::new(vec![16, 3, 3, 16]), 144, &mut rng).unwrap());
-        let y = b.conv2d("conv", x, w, None, 1, Padding::Same, Activation::Relu6).unwrap();
+        let w = b.constant(
+            "w",
+            he_normal(Shape::new(vec![16, 3, 3, 16]), 144, &mut rng).unwrap(),
+        );
+        let y = b
+            .conv2d("conv", x, w, None, 1, Padding::Same, Activation::Relu6)
+            .unwrap();
         b.output(y);
     }
     b.finish().unwrap()
@@ -32,12 +40,16 @@ fn bench_kernels(c: &mut Criterion) {
     let input = Tensor::filled_f32(Shape::nhwc(1, 32, 32, 16), 0.25);
     for (name, depthwise) in [("conv3x3", false), ("dwconv3x3", true)] {
         let graph = conv_graph(depthwise);
-        for (flavor_name, flavor) in
-            [("optimized", KernelFlavor::Optimized), ("reference", KernelFlavor::Reference)]
-        {
+        for (flavor_name, flavor) in [
+            ("optimized", KernelFlavor::Optimized),
+            ("reference", KernelFlavor::Reference),
+        ] {
             let mut interp = Interpreter::new(
                 &graph,
-                InterpreterOptions { flavor, ..Default::default() },
+                InterpreterOptions {
+                    flavor,
+                    ..Default::default()
+                },
             )
             .unwrap();
             c.bench_function(&format!("{name}/{flavor_name}"), |b| {

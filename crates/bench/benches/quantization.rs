@@ -10,7 +10,12 @@ use mlexray_tensor::{Shape, Tensor};
 fn bench_quantization(c: &mut Criterion) {
     let ckpt = mini_model(MiniFamily::MiniV2, 24, 8, 1).unwrap();
     let samples: Vec<Vec<Tensor>> = (0..8)
-        .map(|i| vec![Tensor::filled_f32(Shape::nhwc(1, 24, 24, 3), i as f32 * 0.1 - 0.4)])
+        .map(|i| {
+            vec![Tensor::filled_f32(
+                Shape::nhwc(1, 24, 24, 3),
+                i as f32 * 0.1 - 0.4,
+            )]
+        })
         .collect();
 
     c.bench_function("convert_to_mobile/mini_v2", |b| {

@@ -11,12 +11,16 @@ fn synth_logs(layers: usize, frames: u64, len: usize, offset: f32) -> LogSet {
     let mut records = Vec::new();
     for frame in 0..frames {
         for l in 0..layers {
-            let values: Vec<f32> =
-                (0..len).map(|i| (i as f32 * 0.01 + l as f32) + offset).collect();
+            let values: Vec<f32> = (0..len)
+                .map(|i| (i as f32 * 0.01 + l as f32) + offset)
+                .collect();
             records.push(LogRecord {
                 frame,
                 key: format!("layer/block{l}/conv/output"),
-                value: LogValue::TensorFull { shape: Shape::vector(len), values },
+                value: LogValue::TensorFull {
+                    shape: Shape::vector(len),
+                    values,
+                },
             });
         }
     }

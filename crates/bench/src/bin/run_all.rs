@@ -9,6 +9,12 @@ fn main() {
     println!("{}\n", mlexray_bench::experiments::appendix_a::run(&scale));
     println!("{}\n", mlexray_bench::experiments::table2::run(&scale));
     println!("{}\n", mlexray_bench::experiments::table4::run(&scale));
-    println!("{}\n", mlexray_bench::experiments::table3_5::run_int8(&scale));
-    println!("{}\n", mlexray_bench::experiments::table3_5::run_float(&scale));
+    println!(
+        "{}\n",
+        mlexray_bench::experiments::table3_5::run_int8(&scale)
+    );
+    println!(
+        "{}\n",
+        mlexray_bench::experiments::table3_5::run_float(&scale)
+    );
 }

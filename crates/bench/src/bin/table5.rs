@@ -1,5 +1,8 @@
 //! Regenerates Table 5 (offline validation overhead, float models).
 fn main() {
     let scale = mlexray_bench::support::Scale::from_env();
-    println!("{}", mlexray_bench::experiments::table3_5::run_float(&scale));
+    println!(
+        "{}",
+        mlexray_bench::experiments::table3_5::run_float(&scale)
+    );
 }

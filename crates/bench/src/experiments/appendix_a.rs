@@ -17,7 +17,10 @@ const DIM: usize = 16;
 
 fn encode(cfg: &TextPreprocessConfig, vocab: &Vocabulary, text: &str) -> Sample {
     let ids = cfg.encode(text, vocab).expect("encode");
-    Sample { inputs: vec![ids_to_tensor(&ids).expect("tensor")], label: 0 }
+    Sample {
+        inputs: vec![ids_to_tensor(&ids).expect("tensor")],
+        label: 0,
+    }
 }
 
 /// Runs the Appendix A experiment.
@@ -28,19 +31,39 @@ pub fn run(scale: &Scale) -> String {
             .expect("split");
     let lowercase = TextPreprocessConfig::sentiment_default();
     let cased = TextPreprocessConfig {
-        tokenizer: Tokenizer { lowercase: false, strip_punctuation: true },
+        tokenizer: Tokenizer {
+            lowercase: false,
+            strip_punctuation: true,
+        },
         max_len: SEQ_LEN,
     };
 
     // Train NNLM with the canonical (lowercase) pipeline.
     let data: Vec<Sample> = train
         .iter()
-        .map(|r| Sample { label: r.label, ..encode(&lowercase, &vocab, &r.text) })
+        .map(|r| Sample {
+            label: r.label,
+            ..encode(&lowercase, &vocab, &r.text)
+        })
         .collect();
-    let cache = cache_dir().join(format!("nnlm_n{}_e{}.json", scale.train_n.min(320), scale.epochs));
-    let tc = TrainConfig { epochs: scale.epochs, batch_size: 16, lr: 0.02, ..Default::default() };
-    let model = train_or_load(&cache, || nnlm(vocab.len(), SEQ_LEN, DIM, 2, 17), &data, &tc)
-        .expect("nnlm trains");
+    let cache = cache_dir().join(format!(
+        "nnlm_n{}_e{}.json",
+        scale.train_n.min(320),
+        scale.epochs
+    ));
+    let tc = TrainConfig {
+        epochs: scale.epochs,
+        batch_size: 16,
+        lr: 0.02,
+        ..Default::default()
+    };
+    let model = train_or_load(
+        &cache,
+        || nnlm(vocab.len(), SEQ_LEN, DIM, 2, 17),
+        &data,
+        &tc,
+    )
+    .expect("nnlm trains");
 
     // Evaluate both pipelines and measure embedding-output divergence.
     let mut interp =
@@ -71,11 +94,17 @@ pub fn run(scale: &Scale) -> String {
         let lo = encode(&lowercase, &vocab, &r.text);
         interp.invoke(&lo.inputs).expect("inference");
         let emb_lower = interp.tensor_value(avg_out).expect("value").to_f32_vec();
-        let out_lower = interp.tensor_value(model.graph.outputs()[0]).expect("out").to_f32_vec();
+        let out_lower = interp
+            .tensor_value(model.graph.outputs()[0])
+            .expect("out")
+            .to_f32_vec();
         let ca = encode(&cased, &vocab, &r.text);
         interp.invoke(&ca.inputs).expect("inference");
         let emb_cased = interp.tensor_value(avg_out).expect("value").to_f32_vec();
-        let out_cased = interp.tensor_value(model.graph.outputs()[0]).expect("out").to_f32_vec();
+        let out_cased = interp
+            .tensor_value(model.graph.outputs()[0])
+            .expect("out")
+            .to_f32_vec();
         divergence += normalized_rmse(&emb_cased, &emb_lower) as f64;
         let p_lower = usize::from(out_lower[1] > out_lower[0]);
         let p_cased = usize::from(out_cased[1] > out_cased[0]);
@@ -87,8 +116,14 @@ pub fn run(scale: &Scale) -> String {
     let table = format_table(
         &["Pipeline", "Accuracy"],
         &[
-            vec!["lowercase (training pipeline)".into(), format!("{:.1}%", results[0] * 100.0)],
-            vec!["cased (deployed pipeline)".into(), format!("{:.1}%", results[1] * 100.0)],
+            vec![
+                "lowercase (training pipeline)".into(),
+                format!("{:.1}%", results[0] * 100.0),
+            ],
+            vec![
+                "cased (deployed pipeline)".into(),
+                format!("{:.1}%", results[1] * 100.0),
+            ],
         ],
     );
     format!(

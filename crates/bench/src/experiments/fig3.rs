@@ -19,8 +19,7 @@ use mlexray_preprocess::{
 use crate::support::{format_table, image_split, to_frames, to_samples, trained_mini, Scale};
 
 fn detected(report: &ValidationReport) -> String {
-    let causes: Vec<String> =
-        report.failures().iter().map(|o| o.name.clone()).collect();
+    let causes: Vec<String> = report.failures().iter().map(|o| o.name.clone()).collect();
     if causes.is_empty() {
         "NOT DETECTED".to_string()
     } else {
@@ -95,7 +94,9 @@ pub fn run(scale: &Scale) -> String {
             let monitor = Monitor::new(MonitorConfig::offline_validation());
             let mut runner = pipeline.runner().expect("runner");
             for clip in &clips {
-                runner.classify(&clip.samples, Some(clip.label), &monitor).expect("classify");
+                runner
+                    .classify(&clip.samples, Some(clip.label), &monitor)
+                    .expect("classify");
             }
             monitor.take_logs()
         };
@@ -125,18 +126,26 @@ pub fn run(scale: &Scale) -> String {
         let run_docs = |tok: Tokenizer| -> LogSet {
             let pipeline = mlexray_core::TextPipeline::new(
                 text_model.clone(),
-                TextPreprocessConfig { tokenizer: tok, max_len: 16 },
+                TextPreprocessConfig {
+                    tokenizer: tok,
+                    max_len: 16,
+                },
                 vocab.clone(),
             );
             let monitor = Monitor::new(MonitorConfig::offline_validation());
             let mut runner = pipeline.runner().expect("runner");
             for r in &reviews {
-                runner.classify(&r.text, Some(r.label), &monitor).expect("classify");
+                runner
+                    .classify(&r.text, Some(r.label), &monitor)
+                    .expect("classify");
             }
             monitor.take_logs()
         };
         let reference = run_docs(Tokenizer::default());
-        let edge = run_docs(Tokenizer { lowercase: false, strip_punctuation: true });
+        let edge = run_docs(Tokenizer {
+            lowercase: false,
+            strip_punctuation: true,
+        });
         // The user-defined assertion of §3.2: compare token-id streams.
         let custom = mlexray_core::FnAssertion::new("token_ids_match", |ctx| {
             let (Some(e), Some(r)) = (
@@ -174,10 +183,10 @@ pub fn run(scale: &Scale) -> String {
                 .into_iter()
                 .map(|s| s.inputs)
                 .collect();
-        let calib = calibrate(&mobile.graph, calib_inputs.iter().map(Vec::as_slice))
-            .expect("calibration");
-        let quant = quantize_model(&mobile, &calib, QuantizationOptions::default())
-            .expect("quantization");
+        let calib =
+            calibrate(&mobile.graph, calib_inputs.iter().map(Vec::as_slice)).expect("calibration");
+        let quant =
+            quantize_model(&mobile, &calib, QuantizationOptions::default()).expect("quantization");
         let reference = collect_logs(
             &ImagePipeline::new(mobile, canonical3.clone()),
             &frames,

@@ -44,7 +44,14 @@ pub fn classification(scale: &Scale) -> String {
         rows.push(cells);
     }
     format_table(
-        &["Model", "Mobile", "Resize", "Channel", "Normalization", "Rotation"],
+        &[
+            "Model",
+            "Mobile",
+            "Resize",
+            "Channel",
+            "Normalization",
+            "Rotation",
+        ],
         &rows,
     )
 }
@@ -86,7 +93,13 @@ pub fn detection(scale: &Scale) -> String {
                     .iter()
                     .map(|o| {
                         let (x0, y0, x1, y1) = o.corners();
-                        ssd::GtBox { x0, y0, x1, y1, class: o.class }
+                        ssd::GtBox {
+                            x0,
+                            y0,
+                            x1,
+                            y1,
+                            class: o.class,
+                        }
                     })
                     .collect::<Vec<_>>(),
             );
@@ -103,7 +116,11 @@ fn audio_samples(
 ) -> Vec<Sample> {
     data.iter()
         .map(|w| Sample {
-            inputs: vec![cfg.apply(&w.samples).expect("spectrogram").to_tensor().expect("tensor")],
+            inputs: vec![cfg
+                .apply(&w.samples)
+                .expect("spectrogram")
+                .to_tensor()
+                .expect("tensor")],
             label: w.label,
         })
         .collect()
@@ -112,12 +129,9 @@ fn audio_samples(
 /// Panel (c): two speech models from different training pipelines, each
 /// evaluated with the correct and the mismatched spectrogram normalization.
 pub fn audio(scale: &Scale) -> String {
-    let (train, test) = synth_audio::train_test_split(
-        scale.train_n.min(320),
-        scale.test_n.min(240),
-        404,
-    )
-    .expect("audio split");
+    let (train, test) =
+        synth_audio::train_test_split(scale.train_n.min(320), scale.test_n.min(240), 404)
+            .expect("audio split");
     let frames = (synth_audio::WAVEFORM_LEN - 64) / 32 + 1;
     let norms = [
         ("log", SpectrogramNormalization::LogMagnitude),
@@ -125,7 +139,10 @@ pub fn audio(scale: &Scale) -> String {
     ];
     let mut rows = Vec::new();
     for (i, (name, norm)) in norms.iter().enumerate() {
-        let cfg = AudioPreprocessConfig { normalization: *norm, ..AudioPreprocessConfig::speech_default() };
+        let cfg = AudioPreprocessConfig {
+            normalization: *norm,
+            ..AudioPreprocessConfig::speech_default()
+        };
         let other = AudioPreprocessConfig {
             normalization: norms[1 - i].1,
             ..AudioPreprocessConfig::speech_default()
@@ -135,7 +152,12 @@ pub fn audio(scale: &Scale) -> String {
             scale.train_n.min(320),
             scale.epochs
         ));
-        let tc = TrainConfig { epochs: scale.epochs, batch_size: 16, lr: 0.01, ..Default::default() };
+        let tc = TrainConfig {
+            epochs: scale.epochs,
+            batch_size: 16,
+            lr: 0.01,
+            ..Default::default()
+        };
         let model = train_or_load(
             &cache,
             || mini_audio_cnn(frames, 33, synth_audio::NUM_CLASSES, 5),

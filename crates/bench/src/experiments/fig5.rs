@@ -26,31 +26,35 @@ pub fn run(scale: &Scale) -> String {
         let checkpoint = trained_mini(family, scale);
         let canonical = canonical_preprocess(family.name(), scale.input);
         let test = to_samples(&test_imgs, &canonical);
-        let calib_samples: Vec<Vec<mlexray_tensor::Tensor>> = to_samples(
-            &train_imgs[..train_imgs.len().min(48)],
-            &canonical,
-        )
-        .into_iter()
-        .map(|s| s.inputs)
-        .collect();
+        let calib_samples: Vec<Vec<mlexray_tensor::Tensor>> =
+            to_samples(&train_imgs[..train_imgs.len().min(48)], &canonical)
+                .into_iter()
+                .map(|s| s.inputs)
+                .collect();
 
         let mobile = convert_to_mobile(&checkpoint).expect("conversion");
-        let calib = calibrate(&mobile.graph, calib_samples.iter().map(Vec::as_slice))
-            .expect("calibration");
-        let quant = quantize_model(&mobile, &calib, QuantizationOptions::default())
-            .expect("quantization");
+        let calib =
+            calibrate(&mobile.graph, calib_samples.iter().map(Vec::as_slice)).expect("calibration");
+        let quant =
+            quantize_model(&mobile, &calib, QuantizationOptions::default()).expect("quantization");
 
         let reference = accuracy_with_options(&checkpoint, &test, InterpreterOptions::reference());
         let mobile_acc = accuracy_with_options(&mobile, &test, InterpreterOptions::optimized());
         let quant_opt = accuracy_with_options(
             &quant,
             &test,
-            InterpreterOptions { flavor: KernelFlavor::Optimized, bugs: KernelBugs::paper_2021() },
+            InterpreterOptions {
+                flavor: KernelFlavor::Optimized,
+                bugs: KernelBugs::paper_2021(),
+            },
         );
         let quant_ref = accuracy_with_options(
             &quant,
             &test,
-            InterpreterOptions { flavor: KernelFlavor::Reference, bugs: KernelBugs::paper_2021() },
+            InterpreterOptions {
+                flavor: KernelFlavor::Reference,
+                bugs: KernelBugs::paper_2021(),
+            },
         );
         rows.push(vec![
             family.label().to_string(),

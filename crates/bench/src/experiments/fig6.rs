@@ -56,12 +56,13 @@ pub fn panel(family: MiniFamily, scale: &Scale) -> String {
         ("OpResolver", KernelFlavor::Optimized),
         ("RefOpResolver", KernelFlavor::Reference),
     ] {
-        let edge_pipeline = ImagePipeline::new(quant.clone(), canonical.clone()).with_options(
-            InterpreterOptions { flavor, bugs: KernelBugs::paper_2021() },
-        );
-        let edge_logs =
-            collect_logs(&edge_pipeline, &frames, MonitorConfig::offline_validation())
-                .expect("edge replay");
+        let edge_pipeline =
+            ImagePipeline::new(quant.clone(), canonical.clone()).with_options(InterpreterOptions {
+                flavor,
+                bugs: KernelBugs::paper_2021(),
+            });
+        let edge_logs = collect_logs(&edge_pipeline, &frames, MonitorConfig::offline_validation())
+            .expect("edge replay");
         let drifts = per_layer_drift(&edge_logs, &reference_logs);
         series.push((
             label.to_string(),
@@ -90,5 +91,8 @@ pub fn panel(family: MiniFamily, scale: &Scale) -> String {
             format!("{refv:.4}"),
         ]);
     }
-    format_table(&["#", "layer", "nRMSE (OpResolver)", "nRMSE (RefOpResolver)"], &rows)
+    format_table(
+        &["#", "layer", "nRMSE (OpResolver)", "nRMSE (RefOpResolver)"],
+        &rows,
+    )
 }

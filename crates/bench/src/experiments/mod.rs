@@ -19,8 +19,7 @@ use mlexray_trainer::Sample;
 /// trainer's `evaluate` always uses optimized kernels; Fig. 5 needs all four
 /// kernel/variant combinations).
 pub fn accuracy_with_options(model: &Model, data: &[Sample], options: InterpreterOptions) -> f32 {
-    let mut interp =
-        Interpreter::new(&model.graph, options).expect("model graphs validate");
+    let mut interp = Interpreter::new(&model.graph, options).expect("model graphs validate");
     let mut correct = 0usize;
     for s in data {
         let out = interp.invoke(&s.inputs).expect("inference succeeds");

@@ -111,7 +111,11 @@ mod tests {
                 "{}: {with} LoC with vs {without} without",
                 t.label
             );
-            assert!(loc(t.inst_with) <= 5, "{}: instrumentation must stay <= 5 LoC", t.label);
+            assert!(
+                loc(t.inst_with) <= 5,
+                "{}: instrumentation must stay <= 5 LoC",
+                t.label
+            );
         }
     }
 }

@@ -25,8 +25,12 @@ pub fn run(scale: &Scale) -> String {
 
     // Measure the real per-frame log volume of the runtime monitor once.
     let frames = to_frames(
-        &generate(SynthImageSpec { resolution: scale.full_input, count: 2, seed: 7 })
-            .expect("frames"),
+        &generate(SynthImageSpec {
+            resolution: scale.full_input,
+            count: 2,
+            seed: 7,
+        })
+        .expect("frames"),
     );
     let pipeline = ImagePipeline::new(mobile.clone(), canonical);
     let logs =
@@ -37,13 +41,18 @@ pub fn run(scale: &Scale) -> String {
     let tensor = pipeline.preprocess.apply(&input).expect("preprocess");
 
     let mut rows = Vec::new();
-    for (profile, label) in
-        [(DeviceProfile::pixel4(), "Pixel 4"), (DeviceProfile::pixel3(), "Pixel 3")]
-    {
+    for (profile, label) in [
+        (DeviceProfile::pixel4(), "Pixel 4"),
+        (DeviceProfile::pixel3(), "Pixel 3"),
+    ] {
         for processor in [Processor::Cpu, Processor::Gpu] {
             let device = SimulatedDevice::new(profile.clone(), processor);
             let run = device
-                .run(&mobile.graph, std::slice::from_ref(&tensor), InterpreterOptions::optimized())
+                .run(
+                    &mobile.graph,
+                    std::slice::from_ref(&tensor),
+                    InterpreterOptions::optimized(),
+                )
                 .expect("sim run");
             let overhead_ns = profile.monitor_overhead_ns(processor, bytes_per_frame);
             let base_ms = run.total_ms();

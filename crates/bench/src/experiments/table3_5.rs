@@ -63,8 +63,7 @@ fn prepare(family: FullFamily, scale: &Scale, int8: bool) -> (Model, usize) {
         .iter()
         .map(|f| vec![canonical.apply(&f.image).expect("preprocess")])
         .collect();
-    let calib =
-        calibrate(&mobile.graph, samples.iter().map(Vec::as_slice)).expect("calibration");
+    let calib = calibrate(&mobile.graph, samples.iter().map(Vec::as_slice)).expect("calibration");
     (
         quantize_model(&mobile, &calib, QuantizationOptions::default()).expect("quantization"),
         ckpt_layers,
@@ -73,9 +72,13 @@ fn prepare(family: FullFamily, scale: &Scale, int8: bool) -> (Model, usize) {
 
 fn table(scale: &Scale, int8: bool) -> String {
     let device = SimulatedDevice::new(DeviceProfile::pixel4(), Processor::Cpu);
-    let frame = generate(SynthImageSpec { resolution: scale.full_input, count: 1, seed: 9 })
-        .expect("frame")
-        .remove(0);
+    let frame = generate(SynthImageSpec {
+        resolution: scale.full_input,
+        count: 1,
+        seed: 9,
+    })
+    .expect("frame")
+    .remove(0);
     let mut rows = Vec::new();
     for family in FAMILIES {
         let (model, ckpt_layers) = prepare(family, scale, int8);
@@ -100,7 +103,14 @@ fn table(scale: &Scale, int8: bool) -> String {
         ]);
     }
     format_table(
-        &["Model", "Layer # (deployed)", "Param #", "Lat (sec)", "Mem (MB)", "Disk (MB)"],
+        &[
+            "Model",
+            "Layer # (deployed)",
+            "Param #",
+            "Lat (sec)",
+            "Mem (MB)",
+            "Disk (MB)",
+        ],
         &rows,
     )
 }

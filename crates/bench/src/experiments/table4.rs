@@ -26,14 +26,17 @@ pub fn run(scale: &Scale) -> String {
     .expect("model builds");
     let mobile = convert_to_mobile(&ckpt).expect("conversion");
     let canonical = canonical_preprocess("mobilenet_v2", scale.full_input);
-    let frames = generate(SynthImageSpec { resolution: scale.full_input, count: 2, seed: 21 })
-        .expect("frames");
+    let frames = generate(SynthImageSpec {
+        resolution: scale.full_input,
+        count: 2,
+        seed: 21,
+    })
+    .expect("frames");
     let samples: Vec<Vec<mlexray_tensor::Tensor>> = frames
         .iter()
         .map(|f| vec![canonical.apply(&f.image).expect("preprocess")])
         .collect();
-    let calib =
-        calibrate(&mobile.graph, samples.iter().map(Vec::as_slice)).expect("calibration");
+    let calib = calibrate(&mobile.graph, samples.iter().map(Vec::as_slice)).expect("calibration");
     let quant =
         quantize_model(&mobile, &calib, QuantizationOptions::default()).expect("quantization");
 
@@ -45,13 +48,21 @@ pub fn run(scale: &Scale) -> String {
         (
             "Mobile (ms)",
             pixel4
-                .run(&mobile.graph, std::slice::from_ref(&input), InterpreterOptions::optimized())
+                .run(
+                    &mobile.graph,
+                    std::slice::from_ref(&input),
+                    InterpreterOptions::optimized(),
+                )
                 .expect("run"),
         ),
         (
             "Mobile Quant (ms)",
             pixel4
-                .run(&quant.graph, std::slice::from_ref(&input), InterpreterOptions::optimized())
+                .run(
+                    &quant.graph,
+                    std::slice::from_ref(&input),
+                    InterpreterOptions::optimized(),
+                )
                 .expect("run"),
         ),
         (
@@ -70,7 +81,11 @@ pub fn run(scale: &Scale) -> String {
         (
             "Emulator(x86) Mobile (ms)",
             emulator
-                .run(&mobile.graph, std::slice::from_ref(&input), InterpreterOptions::optimized())
+                .run(
+                    &mobile.graph,
+                    std::slice::from_ref(&input),
+                    InterpreterOptions::optimized(),
+                )
                 .expect("run"),
         ),
     ];
@@ -79,7 +94,9 @@ pub fn run(scale: &Scale) -> String {
     let mut per_type: BTreeMap<&'static str, (usize, Vec<f64>)> = BTreeMap::new();
     for (ci, (_, run)) in columns.iter().enumerate() {
         for (label, count, ns) in run.latency_by_op_label() {
-            let entry = per_type.entry(label).or_insert((0, vec![0.0; columns.len()]));
+            let entry = per_type
+                .entry(label)
+                .or_insert((0, vec![0.0; columns.len()]));
             if ci == 0 || entry.0 == 0 {
                 entry.0 = count;
             }
@@ -92,7 +109,13 @@ pub fn run(scale: &Scale) -> String {
     type_rows.sort_by(|a, b| b.1 .1[0].partial_cmp(&a.1 .1[0]).unwrap());
     for (label, (count, ms)) in &type_rows {
         let mut row = vec![format!("{label}({count})")];
-        row.extend(ms.iter().map(|v| if *v == 0.0 { "-".to_string() } else { format!("{v:.1}") }));
+        row.extend(ms.iter().map(|v| {
+            if *v == 0.0 {
+                "-".to_string()
+            } else {
+                format!("{v:.1}")
+            }
+        }));
         rows.push(row);
     }
     let mut totals = vec!["Total".to_string()];

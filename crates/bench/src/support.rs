@@ -64,7 +64,10 @@ impl Scale {
 
     /// Reads `MLEXRAY_QUICK` from the environment.
     pub fn from_env() -> Self {
-        if std::env::var("MLEXRAY_QUICK").map(|v| v == "1").unwrap_or(false) {
+        if std::env::var("MLEXRAY_QUICK")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+        {
             Self::quick()
         } else {
             Self::default_scale()
@@ -134,7 +137,10 @@ pub fn augment(samples: &[Sample], seed: u64) -> Vec<Sample> {
                 mlexray_tensor::Tensor::from_f32(t.shape().clone(), data).expect("same shape")
             })
             .collect();
-        out.push(Sample { inputs: jittered, label: s.label });
+        out.push(Sample {
+            inputs: jittered,
+            label: s.label,
+        });
     }
     out
 }
@@ -153,7 +159,12 @@ pub fn trained_mini(family: MiniFamily, scale: &Scale) -> Model {
     let (train_imgs, _) = image_split(scale);
     let cfg = canonical_preprocess(family.name(), scale.input);
     let data = augment(&to_samples(&train_imgs, &cfg), 1234);
-    let tc = TrainConfig { epochs: scale.epochs, batch_size: 16, lr: 0.01, ..Default::default() };
+    let tc = TrainConfig {
+        epochs: scale.epochs,
+        batch_size: 16,
+        lr: 0.01,
+        ..Default::default()
+    };
     train_or_load(
         &cache,
         || mini_model(family, scale.input, synth_image::NUM_CLASSES, 7),
@@ -182,7 +193,10 @@ pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
             .collect::<Vec<_>>()
             .join("  ")
     };
-    out.push_str(&fmt_row(headers.iter().map(|s| s.to_string()).collect(), &widths));
+    out.push_str(&fmt_row(
+        headers.iter().map(|s| s.to_string()).collect(),
+        &widths,
+    ));
     out.push('\n');
     out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
     out.push('\n');

@@ -1,0 +1,76 @@
+//! Smoke tests for the paper-artifact experiment layer: every experiment
+//! `run()` must produce non-empty formatted output at quick scale, so the
+//! 13 `src/bin/*` binaries can't silently rot.
+//!
+//! Tests share the on-disk weight cache (`target/mlexray-cache/`), so they
+//! serialize on a process-wide mutex: two experiments training the same mini
+//! model must not write the same cache file concurrently.
+
+use std::sync::Mutex;
+
+use mlexray_bench::experiments;
+use mlexray_bench::support::Scale;
+
+static EXPERIMENT_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `f` holding the experiment lock and checks the output looks like a
+/// rendered table/series: non-empty, multi-line, with a header row.
+fn smoke(f: impl FnOnce(&Scale) -> String) {
+    let _guard = EXPERIMENT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let out = f(&Scale::quick());
+    assert!(!out.trim().is_empty(), "experiment produced empty output");
+    assert!(
+        out.trim().lines().count() >= 2,
+        "experiment output should have a title and at least one data row:\n{out}"
+    );
+}
+
+#[test]
+fn table1_renders() {
+    smoke(|_| experiments::table1::run());
+}
+
+#[test]
+fn table2_renders() {
+    smoke(experiments::table2::run);
+}
+
+#[test]
+fn table3_int8_renders() {
+    smoke(experiments::table3_5::run_int8);
+}
+
+#[test]
+fn table5_float_renders() {
+    smoke(experiments::table3_5::run_float);
+}
+
+#[test]
+fn table4_renders() {
+    smoke(experiments::table4::run);
+}
+
+#[test]
+fn fig3_renders() {
+    smoke(experiments::fig3::run);
+}
+
+#[test]
+fn fig4_renders() {
+    smoke(experiments::fig4::run);
+}
+
+#[test]
+fn fig5_renders() {
+    smoke(experiments::fig5::run);
+}
+
+#[test]
+fn fig6_renders() {
+    smoke(experiments::fig6::run);
+}
+
+#[test]
+fn appendix_a_renders() {
+    smoke(experiments::appendix_a::run);
+}

@@ -57,8 +57,8 @@ mod validate;
 
 pub use error::ExrayError;
 pub use log::{
-    layer_latency_key, layer_output_key, LogRecord, LogSet, LogValue, SensorReading,
-    KEY_DECISION, KEY_INFERENCE_LATENCY, KEY_INFERENCE_MEMORY, KEY_MODEL_INPUT, KEY_MODEL_OUTPUT,
+    layer_latency_key, layer_output_key, LogRecord, LogSet, LogValue, SensorReading, KEY_DECISION,
+    KEY_INFERENCE_LATENCY, KEY_INFERENCE_MEMORY, KEY_MODEL_INPUT, KEY_MODEL_OUTPUT,
     KEY_PREPROCESS_OUTPUT,
 };
 pub use monitor::{LayerCapture, Monitor, MonitorConfig, MonitorLayerObserver};

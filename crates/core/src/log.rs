@@ -88,7 +88,10 @@ impl LogValue {
     pub fn of_tensor(tensor: &Tensor, full: bool) -> LogValue {
         let values = tensor.to_f32_vec();
         if full {
-            LogValue::TensorFull { shape: tensor.shape().clone(), values }
+            LogValue::TensorFull {
+                shape: tensor.shape().clone(),
+                values,
+            }
         } else {
             LogValue::TensorSummary(TensorStats::of(&values))
         }
@@ -115,9 +118,7 @@ impl LogValue {
     /// of Tables 2/3/5).
     pub fn byte_size(&self) -> u64 {
         match self {
-            LogValue::TensorFull { values, shape } => {
-                (values.len() * 4 + shape.rank() * 8) as u64
-            }
+            LogValue::TensorFull { values, shape } => (values.len() * 4 + shape.rank() * 8) as u64,
             LogValue::TensorSummary(_) => 24,
             LogValue::Scalar(_) | LogValue::LatencyNs(_) | LogValue::Bytes(_) => 8,
             LogValue::Text(t) => t.len() as u64,
@@ -185,7 +186,9 @@ impl LogSet {
 
     /// The record with `key` in `frame`, if any.
     pub fn get(&self, frame: u64, key: &str) -> Option<&LogRecord> {
-        self.records.iter().find(|r| r.frame == frame && r.key == key)
+        self.records
+            .iter()
+            .find(|r| r.frame == frame && r.key == key)
     }
 
     /// All records with `key`, ordered by frame.
@@ -250,7 +253,11 @@ mod tests {
     use super::*;
 
     fn record(frame: u64, key: &str, value: LogValue) -> LogRecord {
-        LogRecord { frame, key: key.into(), value }
+        LogRecord {
+            frame,
+            key: key.into(),
+            value,
+        }
     }
 
     #[test]
@@ -270,9 +277,30 @@ mod tests {
     #[test]
     fn accuracy_from_decisions() {
         let set = LogSet::new(vec![
-            record(0, KEY_DECISION, LogValue::Decision { predicted: 1, label: Some(1) }),
-            record(1, KEY_DECISION, LogValue::Decision { predicted: 0, label: Some(1) }),
-            record(2, KEY_DECISION, LogValue::Decision { predicted: 2, label: None }),
+            record(
+                0,
+                KEY_DECISION,
+                LogValue::Decision {
+                    predicted: 1,
+                    label: Some(1),
+                },
+            ),
+            record(
+                1,
+                KEY_DECISION,
+                LogValue::Decision {
+                    predicted: 0,
+                    label: Some(1),
+                },
+            ),
+            record(
+                2,
+                KEY_DECISION,
+                LogValue::Decision {
+                    predicted: 2,
+                    label: None,
+                },
+            ),
         ]);
         assert_eq!(set.accuracy(), Some(0.5));
         assert_eq!(LogSet::default().accuracy(), None);
@@ -297,7 +325,9 @@ mod tests {
     fn quantized_tensors_log_dequantized() {
         use mlexray_tensor::QuantParams;
         let t = Tensor::from_f32(Shape::vector(2), vec![0.0, 1.0]).unwrap();
-        let q = t.quantize_to_u8(&QuantParams::from_min_max_u8(0.0, 1.0)).unwrap();
+        let q = t
+            .quantize_to_u8(&QuantParams::from_min_max_u8(0.0, 1.0))
+            .unwrap();
         let v = LogValue::of_tensor(&q, true);
         let vals = v.values().unwrap();
         assert!((vals[1] - 1.0).abs() < 0.01);

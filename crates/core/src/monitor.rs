@@ -29,8 +29,8 @@ use mlexray_nn::{LayerObserver, LayerRecord};
 use mlexray_tensor::Tensor;
 
 use crate::log::{
-    layer_latency_key, layer_output_key, LogRecord, LogValue, SensorReading,
-    KEY_DECISION, KEY_INFERENCE_LATENCY, KEY_INFERENCE_MEMORY,
+    layer_latency_key, layer_output_key, LogRecord, LogValue, SensorReading, KEY_DECISION,
+    KEY_INFERENCE_LATENCY, KEY_INFERENCE_MEMORY,
 };
 use crate::sink::{LogSink, MemorySink};
 
@@ -63,12 +63,20 @@ impl MonitorConfig {
     /// latencies (expensive; §4.2 measures tens of seconds and tens of MB on
     /// device).
     pub fn offline_validation() -> Self {
-        MonitorConfig { per_layer: LayerCapture::Full, full_io: true, layer_latency: true }
+        MonitorConfig {
+            per_layer: LayerCapture::Full,
+            full_io: true,
+            layer_latency: true,
+        }
     }
 
     /// The lightweight always-on configuration (§4.2: ≤3 ms, ~0.4 KB/frame).
     pub fn runtime() -> Self {
-        MonitorConfig { per_layer: LayerCapture::None, full_io: false, layer_latency: false }
+        MonitorConfig {
+            per_layer: LayerCapture::None,
+            full_io: false,
+            layer_latency: false,
+        }
     }
 }
 
@@ -179,7 +187,10 @@ impl Monitor {
     /// Logs a tensor under a custom key (preprocessing outputs, custom
     /// function I/O). Capture depth follows `config.full_io`.
     pub fn log_tensor(&self, key: &str, tensor: &Tensor) {
-        self.emit(key.to_string(), LogValue::of_tensor(tensor, self.config.full_io));
+        self.emit(
+            key.to_string(),
+            LogValue::of_tensor(tensor, self.config.full_io),
+        );
     }
 
     /// Logs an arbitrary value under a custom key.
@@ -190,7 +201,10 @@ impl Monitor {
     /// Logs a classification decision (with ground truth when replaying a
     /// labelled dataset).
     pub fn log_decision(&self, predicted: usize, label: Option<usize>) {
-        self.emit(KEY_DECISION.to_string(), LogValue::Decision { predicted, label });
+        self.emit(
+            KEY_DECISION.to_string(),
+            LogValue::Decision { predicted, label },
+        );
     }
 
     /// Marks the start of a sensor-capture window.
@@ -294,7 +308,10 @@ mod tests {
 
     #[test]
     fn custom_tensor_and_sensor_logging() {
-        let m = Monitor::new(MonitorConfig { full_io: true, ..Default::default() });
+        let m = Monitor::new(MonitorConfig {
+            full_io: true,
+            ..Default::default()
+        });
         let t = Tensor::from_f32(Shape::vector(2), vec![1.0, 2.0]).unwrap();
         m.log_tensor("preprocess/output", &t);
         m.log_sensor(SensorReading::Orientation { degrees: 90 });
@@ -311,13 +328,13 @@ mod tests {
         let mut b = GraphBuilder::new("g");
         let x = b.input("x", Shape::nhwc(1, 2, 2, 1));
         let w = b.constant("w", Tensor::filled_f32(Shape::new(vec![1, 1, 1, 1]), 2.0));
-        let y = b.conv2d("double", x, w, None, 1, Padding::Same, Activation::None).unwrap();
+        let y = b
+            .conv2d("double", x, w, None, 1, Padding::Same, Activation::None)
+            .unwrap();
         b.output(y);
         let g = b.finish().unwrap();
 
-        for (capture, expect_layers) in
-            [(LayerCapture::None, false), (LayerCapture::Full, true)]
-        {
+        for (capture, expect_layers) in [(LayerCapture::None, false), (LayerCapture::Full, true)] {
             let m = Monitor::new(MonitorConfig {
                 per_layer: capture,
                 layer_latency: true,

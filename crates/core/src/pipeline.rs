@@ -55,7 +55,11 @@ pub struct ImagePipeline {
 impl ImagePipeline {
     /// Builds a pipeline with default (optimized, bug-free) options.
     pub fn new(model: Model, preprocess: ImagePreprocessConfig) -> Self {
-        ImagePipeline { preprocess, model, options: InterpreterOptions::optimized() }
+        ImagePipeline {
+            preprocess,
+            model,
+            options: InterpreterOptions::optimized(),
+        }
     }
 
     /// Overrides interpreter options (reference kernels, injected bugs).
@@ -133,7 +137,11 @@ pub struct AudioPipeline {
 impl AudioPipeline {
     /// Builds a pipeline with default options.
     pub fn new(model: Model, preprocess: AudioPreprocessConfig) -> Self {
-        AudioPipeline { preprocess, model, options: InterpreterOptions::optimized() }
+        AudioPipeline {
+            preprocess,
+            model,
+            options: InterpreterOptions::optimized(),
+        }
     }
 
     /// Prepares a reusable runner.
@@ -199,7 +207,12 @@ pub struct TextPipeline {
 impl TextPipeline {
     /// Builds a pipeline with default options.
     pub fn new(model: Model, preprocess: TextPreprocessConfig, vocab: Vocabulary) -> Self {
-        TextPipeline { preprocess, vocab, model, options: InterpreterOptions::optimized() }
+        TextPipeline {
+            preprocess,
+            vocab,
+            model,
+            options: InterpreterOptions::optimized(),
+        }
     }
 
     /// Prepares a reusable runner.
@@ -228,8 +241,16 @@ impl TextRunner<'_> {
     /// # Errors
     ///
     /// Propagates preprocessing and execution errors.
-    pub fn classify(&mut self, text: &str, label: Option<usize>, monitor: &Monitor) -> Result<usize> {
-        let ids = self.pipeline.preprocess.encode(text, &self.pipeline.vocab)?;
+    pub fn classify(
+        &mut self,
+        text: &str,
+        label: Option<usize>,
+        monitor: &Monitor,
+    ) -> Result<usize> {
+        let ids = self
+            .pipeline
+            .preprocess
+            .encode(text, &self.pipeline.vocab)?;
         let data: Vec<i32> = ids.iter().map(|&i| i as i32).collect();
         let input = Tensor::from_i32(Shape::matrix(1, data.len()), data, None)?;
         monitor.log_tensor(KEY_PREPROCESS_OUTPUT, &input);
@@ -255,11 +276,10 @@ mod tests {
     fn tiny_image_model() -> Model {
         let mut b = mlexray_nn::GraphBuilder::new("tiny");
         let x = b.input("image", Shape::nhwc(1, 4, 4, 3));
-        let w = b.constant(
-            "w",
-            Tensor::filled_f32(Shape::new(vec![2, 1, 1, 3]), 0.5),
-        );
-        let c = b.conv2d("conv", x, w, None, 1, Padding::Same, Activation::Relu).unwrap();
+        let w = b.constant("w", Tensor::filled_f32(Shape::new(vec![2, 1, 1, 3]), 0.5));
+        let c = b
+            .conv2d("conv", x, w, None, 1, Padding::Same, Activation::Relu)
+            .unwrap();
         let m = b.mean("gap", c).unwrap();
         let s = b.softmax("softmax", m).unwrap();
         b.output(s);
@@ -296,8 +316,7 @@ mod tests {
     #[test]
     fn run_processes_all_frames() {
         let model = tiny_image_model();
-        let pipeline =
-            ImagePipeline::new(model, ImagePreprocessConfig::mobilenet_style(4, 4));
+        let pipeline = ImagePipeline::new(model, ImagePreprocessConfig::mobilenet_style(4, 4));
         let mut runner = pipeline.runner().unwrap();
         let monitor = Monitor::new(MonitorConfig::runtime());
         let frames: Vec<LabeledFrame> = (0..3)

@@ -28,7 +28,9 @@ impl ReferencePipeline {
     pub fn new(model: Model, canonical: ImagePreprocessConfig) -> Self {
         let mut options = InterpreterOptions::reference();
         options.flavor = KernelFlavor::Reference;
-        ReferencePipeline { pipeline: ImagePipeline::new(model, canonical).with_options(options) }
+        ReferencePipeline {
+            pipeline: ImagePipeline::new(model, canonical).with_options(options),
+        }
     }
 
     /// Builds a reference pipeline that runs optimized kernels instead
@@ -101,7 +103,9 @@ mod tests {
         let mut b = mlexray_nn::GraphBuilder::new("m");
         let x = b.input("image", Shape::nhwc(1, 4, 4, 3));
         let w = b.constant("w", Tensor::filled_f32(Shape::new(vec![2, 1, 1, 3]), 0.3));
-        let c = b.conv2d("conv", x, w, None, 1, Padding::Same, Activation::Relu).unwrap();
+        let c = b
+            .conv2d("conv", x, w, None, 1, Padding::Same, Activation::Relu)
+            .unwrap();
         let m = b.mean("gap", c).unwrap();
         let s = b.softmax("softmax", m).unwrap();
         b.output(s);
@@ -114,10 +118,8 @@ mod tests {
             LabeledFrame::new(Image::solid(8, 8, [10, 200, 30]), Some(0)),
             LabeledFrame::new(Image::solid(8, 8, [240, 10, 90]), Some(1)),
         ];
-        let reference = ReferencePipeline::new(
-            model(),
-            ImagePreprocessConfig::mobilenet_style(4, 4),
-        );
+        let reference =
+            ReferencePipeline::new(model(), ImagePreprocessConfig::mobilenet_style(4, 4));
         let logs = reference.replay(&frames).unwrap();
         assert_eq!(logs.frame_count(), 2);
         assert!(logs.get(0, "layer/conv/output").is_some());
@@ -126,15 +128,27 @@ mod tests {
 
     #[test]
     fn edge_and_reference_agree_when_configs_match() {
-        let frames = vec![LabeledFrame::new(Image::solid(8, 8, [100, 150, 200]), Some(0))];
+        let frames = vec![LabeledFrame::new(
+            Image::solid(8, 8, [100, 150, 200]),
+            Some(0),
+        )];
         let canonical = ImagePreprocessConfig::mobilenet_style(4, 4);
         let reference = ReferencePipeline::new(model(), canonical.clone());
         let ref_logs = reference.replay(&frames).unwrap();
         let edge = ImagePipeline::new(model(), canonical);
-        let edge_logs =
-            collect_logs(&edge, &frames, MonitorConfig::offline_validation()).unwrap();
-        let a = ref_logs.get(0, "layer/softmax/output").unwrap().value.values().unwrap();
-        let b = edge_logs.get(0, "layer/softmax/output").unwrap().value.values().unwrap();
+        let edge_logs = collect_logs(&edge, &frames, MonitorConfig::offline_validation()).unwrap();
+        let a = ref_logs
+            .get(0, "layer/softmax/output")
+            .unwrap()
+            .value
+            .values()
+            .unwrap();
+        let b = edge_logs
+            .get(0, "layer/softmax/output")
+            .unwrap()
+            .value
+            .values()
+            .unwrap();
         for (x, y) in a.iter().zip(b) {
             assert!((x - y).abs() < 1e-5);
         }

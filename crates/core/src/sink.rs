@@ -83,7 +83,10 @@ impl JsonlFileSink {
             std::fs::create_dir_all(parent).map_err(ExrayError::Io)?;
         }
         let file = File::create(path).map_err(ExrayError::Io)?;
-        Ok(JsonlFileSink { writer: Mutex::new(BufWriter::new(file)), bytes: Mutex::new(0) })
+        Ok(JsonlFileSink {
+            writer: Mutex::new(BufWriter::new(file)),
+            bytes: Mutex::new(0),
+        })
     }
 
     /// Flushes buffered output.
@@ -164,7 +167,11 @@ mod tests {
     use crate::log::LogValue;
 
     fn rec(frame: u64) -> LogRecord {
-        LogRecord { frame, key: "k".into(), value: LogValue::Scalar(1.0) }
+        LogRecord {
+            frame,
+            key: "k".into(),
+            value: LogValue::Scalar(1.0),
+        }
     }
 
     #[test]

@@ -36,11 +36,19 @@ pub struct AssertionOutcome {
 
 impl AssertionOutcome {
     fn pass(name: &str, detail: impl Into<String>) -> Self {
-        AssertionOutcome { name: name.into(), status: AssertionStatus::Pass, detail: detail.into() }
+        AssertionOutcome {
+            name: name.into(),
+            status: AssertionStatus::Pass,
+            detail: detail.into(),
+        }
     }
 
     fn fail(name: &str, detail: impl Into<String>) -> Self {
-        AssertionOutcome { name: name.into(), status: AssertionStatus::Fail, detail: detail.into() }
+        AssertionOutcome {
+            name: name.into(),
+            status: AssertionStatus::Fail,
+            detail: detail.into(),
+        }
     }
 
     fn skipped(name: &str, detail: impl Into<String>) -> Self {
@@ -256,7 +264,10 @@ impl Assertion for OrientationAssertion {
                 if allclose(&rotated, reference, CLOSE_RTOL, CLOSE_ATOL) {
                     return AssertionOutcome::fail(
                         self.name(),
-                        format!("input disoriented: edge output matches reference after {}° rotation", 90 * turns),
+                        format!(
+                            "input disoriented: edge output matches reference after {}° rotation",
+                            90 * turns
+                        ),
                     );
                 }
                 // Composed with a channel swap (§2's stacked-bug case).
@@ -351,7 +362,11 @@ impl Assertion for QuantizationDriftAssertion {
         if suspects.is_empty() {
             return AssertionOutcome::pass(
                 self.name(),
-                format!("all {} compared layers below nRMSE {}", drifts.len(), self.threshold),
+                format!(
+                    "all {} compared layers below nRMSE {}",
+                    drifts.len(),
+                    self.threshold
+                ),
             );
         }
         let mut worst = suspects.clone();
@@ -363,7 +378,11 @@ impl Assertion for QuantizationDriftAssertion {
             .collect();
         AssertionOutcome::fail(
             self.name(),
-            format!("{} error-prone layer(s); worst: {}", suspects.len(), list.join(", ")),
+            format!(
+                "{} error-prone layer(s); worst: {}",
+                suspects.len(),
+                list.join(", ")
+            ),
         )
     }
 }
@@ -393,8 +412,7 @@ fn output_spread(logs: &LogSet) -> Option<f32> {
             continue;
         };
         if a.len() == b.len() {
-            spread +=
-                a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum::<f32>() / a.len() as f32;
+            spread += a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum::<f32>() / a.len() as f32;
             n += 1;
         }
     }
@@ -407,8 +425,7 @@ impl Assertion for ConstantOutputAssertion {
     }
 
     fn check(&self, ctx: &ValidationContext<'_>) -> AssertionOutcome {
-        let (Some(edge), Some(reference)) =
-            (output_spread(ctx.edge), output_spread(ctx.reference))
+        let (Some(edge), Some(reference)) = (output_spread(ctx.edge), output_spread(ctx.reference))
         else {
             return AssertionOutcome::skipped(self.name(), "need model outputs over >= 2 frames");
         };
@@ -447,7 +464,10 @@ impl Assertion for LatencyBudgetAssertion {
         if mean_ms > self.budget_ms {
             AssertionOutcome::fail(
                 self.name(),
-                format!("mean latency {mean_ms:.2} ms exceeds budget {} ms", self.budget_ms),
+                format!(
+                    "mean latency {mean_ms:.2} ms exceeds budget {} ms",
+                    self.budget_ms
+                ),
             )
         } else {
             AssertionOutcome::pass(self.name(), format!("mean latency {mean_ms:.2} ms"))
@@ -482,7 +502,10 @@ impl Assertion for StragglerLayerAssertion {
                 .take(3)
                 .map(|l| format!("{} ({:.1}%)", l.layer_name(), l.share * 100.0))
                 .collect();
-            AssertionOutcome::fail(self.name(), format!("straggler layer(s): {}", list.join(", ")))
+            AssertionOutcome::fail(
+                self.name(),
+                format!("straggler layer(s): {}", list.join(", ")),
+            )
         }
     }
 }
@@ -513,7 +536,10 @@ impl Assertion for MemoryBudgetAssertion {
             None => AssertionOutcome::skipped(self.name(), "no memory records"),
             Some(&peak) if peak > self.budget_bytes => AssertionOutcome::fail(
                 self.name(),
-                format!("peak activation memory {peak} B exceeds budget {} B", self.budget_bytes),
+                format!(
+                    "peak activation memory {peak} B exceeds budget {} B",
+                    self.budget_bytes
+                ),
             ),
             Some(&peak) => {
                 AssertionOutcome::pass(self.name(), format!("peak activation memory {peak} B"))
@@ -536,7 +562,10 @@ impl FnAssertion {
         name: impl Into<String>,
         f: impl Fn(&ValidationContext<'_>) -> AssertionOutcome + Send + Sync + 'static,
     ) -> Self {
-        FnAssertion { name: name.into(), f: Box::new(f) }
+        FnAssertion {
+            name: name.into(),
+            f: Box::new(f),
+        }
     }
 
     /// Builds a failing outcome (helper for closures).
@@ -569,12 +598,18 @@ mod tests {
         let edge = LogSet::new(vec![LogRecord {
             frame: 0,
             key: KEY_PREPROCESS_OUTPUT.into(),
-            value: LogValue::TensorFull { shape: shape.clone(), values: edge_vals },
+            value: LogValue::TensorFull {
+                shape: shape.clone(),
+                values: edge_vals,
+            },
         }]);
         let reference = LogSet::new(vec![LogRecord {
             frame: 0,
             key: KEY_PREPROCESS_OUTPUT.into(),
-            value: LogValue::TensorFull { shape, values: ref_vals },
+            value: LogValue::TensorFull {
+                shape,
+                values: ref_vals,
+            },
         }]);
         (edge, reference)
     }
@@ -585,11 +620,17 @@ mod tests {
         let reference = vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6];
         let edge = vec![0.3, 0.2, 0.1, 0.6, 0.5, 0.4];
         let (e, r) = preprocess_logs(edge, reference, Shape::nhwc(1, 1, 2, 3));
-        let ctx = ValidationContext { edge: &e, reference: &r };
+        let ctx = ValidationContext {
+            edge: &e,
+            reference: &r,
+        };
         let out = ChannelArrangementAssertion.check(&ctx);
         assert_eq!(out.status, AssertionStatus::Fail, "{}", out.detail);
         // And the normalization assertion must NOT fire on a channel swap.
-        assert_eq!(NormalizationRangeAssertion.check(&ctx).status, AssertionStatus::Pass);
+        assert_eq!(
+            NormalizationRangeAssertion.check(&ctx).status,
+            AssertionStatus::Pass
+        );
     }
 
     #[test]
@@ -598,7 +639,10 @@ mod tests {
         let reference: Vec<f32> = vec![-1.0, -0.5, 0.0, 0.5, 1.0, 0.25];
         let edge: Vec<f32> = reference.iter().map(|v| 0.5 * v + 0.5).collect();
         let (e, r) = preprocess_logs(edge, reference, Shape::nhwc(1, 1, 2, 3));
-        let ctx = ValidationContext { edge: &e, reference: &r };
+        let ctx = ValidationContext {
+            edge: &e,
+            reference: &r,
+        };
         let out = NormalizationRangeAssertion.check(&ctx);
         assert_eq!(out.status, AssertionStatus::Fail, "{}", out.detail);
         assert!(out.detail.contains("0.5"), "{}", out.detail);
@@ -607,13 +651,16 @@ mod tests {
     #[test]
     fn orientation_assertion_catches_rotation() {
         // 2x2 grid, 1 channel; edge rotated 90° cw relative to reference.
-        let reference = vec![1.0, 2.0, 3.0, 4.0]; // [[1,2],[3,4]]
-        // Rotating reference 90° cw gives [[3,1],[4,2]]. The edge pipeline saw
-        // a rotated capture, so un-rotating the edge by another 90° must
-        // match: edge = rotate_cw(reference) by 3 turns = ccw.
+        // reference = [[1,2],[3,4]]; rotating it 90° cw gives [[3,1],[4,2]].
+        // The edge pipeline saw a rotated capture, so un-rotating the edge by
+        // another 90° must match: edge = rotate_cw(reference) by 3 turns = ccw.
+        let reference = vec![1.0, 2.0, 3.0, 4.0];
         let edge = vec![2.0, 4.0, 1.0, 3.0];
         let (e, r) = preprocess_logs(edge, reference, Shape::nhwc(1, 2, 2, 1));
-        let ctx = ValidationContext { edge: &e, reference: &r };
+        let ctx = ValidationContext {
+            edge: &e,
+            reference: &r,
+        };
         let out = OrientationAssertion.check(&ctx);
         assert_eq!(out.status, AssertionStatus::Fail, "{}", out.detail);
     }
@@ -622,7 +669,10 @@ mod tests {
     fn assertions_pass_on_identical_logs() {
         let vals = vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6];
         let (e, r) = preprocess_logs(vals.clone(), vals, Shape::nhwc(1, 1, 2, 3));
-        let ctx = ValidationContext { edge: &e, reference: &r };
+        let ctx = ValidationContext {
+            edge: &e,
+            reference: &r,
+        };
         for a in [
             &ChannelArrangementAssertion as &dyn Assertion,
             &NormalizationRangeAssertion,
@@ -637,8 +687,14 @@ mod tests {
     fn assertions_skip_without_data() {
         let e = LogSet::default();
         let r = LogSet::default();
-        let ctx = ValidationContext { edge: &e, reference: &r };
-        assert_eq!(ChannelArrangementAssertion.check(&ctx).status, AssertionStatus::Skipped);
+        let ctx = ValidationContext {
+            edge: &e,
+            reference: &r,
+        };
+        assert_eq!(
+            ChannelArrangementAssertion.check(&ctx).status,
+            AssertionStatus::Skipped
+        );
         assert_eq!(
             LatencyBudgetAssertion { budget_ms: 1.0 }.check(&ctx).status,
             AssertionStatus::Skipped
@@ -654,17 +710,32 @@ mod tests {
                     .map(|(i, v)| LogRecord {
                         frame: i as u64,
                         key: KEY_MODEL_OUTPUT.into(),
-                        value: LogValue::TensorFull { shape: Shape::vector(v.len()), values: v },
+                        value: LogValue::TensorFull {
+                            shape: Shape::vector(v.len()),
+                            values: v,
+                        },
                     })
                     .collect(),
             )
         };
         let edge = mk(vec![vec![0.5, 0.5], vec![0.5, 0.5], vec![0.5, 0.5]]);
         let reference = mk(vec![vec![0.9, 0.1], vec![0.2, 0.8], vec![0.6, 0.4]]);
-        let ctx = ValidationContext { edge: &edge, reference: &reference };
-        assert_eq!(ConstantOutputAssertion.check(&ctx).status, AssertionStatus::Fail);
-        let ctx_ok = ValidationContext { edge: &reference, reference: &reference };
-        assert_eq!(ConstantOutputAssertion.check(&ctx_ok).status, AssertionStatus::Pass);
+        let ctx = ValidationContext {
+            edge: &edge,
+            reference: &reference,
+        };
+        assert_eq!(
+            ConstantOutputAssertion.check(&ctx).status,
+            AssertionStatus::Fail
+        );
+        let ctx_ok = ValidationContext {
+            edge: &reference,
+            reference: &reference,
+        };
+        assert_eq!(
+            ConstantOutputAssertion.check(&ctx_ok).status,
+            AssertionStatus::Pass
+        );
     }
 
     #[test]
@@ -673,7 +744,10 @@ mod tests {
             FnAssertion::failed("custom", "lane distance exceeded")
         });
         let e = LogSet::default();
-        let ctx = ValidationContext { edge: &e, reference: &e };
+        let ctx = ValidationContext {
+            edge: &e,
+            reference: &e,
+        };
         let out = a.check(&ctx);
         assert_eq!(out.status, AssertionStatus::Fail);
         assert_eq!(a.name(), "custom");

@@ -109,7 +109,10 @@ mod tests {
         LogRecord {
             frame,
             key: key.into(),
-            value: LogValue::TensorFull { shape: Shape::vector(values.len()), values },
+            value: LogValue::TensorFull {
+                shape: Shape::vector(values.len()),
+                values,
+            },
         }
     }
 
@@ -160,8 +163,20 @@ mod tests {
     #[test]
     fn no_jump_in_flat_profile() {
         let drifts = vec![
-            LayerDrift { index: 0, key: "layer/a/output".into(), mean_nrmse: 0.01, max_nrmse: 0.01, frames: 1 },
-            LayerDrift { index: 1, key: "layer/b/output".into(), mean_nrmse: 0.012, max_nrmse: 0.02, frames: 1 },
+            LayerDrift {
+                index: 0,
+                key: "layer/a/output".into(),
+                mean_nrmse: 0.01,
+                max_nrmse: 0.01,
+                frames: 1,
+            },
+            LayerDrift {
+                index: 1,
+                key: "layer/b/output".into(),
+                mean_nrmse: 0.012,
+                max_nrmse: 0.02,
+                frames: 1,
+            },
         ];
         assert!(first_drift_jump(&drifts, 3.0).is_none());
     }

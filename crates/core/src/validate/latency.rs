@@ -62,7 +62,10 @@ pub fn per_layer_latency(logs: &LogSet) -> Vec<LayerLatency> {
 
 /// Layers consuming more than `share_threshold` of total latency.
 pub fn stragglers(latencies: &[LayerLatency], share_threshold: f64) -> Vec<&LayerLatency> {
-    latencies.iter().filter(|l| l.share > share_threshold).collect()
+    latencies
+        .iter()
+        .filter(|l| l.share > share_threshold)
+        .collect()
 }
 
 /// Compares per-layer latency between pipelines by layer name:
@@ -74,7 +77,11 @@ pub fn compare_layer_latency(edge: &LogSet, reference: &LogSet) -> Vec<(String, 
         .iter()
         .filter_map(|e| {
             ref_lat.iter().find(|r| r.key == e.key).map(|r| {
-                let ratio = if r.mean_ns > 0.0 { e.mean_ns / r.mean_ns } else { f64::INFINITY };
+                let ratio = if r.mean_ns > 0.0 {
+                    e.mean_ns / r.mean_ns
+                } else {
+                    f64::INFINITY
+                };
                 (e.layer_name().to_string(), e.mean_ns, r.mean_ns, ratio)
             })
         })
@@ -87,7 +94,11 @@ mod tests {
     use crate::log::LogRecord;
 
     fn lat(frame: u64, key: &str, ns: u64) -> LogRecord {
-        LogRecord { frame, key: key.into(), value: LogValue::LatencyNs(ns) }
+        LogRecord {
+            frame,
+            key: key.into(),
+            value: LogValue::LatencyNs(ns),
+        }
     }
 
     #[test]

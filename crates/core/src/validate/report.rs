@@ -54,12 +54,18 @@ pub struct ValidationReport {
 impl ValidationReport {
     /// Outcomes of failed (bug-detected) assertions.
     pub fn failures(&self) -> Vec<&AssertionOutcome> {
-        self.outcomes.iter().filter(|o| o.status == AssertionStatus::Fail).collect()
+        self.outcomes
+            .iter()
+            .filter(|o| o.status == AssertionStatus::Fail)
+            .collect()
     }
 
     /// Convenience: root-cause strings of all failed assertions.
     pub fn root_causes(&self) -> Vec<String> {
-        self.failures().iter().map(|o| format!("{}: {}", o.name, o.detail)).collect()
+        self.failures()
+            .iter()
+            .map(|o| format!("{}: {}", o.name, o.detail))
+            .collect()
     }
 }
 
@@ -151,9 +157,14 @@ impl DeploymentValidator {
     /// Runs the Fig. 2 flow: (1) compare accuracy, (2) per-layer drift when
     /// degraded or on request, (3) all assertions for root-cause analysis.
     pub fn validate(&self, edge: &LogSet, reference: &LogSet) -> ValidationReport {
-        let accuracy = AccuracyComparison { edge: edge.accuracy(), reference: reference.accuracy() };
-        let degraded_accuracy =
-            accuracy.drop().map(|d| d > self.accuracy_tolerance).unwrap_or(false);
+        let accuracy = AccuracyComparison {
+            edge: edge.accuracy(),
+            reference: reference.accuracy(),
+        };
+        let degraded_accuracy = accuracy
+            .drop()
+            .map(|d| d > self.accuracy_tolerance)
+            .unwrap_or(false);
 
         let drift = per_layer_drift(edge, reference);
         let mut suspect_layers: Vec<String> = layers_above(&drift, self.drift_threshold)
@@ -178,7 +189,13 @@ impl DeploymentValidator {
         } else {
             Verdict::Healthy
         };
-        ValidationReport { accuracy, drift, suspect_layers, outcomes, verdict }
+        ValidationReport {
+            accuracy,
+            drift,
+            suspect_layers,
+            outcomes,
+            verdict,
+        }
     }
 }
 

@@ -4,8 +4,8 @@
 
 use mlexray_core::{
     compare_layer_latency, per_layer_latency, stragglers, Assertion, DeploymentValidator,
-    LatencyBudgetAssertion, LogRecord, LogSet, LogValue, MemoryBudgetAssertion,
-    ValidationContext, Verdict, KEY_DECISION, KEY_INFERENCE_LATENCY, KEY_INFERENCE_MEMORY,
+    LatencyBudgetAssertion, LogRecord, LogSet, LogValue, MemoryBudgetAssertion, ValidationContext,
+    Verdict, KEY_DECISION, KEY_INFERENCE_LATENCY, KEY_INFERENCE_MEMORY,
 };
 use mlexray_tensor::Shape;
 
@@ -13,12 +13,19 @@ fn decision(frame: u64, predicted: usize, label: usize) -> LogRecord {
     LogRecord {
         frame,
         key: KEY_DECISION.into(),
-        value: LogValue::Decision { predicted, label: Some(label) },
+        value: LogValue::Decision {
+            predicted,
+            label: Some(label),
+        },
     }
 }
 
 fn latency(frame: u64, ns: u64) -> LogRecord {
-    LogRecord { frame, key: KEY_INFERENCE_LATENCY.into(), value: LogValue::LatencyNs(ns) }
+    LogRecord {
+        frame,
+        key: KEY_INFERENCE_LATENCY.into(),
+        value: LogValue::LatencyNs(ns),
+    }
 }
 
 fn layer(frame: u64, name: &str, values: Vec<f32>, lat_ns: u64) -> Vec<LogRecord> {
@@ -26,7 +33,10 @@ fn layer(frame: u64, name: &str, values: Vec<f32>, lat_ns: u64) -> Vec<LogRecord
         LogRecord {
             frame,
             key: format!("layer/{name}/output"),
-            value: LogValue::TensorFull { shape: Shape::vector(values.len()), values },
+            value: LogValue::TensorFull {
+                shape: Shape::vector(values.len()),
+                values,
+            },
         },
         LogRecord {
             frame,
@@ -52,7 +62,10 @@ fn report_renders_all_sections() {
     assert_eq!(report.verdict, Verdict::Degraded);
     assert_eq!(report.suspect_layers, vec!["broken".to_string()]);
     let text = report.to_string();
-    assert!(text.contains("accuracy: edge 50.0% vs reference 100.0%"), "{text}");
+    assert!(
+        text.contains("accuracy: edge 50.0% vs reference 100.0%"),
+        "{text}"
+    );
     assert!(text.contains("error-prone layers: broken"), "{text}");
     assert!(text.contains("verdict: Degraded"), "{text}");
 }
@@ -61,19 +74,32 @@ fn report_renders_all_sections() {
 fn latency_and_memory_budget_assertions() {
     let edge = LogSet::new(vec![
         latency(0, 80_000_000),
-        LogRecord { frame: 0, key: KEY_INFERENCE_MEMORY.into(), value: LogValue::Bytes(10_000_000) },
+        LogRecord {
+            frame: 0,
+            key: KEY_INFERENCE_MEMORY.into(),
+            value: LogValue::Bytes(10_000_000),
+        },
     ]);
     let reference = LogSet::default();
-    let ctx = ValidationContext { edge: &edge, reference: &reference };
+    let ctx = ValidationContext {
+        edge: &edge,
+        reference: &reference,
+    };
 
     let tight = LatencyBudgetAssertion { budget_ms: 50.0 }.check(&ctx);
     assert_eq!(tight.status, mlexray_core::AssertionStatus::Fail);
     let loose = LatencyBudgetAssertion { budget_ms: 100.0 }.check(&ctx);
     assert_eq!(loose.status, mlexray_core::AssertionStatus::Pass);
 
-    let mem_fail = MemoryBudgetAssertion { budget_bytes: 1_000_000 }.check(&ctx);
+    let mem_fail = MemoryBudgetAssertion {
+        budget_bytes: 1_000_000,
+    }
+    .check(&ctx);
     assert_eq!(mem_fail.status, mlexray_core::AssertionStatus::Fail);
-    let mem_ok = MemoryBudgetAssertion { budget_bytes: 100_000_000 }.check(&ctx);
+    let mem_ok = MemoryBudgetAssertion {
+        budget_bytes: 100_000_000,
+    }
+    .check(&ctx);
     assert_eq!(mem_ok.status, mlexray_core::AssertionStatus::Pass);
 }
 
@@ -93,7 +119,11 @@ fn cross_pipeline_latency_comparison_finds_slow_kernels() {
 
     let cmp = compare_layer_latency(&edge, &reference);
     let conv = cmp.iter().find(|(n, _, _, _)| n == "conv").unwrap();
-    assert!(conv.3 > 100.0, "conv should be flagged as ~200x slower, ratio {}", conv.3);
+    assert!(
+        conv.3 > 100.0,
+        "conv should be flagged as ~200x slower, ratio {}",
+        conv.3
+    );
     let mean = cmp.iter().find(|(n, _, _, _)| n == "mean").unwrap();
     assert!(mean.3 < 2.0);
 

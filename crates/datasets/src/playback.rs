@@ -99,7 +99,10 @@ impl SdCard {
             serde_json::from_str(&json).map_err(|e| DatasetError::Format(e.to_string()))?;
         let image = Image::from_raw(m.width, m.height, m.order, data)
             .map_err(|e| DatasetError::Format(e.to_string()))?;
-        Ok(LabeledImage { image, label: m.label })
+        Ok(LabeledImage {
+            image,
+            label: m.label,
+        })
     }
 
     /// Number of stored frames (contiguous from 0).
@@ -117,7 +120,9 @@ impl SdCard {
     ///
     /// Propagates per-frame failures.
     pub fn read_all(&self) -> Result<Vec<LabeledImage>> {
-        (0..self.frame_count()).map(|i| self.read_frame(i)).collect()
+        (0..self.frame_count())
+            .map(|i| self.read_frame(i))
+            .collect()
     }
 
     /// Total bytes stored on the card.
@@ -149,7 +154,12 @@ mod tests {
     #[test]
     fn roundtrip_preserves_frames() {
         let card = temp_card("roundtrip");
-        let data = generate(SynthImageSpec { resolution: 32, count: 6, seed: 1 }).unwrap();
+        let data = generate(SynthImageSpec {
+            resolution: 32,
+            count: 6,
+            seed: 1,
+        })
+        .unwrap();
         card.write_all(&data).unwrap();
         assert_eq!(card.frame_count(), 6);
         let back = card.read_all().unwrap();

@@ -46,7 +46,10 @@ pub struct SynthAudioSpec {
 
 impl Default for SynthAudioSpec {
     fn default() -> Self {
-        SynthAudioSpec { count: 256, seed: 42 }
+        SynthAudioSpec {
+            count: 256,
+            seed: 42,
+        }
     }
 }
 
@@ -73,7 +76,10 @@ pub fn generate(spec: SynthAudioSpec) -> Result<Vec<LabeledWaveform>> {
     Ok((0..spec.count)
         .map(|i| {
             let label = i % NUM_CLASSES;
-            LabeledWaveform { samples: render(label, &mut rng), label }
+            LabeledWaveform {
+                samples: render(label, &mut rng),
+                label,
+            }
         })
         .collect())
 }
@@ -143,7 +149,10 @@ pub fn train_test_split(
 ) -> Result<(Vec<LabeledWaveform>, Vec<LabeledWaveform>)> {
     Ok((
         generate(SynthAudioSpec { count: train, seed })?,
-        generate(SynthAudioSpec { count: test, seed: seed ^ 0xa0d10 })?,
+        generate(SynthAudioSpec {
+            count: test,
+            seed: seed ^ 0xa0d10,
+        })?,
     ))
 }
 
@@ -183,8 +192,8 @@ mod tests {
             // Average spectrum over frames, find the peak (skip DC).
             let mut acc = vec![0.0f32; spec.bins()];
             for f in 0..spec.frames() {
-                for b in 0..spec.bins() {
-                    acc[b] += spec.at(f, b);
+                for (b, a) in acc.iter_mut().enumerate() {
+                    *a += spec.at(f, b);
                 }
             }
             (1..acc.len())

@@ -82,7 +82,12 @@ pub struct SynthDetectSpec {
 
 impl Default for SynthDetectSpec {
     fn default() -> Self {
-        SynthDetectSpec { resolution: 64, count: 128, max_objects: 3, seed: 42 }
+        SynthDetectSpec {
+            resolution: 64,
+            count: 128,
+            max_objects: 3,
+            seed: 42,
+        }
     }
 }
 
@@ -103,7 +108,9 @@ impl Default for SynthDetectSpec {
 /// ```
 pub fn generate(spec: SynthDetectSpec) -> Result<Vec<DetectScene>> {
     if spec.count == 0 || spec.max_objects == 0 {
-        return Err(DatasetError::InvalidSpec("count and max_objects must be positive".into()));
+        return Err(DatasetError::InvalidSpec(
+            "count and max_objects must be positive".into(),
+        ));
     }
     if spec.resolution < 32 {
         return Err(DatasetError::InvalidSpec("resolution must be >= 32".into()));
@@ -123,7 +130,7 @@ fn render_scene(res: usize, max_objects: usize, rng: &mut SmallRng) -> DetectSce
     for y in 0..res {
         for x in 0..res {
             let p = image.pixel(x, y);
-            let v = (p[0] as i32 + rng.gen_range(-8..=8)).clamp(0, 255) as u8;
+            let v = (p[0] as i32 + rng.gen_range(-8i32..=8)).clamp(0, 255) as u8;
             image.set_pixel(x, y, [v, v, v]);
         }
     }
@@ -172,7 +179,8 @@ fn draw_object(
     class: usize,
     rng: &mut SmallRng,
 ) {
-    let jitter = |rng: &mut SmallRng, v: u8| (v as i32 + rng.gen_range(-15..=15)).clamp(0, 255) as u8;
+    let jitter =
+        |rng: &mut SmallRng, v: u8| (v as i32 + rng.gen_range(-15i32..=15)).clamp(0, 255) as u8;
     match class {
         0 => {
             // Red disc.
@@ -207,7 +215,10 @@ mod tests {
 
     #[test]
     fn deterministic_and_bounded() {
-        let spec = SynthDetectSpec { count: 8, ..Default::default() };
+        let spec = SynthDetectSpec {
+            count: 8,
+            ..Default::default()
+        };
         let a = generate(spec).unwrap();
         let b = generate(spec).unwrap();
         assert_eq!(a, b);
@@ -223,15 +234,31 @@ mod tests {
 
     #[test]
     fn iou_basics() {
-        let a = GroundTruthBox { cx: 0.5, cy: 0.5, w: 0.2, h: 0.2, class: 0 };
+        let a = GroundTruthBox {
+            cx: 0.5,
+            cy: 0.5,
+            w: 0.2,
+            h: 0.2,
+            class: 0,
+        };
         assert!((a.iou(&a) - 1.0).abs() < 1e-6);
-        let b = GroundTruthBox { cx: 0.9, cy: 0.9, w: 0.1, h: 0.1, class: 0 };
+        let b = GroundTruthBox {
+            cx: 0.9,
+            cy: 0.9,
+            w: 0.1,
+            h: 0.1,
+            class: 0,
+        };
         assert_eq!(a.iou(&b), 0.0);
     }
 
     #[test]
     fn objects_rarely_overlap() {
-        let scenes = generate(SynthDetectSpec { count: 32, ..Default::default() }).unwrap();
+        let scenes = generate(SynthDetectSpec {
+            count: 32,
+            ..Default::default()
+        })
+        .unwrap();
         for scene in &scenes {
             for (i, a) in scene.objects.iter().enumerate() {
                 for b in &scene.objects[i + 1..] {
@@ -243,7 +270,15 @@ mod tests {
 
     #[test]
     fn invalid_specs_rejected() {
-        assert!(generate(SynthDetectSpec { count: 0, ..Default::default() }).is_err());
-        assert!(generate(SynthDetectSpec { resolution: 16, ..Default::default() }).is_err());
+        assert!(generate(SynthDetectSpec {
+            count: 0,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(generate(SynthDetectSpec {
+            resolution: 16,
+            ..Default::default()
+        })
+        .is_err());
     }
 }

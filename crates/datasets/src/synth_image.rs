@@ -60,7 +60,11 @@ pub struct SynthImageSpec {
 
 impl Default for SynthImageSpec {
     fn default() -> Self {
-        SynthImageSpec { resolution: 64, count: 512, seed: 42 }
+        SynthImageSpec {
+            resolution: 64,
+            count: 512,
+            seed: 42,
+        }
     }
 }
 
@@ -92,7 +96,10 @@ pub fn generate(spec: SynthImageSpec) -> Result<Vec<LabeledImage>> {
     let mut out = Vec::with_capacity(spec.count);
     for i in 0..spec.count {
         let label = i % NUM_CLASSES;
-        out.push(LabeledImage { image: render(label, spec.resolution, &mut rng), label });
+        out.push(LabeledImage {
+            image: render(label, spec.resolution, &mut rng),
+            label,
+        });
     }
     Ok(out)
 }
@@ -126,8 +133,16 @@ fn jitter(rng: &mut SmallRng, v: u8, amount: i32) -> u8 {
 fn stripes(res: usize, rng: &mut SmallRng, horizontal: bool) -> Image {
     let period = rng.gen_range(6..=10usize);
     let phase = rng.gen_range(0..period);
-    let fg = [jitter(rng, 200, 25), jitter(rng, 40, 20), jitter(rng, 40, 20)];
-    let bg = [jitter(rng, 30, 15), jitter(rng, 30, 15), jitter(rng, 30, 15)];
+    let fg = [
+        jitter(rng, 200, 25),
+        jitter(rng, 40, 20),
+        jitter(rng, 40, 20),
+    ];
+    let bg = [
+        jitter(rng, 30, 15),
+        jitter(rng, 30, 15),
+        jitter(rng, 30, 15),
+    ];
     let mut img = Image::solid(res, res, bg);
     for y in 0..res {
         for x in 0..res {
@@ -141,12 +156,20 @@ fn stripes(res: usize, rng: &mut SmallRng, horizontal: bool) -> Image {
 }
 
 fn disc(res: usize, rng: &mut SmallRng, color: [u8; 3]) -> Image {
-    let bg = [jitter(rng, 25, 10), jitter(rng, 25, 10), jitter(rng, 25, 10)];
+    let bg = [
+        jitter(rng, 25, 10),
+        jitter(rng, 25, 10),
+        jitter(rng, 25, 10),
+    ];
     let mut img = Image::solid(res, res, bg);
     let r = rng.gen_range(res / 5..res / 3) as isize;
     let cx = rng.gen_range(r..res as isize - r);
     let cy = rng.gen_range(r..res as isize - r);
-    let fg = [jitter(rng, color[0], 20), jitter(rng, color[1], 20), jitter(rng, color[2], 20)];
+    let fg = [
+        jitter(rng, color[0], 20),
+        jitter(rng, color[1], 20),
+        jitter(rng, color[2], 20),
+    ];
     for y in 0..res as isize {
         for x in 0..res as isize {
             if (x - cx) * (x - cx) + (y - cy) * (y - cy) <= r * r {
@@ -184,7 +207,11 @@ fn fine_checker(res: usize, rng: &mut SmallRng) -> Image {
     let mut img = Image::solid(res, res, [0, 0, 0]);
     for y in 0..res {
         for x in 0..res {
-            let v = if (x / period + y / period) % 2 == 0 { a } else { b };
+            let v = if (x / period + y / period) % 2 == 0 {
+                a
+            } else {
+                b
+            };
             img.set_pixel(x, y, [v, v, v]);
         }
     }
@@ -234,8 +261,16 @@ pub fn train_test_split(
     test: usize,
     seed: u64,
 ) -> Result<(Vec<LabeledImage>, Vec<LabeledImage>)> {
-    let train_set = generate(SynthImageSpec { resolution, count: train, seed })?;
-    let test_set = generate(SynthImageSpec { resolution, count: test, seed: seed ^ 0x5eed })?;
+    let train_set = generate(SynthImageSpec {
+        resolution,
+        count: train,
+        seed,
+    })?;
+    let test_set = generate(SynthImageSpec {
+        resolution,
+        count: test,
+        seed: seed ^ 0x5eed,
+    })?;
     Ok((train_set, test_set))
 }
 
@@ -251,7 +286,11 @@ mod tests {
 
     #[test]
     fn generator_is_deterministic() {
-        let spec = SynthImageSpec { resolution: 32, count: 16, seed: 7 };
+        let spec = SynthImageSpec {
+            resolution: 32,
+            count: 16,
+            seed: 7,
+        };
         let a = generate(spec).unwrap();
         let b = generate(spec).unwrap();
         assert_eq!(a, b);
@@ -259,7 +298,12 @@ mod tests {
 
     #[test]
     fn labels_are_balanced() {
-        let data = generate(SynthImageSpec { resolution: 32, count: 80, seed: 1 }).unwrap();
+        let data = generate(SynthImageSpec {
+            resolution: 32,
+            count: 80,
+            seed: 1,
+        })
+        .unwrap();
         let mut counts = [0usize; NUM_CLASSES];
         for s in &data {
             counts[s.label] += 1;
@@ -269,8 +313,18 @@ mod tests {
 
     #[test]
     fn invalid_specs_rejected() {
-        assert!(generate(SynthImageSpec { resolution: 8, count: 4, seed: 0 }).is_err());
-        assert!(generate(SynthImageSpec { resolution: 32, count: 0, seed: 0 }).is_err());
+        assert!(generate(SynthImageSpec {
+            resolution: 8,
+            count: 4,
+            seed: 0
+        })
+        .is_err());
+        assert!(generate(SynthImageSpec {
+            resolution: 32,
+            count: 0,
+            seed: 0
+        })
+        .is_err());
     }
 
     #[test]
@@ -280,7 +334,9 @@ mod tests {
         // Horizontal stripes: rows are nearly constant, columns vary.
         let row_var = (0..32)
             .map(|x| h.pixel(x, 4)[0] as i32)
-            .fold((0, 0), |(mn, mx): (i32, i32), v| (mn.min(v), mx.max(v)));
+            .fold((i32::MAX, i32::MIN), |(mn, mx): (i32, i32), v| {
+                (mn.min(v), mx.max(v))
+            });
         let col_var = (0..32)
             .map(|y| h.pixel(4, y)[0] as i32)
             .fold((i32::MAX, i32::MIN), |(mn, mx), v| (mn.min(v), mx.max(v)));

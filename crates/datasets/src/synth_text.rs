@@ -11,14 +11,30 @@ use crate::{DatasetError, Result};
 
 /// Positive-polarity vocabulary.
 pub const POSITIVE_WORDS: [&str; 10] = [
-    "great", "wonderful", "excellent", "superb", "delightful", "amazing", "loved", "brilliant",
-    "charming", "masterful",
+    "great",
+    "wonderful",
+    "excellent",
+    "superb",
+    "delightful",
+    "amazing",
+    "loved",
+    "brilliant",
+    "charming",
+    "masterful",
 ];
 
 /// Negative-polarity vocabulary.
 pub const NEGATIVE_WORDS: [&str; 10] = [
-    "terrible", "awful", "boring", "dreadful", "horrible", "lousy", "hated", "disappointing",
-    "tedious", "clumsy",
+    "terrible",
+    "awful",
+    "boring",
+    "dreadful",
+    "horrible",
+    "lousy",
+    "hated",
+    "disappointing",
+    "tedious",
+    "clumsy",
 ];
 
 /// Neutral filler vocabulary.
@@ -51,7 +67,12 @@ pub struct SynthTextSpec {
 
 impl Default for SynthTextSpec {
     fn default() -> Self {
-        SynthTextSpec { count: 256, length: 12, capitalize_prob: 0.3, seed: 42 }
+        SynthTextSpec {
+            count: 256,
+            length: 12,
+            capitalize_prob: 0.3,
+            seed: 42,
+        }
     }
 }
 
@@ -80,7 +101,9 @@ fn capitalize(word: &str) -> String {
 /// ```
 pub fn generate(spec: SynthTextSpec) -> Result<Vec<LabeledText>> {
     if spec.count == 0 || spec.length < 3 {
-        return Err(DatasetError::InvalidSpec("count must be > 0 and length >= 3".into()));
+        return Err(DatasetError::InvalidSpec(
+            "count must be > 0 and length >= 3".into(),
+        ));
     }
     let mut rng = SmallRng::seed_from_u64(spec.seed);
     let mut out = Vec::with_capacity(spec.count);
@@ -92,7 +115,11 @@ pub fn generate(spec: SynthTextSpec) -> Result<Vec<LabeledText>> {
 }
 
 fn render(label: usize, spec: &SynthTextSpec, rng: &mut SmallRng) -> LabeledText {
-    let polarity: &[&str] = if label == 1 { &POSITIVE_WORDS } else { &NEGATIVE_WORDS };
+    let polarity: &[&str] = if label == 1 {
+        &POSITIVE_WORDS
+    } else {
+        &NEGATIVE_WORDS
+    };
     // 1/3 of the words carry polarity; the rest is filler.
     let n_polar = (spec.length / 3).max(1);
     let mut words: Vec<String> = Vec::with_capacity(spec.length);
@@ -108,7 +135,10 @@ fn render(label: usize, spec: &SynthTextSpec, rng: &mut SmallRng) -> LabeledText
             *w = capitalize(w);
         }
     }
-    LabeledText { text: words.join(" "), label }
+    LabeledText {
+        text: words.join(" "),
+        label,
+    }
 }
 
 /// All lowercase tokens that may appear, for vocabulary building.
@@ -132,8 +162,16 @@ pub fn train_test_split(
     seed: u64,
 ) -> Result<(Vec<LabeledText>, Vec<LabeledText>)> {
     Ok((
-        generate(SynthTextSpec { count: train, seed, ..Default::default() })?,
-        generate(SynthTextSpec { count: test, seed: seed ^ 0x7e47, ..Default::default() })?,
+        generate(SynthTextSpec {
+            count: train,
+            seed,
+            ..Default::default()
+        })?,
+        generate(SynthTextSpec {
+            count: test,
+            seed: seed ^ 0x7e47,
+            ..Default::default()
+        })?,
     ))
 }
 
@@ -143,7 +181,10 @@ mod tests {
 
     #[test]
     fn deterministic_and_balanced() {
-        let spec = SynthTextSpec { count: 10, ..Default::default() };
+        let spec = SynthTextSpec {
+            count: 10,
+            ..Default::default()
+        };
         assert_eq!(generate(spec).unwrap(), generate(spec).unwrap());
         let data = generate(spec).unwrap();
         assert_eq!(data.iter().filter(|t| t.label == 1).count(), 5);
@@ -151,8 +192,13 @@ mod tests {
 
     #[test]
     fn positive_reviews_contain_positive_words() {
-        let data = generate(SynthTextSpec { count: 20, capitalize_prob: 0.0, seed: 8, length: 12 })
-            .unwrap();
+        let data = generate(SynthTextSpec {
+            count: 20,
+            capitalize_prob: 0.0,
+            seed: 8,
+            length: 12,
+        })
+        .unwrap();
         for t in data.iter().filter(|t| t.label == 1) {
             assert!(
                 POSITIVE_WORDS.iter().any(|w| t.text.contains(w)),
@@ -164,19 +210,35 @@ mod tests {
 
     #[test]
     fn capitalization_occurs() {
-        let data = generate(SynthTextSpec { capitalize_prob: 1.0, ..Default::default() }).unwrap();
+        let data = generate(SynthTextSpec {
+            capitalize_prob: 1.0,
+            ..Default::default()
+        })
+        .unwrap();
         let first = &data[0].text;
-        assert!(first.split(' ').all(|w| w.chars().next().unwrap().is_uppercase()));
+        assert!(first
+            .split(' ')
+            .all(|w| w.chars().next().unwrap().is_uppercase()));
     }
 
     #[test]
     fn vocabulary_is_lowercase() {
-        assert!(full_vocabulary().iter().all(|w| w.chars().all(|c| c.is_lowercase())));
+        assert!(full_vocabulary()
+            .iter()
+            .all(|w| w.chars().all(|c| c.is_lowercase())));
     }
 
     #[test]
     fn invalid_spec_rejected() {
-        assert!(generate(SynthTextSpec { count: 0, ..Default::default() }).is_err());
-        assert!(generate(SynthTextSpec { length: 2, ..Default::default() }).is_err());
+        assert!(generate(SynthTextSpec {
+            count: 0,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(generate(SynthTextSpec {
+            length: 2,
+            ..Default::default()
+        })
+        .is_err());
     }
 }

@@ -1,8 +1,6 @@
 //! Simulated execution: real interpreter, simulated clock.
 
-use mlexray_nn::{
-    Graph, Interpreter, InterpreterOptions, LayerObserver, LayerRecord, NnError,
-};
+use mlexray_nn::{Graph, Interpreter, InterpreterOptions, LayerObserver, LayerRecord, NnError};
 use mlexray_tensor::{DType, Tensor};
 
 use crate::cost::{DtypeClass, OpCategory};
@@ -167,7 +165,9 @@ mod tests {
             "w",
             he_normal(Shape::new(vec![8, 3, 3, 3]), 27, &mut rng).unwrap(),
         );
-        let c = b.conv2d("conv", x, w, None, 2, Padding::Same, Activation::Relu6).unwrap();
+        let c = b
+            .conv2d("conv", x, w, None, 2, Padding::Same, Activation::Relu6)
+            .unwrap();
         let m = b.mean("gap", c).unwrap();
         let s = b.softmax("softmax", m).unwrap();
         b.output(s);
@@ -179,7 +179,9 @@ mod tests {
         let device = SimulatedDevice::new(DeviceProfile::pixel4(), Processor::Cpu);
         let g = small_graph();
         let x = Tensor::filled_f32(Shape::nhwc(1, 16, 16, 3), 0.1);
-        let run = device.run(&g, &[x], InterpreterOptions::optimized()).unwrap();
+        let run = device
+            .run(&g, &[x], InterpreterOptions::optimized())
+            .unwrap();
         assert_eq!(run.layers.len(), 3);
         assert!(run.total_ns > 0.0);
         assert!(run.per_layer_log_bytes() > 0);
@@ -191,7 +193,13 @@ mod tests {
         let device = SimulatedDevice::new(DeviceProfile::pixel4(), Processor::Cpu);
         let g = small_graph();
         let x = Tensor::filled_f32(Shape::nhwc(1, 16, 16, 3), 0.1);
-        let opt = device.run(&g, std::slice::from_ref(&x), InterpreterOptions::optimized()).unwrap();
+        let opt = device
+            .run(
+                &g,
+                std::slice::from_ref(&x),
+                InterpreterOptions::optimized(),
+            )
+            .unwrap();
         let mut ref_opts = InterpreterOptions::optimized();
         ref_opts.flavor = KernelFlavor::Reference;
         let reference = device.run(&g, &[x], ref_opts).unwrap();
@@ -203,7 +211,11 @@ mod tests {
         let g = small_graph();
         let x = Tensor::filled_f32(Shape::nhwc(1, 16, 16, 3), 0.1);
         let cpu = SimulatedDevice::new(DeviceProfile::pixel4(), Processor::Cpu)
-            .run(&g, std::slice::from_ref(&x), InterpreterOptions::optimized())
+            .run(
+                &g,
+                std::slice::from_ref(&x),
+                InterpreterOptions::optimized(),
+            )
             .unwrap();
         let gpu = SimulatedDevice::new(DeviceProfile::pixel4(), Processor::Gpu)
             .run(&g, &[x], InterpreterOptions::optimized())
@@ -216,7 +228,9 @@ mod tests {
         let device = SimulatedDevice::new(DeviceProfile::pixel4(), Processor::Cpu);
         let g = small_graph();
         let x = Tensor::filled_f32(Shape::nhwc(1, 16, 16, 3), 0.1);
-        let run = device.run(&g, &[x], InterpreterOptions::optimized()).unwrap();
+        let run = device
+            .run(&g, &[x], InterpreterOptions::optimized())
+            .unwrap();
         let by_label = run.latency_by_op_label();
         let sum: f64 = by_label.iter().map(|(_, _, ns)| ns).sum();
         assert!((sum - run.total_ns).abs() < 1e-6);

@@ -4,8 +4,8 @@
 use serde::{Deserialize, Serialize};
 
 use crate::cost::{
-    pixel4_float_optimized, pixel4_float_reference, pixel4_quant_optimized,
-    pixel4_quant_reference, x86_float_optimized, x86_quant_optimized, CostTable, DtypeClass,
+    pixel4_float_optimized, pixel4_float_reference, pixel4_quant_optimized, pixel4_quant_reference,
+    x86_float_optimized, x86_quant_optimized, CostTable, DtypeClass,
 };
 use mlexray_nn::KernelFlavor;
 
@@ -103,7 +103,12 @@ impl DeviceProfile {
     }
 
     /// The cost table for a (dtype, flavor) pair on the given processor.
-    pub fn table(&self, dtype: DtypeClass, flavor: KernelFlavor, processor: Processor) -> CostTable {
+    pub fn table(
+        &self,
+        dtype: DtypeClass,
+        flavor: KernelFlavor,
+        processor: Processor,
+    ) -> CostTable {
         let base = match (dtype, flavor) {
             (DtypeClass::Float, KernelFlavor::Optimized) => self.float_optimized,
             (DtypeClass::Float, KernelFlavor::Reference) => self.float_reference,

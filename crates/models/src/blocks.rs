@@ -26,7 +26,11 @@ pub struct NetBuilder {
 impl NetBuilder {
     /// Starts a network with a seeded weight RNG.
     pub fn new(name: impl Into<String>, seed: u64) -> Self {
-        NetBuilder { b: GraphBuilder::new(name), rng: SmallRng::seed_from_u64(seed), counter: 0 }
+        NetBuilder {
+            b: GraphBuilder::new(name),
+            rng: SmallRng::seed_from_u64(seed),
+            counter: 0,
+        }
     }
 
     fn next_name(&mut self, prefix: &str) -> String {
@@ -48,7 +52,8 @@ impl NetBuilder {
     /// Zero bias constant.
     pub fn zero_bias(&mut self, len: usize) -> TensorId {
         let name = self.next_name("b");
-        self.b.constant(name, Tensor::filled_f32(Shape::vector(len), 0.0))
+        self.b
+            .constant(name, Tensor::filled_f32(Shape::vector(len), 0.0))
     }
 
     fn bn_params(&mut self, c: usize) -> (TensorId, TensorId, TensorId, TensorId) {
@@ -61,7 +66,10 @@ impl NetBuilder {
         let var = vec(0.5, 1.5, &mut self.rng);
         let c_of = |tag: &str, data: Vec<f32>, s: &mut Self| {
             let name = s.next_name(tag);
-            s.b.constant(name, Tensor::from_f32(Shape::vector(c), data).expect("len matches"))
+            s.b.constant(
+                name,
+                Tensor::from_f32(Shape::vector(c), data).expect("len matches"),
+            )
         };
         (
             c_of("gamma", gamma, self),
@@ -100,7 +108,9 @@ impl NetBuilder {
             Activation::None,
         )?;
         let (g, be, m, v) = self.bn_params(out_c);
-        let bn = self.b.batch_norm(format!("{tag}/bn"), conv, g, be, m, v, 1e-3)?;
+        let bn = self
+            .b
+            .batch_norm(format!("{tag}/bn"), conv, g, be, m, v, 1e-3)?;
         if act == Activation::None {
             Ok(bn)
         } else {
@@ -133,7 +143,9 @@ impl NetBuilder {
             Activation::None,
         )?;
         let (g, be, m, v) = self.bn_params(c);
-        let bn = self.b.batch_norm(format!("{tag}/bn"), conv, g, be, m, v, 1e-3)?;
+        let bn = self
+            .b
+            .batch_norm(format!("{tag}/bn"), conv, g, be, m, v, 1e-3)?;
         if act == Activation::None {
             Ok(bn)
         } else {
@@ -179,7 +191,8 @@ impl NetBuilder {
         let c = self.b.shape_of(x).dims()[3];
         let w = self.weight(Shape::new(vec![1, k, k, c]), k * k)?;
         let bias = self.zero_bias(c);
-        self.b.depthwise_conv2d(tag, x, w, Some(bias), stride, Padding::Same, act)
+        self.b
+            .depthwise_conv2d(tag, x, w, Some(bias), stride, Padding::Same, act)
     }
 
     /// Fully connected layer with bias.
@@ -187,13 +200,7 @@ impl NetBuilder {
     /// # Errors
     ///
     /// Propagates graph-construction errors.
-    pub fn fc(
-        &mut self,
-        tag: &str,
-        x: TensorId,
-        out: usize,
-        act: Activation,
-    ) -> Result<TensorId> {
+    pub fn fc(&mut self, tag: &str, x: TensorId, out: usize, act: Activation) -> Result<TensorId> {
         let in_f = self.b.shape_of(x).dims()[1];
         let w = self.weight(Shape::matrix(out, in_f), in_f)?;
         let bias = self.zero_bias(out);
@@ -222,7 +229,9 @@ mod tests {
     fn builder_produces_runnable_net() {
         let mut nb = NetBuilder::new("t", 1);
         let x = nb.b.input("x", Shape::nhwc(1, 8, 8, 3));
-        let c = nb.conv_act("c1", x, 4, 3, 2, Padding::Same, Activation::Relu6).unwrap();
+        let c = nb
+            .conv_act("c1", x, 4, 3, 2, Padding::Same, Activation::Relu6)
+            .unwrap();
         let out = nb.mean_fc_softmax(c, 5).unwrap();
         nb.b.output(out);
         let model = Model::checkpoint(nb.b.finish().unwrap(), "t");
@@ -239,7 +248,9 @@ mod tests {
     fn checkpoint_units_convert() {
         let mut nb = NetBuilder::new("ckpt", 2);
         let x = nb.b.input("x", Shape::nhwc(1, 8, 8, 3));
-        let c = nb.conv_bn_act("u1", x, 4, 3, 1, Padding::Same, Activation::Relu6).unwrap();
+        let c = nb
+            .conv_bn_act("u1", x, 4, 3, 1, Padding::Same, Activation::Relu6)
+            .unwrap();
         let d = nb.dwconv_bn_act("u2", c, 3, 1, Activation::Relu).unwrap();
         let out = nb.mean_fc_softmax(d, 3).unwrap();
         nb.b.output(out);
@@ -247,7 +258,11 @@ mod tests {
         // 2 units * 3 nodes + mean + fc + softmax = 9 nodes pre-conversion.
         assert_eq!(model.graph.layer_count(), 9);
         let mobile = mlexray_nn::convert_to_mobile(&model).unwrap();
-        assert_eq!(mobile.graph.layer_count(), 5, "BN+act folded into each conv");
+        assert_eq!(
+            mobile.graph.layer_count(),
+            5,
+            "BN+act folded into each conv"
+        );
     }
 
     #[test]
@@ -255,7 +270,9 @@ mod tests {
         let build = || {
             let mut nb = NetBuilder::new("t", 5);
             let x = nb.b.input("x", Shape::nhwc(1, 4, 4, 1));
-            let c = nb.conv_act("c", x, 2, 3, 1, Padding::Same, Activation::None).unwrap();
+            let c = nb
+                .conv_act("c", x, 2, 3, 1, Padding::Same, Activation::None)
+                .unwrap();
             nb.b.output(c);
             nb.b.finish().unwrap()
         };

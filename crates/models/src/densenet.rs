@@ -13,12 +13,7 @@ fn scaled(c: usize, width: f32) -> usize {
 
 /// One dense layer: bottleneck 1x1 (4k) + 3x3 (k), concatenated onto the
 /// running feature map.
-fn dense_layer(
-    nb: &mut NetBuilder,
-    tag: &str,
-    x: TensorId,
-    growth: usize,
-) -> Result<TensorId> {
+fn dense_layer(nb: &mut NetBuilder, tag: &str, x: TensorId, growth: usize) -> Result<TensorId> {
     let bottleneck = nb.conv_bn_act(
         &format!("{tag}/bottleneck"),
         x,
@@ -42,7 +37,15 @@ fn dense_layer(
 
 fn transition(nb: &mut NetBuilder, tag: &str, x: TensorId) -> Result<TensorId> {
     let c = nb.b.shape_of(x).dims()[3];
-    let y = nb.conv_bn_act(&format!("{tag}/conv"), x, c / 2, 1, 1, Padding::Same, Activation::Relu)?;
+    let y = nb.conv_bn_act(
+        &format!("{tag}/conv"),
+        x,
+        c / 2,
+        1,
+        1,
+        Padding::Same,
+        Activation::Relu,
+    )?;
     nb.b.avg_pool2d(format!("{tag}/pool"), y, 2, 2, 2, Padding::Valid)
 }
 
@@ -55,7 +58,15 @@ pub fn densenet121(input: usize, classes: usize, width: f32, seed: u64) -> Resul
     let growth = scaled(32, width);
     let mut nb = NetBuilder::new("densenet121", seed);
     let x = nb.b.input("image", Shape::nhwc(1, input, input, 3));
-    let mut y = nb.conv_bn_act("stem", x, scaled(64, width), 7, 2, Padding::Same, Activation::Relu)?;
+    let mut y = nb.conv_bn_act(
+        "stem",
+        x,
+        scaled(64, width),
+        7,
+        2,
+        Padding::Same,
+        Activation::Relu,
+    )?;
     y = nb.b.max_pool2d("stem/pool", y, 3, 3, 2, Padding::Same)?;
     let blocks = [6usize, 12, 24, 16];
     for (b, &layers) in blocks.iter().enumerate() {
@@ -88,8 +99,17 @@ pub fn mini_densenet(input: usize, classes: usize, seed: u64) -> Result<Model> {
         }
         if b == 0 {
             let c = nb.b.shape_of(y).dims()[3];
-            y = nb.conv_act("transition/conv", y, c / 2, 1, 1, Padding::Same, Activation::Relu)?;
-            y = nb.b.avg_pool2d("transition/pool", y, 2, 2, 2, Padding::Valid)?;
+            y = nb.conv_act(
+                "transition/conv",
+                y,
+                c / 2,
+                1,
+                1,
+                Padding::Same,
+                Activation::Relu,
+            )?;
+            y =
+                nb.b.avg_pool2d("transition/pool", y, 2, 2, 2, Padding::Valid)?;
         }
     }
     let out = nb.mean_fc_softmax(y, classes)?;
@@ -110,7 +130,11 @@ mod tests {
         // Paper Table 3: 8M.
         assert!((6_000_000..11_000_000).contains(&params), "{params}");
         // Layer-count champion: paper counts 429.
-        assert!((380..480).contains(&m.graph.layer_count()), "{}", m.graph.layer_count());
+        assert!(
+            (380..480).contains(&m.graph.layer_count()),
+            "{}",
+            m.graph.layer_count()
+        );
     }
 
     #[test]
@@ -121,10 +145,21 @@ mod tests {
             .graph
             .nodes()
             .iter()
-            .map(|n| m.graph.tensor(n.output).shape().dims().last().copied().unwrap_or(0))
+            .map(|n| {
+                m.graph
+                    .tensor(n.output)
+                    .shape()
+                    .dims()
+                    .last()
+                    .copied()
+                    .unwrap_or(0)
+            })
             .max()
             .unwrap();
-        assert!(max_c > 100, "dense connectivity should accumulate channels: {max_c}");
+        assert!(
+            max_c > 100,
+            "dense connectivity should accumulate channels: {max_c}"
+        );
     }
 
     #[test]

@@ -16,56 +16,262 @@ fn scaled(c: usize, width: f32) -> usize {
 }
 
 /// Inception-A style module: 1x1, 5x5, double-3x3 and pooled branches.
-fn inception_a(
-    nb: &mut NetBuilder,
-    tag: &str,
-    x: TensorId,
-    width: f32,
-) -> Result<TensorId> {
-    let b1 = nb.conv_bn_act(&format!("{tag}/b1"), x, scaled(64, width), 1, 1, Padding::Same, Activation::Relu)?;
-    let b2a = nb.conv_bn_act(&format!("{tag}/b2a"), x, scaled(48, width), 1, 1, Padding::Same, Activation::Relu)?;
-    let b2 = nb.conv_bn_act(&format!("{tag}/b2b"), b2a, scaled(64, width), 5, 1, Padding::Same, Activation::Relu)?;
-    let b3a = nb.conv_bn_act(&format!("{tag}/b3a"), x, scaled(64, width), 1, 1, Padding::Same, Activation::Relu)?;
-    let b3b = nb.conv_bn_act(&format!("{tag}/b3b"), b3a, scaled(96, width), 3, 1, Padding::Same, Activation::Relu)?;
-    let b3 = nb.conv_bn_act(&format!("{tag}/b3c"), b3b, scaled(96, width), 3, 1, Padding::Same, Activation::Relu)?;
-    let pool = nb.b.avg_pool2d(format!("{tag}/pool"), x, 3, 3, 1, Padding::Same)?;
-    let b4 = nb.conv_bn_act(&format!("{tag}/b4"), pool, scaled(64, width), 1, 1, Padding::Same, Activation::Relu)?;
+fn inception_a(nb: &mut NetBuilder, tag: &str, x: TensorId, width: f32) -> Result<TensorId> {
+    let b1 = nb.conv_bn_act(
+        &format!("{tag}/b1"),
+        x,
+        scaled(64, width),
+        1,
+        1,
+        Padding::Same,
+        Activation::Relu,
+    )?;
+    let b2a = nb.conv_bn_act(
+        &format!("{tag}/b2a"),
+        x,
+        scaled(48, width),
+        1,
+        1,
+        Padding::Same,
+        Activation::Relu,
+    )?;
+    let b2 = nb.conv_bn_act(
+        &format!("{tag}/b2b"),
+        b2a,
+        scaled(64, width),
+        5,
+        1,
+        Padding::Same,
+        Activation::Relu,
+    )?;
+    let b3a = nb.conv_bn_act(
+        &format!("{tag}/b3a"),
+        x,
+        scaled(64, width),
+        1,
+        1,
+        Padding::Same,
+        Activation::Relu,
+    )?;
+    let b3b = nb.conv_bn_act(
+        &format!("{tag}/b3b"),
+        b3a,
+        scaled(96, width),
+        3,
+        1,
+        Padding::Same,
+        Activation::Relu,
+    )?;
+    let b3 = nb.conv_bn_act(
+        &format!("{tag}/b3c"),
+        b3b,
+        scaled(96, width),
+        3,
+        1,
+        Padding::Same,
+        Activation::Relu,
+    )?;
+    let pool =
+        nb.b.avg_pool2d(format!("{tag}/pool"), x, 3, 3, 1, Padding::Same)?;
+    let b4 = nb.conv_bn_act(
+        &format!("{tag}/b4"),
+        pool,
+        scaled(64, width),
+        1,
+        1,
+        Padding::Same,
+        Activation::Relu,
+    )?;
     nb.b.concat(format!("{tag}/concat"), &[b1, b2, b3, b4], 3)
 }
 
 /// Inception-B style module (square-kernel approximation of the 7x1/1x7
 /// factorized branches).
 fn inception_b(nb: &mut NetBuilder, tag: &str, x: TensorId, width: f32) -> Result<TensorId> {
-    let b1 = nb.conv_bn_act(&format!("{tag}/b1"), x, scaled(192, width), 1, 1, Padding::Same, Activation::Relu)?;
-    let b2a = nb.conv_bn_act(&format!("{tag}/b2a"), x, scaled(128, width), 1, 1, Padding::Same, Activation::Relu)?;
-    let b2 = nb.conv_bn_act(&format!("{tag}/b2b"), b2a, scaled(192, width), 3, 1, Padding::Same, Activation::Relu)?;
-    let b3a = nb.conv_bn_act(&format!("{tag}/b3a"), x, scaled(128, width), 1, 1, Padding::Same, Activation::Relu)?;
-    let b3b = nb.conv_bn_act(&format!("{tag}/b3b"), b3a, scaled(128, width), 3, 1, Padding::Same, Activation::Relu)?;
-    let b3 = nb.conv_bn_act(&format!("{tag}/b3c"), b3b, scaled(192, width), 3, 1, Padding::Same, Activation::Relu)?;
-    let pool = nb.b.avg_pool2d(format!("{tag}/pool"), x, 3, 3, 1, Padding::Same)?;
-    let b4 = nb.conv_bn_act(&format!("{tag}/b4"), pool, scaled(192, width), 1, 1, Padding::Same, Activation::Relu)?;
+    let b1 = nb.conv_bn_act(
+        &format!("{tag}/b1"),
+        x,
+        scaled(192, width),
+        1,
+        1,
+        Padding::Same,
+        Activation::Relu,
+    )?;
+    let b2a = nb.conv_bn_act(
+        &format!("{tag}/b2a"),
+        x,
+        scaled(128, width),
+        1,
+        1,
+        Padding::Same,
+        Activation::Relu,
+    )?;
+    let b2 = nb.conv_bn_act(
+        &format!("{tag}/b2b"),
+        b2a,
+        scaled(192, width),
+        3,
+        1,
+        Padding::Same,
+        Activation::Relu,
+    )?;
+    let b3a = nb.conv_bn_act(
+        &format!("{tag}/b3a"),
+        x,
+        scaled(128, width),
+        1,
+        1,
+        Padding::Same,
+        Activation::Relu,
+    )?;
+    let b3b = nb.conv_bn_act(
+        &format!("{tag}/b3b"),
+        b3a,
+        scaled(128, width),
+        3,
+        1,
+        Padding::Same,
+        Activation::Relu,
+    )?;
+    let b3 = nb.conv_bn_act(
+        &format!("{tag}/b3c"),
+        b3b,
+        scaled(192, width),
+        3,
+        1,
+        Padding::Same,
+        Activation::Relu,
+    )?;
+    let pool =
+        nb.b.avg_pool2d(format!("{tag}/pool"), x, 3, 3, 1, Padding::Same)?;
+    let b4 = nb.conv_bn_act(
+        &format!("{tag}/b4"),
+        pool,
+        scaled(192, width),
+        1,
+        1,
+        Padding::Same,
+        Activation::Relu,
+    )?;
     nb.b.concat(format!("{tag}/concat"), &[b1, b2, b3, b4], 3)
 }
 
 /// Inception-C style module.
 fn inception_c(nb: &mut NetBuilder, tag: &str, x: TensorId, width: f32) -> Result<TensorId> {
-    let b1 = nb.conv_bn_act(&format!("{tag}/b1"), x, scaled(320, width), 1, 1, Padding::Same, Activation::Relu)?;
-    let b2a = nb.conv_bn_act(&format!("{tag}/b2a"), x, scaled(384, width), 1, 1, Padding::Same, Activation::Relu)?;
-    let b2 = nb.conv_bn_act(&format!("{tag}/b2b"), b2a, scaled(768, width), 3, 1, Padding::Same, Activation::Relu)?;
-    let b3a = nb.conv_bn_act(&format!("{tag}/b3a"), x, scaled(448, width), 1, 1, Padding::Same, Activation::Relu)?;
-    let b3b = nb.conv_bn_act(&format!("{tag}/b3b"), b3a, scaled(384, width), 3, 1, Padding::Same, Activation::Relu)?;
-    let b3 = nb.conv_bn_act(&format!("{tag}/b3c"), b3b, scaled(768, width), 3, 1, Padding::Same, Activation::Relu)?;
-    let pool = nb.b.avg_pool2d(format!("{tag}/pool"), x, 3, 3, 1, Padding::Same)?;
-    let b4 = nb.conv_bn_act(&format!("{tag}/b4"), pool, scaled(192, width), 1, 1, Padding::Same, Activation::Relu)?;
+    let b1 = nb.conv_bn_act(
+        &format!("{tag}/b1"),
+        x,
+        scaled(320, width),
+        1,
+        1,
+        Padding::Same,
+        Activation::Relu,
+    )?;
+    let b2a = nb.conv_bn_act(
+        &format!("{tag}/b2a"),
+        x,
+        scaled(384, width),
+        1,
+        1,
+        Padding::Same,
+        Activation::Relu,
+    )?;
+    let b2 = nb.conv_bn_act(
+        &format!("{tag}/b2b"),
+        b2a,
+        scaled(768, width),
+        3,
+        1,
+        Padding::Same,
+        Activation::Relu,
+    )?;
+    let b3a = nb.conv_bn_act(
+        &format!("{tag}/b3a"),
+        x,
+        scaled(448, width),
+        1,
+        1,
+        Padding::Same,
+        Activation::Relu,
+    )?;
+    let b3b = nb.conv_bn_act(
+        &format!("{tag}/b3b"),
+        b3a,
+        scaled(384, width),
+        3,
+        1,
+        Padding::Same,
+        Activation::Relu,
+    )?;
+    let b3 = nb.conv_bn_act(
+        &format!("{tag}/b3c"),
+        b3b,
+        scaled(768, width),
+        3,
+        1,
+        Padding::Same,
+        Activation::Relu,
+    )?;
+    let pool =
+        nb.b.avg_pool2d(format!("{tag}/pool"), x, 3, 3, 1, Padding::Same)?;
+    let b4 = nb.conv_bn_act(
+        &format!("{tag}/b4"),
+        pool,
+        scaled(192, width),
+        1,
+        1,
+        Padding::Same,
+        Activation::Relu,
+    )?;
     nb.b.concat(format!("{tag}/concat"), &[b1, b2, b3, b4], 3)
 }
 
-fn reduction(nb: &mut NetBuilder, tag: &str, x: TensorId, a: usize, b: usize, width: f32) -> Result<TensorId> {
-    let r1 = nb.conv_bn_act(&format!("{tag}/r1"), x, scaled(a, width), 3, 2, Padding::Same, Activation::Relu)?;
-    let r2a = nb.conv_bn_act(&format!("{tag}/r2a"), x, scaled(b, width), 1, 1, Padding::Same, Activation::Relu)?;
-    let r2b = nb.conv_bn_act(&format!("{tag}/r2b"), r2a, scaled(b, width), 3, 1, Padding::Same, Activation::Relu)?;
-    let r2 = nb.conv_bn_act(&format!("{tag}/r2c"), r2b, scaled(b, width), 3, 2, Padding::Same, Activation::Relu)?;
-    let pool = nb.b.max_pool2d(format!("{tag}/pool"), x, 3, 3, 2, Padding::Same)?;
+fn reduction(
+    nb: &mut NetBuilder,
+    tag: &str,
+    x: TensorId,
+    a: usize,
+    b: usize,
+    width: f32,
+) -> Result<TensorId> {
+    let r1 = nb.conv_bn_act(
+        &format!("{tag}/r1"),
+        x,
+        scaled(a, width),
+        3,
+        2,
+        Padding::Same,
+        Activation::Relu,
+    )?;
+    let r2a = nb.conv_bn_act(
+        &format!("{tag}/r2a"),
+        x,
+        scaled(b, width),
+        1,
+        1,
+        Padding::Same,
+        Activation::Relu,
+    )?;
+    let r2b = nb.conv_bn_act(
+        &format!("{tag}/r2b"),
+        r2a,
+        scaled(b, width),
+        3,
+        1,
+        Padding::Same,
+        Activation::Relu,
+    )?;
+    let r2 = nb.conv_bn_act(
+        &format!("{tag}/r2c"),
+        r2b,
+        scaled(b, width),
+        3,
+        2,
+        Padding::Same,
+        Activation::Relu,
+    )?;
+    let pool =
+        nb.b.max_pool2d(format!("{tag}/pool"), x, 3, 3, 2, Padding::Same)?;
     nb.b.concat(format!("{tag}/concat"), &[r1, r2, pool], 3)
 }
 
@@ -77,12 +283,52 @@ fn reduction(nb: &mut NetBuilder, tag: &str, x: TensorId, a: usize, b: usize, wi
 pub fn inception_v3(input: usize, classes: usize, width: f32, seed: u64) -> Result<Model> {
     let mut nb = NetBuilder::new("inception_v3", seed);
     let x = nb.b.input("image", Shape::nhwc(1, input, input, 3));
-    let mut y = nb.conv_bn_act("stem/c1", x, scaled(32, width), 3, 2, Padding::Same, Activation::Relu)?;
-    y = nb.conv_bn_act("stem/c2", y, scaled(32, width), 3, 1, Padding::Same, Activation::Relu)?;
-    y = nb.conv_bn_act("stem/c3", y, scaled(64, width), 3, 1, Padding::Same, Activation::Relu)?;
+    let mut y = nb.conv_bn_act(
+        "stem/c1",
+        x,
+        scaled(32, width),
+        3,
+        2,
+        Padding::Same,
+        Activation::Relu,
+    )?;
+    y = nb.conv_bn_act(
+        "stem/c2",
+        y,
+        scaled(32, width),
+        3,
+        1,
+        Padding::Same,
+        Activation::Relu,
+    )?;
+    y = nb.conv_bn_act(
+        "stem/c3",
+        y,
+        scaled(64, width),
+        3,
+        1,
+        Padding::Same,
+        Activation::Relu,
+    )?;
     y = nb.b.max_pool2d("stem/pool1", y, 3, 3, 2, Padding::Same)?;
-    y = nb.conv_bn_act("stem/c4", y, scaled(80, width), 1, 1, Padding::Same, Activation::Relu)?;
-    y = nb.conv_bn_act("stem/c5", y, scaled(192, width), 3, 1, Padding::Same, Activation::Relu)?;
+    y = nb.conv_bn_act(
+        "stem/c4",
+        y,
+        scaled(80, width),
+        1,
+        1,
+        Padding::Same,
+        Activation::Relu,
+    )?;
+    y = nb.conv_bn_act(
+        "stem/c5",
+        y,
+        scaled(192, width),
+        3,
+        1,
+        Padding::Same,
+        Activation::Relu,
+    )?;
     y = nb.b.max_pool2d("stem/pool2", y, 3, 3, 2, Padding::Same)?;
     for i in 0..3 {
         y = inception_a(&mut nb, &format!("mixedA{i}"), y, width)?;

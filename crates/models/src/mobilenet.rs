@@ -28,7 +28,15 @@ fn scaled(c: usize, width: f32) -> usize {
 pub fn mobilenet_v1(input: usize, classes: usize, width: f32, seed: u64) -> Result<Model> {
     let mut nb = NetBuilder::new("mobilenet_v1", seed);
     let x = nb.b.input("image", Shape::nhwc(1, input, input, 3));
-    let mut y = nb.conv_bn_act("stem", x, scaled(32, width), 3, 2, Padding::Same, Activation::Relu6)?;
+    let mut y = nb.conv_bn_act(
+        "stem",
+        x,
+        scaled(32, width),
+        3,
+        2,
+        Padding::Same,
+        Activation::Relu6,
+    )?;
     // (stride, out_channels) of the 13 depthwise-separable blocks.
     let blocks: [(usize, usize); 13] = [
         (1, 64),
@@ -74,10 +82,26 @@ fn inverted_residual(
     let in_c = nb.b.shape_of(x).dims()[3];
     let mut y = x;
     if expand != in_c {
-        y = nb.conv_bn_act(&format!("{tag}/expand"), y, expand, 1, 1, Padding::Same, Activation::Relu6)?;
+        y = nb.conv_bn_act(
+            &format!("{tag}/expand"),
+            y,
+            expand,
+            1,
+            1,
+            Padding::Same,
+            Activation::Relu6,
+        )?;
     }
     y = nb.dwconv_bn_act(&format!("{tag}/dw"), y, 3, stride, Activation::Relu6)?;
-    y = nb.conv_bn_act(&format!("{tag}/project"), y, out_c, 1, 1, Padding::Same, Activation::None)?;
+    y = nb.conv_bn_act(
+        &format!("{tag}/project"),
+        y,
+        out_c,
+        1,
+        1,
+        Padding::Same,
+        Activation::None,
+    )?;
     if stride == 1 && in_c == out_c {
         y = nb.b.add(format!("{tag}/add"), x, y, Activation::None)?;
     }
@@ -92,7 +116,15 @@ fn inverted_residual(
 pub fn mobilenet_v2(input: usize, classes: usize, width: f32, seed: u64) -> Result<Model> {
     let mut nb = NetBuilder::new("mobilenet_v2", seed);
     let x = nb.b.input("image", Shape::nhwc(1, input, input, 3));
-    let mut y = nb.conv_bn_act("stem", x, scaled(32, width), 3, 2, Padding::Same, Activation::Relu6)?;
+    let mut y = nb.conv_bn_act(
+        "stem",
+        x,
+        scaled(32, width),
+        3,
+        2,
+        Padding::Same,
+        Activation::Relu6,
+    )?;
     // (expansion factor, out_channels, repeats, first stride).
     let settings: [(usize, usize, usize, usize); 7] = [
         (1, 16, 1, 1),
@@ -119,7 +151,15 @@ pub fn mobilenet_v2(input: usize, classes: usize, width: f32, seed: u64) -> Resu
             idx += 1;
         }
     }
-    y = nb.conv_bn_act("head", y, scaled(1280, width), 1, 1, Padding::Same, Activation::Relu6)?;
+    y = nb.conv_bn_act(
+        "head",
+        y,
+        scaled(1280, width),
+        1,
+        1,
+        Padding::Same,
+        Activation::Relu6,
+    )?;
     let out = nb.mean_fc_softmax(y, classes)?;
     nb.b.output(out);
     Ok(Model::checkpoint(nb.b.finish()?, "mobilenet_v2"))
@@ -166,13 +206,29 @@ fn v3_bneck(
     let in_c = nb.b.shape_of(x).dims()[3];
     let mut y = x;
     if expand != in_c {
-        y = nb.conv_bn_act(&format!("{tag}/expand"), y, expand, 1, 1, Padding::Same, act)?;
+        y = nb.conv_bn_act(
+            &format!("{tag}/expand"),
+            y,
+            expand,
+            1,
+            1,
+            Padding::Same,
+            act,
+        )?;
     }
     y = nb.dwconv_bn_act(&format!("{tag}/dw"), y, k, stride, act)?;
     if se {
         y = squeeze_excite(nb, tag, y)?;
     }
-    y = nb.conv_bn_act(&format!("{tag}/project"), y, out_c, 1, 1, Padding::Same, Activation::None)?;
+    y = nb.conv_bn_act(
+        &format!("{tag}/project"),
+        y,
+        out_c,
+        1,
+        1,
+        Padding::Same,
+        Activation::None,
+    )?;
     if stride == 1 && in_c == out_c {
         y = nb.b.add(format!("{tag}/add"), x, y, Activation::None)?;
     }
@@ -219,7 +275,15 @@ pub fn mobilenet_v3_small(input: usize, classes: usize, width: f32, seed: u64) -
     y = nb.conv_bn_act("head", y, scaled(576, width), 1, 1, Padding::Same, HS)?;
     // v3 pools with AveragePool2d, not Mean.
     let pooled = nb.b.avg_pool_global("final_pool", y)?;
-    let pre = nb.conv_act("pre_logits", pooled, scaled(1024, width), 1, 1, Padding::Same, HS)?;
+    let pre = nb.conv_act(
+        "pre_logits",
+        pooled,
+        scaled(1024, width),
+        1,
+        1,
+        Padding::Same,
+        HS,
+    )?;
     let flat_c = nb.b.shape_of(pre).dims()[3];
     let flat = nb.b.reshape("flatten", pre, vec![1, flat_c])?;
     let logits = nb.fc("classifier", flat, classes, Activation::None)?;
@@ -240,7 +304,15 @@ pub fn mini_v1(input: usize, classes: usize, seed: u64) -> Result<Model> {
     let mut y = nb.conv_act("stem", x, 8, 3, 2, Padding::Same, Activation::Relu6)?;
     for (i, &(stride, out_c)) in [(1usize, 16usize), (2, 24), (1, 24)].iter().enumerate() {
         y = nb.dwconv_act(&format!("block{i}/dw"), y, 3, stride, Activation::Relu6)?;
-        y = nb.conv_act(&format!("block{i}/pw"), y, out_c, 1, 1, Padding::Same, Activation::Relu6)?;
+        y = nb.conv_act(
+            &format!("block{i}/pw"),
+            y,
+            out_c,
+            1,
+            1,
+            Padding::Same,
+            Activation::Relu6,
+        )?;
     }
     let out = nb.mean_fc_softmax(y, classes)?;
     nb.b.output(out);
@@ -256,10 +328,25 @@ fn mini_inverted_residual(
     stride: usize,
 ) -> Result<TensorId> {
     let in_c = nb.b.shape_of(x).dims()[3];
-    let mut y =
-        nb.conv_act(&format!("{tag}/expand"), x, expand, 1, 1, Padding::Same, Activation::Relu6)?;
+    let mut y = nb.conv_act(
+        &format!("{tag}/expand"),
+        x,
+        expand,
+        1,
+        1,
+        Padding::Same,
+        Activation::Relu6,
+    )?;
     y = nb.dwconv_act(&format!("{tag}/dw"), y, 3, stride, Activation::Relu6)?;
-    y = nb.conv_act(&format!("{tag}/project"), y, out_c, 1, 1, Padding::Same, Activation::None)?;
+    y = nb.conv_act(
+        &format!("{tag}/project"),
+        y,
+        out_c,
+        1,
+        1,
+        Padding::Same,
+        Activation::None,
+    )?;
     if stride == 1 && in_c == out_c {
         y = nb.b.add(format!("{tag}/add"), x, y, Activation::None)?;
     }
@@ -297,14 +384,23 @@ pub fn mini_v3(input: usize, classes: usize, seed: u64) -> Result<Model> {
     let mut y = nb.conv_act("stem", x, 8, 3, 2, Padding::Same, HS)?;
 
     // Two SE bottlenecks.
-    for (i, &(expand, out_c, stride)) in [(16usize, 12usize, 2usize), (24, 12, 1)].iter().enumerate()
+    for (i, &(expand, out_c, stride)) in
+        [(16usize, 12usize, 2usize), (24, 12, 1)].iter().enumerate()
     {
         let tag = format!("bneck{i}");
         let in_c = nb.b.shape_of(y).dims()[3];
         let mut z = nb.conv_act(&format!("{tag}/expand"), y, expand, 1, 1, Padding::Same, HS)?;
         z = nb.dwconv_act(&format!("{tag}/dw"), z, 3, stride, Activation::Relu)?;
         z = squeeze_excite(&mut nb, &tag, z)?;
-        z = nb.conv_act(&format!("{tag}/project"), z, out_c, 1, 1, Padding::Same, Activation::None)?;
+        z = nb.conv_act(
+            &format!("{tag}/project"),
+            z,
+            out_c,
+            1,
+            1,
+            Padding::Same,
+            Activation::None,
+        )?;
         if stride == 1 && in_c == out_c {
             z = nb.b.add(format!("{tag}/add"), y, z, Activation::None)?;
         }
@@ -354,7 +450,11 @@ mod tests {
         let v1 = mobilenet_v1(64, 10, 0.25, 1).unwrap();
         let v2 = mobilenet_v2(64, 10, 0.25, 1).unwrap();
         assert!(v2.graph.layer_count() > v1.graph.layer_count());
-        assert!(v2.graph.nodes().iter().any(|n| matches!(n.op, OpKind::Mean)));
+        assert!(v2
+            .graph
+            .nodes()
+            .iter()
+            .any(|n| matches!(n.op, OpKind::Mean)));
         assert!(!v2
             .graph
             .nodes()

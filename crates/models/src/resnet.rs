@@ -23,15 +23,48 @@ fn bottleneck(
     stride: usize,
 ) -> Result<TensorId> {
     let in_c = nb.b.shape_of(x).dims()[3];
-    let mut y = nb.conv_bn_act(&format!("{tag}/a"), x, mid, 1, 1, Padding::Same, Activation::Relu)?;
-    y = nb.conv_bn_act(&format!("{tag}/b"), y, mid, 3, stride, Padding::Same, Activation::Relu)?;
-    y = nb.conv_bn_act(&format!("{tag}/c"), y, out_c, 1, 1, Padding::Same, Activation::None)?;
+    let mut y = nb.conv_bn_act(
+        &format!("{tag}/a"),
+        x,
+        mid,
+        1,
+        1,
+        Padding::Same,
+        Activation::Relu,
+    )?;
+    y = nb.conv_bn_act(
+        &format!("{tag}/b"),
+        y,
+        mid,
+        3,
+        stride,
+        Padding::Same,
+        Activation::Relu,
+    )?;
+    y = nb.conv_bn_act(
+        &format!("{tag}/c"),
+        y,
+        out_c,
+        1,
+        1,
+        Padding::Same,
+        Activation::None,
+    )?;
     let shortcut = if stride != 1 || in_c != out_c {
-        nb.conv_bn_act(&format!("{tag}/sc"), x, out_c, 1, stride, Padding::Same, Activation::None)?
+        nb.conv_bn_act(
+            &format!("{tag}/sc"),
+            x,
+            out_c,
+            1,
+            stride,
+            Padding::Same,
+            Activation::None,
+        )?
     } else {
         x
     };
-    let sum = nb.b.add(format!("{tag}/add"), y, shortcut, Activation::None)?;
+    let sum =
+        nb.b.add(format!("{tag}/add"), y, shortcut, Activation::None)?;
     nb.b.activation(format!("{tag}/relu"), sum, Activation::Relu)
 }
 
@@ -43,11 +76,23 @@ fn bottleneck(
 pub fn resnet50_v2(input: usize, classes: usize, width: f32, seed: u64) -> Result<Model> {
     let mut nb = NetBuilder::new("resnet50_v2", seed);
     let x = nb.b.input("image", Shape::nhwc(1, input, input, 3));
-    let mut y = nb.conv_bn_act("stem", x, scaled(64, width), 7, 2, Padding::Same, Activation::Relu)?;
+    let mut y = nb.conv_bn_act(
+        "stem",
+        x,
+        scaled(64, width),
+        7,
+        2,
+        Padding::Same,
+        Activation::Relu,
+    )?;
     y = nb.b.max_pool2d("stem/pool", y, 3, 3, 2, Padding::Same)?;
     // (mid, out, blocks, first stride) per stage.
-    let stages: [(usize, usize, usize, usize); 4] =
-        [(64, 256, 3, 1), (128, 512, 4, 2), (256, 1024, 6, 2), (512, 2048, 3, 2)];
+    let stages: [(usize, usize, usize, usize); 4] = [
+        (64, 256, 3, 1),
+        (128, 512, 4, 2),
+        (256, 1024, 6, 2),
+        (512, 2048, 3, 2),
+    ];
     for (s, &(mid, out_c, blocks, stride)) in stages.iter().enumerate() {
         for b in 0..blocks {
             y = bottleneck(
@@ -76,8 +121,24 @@ pub fn mini_resnet(input: usize, classes: usize, seed: u64) -> Result<Model> {
     let mut y = nb.conv_act("stem", x, 16, 3, 2, Padding::Same, Activation::Relu)?;
     for i in 0..2 {
         let tag = format!("block{i}");
-        let a = nb.conv_act(&format!("{tag}/a"), y, 16, 3, 1, Padding::Same, Activation::Relu)?;
-        let b2 = nb.conv_act(&format!("{tag}/b"), a, 16, 3, 1, Padding::Same, Activation::None)?;
+        let a = nb.conv_act(
+            &format!("{tag}/a"),
+            y,
+            16,
+            3,
+            1,
+            Padding::Same,
+            Activation::Relu,
+        )?;
+        let b2 = nb.conv_act(
+            &format!("{tag}/b"),
+            a,
+            16,
+            3,
+            1,
+            Padding::Same,
+            Activation::None,
+        )?;
         y = nb.b.add(format!("{tag}/add"), b2, y, Activation::Relu)?;
     }
     let out = nb.mean_fc_softmax(y, classes)?;
@@ -98,7 +159,11 @@ mod tests {
         // Paper Table 3: 25.6M.
         assert!((20_000_000..30_000_000).contains(&params), "{params}");
         // Layer count in the ~190 region.
-        assert!((150..260).contains(&m.graph.layer_count()), "{}", m.graph.layer_count());
+        assert!(
+            (150..260).contains(&m.graph.layer_count()),
+            "{}",
+            m.graph.layer_count()
+        );
     }
 
     #[test]

@@ -49,6 +49,7 @@ pub struct GtBox {
     pub class: usize,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn iou(ax0: f32, ay0: f32, ax1: f32, ay1: f32, bx0: f32, by0: f32, bx1: f32, by1: f32) -> f32 {
     let ix = (ax1.min(bx1) - ax0.max(bx0)).max(0.0);
     let iy = (ay1.min(by1) - ay0.max(by0)).max(0.0);
@@ -65,12 +66,16 @@ fn iou(ax0: f32, ay0: f32, ax1: f32, ay1: f32, bx0: f32, by0: f32, bx1: f32, by1
 impl DetBox {
     /// IoU with a ground-truth box.
     pub fn iou_gt(&self, gt: &GtBox) -> f32 {
-        iou(self.x0, self.y0, self.x1, self.y1, gt.x0, gt.y0, gt.x1, gt.y1)
+        iou(
+            self.x0, self.y0, self.x1, self.y1, gt.x0, gt.y0, gt.x1, gt.y1,
+        )
     }
 
     /// IoU with another detection.
     pub fn iou_det(&self, other: &DetBox) -> f32 {
-        iou(self.x0, self.y0, self.x1, self.y1, other.x0, other.y0, other.x1, other.y1)
+        iou(
+            self.x0, self.y0, self.x1, self.y1, other.x0, other.y0, other.x1, other.y1,
+        )
     }
 }
 
@@ -98,7 +103,15 @@ pub fn mini_ssd(input: usize) -> Result<Model> {
     let det_b = Tensor::from_f32(Shape::vector(3), vec![-0.2, -0.2, 0.0])?;
     let w = b.constant("detectors", det_w);
     let bias = b.constant("detector_bias", det_b);
-    let feats = b.conv2d("color_features", x, w, Some(bias), 1, Padding::Same, Activation::Relu)?;
+    let feats = b.conv2d(
+        "color_features",
+        x,
+        w,
+        Some(bias),
+        1,
+        Padding::Same,
+        Activation::Relu,
+    )?;
     let pooled = b.avg_pool2d("grid_pool", feats, CELL, CELL, CELL, Padding::Valid)?;
     // Class head: [bg, red, green] logits from [red, green, bright] features.
     let head_w = Tensor::from_f32(
@@ -112,7 +125,15 @@ pub fn mini_ssd(input: usize) -> Result<Model> {
     let head_b = Tensor::from_f32(Shape::vector(3), vec![1.0, -1.2, -1.2])?;
     let hw = b.constant("head_w", head_w);
     let hb = b.constant("head_b", head_b);
-    let logits = b.conv2d("class_head", pooled, hw, Some(hb), 1, Padding::Same, Activation::None)?;
+    let logits = b.conv2d(
+        "class_head",
+        pooled,
+        hw,
+        Some(hb),
+        1,
+        Padding::Same,
+        Activation::None,
+    )?;
     let probs = b.softmax("class_probs", logits)?;
     b.output(probs);
     Ok(Model::checkpoint(b.finish()?, "mini_ssd"))
@@ -148,9 +169,11 @@ pub fn decode(probs: &Tensor, threshold: f32) -> Vec<DetBox> {
     let mut groups: Vec<Vec<(usize, usize, f32)>> = Vec::new();
     let mut group_class: Vec<usize> = Vec::new();
     for &(y, x, class, score) in &confident {
-        let left = x > 0 && label[y * g_w + x - 1] != usize::MAX
+        let left = x > 0
+            && label[y * g_w + x - 1] != usize::MAX
             && group_class[label[y * g_w + x - 1]] == class;
-        let up = y > 0 && label[(y - 1) * g_w + x] != usize::MAX
+        let up = y > 0
+            && label[(y - 1) * g_w + x] != usize::MAX
             && group_class[label[(y - 1) * g_w + x]] == class;
         let gid = match (left, up) {
             (true, _) => label[y * g_w + x - 1],
@@ -188,7 +211,11 @@ pub fn decode(probs: &Tensor, threshold: f32) -> Vec<DetBox> {
 
 /// Greedy non-maximum suppression.
 pub fn nms(mut dets: Vec<DetBox>, iou_threshold: f32) -> Vec<DetBox> {
-    dets.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    dets.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut kept: Vec<DetBox> = Vec::new();
     for d in dets {
         if kept
@@ -229,11 +256,13 @@ pub fn mean_average_precision(
                 dets.push((scene, *d));
             }
         }
-        dets.sort_by(|a, b| b.1.score.partial_cmp(&a.1.score).unwrap_or(std::cmp::Ordering::Equal));
-        let mut matched: Vec<Vec<bool>> = ground_truth
-            .iter()
-            .map(|g| vec![false; g.len()])
-            .collect();
+        dets.sort_by(|a, b| {
+            b.1.score
+                .partial_cmp(&a.1.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut matched: Vec<Vec<bool>> =
+            ground_truth.iter().map(|g| vec![false; g.len()]).collect();
         let mut tp = 0usize;
         let mut fp = 0usize;
         let mut curve: Vec<(f32, f32)> = Vec::new();
@@ -259,10 +288,7 @@ pub fn mean_average_precision(
         let mut ap = 0.0f32;
         let mut prev_recall = 0.0f32;
         for i in 0..curve.len() {
-            let max_prec = curve[i..]
-                .iter()
-                .map(|c| c.1)
-                .fold(0.0f32, f32::max);
+            let max_prec = curve[i..].iter().map(|c| c.1).fold(0.0f32, f32::max);
             ap += (curve[i].0 - prev_recall) * max_prec;
             prev_recall = curve[i].0;
         }
@@ -307,15 +333,42 @@ mod tests {
         let dets = nms(decode(&probs[0], 0.5), 0.5);
         assert_eq!(dets.len(), 1, "{dets:?}");
         assert_eq!(dets[0].class, 0, "red is class 0 after background removal");
-        let gt = GtBox { x0: 12.0 / 32.0, y0: 12.0 / 32.0, x1: 20.0 / 32.0, y1: 20.0 / 32.0, class: 0 };
+        let gt = GtBox {
+            x0: 12.0 / 32.0,
+            y0: 12.0 / 32.0,
+            x1: 20.0 / 32.0,
+            y1: 20.0 / 32.0,
+            class: 0,
+        };
         assert!(dets[0].iou_gt(&gt) >= 0.5, "IoU {}", dets[0].iou_gt(&gt));
     }
 
     #[test]
     fn nms_suppresses_duplicates() {
-        let a = DetBox { x0: 0.0, y0: 0.0, x1: 0.5, y1: 0.5, class: 0, score: 0.9 };
-        let b = DetBox { x0: 0.05, y0: 0.05, x1: 0.5, y1: 0.5, class: 0, score: 0.8 };
-        let c = DetBox { x0: 0.6, y0: 0.6, x1: 0.9, y1: 0.9, class: 0, score: 0.7 };
+        let a = DetBox {
+            x0: 0.0,
+            y0: 0.0,
+            x1: 0.5,
+            y1: 0.5,
+            class: 0,
+            score: 0.9,
+        };
+        let b = DetBox {
+            x0: 0.05,
+            y0: 0.05,
+            x1: 0.5,
+            y1: 0.5,
+            class: 0,
+            score: 0.8,
+        };
+        let c = DetBox {
+            x0: 0.6,
+            y0: 0.6,
+            x1: 0.9,
+            y1: 0.9,
+            class: 0,
+            score: 0.7,
+        };
         let kept = nms(vec![a, b, c], 0.5);
         assert_eq!(kept.len(), 2);
         assert_eq!(kept[0].score, 0.9);
@@ -323,7 +376,13 @@ mod tests {
 
     #[test]
     fn map_perfect_and_empty() {
-        let gt = vec![vec![GtBox { x0: 0.1, y0: 0.1, x1: 0.3, y1: 0.3, class: 0 }]];
+        let gt = vec![vec![GtBox {
+            x0: 0.1,
+            y0: 0.1,
+            x1: 0.3,
+            y1: 0.3,
+            class: 0,
+        }]];
         let perfect = vec![vec![DetBox {
             x0: 0.1,
             y0: 0.1,
@@ -339,10 +398,30 @@ mod tests {
 
     #[test]
     fn map_penalizes_false_positives() {
-        let gt = vec![vec![GtBox { x0: 0.1, y0: 0.1, x1: 0.3, y1: 0.3, class: 0 }]];
+        let gt = vec![vec![GtBox {
+            x0: 0.1,
+            y0: 0.1,
+            x1: 0.3,
+            y1: 0.3,
+            class: 0,
+        }]];
         let noisy = vec![vec![
-            DetBox { x0: 0.1, y0: 0.1, x1: 0.3, y1: 0.3, class: 0, score: 0.6 },
-            DetBox { x0: 0.6, y0: 0.6, x1: 0.8, y1: 0.8, class: 0, score: 0.9 },
+            DetBox {
+                x0: 0.1,
+                y0: 0.1,
+                x1: 0.3,
+                y1: 0.3,
+                class: 0,
+                score: 0.6,
+            },
+            DetBox {
+                x0: 0.6,
+                y0: 0.6,
+                x1: 0.8,
+                y1: 0.8,
+                class: 0,
+                score: 0.9,
+            },
         ]];
         let map = mean_average_precision(&noisy, &gt, 0.5, 2);
         assert!(map < 1.0 && map > 0.3, "{map}");

@@ -24,7 +24,8 @@ pub fn nnlm(
     seed: u64,
 ) -> Result<Model> {
     let mut nb = NetBuilder::new("nnlm", seed);
-    let ids = nb.b.input_typed("ids", Shape::matrix(1, seq_len), DType::I32, None);
+    let ids =
+        nb.b.input_typed("ids", Shape::matrix(1, seq_len), DType::I32, None);
     let table = nb.weight(Shape::matrix(vocab_size, dim), dim)?;
     let emb = nb.b.embedding("embedding", ids, table)?;
     let avg = nb.b.mean("avg_embedding", emb)?;
@@ -117,7 +118,10 @@ pub fn tiny_bert(
         "classifier/w",
         he_normal(Shape::matrix(classes, dim), dim, &mut rng)?,
     );
-    let bc = b.constant("classifier/b", Tensor::filled_f32(Shape::vector(classes), 0.0));
+    let bc = b.constant(
+        "classifier/b",
+        Tensor::filled_f32(Shape::vector(classes), 0.0),
+    );
     let logits = b.fully_connected("classifier", pooled, wc, Some(bc), Activation::None)?;
     let out = b.softmax("softmax", logits)?;
     b.output(out);
@@ -165,8 +169,12 @@ mod tests {
         // outputs — the Appendix A divergence, at the model level.
         let m = nnlm(50, 4, 8, 2, 2).unwrap();
         let mut interp = Interpreter::new(&m.graph, InterpreterOptions::optimized()).unwrap();
-        let lower = interp.invoke(&[ids_to_tensor(&[2, 3, 0, 0]).unwrap()]).unwrap();
-        let cased = interp.invoke(&[ids_to_tensor(&[1, 1, 0, 0]).unwrap()]).unwrap();
+        let lower = interp
+            .invoke(&[ids_to_tensor(&[2, 3, 0, 0]).unwrap()])
+            .unwrap();
+        let cased = interp
+            .invoke(&[ids_to_tensor(&[1, 1, 0, 0]).unwrap()])
+            .unwrap();
         assert_ne!(lower[0].as_f32().unwrap(), cased[0].as_f32().unwrap());
     }
 

@@ -18,9 +18,15 @@ use crate::{NnError, Result};
 fn is_fusable_conv(op: &OpKind) -> bool {
     matches!(
         op,
-        OpKind::Conv2d { activation: Activation::None, .. }
-            | OpKind::DepthwiseConv2d { activation: Activation::None, .. }
-            | OpKind::FullyConnected { activation: Activation::None }
+        OpKind::Conv2d {
+            activation: Activation::None,
+            ..
+        } | OpKind::DepthwiseConv2d {
+            activation: Activation::None,
+            ..
+        } | OpKind::FullyConnected {
+            activation: Activation::None
+        }
     )
 }
 
@@ -92,9 +98,10 @@ pub fn convert_to_mobile(model: &Model) -> Result<Model> {
     let mut producer: HashMap<usize, usize> = HashMap::new();
 
     for node in old_nodes {
-        let fold_target = producer.get(&node.inputs[0].0).copied().filter(|&p| {
-            consumers[node.inputs[0].0] == 1 && is_fusable_conv(&new_nodes[p].op)
-        });
+        let fold_target = producer
+            .get(&node.inputs[0].0)
+            .copied()
+            .filter(|&p| consumers[node.inputs[0].0] == 1 && is_fusable_conv(&new_nodes[p].op));
         match (&node.op, fold_target) {
             (OpKind::BatchNorm { epsilon }, Some(p)) => {
                 fold_batch_norm(&mut graph, &mut new_nodes, p, &node, *epsilon)?;
@@ -121,7 +128,11 @@ pub fn convert_to_mobile(model: &Model) -> Result<Model> {
     *graph.nodes_mut() = new_nodes;
     graph.set_name(format!("{}_mobile", model.graph.name()));
     graph.validate()?;
-    Ok(Model { graph, family: model.family.clone(), variant: ModelVariant::MobileFloat })
+    Ok(Model {
+        graph,
+        family: model.family.clone(),
+        variant: ModelVariant::MobileFloat,
+    })
 }
 
 /// Folds `BN(conv(x))` into the convolution's weights and bias.
@@ -143,8 +154,11 @@ fn fold_batch_norm(
     let beta = read_const(graph, bn.inputs[2])?;
     let mean = read_const(graph, bn.inputs[3])?;
     let var = read_const(graph, bn.inputs[4])?;
-    let scale: Vec<f32> =
-        gamma.iter().zip(&var).map(|(&g, &v)| g / (v + epsilon).sqrt()).collect();
+    let scale: Vec<f32> = gamma
+        .iter()
+        .zip(&var)
+        .map(|(&g, &v)| g / (v + epsilon).sqrt())
+        .collect();
 
     let conv = &new_nodes[p];
     let w_id = conv.inputs[1];
@@ -216,7 +230,9 @@ mod tests {
             "w",
             mlexray_tensor::he_normal(Shape::new(vec![4, 3, 3, 2]), 18, &mut rng).unwrap(),
         );
-        let y = b.conv2d("conv", x, w, None, 1, Padding::Same, Activation::None).unwrap();
+        let y = b
+            .conv2d("conv", x, w, None, 1, Padding::Same, Activation::None)
+            .unwrap();
         let gamma = b.constant(
             "gamma",
             Tensor::from_f32(Shape::vector(4), vec![1.1, 0.9, 1.3, 0.7]).unwrap(),
@@ -272,7 +288,10 @@ mod tests {
         let mut b = GraphBuilder::new("bad");
         let x = b.input("x", Shape::nhwc(1, 2, 2, 2));
         let ones = |b: &mut GraphBuilder, n: &str| {
-            b.constant(n, Tensor::from_f32(Shape::vector(2), vec![1.0, 1.0]).unwrap())
+            b.constant(
+                n,
+                Tensor::from_f32(Shape::vector(2), vec![1.0, 1.0]).unwrap(),
+            )
         };
         let gamma = ones(&mut b, "g");
         let beta = ones(&mut b, "b");

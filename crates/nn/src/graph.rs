@@ -209,7 +209,9 @@ impl Graph {
 
     /// Sum of [`Graph::node_macs`] over all nodes.
     pub fn total_macs(&self) -> u64 {
-        (0..self.nodes.len()).map(|i| self.node_macs(NodeId(i))).sum()
+        (0..self.nodes.len())
+            .map(|i| self.node_macs(NodeId(i)))
+            .sum()
     }
 
     /// Finds a node by display name.
@@ -269,7 +271,10 @@ impl Graph {
         let mut new_nodes: Vec<Node> = Vec::with_capacity(g.nodes.len());
         let old_nodes = std::mem::take(&mut g.nodes);
         for mut node in old_nodes {
-            let act = node.op.fused_activation().unwrap_or(crate::ops::Activation::None);
+            let act = node
+                .op
+                .fused_activation()
+                .unwrap_or(crate::ops::Activation::None);
             if act == crate::ops::Activation::None {
                 new_nodes.push(node);
                 continue;
@@ -357,7 +362,8 @@ impl Graph {
                     node.name, node.output.0
                 )));
             }
-            if defined[node.output.0] && matches!(self.tensors[node.output.0], TensorDef::Activation { .. })
+            if defined[node.output.0]
+                && matches!(self.tensors[node.output.0], TensorDef::Activation { .. })
             {
                 return Err(NnError::InvalidGraph(format!(
                     "tensor '{}' written twice",
@@ -368,7 +374,9 @@ impl Graph {
         }
         for &out in &self.outputs {
             if out.0 >= self.tensors.len() || !defined[out.0] {
-                return Err(NnError::InvalidGraph("graph output is never produced".into()));
+                return Err(NnError::InvalidGraph(
+                    "graph output is never produced".into(),
+                ));
             }
         }
         Ok(())
@@ -439,14 +447,22 @@ impl GraphBuilder {
         dtype: DType,
         quant: Option<QuantParams>,
     ) -> TensorId {
-        let id = self.push_tensor(TensorDef::Input { name: name.into(), shape, dtype, quant });
+        let id = self.push_tensor(TensorDef::Input {
+            name: name.into(),
+            shape,
+            dtype,
+            quant,
+        });
         self.graph.inputs.push(id);
         id
     }
 
     /// Registers a constant (weights/bias) tensor.
     pub fn constant(&mut self, name: impl Into<String>, tensor: Tensor) -> TensorId {
-        self.push_tensor(TensorDef::Constant { name: name.into(), tensor })
+        self.push_tensor(TensorDef::Constant {
+            name: name.into(),
+            tensor,
+        })
     }
 
     /// Marks a tensor as a graph output.
@@ -473,12 +489,20 @@ impl GraphBuilder {
             dtype: out_dtype,
             quant: out_quant,
         });
-        self.graph.nodes.push(Node { name, op, inputs, output: out });
+        self.graph.nodes.push(Node {
+            name,
+            op,
+            inputs,
+            output: out,
+        });
         out
     }
 
     fn err(&self, node: &str, reason: impl Into<String>) -> NnError {
-        NnError::InvalidOp { node: node.into(), reason: reason.into() }
+        NnError::InvalidOp {
+            node: node.into(),
+            reason: reason.into(),
+        }
     }
 
     fn expect_rank(&self, node: &str, id: TensorId, rank: usize) -> Result<()> {
@@ -495,6 +519,7 @@ impl GraphBuilder {
     /// # Errors
     ///
     /// Returns [`NnError::InvalidOp`] on rank/channel mismatches.
+    #[allow(clippy::too_many_arguments)]
     pub fn conv2d(
         &mut self,
         name: impl Into<String>,
@@ -514,7 +539,11 @@ impl GraphBuilder {
         if w_in_c != in_shape.dims()[3] {
             return Err(self.err(
                 &name,
-                format!("weight in_c {} != input channels {}", w_in_c, in_shape.dims()[3]),
+                format!(
+                    "weight in_c {} != input channels {}",
+                    w_in_c,
+                    in_shape.dims()[3]
+                ),
             ));
         }
         if stride == 0 {
@@ -535,7 +564,11 @@ impl GraphBuilder {
         let out_shape = Shape::nhwc(in_shape.dims()[0], oh, ow, out_c);
         Ok(self.push_node(
             name,
-            OpKind::Conv2d { stride, padding, activation },
+            OpKind::Conv2d {
+                stride,
+                padding,
+                activation,
+            },
             inputs,
             out_shape,
             DType::F32,
@@ -548,6 +581,7 @@ impl GraphBuilder {
     /// # Errors
     ///
     /// Returns [`NnError::InvalidOp`] on rank/channel mismatches.
+    #[allow(clippy::too_many_arguments)]
     pub fn depthwise_conv2d(
         &mut self,
         name: impl Into<String>,
@@ -570,7 +604,11 @@ impl GraphBuilder {
         if c != in_shape.dims()[3] {
             return Err(self.err(
                 &name,
-                format!("weight channels {} != input channels {}", c, in_shape.dims()[3]),
+                format!(
+                    "weight channels {} != input channels {}",
+                    c,
+                    in_shape.dims()[3]
+                ),
             ));
         }
         if stride == 0 {
@@ -591,7 +629,11 @@ impl GraphBuilder {
         let out_shape = Shape::nhwc(in_shape.dims()[0], oh, ow, c);
         Ok(self.push_node(
             name,
-            OpKind::DepthwiseConv2d { stride, padding, activation },
+            OpKind::DepthwiseConv2d {
+                stride,
+                padding,
+                activation,
+            },
             inputs,
             out_shape,
             DType::F32,
@@ -621,7 +663,11 @@ impl GraphBuilder {
         if w.dims()[1] != in_shape.dims()[1] {
             return Err(self.err(
                 &name,
-                format!("weight in {} != input features {}", w.dims()[1], in_shape.dims()[1]),
+                format!(
+                    "weight in {} != input features {}",
+                    w.dims()[1],
+                    in_shape.dims()[1]
+                ),
             ));
         }
         if let Some(b) = bias {
@@ -642,6 +688,7 @@ impl GraphBuilder {
         ))
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn pool(
         &mut self,
         name: String,
@@ -664,9 +711,19 @@ impl GraphBuilder {
         }
         let out_shape = Shape::nhwc(s.dims()[0], oh, ow, s.dims()[3]);
         let op = if max {
-            OpKind::MaxPool2d { pool_h, pool_w, stride, padding }
+            OpKind::MaxPool2d {
+                pool_h,
+                pool_w,
+                stride,
+                padding,
+            }
         } else {
-            OpKind::AveragePool2d { pool_h, pool_w, stride, padding }
+            OpKind::AveragePool2d {
+                pool_h,
+                pool_w,
+                stride,
+                padding,
+            }
         };
         Ok(self.push_node(name, op, vec![input], out_shape, DType::F32, None))
     }
@@ -695,11 +752,23 @@ impl GraphBuilder {
     /// # Errors
     ///
     /// Returns [`NnError::InvalidOp`] for non-4D inputs.
-    pub fn avg_pool_global(&mut self, name: impl Into<String>, input: TensorId) -> Result<TensorId> {
+    pub fn avg_pool_global(
+        &mut self,
+        name: impl Into<String>,
+        input: TensorId,
+    ) -> Result<TensorId> {
         let s = self.shape_of(input).clone();
         let name = name.into();
         self.expect_rank(&name, input, 4)?;
-        self.pool(name, input, s.dims()[1], s.dims()[2], 1, Padding::Valid, false)
+        self.pool(
+            name,
+            input,
+            s.dims()[1],
+            s.dims()[2],
+            1,
+            Padding::Valid,
+            false,
+        )
     }
 
     /// Adds a max-pooling layer.
@@ -750,12 +819,18 @@ impl GraphBuilder {
         let name = name.into();
         let a = self.shape_of(lhs).clone();
         let b = self.shape_of(rhs).clone();
-        let suffix_ok = b.rank() <= a.rank()
-            && a.dims()[a.rank() - b.rank()..] == *b.dims();
+        let suffix_ok = b.rank() <= a.rank() && a.dims()[a.rank() - b.rank()..] == *b.dims();
         if !suffix_ok {
             return Err(self.err(&name, format!("cannot broadcast {b} onto {a}")));
         }
-        Ok(self.push_node(name, OpKind::Add { activation }, vec![lhs, rhs], a, DType::F32, None))
+        Ok(self.push_node(
+            name,
+            OpKind::Add { activation },
+            vec![lhs, rhs],
+            a,
+            DType::F32,
+            None,
+        ))
     }
 
     /// Adds element-wise multiplication. `rhs` may equal `lhs` in shape, be a
@@ -764,7 +839,12 @@ impl GraphBuilder {
     /// # Errors
     ///
     /// Returns [`NnError::InvalidOp`] on incompatible shapes.
-    pub fn mul(&mut self, name: impl Into<String>, lhs: TensorId, rhs: TensorId) -> Result<TensorId> {
+    pub fn mul(
+        &mut self,
+        name: impl Into<String>,
+        lhs: TensorId,
+        rhs: TensorId,
+    ) -> Result<TensorId> {
         let name = name.into();
         let a = self.shape_of(lhs).clone();
         let b = self.shape_of(rhs).clone();
@@ -849,7 +929,12 @@ impl GraphBuilder {
         );
         Ok(self.push_node(
             name,
-            OpKind::Pad { top, bottom, left, right },
+            OpKind::Pad {
+                top,
+                bottom,
+                left,
+                right,
+            },
             vec![input],
             out_shape,
             DType::F32,
@@ -890,6 +975,7 @@ impl GraphBuilder {
     ///
     /// Returns [`NnError::InvalidOp`] if the vectors don't match the channel
     /// count.
+    #[allow(clippy::too_many_arguments)]
     pub fn batch_norm(
         &mut self,
         name: impl Into<String>,
@@ -1003,7 +1089,14 @@ impl GraphBuilder {
         let si = self.shape_of(ids).clone();
         let st = self.shape_of(table).clone();
         let out_shape = Shape::new(vec![si.dims()[0], si.dims()[1], st.dims()[1]]);
-        Ok(self.push_node(name, OpKind::Embedding, vec![ids, table], out_shape, DType::F32, None))
+        Ok(self.push_node(
+            name,
+            OpKind::Embedding,
+            vec![ids, table],
+            out_shape,
+            DType::F32,
+            None,
+        ))
     }
 
     /// Adds a reshape to explicit target dims.
@@ -1025,7 +1118,14 @@ impl GraphBuilder {
         }
         let dtype = self.dtype_of(input);
         let quant = self.graph.tensor(input).quant().cloned();
-        Ok(self.push_node(name, OpKind::Reshape { dims }, vec![input], target, dtype, quant))
+        Ok(self.push_node(
+            name,
+            OpKind::Reshape { dims },
+            vec![input],
+            target,
+            dtype,
+            quant,
+        ))
     }
 
     /// Finalizes and validates the graph.
@@ -1063,7 +1163,9 @@ mod tests {
         let mut b = GraphBuilder::new("t");
         let x = b.input("x", Shape::nhwc(1, 8, 8, 3));
         let w = b.constant("w", zeros(Shape::new(vec![16, 3, 3, 4])));
-        assert!(b.conv2d("c", x, w, None, 1, Padding::Same, Activation::None).is_err());
+        assert!(b
+            .conv2d("c", x, w, None, 1, Padding::Same, Activation::None)
+            .is_err());
     }
 
     #[test]
@@ -1111,7 +1213,9 @@ mod tests {
         let x = b.input("x", Shape::nhwc(1, 8, 8, 3));
         let w = b.constant("w", zeros(Shape::new(vec![4, 3, 3, 3])));
         let bias = b.constant("b", zeros(Shape::vector(4)));
-        let y = b.conv2d("c", x, w, Some(bias), 1, Padding::Same, Activation::None).unwrap();
+        let y = b
+            .conv2d("c", x, w, Some(bias), 1, Padding::Same, Activation::None)
+            .unwrap();
         b.output(y);
         let g = b.finish().unwrap();
         assert_eq!(g.param_count(), 4 * 3 * 3 * 3 + 4);

@@ -21,12 +21,18 @@ pub struct InterpreterOptions {
 impl InterpreterOptions {
     /// Optimized kernels, no bugs — the production default.
     pub fn optimized() -> Self {
-        InterpreterOptions { flavor: KernelFlavor::Optimized, bugs: KernelBugs::none() }
+        InterpreterOptions {
+            flavor: KernelFlavor::Optimized,
+            bugs: KernelBugs::none(),
+        }
     }
 
     /// Reference kernels, no bugs — the debugging resolver.
     pub fn reference() -> Self {
-        InterpreterOptions { flavor: KernelFlavor::Reference, bugs: KernelBugs::none() }
+        InterpreterOptions {
+            flavor: KernelFlavor::Reference,
+            bugs: KernelBugs::none(),
+        }
     }
 }
 
@@ -115,7 +121,12 @@ impl<'g> Interpreter<'g> {
             .iter()
             .map(|def| def.as_constant().cloned())
             .collect();
-        Ok(Interpreter { graph, options, values, last_stats: None })
+        Ok(Interpreter {
+            graph,
+            options,
+            values,
+            last_stats: None,
+        })
     }
 
     /// The interpreter's options.
@@ -259,8 +270,10 @@ impl<'g> Interpreter<'g> {
                     .ok_or_else(|| NnError::InvalidGraph("output never produced".into()))
             })
             .collect::<Result<Vec<_>>>()?;
-        self.last_stats =
-            Some(InvokeStats { latency: start.elapsed(), peak_activation_bytes: peak });
+        self.last_stats = Some(InvokeStats {
+            latency: start.elapsed(),
+            peak_activation_bytes: peak,
+        });
         Ok(outputs)
     }
 
@@ -286,7 +299,9 @@ mod tests {
             "w",
             Tensor::from_f32(Shape::new(vec![1, 1, 1, 1]), vec![2.0]).unwrap(),
         );
-        let y = b.conv2d("c", x, w, None, 1, Padding::Same, Activation::Relu).unwrap();
+        let y = b
+            .conv2d("c", x, w, None, 1, Padding::Same, Activation::Relu)
+            .unwrap();
         b.output(y);
         b.finish().unwrap()
     }
@@ -313,7 +328,10 @@ mod tests {
         let g = conv_graph();
         let mut interp = Interpreter::new(&g, InterpreterOptions::optimized()).unwrap();
         let bad = Tensor::zeros(DType::F32, Shape::nhwc(1, 2, 2, 1));
-        assert!(matches!(interp.invoke(&[bad]), Err(NnError::InvalidInput(_))));
+        assert!(matches!(
+            interp.invoke(&[bad]),
+            Err(NnError::InvalidInput(_))
+        ));
         assert!(matches!(interp.invoke(&[]), Err(NnError::InvalidInput(_))));
     }
 

@@ -59,7 +59,10 @@ fn geometry(
     let is = input.shape().dims();
     let os = out_def.shape().dims();
     let (pad_top, pad_left) = match padding {
-        Padding::Same => (same_pad_before(is[1], kh, stride), same_pad_before(is[2], kw, stride)),
+        Padding::Same => (
+            same_pad_before(is[1], kh, stride),
+            same_pad_before(is[2], kw, stride),
+        ),
         Padding::Valid => (0, 0),
     };
     ConvGeom {
@@ -116,8 +119,8 @@ pub(crate) fn conv2d_f32(
                                     if ix < 0 || ix >= g.in_w as isize {
                                         continue;
                                     }
-                                    let ibase =
-                                        ((n * g.in_h + iy as usize) * g.in_w + ix as usize) * g.in_c;
+                                    let ibase = ((n * g.in_h + iy as usize) * g.in_w + ix as usize)
+                                        * g.in_c;
                                     let wbase = ((oc * kh + ky) * kw + kx) * g.in_c;
                                     for ic in 0..g.in_c {
                                         acc += x[ibase + ic] * w[wbase + ic];

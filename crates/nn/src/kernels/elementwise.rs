@@ -129,7 +129,11 @@ pub(crate) fn act_q(
             (zp_out + (r / s_out).round() as i32).clamp(0, 255) as u8
         })
         .collect();
-    let out = inputs[0].as_u8()?.iter().map(|&q| lut[q as usize]).collect();
+    let out = inputs[0]
+        .as_u8()?
+        .iter()
+        .map(|&q| lut[q as usize])
+        .collect();
     build_q_output(node, out_def, out)
 }
 

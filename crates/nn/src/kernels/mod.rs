@@ -23,27 +23,75 @@ use crate::{NnError, Result};
 /// Executes one node given resolved input tensors and the output slot
 /// definition (shape, dtype, quantization).
 pub(crate) fn execute_node(
-    graph: &Graph,
+    _graph: &Graph,
     node: &Node,
     inputs: &[&Tensor],
     out_def: &TensorDef,
     flavor: KernelFlavor,
     bugs: &KernelBugs,
 ) -> Result<Tensor> {
-    let quantized = inputs.first().map(|t| t.dtype() == DType::U8).unwrap_or(false);
+    let quantized = inputs
+        .first()
+        .map(|t| t.dtype() == DType::U8)
+        .unwrap_or(false);
     match (&node.op, quantized) {
-        (OpKind::Conv2d { stride, padding, activation }, false) => {
-            conv::conv2d_f32(node, inputs, out_def, *stride, *padding, *activation, flavor)
-        }
-        (OpKind::Conv2d { stride, padding, activation }, true) => {
-            conv::conv2d_q(node, inputs, out_def, *stride, *padding, *activation)
-        }
-        (OpKind::DepthwiseConv2d { stride, padding, activation }, false) => {
-            conv::dwconv_f32(node, inputs, out_def, *stride, *padding, *activation, flavor)
-        }
-        (OpKind::DepthwiseConv2d { stride, padding, activation }, true) => {
-            conv::dwconv_q(node, inputs, out_def, *stride, *padding, *activation, flavor, bugs)
-        }
+        (
+            OpKind::Conv2d {
+                stride,
+                padding,
+                activation,
+            },
+            false,
+        ) => conv::conv2d_f32(
+            node,
+            inputs,
+            out_def,
+            *stride,
+            *padding,
+            *activation,
+            flavor,
+        ),
+        (
+            OpKind::Conv2d {
+                stride,
+                padding,
+                activation,
+            },
+            true,
+        ) => conv::conv2d_q(node, inputs, out_def, *stride, *padding, *activation),
+        (
+            OpKind::DepthwiseConv2d {
+                stride,
+                padding,
+                activation,
+            },
+            false,
+        ) => conv::dwconv_f32(
+            node,
+            inputs,
+            out_def,
+            *stride,
+            *padding,
+            *activation,
+            flavor,
+        ),
+        (
+            OpKind::DepthwiseConv2d {
+                stride,
+                padding,
+                activation,
+            },
+            true,
+        ) => conv::dwconv_q(
+            node,
+            inputs,
+            out_def,
+            *stride,
+            *padding,
+            *activation,
+            flavor,
+            bugs,
+        ),
         (OpKind::FullyConnected { activation }, false) => {
             fc::fc_f32(node, inputs, out_def, *activation, flavor)
         }
@@ -51,18 +99,44 @@ pub(crate) fn execute_node(
             fc::fc_q(node, inputs, out_def, *activation)
         }
         (OpKind::MatMul { transpose_b }, _) => fc::matmul_f32(node, inputs, out_def, *transpose_b),
-        (OpKind::AveragePool2d { pool_h, pool_w, stride, padding }, false) => {
-            pool::avgpool_f32(node, inputs, out_def, *pool_h, *pool_w, *stride, *padding)
-        }
-        (OpKind::AveragePool2d { pool_h, pool_w, stride, padding }, true) => {
-            pool::avgpool_q(node, inputs, out_def, *pool_h, *pool_w, *stride, *padding, bugs)
-        }
-        (OpKind::MaxPool2d { pool_h, pool_w, stride, padding }, false) => {
-            pool::maxpool_f32(node, inputs, out_def, *pool_h, *pool_w, *stride, *padding)
-        }
-        (OpKind::MaxPool2d { pool_h, pool_w, stride, padding }, true) => {
-            pool::maxpool_q(node, inputs, out_def, *pool_h, *pool_w, *stride, *padding)
-        }
+        (
+            OpKind::AveragePool2d {
+                pool_h,
+                pool_w,
+                stride,
+                padding,
+            },
+            false,
+        ) => pool::avgpool_f32(node, inputs, out_def, *pool_h, *pool_w, *stride, *padding),
+        (
+            OpKind::AveragePool2d {
+                pool_h,
+                pool_w,
+                stride,
+                padding,
+            },
+            true,
+        ) => pool::avgpool_q(
+            node, inputs, out_def, *pool_h, *pool_w, *stride, *padding, bugs,
+        ),
+        (
+            OpKind::MaxPool2d {
+                pool_h,
+                pool_w,
+                stride,
+                padding,
+            },
+            false,
+        ) => pool::maxpool_f32(node, inputs, out_def, *pool_h, *pool_w, *stride, *padding),
+        (
+            OpKind::MaxPool2d {
+                pool_h,
+                pool_w,
+                stride,
+                padding,
+            },
+            true,
+        ) => pool::maxpool_q(node, inputs, out_def, *pool_h, *pool_w, *stride, *padding),
         (OpKind::Mean, false) => pool::mean_f32(node, inputs, out_def),
         (OpKind::Mean, true) => pool::mean_q(node, inputs, out_def),
         (OpKind::Add { activation }, false) => {
@@ -74,9 +148,15 @@ pub(crate) fn execute_node(
         (OpKind::Mul, false) => elementwise::mul_f32(node, inputs, out_def),
         (OpKind::Mul, true) => elementwise::mul_q(node, inputs, out_def),
         (OpKind::Concat { axis }, _) => elementwise::concat(node, inputs, out_def, *axis),
-        (OpKind::Pad { top, bottom, left, right }, _) => {
-            elementwise::pad(node, inputs, out_def, *top, *bottom, *left, *right)
-        }
+        (
+            OpKind::Pad {
+                top,
+                bottom,
+                left,
+                right,
+            },
+            _,
+        ) => elementwise::pad(node, inputs, out_def, *top, *bottom, *left, *right),
         (OpKind::Softmax, false) => elementwise::softmax_f32(node, inputs, out_def),
         (OpKind::Softmax, true) => Err(unsupported(node, "quantized softmax (insert Dequantize)")),
         (OpKind::Act(act), false) => elementwise::act_f32(node, inputs, out_def, *act),
@@ -93,14 +173,13 @@ pub(crate) fn execute_node(
         (OpKind::Dequantize, _) => elementwise::dequantize(node, inputs, out_def),
         (op, true) => Err(unsupported(node, &format!("quantized {}", op.type_label()))),
     }
-    .map(|t| {
-        let _ = graph;
-        t
-    })
 }
 
 pub(crate) fn unsupported(node: &Node, what: &str) -> NnError {
-    NnError::InvalidOp { node: node.name.clone(), reason: format!("unsupported: {what}") }
+    NnError::InvalidOp {
+        node: node.name.clone(),
+        reason: format!("unsupported: {what}"),
+    }
 }
 
 /// Extracts per-tensor `(scale, zero_point)` from a runtime tensor.

@@ -31,9 +31,10 @@ fn geometry(
     let is = input.shape().dims();
     let os = out_def.shape().dims();
     let (pad_top, pad_left) = match padding {
-        Padding::Same => {
-            (same_pad_before(is[1], pool_h, stride), same_pad_before(is[2], pool_w, stride))
-        }
+        Padding::Same => (
+            same_pad_before(is[1], pool_h, stride),
+            same_pad_before(is[2], pool_w, stride),
+        ),
         Padding::Valid => (0, 0),
     };
     PoolGeom {

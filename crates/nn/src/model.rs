@@ -52,7 +52,11 @@ pub struct Model {
 impl Model {
     /// Wraps a graph as a checkpoint-stage model.
     pub fn checkpoint(graph: Graph, family: impl Into<String>) -> Self {
-        Model { graph, family: family.into(), variant: ModelVariant::Checkpoint }
+        Model {
+            graph,
+            family: family.into(),
+            variant: ModelVariant::Checkpoint,
+        }
     }
 
     /// Display name, e.g. `mobilenet_v2 [Mobile Quant]`.
@@ -79,8 +83,8 @@ impl Model {
     /// Returns [`NnError::InvalidGraph`] wrapping I/O or deserialization
     /// failures, and re-validates the graph.
     pub fn load_json(path: &Path) -> Result<Self> {
-        let data =
-            std::fs::read_to_string(path).map_err(|e| NnError::InvalidGraph(format!("read: {e}")))?;
+        let data = std::fs::read_to_string(path)
+            .map_err(|e| NnError::InvalidGraph(format!("read: {e}")))?;
         let model: Model = serde_json::from_str(&data)
             .map_err(|e| NnError::InvalidGraph(format!("deserialize: {e}")))?;
         model.graph.validate()?;

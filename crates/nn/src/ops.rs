@@ -271,8 +271,12 @@ mod tests {
     #[test]
     fn labels_match_table4() {
         assert_eq!(
-            OpKind::DepthwiseConv2d { stride: 1, padding: Padding::Same, activation: Activation::None }
-                .type_label(),
+            OpKind::DepthwiseConv2d {
+                stride: 1,
+                padding: Padding::Same,
+                activation: Activation::None
+            }
+            .type_label(),
             "D-Conv"
         );
         assert_eq!(OpKind::Mean.type_label(), "Mean");

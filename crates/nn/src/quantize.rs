@@ -70,9 +70,14 @@ pub fn calibrate<'a>(
         count += 1;
     }
     if count == 0 {
-        return Err(NnError::Quantization("calibration requires at least one sample".into()));
+        return Err(NnError::Quantization(
+            "calibration requires at least one sample".into(),
+        ));
     }
-    Ok(Calibration { ranges, samples: count })
+    Ok(Calibration {
+        ranges,
+        samples: count,
+    })
 }
 
 /// Options controlling weight quantization.
@@ -86,7 +91,9 @@ pub struct QuantizationOptions {
 
 impl Default for QuantizationOptions {
     fn default() -> Self {
-        QuantizationOptions { per_channel_weights: true }
+        QuantizationOptions {
+            per_channel_weights: true,
+        }
     }
 }
 
@@ -212,7 +219,9 @@ pub fn quantize_model(
     for node in graph.nodes() {
         let out_def = graph.tensor(node.output);
         match &node.op {
-            OpKind::Conv2d { .. } | OpKind::DepthwiseConv2d { .. } | OpKind::FullyConnected { .. } => {
+            OpKind::Conv2d { .. }
+            | OpKind::DepthwiseConv2d { .. }
+            | OpKind::FullyConnected { .. } => {
                 let x = mapped(&map, node.inputs[0])?;
                 let w_const = graph
                     .tensor(node.inputs[1])
@@ -368,7 +377,11 @@ pub fn quantize_model(
     }
 
     let graph = b.finish()?;
-    Ok(Model { graph, family: model.family.clone(), variant: ModelVariant::Quantized })
+    Ok(Model {
+        graph,
+        family: model.family.clone(),
+        variant: ModelVariant::Quantized,
+    })
 }
 
 /// Convenience accessor: the quantization parameters the quantizer assigned
@@ -410,7 +423,9 @@ mod tests {
             "b2",
             Tensor::from_f32(Shape::vector(4), vec![0.1, -0.1, 0.2, 0.0]).unwrap(),
         );
-        let fc = b.fully_connected("fc", m, w2, Some(bias), Activation::None).unwrap();
+        let fc = b
+            .fully_connected("fc", m, w2, Some(bias), Activation::None)
+            .unwrap();
         let sm = b.softmax("softmax", fc).unwrap();
         b.output(sm);
         Model {
@@ -460,7 +475,10 @@ mod tests {
                 max_err = max_err.max((u - v).abs());
             }
         }
-        assert!(max_err < 0.12, "softmax outputs should track closely, err {max_err}");
+        assert!(
+            max_err < 0.12,
+            "softmax outputs should track closely, err {max_err}"
+        );
     }
 
     #[test]
@@ -471,7 +489,9 @@ mod tests {
         let q = quantize_model(
             &m,
             &calib,
-            QuantizationOptions { per_channel_weights: false },
+            QuantizationOptions {
+                per_channel_weights: false,
+            },
         )
         .unwrap();
         let mut qi = Interpreter::new(&q.graph, InterpreterOptions::optimized()).unwrap();
@@ -490,7 +510,9 @@ mod tests {
             "w",
             mlexray_tensor::he_normal(Shape::new(vec![2, 1, 1, 2]), 2, &mut rng).unwrap(),
         );
-        let c = b.conv2d("c", x, w, None, 1, Padding::Same, Activation::None).unwrap();
+        let c = b
+            .conv2d("c", x, w, None, 1, Padding::Same, Activation::None)
+            .unwrap();
         let ones = Tensor::from_f32(Shape::vector(2), vec![1.0, 1.0]).unwrap();
         let g = b.constant("g", ones.clone());
         let be = b.constant("be", ones.clone());

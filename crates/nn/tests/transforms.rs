@@ -15,14 +15,26 @@ fn fused_model(seed: u64) -> Model {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut b = GraphBuilder::new("fused");
     let x = b.input("x", Shape::nhwc(1, 6, 6, 3));
-    let w1 = b.constant("w1", he_normal(Shape::new(vec![4, 3, 3, 3]), 27, &mut rng).unwrap());
-    let c1 = b.conv2d("c1", x, w1, None, 1, Padding::Same, Activation::HardSwish).unwrap();
-    let w2 = b.constant("w2", he_normal(Shape::new(vec![1, 3, 3, 4]), 9, &mut rng).unwrap());
-    let d1 = b.depthwise_conv2d("d1", c1, w2, None, 1, Padding::Same, Activation::Relu6).unwrap();
+    let w1 = b.constant(
+        "w1",
+        he_normal(Shape::new(vec![4, 3, 3, 3]), 27, &mut rng).unwrap(),
+    );
+    let c1 = b
+        .conv2d("c1", x, w1, None, 1, Padding::Same, Activation::HardSwish)
+        .unwrap();
+    let w2 = b.constant(
+        "w2",
+        he_normal(Shape::new(vec![1, 3, 3, 4]), 9, &mut rng).unwrap(),
+    );
+    let d1 = b
+        .depthwise_conv2d("d1", c1, w2, None, 1, Padding::Same, Activation::Relu6)
+        .unwrap();
     let s = b.b_add_relu(d1, c1);
     let m = b.mean("gap", s).unwrap();
     let w3 = b.constant("w3", he_normal(Shape::matrix(3, 4), 4, &mut rng).unwrap());
-    let fc = b.fully_connected("fc", m, w3, None, Activation::Sigmoid).unwrap();
+    let fc = b
+        .fully_connected("fc", m, w3, None, Activation::Sigmoid)
+        .unwrap();
     let out = b.softmax("softmax", fc).unwrap();
     b.output(out);
     Model::checkpoint(b.finish().unwrap(), "fused")
@@ -78,7 +90,10 @@ fn split_preserves_function_and_constant_ids() {
     let data: Vec<f32> = (0..108).map(|_| rng.gen_range(-1.0..1.0)).collect();
     let input = Tensor::from_f32(Shape::nhwc(1, 6, 6, 3), data).unwrap();
     let a = run(&model, &input);
-    let split_model = Model { graph: split, ..model.clone() };
+    let split_model = Model {
+        graph: split,
+        ..model.clone()
+    };
     let b = run(&split_model, &input);
     for (x, y) in a.iter().zip(&b) {
         assert!((x - y).abs() < 1e-5, "{x} vs {y}");
@@ -104,7 +119,10 @@ fn set_constant_validates_shape_and_kind() {
         .is_err());
     // Non-constant slots are rejected (slot 0 is the graph input).
     assert!(graph
-        .set_constant(TensorId(0), Tensor::filled_f32(Shape::nhwc(1, 6, 6, 3), 0.0))
+        .set_constant(
+            TensorId(0),
+            Tensor::filled_f32(Shape::nhwc(1, 6, 6, 3), 0.0)
+        )
         .is_err());
 }
 

@@ -144,7 +144,9 @@ pub fn fft_magnitude(signal: &[f32]) -> Result<Vec<f32>> {
     let mut re = signal.to_vec();
     let mut im = vec![0.0f32; n];
     fft_in_place(&mut re, &mut im);
-    Ok((0..=n / 2).map(|i| (re[i] * re[i] + im[i] * im[i]).sqrt()).collect())
+    Ok((0..=n / 2)
+        .map(|i| (re[i] * re[i] + im[i] * im[i]).sqrt())
+        .collect())
 }
 
 /// The audio preprocessing stage: STFT parameters plus the normalization
@@ -190,7 +192,11 @@ impl AudioPreprocessConfig {
                 self.frame_len
             )));
         }
-        let window = if self.hann { hann_window(self.frame_len) } else { vec![1.0; self.frame_len] };
+        let window = if self.hann {
+            hann_window(self.frame_len)
+        } else {
+            vec![1.0; self.frame_len]
+        };
         let frames = (waveform.len() - self.frame_len) / self.hop + 1;
         let bins = self.frame_len / 2 + 1;
         let mut data = Vec::with_capacity(frames * bins);
@@ -221,7 +227,12 @@ impl AudioPreprocessConfig {
                 }
                 let n = spec.data.len() as f32;
                 let mean = spec.data.iter().sum::<f32>() / n;
-                let var = spec.data.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+                let var = spec
+                    .data
+                    .iter()
+                    .map(|v| (v - mean) * (v - mean))
+                    .sum::<f32>()
+                    / n;
                 let std = var.sqrt().max(1e-6);
                 for v in &mut spec.data {
                     *v = (*v - mean) / std;

@@ -64,19 +64,29 @@ impl YuvImage {
         u: Vec<u8>,
         v: Vec<u8>,
     ) -> Result<Self> {
-        if width == 0 || height == 0 || width % 2 != 0 || height % 2 != 0 {
+        if width == 0 || height == 0 || !width.is_multiple_of(2) || !height.is_multiple_of(2) {
             return Err(PreprocessError::InvalidImage(
                 "YUV420 requires non-zero even dimensions".into(),
             ));
         }
         if y.len() != width * height {
-            return Err(PreprocessError::InvalidImage("Y plane length mismatch".into()));
+            return Err(PreprocessError::InvalidImage(
+                "Y plane length mismatch".into(),
+            ));
         }
         let chroma = (width / 2) * (height / 2);
         if u.len() != chroma || v.len() != chroma {
-            return Err(PreprocessError::InvalidImage("chroma plane length mismatch".into()));
+            return Err(PreprocessError::InvalidImage(
+                "chroma plane length mismatch".into(),
+            ));
         }
-        Ok(YuvImage { width, height, y, u, v })
+        Ok(YuvImage {
+            width,
+            height,
+            y,
+            u,
+            v,
+        })
     }
 
     /// Encodes an RGB image into YUV 4:2:0 using the given standard
@@ -111,9 +121,21 @@ impl YuvImage {
                 vf[ci] += cr / 4.0;
             }
         }
-        let u = uf.iter().map(|&v| v.round().clamp(0.0, 255.0) as u8).collect();
-        let v = vf.iter().map(|&v| v.round().clamp(0.0, 255.0) as u8).collect();
-        Ok(YuvImage { width: w, height: h, y, u, v })
+        let u = uf
+            .iter()
+            .map(|&v| v.round().clamp(0.0, 255.0) as u8)
+            .collect();
+        let v = vf
+            .iter()
+            .map(|&v| v.round().clamp(0.0, 255.0) as u8)
+            .collect();
+        Ok(YuvImage {
+            width: w,
+            height: h,
+            y,
+            u,
+            v,
+        })
     }
 
     /// Frame width in pixels.
@@ -172,7 +194,11 @@ mod tests {
         let solid = Image::solid(8, 8, [123, 45, 210]);
         let yuv = YuvImage::encode(&solid, YuvStandard::Bt601).unwrap();
         let back = yuv.to_rgb(YuvStandard::Bt601);
-        assert!(max_abs_diff(&solid, &back) <= 3, "diff {}", max_abs_diff(&solid, &back));
+        assert!(
+            max_abs_diff(&solid, &back) <= 3,
+            "diff {}",
+            max_abs_diff(&solid, &back)
+        );
         // Checkerboard still decodes without panicking (chroma is averaged).
         let yuv2 = YuvImage::encode(&img, YuvStandard::Bt601).unwrap();
         let _ = yuv2.to_rgb(YuvStandard::Bt601);
@@ -184,7 +210,10 @@ mod tests {
         let yuv = YuvImage::encode(&solid, YuvStandard::Bt601).unwrap();
         let good = yuv.to_rgb(YuvStandard::Bt601);
         let bad = yuv.to_rgb(YuvStandard::Bt709);
-        assert!(max_abs_diff(&good, &bad) > 5, "BT.709 decode should visibly shift colors");
+        assert!(
+            max_abs_diff(&good, &bad) > 5,
+            "BT.709 decode should visibly shift colors"
+        );
     }
 
     #[test]

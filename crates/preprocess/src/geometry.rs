@@ -21,7 +21,12 @@ pub enum Rotation {
 
 impl Rotation {
     /// All rotations, for sweeps.
-    pub const ALL: [Rotation; 4] = [Rotation::None, Rotation::Deg90, Rotation::Deg180, Rotation::Deg270];
+    pub const ALL: [Rotation; 4] = [
+        Rotation::None,
+        Rotation::Deg90,
+        Rotation::Deg180,
+        Rotation::Deg270,
+    ];
 }
 
 /// Rotates an image clockwise.
@@ -91,7 +96,8 @@ pub fn flip_vertical(img: &Image) -> Image {
 ///
 /// Returns [`PreprocessError::InvalidImage`] if the crop exceeds the image.
 pub fn center_crop(img: &Image, crop_width: usize, crop_height: usize) -> Result<Image> {
-    if crop_width == 0 || crop_height == 0 || crop_width > img.width() || crop_height > img.height() {
+    if crop_width == 0 || crop_height == 0 || crop_width > img.width() || crop_height > img.height()
+    {
         return Err(PreprocessError::InvalidImage(format!(
             "crop {crop_width}x{crop_height} invalid for {}x{}",
             img.width(),
@@ -157,7 +163,10 @@ mod tests {
     #[test]
     fn deg270_equals_three_deg90() {
         let img = probe();
-        let thrice = rotate(&rotate(&rotate(&img, Rotation::Deg90), Rotation::Deg90), Rotation::Deg90);
+        let thrice = rotate(
+            &rotate(&rotate(&img, Rotation::Deg90), Rotation::Deg90),
+            Rotation::Deg90,
+        );
         assert_eq!(thrice, rotate(&img, Rotation::Deg270));
     }
 

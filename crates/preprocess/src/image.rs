@@ -42,7 +42,12 @@ impl Image {
                 data.len()
             )));
         }
-        Ok(Image { width, height, order, data })
+        Ok(Image {
+            width,
+            height,
+            order,
+            data,
+        })
     }
 
     /// Creates a solid-color RGB image.
@@ -56,7 +61,12 @@ impl Image {
         for _ in 0..width * height {
             data.extend_from_slice(&rgb);
         }
-        Image { width, height, order: ChannelOrder::Rgb, data }
+        Image {
+            width,
+            height,
+            order: ChannelOrder::Rgb,
+            data,
+        }
     }
 
     /// Creates a 2x2-tile RGB checkerboard (useful for resize/aliasing tests).
@@ -73,7 +83,12 @@ impl Image {
                 data.extend_from_slice(&cell);
             }
         }
-        Image { width, height, order: ChannelOrder::Rgb, data }
+        Image {
+            width,
+            height,
+            order: ChannelOrder::Rgb,
+            data,
+        }
     }
 
     /// Image width in pixels.
@@ -130,14 +145,24 @@ impl Image {
         for px in data.chunks_exact_mut(3) {
             px.swap(0, 2);
         }
-        Image { width: self.width, height: self.height, order, data }
+        Image {
+            width: self.width,
+            height: self.height,
+            order,
+            data,
+        }
     }
 
     /// Relabels the channel order **without touching the bytes** — the §2
     /// channel-extraction bug. A BGR buffer relabeled as RGB feeds the model
     /// swapped colors with no runtime error.
     pub fn relabeled(&self, order: ChannelOrder) -> Image {
-        Image { width: self.width, height: self.height, order, data: self.data.clone() }
+        Image {
+            width: self.width,
+            height: self.height,
+            order,
+            data: self.data.clone(),
+        }
     }
 }
 

@@ -50,9 +50,9 @@ pub use geometry::{center_crop, flip_horizontal, flip_vertical, rotate, Rotation
 pub use image::Image;
 pub use normalize::{image_to_tensor, NormalizationScheme};
 pub use pipeline::{ImagePreprocessConfig, PreprocessBug};
-pub use text::{PAD_ID, UNK_ID};
 pub use resize::{resize, ResizeMethod};
 pub use text::{TextPreprocessConfig, Tokenizer, Vocabulary};
+pub use text::{PAD_ID, UNK_ID};
 
 /// Result alias used throughout the preprocess crate.
 pub type Result<T> = std::result::Result<T, PreprocessError>;

@@ -49,7 +49,9 @@ impl NormalizationScheme {
             NormalizationScheme::ZeroToOne => (0.0, 1.0),
             NormalizationScheme::MinusOneToOne => (-1.0, 1.0),
             NormalizationScheme::MeanStd { mean, std } => {
-                let lo = (0..3).map(|c| (0.0 - mean[c]) / std[c]).fold(f32::INFINITY, f32::min);
+                let lo = (0..3)
+                    .map(|c| (0.0 - mean[c]) / std[c])
+                    .fold(f32::INFINITY, f32::min);
                 let hi = (0..3)
                     .map(|c| (1.0 - mean[c]) / std[c])
                     .fold(f32::NEG_INFINITY, f32::max);
@@ -74,7 +76,11 @@ pub fn image_to_tensor(
     wanted: ChannelOrder,
     scheme: NormalizationScheme,
 ) -> Result<Tensor> {
-    let img = if img.order() == wanted { img.clone() } else { img.to_order(wanted) };
+    let img = if img.order() == wanted {
+        img.clone()
+    } else {
+        img.to_order(wanted)
+    };
     let (w, h) = (img.width(), img.height());
     let mut data = Vec::with_capacity(w * h * 3);
     for y in 0..h {
@@ -103,7 +109,10 @@ mod tests {
 
     #[test]
     fn mean_std_is_per_channel() {
-        let s = NormalizationScheme::MeanStd { mean: [0.5, 0.0, 0.0], std: [0.5, 1.0, 1.0] };
+        let s = NormalizationScheme::MeanStd {
+            mean: [0.5, 0.0, 0.0],
+            std: [0.5, 1.0, 1.0],
+        };
         assert_eq!(s.apply_byte(255, 0), 1.0);
         assert_eq!(s.apply_byte(255, 1), 1.0);
         assert_eq!(s.apply_byte(0, 0), -1.0);
@@ -111,9 +120,15 @@ mod tests {
 
     #[test]
     fn nominal_ranges() {
-        assert_eq!(NormalizationScheme::MinusOneToOne.nominal_range(), (-1.0, 1.0));
-        let (lo, hi) = NormalizationScheme::MeanStd { mean: [0.5; 3], std: [0.25; 3] }
-            .nominal_range();
+        assert_eq!(
+            NormalizationScheme::MinusOneToOne.nominal_range(),
+            (-1.0, 1.0)
+        );
+        let (lo, hi) = NormalizationScheme::MeanStd {
+            mean: [0.5; 3],
+            std: [0.25; 3],
+        }
+        .nominal_range();
         assert_eq!((lo, hi), (-2.0, 2.0));
     }
 

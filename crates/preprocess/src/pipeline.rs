@@ -86,7 +86,12 @@ impl ImagePreprocessConfig {
     /// Propagates resize/conversion errors.
     pub fn apply(&self, img: &Image) -> Result<Tensor> {
         let oriented = rotate(img, self.rotation);
-        let resized = resize(&oriented, self.target_width, self.target_height, self.resize)?;
+        let resized = resize(
+            &oriented,
+            self.target_width,
+            self.target_height,
+            self.resize,
+        )?;
         image_to_tensor(&resized, self.channel_order, self.normalization)
     }
 
@@ -188,7 +193,10 @@ mod tests {
         let img = Image::solid(8, 8, [0, 0, 0]);
         let base = ImagePreprocessConfig::mobilenet_style(8, 8);
         let good = base.apply(&img).unwrap();
-        let bad = base.with_bug(PreprocessBug::Normalization).apply(&img).unwrap();
+        let bad = base
+            .with_bug(PreprocessBug::Normalization)
+            .apply(&img)
+            .unwrap();
         assert_eq!(good.as_f32().unwrap()[0], -1.0);
         assert_eq!(bad.as_f32().unwrap()[0], 0.0);
     }

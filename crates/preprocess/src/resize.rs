@@ -23,9 +23,16 @@ pub enum ResizeMethod {
 /// # Errors
 ///
 /// Returns [`PreprocessError::InvalidImage`] when a target dimension is zero.
-pub fn resize(img: &Image, target_width: usize, target_height: usize, method: ResizeMethod) -> Result<Image> {
+pub fn resize(
+    img: &Image,
+    target_width: usize,
+    target_height: usize,
+    method: ResizeMethod,
+) -> Result<Image> {
     if target_width == 0 || target_height == 0 {
-        return Err(PreprocessError::InvalidImage("zero-sized resize target".into()));
+        return Err(PreprocessError::InvalidImage(
+            "zero-sized resize target".into(),
+        ));
     }
     if target_width == img.width() && target_height == img.height() {
         return Ok(img.clone());
@@ -68,14 +75,14 @@ fn bilinear(src: &Image, dst: &mut Image) {
             let x1 = (x0 + 1).min(src.width() - 1);
             let wx = fx - x0 as f32;
             let mut px = [0u8; 3];
-            for c in 0..3 {
+            for (c, out) in px.iter_mut().enumerate() {
                 let p00 = src.pixel(x0, y0)[c] as f32;
                 let p10 = src.pixel(x1, y0)[c] as f32;
                 let p01 = src.pixel(x0, y1)[c] as f32;
                 let p11 = src.pixel(x1, y1)[c] as f32;
                 let top = p00 + (p10 - p00) * wx;
                 let bot = p01 + (p11 - p01) * wx;
-                px[c] = (top + (bot - top) * wy).round().clamp(0.0, 255.0) as u8;
+                *out = (top + (bot - top) * wy).round().clamp(0.0, 255.0) as u8;
             }
             dst.set_pixel(x, y, px);
         }
@@ -87,10 +94,14 @@ fn area_average(src: &Image, dst: &mut Image) {
     let sy = src.height() as f32 / dst.height() as f32;
     for y in 0..dst.height() {
         let y_lo = (y as f32 * sy).floor() as usize;
-        let y_hi = (((y + 1) as f32 * sy).ceil() as usize).min(src.height()).max(y_lo + 1);
+        let y_hi = (((y + 1) as f32 * sy).ceil() as usize)
+            .min(src.height())
+            .max(y_lo + 1);
         for x in 0..dst.width() {
             let x_lo = (x as f32 * sx).floor() as usize;
-            let x_hi = (((x + 1) as f32 * sx).ceil() as usize).min(src.width()).max(x_lo + 1);
+            let x_hi = (((x + 1) as f32 * sx).ceil() as usize)
+                .min(src.width())
+                .max(x_lo + 1);
             let mut acc = [0f32; 3];
             let mut count = 0f32;
             for yy in y_lo..y_hi {
@@ -138,7 +149,10 @@ mod tests {
         let area = resize(&img, 4, 4, ResizeMethod::AreaAverage).unwrap();
         let near = resize(&img, 4, 4, ResizeMethod::Nearest).unwrap();
         let p = area.pixel(0, 0);
-        assert!(p[0] >= 126 && p[0] <= 129, "area average should blend: {p:?}");
+        assert!(
+            p[0] >= 126 && p[0] <= 129,
+            "area average should blend: {p:?}"
+        );
         let q = near.pixel(0, 0);
         assert!(q[0] == 0 || q[0] == 255, "nearest should alias: {q:?}");
     }
@@ -146,7 +160,11 @@ mod tests {
     #[test]
     fn upscale_solid_stays_solid() {
         let img = Image::solid(2, 2, [9, 10, 11]);
-        for method in [ResizeMethod::Nearest, ResizeMethod::Bilinear, ResizeMethod::AreaAverage] {
+        for method in [
+            ResizeMethod::Nearest,
+            ResizeMethod::Bilinear,
+            ResizeMethod::AreaAverage,
+        ] {
             let out = resize(&img, 5, 3, method).unwrap();
             assert_eq!(out.width(), 5);
             assert_eq!(out.height(), 3);

@@ -59,7 +59,10 @@ pub struct Tokenizer {
 
 impl Default for Tokenizer {
     fn default() -> Self {
-        Tokenizer { lowercase: true, strip_punctuation: true }
+        Tokenizer {
+            lowercase: true,
+            strip_punctuation: true,
+        }
     }
 }
 
@@ -97,7 +100,10 @@ impl TextPreprocessConfig {
     /// Canonical sentiment-pipeline configuration: lowercase, strip
     /// punctuation, 16-token sequences.
     pub fn sentiment_default() -> Self {
-        TextPreprocessConfig { tokenizer: Tokenizer::default(), max_len: 16 }
+        TextPreprocessConfig {
+            tokenizer: Tokenizer::default(),
+            max_len: 16,
+        }
     }
 
     /// Encodes text to a fixed-length id sequence.
@@ -107,7 +113,9 @@ impl TextPreprocessConfig {
     /// Returns [`PreprocessError::InvalidText`] when `max_len` is zero.
     pub fn encode(&self, text: &str, vocab: &Vocabulary) -> Result<Vec<usize>> {
         if self.max_len == 0 {
-            return Err(PreprocessError::InvalidText("max_len must be positive".into()));
+            return Err(PreprocessError::InvalidText(
+                "max_len must be positive".into(),
+            ));
         }
         let mut ids: Vec<usize> = self
             .tokenizer
@@ -136,7 +144,10 @@ mod tests {
 
     #[test]
     fn tokenizer_case_folding_matters() {
-        let cased = Tokenizer { lowercase: false, strip_punctuation: true };
+        let cased = Tokenizer {
+            lowercase: false,
+            strip_punctuation: true,
+        };
         let folded = Tokenizer::default();
         assert_eq!(folded.tokenize("Great Movie!"), vec!["great", "movie"]);
         assert_eq!(cased.tokenize("Great Movie!"), vec!["Great", "Movie"]);
@@ -146,20 +157,29 @@ mod tests {
     fn punctuation_stripping() {
         let t = Tokenizer::default();
         assert_eq!(t.tokenize("...wow!!! (really)"), vec!["wow", "really"]);
-        let keep = Tokenizer { lowercase: true, strip_punctuation: false };
+        let keep = Tokenizer {
+            lowercase: true,
+            strip_punctuation: false,
+        };
         assert_eq!(keep.tokenize("wow!"), vec!["wow!"]);
     }
 
     #[test]
     fn encode_pads_and_truncates() {
         let v = Vocabulary::build(["a", "b"]);
-        let cfg = TextPreprocessConfig { tokenizer: Tokenizer::default(), max_len: 4 };
+        let cfg = TextPreprocessConfig {
+            tokenizer: Tokenizer::default(),
+            max_len: 4,
+        };
         assert_eq!(cfg.encode("a b", &v).unwrap(), vec![2, 3, PAD_ID, PAD_ID]);
         let long = cfg.encode("a b a b a b", &v).unwrap();
         assert_eq!(long.len(), 4);
-        assert!(TextPreprocessConfig { tokenizer: Tokenizer::default(), max_len: 0 }
-            .encode("a", &v)
-            .is_err());
+        assert!(TextPreprocessConfig {
+            tokenizer: Tokenizer::default(),
+            max_len: 0
+        }
+        .encode("a", &v)
+        .is_err());
     }
 
     #[test]
@@ -169,7 +189,10 @@ mod tests {
         let v = Vocabulary::build(["great", "movie"]);
         let reference = TextPreprocessConfig::sentiment_default();
         let edge = TextPreprocessConfig {
-            tokenizer: Tokenizer { lowercase: false, strip_punctuation: true },
+            tokenizer: Tokenizer {
+                lowercase: false,
+                strip_punctuation: true,
+            },
             max_len: 16,
         };
         let r = reference.encode("Great Movie", &v).unwrap();

@@ -50,7 +50,10 @@ impl fmt::Display for TensorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TensorError::LengthMismatch { expected, actual } => {
-                write!(f, "buffer length {actual} does not match shape ({expected} elements)")
+                write!(
+                    f,
+                    "buffer length {actual} does not match shape ({expected} elements)"
+                )
             }
             TensorError::ShapeMismatch { expected, actual } => {
                 write!(f, "shape mismatch: expected {expected}, got {actual}")

@@ -131,7 +131,9 @@ mod tests {
     #[test]
     fn constant_fills() {
         let mut rng = SmallRng::seed_from_u64(7);
-        let t = Initializer::Constant(3.5).sample(Shape::vector(4), &mut rng).unwrap();
+        let t = Initializer::Constant(3.5)
+            .sample(Shape::vector(4), &mut rng)
+            .unwrap();
         assert_eq!(t.as_f32().unwrap(), &[3.5; 4]);
     }
 

@@ -47,7 +47,10 @@ impl QuantParams {
     /// `scale = max(|min|, |max|) / 127`, zero point 0.
     pub fn symmetric_i8(min: f32, max: f32) -> Self {
         let amax = min.abs().max(max.abs()).max(f32::EPSILON);
-        QuantParams::PerTensor { scale: amax / 127.0, zero_point: 0 }
+        QuantParams::PerTensor {
+            scale: amax / 127.0,
+            zero_point: 0,
+        }
     }
 
     /// Symmetric per-channel parameters for signed 8-bit weights.
@@ -60,14 +63,20 @@ impl QuantParams {
         axis: usize,
     ) -> Result<Self, TensorError> {
         if ranges.is_empty() {
-            return Err(TensorError::InvalidQuantization("empty channel range list".into()));
+            return Err(TensorError::InvalidQuantization(
+                "empty channel range list".into(),
+            ));
         }
         let scales = ranges
             .iter()
             .map(|&(lo, hi)| lo.abs().max(hi.abs()).max(f32::EPSILON) / 127.0)
             .collect::<Vec<_>>();
         let zero_points = vec![0; ranges.len()];
-        Ok(QuantParams::PerChannel { scales, zero_points, axis })
+        Ok(QuantParams::PerChannel {
+            scales,
+            zero_points,
+            axis,
+        })
     }
 
     /// `(scale, zero_point)` for channel `c` (per-tensor params ignore `c`).
@@ -79,7 +88,11 @@ impl QuantParams {
     pub fn for_channel(&self, c: usize) -> (f32, i32) {
         match self {
             QuantParams::PerTensor { scale, zero_point } => (*scale, *zero_point),
-            QuantParams::PerChannel { scales, zero_points, .. } => (scales[c], zero_points[c]),
+            QuantParams::PerChannel {
+                scales,
+                zero_points,
+                ..
+            } => (scales[c], zero_points[c]),
         }
     }
 

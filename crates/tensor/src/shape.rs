@@ -75,7 +75,10 @@ impl Shape {
         self.0
             .get(axis)
             .copied()
-            .ok_or(TensorError::IndexOutOfBounds { index: axis, bound: self.0.len() })
+            .ok_or(TensorError::IndexOutOfBounds {
+                index: axis,
+                bound: self.0.len(),
+            })
     }
 
     /// Batch dimension for 4-D (NHWC) and 2-D (`[batch, features]`) shapes.
@@ -131,7 +134,9 @@ impl Shape {
     /// Returns [`TensorError::InvalidShape`] for rank-0 shapes.
     pub fn with_batch(&self, n: usize) -> Result<Shape, TensorError> {
         if self.0.is_empty() {
-            return Err(TensorError::InvalidShape("scalar has no batch dimension".into()));
+            return Err(TensorError::InvalidShape(
+                "scalar has no batch dimension".into(),
+            ));
         }
         let mut dims = self.0.clone();
         dims[0] = n;

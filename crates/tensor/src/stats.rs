@@ -24,7 +24,14 @@ impl TensorStats {
     /// Empty slices produce a zeroed summary with `count == 0`.
     pub fn of(values: &[f32]) -> Self {
         if values.is_empty() {
-            return TensorStats { min: 0.0, max: 0.0, mean: 0.0, std: 0.0, l2: 0.0, count: 0 };
+            return TensorStats {
+                min: 0.0,
+                max: 0.0,
+                mean: 0.0,
+                std: 0.0,
+                l2: 0.0,
+                count: 0,
+            };
         }
         let mut min = f32::INFINITY;
         let mut max = f32::NEG_INFINITY;
@@ -102,7 +109,9 @@ pub fn normalized_rmse(edge: &[f32], reference: &[f32]) -> f32 {
 /// arrangement check in §3.2.
 pub fn allclose(a: &[f32], b: &[f32], rtol: f32, atol: f32) -> bool {
     a.len() == b.len()
-        && a.iter().zip(b).all(|(&x, &y)| (x - y).abs() <= atol + rtol * y.abs())
+        && a.iter()
+            .zip(b)
+            .all(|(&x, &y)| (x - y).abs() <= atol + rtol * y.abs())
 }
 
 #[cfg(test)]

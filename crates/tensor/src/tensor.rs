@@ -1,8 +1,6 @@
 use serde::{Deserialize, Serialize};
 
-use crate::{
-    affine_quantize_i8, affine_quantize_u8, QuantParams, Result, Shape, TensorError,
-};
+use crate::{affine_quantize_i8, affine_quantize_u8, QuantParams, Result, Shape, TensorError};
 
 /// Element type of a [`Tensor`].
 ///
@@ -115,7 +113,11 @@ impl Tensor {
     /// exactly `shape.num_elements()` entries.
     pub fn from_f32(shape: Shape, data: Vec<f32>) -> Result<Self> {
         Self::check_len(&shape, data.len())?;
-        Ok(Tensor { shape, data: TensorData::F32(data), quant: None })
+        Ok(Tensor {
+            shape,
+            data: TensorData::F32(data),
+            quant: None,
+        })
     }
 
     /// Creates a `u8` tensor with quantization parameters.
@@ -125,7 +127,11 @@ impl Tensor {
     /// Returns [`TensorError::LengthMismatch`] on a buffer/shape mismatch.
     pub fn from_u8(shape: Shape, data: Vec<u8>, quant: QuantParams) -> Result<Self> {
         Self::check_len(&shape, data.len())?;
-        Ok(Tensor { shape, data: TensorData::U8(data), quant: Some(quant) })
+        Ok(Tensor {
+            shape,
+            data: TensorData::U8(data),
+            quant: Some(quant),
+        })
     }
 
     /// Creates an `i8` tensor with quantization parameters.
@@ -135,7 +141,11 @@ impl Tensor {
     /// Returns [`TensorError::LengthMismatch`] on a buffer/shape mismatch.
     pub fn from_i8(shape: Shape, data: Vec<i8>, quant: QuantParams) -> Result<Self> {
         Self::check_len(&shape, data.len())?;
-        Ok(Tensor { shape, data: TensorData::I8(data), quant: Some(quant) })
+        Ok(Tensor {
+            shape,
+            data: TensorData::I8(data),
+            quant: Some(quant),
+        })
     }
 
     /// Creates an `i32` tensor (bias) with quantization parameters.
@@ -145,7 +155,11 @@ impl Tensor {
     /// Returns [`TensorError::LengthMismatch`] on a buffer/shape mismatch.
     pub fn from_i32(shape: Shape, data: Vec<i32>, quant: Option<QuantParams>) -> Result<Self> {
         Self::check_len(&shape, data.len())?;
-        Ok(Tensor { shape, data: TensorData::I32(data), quant })
+        Ok(Tensor {
+            shape,
+            data: TensorData::I32(data),
+            quant,
+        })
     }
 
     /// Creates a zero-filled tensor of the given dtype.
@@ -157,18 +171,30 @@ impl Tensor {
             DType::I8 => TensorData::I8(vec![0; n]),
             DType::I32 => TensorData::I32(vec![0; n]),
         };
-        Tensor { shape, data, quant: None }
+        Tensor {
+            shape,
+            data,
+            quant: None,
+        }
     }
 
     /// Creates an `f32` tensor filled with `value`.
     pub fn filled_f32(shape: Shape, value: f32) -> Self {
         let n = shape.num_elements();
-        Tensor { shape, data: TensorData::F32(vec![value; n]), quant: None }
+        Tensor {
+            shape,
+            data: TensorData::F32(vec![value; n]),
+            quant: None,
+        }
     }
 
     /// Creates a rank-0 `f32` scalar.
     pub fn scalar_f32(value: f32) -> Self {
-        Tensor { shape: Shape::scalar(), data: TensorData::F32(vec![value]), quant: None }
+        Tensor {
+            shape: Shape::scalar(),
+            data: TensorData::F32(vec![value]),
+            quant: None,
+        }
     }
 
     /// The tensor's shape.
@@ -212,7 +238,10 @@ impl Tensor {
     }
 
     fn dtype_err(&self, expected: DType) -> TensorError {
-        TensorError::DTypeMismatch { expected, actual: self.dtype() }
+        TensorError::DTypeMismatch {
+            expected,
+            actual: self.dtype(),
+        }
     }
 
     /// Borrows the buffer as `f32`.
@@ -307,7 +336,11 @@ impl Tensor {
             Some(QuantParams::PerTensor { scale, zero_point }) => {
                 ints.map(|q| scale * (q - zero_point) as f32).collect()
             }
-            Some(QuantParams::PerChannel { scales, zero_points, axis }) => {
+            Some(QuantParams::PerChannel {
+                scales,
+                zero_points,
+                axis,
+            }) => {
                 let strides = self.shape.strides();
                 let dim = self.shape.dims().get(*axis).copied().unwrap_or(1);
                 let stride = strides.get(*axis).copied().unwrap_or(1);
@@ -338,7 +371,10 @@ impl Tensor {
                 ))
             }
         };
-        let data = src.iter().map(|&v| affine_quantize_u8(v, scale, zp)).collect();
+        let data = src
+            .iter()
+            .map(|&v| affine_quantize_u8(v, scale, zp))
+            .collect();
         Tensor::from_u8(self.shape.clone(), data, params.clone())
     }
 
@@ -351,10 +387,15 @@ impl Tensor {
     pub fn quantize_to_i8(&self, params: &QuantParams) -> Result<Tensor> {
         let src = self.as_f32()?;
         let data = match params {
-            QuantParams::PerTensor { scale, zero_point } => {
-                src.iter().map(|&v| affine_quantize_i8(v, *scale, *zero_point)).collect()
-            }
-            QuantParams::PerChannel { scales, zero_points, axis } => {
+            QuantParams::PerTensor { scale, zero_point } => src
+                .iter()
+                .map(|&v| affine_quantize_i8(v, *scale, *zero_point))
+                .collect(),
+            QuantParams::PerChannel {
+                scales,
+                zero_points,
+                axis,
+            } => {
                 let strides = self.shape.strides();
                 let dim = self.shape.dims().get(*axis).copied().unwrap_or(1);
                 let stride = strides.get(*axis).copied().unwrap_or(1);
@@ -377,7 +418,11 @@ impl Tensor {
     /// Returns [`TensorError::LengthMismatch`] if element counts differ.
     pub fn reshape(&self, shape: Shape) -> Result<Tensor> {
         Self::check_len(&shape, self.len())?;
-        Ok(Tensor { shape, data: self.data.clone(), quant: self.quant.clone() })
+        Ok(Tensor {
+            shape,
+            data: self.data.clone(),
+            quant: self.quant.clone(),
+        })
     }
 
     /// `f32` value at NHWC coordinates (convenience for tests and examples).
@@ -388,7 +433,10 @@ impl Tensor {
     /// [`TensorError::RankMismatch`] for non-4D tensors.
     pub fn at_nhwc(&self, n: usize, h: usize, w: usize, c: usize) -> Result<f32> {
         if self.shape.rank() != 4 {
-            return Err(TensorError::RankMismatch { expected: 4, actual: self.shape.rank() });
+            return Err(TensorError::RankMismatch {
+                expected: 4,
+                actual: self.shape.rank(),
+            });
         }
         let idx = self.shape.offset_nhwc(n, h, w, c);
         Ok(self.as_f32()?[idx])
@@ -427,14 +475,18 @@ mod tests {
     fn per_channel_weight_roundtrip() {
         // Shape [2, 1, 1, 2] = two output channels with very different scales,
         // the §2 per-tensor-vs-per-channel scenario.
-        let t = Tensor::from_f32(Shape::nhwc(2, 1, 1, 2), vec![100.0, -100.0, 0.01, -0.01])
-            .unwrap();
-        let p = QuantParams::symmetric_i8_per_channel(&[(-100.0, 100.0), (-0.01, 0.01)], 0)
-            .unwrap();
+        let t =
+            Tensor::from_f32(Shape::nhwc(2, 1, 1, 2), vec![100.0, -100.0, 0.01, -0.01]).unwrap();
+        let p =
+            QuantParams::symmetric_i8_per_channel(&[(-100.0, 100.0), (-0.01, 0.01)], 0).unwrap();
         let q = t.quantize_to_i8(&p).unwrap();
         let r = q.to_f32_vec();
         assert!((r[0] - 100.0).abs() < 1.0);
-        assert!((r[2] - 0.01).abs() < 0.001, "small channel keeps resolution: {}", r[2]);
+        assert!(
+            (r[2] - 0.01).abs() < 0.001,
+            "small channel keeps resolution: {}",
+            r[2]
+        );
 
         // Per-tensor squashes the small channel to zero.
         let pt = QuantParams::symmetric_i8(-100.0, 100.0);

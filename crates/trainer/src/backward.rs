@@ -114,7 +114,10 @@ fn act_grad(act: Activation, x: f32) -> f32 {
 }
 
 fn err_unsupported(node: &Node) -> TrainError {
-    TrainError::UnsupportedOp { node: node.name.clone(), op: node.op.type_label().to_string() }
+    TrainError::UnsupportedOp {
+        node: node.name.clone(),
+        op: node.op.type_label().to_string(),
+    }
 }
 
 /// Backpropagates through one node. `get` resolves forward values.
@@ -125,7 +128,11 @@ pub(crate) fn backward_node<'a>(
     grads: &mut Grads,
 ) -> Result<()> {
     match &node.op {
-        OpKind::Conv2d { stride, padding, activation } => {
+        OpKind::Conv2d {
+            stride,
+            padding,
+            activation,
+        } => {
             if *activation != Activation::None {
                 return Err(TrainError::BadClassifier(
                     "train on the split-activation graph (fused activation found)".into(),
@@ -133,7 +140,11 @@ pub(crate) fn backward_node<'a>(
             }
             conv2d_backward(node, get, gout, grads, *stride, *padding)
         }
-        OpKind::DepthwiseConv2d { stride, padding, activation } => {
+        OpKind::DepthwiseConv2d {
+            stride,
+            padding,
+            activation,
+        } => {
             if *activation != Activation::None {
                 return Err(TrainError::BadClassifier(
                     "train on the split-activation graph (fused activation found)".into(),
@@ -143,9 +154,12 @@ pub(crate) fn backward_node<'a>(
         }
         OpKind::FullyConnected { .. } => fc_backward(node, get, gout, grads),
         OpKind::Mean => mean_backward(node, get, gout, grads),
-        OpKind::AveragePool2d { pool_h, pool_w, stride, padding } => {
-            avgpool_backward(node, get, gout, grads, *pool_h, *pool_w, *stride, *padding)
-        }
+        OpKind::AveragePool2d {
+            pool_h,
+            pool_w,
+            stride,
+            padding,
+        } => avgpool_backward(node, get, gout, grads, *pool_h, *pool_w, *stride, *padding),
         OpKind::Add { .. } => {
             // Fused activations were split; Add is linear here.
             let rhs = get(node.inputs[1]);
@@ -228,7 +242,10 @@ fn conv2d_backward<'a>(
     let (out_c, kh, kw) = (ws[0], ws[1], ws[2]);
     let out_h = out_size(in_h, kh, stride, padding);
     let out_w = out_size(in_w, kw, stride, padding);
-    let (pt, pl) = (pad_before(in_h, kh, stride, padding), pad_before(in_w, kw, stride, padding));
+    let (pt, pl) = (
+        pad_before(in_h, kh, stride, padding),
+        pad_before(in_w, kw, stride, padding),
+    );
 
     let mut gx = vec![0.0f32; x.len()];
     let mut gw = vec![0.0f32; w.len()];
@@ -294,7 +311,10 @@ fn dwconv_backward<'a>(
     let (kh, kw) = (ws[1], ws[2]);
     let out_h = out_size(in_h, kh, stride, padding);
     let out_w = out_size(in_w, kw, stride, padding);
-    let (pt, pl) = (pad_before(in_h, kh, stride, padding), pad_before(in_w, kw, stride, padding));
+    let (pt, pl) = (
+        pad_before(in_h, kh, stride, padding),
+        pad_before(in_w, kw, stride, padding),
+    );
 
     let mut gx = vec![0.0f32; x.len()];
     let mut gw = vec![0.0f32; w.len()];
@@ -411,8 +431,10 @@ fn avgpool_backward<'a>(
     let (n_b, in_h, in_w, c) = (is[0], is[1], is[2], is[3]);
     let out_h = out_size(in_h, pool_h, stride, padding);
     let out_w = out_size(in_w, pool_w, stride, padding);
-    let (pt, pl) =
-        (pad_before(in_h, pool_h, stride, padding), pad_before(in_w, pool_w, stride, padding));
+    let (pt, pl) = (
+        pad_before(in_h, pool_h, stride, padding),
+        pad_before(in_w, pool_w, stride, padding),
+    );
     let mut gx = vec![0.0f32; input.len()];
     for n in 0..n_b {
         for oy in 0..out_h {
@@ -493,7 +515,11 @@ fn concat_backward<'a>(
     let first = get(node.inputs[0]).shape().dims().to_vec();
     let outer: usize = first[..axis].iter().product::<usize>().max(1);
     let inner: usize = first[axis + 1..].iter().product::<usize>().max(1);
-    let out_axis: usize = node.inputs.iter().map(|&id| get(id).shape().dims()[axis]).sum();
+    let out_axis: usize = node
+        .inputs
+        .iter()
+        .map(|&id| get(id).shape().dims()[axis])
+        .sum();
     let mut axis_off = 0usize;
     for &id in &node.inputs {
         let a = get(id).shape().dims()[axis];

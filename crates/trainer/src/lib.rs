@@ -34,7 +34,9 @@ mod train;
 
 pub use error::TrainError;
 pub use optimizer::{Optimizer, OptimizerKind};
-pub use train::{evaluate, gradients, predict, train, train_or_load, Sample, TrainConfig, TrainReport};
+pub use train::{
+    evaluate, gradients, predict, train, train_or_load, Sample, TrainConfig, TrainReport,
+};
 
 /// Result alias used throughout the trainer crate.
 pub type Result<T> = std::result::Result<T, TrainError>;

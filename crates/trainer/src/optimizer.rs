@@ -30,7 +30,11 @@ pub enum OptimizerKind {
 impl OptimizerKind {
     /// Adam with the customary defaults.
     pub fn adam_default() -> Self {
-        OptimizerKind::Adam { beta1: 0.9, beta2: 0.999, eps: 1e-8 }
+        OptimizerKind::Adam {
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
     }
 }
 
@@ -52,7 +56,12 @@ pub struct Optimizer {
 impl Optimizer {
     /// Creates an optimizer with a starting learning rate.
     pub fn new(kind: OptimizerKind, lr: f32) -> Self {
-        Optimizer { kind, lr, state: HashMap::new(), step_count: 0 }
+        Optimizer {
+            kind,
+            lr,
+            state: HashMap::new(),
+            step_count: 0,
+        }
     }
 
     /// Current learning rate.
@@ -127,7 +136,9 @@ mod tests {
         let mut b = GraphBuilder::new("t");
         let x = b.input("x", Shape::matrix(1, 1));
         let w = b.constant("w", Tensor::from_f32(Shape::matrix(1, 1), vec![v]).unwrap());
-        let y = b.fully_connected("fc", x, w, None, Activation::None).unwrap();
+        let y = b
+            .fully_connected("fc", x, w, None, Activation::None)
+            .unwrap();
         b.output(y);
         (b.finish().unwrap(), w)
     }

@@ -130,7 +130,9 @@ pub fn train(model: Model, data: &[Sample], cfg: &TrainConfig) -> Result<(Model,
                         interp.tensor_value(id).expect("forward value present")
                     };
                     for node in tgraph.nodes()[..softmax_idx].iter().rev() {
-                        let Some(gout) = grads.take(node.output) else { continue };
+                        let Some(gout) = grads.take(node.output) else {
+                            continue;
+                        };
                         backward_node(node, &get, &gout, &mut grads)?;
                     }
                     for (id, g) in grads.drain() {
@@ -214,13 +216,22 @@ pub fn gradients(model: &Model, sample: &Sample) -> Result<(f32, HashMap<usize, 
     grads.add(softmax.inputs[0], seed);
     let get = |id: TensorId| -> &Tensor { interp.tensor_value(id).expect("forward value") };
     for node in tgraph.nodes()[..softmax_idx].iter().rev() {
-        let Some(gout) = grads.take(node.output) else { continue };
+        let Some(gout) = grads.take(node.output) else {
+            continue;
+        };
         backward_node(node, &get, &gout, &mut grads)?;
     }
     let const_grads = grads
         .drain()
         .into_iter()
-        .filter(|(id, _)| model.graph.tensors().get(*id).and_then(|d| d.as_constant()).is_some())
+        .filter(|(id, _)| {
+            model
+                .graph
+                .tensors()
+                .get(*id)
+                .and_then(|d| d.as_constant())
+                .is_some()
+        })
         .collect();
     Ok((loss, const_grads))
 }
@@ -281,7 +292,9 @@ pub fn train_or_load(
     if let Some(parent) = cache.parent() {
         std::fs::create_dir_all(parent).map_err(|e| TrainError::Cache(e.to_string()))?;
     }
-    trained.save_json(cache).map_err(|e| TrainError::Cache(e.to_string()))?;
+    trained
+        .save_json(cache)
+        .map_err(|e| TrainError::Cache(e.to_string()))?;
     Ok(trained)
 }
 
@@ -297,7 +310,9 @@ mod tests {
     fn toy_model(seed: u64) -> Model {
         let mut nb = mlexray_models::NetBuilder::new("toy", seed);
         let x = nb.b.input("x", Shape::nhwc(1, 4, 4, 1));
-        let c = nb.conv_act("c", x, 2, 3, 2, Padding::Same, Activation::Relu).unwrap();
+        let c = nb
+            .conv_act("c", x, 2, 3, 2, Padding::Same, Activation::Relu)
+            .unwrap();
         let out = nb.mean_fc_softmax(c, 2).unwrap();
         nb.b.output(out);
         Model::checkpoint(nb.b.finish().unwrap(), "toy")
@@ -309,8 +324,9 @@ mod tests {
             .map(|i| {
                 let label = i % 2;
                 let base = if label == 0 { -0.6 } else { 0.6 };
-                let data: Vec<f32> =
-                    (0..16).map(|_| base + rng.gen_range(-0.3..0.3)).collect();
+                let data: Vec<f32> = (0..16)
+                    .map(|_| base + rng.gen_range(-0.3f32..0.3))
+                    .collect();
                 Sample {
                     inputs: vec![Tensor::from_f32(Shape::nhwc(1, 4, 4, 1), data).unwrap()],
                     label,
@@ -322,9 +338,18 @@ mod tests {
     #[test]
     fn training_reduces_loss_and_learns() {
         let data = toy_data(64, 3);
-        let cfg = TrainConfig { epochs: 12, batch_size: 8, lr: 0.05, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 12,
+            batch_size: 8,
+            lr: 0.05,
+            ..Default::default()
+        };
         let (trained, report) = train(toy_model(1), &data, &cfg).unwrap();
-        assert!(report.epoch_losses[0] > report.final_loss, "{:?}", report.epoch_losses);
+        assert!(
+            report.epoch_losses[0] > report.final_loss,
+            "{:?}",
+            report.epoch_losses
+        );
         let acc = evaluate(&trained, &toy_data(32, 9)).unwrap();
         assert!(acc > 0.9, "accuracy {acc}");
     }
@@ -333,7 +358,10 @@ mod tests {
     fn rejects_bad_inputs() {
         let data = toy_data(4, 1);
         assert!(train(toy_model(1), &[], &TrainConfig::default()).is_err());
-        let cfg = TrainConfig { epochs: 0, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 0,
+            ..Default::default()
+        };
         assert!(train(toy_model(1), &data, &cfg).is_err());
 
         // Graph not ending in softmax.
@@ -358,7 +386,10 @@ mod tests {
         let cache = dir.join("toy.json");
         let _ = std::fs::remove_file(&cache);
         let data = toy_data(16, 2);
-        let cfg = TrainConfig { epochs: 2, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 2,
+            ..Default::default()
+        };
         let a = train_or_load(&cache, || Ok(toy_model(1)), &data, &cfg).unwrap();
         assert!(cache.exists());
         let b = train_or_load(&cache, || panic!("must load from cache"), &data, &cfg).unwrap();

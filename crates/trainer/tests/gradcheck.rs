@@ -14,17 +14,29 @@ use rand::{Rng, SeedableRng};
 fn kitchen_sink(seed: u64) -> Model {
     let mut nb = mlexray_models::NetBuilder::new("gradcheck", seed);
     let x = nb.b.input("x", Shape::nhwc(1, 6, 6, 2));
-    let c1 = nb.conv_act("c1", x, 4, 3, 1, Padding::Same, Activation::HardSwish).unwrap();
+    let c1 = nb
+        .conv_act("c1", x, 4, 3, 1, Padding::Same, Activation::HardSwish)
+        .unwrap();
     let d1 = nb.dwconv_act("d1", c1, 3, 1, Activation::Relu6).unwrap();
     // Squeeze-excite: global avgpool -> 1x1 conv -> hard-sigmoid gate -> mul.
     let pooled = nb.b.avg_pool_global("se/pool", d1).unwrap();
     let gate = nb
-        .conv_act("se/gate", pooled, 4, 1, 1, Padding::Same, Activation::HardSigmoid)
+        .conv_act(
+            "se/gate",
+            pooled,
+            4,
+            1,
+            1,
+            Padding::Same,
+            Activation::HardSigmoid,
+        )
         .unwrap();
     let gated = nb.b.mul("se/scale", d1, gate).unwrap();
     // Residual add and a concat branch.
     let res = nb.b.add("res", gated, c1, Activation::Relu).unwrap();
-    let branch = nb.conv_act("branch", res, 2, 1, 1, Padding::Same, Activation::Relu).unwrap();
+    let branch = nb
+        .conv_act("branch", res, 2, 1, 1, Padding::Same, Activation::Relu)
+        .unwrap();
     let cat = nb.b.concat("cat", &[res, branch], 3).unwrap();
     let out = nb.mean_fc_softmax(cat, 3).unwrap();
     nb.b.output(out);
@@ -34,7 +46,10 @@ fn kitchen_sink(seed: u64) -> Model {
 fn sample(seed: u64) -> Sample {
     let mut rng = SmallRng::seed_from_u64(seed);
     let data: Vec<f32> = (0..72).map(|_| rng.gen_range(-1.0..1.0)).collect();
-    Sample { inputs: vec![Tensor::from_f32(Shape::nhwc(1, 6, 6, 2), data).unwrap()], label: 1 }
+    Sample {
+        inputs: vec![Tensor::from_f32(Shape::nhwc(1, 6, 6, 2), data).unwrap()],
+        label: 1,
+    }
 }
 
 fn loss_of(model: &Model, s: &Sample) -> f32 {
@@ -70,11 +85,17 @@ fn analytic_gradients_match_finite_differences() {
             vp[i] += eps;
             vm[i] -= eps;
             plus.graph
-                .set_constant(TensorId(id), Tensor::from_f32(base.shape().clone(), vp).unwrap())
+                .set_constant(
+                    TensorId(id),
+                    Tensor::from_f32(base.shape().clone(), vp).unwrap(),
+                )
                 .unwrap();
             minus
                 .graph
-                .set_constant(TensorId(id), Tensor::from_f32(base.shape().clone(), vm).unwrap())
+                .set_constant(
+                    TensorId(id),
+                    Tensor::from_f32(base.shape().clone(), vm).unwrap(),
+                )
                 .unwrap();
             let numeric = (loss_of(&plus, &s) - loss_of(&minus, &s)) / (2.0 * eps);
             let analytic = g[i];
@@ -93,13 +114,21 @@ fn analytic_gradients_match_finite_differences() {
 fn embedding_gradients_match_finite_differences() {
     let model = mlexray_models::text::nnlm(12, 4, 6, 2, 5).unwrap();
     let ids = mlexray_models::text::ids_to_tensor(&[2, 3, 2, 0]).unwrap();
-    let s = Sample { inputs: vec![ids], label: 0 };
+    let s = Sample {
+        inputs: vec![ids],
+        label: 0,
+    };
     let (_, grads) = gradients(&model, &s).unwrap();
 
     let eps = 1e-3f32;
     let mut rng = SmallRng::seed_from_u64(9);
     for (&id, g) in &grads {
-        let base = model.graph.tensor(TensorId(id)).as_constant().unwrap().clone();
+        let base = model
+            .graph
+            .tensor(TensorId(id))
+            .as_constant()
+            .unwrap()
+            .clone();
         let values = base.as_f32().unwrap().to_vec();
         for _ in 0..3.min(values.len()) {
             let i = rng.gen_range(0..values.len());
@@ -110,11 +139,17 @@ fn embedding_gradients_match_finite_differences() {
             vp[i] += eps;
             vm[i] -= eps;
             plus.graph
-                .set_constant(TensorId(id), Tensor::from_f32(base.shape().clone(), vp).unwrap())
+                .set_constant(
+                    TensorId(id),
+                    Tensor::from_f32(base.shape().clone(), vp).unwrap(),
+                )
                 .unwrap();
             minus
                 .graph
-                .set_constant(TensorId(id), Tensor::from_f32(base.shape().clone(), vm).unwrap())
+                .set_constant(
+                    TensorId(id),
+                    Tensor::from_f32(base.shape().clone(), vm).unwrap(),
+                )
                 .unwrap();
             let numeric = (loss_of(&plus, &s) - loss_of(&minus, &s)) / (2.0 * eps);
             assert!(

@@ -10,7 +10,10 @@ fn to_samples(images: &[LabeledImage], family: &str, input: usize) -> Vec<Sample
     let cfg = canonical_preprocess(family, input);
     images
         .iter()
-        .map(|s| Sample { inputs: vec![cfg.apply(&s.image).unwrap()], label: s.label })
+        .map(|s| Sample {
+            inputs: vec![cfg.apply(&s.image).unwrap()],
+            label: s.label,
+        })
         .collect()
 }
 
@@ -20,7 +23,12 @@ fn train_one(family: MiniFamily, train_n: usize, test_n: usize, epochs: usize) -
     let model = mini_model(family, input, synth_image::NUM_CLASSES, 3).unwrap();
     let train_data = to_samples(&train_imgs, family.name(), input);
     let test_data = to_samples(&test_imgs, family.name(), input);
-    let cfg = TrainConfig { epochs, batch_size: 16, lr: 0.01, ..Default::default() };
+    let cfg = TrainConfig {
+        epochs,
+        batch_size: 16,
+        lr: 0.01,
+        ..Default::default()
+    };
     let (trained, report) = train(model, &train_data, &cfg).unwrap();
     assert!(
         report.final_loss < report.epoch_losses[0],

@@ -17,7 +17,10 @@ fn samples(
     clips
         .iter()
         .map(|w| {
-            Ok(Sample { inputs: vec![cfg.apply(&w.samples)?.to_tensor()?], label: w.label })
+            Ok(Sample {
+                inputs: vec![cfg.apply(&w.samples)?.to_tensor()?],
+                label: w.label,
+            })
         })
         .collect()
 }
@@ -28,21 +31,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         normalization: SpectrogramNormalization::LogStandardized, // wrong!
         ..canonical
     };
-    let train_clips = synth_audio::generate(SynthAudioSpec { count: 320, seed: 11 })?;
-    let test_clips = synth_audio::generate(SynthAudioSpec { count: 128, seed: 12 })?;
+    let train_clips = synth_audio::generate(SynthAudioSpec {
+        count: 320,
+        seed: 11,
+    })?;
+    let test_clips = synth_audio::generate(SynthAudioSpec {
+        count: 128,
+        seed: 12,
+    })?;
 
     let frames = (synth_audio::WAVEFORM_LEN - 64) / 32 + 1;
-    println!("training the keyword model on {}-frame spectrograms...", frames);
+    println!(
+        "training the keyword model on {}-frame spectrograms...",
+        frames
+    );
     let model = mini_audio_cnn(frames, 33, synth_audio::NUM_CLASSES, 6)?;
     let (model, _) = train(
         model,
         &samples(&train_clips, &canonical)?,
-        &TrainConfig { epochs: 6, ..Default::default() },
+        &TrainConfig {
+            epochs: 6,
+            ..Default::default()
+        },
     )?;
     let good = evaluate(&model, &samples(&test_clips, &canonical)?)?;
     let bad = evaluate(&model, &samples(&test_clips, &deployed_cfg)?)?;
-    println!("accuracy with the training pipeline's normalization: {:.1}%", good * 100.0);
-    println!("accuracy as deployed (standardized spectrograms):    {:.1}%", bad * 100.0);
+    println!(
+        "accuracy with the training pipeline's normalization: {:.1}%",
+        good * 100.0
+    );
+    println!(
+        "accuracy as deployed (standardized spectrograms):    {:.1}%",
+        bad * 100.0
+    );
 
     // Instrument both pipelines over the same clips and validate.
     let collect = |cfg: AudioPreprocessConfig| -> Result<_, Box<dyn std::error::Error>> {

@@ -17,25 +17,51 @@ use mlexray::trainer::{evaluate, train, Sample, TrainConfig};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let input = 24;
     let canonical = canonical_preprocess("mini_mobilenet_v1", input);
-    let data = synth_image::generate(SynthImageSpec { resolution: 60, count: 320, seed: 5 })?;
+    let data = synth_image::generate(SynthImageSpec {
+        resolution: 60,
+        count: 320,
+        seed: 5,
+    })?;
     let samples: Vec<Sample> = data
         .iter()
-        .map(|s| Ok(Sample { inputs: vec![canonical.apply(&s.image)?], label: s.label }))
+        .map(|s| {
+            Ok(Sample {
+                inputs: vec![canonical.apply(&s.image)?],
+                label: s.label,
+            })
+        })
         .collect::<Result<_, Box<dyn std::error::Error>>>()?;
-    println!("training the store's product classifier ({} classes)...", CLASS_NAMES.len());
+    println!(
+        "training the store's product classifier ({} classes)...",
+        CLASS_NAMES.len()
+    );
     let model = mini_model(MiniFamily::MiniV1, input, synth_image::NUM_CLASSES, 3)?;
-    let (model, _) = train(model, &samples, &TrainConfig { epochs: 5, ..Default::default() })?;
+    let (model, _) = train(
+        model,
+        &samples,
+        &TrainConfig {
+            epochs: 5,
+            ..Default::default()
+        },
+    )?;
 
     // The deployment: camera bytes arrive BGR (relabeled, not converted) and
     // the camera is mounted sideways.
-    let test = synth_image::generate(SynthImageSpec { resolution: 60, count: 64, seed: 77 })?;
+    let test = synth_image::generate(SynthImageSpec {
+        resolution: 60,
+        count: 64,
+        seed: 77,
+    })?;
     let frames: Vec<LabeledFrame> = test
         .iter()
         .map(|s| LabeledFrame::new(s.image.relabeled(ChannelOrder::Bgr), Some(s.label)))
         .collect();
     let deployed = ImagePipeline::new(
         model.clone(),
-        mlexray::preprocess::ImagePreprocessConfig { rotation: Rotation::Deg90, ..canonical.clone() },
+        mlexray::preprocess::ImagePreprocessConfig {
+            rotation: Rotation::Deg90,
+            ..canonical.clone()
+        },
     );
 
     // Accuracy check the way the app team would do it first:
@@ -49,7 +75,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         })
         .collect::<Result<_, Box<dyn std::error::Error>>>()?;
     let deployed_acc = evaluate(&model, &eval_samples)?;
-    println!("deployed accuracy: {:.1}% — something is wrong!", deployed_acc * 100.0);
+    println!(
+        "deployed accuracy: {:.1}% — something is wrong!",
+        deployed_acc * 100.0
+    );
 
     // ML-EXray: replay the same frames through both pipelines and validate.
     let edge_logs = collect_logs(&deployed, &frames, MonitorConfig::offline_validation())?;

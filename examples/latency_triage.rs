@@ -19,11 +19,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("MobileNetV2(x0.5)@96 across simulated targets:\n");
     let targets = [
-        ("Pixel 4 CPU, OpResolver", DeviceProfile::pixel4(), Processor::Cpu, KernelFlavor::Optimized),
-        ("Pixel 4 GPU, OpResolver", DeviceProfile::pixel4(), Processor::Gpu, KernelFlavor::Optimized),
-        ("Pixel 3 CPU, OpResolver", DeviceProfile::pixel3(), Processor::Cpu, KernelFlavor::Optimized),
-        ("x86 emulator, OpResolver", DeviceProfile::x86_emulator(), Processor::Cpu, KernelFlavor::Optimized),
-        ("Pixel 4 CPU, RefOpResolver", DeviceProfile::pixel4(), Processor::Cpu, KernelFlavor::Reference),
+        (
+            "Pixel 4 CPU, OpResolver",
+            DeviceProfile::pixel4(),
+            Processor::Cpu,
+            KernelFlavor::Optimized,
+        ),
+        (
+            "Pixel 4 GPU, OpResolver",
+            DeviceProfile::pixel4(),
+            Processor::Gpu,
+            KernelFlavor::Optimized,
+        ),
+        (
+            "Pixel 3 CPU, OpResolver",
+            DeviceProfile::pixel3(),
+            Processor::Cpu,
+            KernelFlavor::Optimized,
+        ),
+        (
+            "x86 emulator, OpResolver",
+            DeviceProfile::x86_emulator(),
+            Processor::Cpu,
+            KernelFlavor::Optimized,
+        ),
+        (
+            "Pixel 4 CPU, RefOpResolver",
+            DeviceProfile::pixel4(),
+            Processor::Cpu,
+            KernelFlavor::Reference,
+        ),
     ];
     let mut baseline_ms = None;
     for (label, profile, processor, flavor) in targets {
@@ -31,10 +56,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let run = device.run(
             &mobile.graph,
             std::slice::from_ref(&input),
-            InterpreterOptions { flavor, ..InterpreterOptions::optimized() },
+            InterpreterOptions {
+                flavor,
+                ..InterpreterOptions::optimized()
+            },
         )?;
         let ms = run.total_ms();
-        let rel = baseline_ms.map(|b: f64| format!("{:>7.1}x", ms / b)).unwrap_or_else(|| "   1.0x".into());
+        let rel = baseline_ms
+            .map(|b: f64| format!("{:>7.1}x", ms / b))
+            .unwrap_or_else(|| "   1.0x".into());
         baseline_ms.get_or_insert(ms);
         println!("{label:<28} {ms:>10.1} ms {rel}");
 

@@ -20,14 +20,30 @@ use mlexray::trainer::{train, Sample, TrainConfig};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let input = 24;
     let canonical = canonical_preprocess("mini_mobilenet_v3", input);
-    let data = synth_image::generate(SynthImageSpec { resolution: 60, count: 320, seed: 2 })?;
+    let data = synth_image::generate(SynthImageSpec {
+        resolution: 60,
+        count: 320,
+        seed: 2,
+    })?;
     let samples: Vec<Sample> = data
         .iter()
-        .map(|s| Ok(Sample { inputs: vec![canonical.apply(&s.image)?], label: s.label }))
+        .map(|s| {
+            Ok(Sample {
+                inputs: vec![canonical.apply(&s.image)?],
+                label: s.label,
+            })
+        })
         .collect::<Result<_, Box<dyn std::error::Error>>>()?;
     println!("training mini MobileNetV3 (SE blocks + AveragePool2d head)...");
     let ckpt = mini_model(MiniFamily::MiniV3, input, synth_image::NUM_CLASSES, 9)?;
-    let (ckpt, _) = train(ckpt, &samples, &TrainConfig { epochs: 5, ..Default::default() })?;
+    let (ckpt, _) = train(
+        ckpt,
+        &samples,
+        &TrainConfig {
+            epochs: 5,
+            ..Default::default()
+        },
+    )?;
 
     // Deployment: convert, calibrate on a representative dataset, quantize.
     let mobile = convert_to_mobile(&ckpt)?;
@@ -43,23 +59,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // The device runs the 2021 engine with its two kernel defects.
-    let frames: Vec<LabeledFrame> =
-        synth_image::generate(SynthImageSpec { resolution: 60, count: 12, seed: 55 })?
-            .into_iter()
-            .map(|s| LabeledFrame::new(s.image, Some(s.label)))
-            .collect();
+    let frames: Vec<LabeledFrame> = synth_image::generate(SynthImageSpec {
+        resolution: 60,
+        count: 12,
+        seed: 55,
+    })?
+    .into_iter()
+    .map(|s| LabeledFrame::new(s.image, Some(s.label)))
+    .collect();
     let reference_logs = collect_logs(
         &ImagePipeline::new(mobile, canonical.clone()),
         &frames,
         MonitorConfig::offline_validation(),
     )?;
 
-    for (label, flavor) in
-        [("OpResolver", KernelFlavor::Optimized), ("RefOpResolver", KernelFlavor::Reference)]
-    {
-        let edge = ImagePipeline::new(quant.clone(), canonical.clone()).with_options(
-            InterpreterOptions { flavor, bugs: KernelBugs::paper_2021() },
-        );
+    for (label, flavor) in [
+        ("OpResolver", KernelFlavor::Optimized),
+        ("RefOpResolver", KernelFlavor::Reference),
+    ] {
+        let edge =
+            ImagePipeline::new(quant.clone(), canonical.clone()).with_options(InterpreterOptions {
+                flavor,
+                bugs: KernelBugs::paper_2021(),
+            });
         let edge_logs = collect_logs(&edge, &frames, MonitorConfig::offline_validation())?;
         let report = DeploymentValidator::new().validate(&edge_logs, &reference_logs);
         println!("\n--- edge engine: {label} ---");

@@ -29,12 +29,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let samples: Vec<Sample> = train_set
         .iter()
         .map(|s| {
-            Ok(Sample { inputs: vec![canonical.apply(&s.image)?], label: s.label })
+            Ok(Sample {
+                inputs: vec![canonical.apply(&s.image)?],
+                label: s.label,
+            })
         })
         .collect::<Result<_, Box<dyn std::error::Error>>>()?;
-    println!("training mini MobileNetV2 on {} synthetic frames...", samples.len());
+    println!(
+        "training mini MobileNetV2 on {} synthetic frames...",
+        samples.len()
+    );
     let model = mini_model(MiniFamily::MiniV2, input, synth_image::NUM_CLASSES, 7)?;
-    let (model, report) = train(model, &samples, &TrainConfig { epochs: 5, ..Default::default() })?;
+    let (model, report) = train(
+        model,
+        &samples,
+        &TrainConfig {
+            epochs: 5,
+            ..Default::default()
+        },
+    )?;
     println!("final training loss: {:.3}", report.final_loss);
 
     // 2. The deployed app — with the silent normalization bug.

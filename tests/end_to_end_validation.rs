@@ -3,8 +3,8 @@
 //! workspace through the facade.
 
 use mlexray::core::{
-    collect_logs, AssertionStatus, DeploymentValidator, ImagePipeline, LabeledFrame,
-    MonitorConfig, ReferencePipeline, Verdict,
+    collect_logs, AssertionStatus, DeploymentValidator, ImagePipeline, LabeledFrame, MonitorConfig,
+    ReferencePipeline, Verdict,
 };
 use mlexray::datasets::synth_image::{self, SynthImageSpec};
 use mlexray::models::{canonical_preprocess, mini_model, MiniFamily};
@@ -17,24 +17,42 @@ const RES: usize = 40;
 
 fn trained_model() -> Model {
     let canonical = canonical_preprocess("mini_mobilenet_v2", INPUT);
-    let data = synth_image::generate(SynthImageSpec { resolution: RES, count: 128, seed: 3 })
-        .unwrap();
+    let data = synth_image::generate(SynthImageSpec {
+        resolution: RES,
+        count: 128,
+        seed: 3,
+    })
+    .unwrap();
     let samples: Vec<Sample> = data
         .iter()
-        .map(|s| Sample { inputs: vec![canonical.apply(&s.image).unwrap()], label: s.label })
+        .map(|s| Sample {
+            inputs: vec![canonical.apply(&s.image).unwrap()],
+            label: s.label,
+        })
         .collect();
     let model = mini_model(MiniFamily::MiniV2, INPUT, synth_image::NUM_CLASSES, 7).unwrap();
-    let (model, _) =
-        train(model, &samples, &TrainConfig { epochs: 3, ..Default::default() }).unwrap();
+    let (model, _) = train(
+        model,
+        &samples,
+        &TrainConfig {
+            epochs: 3,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     model
 }
 
 fn frames(n: usize, seed: u64) -> Vec<LabeledFrame> {
-    synth_image::generate(SynthImageSpec { resolution: RES, count: n, seed })
-        .unwrap()
-        .into_iter()
-        .map(|s| LabeledFrame::new(s.image, Some(s.label)))
-        .collect()
+    synth_image::generate(SynthImageSpec {
+        resolution: RES,
+        count: n,
+        seed,
+    })
+    .unwrap()
+    .into_iter()
+    .map(|s| LabeledFrame::new(s.image, Some(s.label)))
+    .collect()
 }
 
 #[test]
@@ -53,8 +71,7 @@ fn validator_names_each_preprocessing_bug() {
     ];
     for (bug, expected_assertion) in expectations {
         let edge = ImagePipeline::new(model.clone(), canonical.with_bug(bug));
-        let edge_logs =
-            collect_logs(&edge, &frames, MonitorConfig::offline_validation()).unwrap();
+        let edge_logs = collect_logs(&edge, &frames, MonitorConfig::offline_validation()).unwrap();
         let report = validator.validate(&edge_logs, &reference_logs);
         assert_eq!(report.verdict, Verdict::Degraded, "{bug:?}");
         let fired: Vec<&str> = report.failures().iter().map(|o| o.name.as_str()).collect();
@@ -92,14 +109,15 @@ fn runtime_monitoring_is_cheap_and_small() {
     let edge = ImagePipeline::new(model, canonical);
     let logs = collect_logs(&edge, &frames, MonitorConfig::runtime()).unwrap();
     let per_frame = logs.byte_size() / frames.len() as u64;
-    assert!(per_frame < 1024, "runtime logging should be < 1 KB/frame, got {per_frame}");
+    assert!(
+        per_frame < 1024,
+        "runtime logging should be < 1 KB/frame, got {per_frame}"
+    );
     // And contains no per-layer dumps.
     assert!(logs.keys_with_prefix("layer/").is_empty());
     // While the offline mode does contain them.
-    let reference = ReferencePipeline::with_optimized_kernels(
-        edge.model.clone(),
-        edge.preprocess.clone(),
-    );
+    let reference =
+        ReferencePipeline::with_optimized_kernels(edge.model.clone(), edge.preprocess.clone());
     let full = reference.replay(&frames[..2]).unwrap();
     assert!(!full.keys_with_prefix("layer/").is_empty());
     assert!(full.byte_size() / 2 > per_frame * 10);

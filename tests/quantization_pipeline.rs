@@ -18,15 +18,29 @@ const RES: usize = 40;
 
 fn setup(family: MiniFamily, seed: u64) -> (Model, Model, Vec<Sample>) {
     let canonical = canonical_preprocess(family.name(), INPUT);
-    let data =
-        synth_image::generate(SynthImageSpec { resolution: RES, count: 128, seed }).unwrap();
+    let data = synth_image::generate(SynthImageSpec {
+        resolution: RES,
+        count: 128,
+        seed,
+    })
+    .unwrap();
     let samples: Vec<Sample> = data
         .iter()
-        .map(|s| Sample { inputs: vec![canonical.apply(&s.image).unwrap()], label: s.label })
+        .map(|s| Sample {
+            inputs: vec![canonical.apply(&s.image).unwrap()],
+            label: s.label,
+        })
         .collect();
     let model = mini_model(family, INPUT, synth_image::NUM_CLASSES, 5).unwrap();
-    let (ckpt, _) =
-        train(model, &samples, &TrainConfig { epochs: 3, ..Default::default() }).unwrap();
+    let (ckpt, _) = train(
+        model,
+        &samples,
+        &TrainConfig {
+            epochs: 3,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     let mobile = convert_to_mobile(&ckpt).unwrap();
     let rep: Vec<Vec<mlexray::tensor::Tensor>> =
         samples.iter().take(24).map(|s| s.inputs.clone()).collect();
@@ -75,12 +89,18 @@ fn dwconv_defect_only_hits_the_optimized_resolver() {
     let broken = acc(
         &quant,
         test,
-        InterpreterOptions { flavor: KernelFlavor::Optimized, bugs },
+        InterpreterOptions {
+            flavor: KernelFlavor::Optimized,
+            bugs,
+        },
     );
     let reference = acc(
         &quant,
         test,
-        InterpreterOptions { flavor: KernelFlavor::Reference, bugs },
+        InterpreterOptions {
+            flavor: KernelFlavor::Reference,
+            bugs,
+        },
     );
     assert!(
         reference > broken + 0.2,
@@ -110,12 +130,15 @@ fn drift_analysis_localizes_the_defective_ops() {
     // v2 + optimized resolver: the first drift jump lands on a depthwise conv.
     let (mobile, quant, _) = setup(MiniFamily::MiniV2, 12);
     let canonical = canonical_preprocess("mini_mobilenet_v2", INPUT);
-    let frames: Vec<mlexray::core::LabeledFrame> =
-        synth_image::generate(SynthImageSpec { resolution: RES, count: 4, seed: 90 })
-            .unwrap()
-            .into_iter()
-            .map(|s| mlexray::core::LabeledFrame::new(s.image, Some(s.label)))
-            .collect();
+    let frames: Vec<mlexray::core::LabeledFrame> = synth_image::generate(SynthImageSpec {
+        resolution: RES,
+        count: 4,
+        seed: 90,
+    })
+    .unwrap()
+    .into_iter()
+    .map(|s| mlexray::core::LabeledFrame::new(s.image, Some(s.label)))
+    .collect();
     let reference_logs = collect_logs(
         &ImagePipeline::new(mobile, canonical.clone()),
         &frames,
@@ -152,16 +175,23 @@ fn per_tensor_weights_lose_accuracy_on_imbalanced_channels() {
     let per_channel = quantize_model(
         &mobile,
         &calib,
-        QuantizationOptions { per_channel_weights: true },
+        QuantizationOptions {
+            per_channel_weights: true,
+        },
     )
     .unwrap();
     let per_tensor = quantize_model(
         &mobile,
         &calib,
-        QuantizationOptions { per_channel_weights: false },
+        QuantizationOptions {
+            per_channel_weights: false,
+        },
     )
     .unwrap();
     let pc = acc(&per_channel, test, InterpreterOptions::optimized());
     let pt = acc(&per_tensor, test, InterpreterOptions::optimized());
-    assert!(pc + 0.05 >= pt, "per-channel {pc} should not trail per-tensor {pt}");
+    assert!(
+        pc + 0.05 >= pt,
+        "per-channel {pc} should not trail per-tensor {pt}"
+    );
 }

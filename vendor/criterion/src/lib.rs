@@ -1,0 +1,129 @@
+//! Offline, API-compatible subset of `criterion`.
+//!
+//! Provides [`Criterion::bench_function`], [`Bencher::iter`],
+//! [`criterion_group!`] and [`criterion_main!`] with a simple
+//! warmup-then-measure timing loop and median-of-samples reporting, so
+//! `cargo bench` produces useful numbers without the real crate's
+//! dependency tree (plotters, rayon, …).
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver handed to each `criterion_group!` function.
+pub struct Criterion {
+    /// Number of measured samples per benchmark.
+    sample_count: u32,
+    /// Target wall-clock time per sample.
+    sample_target: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_count: 30,
+            sample_target: Duration::from_millis(50),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs `f` as a named benchmark and prints a one-line summary.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+
+        // Warmup + calibration: find an iteration count that fills the
+        // per-sample time budget.
+        bencher.iters = 1;
+        loop {
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            if bencher.elapsed >= self.sample_target / 10 || bencher.iters >= (1 << 30) {
+                break;
+            }
+            bencher.iters *= 2;
+        }
+        let per_iter = bencher.elapsed.as_nanos().max(1) / bencher.iters as u128;
+        let target = self.sample_target.as_nanos();
+        bencher.iters = ((target / per_iter).clamp(1, 1 << 30)) as u64;
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_count as usize);
+        for _ in 0..self.sample_count {
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            samples.push(bencher.elapsed.as_nanos() as f64 / bencher.iters as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        let lo = samples[samples.len() / 10];
+        let hi = samples[samples.len() - 1 - samples.len() / 10];
+        println!(
+            "{name:<50} time: [{} {} {}]",
+            format_ns(lo),
+            format_ns(median),
+            format_ns(hi)
+        );
+        self
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Timing loop handle passed to the benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it enough times to fill the sample budget.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+    }
+}
+
+/// Declares a benchmark group: `criterion_group!(name, fn_a, fn_b);`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark entry point: `criterion_main!(group_a, group_b);`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

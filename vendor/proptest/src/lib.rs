@@ -1,0 +1,113 @@
+//! Offline, API-compatible subset of `proptest`.
+//!
+//! Supports the surface the workspace's property tests use: the
+//! [`proptest!`] macro over functions with `arg in strategy` parameters,
+//! numeric range strategies, `prop::collection::vec`, `ProptestConfig`
+//! (case count) and the `prop_assert*` macros. Inputs are drawn from the
+//! vendored deterministic `rand`, seeded per test from the test name, so
+//! failures reproduce exactly. No shrinking: a failing case panics with the
+//! standard assertion message.
+
+#![warn(missing_docs)]
+
+pub use rand;
+
+pub mod strategy;
+
+/// `prop::…` namespace (`prop::collection::vec`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::{Strategy, VecStrategy};
+
+        /// Strategy producing `Vec`s whose length is drawn from `sizes` and
+        /// whose elements are drawn from `element`.
+        pub fn vec<S: Strategy>(element: S, sizes: std::ops::Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, sizes }
+        }
+    }
+}
+
+/// Runner configuration (only the case count is honoured).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Everything a property-test module needs in scope.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop, prop_assert, prop_assert_eq, proptest, ProptestConfig};
+}
+
+/// Asserts a condition inside a property (panics with context on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Declares property tests:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn prop(x in 0u8..10, v in prop::collection::vec(0.0f32..1.0, 1..8)) {
+///         prop_assert!(v.len() < 8);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (@body $cases:expr;) => {};
+    (@body $cases:expr;
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            use $crate::strategy::Strategy as _;
+            // Deterministic per-test seed derived from the test name.
+            let mut __seed: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in stringify!($name).bytes() {
+                __seed = (__seed ^ b as u64).wrapping_mul(0x100_0000_01b3);
+            }
+            let mut __rng =
+                <$crate::rand::rngs::SmallRng as $crate::rand::SeedableRng>::seed_from_u64(__seed);
+            let __cases: u32 = $cases;
+            for __case in 0..__cases {
+                let _ = __case;
+                $(let $arg = ($strat).generate(&mut __rng);)*
+                $body
+            }
+        }
+        $crate::proptest!(@body $cases; $($rest)*);
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@body ($cfg).cases; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@body $crate::ProptestConfig::default().cases; $($rest)*);
+    };
+}

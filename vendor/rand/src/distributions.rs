@@ -1,0 +1,141 @@
+//! Distributions: `Standard`, `Uniform` and the `SampleRange` machinery
+//! behind `Rng::gen_range`.
+
+use crate::Rng;
+
+/// Types that can produce values of `T` given an RNG.
+pub trait Distribution<T> {
+    /// Samples one value.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution: `[0, 1)` for floats, full range for ints.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<f32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        ((rng.next_u64() >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        ((rng.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Distribution<u32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Distribution<u64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+/// Uniform distribution over `[lo, hi)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Uniform<T> {
+    lo: T,
+    hi: T,
+}
+
+impl<T: Copy + PartialOrd> Uniform<T> {
+    /// Creates a uniform distribution over `[lo, hi)`. Panics if `lo >= hi`
+    /// would make the range empty (mirrors `rand`'s debug behaviour).
+    pub fn new(lo: T, hi: T) -> Self {
+        assert!(lo < hi, "Uniform::new called with empty range");
+        Uniform { lo, hi }
+    }
+}
+
+impl<T> Distribution<T> for Uniform<T>
+where
+    T: Copy + PartialOrd,
+    std::ops::Range<T>: uniform::SampleRange<T>,
+{
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T {
+        uniform::SampleRange::sample_single(self.lo..self.hi, rng)
+    }
+}
+
+/// Range-sampling support for `Rng::gen_range`.
+pub mod uniform {
+    use crate::Rng;
+
+    /// Marker for types `Rng::gen_range` can produce. Restricting `T` here
+    /// is what lets integer-literal inference work in expressions like
+    /// `x as i32 + rng.gen_range(-8..=8)` (mirrors the real crate).
+    pub trait SampleUniform {}
+
+    /// Ranges that `Rng::gen_range` accepts.
+    pub trait SampleRange<T> {
+        /// Samples one value uniformly from the range.
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    macro_rules! int_range {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for std::ops::Range<$t> {
+                fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "gen_range called with empty range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let v = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+                    (self.start as i128 + v as i128) as $t
+                }
+            }
+            impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+                fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "gen_range called with empty range");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let v = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+                    (lo as i128 + v as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! sample_uniform {
+        ($($t:ty),*) => {$( impl SampleUniform for $t {} )*};
+    }
+
+    sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! float_range {
+        ($($t:ty => $unit:expr),*) => {$(
+            impl SampleRange<$t> for std::ops::Range<$t> {
+                fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "gen_range called with empty range");
+                    let unit = $unit(rng);
+                    self.start + unit * (self.end - self.start)
+                }
+            }
+            impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+                fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "gen_range called with empty range");
+                    let unit = $unit(rng);
+                    lo + unit * (hi - lo)
+                }
+            }
+        )*};
+    }
+
+    float_range!(
+        f32 => |rng: &mut R| ((rng.next_u64() >> 40) as f32) * (1.0 / (1u64 << 24) as f32),
+        f64 => |rng: &mut R| ((rng.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+    );
+}

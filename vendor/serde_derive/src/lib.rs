@@ -1,0 +1,405 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde subset.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (the build image has no
+//! network, so `syn`/`quote` are unavailable). Supports exactly the shapes the
+//! workspace uses: non-generic structs (named, tuple, unit) and non-generic
+//! enums whose variants are unit, tuple or struct-like. Enums use serde's
+//! externally-tagged representation so the JSON matches the real crates.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field set.
+enum Fields {
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+    /// Tuple fields: just the arity.
+    Tuple(usize),
+    /// No fields.
+    Unit,
+}
+
+/// A parsed variant of an enum.
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+/// A parsed item: struct or enum.
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives `serde::Serialize` (Value-model flavour).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => serialize_struct(name, fields),
+        Item::Enum { name, variants } => serialize_enum(name, variants),
+    };
+    code.parse()
+        .expect("serde_derive generated invalid Serialize impl")
+}
+
+/// Derives `serde::Deserialize` (Value-model flavour).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => deserialize_struct(name, fields),
+        Item::Enum { name, variants } => deserialize_enum(name, variants),
+    };
+    code.parse()
+        .expect("serde_derive generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes_and_vis(&tokens, &mut i);
+
+    let keyword = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected item name, found {other}"),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive (vendored): generic types are not supported");
+        }
+    }
+
+    match keyword.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => Fields::Unit,
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde_derive: expected enum body, found {other:?}"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("serde_derive: unsupported item kind `{other}`"),
+    }
+}
+
+/// Advances `i` past any leading `#[...]` attributes and `pub`/`pub(...)`
+/// visibility tokens.
+fn skip_attributes_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` + bracketed attribute body
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // `pub(crate)` and friends
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Extracts field names from the body of a brace-struct / struct-variant.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        match &tokens[i] {
+            TokenTree::Ident(id) => fields.push(id.to_string()),
+            other => panic!("serde_derive: expected field name, found {other}"),
+        }
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:`, found {other}"),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct / tuple variant.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut depth = 0i32;
+    for (idx, tok) in tokens.iter().enumerate() {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 && idx + 1 < tokens.len() => {
+                count += 1; // ignore a trailing comma
+            }
+            _ => {}
+        }
+    }
+    count
+}
+
+/// Parses the variants of an enum body.
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, found {other}"),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn serialize_struct(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Named(names) => {
+            let entries: Vec<String> = names
+                .iter()
+                .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+        }
+        Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Fields::Unit => "::serde::Value::Null".to_string(),
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn serialize_enum(name: &str, variants: &[Variant]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|v| {
+            let vname = &v.name;
+            match &v.fields {
+                Fields::Unit => format!(
+                    "{name}::{vname} => ::serde::Value::String({vname:?}.to_string()),"
+                ),
+                Fields::Tuple(1) => format!(
+                    "{name}::{vname}(x0) => ::serde::Value::Object(vec![({vname:?}.to_string(), ::serde::Serialize::to_value(x0))]),"
+                ),
+                Fields::Tuple(n) => {
+                    let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(x{i})"))
+                        .collect();
+                    format!(
+                        "{name}::{vname}({}) => ::serde::Value::Object(vec![({vname:?}.to_string(), ::serde::Value::Array(vec![{}]))]),",
+                        binds.join(", "),
+                        items.join(", ")
+                    )
+                }
+                Fields::Named(fnames) => {
+                    let binds = fnames.join(", ");
+                    let entries: Vec<String> = fnames
+                        .iter()
+                        .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_value({f}))"))
+                        .collect();
+                    format!(
+                        "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(vec![({vname:?}.to_string(), ::serde::Value::Object(vec![{}]))]),",
+                        entries.join(", ")
+                    )
+                }
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ match self {{ {} }} }}\n\
+         }}",
+        arms.join("\n")
+    )
+}
+
+fn deserialize_struct(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Named(names) => {
+            let inits: Vec<String> = names
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(v.get({f:?}).unwrap_or(&::serde::Value::Null))?"
+                    )
+                })
+                .collect();
+            format!("Ok({name} {{ {} }})", inits.join(", "))
+        }
+        Fields::Tuple(1) => format!("Ok({name}(::serde::Deserialize::from_value(v)?))"),
+        Fields::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Array(items) if items.len() == {n} => Ok({name}({})),\n\
+                     other => Err(::serde::DeError::unexpected(\"array of {n} elements\", other)),\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Fields::Unit => format!("{{ let _ = v; Ok({name}) }}"),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = Vec::new();
+    let mut tagged_arms = Vec::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.fields {
+            Fields::Unit => unit_arms.push(format!(
+                "::serde::Value::String(s) if s == {vname:?} => Ok({name}::{vname}),"
+            )),
+            Fields::Tuple(1) => tagged_arms.push(format!(
+                "{vname:?} => Ok({name}::{vname}(::serde::Deserialize::from_value(inner)?)),"
+            )),
+            Fields::Tuple(n) => {
+                let inits: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                    .collect();
+                tagged_arms.push(format!(
+                    "{vname:?} => match inner {{\n\
+                         ::serde::Value::Array(items) if items.len() == {n} => Ok({name}::{vname}({})),\n\
+                         other => Err(::serde::DeError::unexpected(\"array of {n} elements\", other)),\n\
+                     }},",
+                    inits.join(", ")
+                ))
+            }
+            Fields::Named(fnames) => {
+                let inits: Vec<String> = fnames
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: ::serde::Deserialize::from_value(inner.get({f:?}).unwrap_or(&::serde::Value::Null))?"
+                        )
+                    })
+                    .collect();
+                tagged_arms.push(format!(
+                    "{vname:?} => Ok({name}::{vname} {{ {} }}),",
+                    inits.join(", ")
+                ))
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 match v {{\n\
+                     {}\n\
+                     ::serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+                         let (tag, inner) = &entries[0];\n\
+                         match tag.as_str() {{\n\
+                             {}\n\
+                             other => Err(::serde::DeError::msg(format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     other => Err(::serde::DeError::unexpected(\"{name} variant\", other)),\n\
+                 }}\n\
+             }}\n\
+         }}",
+        unit_arms.join("\n"),
+        tagged_arms.join("\n")
+    )
+}

@@ -1,0 +1,49 @@
+//! Offline, API-compatible subset of `serde_json`: [`to_string`] /
+//! [`from_str`] over the vendored serde [`Value`] data model, with a
+//! hand-written JSON printer and recursive-descent parser.
+
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+
+pub use serde::Value;
+
+mod parse;
+mod print;
+
+pub use parse::parse_value;
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    pub(crate) fn msg(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` as a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    print::write_value(&mut out, &value.to_value());
+    Ok(out)
+}
+
+/// Deserializes a `T` from JSON text.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse::parse_value(s)?;
+    T::from_value(&value).map_err(|e| Error::msg(e.to_string()))
+}
