@@ -1,0 +1,69 @@
+//! Microbenchmarks for the sharded replay engine and the async log sink:
+//! replay throughput at 1/2/4/8 workers and per-record write cost of the
+//! synchronous JSONL sink vs the batched `ChannelSink`.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mlexray_core::{
+    replay_sharded, ChannelSink, ChannelSinkConfig, ImagePipeline, JsonlFileSink, LabeledFrame,
+    LogRecord, LogSink, LogValue, MonitorConfig, ReplayOptions,
+};
+use mlexray_models::{canonical_preprocess, mini_model, MiniFamily};
+use mlexray_preprocess::Image;
+
+fn bench_replay_workers(c: &mut Criterion) {
+    let family = MiniFamily::MiniV2;
+    let model = mini_model(family, 16, 8, 7).unwrap();
+    let pipeline = ImagePipeline::new(model, canonical_preprocess(family.name(), 16));
+    let frames: Vec<LabeledFrame> = (0..32)
+        .map(|i| {
+            LabeledFrame::new(
+                Image::solid(24, 24, [(i * 31 % 256) as u8, 80, 200]),
+                Some(i % 8),
+            )
+        })
+        .collect();
+    for workers in [1usize, 2, 4, 8] {
+        c.bench_function(&format!("replay_sharded/workers_{workers}"), |b| {
+            let options = ReplayOptions {
+                workers,
+                shard_frames: 4,
+                monitor: MonitorConfig::runtime(),
+                ..Default::default()
+            };
+            b.iter(|| replay_sharded(&pipeline, &frames, &options).unwrap())
+        });
+    }
+}
+
+fn bench_sink_write(c: &mut Criterion) {
+    // /dev/null absorbs the JSONL stream: the benchmark isolates hot-path
+    // cost (serialize + lock for the sync sink, channel enqueue for the
+    // async one) from disk accumulation across criterion's calibration.
+    let null = std::path::Path::new("/dev/null");
+    let record = LogRecord {
+        frame: 0,
+        key: "layer/conv/output".into(),
+        value: LogValue::Scalar(0.5),
+    };
+    c.bench_function("sink_write/jsonl_sync", |b| {
+        let sink = JsonlFileSink::create(null).unwrap();
+        b.iter(|| sink.write(record.clone()))
+    });
+    c.bench_function("sink_write/jsonl_channel_async", |b| {
+        let sink = ChannelSink::new(
+            Arc::new(JsonlFileSink::create(null).unwrap()),
+            ChannelSinkConfig {
+                capacity: 4096,
+                ..Default::default()
+            },
+        );
+        b.iter(|| sink.write(record.clone()));
+        sink.close();
+    });
+}
+
+criterion_group!(benches, bench_replay_workers, bench_sink_write);
+criterion_main!(benches);

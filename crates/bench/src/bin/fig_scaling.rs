@@ -1,0 +1,6 @@
+//! Prints the scaling figure: sharded replay-validate throughput vs worker
+//! count, plus the sync-vs-async sink comparison.
+fn main() {
+    let scale = mlexray_bench::support::Scale::from_env();
+    println!("{}", mlexray_bench::experiments::fig_scaling::run(&scale));
+}

@@ -17,4 +17,5 @@ fn main() {
         "{}\n",
         mlexray_bench::experiments::table3_5::run_float(&scale)
     );
+    println!("{}\n", mlexray_bench::experiments::fig_scaling::run(&scale));
 }

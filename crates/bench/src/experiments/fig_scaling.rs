@@ -1,0 +1,232 @@
+//! Scaling figure (beyond the paper): replay-validate throughput versus
+//! worker count, and sync versus async log sinks.
+//!
+//! The paper's offline-validation loop is embarrassingly parallel across
+//! frames — §4.2 measures tens of seconds of per-layer logging per device
+//! run, so fleet-scale replay throughput is the operational bottleneck the
+//! sharded engine attacks. This experiment measures (a) merged
+//! replay-validate throughput at 1/2/4/8 workers over a fixed shard
+//! partition, asserting the merged report stays byte-identical, and (b) the
+//! hot-path cost of synchronous JSONL logging versus the batched
+//! [`ChannelSink`], with its backpressure accounting.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use mlexray_core::{
+    replay_sharded_to_sink, replay_validate_sharded, ChannelSink, ChannelSinkConfig,
+    DeploymentValidator, ImagePipeline, JsonlFileSink, LogSink, MonitorConfig, ReferencePipeline,
+    ReplayOptions, Verdict,
+};
+use mlexray_datasets::InMemoryPlayback;
+use mlexray_models::{canonical_preprocess, mini_model, MiniFamily};
+
+use crate::support::{format_table, frames_from_playback, image_split, Scale};
+
+/// Worker counts the scaling sweep measures.
+pub const WORKER_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// One row of the worker sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalingPoint {
+    /// Worker threads used.
+    pub workers: usize,
+    /// Frame pairs replayed per second (edge + reference per frame).
+    pub frames_per_sec: f64,
+    /// Throughput relative to the 1-worker run.
+    pub speedup: f64,
+}
+
+/// Machine-readable results backing the rendered figure.
+#[derive(Debug, Clone)]
+pub struct ScalingResult {
+    /// The sweep, in [`WORKER_SWEEP`] order.
+    pub points: Vec<ScalingPoint>,
+    /// Whether every merged report rendered byte-identically.
+    pub reports_identical: bool,
+    /// Cores the host actually has (speedup is bounded by this).
+    pub available_cores: usize,
+}
+
+/// Shared experiment fixtures: the edge pipeline, its reference twin and
+/// the playback frames (sourced through the shardable playback trait — the
+/// same contiguous-shard shape the engine distributes to workers).
+fn setup(
+    scale: &Scale,
+) -> (
+    ImagePipeline,
+    ReferencePipeline,
+    Vec<mlexray_core::LabeledFrame>,
+) {
+    let family = MiniFamily::MiniV2;
+    let model = mini_model(
+        family,
+        scale.input,
+        mlexray_datasets::synth_image::NUM_CLASSES,
+        7,
+    )
+    .expect("mini model builds");
+    let canonical = canonical_preprocess(family.name(), scale.input);
+    let edge = ImagePipeline::new(model.clone(), canonical.clone());
+    let reference = ReferencePipeline::with_optimized_kernels(model, canonical);
+    let (_, test) = image_split(scale);
+    let frames = frames_from_playback(&InMemoryPlayback::new(test), 8);
+    (edge, reference, frames)
+}
+
+/// Runs the worker sweep and returns structured results (the smoke test
+/// asserts on these; `run` renders them).
+pub fn measure(scale: &Scale) -> ScalingResult {
+    let (edge, reference, frames) = setup(scale);
+    measure_with(&edge, &reference, &frames)
+}
+
+fn measure_with(
+    edge: &ImagePipeline,
+    reference: &ReferencePipeline,
+    frames: &[mlexray_core::LabeledFrame],
+) -> ScalingResult {
+    let validator = DeploymentValidator::new();
+    let mut points = Vec::new();
+    let mut rendered: Option<String> = None;
+    let mut reports_identical = true;
+    let mut base_fps = 0.0f64;
+    for workers in WORKER_SWEEP {
+        let options = ReplayOptions {
+            workers,
+            shard_frames: 8, // fixed partition: reports must merge identically
+            ..Default::default()
+        };
+        let result = replay_validate_sharded(edge, reference, frames, &validator, &options)
+            .expect("replay succeeds");
+        debug_assert_eq!(result.report.verdict, Verdict::Healthy);
+        let text = result.report.to_string();
+        match &rendered {
+            None => rendered = Some(text),
+            Some(expected) => reports_identical &= expected == &text,
+        }
+        let fps = result.stats.frames_per_sec();
+        if workers == 1 {
+            base_fps = fps;
+        }
+        points.push(ScalingPoint {
+            workers,
+            frames_per_sec: fps,
+            speedup: if base_fps > 0.0 { fps / base_fps } else { 0.0 },
+        });
+    }
+    ScalingResult {
+        points,
+        reports_identical,
+        available_cores: std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+    }
+}
+
+/// Measures one replay writing JSONL through `sink`, returning
+/// `(elapsed_ms, mb_written)`.
+fn sink_run(
+    edge: &ImagePipeline,
+    frames: &[mlexray_core::LabeledFrame],
+    sink: Arc<dyn LogSink>,
+) -> (f64, f64) {
+    let options = ReplayOptions {
+        workers: 4,
+        shard_frames: 8,
+        monitor: MonitorConfig::offline_validation(),
+        ..Default::default()
+    };
+    let started = Instant::now();
+    replay_sharded_to_sink(edge, frames, &options, sink.clone()).expect("replay succeeds");
+    let _ = sink.flush();
+    let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+    (elapsed_ms, sink.bytes_written() as f64 / 1e6)
+}
+
+/// Runs the full scaling figure: worker sweep plus sync-vs-async sink
+/// comparison.
+pub fn run(scale: &Scale) -> String {
+    run_measured(scale).1
+}
+
+/// Like [`run`], but also hands back the structured sweep, so callers that
+/// need both (the smoke test asserts on the numbers *and* records the
+/// rendering) pay for the worker sweep once.
+pub fn run_measured(scale: &Scale) -> (ScalingResult, String) {
+    let (edge, reference, frames) = setup(scale);
+    let sweep = measure_with(&edge, &reference, &frames);
+    let rows: Vec<Vec<String>> = sweep
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                p.workers.to_string(),
+                format!("{:.1}", p.frames_per_sec),
+                format!("{:.2}x", p.speedup),
+            ]
+        })
+        .collect();
+    let worker_table = format_table(&["Workers", "Frame pairs/s", "Speedup"], &rows);
+
+    // Sink comparison: same parallel replay, persistence on-thread (every
+    // worker serializes + locks the file) vs through the channel sink.
+    let dir = std::env::temp_dir().join(format!("mlexray-figscaling-{}", std::process::id()));
+
+    let sync_sink: Arc<dyn LogSink> =
+        Arc::new(JsonlFileSink::create(&dir.join("sync.jsonl")).expect("create sink"));
+    let (sync_ms, sync_mb) = sink_run(&edge, &frames, sync_sink);
+
+    let channel = Arc::new(
+        ChannelSink::jsonl(&dir.join("async.jsonl"), ChannelSinkConfig::default())
+            .expect("create sink"),
+    );
+    let (async_ms, async_mb) = sink_run(&edge, &frames, channel.clone() as Arc<dyn LogSink>);
+    let stats = channel.close();
+    std::fs::remove_dir_all(&dir).ok();
+
+    let sink_rows = vec![
+        vec![
+            "JsonlFileSink (sync)".into(),
+            format!("{sync_ms:.0}"),
+            format!("{sync_mb:.1}"),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+        ],
+        vec![
+            "ChannelSink (async batched)".into(),
+            format!("{async_ms:.0}"),
+            format!("{async_mb:.1}"),
+            stats.blocked.to_string(),
+            stats.dropped.to_string(),
+            stats.batches.to_string(),
+        ],
+    ];
+    let sink_table = format_table(
+        &[
+            "Sink",
+            "Elapsed (ms)",
+            "MB",
+            "Blocked",
+            "Dropped",
+            "Batches",
+        ],
+        &sink_rows,
+    );
+
+    let rendered = format!(
+        "Fig S: sharded replay-validate scaling ({} frames, shard=8, {} cores)\n{}\nmerged \
+         reports identical across worker counts: {}\n\nAsync sink ({} frames, 4 workers, full \
+         per-layer logs; lossless: {} enqueued = {} persisted)\n{}",
+        frames.len(),
+        sweep.available_cores,
+        worker_table,
+        sweep.reports_identical,
+        frames.len(),
+        stats.enqueued,
+        stats.persisted,
+        sink_table
+    );
+    (sweep, rendered)
+}

@@ -81,6 +81,52 @@ pub fn cache_dir() -> PathBuf {
     PathBuf::from(target).join("mlexray-cache")
 }
 
+/// The directory experiment artifacts are written to:
+/// `$CARGO_TARGET_DIR/experiment-artifacts`, falling back to the workspace
+/// `target/` (resolved from this crate's manifest, so the path is stable no
+/// matter which directory tests run from — CI uploads it per PR).
+pub fn artifact_dir() -> PathBuf {
+    let target = std::env::var("CARGO_TARGET_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join("target")
+        });
+    target.join("experiment-artifacts")
+}
+
+/// Records one experiment's rendered output as a JSON artifact
+/// (`<artifact_dir>/<name>.json`) so every CI run leaves an inspectable
+/// perf/accuracy trajectory. `quick_scale` is declared by the caller — it
+/// must reflect the [`Scale`] the experiment actually ran at, not the
+/// environment (smoke tests always run quick, whatever `MLEXRAY_QUICK`
+/// says). Returns the path written.
+///
+/// # Panics
+///
+/// Panics on filesystem failures — artifacts exist to be inspected, so
+/// writing them silently failing would defeat the point.
+pub fn record_artifact(name: &str, quick_scale: bool, output: &str) -> PathBuf {
+    #[derive(serde::Serialize)]
+    struct Artifact {
+        experiment: String,
+        quick_scale: bool,
+        output: String,
+    }
+    let dir = artifact_dir();
+    std::fs::create_dir_all(&dir).expect("create artifact dir");
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string(&Artifact {
+        experiment: name.to_string(),
+        quick_scale,
+        output: output.to_string(),
+    })
+    .expect("artifact serializes");
+    std::fs::write(&path, json).expect("write artifact");
+    path
+}
+
 /// Deterministic train/test image split used by every image experiment.
 pub fn image_split(scale: &Scale) -> (Vec<LabeledImage>, Vec<LabeledImage>) {
     synth_image::train_test_split(scale.frame_res, scale.train_n, scale.test_n, 2026)
@@ -104,6 +150,26 @@ pub fn to_frames(images: &[LabeledImage]) -> Vec<LabeledFrame> {
     images
         .iter()
         .map(|s| LabeledFrame::new(s.image.clone(), Some(s.label)))
+        .collect()
+}
+
+/// Bridges a shardable playback source (an `SdCard`, an
+/// [`mlexray_datasets::InMemoryPlayback`], ...) into replay-engine frames:
+/// reads the source shard by shard — the same contiguous partition shape
+/// the engine distributes to workers — and labels each stored image.
+///
+/// # Panics
+///
+/// Panics if the source fails to read a shard it itself advertised.
+pub fn frames_from_playback(
+    source: &impl mlexray_datasets::PlaybackSource,
+    shard_frames: usize,
+) -> Vec<LabeledFrame> {
+    source
+        .shards(shard_frames)
+        .into_iter()
+        .flat_map(|range| source.read_range(range).expect("playback source reads"))
+        .map(|s| LabeledFrame::new(s.image, Some(s.label)))
         .collect()
 }
 
@@ -246,5 +312,35 @@ mod tests {
     #[test]
     fn scales() {
         assert!(Scale::quick().train_n < Scale::default_scale().train_n);
+    }
+
+    #[test]
+    fn playback_shards_match_engine_partition() {
+        // `PlaybackSource::shards` (datasets) and `shard_partition` (core)
+        // implement the same contiguous chunking on opposite sides of the
+        // crate DAG; `frames_from_playback` and the README rely on the
+        // shapes matching. Pin them together so they cannot silently
+        // diverge.
+        use mlexray_datasets::{InMemoryPlayback, PlaybackSource};
+        for (count, shard) in [(0usize, 4usize), (1, 4), (7, 4), (8, 4), (13, 5), (9, 1)] {
+            let frames = if count == 0 {
+                Vec::new() // the generator (rightly) rejects empty specs
+            } else {
+                mlexray_datasets::synth_image::generate(
+                    mlexray_datasets::synth_image::SynthImageSpec {
+                        resolution: 16,
+                        count,
+                        seed: 1,
+                    },
+                )
+                .expect("valid spec")
+            };
+            let source = InMemoryPlayback::new(frames);
+            assert_eq!(
+                source.shards(shard),
+                mlexray_core::shard_partition(count, shard),
+                "count={count} shard={shard}"
+            );
+        }
     }
 }

@@ -13,7 +13,11 @@
 //!    [`LogSink`]s buffer in memory or persist JSONL.
 //! 2. **Reference pipelines & playback** — [`ReferencePipeline`] replays
 //!    frames through canonical preprocessing and a chosen model variant
-//!    under debugging-grade reference kernels.
+//!    under debugging-grade reference kernels. The [`replay`] module shards
+//!    the replay-validate loop across worker threads (each with its own
+//!    interpreter) and merges per-shard logs and reports deterministically;
+//!    [`ChannelSink`] moves log persistence off the inference threads
+//!    through a bounded channel into a batching writer thread.
 //! 3. **Deployment validation** — [`DeploymentValidator`] drives the Fig. 2
 //!    flow: accuracy comparison, per-layer normalized-rMSE drift
 //!    ([`per_layer_drift`]), per-layer latency analysis, and a suite of
@@ -52,6 +56,7 @@ mod log;
 mod monitor;
 mod pipeline;
 mod reference;
+pub mod replay;
 mod sink;
 mod validate;
 
@@ -66,14 +71,22 @@ pub use pipeline::{
     AudioPipeline, AudioRunner, ImagePipeline, ImageRunner, LabeledFrame, TextPipeline, TextRunner,
 };
 pub use reference::{collect_logs, ReferencePipeline};
-pub use sink::{JsonlFileSink, LogSink, MemorySink, TeeSink};
+pub use replay::{
+    replay_sharded, replay_sharded_to_sink, replay_validate_sharded, shard_partition,
+    ReplayOptions, ReplayStats, ShardedValidation,
+};
+pub use sink::{
+    ChannelSink, ChannelSinkConfig, JsonlFileSink, LogSink, MemorySink, OverflowPolicy,
+    SinkBackpressure, TeeSink,
+};
 pub use validate::{
     compare_layer_latency, first_drift_jump, layers_above, per_layer_drift, per_layer_latency,
     stragglers, AccuracyComparison, Assertion, AssertionOutcome, AssertionStatus,
-    ChannelArrangementAssertion, ConstantOutputAssertion, DeploymentValidator, FnAssertion,
-    LatencyBudgetAssertion, LayerDrift, LayerLatency, MemoryBudgetAssertion,
+    ChannelArrangementAssertion, ConstantOutputAssertion, DecisionTally, DeploymentValidator,
+    FnAssertion, LatencyBudgetAssertion, LayerDrift, LayerLatency, MemoryBudgetAssertion,
     NormalizationRangeAssertion, OrientationAssertion, QuantizationDriftAssertion,
-    ResizeFunctionAssertion, StragglerLayerAssertion, ValidationContext, ValidationReport, Verdict,
+    ResizeFunctionAssertion, ShardValidation, StragglerLayerAssertion, ValidationContext,
+    ValidationReport, Verdict,
 };
 
 /// Result alias used throughout the core crate.

@@ -164,6 +164,12 @@ impl LogSet {
         &self.records
     }
 
+    /// Consumes the set, yielding its records (the sharded replay merge
+    /// concatenates per-shard records without cloning).
+    pub fn into_records(self) -> Vec<LogRecord> {
+        self.records
+    }
+
     /// Number of records.
     pub fn len(&self) -> usize {
         self.records.len()

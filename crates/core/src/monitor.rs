@@ -129,6 +129,15 @@ impl Monitor {
         }
     }
 
+    /// Rebases the frame counter so the next inference logs as frame
+    /// `first_frame`. Sharded replay workers use this to emit globally
+    /// numbered records directly, so per-shard logs merge without rewriting.
+    #[must_use]
+    pub fn starting_at(self, first_frame: u64) -> Self {
+        *self.frame.lock() = first_frame;
+        self
+    }
+
     /// The monitor's configuration.
     pub fn config(&self) -> MonitorConfig {
         self.config

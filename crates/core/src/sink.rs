@@ -1,8 +1,35 @@
-//! Log sinks: in-memory buffering and JSONL persistence.
+//! Log sinks: in-memory buffering, JSONL persistence, and the async batched
+//! channel sink that moves logging off the inference thread.
+//!
+//! # Drain protocol
+//!
+//! The [`ChannelSink`] decouples the hot path from persistence: `write`
+//! enqueues onto a bounded channel and returns immediately, while a
+//! background writer thread drains the channel and forwards size- or
+//! count-triggered batches to the wrapped sink. Three operations control the
+//! buffered records' lifecycle:
+//!
+//! * [`ChannelSink::flush`] — blocks until every record enqueued *before*
+//!   the call has been handed to the underlying sink (and that sink has been
+//!   flushed).
+//! * [`ChannelSink::close`] — flushes, stops the writer thread and returns
+//!   the final [`SinkBackpressure`] accounting. Idempotent.
+//! * Drop — closes implicitly; records enqueued before drop are persisted.
+//!
+//! Writes arriving after `close` are counted as dropped, never silently
+//! lost: the [`SinkBackpressure`] counters always satisfy
+//! `enqueued + dropped == write calls` and, once `close` returns,
+//! `persisted == enqueued`. A write racing `close` either lands before the
+//! close sentinel (and is persisted) or is counted as dropped — a small
+//! reader-writer gate around the send makes the accounting exact.
 
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
 
 use parking_lot::Mutex;
 
@@ -15,16 +42,43 @@ pub trait LogSink: Send + Sync {
     /// Appends one record.
     fn write(&self, record: LogRecord);
 
+    /// Appends a batch of records. The default loops over [`LogSink::write`];
+    /// sinks with per-call locking override this to amortize the lock over
+    /// the whole batch.
+    fn write_batch(&self, records: Vec<LogRecord>) {
+        for record in records {
+            self.write(record);
+        }
+    }
+
     /// Bytes persisted/buffered so far (storage accounting for Table 2).
     fn bytes_written(&self) -> u64;
+
+    /// Pushes buffered output to durable storage. A no-op for sinks without
+    /// an internal buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExrayError::Io`] on filesystem failures.
+    fn flush(&self) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// Records plus byte accounting, guarded by one lock so a reader can never
+/// observe the two out of sync (a record counted in `bytes` but not yet in
+/// `records`, or vice versa).
+#[derive(Debug, Default)]
+struct MemoryBuffer {
+    records: Vec<LogRecord>,
+    bytes: u64,
 }
 
 /// Buffers records in memory; the default sink, drained by the offline
 /// validator.
 #[derive(Debug, Default)]
 pub struct MemorySink {
-    records: Mutex<Vec<LogRecord>>,
-    bytes: Mutex<u64>,
+    buffer: Mutex<MemoryBuffer>,
 }
 
 impl MemorySink {
@@ -35,41 +89,71 @@ impl MemorySink {
 
     /// Removes and returns everything buffered so far.
     pub fn drain(&self) -> Vec<LogRecord> {
-        std::mem::take(&mut self.records.lock())
+        let mut buffer = self.buffer.lock();
+        buffer.bytes = 0;
+        std::mem::take(&mut buffer.records)
     }
 
     /// Copies everything buffered so far without draining.
     pub fn snapshot(&self) -> Vec<LogRecord> {
-        self.records.lock().clone()
+        self.buffer.lock().records.clone()
     }
 
     /// Number of buffered records.
     pub fn len(&self) -> usize {
-        self.records.lock().len()
+        self.buffer.lock().records.len()
     }
 
     /// True when nothing is buffered.
     pub fn is_empty(&self) -> bool {
-        self.records.lock().is_empty()
+        self.buffer.lock().records.is_empty()
+    }
+
+    /// Record count and byte count read under one lock acquisition — the
+    /// pair is guaranteed mutually consistent even mid-contention.
+    pub fn len_and_bytes(&self) -> (usize, u64) {
+        let buffer = self.buffer.lock();
+        (buffer.records.len(), buffer.bytes)
     }
 }
 
 impl LogSink for MemorySink {
     fn write(&self, record: LogRecord) {
-        *self.bytes.lock() += record.byte_size();
-        self.records.lock().push(record);
+        let mut buffer = self.buffer.lock();
+        buffer.bytes += record.byte_size();
+        buffer.records.push(record);
+    }
+
+    fn write_batch(&self, records: Vec<LogRecord>) {
+        let mut buffer = self.buffer.lock();
+        buffer.bytes += records.iter().map(LogRecord::byte_size).sum::<u64>();
+        buffer.records.extend(records);
     }
 
     fn bytes_written(&self) -> u64 {
-        *self.bytes.lock()
+        self.buffer.lock().bytes
     }
 }
 
 /// Writes records as JSON lines to a file (the "EXray logs on the SD card").
 #[derive(Debug)]
 pub struct JsonlFileSink {
-    writer: Mutex<BufWriter<File>>,
-    bytes: Mutex<u64>,
+    writer: Mutex<JsonlWriter>,
+}
+
+#[derive(Debug)]
+struct JsonlWriter {
+    out: BufWriter<File>,
+    bytes: u64,
+}
+
+impl JsonlWriter {
+    fn write_line(&mut self, record: &LogRecord) {
+        if let Ok(line) = serde_json::to_string(record) {
+            self.bytes += line.len() as u64 + 1;
+            let _ = writeln!(self.out, "{line}");
+        }
+    }
 }
 
 impl JsonlFileSink {
@@ -84,8 +168,10 @@ impl JsonlFileSink {
         }
         let file = File::create(path).map_err(ExrayError::Io)?;
         Ok(JsonlFileSink {
-            writer: Mutex::new(BufWriter::new(file)),
-            bytes: Mutex::new(0),
+            writer: Mutex::new(JsonlWriter {
+                out: BufWriter::new(file),
+                bytes: 0,
+            }),
         })
     }
 
@@ -95,7 +181,7 @@ impl JsonlFileSink {
     ///
     /// Returns [`ExrayError::Io`] on failure.
     pub fn flush(&self) -> Result<()> {
-        self.writer.lock().flush().map_err(ExrayError::Io)
+        self.writer.lock().out.flush().map_err(ExrayError::Io)
     }
 
     /// Reads a JSONL log file back into records.
@@ -114,15 +200,22 @@ impl JsonlFileSink {
 
 impl LogSink for JsonlFileSink {
     fn write(&self, record: LogRecord) {
-        if let Ok(line) = serde_json::to_string(&record) {
-            let mut w = self.writer.lock();
-            *self.bytes.lock() += line.len() as u64 + 1;
-            let _ = writeln!(w, "{line}");
+        self.writer.lock().write_line(&record);
+    }
+
+    fn write_batch(&self, records: Vec<LogRecord>) {
+        let mut writer = self.writer.lock();
+        for record in &records {
+            writer.write_line(record);
         }
     }
 
     fn bytes_written(&self) -> u64 {
-        *self.bytes.lock()
+        self.writer.lock().bytes
+    }
+
+    fn flush(&self) -> Result<()> {
+        JsonlFileSink::flush(self)
     }
 }
 
@@ -159,6 +252,313 @@ impl<A: LogSink, B: LogSink> LogSink for TeeSink<A, B> {
     fn bytes_written(&self) -> u64 {
         self.a.bytes_written().max(self.b.bytes_written())
     }
+
+    fn flush(&self) -> Result<()> {
+        self.a.flush()?;
+        self.b.flush()
+    }
+}
+
+/// What [`ChannelSink::write`] does when the bounded channel is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverflowPolicy {
+    /// Block the caller until the writer thread frees a slot (lossless; the
+    /// inference thread absorbs the backpressure as latency).
+    #[default]
+    Block,
+    /// Drop the incoming record and count it (lossy; inference latency is
+    /// protected at the cost of telemetry completeness).
+    DropNewest,
+}
+
+/// Tuning for a [`ChannelSink`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelSinkConfig {
+    /// Bounded-channel capacity in records.
+    pub capacity: usize,
+    /// Flush the pending batch once it holds this many records.
+    pub batch_records: usize,
+    /// ... or once it holds this many (approximate serialized) bytes,
+    /// whichever triggers first.
+    pub batch_bytes: u64,
+    /// Behavior when the channel is full.
+    pub overflow: OverflowPolicy,
+}
+
+impl Default for ChannelSinkConfig {
+    fn default() -> Self {
+        ChannelSinkConfig {
+            capacity: 1024,
+            batch_records: 64,
+            batch_bytes: 256 * 1024,
+            overflow: OverflowPolicy::Block,
+        }
+    }
+}
+
+/// Backpressure and batching accounting of a [`ChannelSink`] — the
+/// "telemetry overhead" side of the Table-2 storage metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SinkBackpressure {
+    /// Records successfully enqueued to the writer thread.
+    pub enqueued: u64,
+    /// Records dropped (channel full under [`OverflowPolicy::DropNewest`],
+    /// or write attempted after close).
+    pub dropped: u64,
+    /// Enqueues that found the channel full and had to block
+    /// ([`OverflowPolicy::Block`] only) — each is hot-path latency paid for
+    /// losslessness.
+    pub blocked: u64,
+    /// Batches handed to the underlying sink.
+    pub batches: u64,
+    /// Records persisted through those batches.
+    pub persisted: u64,
+}
+
+#[derive(Debug, Default)]
+struct BackpressureCounters {
+    enqueued: AtomicU64,
+    dropped: AtomicU64,
+    blocked: AtomicU64,
+    batches: AtomicU64,
+    persisted: AtomicU64,
+}
+
+impl BackpressureCounters {
+    fn snapshot(&self) -> SinkBackpressure {
+        SinkBackpressure {
+            enqueued: self.enqueued.load(Ordering::Acquire),
+            dropped: self.dropped.load(Ordering::Acquire),
+            blocked: self.blocked.load(Ordering::Acquire),
+            batches: self.batches.load(Ordering::Acquire),
+            persisted: self.persisted.load(Ordering::Acquire),
+        }
+    }
+}
+
+enum Msg {
+    Record(LogRecord),
+    Flush(SyncSender<()>),
+    Close,
+}
+
+/// Moves [`LogRecord`]s off the inference thread: `write` pushes onto a
+/// bounded channel, and a background writer thread drains it into the
+/// wrapped sink in size-/count-triggered batches. See the module docs for
+/// the flush/close drain protocol.
+pub struct ChannelSink {
+    tx: SyncSender<Msg>,
+    worker: Mutex<Option<JoinHandle<()>>>,
+    counters: Arc<BackpressureCounters>,
+    inner: Arc<dyn LogSink>,
+    closed: AtomicBool,
+    /// Writers send while holding this read-side; `close` sets `closed`,
+    /// then takes the write side before emitting the `Close` sentinel. That
+    /// ordering guarantees every successfully enqueued record sits *ahead*
+    /// of `Close` in the FIFO channel, so the writer thread persists it —
+    /// a write racing `close` is either persisted or counted dropped, never
+    /// enqueued-then-destroyed.
+    close_gate: parking_lot::RwLock<()>,
+    overflow: OverflowPolicy,
+}
+
+impl std::fmt::Debug for ChannelSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChannelSink")
+            .field("stats", &self.counters.snapshot())
+            .field("closed", &self.closed.load(Ordering::Acquire))
+            .finish_non_exhaustive()
+    }
+}
+
+impl ChannelSink {
+    /// Spawns the writer thread over `inner` with the given tuning.
+    pub fn new(inner: Arc<dyn LogSink>, config: ChannelSinkConfig) -> Self {
+        let (tx, rx) = mpsc::sync_channel::<Msg>(config.capacity.max(1));
+        let counters = Arc::new(BackpressureCounters::default());
+        let worker_inner = inner.clone();
+        let worker_counters = counters.clone();
+        let batch_records = config.batch_records.max(1);
+        let batch_bytes = config.batch_bytes.max(1);
+        let worker = std::thread::Builder::new()
+            .name("mlexray-log-writer".into())
+            .spawn(move || {
+                let mut batch: Vec<LogRecord> = Vec::with_capacity(batch_records);
+                let mut pending_bytes = 0u64;
+                let flush_batch = |batch: &mut Vec<LogRecord>, pending_bytes: &mut u64| {
+                    if batch.is_empty() {
+                        return;
+                    }
+                    let records = std::mem::take(batch);
+                    worker_counters
+                        .persisted
+                        .fetch_add(records.len() as u64, Ordering::AcqRel);
+                    worker_counters.batches.fetch_add(1, Ordering::AcqRel);
+                    worker_inner.write_batch(records);
+                    *pending_bytes = 0;
+                };
+                loop {
+                    match rx.recv() {
+                        Ok(Msg::Record(record)) => {
+                            pending_bytes += record.byte_size();
+                            batch.push(record);
+                            if batch.len() >= batch_records || pending_bytes >= batch_bytes {
+                                flush_batch(&mut batch, &mut pending_bytes);
+                            }
+                        }
+                        Ok(Msg::Flush(ack)) => {
+                            flush_batch(&mut batch, &mut pending_bytes);
+                            let _ = worker_inner.flush();
+                            let _ = ack.send(());
+                        }
+                        Ok(Msg::Close) | Err(_) => {
+                            // Drain records that raced past the Close
+                            // sentinel (a writer that loaded `closed ==
+                            // false` just before close() swapped it): they
+                            // were counted as enqueued, so persist them.
+                            while let Ok(msg) = rx.try_recv() {
+                                match msg {
+                                    Msg::Record(record) => {
+                                        pending_bytes += record.byte_size();
+                                        batch.push(record);
+                                    }
+                                    Msg::Flush(ack) => {
+                                        let _ = ack.send(());
+                                    }
+                                    Msg::Close => {}
+                                }
+                            }
+                            flush_batch(&mut batch, &mut pending_bytes);
+                            let _ = worker_inner.flush();
+                            break;
+                        }
+                    }
+                }
+            })
+            .expect("spawn log-writer thread");
+        ChannelSink {
+            tx,
+            worker: Mutex::new(Some(worker)),
+            counters,
+            inner,
+            closed: AtomicBool::new(false),
+            close_gate: parking_lot::RwLock::new(()),
+            overflow: config.overflow,
+        }
+    }
+
+    /// Convenience: an async batched JSONL file sink.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExrayError::Io`] on filesystem failures.
+    pub fn jsonl(path: &Path, config: ChannelSinkConfig) -> Result<Self> {
+        Ok(ChannelSink::new(
+            Arc::new(JsonlFileSink::create(path)?),
+            config,
+        ))
+    }
+
+    /// The wrapped sink.
+    pub fn inner(&self) -> &Arc<dyn LogSink> {
+        &self.inner
+    }
+
+    /// Current backpressure accounting.
+    pub fn stats(&self) -> SinkBackpressure {
+        self.counters.snapshot()
+    }
+
+    /// Blocks until every record enqueued before this call is persisted to
+    /// the underlying sink (and the underlying sink is flushed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExrayError::Format`] if the sink is already closed.
+    pub fn flush(&self) -> Result<()> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(ExrayError::Format("flush after close".into()));
+        }
+        let (ack_tx, ack_rx) = mpsc::sync_channel::<()>(1);
+        self.tx
+            .send(Msg::Flush(ack_tx))
+            .map_err(|_| ExrayError::Format("log-writer thread gone".into()))?;
+        ack_rx
+            .recv()
+            .map_err(|_| ExrayError::Format("log-writer thread gone".into()))
+    }
+
+    /// Drains outstanding records, stops the writer thread and returns the
+    /// final accounting. Safe to call more than once; later calls just
+    /// return the (frozen) stats. Writes racing with or arriving after
+    /// `close` are either persisted (enqueued before the close sentinel) or
+    /// counted as dropped — the accounting stays exact either way.
+    pub fn close(&self) -> SinkBackpressure {
+        if !self.closed.swap(true, Ordering::AcqRel) {
+            // Wait for in-flight writes before emitting the sentinel: any
+            // record a racing writer managed to enqueue is now ahead of
+            // `Close` in the channel, so the worker persists it. (Blocked
+            // writers inside the gate still drain — the worker keeps
+            // consuming until it sees `Close`.)
+            drop(self.close_gate.write());
+            let _ = self.tx.send(Msg::Close);
+            if let Some(handle) = self.worker.lock().take() {
+                let _ = handle.join();
+            }
+        }
+        self.counters.snapshot()
+    }
+}
+
+impl Drop for ChannelSink {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+impl LogSink for ChannelSink {
+    fn write(&self, record: LogRecord) {
+        // Take the gate *before* the closed check: close() sets the flag and
+        // then waits on the gate's write side, so inside the guard either
+        // the flag is visibly set (drop, counted) or the send lands before
+        // the Close sentinel (persisted).
+        let _in_flight = self.close_gate.read();
+        if self.closed.load(Ordering::Acquire) {
+            self.counters.dropped.fetch_add(1, Ordering::AcqRel);
+            return;
+        }
+        match self.tx.try_send(Msg::Record(record)) {
+            Ok(()) => {
+                self.counters.enqueued.fetch_add(1, Ordering::AcqRel);
+            }
+            Err(TrySendError::Full(msg)) => match self.overflow {
+                OverflowPolicy::Block => {
+                    self.counters.blocked.fetch_add(1, Ordering::AcqRel);
+                    if self.tx.send(msg).is_ok() {
+                        self.counters.enqueued.fetch_add(1, Ordering::AcqRel);
+                    } else {
+                        self.counters.dropped.fetch_add(1, Ordering::AcqRel);
+                    }
+                }
+                OverflowPolicy::DropNewest => {
+                    self.counters.dropped.fetch_add(1, Ordering::AcqRel);
+                }
+            },
+            Err(TrySendError::Disconnected(_)) => {
+                self.counters.dropped.fetch_add(1, Ordering::AcqRel);
+            }
+        }
+    }
+
+    /// Bytes the *underlying* sink has persisted so far; records still in
+    /// flight on the channel are not yet counted.
+    fn bytes_written(&self) -> u64 {
+        self.inner.bytes_written()
+    }
+
+    fn flush(&self) -> Result<()> {
+        ChannelSink::flush(self)
+    }
 }
 
 #[cfg(test)]
@@ -184,6 +584,43 @@ mod tests {
         let drained = sink.drain();
         assert_eq!(drained.len(), 2);
         assert!(sink.is_empty());
+        assert_eq!(sink.bytes_written(), 0);
+    }
+
+    #[test]
+    fn memory_sink_len_and_bytes_stay_consistent_under_contention() {
+        // Regression: `records` and `bytes` used to live behind two
+        // independent mutexes, so a reader could observe bytes for a record
+        // that was not yet pushed. With fixed-size records, any consistent
+        // snapshot must satisfy bytes == len * record_size exactly.
+        let sink = Arc::new(MemorySink::new());
+        let record_size = rec(0).byte_size();
+        let writers = 4;
+        let per_writer = 500;
+        std::thread::scope(|scope| {
+            for _ in 0..writers {
+                let sink = sink.clone();
+                scope.spawn(move || {
+                    for i in 0..per_writer {
+                        sink.write(rec(i));
+                    }
+                });
+            }
+            let sink = sink.clone();
+            scope.spawn(move || {
+                for _ in 0..2000 {
+                    let (len, bytes) = sink.len_and_bytes();
+                    assert_eq!(
+                        bytes,
+                        len as u64 * record_size,
+                        "records/bytes observed out of sync"
+                    );
+                }
+            });
+        });
+        let (len, bytes) = sink.len_and_bytes();
+        assert_eq!(len, writers * per_writer as usize);
+        assert_eq!(bytes, len as u64 * record_size);
     }
 
     #[test]
@@ -206,5 +643,127 @@ mod tests {
         tee.write(rec(0));
         assert_eq!(tee.first().len(), 1);
         assert_eq!(tee.second().len(), 1);
+    }
+
+    #[test]
+    fn channel_sink_batches_and_drains_on_close() {
+        let inner = Arc::new(MemorySink::new());
+        let sink = ChannelSink::new(
+            inner.clone(),
+            ChannelSinkConfig {
+                capacity: 8,
+                batch_records: 4,
+                ..Default::default()
+            },
+        );
+        for i in 0..10 {
+            sink.write(rec(i));
+        }
+        let stats = sink.close();
+        assert_eq!(stats.enqueued, 10);
+        assert_eq!(stats.dropped, 0);
+        assert_eq!(stats.persisted, 10);
+        // 10 records at batch_records=4 need at least ceil(10/4) = 3 batches,
+        // but the writer may have drained eagerly into smaller batches.
+        assert!(stats.batches >= 3, "{stats:?}");
+        assert_eq!(inner.len(), 10);
+    }
+
+    #[test]
+    fn channel_sink_flush_makes_records_visible() {
+        let inner = Arc::new(MemorySink::new());
+        let sink = ChannelSink::new(
+            inner.clone(),
+            ChannelSinkConfig {
+                batch_records: 1_000_000, // never trigger a count flush
+                batch_bytes: u64::MAX,
+                ..Default::default()
+            },
+        );
+        sink.write(rec(0));
+        sink.write(rec(1));
+        sink.flush().unwrap();
+        assert_eq!(inner.len(), 2);
+        sink.close();
+    }
+
+    #[test]
+    fn channel_sink_counts_writes_after_close_as_dropped() {
+        let inner = Arc::new(MemorySink::new());
+        let sink = ChannelSink::new(inner.clone(), ChannelSinkConfig::default());
+        sink.close();
+        sink.write(rec(0));
+        sink.write(rec(1));
+        let stats = sink.stats();
+        assert_eq!(stats.dropped, 2);
+        assert_eq!(stats.enqueued, 0);
+        assert_eq!(inner.len(), 0);
+    }
+
+    #[test]
+    fn channel_sink_drop_newest_sheds_when_full() {
+        /// Forwards to a memory sink, but only while the gate is unlocked —
+        /// holding the gate stalls the writer thread so the bounded channel
+        /// fills deterministically.
+        struct GatedSink {
+            gate: Mutex<()>,
+            inner: MemorySink,
+        }
+        impl LogSink for GatedSink {
+            fn write(&self, record: LogRecord) {
+                let _gate = self.gate.lock();
+                self.inner.write(record);
+            }
+            fn bytes_written(&self) -> u64 {
+                self.inner.bytes_written()
+            }
+        }
+
+        let gated = Arc::new(GatedSink {
+            gate: Mutex::new(()),
+            inner: MemorySink::new(),
+        });
+        let sink = ChannelSink::new(
+            gated.clone(),
+            ChannelSinkConfig {
+                capacity: 2,
+                batch_records: 1,
+                overflow: OverflowPolicy::DropNewest,
+                ..Default::default()
+            },
+        );
+        let writes = 6u64;
+        {
+            let _stall = gated.gate.lock();
+            // Give the writer time to dequeue at most one record; then at
+            // most 2 (channel) + 1 (in the writer's hands) of these fit.
+            for i in 0..writes {
+                sink.write(rec(i));
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            let stats = sink.stats();
+            assert!(stats.dropped >= writes - 3, "{stats:?}");
+            assert_eq!(stats.enqueued + stats.dropped, writes, "{stats:?}");
+            assert_eq!(stats.blocked, 0, "DropNewest must never block");
+        }
+        let stats = sink.close();
+        assert_eq!(stats.persisted, stats.enqueued, "{stats:?}");
+        assert_eq!(gated.inner.len() as u64, stats.enqueued);
+    }
+
+    #[test]
+    fn channel_sink_jsonl_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("mlexray-chsink-{}", std::process::id()));
+        let path = dir.join("async.jsonl");
+        let sink = ChannelSink::jsonl(&path, ChannelSinkConfig::default()).unwrap();
+        for i in 0..5 {
+            sink.write(rec(i));
+        }
+        let stats = sink.close();
+        assert_eq!(stats.persisted, 5);
+        let back = JsonlFileSink::read(&path).unwrap();
+        assert_eq!(back.len(), 5);
+        assert!(sink.bytes_written() > 0);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -15,4 +15,7 @@ pub use assertions::{
 };
 pub use drift::{first_drift_jump, layers_above, per_layer_drift, LayerDrift};
 pub use latency::{compare_layer_latency, per_layer_latency, stragglers, LayerLatency};
-pub use report::{AccuracyComparison, DeploymentValidator, ValidationReport, Verdict};
+pub use report::{
+    AccuracyComparison, DecisionTally, DeploymentValidator, ShardValidation, ValidationReport,
+    Verdict,
+};

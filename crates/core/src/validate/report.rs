@@ -1,6 +1,15 @@
 //! The Figure-2 deployment-validation flow: accuracy match → per-layer
 //! scrutiny → root-cause assertions, producing a single report.
+//!
+//! Reports come in two granularities: [`DeploymentValidator::validate`]
+//! produces one [`ValidationReport`] over a full pair of log sets, while
+//! the sharded replay engine ([`crate::replay`]) validates each frame shard
+//! independently ([`DeploymentValidator::validate_shard`]) and merges the
+//! per-shard results deterministically
+//! ([`DeploymentValidator::merge_shards`]): the merged report depends only
+//! on the shard partition, never on worker count or thread interleaving.
 
+use std::collections::HashMap;
 use std::fmt;
 
 use crate::log::LogSet;
@@ -167,17 +176,7 @@ impl DeploymentValidator {
             .unwrap_or(false);
 
         let drift = per_layer_drift(edge, reference);
-        let mut suspect_layers: Vec<String> = layers_above(&drift, self.drift_threshold)
-            .iter()
-            .map(|d| d.layer_name().to_string())
-            .collect();
-        if suspect_layers.is_empty() {
-            if let Some(jump) = first_drift_jump(&drift, 5.0) {
-                if jump.mean_nrmse > self.drift_threshold / 3.0 {
-                    suspect_layers.push(jump.layer_name().to_string());
-                }
-            }
-        }
+        let suspect_layers = self.suspect_layers(&drift);
 
         let ctx = ValidationContext { edge, reference };
         let outcomes: Vec<AssertionOutcome> =
@@ -195,6 +194,218 @@ impl DeploymentValidator {
             suspect_layers,
             outcomes,
             verdict,
+        }
+    }
+
+    /// The suspect-layer heuristic of the Fig. 2 flow: layers over the
+    /// drift threshold, falling back to the first drift *jump* (§3.4) when
+    /// nothing crosses it outright. Shared by [`Self::validate`] and
+    /// [`Self::merge_shards`] so sharded and unsharded reports can never
+    /// diverge on suspects.
+    fn suspect_layers(&self, drift: &[LayerDrift]) -> Vec<String> {
+        let mut suspects: Vec<String> = layers_above(drift, self.drift_threshold)
+            .iter()
+            .map(|d| d.layer_name().to_string())
+            .collect();
+        if suspects.is_empty() {
+            if let Some(jump) = first_drift_jump(drift, 5.0) {
+                if jump.mean_nrmse > self.drift_threshold / 3.0 {
+                    suspects.push(jump.layer_name().to_string());
+                }
+            }
+        }
+        suspects
+    }
+}
+
+/// Labelled-decision tallies of one pipeline over one shard — the mergeable
+/// form of an accuracy figure (a plain mean of shard accuracies would weight
+/// small shards too heavily).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DecisionTally {
+    /// Decisions whose prediction matched the label.
+    pub correct: u64,
+    /// Decisions carrying a ground-truth label.
+    pub labelled: u64,
+}
+
+impl DecisionTally {
+    /// Tallies the labelled decisions of a log set.
+    pub fn of(logs: &LogSet) -> Self {
+        let mut tally = DecisionTally::default();
+        for (_, predicted, label) in logs.decisions() {
+            if let Some(label) = label {
+                tally.labelled += 1;
+                if predicted == label {
+                    tally.correct += 1;
+                }
+            }
+        }
+        tally
+    }
+
+    /// Top-1 accuracy, or `None` without labelled decisions.
+    pub fn accuracy(&self) -> Option<f32> {
+        (self.labelled > 0).then(|| self.correct as f32 / self.labelled as f32)
+    }
+
+    fn add(&mut self, other: DecisionTally) {
+        self.correct += other.correct;
+        self.labelled += other.labelled;
+    }
+}
+
+/// The validation result of one frame shard, carrying everything the
+/// deterministic merge needs (tallies and weighted drift rather than only
+/// the shard-local means).
+#[derive(Debug, Clone)]
+pub struct ShardValidation {
+    /// Global index of the shard's first frame.
+    pub start_frame: u64,
+    /// Number of frames the shard covers.
+    pub frames: u64,
+    /// Edge-side decision tallies.
+    pub edge_decisions: DecisionTally,
+    /// Reference-side decision tallies.
+    pub reference_decisions: DecisionTally,
+    /// The shard-local report (assertions ran against this shard's frames
+    /// only).
+    pub report: ValidationReport,
+}
+
+struct DriftAccumulator {
+    index: usize,
+    key: String,
+    weighted_sum: f64,
+    max_nrmse: f32,
+    frames: usize,
+}
+
+impl DeploymentValidator {
+    /// Validates one shard's (shard-local) log pair, producing the mergeable
+    /// per-shard result the sharded replay engine collects.
+    pub fn validate_shard(
+        &self,
+        start_frame: u64,
+        edge: &LogSet,
+        reference: &LogSet,
+    ) -> ShardValidation {
+        let report = self.validate(edge, reference);
+        ShardValidation {
+            start_frame,
+            frames: edge.frame_count().max(reference.frame_count()),
+            edge_decisions: DecisionTally::of(edge),
+            reference_decisions: DecisionTally::of(reference),
+            report,
+        }
+    }
+
+    /// Merges per-shard validations into one report, deterministically:
+    /// shards are ordered by `start_frame` before merging, so the result is
+    /// a pure function of the shard partition — byte-identical however many
+    /// workers produced the shards and however their execution interleaved.
+    ///
+    /// Merge rules: accuracies re-aggregate from decision tallies; per-layer
+    /// drift means are frame-weighted; an assertion fails overall if it
+    /// failed in *any* shard (its diagnostic cites the first failing shard),
+    /// passes if it ran anywhere without failing, and is skipped only if
+    /// every shard skipped it.
+    pub fn merge_shards(&self, shards: &[ShardValidation]) -> ValidationReport {
+        let mut ordered: Vec<&ShardValidation> = shards.iter().collect();
+        ordered.sort_by_key(|s| s.start_frame);
+
+        let mut edge_tally = DecisionTally::default();
+        let mut reference_tally = DecisionTally::default();
+        let mut drift_order: Vec<String> = Vec::new();
+        let mut drift_acc: HashMap<String, DriftAccumulator> = HashMap::new();
+        let mut outcome_order: Vec<String> = Vec::new();
+        let mut outcomes: HashMap<String, AssertionOutcome> = HashMap::new();
+
+        for shard in &ordered {
+            edge_tally.add(shard.edge_decisions);
+            reference_tally.add(shard.reference_decisions);
+            for d in &shard.report.drift {
+                let acc = drift_acc.entry(d.key.clone()).or_insert_with(|| {
+                    drift_order.push(d.key.clone());
+                    DriftAccumulator {
+                        index: d.index,
+                        key: d.key.clone(),
+                        weighted_sum: 0.0,
+                        max_nrmse: 0.0,
+                        frames: 0,
+                    }
+                });
+                acc.weighted_sum += d.mean_nrmse as f64 * d.frames as f64;
+                acc.max_nrmse = acc.max_nrmse.max(d.max_nrmse);
+                acc.frames += d.frames;
+            }
+            for o in &shard.report.outcomes {
+                let rank = |s: AssertionStatus| match s {
+                    AssertionStatus::Fail => 2,
+                    AssertionStatus::Pass => 1,
+                    AssertionStatus::Skipped => 0,
+                };
+                // Cite the failing shard whenever there is more than one —
+                // including when the failing shard is the first to register
+                // this assertion.
+                let cited = |o: &AssertionOutcome| {
+                    let mut out = o.clone();
+                    if o.status == AssertionStatus::Fail && shards.len() > 1 {
+                        out.detail = format!("shard@{}: {}", shard.start_frame, o.detail);
+                    }
+                    out
+                };
+                match outcomes.get_mut(&o.name) {
+                    None => {
+                        outcome_order.push(o.name.clone());
+                        outcomes.insert(o.name.clone(), cited(o));
+                    }
+                    Some(merged) if rank(o.status) > rank(merged.status) => {
+                        *merged = cited(o);
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+
+        let drift: Vec<LayerDrift> = drift_order
+            .iter()
+            .map(|key| {
+                let acc = &drift_acc[key];
+                LayerDrift {
+                    index: acc.index,
+                    key: acc.key.clone(),
+                    mean_nrmse: (acc.weighted_sum / acc.frames.max(1) as f64) as f32,
+                    max_nrmse: acc.max_nrmse,
+                    frames: acc.frames,
+                }
+            })
+            .collect();
+        let suspect_layers = self.suspect_layers(&drift);
+
+        let accuracy = AccuracyComparison {
+            edge: edge_tally.accuracy(),
+            reference: reference_tally.accuracy(),
+        };
+        let degraded_accuracy = accuracy
+            .drop()
+            .map(|d| d > self.accuracy_tolerance)
+            .unwrap_or(false);
+        let outcomes: Vec<AssertionOutcome> = outcome_order
+            .iter()
+            .map(|name| outcomes[name].clone())
+            .collect();
+        let any_failed = outcomes.iter().any(|o| o.status == AssertionStatus::Fail);
+        ValidationReport {
+            accuracy,
+            drift,
+            suspect_layers,
+            outcomes,
+            verdict: if degraded_accuracy || any_failed {
+                Verdict::Degraded
+            } else {
+                Verdict::Healthy
+            },
         }
     }
 }
@@ -238,6 +449,67 @@ mod tests {
         assert_eq!(report.verdict, Verdict::Degraded);
         let text = report.to_string();
         assert!(text.contains("drop"), "{text}");
+    }
+
+    #[test]
+    fn merge_shards_reaggregates_accuracy_from_tallies() {
+        let v = DeploymentValidator::new();
+        // Shard sizes differ: a naive mean of shard accuracies would give
+        // (1.0 + 0.0) / 2 = 0.5; the tally-weighted truth is 8/10.
+        let big = v.validate_shard(0, &decisions(8, 8), &decisions(8, 8));
+        let small = v.validate_shard(8, &decisions(0, 2), &decisions(0, 2));
+        let merged = v.merge_shards(&[small, big]);
+        assert_eq!(merged.accuracy.edge, Some(0.8));
+        assert_eq!(merged.accuracy.drop(), Some(0.0));
+        assert_eq!(merged.verdict, Verdict::Healthy);
+    }
+
+    #[test]
+    fn merge_shards_is_order_independent() {
+        let v = DeploymentValidator::new();
+        let a = v.validate_shard(0, &decisions(3, 4), &decisions(4, 4));
+        let b = v.validate_shard(4, &decisions(1, 4), &decisions(4, 4));
+        let forward = v.merge_shards(&[a.clone(), b.clone()]);
+        let backward = v.merge_shards(&[b, a]);
+        assert_eq!(forward.to_string(), backward.to_string());
+        // 4/8 vs 8/8 is a 0.5 drop: degraded.
+        assert_eq!(forward.verdict, Verdict::Degraded);
+    }
+
+    #[test]
+    fn merge_shards_fail_dominates_and_cites_shard() {
+        use crate::validate::assertions::FnAssertion;
+        let v = DeploymentValidator::empty();
+        let fail_report = |start: u64, fails: bool| {
+            let validator = DeploymentValidator::empty().with_assertion(FnAssertion::new(
+                "domain",
+                move |_| {
+                    if fails {
+                        FnAssertion::failed("domain", "tripped")
+                    } else {
+                        FnAssertion::passed("domain", "ok")
+                    }
+                },
+            ));
+            validator.validate_shard(start, &decisions(1, 1), &decisions(1, 1))
+        };
+        let merged = v.merge_shards(&[fail_report(0, false), fail_report(4, true)]);
+        assert_eq!(merged.outcomes.len(), 1);
+        assert_eq!(merged.outcomes[0].status, AssertionStatus::Fail);
+        assert!(
+            merged.outcomes[0].detail.contains("shard@4"),
+            "{}",
+            merged.outcomes[0].detail
+        );
+        assert_eq!(merged.verdict, Verdict::Degraded);
+        // The citation must also appear when the *first* shard to register
+        // the assertion is the failing one.
+        let merged = v.merge_shards(&[fail_report(0, true), fail_report(4, false)]);
+        assert!(
+            merged.outcomes[0].detail.contains("shard@0"),
+            "{}",
+            merged.outcomes[0].detail
+        );
     }
 
     #[test]

@@ -1,0 +1,206 @@
+//! Integration coverage for the new concurrency surface: the sharded
+//! replay-validate engine's determinism guarantee and the `ChannelSink`'s
+//! losslessness under multi-writer contention.
+
+use std::sync::Arc;
+
+use mlexray_core::{
+    replay_sharded, replay_sharded_to_sink, replay_validate_sharded, ChannelSink,
+    ChannelSinkConfig, DeploymentValidator, ImagePipeline, LabeledFrame, LogRecord, LogSink,
+    LogValue, MemorySink, MonitorConfig, ReferencePipeline, ReplayOptions,
+};
+use mlexray_nn::{Activation, GraphBuilder, Model, Padding};
+use mlexray_preprocess::{Image, ImagePreprocessConfig};
+use mlexray_tensor::{Shape, Tensor};
+
+fn tiny_model() -> Model {
+    let mut b = GraphBuilder::new("tiny");
+    let x = b.input("image", Shape::nhwc(1, 6, 6, 3));
+    let w = b.constant("w", Tensor::filled_f32(Shape::new(vec![4, 3, 3, 3]), 0.11));
+    let c = b
+        .conv2d("conv", x, w, None, 1, Padding::Same, Activation::Relu)
+        .unwrap();
+    let m = b.mean("gap", c).unwrap();
+    let s = b.softmax("softmax", m).unwrap();
+    b.output(s);
+    Model::checkpoint(b.finish().unwrap(), "tiny")
+}
+
+fn frames(n: usize) -> Vec<LabeledFrame> {
+    (0..n)
+        .map(|i| {
+            let rgb = [
+                (i * 23 % 256) as u8,
+                (i * 91 % 256) as u8,
+                (255 - i * 17 % 256) as u8,
+            ];
+            LabeledFrame::new(Image::solid(12, 12, rgb), Some(i % 4))
+        })
+        .collect()
+}
+
+fn pipeline() -> ImagePipeline {
+    ImagePipeline::new(tiny_model(), ImagePreprocessConfig::mobilenet_style(6, 6))
+}
+
+/// Strips wall-clock-dependent records so log sets from different runs can
+/// be compared for semantic equality.
+fn deterministic_records(records: &[LogRecord]) -> Vec<LogRecord> {
+    records
+        .iter()
+        .filter(|r| !r.key.ends_with("latency_ns"))
+        .cloned()
+        .collect()
+}
+
+#[test]
+fn sharded_replay_matches_worker_counts_and_frame_order() {
+    let pipeline = pipeline();
+    let frames = frames(13);
+    let mut baseline: Option<Vec<LogRecord>> = None;
+    for workers in [1usize, 2, 4] {
+        let options = ReplayOptions {
+            workers,
+            shard_frames: 3,
+            ..Default::default()
+        };
+        let (logs, stats) = replay_sharded(&pipeline, &frames, &options).unwrap();
+        assert_eq!(logs.frame_count(), 13);
+        assert_eq!(stats.frames, 13);
+        assert_eq!(stats.shards, 5);
+        // Merged records must be globally frame-ordered regardless of which
+        // worker replayed which shard.
+        let frames_seen: Vec<u64> = logs.records().iter().map(|r| r.frame).collect();
+        let mut sorted = frames_seen.clone();
+        sorted.sort();
+        assert_eq!(frames_seen, sorted, "workers={workers}");
+        let stripped = deterministic_records(logs.records());
+        match &baseline {
+            None => baseline = Some(stripped),
+            Some(expected) => assert_eq!(expected, &stripped, "workers={workers}"),
+        }
+    }
+}
+
+#[test]
+fn sharded_validation_report_is_identical_across_worker_counts() {
+    let pipeline = pipeline();
+    let reference = ReferencePipeline::with_optimized_kernels(
+        tiny_model(),
+        ImagePreprocessConfig::mobilenet_style(6, 6),
+    );
+    let validator = DeploymentValidator::new();
+    let frames = frames(10);
+    let mut rendered: Option<String> = None;
+    for workers in [1usize, 2, 4] {
+        let options = ReplayOptions {
+            workers,
+            shard_frames: 4,
+            ..Default::default()
+        };
+        let result =
+            replay_validate_sharded(&pipeline, &reference, &frames, &validator, &options).unwrap();
+        assert_eq!(result.shards.len(), 3);
+        assert_eq!(result.edge_logs.frame_count(), 10);
+        let text = result.report.to_string();
+        match &rendered {
+            None => rendered = Some(text),
+            Some(expected) => assert_eq!(
+                expected, &text,
+                "merged report must be byte-identical at workers={workers}"
+            ),
+        }
+    }
+}
+
+#[test]
+fn sharded_replay_propagates_worker_errors() {
+    // A pipeline whose preprocess target mismatches the model input shape
+    // fails inside the workers; the error must surface, not hang the queue.
+    let broken = ImagePipeline::new(tiny_model(), ImagePreprocessConfig::mobilenet_style(5, 5));
+    let err = replay_sharded(&broken, &frames(8), &ReplayOptions::with_workers(2));
+    assert!(err.is_err());
+}
+
+#[test]
+fn channel_sink_loses_nothing_under_multiwriter_contention() {
+    let inner = Arc::new(MemorySink::new());
+    let sink = Arc::new(ChannelSink::new(
+        inner.clone(),
+        ChannelSinkConfig {
+            capacity: 16, // small on purpose: force blocking backpressure
+            batch_records: 8,
+            ..Default::default()
+        },
+    ));
+    let writers = 8usize;
+    let per_writer = 400u64;
+    std::thread::scope(|scope| {
+        for w in 0..writers {
+            let sink = sink.clone();
+            scope.spawn(move || {
+                for i in 0..per_writer {
+                    sink.write(LogRecord {
+                        frame: w as u64 * per_writer + i,
+                        key: format!("writer/{w}"),
+                        value: LogValue::Scalar(i as f64),
+                    });
+                }
+            });
+        }
+    });
+    let stats = sink.close();
+    let expected = writers as u64 * per_writer;
+    assert_eq!(stats.enqueued, expected);
+    assert_eq!(stats.dropped, 0);
+    assert_eq!(stats.persisted, expected);
+    // Every record made it through exactly once: no loss, no duplication.
+    let records = inner.snapshot();
+    assert_eq!(records.len(), expected as usize);
+    let mut seen: Vec<u64> = records.iter().map(|r| r.frame).collect();
+    seen.sort();
+    seen.dedup();
+    assert_eq!(seen.len(), expected as usize, "duplicated records detected");
+}
+
+#[test]
+fn sharded_replay_streams_through_channel_sink() {
+    let pipeline = pipeline();
+    let frames = frames(9);
+    let inner = Arc::new(MemorySink::new());
+    let sink = Arc::new(ChannelSink::new(
+        inner.clone(),
+        ChannelSinkConfig {
+            capacity: 8,
+            batch_records: 4,
+            ..Default::default()
+        },
+    ));
+    let options = ReplayOptions {
+        workers: 3,
+        shard_frames: 2,
+        monitor: MonitorConfig::runtime(),
+        ..Default::default()
+    };
+    let stats = replay_sharded_to_sink(
+        &pipeline,
+        &frames,
+        &options,
+        sink.clone() as Arc<dyn LogSink>,
+    )
+    .unwrap();
+    assert_eq!(stats.frames, 9);
+    let sink_stats = sink.close();
+    assert_eq!(sink_stats.dropped, 0);
+    assert_eq!(sink_stats.enqueued, sink_stats.persisted);
+    // All 9 frames are represented in the persisted stream, each exactly
+    // once per record key (runtime config logs latency + decision per frame).
+    let records = inner.snapshot();
+    let mut decision_frames: Vec<u64> = records
+        .iter()
+        .filter(|r| r.key == mlexray_core::KEY_DECISION)
+        .map(|r| r.frame)
+        .collect();
+    decision_frames.sort();
+    assert_eq!(decision_frames, (0..9).collect::<Vec<u64>>());
+}

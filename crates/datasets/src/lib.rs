@@ -26,6 +26,7 @@ pub mod synth_image;
 pub mod synth_text;
 
 pub use error::DatasetError;
+pub use playback::{InMemoryPlayback, PlaybackSource, SdCard};
 
 /// Result alias used throughout the datasets crate.
 pub type Result<T> = std::result::Result<T, DatasetError>;

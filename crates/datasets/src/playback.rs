@@ -7,6 +7,7 @@
 //! the reference pipeline, guaranteeing the two see byte-identical input.
 
 use std::fs;
+use std::ops::Range;
 use std::path::{Path, PathBuf};
 
 use serde::{Deserialize, Serialize};
@@ -15,6 +16,101 @@ use mlexray_preprocess::{ChannelOrder, Image};
 
 use crate::synth_image::LabeledImage;
 use crate::{DatasetError, Result};
+
+/// A playback source the sharded replay engine can partition: random access
+/// by frame index, cheap to clone (workers each hold their own handle), and
+/// safe to read from many threads at once.
+///
+/// Implementations must be *deterministic*: two reads of the same index —
+/// from any thread, in any order — return the same frame. That property is
+/// what lets per-worker shards merge into a byte-identical replay.
+pub trait PlaybackSource: Clone + Send + Sync {
+    /// Number of stored frames (contiguous from 0).
+    fn frame_count(&self) -> usize;
+
+    /// Reads the frame at `index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a dataset error for missing or corrupted frames.
+    fn read_frame(&self, index: usize) -> Result<LabeledImage>;
+
+    /// Reads a contiguous shard of frames — the unit the replay engine
+    /// hands to one worker.
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-frame failures.
+    fn read_range(&self, range: Range<usize>) -> Result<Vec<LabeledImage>> {
+        range.map(|i| self.read_frame(i)).collect()
+    }
+
+    /// Splits `[0, frame_count)` into contiguous shards of at most
+    /// `shard_frames` frames. The partition depends only on the source
+    /// length, never on who consumes it.
+    fn shards(&self, shard_frames: usize) -> Vec<Range<usize>> {
+        let n = self.frame_count();
+        let size = shard_frames.max(1);
+        (0..n.div_ceil(size))
+            .map(|i| i * size..((i + 1) * size).min(n))
+            .collect()
+    }
+}
+
+/// An in-memory playback source: the whole dataset pinned in RAM, the
+/// zero-I/O counterpart of [`SdCard`] for throughput experiments. Cloning
+/// is cheap once wrapped in [`std::sync::Arc`] by the caller; the raw
+/// struct clones deeply.
+#[derive(Debug, Clone, Default)]
+pub struct InMemoryPlayback {
+    frames: Vec<LabeledImage>,
+}
+
+impl InMemoryPlayback {
+    /// Wraps a frame list.
+    pub fn new(frames: Vec<LabeledImage>) -> Self {
+        InMemoryPlayback { frames }
+    }
+
+    /// Loads every frame of an SD card into memory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-frame read failures.
+    pub fn from_card(card: &SdCard) -> Result<Self> {
+        Ok(InMemoryPlayback {
+            frames: card.read_all()?,
+        })
+    }
+
+    /// The buffered frames.
+    pub fn frames(&self) -> &[LabeledImage] {
+        &self.frames
+    }
+}
+
+impl PlaybackSource for InMemoryPlayback {
+    fn frame_count(&self) -> usize {
+        self.frames.len()
+    }
+
+    fn read_frame(&self, index: usize) -> Result<LabeledImage> {
+        self.frames
+            .get(index)
+            .cloned()
+            .ok_or_else(|| DatasetError::Format(format!("frame {index} out of range")))
+    }
+
+    fn read_range(&self, range: Range<usize>) -> Result<Vec<LabeledImage>> {
+        if range.end > self.frames.len() {
+            return Err(DatasetError::Format(format!(
+                "range {range:?} out of bounds for {} frames",
+                self.frames.len()
+            )));
+        }
+        Ok(self.frames[range].to_vec())
+    }
+}
 
 #[derive(Debug, Serialize, Deserialize)]
 struct FrameMeta {
@@ -140,6 +236,19 @@ impl SdCard {
     }
 }
 
+/// The SD card is itself a shardable source: every worker clones the handle
+/// (a path) and reads its shard's frames independently — concurrent reads
+/// of distinct files never contend.
+impl PlaybackSource for SdCard {
+    fn frame_count(&self) -> usize {
+        SdCard::frame_count(self)
+    }
+
+    fn read_frame(&self, index: usize) -> Result<LabeledImage> {
+        SdCard::read_frame(self, index)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -173,6 +282,51 @@ mod tests {
         let card = temp_card("missing");
         assert!(card.read_frame(0).is_err());
         assert_eq!(card.frame_count(), 0);
+        fs::remove_dir_all(card.dir()).ok();
+    }
+
+    #[test]
+    fn shard_partition_is_consumer_independent() {
+        let source = InMemoryPlayback::new(
+            generate(SynthImageSpec {
+                resolution: 16,
+                count: 10,
+                seed: 3,
+            })
+            .unwrap(),
+        );
+        let shards = source.shards(4);
+        assert_eq!(shards, vec![0..4, 4..8, 8..10]);
+        let covered: usize = shards.iter().map(std::iter::ExactSizeIterator::len).sum();
+        assert_eq!(covered, source.frame_count());
+        // A shard read equals the frame-by-frame reads it covers.
+        let by_range = source.read_range(4..8).unwrap();
+        for (offset, frame) in by_range.iter().enumerate() {
+            assert_eq!(frame, &source.read_frame(4 + offset).unwrap());
+        }
+        assert!(source.read_frame(10).is_err());
+        assert!(source.read_range(8..11).is_err());
+    }
+
+    #[test]
+    fn sdcard_and_memory_sources_agree() {
+        let card = temp_card("source");
+        let data = generate(SynthImageSpec {
+            resolution: 16,
+            count: 5,
+            seed: 9,
+        })
+        .unwrap();
+        card.write_all(&data).unwrap();
+        let memory = InMemoryPlayback::from_card(&card).unwrap();
+        assert_eq!(PlaybackSource::frame_count(&card), memory.frame_count());
+        // Cloned handles read the same frames from any thread.
+        let cloned = card.clone();
+        std::thread::scope(|scope| {
+            let h = scope.spawn(move || cloned.read_range(2..5).unwrap());
+            let direct = memory.read_range(2..5).unwrap();
+            assert_eq!(h.join().unwrap(), direct);
+        });
         fs::remove_dir_all(card.dir()).ok();
     }
 }

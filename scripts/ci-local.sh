@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Reproduces the full CI pipeline locally, in the same order the workflow
+# runs it: lint -> build -> tests -> docs -> offline/vendored invariant ->
+# experiment smoke (with JSON artifacts under target/experiment-artifacts/).
+#
+# Usage: scripts/ci-local.sh [--quick]
+#   --quick   lint + tests only: skip every release build, rustdoc and the
+#             experiment smoke pass
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK=0
+[[ "${1:-}" == "--quick" ]] && QUICK=1
+
+step() { printf '\n==> %s\n' "$*"; }
+
+step "cargo fmt --all --check"
+cargo fmt --all --check
+
+step "cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+step "cargo test -q (tier-1)"
+cargo test -q
+
+if [[ "$QUICK" == "1" ]]; then
+  step "ci-local --quick: lint + tests green"
+  exit 0
+fi
+
+step "cargo build --release"
+cargo build --release
+
+step "cargo build --examples && cargo build --benches -p mlexray-bench"
+cargo build --examples
+cargo build --benches -p mlexray-bench
+
+step "RUSTDOCFLAGS='-D warnings' cargo doc --workspace --no-deps"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+
+step "cargo build --release --locked --offline (vendored-deps invariant)"
+cargo build --release --locked --offline
+
+step "MLEXRAY_QUICK=1 experiment smoke tests"
+MLEXRAY_QUICK=1 cargo test -p mlexray-bench --test experiments_smoke -q
+
+step "ci-local: all green (artifacts in target/experiment-artifacts/)"
