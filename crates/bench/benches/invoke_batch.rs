@@ -1,0 +1,48 @@
+//! Single-invoke vs batched-invoke throughput on the MobileNet zoo model:
+//! the criterion view of the `fig_batching` experiment's acceptance claim
+//! (batch-8 `invoke_batch` ≥ 1.5× eight sequential `invoke`s).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mlexray_models::{full_model, FullFamily};
+use mlexray_nn::{Interpreter, InterpreterOptions};
+use mlexray_tensor::{Shape, Tensor};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const INPUT: usize = 64;
+const BATCH: usize = 8;
+
+fn samples() -> Vec<Vec<Tensor>> {
+    let mut rng = SmallRng::seed_from_u64(11);
+    let shape = Shape::nhwc(1, INPUT, INPUT, 3);
+    (0..BATCH)
+        .map(|_| {
+            let data: Vec<f32> = (0..shape.num_elements())
+                .map(|_| rng.gen_range(-1.0..1.0))
+                .collect();
+            vec![Tensor::from_f32(shape.clone(), data).unwrap()]
+        })
+        .collect()
+}
+
+fn bench_invoke_batch(c: &mut Criterion) {
+    let model = full_model(FullFamily::MobileNetV2, INPUT, 10, 0.5, 7).unwrap();
+    let mut interp = Interpreter::new(&model.graph, InterpreterOptions::optimized()).unwrap();
+    let samples = samples();
+    let refs: Vec<&[Tensor]> = samples.iter().map(Vec::as_slice).collect();
+
+    c.bench_function(&format!("mobilenet_v2/single_x{BATCH}"), |b| {
+        b.iter(|| {
+            for s in &samples {
+                interp.invoke(s).unwrap();
+            }
+        })
+    });
+    c.bench_function(&format!("mobilenet_v2/invoke_batch_{BATCH}"), |b| {
+        b.iter(|| interp.invoke_batch(&refs).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_invoke_batch);
+criterion_main!(benches);

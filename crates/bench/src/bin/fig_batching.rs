@@ -1,0 +1,6 @@
+//! Prints the batching figure: batched in-interpreter inference vs single
+//! invokes on the MobileNet zoo model, plus micro-batched replay throughput.
+fn main() {
+    let scale = mlexray_bench::support::Scale::from_env();
+    println!("{}", mlexray_bench::experiments::fig_batching::run(&scale));
+}

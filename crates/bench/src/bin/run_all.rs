@@ -18,4 +18,8 @@ fn main() {
         mlexray_bench::experiments::table3_5::run_float(&scale)
     );
     println!("{}\n", mlexray_bench::experiments::fig_scaling::run(&scale));
+    println!(
+        "{}\n",
+        mlexray_bench::experiments::fig_batching::run(&scale)
+    );
 }

@@ -7,6 +7,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
+pub mod fig_batching;
 pub mod fig_scaling;
 pub mod table1;
 pub mod table2;

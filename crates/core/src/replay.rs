@@ -25,7 +25,7 @@ use std::time::{Duration, Instant};
 
 use crate::log::{LogRecord, LogSet};
 use crate::monitor::{Monitor, MonitorConfig};
-use crate::pipeline::{ImagePipeline, LabeledFrame};
+use crate::pipeline::{ImagePipeline, ImageRunner, LabeledFrame};
 use crate::reference::ReferencePipeline;
 use crate::sink::LogSink;
 use crate::validate::{DeploymentValidator, ShardValidation, ValidationReport};
@@ -42,6 +42,13 @@ pub struct ReplayOptions {
     pub shard_frames: usize,
     /// Bounded work-queue depth. `0` means `2 × workers`.
     pub queue_depth: usize,
+    /// Frames stacked into one batched interpreter invoke *within* a shard
+    /// (intra-shard micro-batching). `0` or `1` runs frame by frame; larger
+    /// values execute each shard in chunks of this many frames through
+    /// [`crate::ImageRunner::classify_batch`]. Logged tensor values are
+    /// bitwise-identical either way; only wall-clock-derived records
+    /// (latency, per-frame memory attribution) change shape.
+    pub micro_batch: usize,
     /// Monitor configuration each worker instruments its frames with.
     pub monitor: MonitorConfig,
 }
@@ -52,6 +59,7 @@ impl Default for ReplayOptions {
             workers: 0,
             shard_frames: 8,
             queue_depth: 0,
+            micro_batch: 1,
             monitor: MonitorConfig::offline_validation(),
         }
     }
@@ -110,6 +118,26 @@ impl ReplayStats {
             self.frames as f64 / secs
         }
     }
+}
+
+/// Drives one worker's shard through its runner, frame by frame or in
+/// micro-batches of `micro_batch` stacked frames per interpreter invoke.
+fn run_frames(
+    runner: &mut ImageRunner<'_>,
+    frames: &[LabeledFrame],
+    monitor: &Monitor,
+    micro_batch: usize,
+) -> Result<()> {
+    if micro_batch > 1 {
+        for chunk in frames.chunks(micro_batch) {
+            runner.classify_batch(chunk, monitor)?;
+        }
+    } else {
+        for frame in frames {
+            runner.classify(frame, monitor)?;
+        }
+    }
+    Ok(())
 }
 
 /// The contiguous frame ranges `[0, n)` is split into: every shard holds
@@ -281,6 +309,7 @@ pub fn replay_sharded(
     let partition = shard_partition(frames.len(), options.shard_frames);
     let workers = options.effective_workers(partition.len());
     let monitor_config = options.monitor;
+    let micro_batch = options.micro_batch;
     let chunks = run_sharded(
         &partition,
         workers,
@@ -288,9 +317,7 @@ pub fn replay_sharded(
         || pipeline.runner(),
         |runner, shard| -> Result<Vec<LogRecord>> {
             let monitor = Monitor::new(monitor_config).starting_at(shard.start as u64);
-            for frame in &frames[shard] {
-                runner.classify(frame, &monitor)?;
-            }
+            run_frames(runner, &frames[shard], &monitor, micro_batch)?;
             Ok(monitor.take_logs().into_records())
         },
     )?;
@@ -323,6 +350,7 @@ pub fn replay_sharded_to_sink(
     let partition = shard_partition(frames.len(), options.shard_frames);
     let workers = options.effective_workers(partition.len());
     let monitor_config = options.monitor;
+    let micro_batch = options.micro_batch;
     run_sharded(
         &partition,
         workers,
@@ -331,9 +359,7 @@ pub fn replay_sharded_to_sink(
         |runner, shard| -> Result<()> {
             let monitor =
                 Monitor::with_sink(monitor_config, sink.clone()).starting_at(shard.start as u64);
-            for frame in &frames[shard] {
-                runner.classify(frame, &monitor)?;
-            }
+            run_frames(runner, &frames[shard], &monitor, micro_batch)?;
             Ok(())
         },
     )?;
@@ -389,6 +415,7 @@ pub fn replay_validate_sharded(
     let partition = shard_partition(frames.len(), options.shard_frames);
     let workers = options.effective_workers(partition.len());
     let monitor_config = options.monitor;
+    let micro_batch = options.micro_batch;
     let reference_pipeline = reference.pipeline();
     let chunks = run_sharded(
         &partition,
@@ -401,10 +428,18 @@ pub fn replay_validate_sharded(
             // inspect frame 0 run against every shard, not just the first.
             let edge_monitor = Monitor::new(monitor_config);
             let reference_monitor = Monitor::new(monitor_config);
-            for frame in &frames[shard] {
-                edge_runner.classify(frame, &edge_monitor)?;
-                reference_runner.classify(frame, &reference_monitor)?;
-            }
+            run_frames(
+                edge_runner,
+                &frames[shard.clone()],
+                &edge_monitor,
+                micro_batch,
+            )?;
+            run_frames(
+                reference_runner,
+                &frames[shard],
+                &reference_monitor,
+                micro_batch,
+            )?;
             let edge_logs = edge_monitor.take_logs();
             let reference_logs = reference_monitor.take_logs();
             let validation = validator.validate_shard(start, &edge_logs, &reference_logs);

@@ -204,3 +204,64 @@ fn sharded_replay_streams_through_channel_sink() {
     decision_frames.sort();
     assert_eq!(decision_frames, (0..9).collect::<Vec<u64>>());
 }
+
+/// Intra-shard micro-batching must not change what gets logged: the merged
+/// log set of a micro-batched replay equals the frame-by-frame replay
+/// record for record (modulo wall-clock latency values), and the merged
+/// validation report renders byte-identically.
+#[test]
+fn micro_batched_replay_is_bitwise_equivalent_to_per_frame() {
+    let pipeline = pipeline();
+    let frames = frames(13);
+    let baseline_options = ReplayOptions {
+        workers: 2,
+        shard_frames: 4,
+        micro_batch: 1,
+        ..Default::default()
+    };
+    let (baseline_logs, _) = replay_sharded(&pipeline, &frames, &baseline_options).unwrap();
+    for micro_batch in [2usize, 4, 8] {
+        let options = ReplayOptions {
+            micro_batch,
+            ..baseline_options
+        };
+        let (logs, stats) = replay_sharded(&pipeline, &frames, &options).unwrap();
+        assert_eq!(stats.frames, frames.len());
+        assert_eq!(
+            deterministic_records(logs.records()),
+            deterministic_records(baseline_logs.records()),
+            "micro_batch={micro_batch} changed logged values"
+        );
+    }
+}
+
+/// The full replay-validate loop with micro-batching: merged report must be
+/// byte-identical to the per-frame run (drift math sees the same bits).
+#[test]
+fn micro_batched_validate_report_matches_per_frame() {
+    let model = tiny_model();
+    let preprocess = ImagePreprocessConfig::mobilenet_style(6, 6);
+    let edge = ImagePipeline::new(model.clone(), preprocess.clone());
+    let reference = ReferencePipeline::with_optimized_kernels(model, preprocess);
+    let validator = DeploymentValidator::new();
+    let frames = frames(10);
+    let mut rendered: Option<String> = None;
+    for micro_batch in [1usize, 4] {
+        let options = ReplayOptions {
+            workers: 2,
+            shard_frames: 4,
+            micro_batch,
+            ..Default::default()
+        };
+        let result =
+            replay_validate_sharded(&edge, &reference, &frames, &validator, &options).unwrap();
+        let text = result.report.to_string();
+        match &rendered {
+            None => rendered = Some(text),
+            Some(expected) => assert_eq!(
+                expected, &text,
+                "micro_batch={micro_batch} changed the merged report"
+            ),
+        }
+    }
+}

@@ -55,6 +55,39 @@ pub trait PlaybackSource: Clone + Send + Sync {
             .map(|i| i * size..((i + 1) * size).min(n))
             .collect()
     }
+
+    /// Splits one shard into the contiguous micro-batch sub-ranges a
+    /// batched-invoke worker drains it in (the intra-shard counterpart of
+    /// [`PlaybackSource::shards`]): every sub-range holds `micro_batch`
+    /// frames except a shorter tail. Like the shard partition, this depends
+    /// only on the range and the batch size.
+    fn micro_batches(&self, shard: Range<usize>, micro_batch: usize) -> Vec<Range<usize>> {
+        let size = micro_batch.max(1);
+        let len = shard.end.saturating_sub(shard.start);
+        (0..len.div_ceil(size))
+            .map(|i| {
+                let lo = shard.start + i * size;
+                lo..(lo + size).min(shard.end)
+            })
+            .collect()
+    }
+
+    /// Drains one shard as micro-batches of at most `micro_batch` frames —
+    /// the unit a worker stacks into one batched interpreter invoke.
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-frame failures.
+    fn read_micro_batches(
+        &self,
+        shard: Range<usize>,
+        micro_batch: usize,
+    ) -> Result<Vec<Vec<LabeledImage>>> {
+        self.micro_batches(shard, micro_batch)
+            .into_iter()
+            .map(|range| self.read_range(range))
+            .collect()
+    }
 }
 
 /// An in-memory playback source: the whole dataset pinned in RAM, the
@@ -306,6 +339,44 @@ mod tests {
         }
         assert!(source.read_frame(10).is_err());
         assert!(source.read_range(8..11).is_err());
+    }
+
+    #[test]
+    #[allow(clippy::single_range_in_vec_init)] // expectations are range lists
+    fn micro_batches_tile_each_shard_exactly() {
+        let source = InMemoryPlayback::new(
+            generate(SynthImageSpec {
+                resolution: 16,
+                count: 11,
+                seed: 5,
+            })
+            .unwrap(),
+        );
+        for (shard, batch, expected) in [
+            (0..8usize, 3usize, vec![0..3, 3..6, 6..8]),
+            (8..11, 3, vec![8..11]),
+            (0..4, 8, vec![0..4]),
+            (2..2, 4, vec![]),
+            (0..4, 0, vec![0..1, 1..2, 2..3, 3..4]), // 0 clamps to 1
+        ] {
+            assert_eq!(
+                source.micro_batches(shard.clone(), batch),
+                expected,
+                "shard={shard:?} batch={batch}"
+            );
+        }
+        // Draining micro-batches yields exactly the shard's frames in order.
+        let drained: Vec<_> = source
+            .read_micro_batches(3..9, 4)
+            .unwrap()
+            .into_iter()
+            .flatten()
+            .collect();
+        assert_eq!(drained, source.read_range(3..9).unwrap());
+        assert!(
+            source.read_micro_batches(8..12, 4).is_err(),
+            "out-of-range shards must fail, not truncate"
+        );
     }
 
     #[test]

@@ -1,0 +1,31 @@
+//! Regenerates the checked-in golden kernel fixtures under
+//! `crates/nn/goldens/`. Run after an *intentional* kernel change:
+//!
+//! ```text
+//! cargo run -p mlexray-nn --bin golden_gen
+//! ```
+//!
+//! The `golden_kernels` integration test compares every kernel dispatch arm
+//! against these files — bitwise for reference kernels, within tolerance for
+//! optimized ones — so an unintentional numeric change fails CI.
+
+use mlexray_nn::golden;
+
+fn main() {
+    let dir = golden::goldens_dir();
+    std::fs::create_dir_all(&dir).expect("create goldens dir");
+    let cases = golden::cases();
+    for case in &cases {
+        let record = case
+            .record()
+            .unwrap_or_else(|e| panic!("case {} failed: {e}", case.name));
+        let json = serde_json::to_string(&record).expect("golden serializes");
+        std::fs::write(case.path(), json).expect("write golden");
+        println!("wrote {}", case.path().display());
+    }
+    println!(
+        "{} goldens regenerated under {}",
+        cases.len(),
+        dir.display()
+    );
+}

@@ -1,10 +1,11 @@
 use std::time::{Duration, Instant};
 
-use mlexray_tensor::{DType, Tensor};
+use mlexray_tensor::{DType, Shape, Tensor, TensorData};
 
-use crate::graph::{Graph, TensorDef};
-use crate::kernels::execute_node;
+use crate::graph::{Graph, TensorDef, TensorId};
+use crate::kernels::{execute_node, KernelCtx};
 use crate::ops::OpKind;
+use crate::plan::{batched_shape, MemoryPlan};
 use crate::resolver::{KernelBugs, KernelFlavor};
 use crate::{NnError, Result};
 
@@ -37,7 +38,8 @@ impl InterpreterOptions {
 }
 
 /// Everything ML-EXray's per-layer instrumentation can see about one executed
-/// node: identity, op, output values and measured latency.
+/// node: identity, op, output values, measured latency and the frame it
+/// belongs to.
 #[derive(Debug)]
 pub struct LayerRecord<'a> {
     /// Execution index of the node.
@@ -46,19 +48,31 @@ pub struct LayerRecord<'a> {
     pub name: &'a str,
     /// The operation performed.
     pub op: &'a OpKind,
-    /// The node's output tensor.
+    /// The node's output tensor. During a batched invoke this is the
+    /// per-frame view, so logging stays per-frame.
     pub output: &'a Tensor,
-    /// Wall-clock latency of the kernel.
+    /// Index of the frame within the invoked batch (`0` for single invokes).
+    pub batch: usize,
+    /// Wall-clock latency of the kernel. During a batched invoke each
+    /// frame's record carries its share (node latency / batch size).
     pub latency: Duration,
-    /// MAC estimate for the node (drives simulated-device cost models).
+    /// MAC estimate for the node (drives simulated-device cost models),
+    /// counted per frame.
     pub macs: u64,
 }
 
 /// Observer invoked after every node — the hook ML-EXray's EdgeML Monitor
 /// (and the device simulator) attaches to.
 pub trait LayerObserver {
-    /// Called once per executed node, in execution order.
+    /// Called once per executed node per frame, in execution order.
     fn on_layer(&mut self, record: &LayerRecord<'_>);
+
+    /// Whether the observer wants records at all. Returning `false` (as
+    /// [`NullObserver`] does) lets batched invokes skip materializing
+    /// per-frame output views entirely.
+    fn enabled(&self) -> bool {
+        true
+    }
 }
 
 /// A no-op observer.
@@ -67,18 +81,145 @@ pub struct NullObserver;
 
 impl LayerObserver for NullObserver {
     fn on_layer(&mut self, _record: &LayerRecord<'_>) {}
+
+    fn enabled(&self) -> bool {
+        false
+    }
 }
 
-/// Aggregate statistics of one `invoke`.
+/// Aggregate statistics of one `invoke` / `invoke_batch`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct InvokeStats {
-    /// End-to-end wall-clock latency.
+    /// End-to-end wall-clock latency of the whole (possibly batched) invoke.
     pub latency: Duration,
-    /// Peak bytes held by live activation tensors during the run.
+    /// Planned peak bytes simultaneously live across runtime tensors
+    /// (inputs + activations) under the memory plan's lifetimes.
     pub peak_activation_bytes: usize,
+    /// Planned arena footprint: what one contiguous allocation serving every
+    /// runtime tensor of the invoke would occupy, with lifetime-disjoint
+    /// tensors sharing bytes. This is the layout a byte-arena deployment
+    /// backend would allocate; the interpreter itself keeps one buffer per
+    /// slot ([`MemoryPlan::unshared_bytes`] resident) so
+    /// [`Interpreter::tensor_value`] can expose every intermediate after
+    /// the invoke.
+    pub arena_bytes: usize,
+    /// Buffer allocations performed to service this invoke's data flow
+    /// (output materialization only — arena slots are preallocated and
+    /// reused, so with a disabled observer this is
+    /// `outputs × frames`, independent of graph depth).
+    pub allocations: usize,
+    /// Frames executed by this invoke (1 for [`Interpreter::invoke`]).
+    pub batch: usize,
+    /// Frames simultaneously resident in the arena the peak/arena figures
+    /// describe: `batch` when frames were stacked into one graph execution,
+    /// `1` when they ran per-frame (single invokes and the non-batchable
+    /// fallback). Per-frame memory attribution is
+    /// `peak_activation_bytes / arena_frames`.
+    pub arena_frames: usize,
 }
 
-/// Executes a [`Graph`] node by node, TFLite-interpreter style.
+/// One prepared execution arena: the memory plan for a batch factor plus the
+/// preallocated per-slot buffers and GEMM scratch it describes.
+#[derive(Debug)]
+struct ExecState {
+    batch: usize,
+    plan: MemoryPlan,
+    /// Batched slot definitions; `None` means the graph's own definition
+    /// applies (always the case at batch factor 1, and for constants).
+    defs: Vec<Option<TensorDef>>,
+    /// Runtime slots, preallocated from the plan; constants stay `None` and
+    /// are read straight from the graph.
+    values: Vec<Option<Tensor>>,
+    /// f32 scratch for the batched GEMM convolution; capacity reserved at
+    /// plan time so kernels never reallocate it in steady state.
+    scratch: Vec<f32>,
+}
+
+impl ExecState {
+    fn new(graph: &Graph, batch: usize) -> Result<Self> {
+        let plan = MemoryPlan::for_graph(graph, batch)?;
+        let mut defs: Vec<Option<TensorDef>> = vec![None; graph.tensors().len()];
+        let mut values: Vec<Option<Tensor>> = vec![None; graph.tensors().len()];
+        for (i, def) in graph.tensors().iter().enumerate() {
+            if matches!(def, TensorDef::Constant { .. }) {
+                continue;
+            }
+            let shape = batched_shape(def.shape(), batch)?;
+            if batch > 1 {
+                defs[i] = Some(match def {
+                    TensorDef::Input {
+                        name, dtype, quant, ..
+                    } => TensorDef::Input {
+                        name: name.clone(),
+                        shape: shape.clone(),
+                        dtype: *dtype,
+                        quant: quant.clone(),
+                    },
+                    TensorDef::Activation {
+                        name, dtype, quant, ..
+                    } => TensorDef::Activation {
+                        name: name.clone(),
+                        shape: shape.clone(),
+                        dtype: *dtype,
+                        quant: quant.clone(),
+                    },
+                    TensorDef::Constant { .. } => unreachable!("constants skipped above"),
+                });
+            }
+            let mut slot = Tensor::zeros(def.dtype(), shape);
+            slot.set_quant(def.quant().cloned());
+            values[i] = Some(slot);
+        }
+        let mut scratch = Vec::new();
+        scratch.reserve_exact(plan.scratch_elems());
+        Ok(ExecState {
+            batch,
+            plan,
+            defs,
+            values,
+            scratch,
+        })
+    }
+
+    fn def<'a>(&'a self, graph: &'a Graph, id: usize) -> &'a TensorDef {
+        self.defs[id]
+            .as_ref()
+            .unwrap_or_else(|| graph.tensor(TensorId(id)))
+    }
+}
+
+/// Materializes frame `b` of a stacked tensor as its own tensor with the
+/// per-frame `shape`.
+fn frame_view(stacked: &Tensor, shape: &Shape, b: usize) -> Result<Tensor> {
+    let per = shape.num_elements();
+    let lo = b * per;
+    let mut out = Tensor::zeros(stacked.dtype(), shape.clone());
+    match stacked.data() {
+        TensorData::F32(src) => out.as_f32_mut()?.copy_from_slice(&src[lo..lo + per]),
+        TensorData::U8(src) => out.as_u8_mut()?.copy_from_slice(&src[lo..lo + per]),
+        TensorData::I8(src) => out.as_i8_mut()?.copy_from_slice(&src[lo..lo + per]),
+        TensorData::I32(src) => out.as_i32_mut()?.copy_from_slice(&src[lo..lo + per]),
+    }
+    out.set_quant(stacked.quant().cloned());
+    Ok(out)
+}
+
+/// Copies `src`'s buffer into `dst` starting at element offset `at`.
+fn copy_into_slot(dst: &mut Tensor, src: &Tensor, at: usize) -> Result<()> {
+    let n = src.len();
+    match src.data() {
+        TensorData::F32(v) => dst.as_f32_mut()?[at..at + n].copy_from_slice(v),
+        TensorData::U8(v) => dst.as_u8_mut()?[at..at + n].copy_from_slice(v),
+        TensorData::I8(v) => dst.as_i8_mut()?[at..at + n].copy_from_slice(v),
+        TensorData::I32(v) => dst.as_i32_mut()?[at..at + n].copy_from_slice(v),
+    }
+    Ok(())
+}
+
+/// Executes a [`Graph`] node by node, TFLite-interpreter style, over a
+/// preplanned buffer arena ([`MemoryPlan`]): every runtime tensor's buffer
+/// is allocated once, up front, and reused across invokes, so steady-state
+/// execution performs no per-node allocation.
 ///
 /// # Example
 ///
@@ -102,29 +243,37 @@ pub struct InvokeStats {
 pub struct Interpreter<'g> {
     graph: &'g Graph,
     options: InterpreterOptions,
-    /// One slot per graph tensor; constants are materialized once.
-    values: Vec<Option<Tensor>>,
+    single: ExecState,
+    /// Cached arenas for batched invokes, one per batch size seen (a replay
+    /// shard's tail chunk and its full chunks each keep theirs). Dropped via
+    /// [`Interpreter::release_batched_arenas`].
+    batched: Vec<ExecState>,
+    /// Whether the graph can run stacked batches (see
+    /// [`Interpreter::is_batchable`]).
+    batch_safe: bool,
+    /// Batch size of the most recent stacked invoke, when the last invoke
+    /// ran on a batched arena (decides which arena
+    /// [`Interpreter::tensor_value`] reads).
+    last_batched: Option<usize>,
     last_stats: Option<InvokeStats>,
 }
 
 impl<'g> Interpreter<'g> {
-    /// Prepares an interpreter for a graph (validates it and materializes
-    /// constants).
+    /// Prepares an interpreter for a graph: validates it, computes the
+    /// [`MemoryPlan`] and preallocates every runtime tensor's buffer.
     ///
     /// # Errors
     ///
     /// Returns [`NnError::InvalidGraph`] if validation fails.
     pub fn new(graph: &'g Graph, options: InterpreterOptions) -> Result<Self> {
         graph.validate()?;
-        let values = graph
-            .tensors()
-            .iter()
-            .map(|def| def.as_constant().cloned())
-            .collect();
         Ok(Interpreter {
             graph,
             options,
-            values,
+            single: ExecState::new(graph, 1)?,
+            batched: Vec::new(),
+            batch_safe: batch_safe(graph),
+            last_batched: None,
             last_stats: None,
         })
     }
@@ -142,6 +291,20 @@ impl<'g> Interpreter<'g> {
     /// Statistics of the most recent invoke, if any.
     pub fn last_stats(&self) -> Option<InvokeStats> {
         self.last_stats
+    }
+
+    /// The memory plan backing single-frame invokes.
+    pub fn memory_plan(&self) -> &MemoryPlan {
+        &self.single.plan
+    }
+
+    /// Whether [`Interpreter::invoke_batch`] can stack frames into one graph
+    /// execution for this graph. Graphs that mix frames across the batch
+    /// dimension (matrix products between activations, concatenation along
+    /// axis 0, non-constant weights, gate-shaped constant multiplicands)
+    /// fall back to per-frame execution inside `invoke_batch`.
+    pub fn is_batchable(&self) -> bool {
+        self.batch_safe
     }
 
     fn check_inputs(&self, inputs: &[Tensor]) -> Result<()> {
@@ -175,6 +338,128 @@ impl<'g> Interpreter<'g> {
         Ok(())
     }
 
+    /// Copies every sample's inputs into the arena's input slots (sample `b`
+    /// lands at frame offset `b`) and resolves the slots' quantization.
+    fn stage_inputs(graph: &Graph, state: &mut ExecState, samples: &[&[Tensor]]) -> Result<()> {
+        for (k, &id) in graph.inputs().iter().enumerate() {
+            let def = graph.tensor(id);
+            let per = def.shape().num_elements();
+            let slot = state.values[id.0]
+                .as_mut()
+                .expect("input slots are always planned");
+            for (b, sample) in samples.iter().enumerate() {
+                copy_into_slot(slot, &sample[k], b * per)?;
+            }
+            let first = &samples[0][k];
+            let quant = if first.quant().is_some() {
+                first.quant().cloned()
+            } else if first.dtype() != DType::F32 {
+                def.quant().cloned()
+            } else {
+                None
+            };
+            slot.set_quant(quant);
+        }
+        Ok(())
+    }
+
+    /// Runs every node over the staged arena. `frames` is the number of
+    /// stacked frames in the arena; `batch_base` offsets the frame index
+    /// reported to the observer (used by the per-frame fallback).
+    fn execute_graph(
+        graph: &Graph,
+        options: InterpreterOptions,
+        state: &mut ExecState,
+        observer: &mut dyn LayerObserver,
+        batch_base: usize,
+    ) -> Result<()> {
+        let frames = state.batch;
+        for (index, node) in graph.nodes().iter().enumerate() {
+            let out_id = node.output.0;
+            // Degenerate graphs may write a constant slot; give them a
+            // fresh buffer instead of the (absent) planned slot.
+            let mut out = match state.values[out_id].take() {
+                Some(t) => t,
+                None => {
+                    let d = state.def(graph, out_id);
+                    let mut t = Tensor::zeros(d.dtype(), d.shape().clone());
+                    t.set_quant(d.quant().cloned());
+                    t
+                }
+            };
+            let node_start = Instant::now();
+            let result = {
+                let (values, defs, scratch) = (&state.values, &state.defs, &mut state.scratch);
+                let input_refs: Vec<&Tensor> = node
+                    .inputs
+                    .iter()
+                    .map(|id| {
+                        values[id.0]
+                            .as_ref()
+                            .or_else(|| graph.tensor(*id).as_constant())
+                            .expect("validated graph guarantees def-before-use")
+                    })
+                    .collect();
+                let out_def = defs[out_id]
+                    .as_ref()
+                    .unwrap_or_else(|| graph.tensor(TensorId(out_id)));
+                let mut ctx = KernelCtx {
+                    flavor: options.flavor,
+                    bugs: &options.bugs,
+                    batched: frames > 1,
+                    scratch,
+                };
+                execute_node(graph, node, &input_refs, out_def, &mut out, &mut ctx)
+            };
+            let latency = node_start.elapsed();
+            state.values[out_id] = Some(out);
+            result?;
+            if observer.enabled() {
+                let macs = graph.node_macs(crate::graph::NodeId(index));
+                let produced = state.values[out_id].as_ref().expect("restored above");
+                if frames == 1 {
+                    observer.on_layer(&LayerRecord {
+                        index,
+                        name: &node.name,
+                        op: &node.op,
+                        output: produced,
+                        batch: batch_base,
+                        latency,
+                        macs,
+                    });
+                } else {
+                    let per_shape = graph.tensor(TensorId(out_id)).shape();
+                    let share = latency / frames as u32;
+                    for b in 0..frames {
+                        let view = frame_view(produced, per_shape, b)?;
+                        observer.on_layer(&LayerRecord {
+                            index,
+                            name: &node.name,
+                            op: &node.op,
+                            output: &view,
+                            batch: batch_base + b,
+                            latency: share,
+                            macs,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn collect_outputs(graph: &Graph, state: &ExecState) -> Result<Vec<Tensor>> {
+        graph
+            .outputs()
+            .iter()
+            .map(|&id| {
+                state.values[id.0]
+                    .clone()
+                    .ok_or_else(|| NnError::InvalidGraph("output never produced".into()))
+            })
+            .collect()
+    }
+
     /// Runs the graph and returns its outputs.
     ///
     /// # Errors
@@ -197,91 +482,226 @@ impl<'g> Interpreter<'g> {
     ) -> Result<Vec<Tensor>> {
         self.check_inputs(inputs)?;
         let start = Instant::now();
-
-        // Reset activation slots and bind inputs (attaching declared input
-        // quantization so quantized graphs see parameterized tensors).
-        for (i, def) in self.graph.tensors().iter().enumerate() {
-            if matches!(def, TensorDef::Activation { .. } | TensorDef::Input { .. }) {
-                self.values[i] = None;
-            }
-        }
-        for (&id, t) in self.graph.inputs().iter().zip(inputs) {
-            let def = self.graph.tensor(id);
-            let mut bound = t.clone();
-            if bound.dtype() != DType::F32 && bound.quant().is_none() {
-                bound.set_quant(def.quant().cloned());
-            }
-            self.values[id.0] = Some(bound);
-        }
-
-        let mut peak = 0usize;
-        for (index, node) in self.graph.nodes().iter().enumerate() {
-            let out_def = self.graph.tensor(node.output);
-            let node_start = Instant::now();
-            let result = {
-                let input_refs: Vec<&Tensor> = node
-                    .inputs
-                    .iter()
-                    .map(|id| {
-                        self.values[id.0]
-                            .as_ref()
-                            .expect("validated graph guarantees def-before-use")
-                    })
-                    .collect();
-                execute_node(
-                    self.graph,
-                    node,
-                    &input_refs,
-                    out_def,
-                    self.options.flavor,
-                    &self.options.bugs,
-                )?
-            };
-            let latency = node_start.elapsed();
-            observer.on_layer(&LayerRecord {
-                index,
-                name: &node.name,
-                op: &node.op,
-                output: &result,
-                latency,
-                macs: self.graph.node_macs(crate::graph::NodeId(index)),
-            });
-            self.values[node.output.0] = Some(result);
-
-            let live: usize = self
-                .graph
-                .tensors()
-                .iter()
-                .enumerate()
-                .filter(|(_, d)| matches!(d, TensorDef::Activation { .. }))
-                .filter_map(|(i, _)| self.values[i].as_ref())
-                .map(Tensor::byte_size)
-                .sum();
-            peak = peak.max(live);
-        }
-
-        let outputs = self
-            .graph
-            .outputs()
-            .iter()
-            .map(|&id| {
-                self.values[id.0]
-                    .clone()
-                    .ok_or_else(|| NnError::InvalidGraph("output never produced".into()))
-            })
-            .collect::<Result<Vec<_>>>()?;
+        Self::stage_inputs(self.graph, &mut self.single, &[inputs])?;
+        Self::execute_graph(self.graph, self.options, &mut self.single, observer, 0)?;
+        let outputs = Self::collect_outputs(self.graph, &self.single)?;
+        self.last_batched = None;
         self.last_stats = Some(InvokeStats {
             latency: start.elapsed(),
-            peak_activation_bytes: peak,
+            peak_activation_bytes: self.single.plan.peak_bytes(),
+            arena_bytes: self.single.plan.arena_bytes(),
+            allocations: outputs.len(),
+            batch: 1,
+            arena_frames: 1,
         });
         Ok(outputs)
     }
 
-    /// The value of any tensor slot after the last invoke (useful for
-    /// debugging intermediate activations by id).
-    pub fn tensor_value(&self, id: crate::graph::TensorId) -> Option<&Tensor> {
-        self.values.get(id.0).and_then(Option::as_ref)
+    /// Runs the graph once over a stacked `batch` of input sets and returns
+    /// one output set per frame, in order.
+    ///
+    /// Frames are stacked along the batch (leading) dimension and the whole
+    /// graph executes a single time with batch-aware kernels over a
+    /// preplanned arena; results are **bitwise-identical** to invoking each
+    /// frame separately (the property suite pins this). Graphs that cannot
+    /// stack frames (see [`Interpreter::is_batchable`]) — and batches whose
+    /// samples carry differing quantization parameters — transparently fall
+    /// back to per-frame execution.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Interpreter::invoke`], checked per sample.
+    pub fn invoke_batch(&mut self, batch: &[&[Tensor]]) -> Result<Vec<Vec<Tensor>>> {
+        self.invoke_batch_observed(batch, &mut NullObserver)
     }
+
+    /// Like [`Interpreter::invoke_batch`], reporting per-frame layer records
+    /// to `observer` ([`LayerRecord::batch`] carries the frame index).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Interpreter::invoke_batch`].
+    pub fn invoke_batch_observed(
+        &mut self,
+        batch: &[&[Tensor]],
+        observer: &mut dyn LayerObserver,
+    ) -> Result<Vec<Vec<Tensor>>> {
+        let frames = batch.len();
+        if frames == 0 {
+            return Ok(Vec::new());
+        }
+        for sample in batch {
+            self.check_inputs(sample)?;
+        }
+        if frames == 1 || !self.batch_safe || !uniform_quant(batch) {
+            return self.invoke_batch_sequential(batch, observer);
+        }
+
+        let index = match self.batched.iter().position(|s| s.batch == frames) {
+            Some(i) => i,
+            None => {
+                self.batched.push(ExecState::new(self.graph, frames)?);
+                self.batched.len() - 1
+            }
+        };
+        let start = Instant::now();
+        let state = &mut self.batched[index];
+        Self::stage_inputs(self.graph, state, batch)?;
+        Self::execute_graph(self.graph, self.options, state, observer, 0)?;
+
+        let mut outputs = Vec::with_capacity(frames);
+        let mut allocations = 0usize;
+        for b in 0..frames {
+            let mut per_frame = Vec::with_capacity(self.graph.outputs().len());
+            for &id in self.graph.outputs() {
+                let stacked = state.values[id.0]
+                    .as_ref()
+                    .ok_or_else(|| NnError::InvalidGraph("output never produced".into()))?;
+                per_frame.push(frame_view(stacked, self.graph.tensor(id).shape(), b)?);
+                allocations += 1;
+            }
+            outputs.push(per_frame);
+        }
+        self.last_batched = Some(frames);
+        self.last_stats = Some(InvokeStats {
+            latency: start.elapsed(),
+            peak_activation_bytes: state.plan.peak_bytes(),
+            arena_bytes: state.plan.arena_bytes(),
+            allocations,
+            batch: frames,
+            arena_frames: frames,
+        });
+        Ok(outputs)
+    }
+
+    /// Per-frame fallback for graphs (or batches) that cannot stack: runs
+    /// each sample through the single-frame arena, still reporting the frame
+    /// index to the observer.
+    fn invoke_batch_sequential(
+        &mut self,
+        batch: &[&[Tensor]],
+        observer: &mut dyn LayerObserver,
+    ) -> Result<Vec<Vec<Tensor>>> {
+        let start = Instant::now();
+        let mut outputs = Vec::with_capacity(batch.len());
+        let mut allocations = 0usize;
+        for (b, sample) in batch.iter().enumerate() {
+            Self::stage_inputs(self.graph, &mut self.single, &[*sample])?;
+            Self::execute_graph(self.graph, self.options, &mut self.single, observer, b)?;
+            let outs = Self::collect_outputs(self.graph, &self.single)?;
+            allocations += outs.len();
+            outputs.push(outs);
+        }
+        self.last_batched = None;
+        self.last_stats = Some(InvokeStats {
+            latency: start.elapsed(),
+            peak_activation_bytes: self.single.plan.peak_bytes(),
+            arena_bytes: self.single.plan.arena_bytes(),
+            allocations,
+            batch: batch.len(),
+            arena_frames: 1,
+        });
+        Ok(outputs)
+    }
+
+    /// Drops every cached batched arena (and its plan), returning the
+    /// interpreter to its single-invoke memory footprint. Batched arenas
+    /// are otherwise retained so repeated `invoke_batch` calls of the same
+    /// size pay no replanning or reallocation.
+    pub fn release_batched_arenas(&mut self) {
+        self.batched.clear();
+        self.last_batched = None;
+    }
+
+    /// The value of any tensor slot after the last invoke (useful for
+    /// debugging intermediate activations by id). Arena slots are reused,
+    /// not freed, so every intermediate remains readable until the next
+    /// invoke; after a stacked batched invoke the value holds all frames.
+    pub fn tensor_value(&self, id: crate::graph::TensorId) -> Option<&Tensor> {
+        let state = self
+            .last_batched
+            .and_then(|n| self.batched.iter().find(|s| s.batch == n))
+            .unwrap_or(&self.single);
+        state.values.get(id.0).and_then(Option::as_ref).or_else(|| {
+            self.graph
+                .tensors()
+                .get(id.0)
+                .and_then(TensorDef::as_constant)
+        })
+    }
+}
+
+/// All samples in a batch must agree on input quantization for stacking to
+/// preserve per-frame semantics.
+fn uniform_quant(batch: &[&[Tensor]]) -> bool {
+    let first = batch[0];
+    batch[1..].iter().all(|sample| {
+        sample
+            .iter()
+            .zip(first)
+            .all(|(a, b)| a.quant() == b.quant())
+    })
+}
+
+/// Whether stacking frames along the leading dimension preserves per-frame
+/// semantics for every node of `graph`.
+fn batch_safe(graph: &Graph) -> bool {
+    let constant = |id: TensorId| graph.tensor(id).as_constant().is_some();
+    // A rank-1 runtime tensor's leading dimension doubles as its feature
+    // dimension, so scaling it changes row-based kernels' geometry (e.g.
+    // softmax over a stacked vector would normalize across frames).
+    if graph
+        .tensors()
+        .iter()
+        .any(|def| def.as_constant().is_none() && def.shape().rank() < 2)
+    {
+        return false;
+    }
+    graph.nodes().iter().all(|node| {
+        // Batched execution scales every runtime tensor's leading dimension;
+        // a constant data operand would be left behind.
+        if node.inputs.first().map(|&id| constant(id)).unwrap_or(true) {
+            return false;
+        }
+        match &node.op {
+            // Weights *and* bias must be baked in — a runtime-computed
+            // operand past inputs[0] would need stacking the kernels don't
+            // apply to it.
+            OpKind::Conv2d { .. }
+            | OpKind::DepthwiseConv2d { .. }
+            | OpKind::FullyConnected { .. }
+            | OpKind::MatMul { .. }
+            | OpKind::Embedding => node.inputs[1..].iter().all(|&id| constant(id)),
+            OpKind::BatchNorm { .. } | OpKind::LayerNorm { .. } => {
+                node.inputs[1..].iter().all(|&id| constant(id))
+            }
+            OpKind::Concat { axis } => *axis != 0 && node.inputs.iter().all(|&id| !constant(id)),
+            OpKind::Add { .. } => {
+                // Constant rhs broadcasts by trailing suffix (frame-periodic
+                // under stacking); runtime rhs must batch alongside the lhs.
+                constant(node.inputs[1])
+                    || graph.tensor(node.inputs[1]).shape() == graph.tensor(node.inputs[0]).shape()
+            }
+            OpKind::Mul => {
+                let lhs = graph.tensor(node.inputs[0]).shape();
+                let rhs = graph.tensor(node.inputs[1]).shape();
+                if constant(node.inputs[1]) {
+                    // Only scalar constants index identically after stacking.
+                    rhs.num_elements() == 1
+                } else {
+                    // Same shape, or a [n,1,1,c] gate with matching batch.
+                    rhs == lhs
+                        || (lhs.rank() == 4
+                            && rhs.rank() == 4
+                            && rhs.dims()[0] == lhs.dims()[0]
+                            && rhs.dims()[1] == 1
+                            && rhs.dims()[2] == 1
+                            && rhs.dims()[3] == lhs.dims()[3])
+                }
+            }
+            _ => true,
+        }
+    })
 }
 
 #[cfg(test)]
@@ -321,6 +741,7 @@ mod tests {
         assert_eq!(v[1], 0.0, "ReLU clips negatives");
         assert_eq!(v[2], 4.0);
         assert!(interp.last_stats().unwrap().peak_activation_bytes > 0);
+        assert!(interp.last_stats().unwrap().arena_bytes > 0);
     }
 
     #[test]
@@ -340,7 +761,7 @@ mod tests {
         struct Count(Vec<String>);
         impl LayerObserver for Count {
             fn on_layer(&mut self, r: &LayerRecord<'_>) {
-                self.0.push(format!("{}:{}", r.index, r.name));
+                self.0.push(format!("{}:{}:{}", r.index, r.name, r.batch));
             }
         }
         let g = conv_graph();
@@ -348,7 +769,7 @@ mod tests {
         let mut obs = Count(Vec::new());
         let x = Tensor::zeros(DType::F32, Shape::nhwc(1, 3, 3, 1));
         interp.invoke_observed(&[x], &mut obs).unwrap();
-        assert_eq!(obs.0, vec!["0:c"]);
+        assert_eq!(obs.0, vec!["0:c:0"]);
     }
 
     #[test]
@@ -366,5 +787,127 @@ mod tests {
         for (u, v) in a[0].as_f32().unwrap().iter().zip(b[0].as_f32().unwrap()) {
             assert!((u - v).abs() < 1e-5);
         }
+    }
+
+    #[test]
+    fn invoke_batch_matches_sequential_invokes() {
+        let g = conv_graph();
+        let mut interp = Interpreter::new(&g, InterpreterOptions::optimized()).unwrap();
+        assert!(interp.is_batchable());
+        let samples: Vec<Vec<Tensor>> = (0..4)
+            .map(|i| {
+                vec![Tensor::from_f32(
+                    Shape::nhwc(1, 3, 3, 1),
+                    (0..9).map(|j| (i * 9 + j) as f32 * 0.1 - 1.7).collect(),
+                )
+                .unwrap()]
+            })
+            .collect();
+        let sequential: Vec<Vec<Tensor>> =
+            samples.iter().map(|s| interp.invoke(s).unwrap()).collect();
+        let refs: Vec<&[Tensor]> = samples.iter().map(Vec::as_slice).collect();
+        let batched = interp.invoke_batch(&refs).unwrap();
+        assert_eq!(batched, sequential);
+        let stats = interp.last_stats().unwrap();
+        assert_eq!(stats.batch, 4);
+        assert_eq!(stats.allocations, 4);
+    }
+
+    #[test]
+    fn batched_observer_reports_per_frame_records() {
+        struct Frames(Vec<(usize, usize, f32)>);
+        impl LayerObserver for Frames {
+            fn on_layer(&mut self, r: &LayerRecord<'_>) {
+                self.0
+                    .push((r.index, r.batch, r.output.as_f32().unwrap()[0]));
+            }
+        }
+        let g = conv_graph();
+        let mut interp = Interpreter::new(&g, InterpreterOptions::optimized()).unwrap();
+        let samples: Vec<Vec<Tensor>> = (0..3)
+            .map(|i| vec![Tensor::filled_f32(Shape::nhwc(1, 3, 3, 1), i as f32)])
+            .collect();
+        let refs: Vec<&[Tensor]> = samples.iter().map(Vec::as_slice).collect();
+        let mut obs = Frames(Vec::new());
+        interp.invoke_batch_observed(&refs, &mut obs).unwrap();
+        assert_eq!(obs.0.len(), 3, "one record per frame per node");
+        for (b, record) in obs.0.iter().enumerate() {
+            assert_eq!(record.1, b);
+            assert_eq!(record.2, 2.0 * b as f32, "per-frame view holds frame data");
+        }
+    }
+
+    #[test]
+    fn allocations_are_independent_of_graph_depth() {
+        let build = |depth: usize| {
+            let mut b = GraphBuilder::new("chain");
+            let mut x = b.input("x", Shape::nhwc(1, 4, 4, 2));
+            for i in 0..depth {
+                let w = b.constant(
+                    format!("w{i}"),
+                    Tensor::filled_f32(Shape::new(vec![2, 1, 1, 2]), 0.3),
+                );
+                x = b
+                    .conv2d(
+                        format!("c{i}"),
+                        x,
+                        w,
+                        None,
+                        1,
+                        Padding::Same,
+                        Activation::Relu,
+                    )
+                    .unwrap();
+            }
+            b.output(x);
+            b.finish().unwrap()
+        };
+        let input = Tensor::filled_f32(Shape::nhwc(1, 4, 4, 2), 0.5);
+        let mut counts = Vec::new();
+        for depth in [2usize, 8, 32] {
+            let g = build(depth);
+            let mut interp = Interpreter::new(&g, InterpreterOptions::optimized()).unwrap();
+            interp.invoke(std::slice::from_ref(&input)).unwrap();
+            let first = interp.last_stats().unwrap().allocations;
+            interp.invoke(std::slice::from_ref(&input)).unwrap();
+            let second = interp.last_stats().unwrap().allocations;
+            assert_eq!(first, second, "steady state from the first invoke");
+            counts.push(first);
+        }
+        assert!(
+            counts.windows(2).all(|w| w[0] == w[1]),
+            "allocation count grew with depth: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn arena_reuses_lifetime_disjoint_buffers() {
+        let mut b = GraphBuilder::new("deep");
+        let mut x = b.input("x", Shape::nhwc(1, 6, 6, 4));
+        for i in 0..6 {
+            let w = b.constant(
+                format!("w{i}"),
+                Tensor::filled_f32(Shape::new(vec![4, 1, 1, 4]), 0.2),
+            );
+            x = b
+                .conv2d(
+                    format!("c{i}"),
+                    x,
+                    w,
+                    None,
+                    1,
+                    Padding::Same,
+                    Activation::Relu,
+                )
+                .unwrap();
+        }
+        b.output(x);
+        let g = b.finish().unwrap();
+        let interp = Interpreter::new(&g, InterpreterOptions::optimized()).unwrap();
+        let plan = interp.memory_plan();
+        assert!(
+            plan.arena_bytes() < plan.unshared_bytes(),
+            "a 6-deep chain must not keep 6 live buffers"
+        );
     }
 }

@@ -1,12 +1,11 @@
 //! Convolution kernels: float/quantized, reference/optimized, plus the
-//! injected optimized-depthwise defect of §4.4.
+//! injected optimized-depthwise defect of §4.4 and the batched whole-batch
+//! im2col + blocked GEMM fast path.
 
 use mlexray_tensor::{QuantParams, Tensor};
 
 use crate::graph::{Node, TensorDef};
-use crate::kernels::{
-    act_qbounds, build_f_output, build_q_output, out_qparams, qparams_of, requantize,
-};
+use crate::kernels::{act_qbounds, f32_slot, out_qparams, qparams_of, requantize, u8_slot};
 use crate::ops::{same_pad_before, Activation, Padding};
 use crate::resolver::{KernelBugs, KernelFlavor};
 use crate::Result;
@@ -80,6 +79,7 @@ fn geometry(
 }
 
 /// Float 2-D convolution.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn conv2d_f32(
     node: &Node,
     inputs: &[&Tensor],
@@ -88,7 +88,8 @@ pub(crate) fn conv2d_f32(
     padding: Padding,
     activation: Activation,
     flavor: KernelFlavor,
-) -> Result<Tensor> {
+    out_t: &mut Tensor,
+) -> Result<()> {
     let _ = node;
     let input = inputs[0];
     let weights = inputs[1];
@@ -98,7 +99,7 @@ pub(crate) fn conv2d_f32(
     let ws = weights.shape().dims();
     let (out_c, kh, kw) = (ws[0], ws[1], ws[2]);
     let g = geometry(input, out_def, kh, kw, stride, padding);
-    let mut out = vec![0.0f32; out_def.shape().num_elements()];
+    let out = f32_slot(out_t, out_def)?;
     let ksize = kh * kw * g.in_c;
 
     match flavor {
@@ -135,7 +136,7 @@ pub(crate) fn conv2d_f32(
             }
         }
         KernelFlavor::Optimized => {
-            // im2col + blocked dot products.
+            // Per-pixel im2col + blocked dot products.
             let mut patch = vec![0.0f32; ksize];
             for n in 0..g.n {
                 for oy in 0..g.out_h {
@@ -170,10 +171,153 @@ pub(crate) fn conv2d_f32(
             }
         }
     }
-    build_f_output(out_def, out)
+    Ok(())
+}
+
+/// Four blocked dot products sharing one left-hand row: computes
+/// `dot_blocked(a, b0..b3)` with each lane's partial-accumulator sequence
+/// identical to [`dot_blocked`]'s, so every output channel's sum is
+/// bitwise-identical to the scalar kernel — but the row is loaded once for
+/// four weight rows and the sixteen accumulator chains expose far more
+/// instruction-level parallelism.
+#[inline]
+fn dot_blocked_x4(a: &[f32], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) -> [f32; 4] {
+    debug_assert!(a.len() == b0.len() && a.len() == b1.len());
+    debug_assert!(a.len() == b2.len() && a.len() == b3.len());
+    let mut s = [[0.0f32; 4]; 4];
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        let o = i * 4;
+        let (a0, a1, a2, a3) = (a[o], a[o + 1], a[o + 2], a[o + 3]);
+        for (lane, b) in [b0, b1, b2, b3].into_iter().enumerate() {
+            s[lane][0] += a0 * b[o];
+            s[lane][1] += a1 * b[o + 1];
+            s[lane][2] += a2 * b[o + 2];
+            s[lane][3] += a3 * b[o + 3];
+        }
+    }
+    let mut rest = [0.0f32; 4];
+    for i in chunks * 4..a.len() {
+        rest[0] += a[i] * b0[i];
+        rest[1] += a[i] * b1[i];
+        rest[2] += a[i] * b2[i];
+        rest[3] += a[i] * b3[i];
+    }
+    [
+        (s[0][0] + s[0][1]) + (s[0][2] + s[0][3]) + rest[0],
+        (s[1][0] + s[1][1]) + (s[1][2] + s[1][3]) + rest[1],
+        (s[2][0] + s[2][1]) + (s[2][2] + s[2][3]) + rest[2],
+        (s[3][0] + s[3][1]) + (s[3][2] + s[3][3]) + rest[3],
+    ]
+}
+
+/// How many output rows share one weight fetch per GEMM tile. Large enough
+/// to amortize streaming the weight matrix, small enough that a tile of
+/// im2col rows stays cache-resident.
+const GEMM_ROW_TILE: usize = 16;
+
+/// Batched optimized float convolution: one im2col matrix over the whole
+/// stacked batch, then a row/output-channel blocked GEMM.
+///
+/// Every output cell is `activation(dot_blocked(patch_row, weight_row) +
+/// bias)` — exactly the arithmetic (and summation order) of the per-pixel
+/// optimized kernel above, so results are bitwise-identical to running the
+/// frames through [`conv2d_f32`] one by one; only the loop structure changes
+/// (weight rows are reused across a tile of pixels, and 1x1 stride-1
+/// convolutions read the input directly instead of materializing patches).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn conv2d_f32_gemm(
+    node: &Node,
+    inputs: &[&Tensor],
+    out_def: &TensorDef,
+    stride: usize,
+    padding: Padding,
+    activation: Activation,
+    scratch: &mut Vec<f32>,
+    out_t: &mut Tensor,
+) -> Result<()> {
+    let _ = node;
+    let input = inputs[0];
+    let weights = inputs[1];
+    let bias = inputs.get(2).map(|t| t.as_f32()).transpose()?;
+    let x = input.as_f32()?;
+    let w = weights.as_f32()?;
+    let ws = weights.shape().dims();
+    let (out_c, kh, kw) = (ws[0], ws[1], ws[2]);
+    let g = geometry(input, out_def, kh, kw, stride, padding);
+    let out = f32_slot(out_t, out_def)?;
+    let ksize = kh * kw * g.in_c;
+    let rows = g.n * g.out_h * g.out_w;
+
+    // 1x1 stride-1 convolutions (the bulk of MobileNet-family MACs): the
+    // im2col matrix *is* the input buffer, row per pixel.
+    let direct = kh == 1 && kw == 1 && stride == 1 && g.out_h == g.in_h && g.out_w == g.in_w;
+    let matrix: &[f32] = if direct {
+        x
+    } else {
+        scratch.clear();
+        scratch.resize(rows * ksize, 0.0);
+        let mut row = 0usize;
+        for n in 0..g.n {
+            for oy in 0..g.out_h {
+                for ox in 0..g.out_w {
+                    let pbase = row * ksize;
+                    for ky in 0..kh {
+                        let iy = (oy * stride + ky) as isize - g.pad_top as isize;
+                        if iy < 0 || iy >= g.in_h as isize {
+                            continue;
+                        }
+                        for kx in 0..kw {
+                            let ix = (ox * stride + kx) as isize - g.pad_left as isize;
+                            if ix < 0 || ix >= g.in_w as isize {
+                                continue;
+                            }
+                            let ibase =
+                                ((n * g.in_h + iy as usize) * g.in_w + ix as usize) * g.in_c;
+                            let dst = pbase + (ky * kw + kx) * g.in_c;
+                            scratch[dst..dst + g.in_c].copy_from_slice(&x[ibase..ibase + g.in_c]);
+                        }
+                    }
+                    row += 1;
+                }
+            }
+        }
+        scratch
+    };
+
+    for r0 in (0..rows).step_by(GEMM_ROW_TILE) {
+        let r1 = (r0 + GEMM_ROW_TILE).min(rows);
+        let mut oc = 0usize;
+        while oc + 4 <= out_c {
+            let w0 = &w[oc * ksize..(oc + 1) * ksize];
+            let w1 = &w[(oc + 1) * ksize..(oc + 2) * ksize];
+            let w2 = &w[(oc + 2) * ksize..(oc + 3) * ksize];
+            let w3 = &w[(oc + 3) * ksize..(oc + 4) * ksize];
+            let b: [f32; 4] = std::array::from_fn(|k| bias.map(|b| b[oc + k]).unwrap_or(0.0));
+            for r in r0..r1 {
+                let accs = dot_blocked_x4(&matrix[r * ksize..(r + 1) * ksize], w0, w1, w2, w3);
+                let obase = r * out_c + oc;
+                for k in 0..4 {
+                    out[obase + k] = activation.apply(accs[k] + b[k]);
+                }
+            }
+            oc += 4;
+        }
+        while oc < out_c {
+            let wrow = &w[oc * ksize..(oc + 1) * ksize];
+            let b = bias.map(|b| b[oc]).unwrap_or(0.0);
+            for r in r0..r1 {
+                let acc = dot_blocked(&matrix[r * ksize..(r + 1) * ksize], wrow) + b;
+                out[r * out_c + oc] = activation.apply(acc);
+            }
+            oc += 1;
+        }
+    }
+    Ok(())
 }
 
 /// Float depthwise 2-D convolution.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn dwconv_f32(
     node: &Node,
     inputs: &[&Tensor],
@@ -182,7 +326,8 @@ pub(crate) fn dwconv_f32(
     padding: Padding,
     activation: Activation,
     flavor: KernelFlavor,
-) -> Result<Tensor> {
+    out_t: &mut Tensor,
+) -> Result<()> {
     let _ = node;
     let input = inputs[0];
     let weights = inputs[1];
@@ -192,7 +337,7 @@ pub(crate) fn dwconv_f32(
     let ws = weights.shape().dims();
     let (kh, kw, c) = (ws[1], ws[2], ws[3]);
     let g = geometry(input, out_def, kh, kw, stride, padding);
-    let mut out = vec![0.0f32; out_def.shape().num_elements()];
+    let out = f32_slot(out_t, out_def)?;
 
     // Same arithmetic in both flavors for float depthwise — the loop order
     // differs (channel-outer for optimized), giving identical results since
@@ -238,14 +383,105 @@ pub(crate) fn dwconv_f32(
             }
         }
     }
-    build_f_output(out_def, out)
+    Ok(())
+}
+
+/// Batched optimized float depthwise convolution: frame-outer (one frame's
+/// activation stays cache-resident per sweep) with a branch-free interior
+/// fast path — output cells whose whole kernel window is in-bounds skip the
+/// per-tap boundary tests that dominate the naive loop.
+///
+/// Per-cell accumulation order is exactly [`dwconv_f32`]'s (taps in
+/// `(ky, kx)` order; out-of-bounds taps contribute nothing either way), so
+/// outputs are bitwise-identical to per-frame execution.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn dwconv_f32_batched(
+    node: &Node,
+    inputs: &[&Tensor],
+    out_def: &TensorDef,
+    stride: usize,
+    padding: Padding,
+    activation: Activation,
+    out_t: &mut Tensor,
+) -> Result<()> {
+    let _ = node;
+    let input = inputs[0];
+    let weights = inputs[1];
+    let bias = inputs.get(2).map(|t| t.as_f32()).transpose()?;
+    let x = input.as_f32()?;
+    let w = weights.as_f32()?;
+    let ws = weights.shape().dims();
+    let (kh, kw, c) = (ws[1], ws[2], ws[3]);
+    let g = geometry(input, out_def, kh, kw, stride, padding);
+    let out = f32_slot(out_t, out_def)?;
+
+    // Interior output range `[o0, o1)`: every tap of the window lands
+    // in-bounds, i.e. `o*stride >= pad` and `o*stride + k - 1 - pad < idim`.
+    let interior = |pad: usize, kdim: usize, idim: usize, odim: usize| {
+        let o0 = pad.div_ceil(stride).min(odim);
+        let limit = (idim + pad).saturating_sub(kdim - 1);
+        let o1 = limit.div_ceil(stride).min(odim);
+        (o0, o1)
+    };
+    let (y0, y1) = interior(g.pad_top, kh, g.in_h, g.out_h);
+    let (x0, x1) = interior(g.pad_left, kw, g.in_w, g.out_w);
+
+    let checked = |out: &mut [f32], ch: usize, n: usize, oy: usize, ox: usize| {
+        let mut acc = bias.map(|b| b[ch]).unwrap_or(0.0);
+        for ky in 0..kh {
+            let iy = (oy * stride + ky) as isize - g.pad_top as isize;
+            if iy < 0 || iy >= g.in_h as isize {
+                continue;
+            }
+            for kx in 0..kw {
+                let ix = (ox * stride + kx) as isize - g.pad_left as isize;
+                if ix < 0 || ix >= g.in_w as isize {
+                    continue;
+                }
+                let i = ((n * g.in_h + iy as usize) * g.in_w + ix as usize) * c + ch;
+                acc += x[i] * w[(ky * kw + kx) * c + ch];
+            }
+        }
+        out[((n * g.out_h + oy) * g.out_w + ox) * c + ch] = activation.apply(acc);
+    };
+
+    for n in 0..g.n {
+        for oy in 0..g.out_h {
+            let interior_row = oy >= y0 && oy < y1;
+            for ox in 0..g.out_w {
+                if interior_row && ox >= x0 && ox < x1 {
+                    let base_y = oy * stride - g.pad_top;
+                    let base_x = ox * stride - g.pad_left;
+                    let obase = ((n * g.out_h + oy) * g.out_w + ox) * c;
+                    for ch in 0..c {
+                        let mut acc = bias.map(|b| b[ch]).unwrap_or(0.0);
+                        for ky in 0..kh {
+                            let ibase = ((n * g.in_h + base_y + ky) * g.in_w + base_x) * c + ch;
+                            let wbase = ky * kw * c + ch;
+                            for kx in 0..kw {
+                                acc += x[ibase + kx * c] * w[wbase + kx * c];
+                            }
+                        }
+                        out[obase + ch] = activation.apply(acc);
+                    }
+                } else {
+                    for ch in 0..c {
+                        checked(out, ch, n, oy, ox);
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
 }
 
 fn weight_scale(q: &QuantParams, c: usize) -> f32 {
     q.for_channel(c).0
 }
 
-/// Quantized 2-D convolution (both flavors compute identical i32 math).
+/// Quantized 2-D convolution (both flavors compute identical i32 math). The
+/// batch dimension is the outer loop, so stacked batches run natively.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn conv2d_q(
     node: &Node,
     inputs: &[&Tensor],
@@ -253,7 +489,8 @@ pub(crate) fn conv2d_q(
     stride: usize,
     padding: Padding,
     activation: Activation,
-) -> Result<Tensor> {
+    out_t: &mut Tensor,
+) -> Result<()> {
     let input = inputs[0];
     let weights = inputs[1];
     let bias = inputs.get(2).map(|t| t.as_i32()).transpose()?;
@@ -269,7 +506,7 @@ pub(crate) fn conv2d_q(
     let (out_c, kh, kw) = (ws[0], ws[1], ws[2]);
     let g = geometry(input, out_def, kh, kw, stride, padding);
     let (qlo, qhi) = act_qbounds(activation, s_out, zp_out);
-    let mut out = vec![0u8; out_def.shape().num_elements()];
+    let out = u8_slot(out_t, out_def)?;
 
     for n in 0..g.n {
         for oy in 0..g.out_h {
@@ -303,7 +540,7 @@ pub(crate) fn conv2d_q(
             }
         }
     }
-    build_q_output(node, out_def, out)
+    Ok(())
 }
 
 /// Quantized depthwise convolution. The optimized flavor carries the
@@ -319,7 +556,8 @@ pub(crate) fn dwconv_q(
     activation: Activation,
     flavor: KernelFlavor,
     bugs: &KernelBugs,
-) -> Result<Tensor> {
+    out_t: &mut Tensor,
+) -> Result<()> {
     let input = inputs[0];
     let weights = inputs[1];
     let bias = inputs.get(2).map(|t| t.as_i32()).transpose()?;
@@ -336,7 +574,7 @@ pub(crate) fn dwconv_q(
     let g = geometry(input, out_def, kh, kw, stride, padding);
     let (qlo, qhi) = act_qbounds(activation, s_out, zp_out);
     let buggy = flavor == KernelFlavor::Optimized && bugs.optimized_dwconv_i16_accumulator;
-    let mut out = vec![0u8; out_def.shape().num_elements()];
+    let out = u8_slot(out_t, out_def)?;
 
     for n in 0..g.n {
         for oy in 0..g.out_h {
@@ -380,5 +618,5 @@ pub(crate) fn dwconv_q(
             }
         }
     }
-    build_q_output(node, out_def, out)
+    Ok(())
 }

@@ -1,9 +1,10 @@
 //! Element-wise, normalization, reshape and quantization-boundary kernels.
+//! Outputs are laid out batch-major, so stacked batches run natively.
 
-use mlexray_tensor::Tensor;
+use mlexray_tensor::{Tensor, TensorData};
 
 use crate::graph::{Node, TensorDef};
-use crate::kernels::{build_f_output, build_q_output, out_qparams, qparams_of};
+use crate::kernels::{f32_slot, out_qparams, qparams_of, u8_slot};
 use crate::ops::Activation;
 use crate::Result;
 
@@ -13,17 +14,17 @@ pub(crate) fn add_f32(
     inputs: &[&Tensor],
     out_def: &TensorDef,
     activation: Activation,
-) -> Result<Tensor> {
+    out_t: &mut Tensor,
+) -> Result<()> {
     let _ = node;
     let a = inputs[0].as_f32()?;
     let b = inputs[1].as_f32()?;
     let blen = b.len().max(1);
-    let out = a
-        .iter()
-        .enumerate()
-        .map(|(i, &x)| activation.apply(x + b[i % blen]))
-        .collect();
-    build_f_output(out_def, out)
+    let out = f32_slot(out_t, out_def)?;
+    for (i, (o, &x)) in out.iter_mut().zip(a).enumerate() {
+        *o = activation.apply(x + b[i % blen]);
+    }
+    Ok(())
 }
 
 /// Quantized addition: dequantize both sides, add, requantize to the output
@@ -33,24 +34,22 @@ pub(crate) fn add_q(
     inputs: &[&Tensor],
     out_def: &TensorDef,
     activation: Activation,
-) -> Result<Tensor> {
+    out_t: &mut Tensor,
+) -> Result<()> {
     let (s_a, zp_a) = qparams_of(node, inputs[0])?;
     let (s_b, zp_b) = qparams_of(node, inputs[1])?;
     let (s_out, zp_out) = out_qparams(node, out_def)?;
     let a = inputs[0].as_u8()?;
     let b = inputs[1].as_u8()?;
     let blen = b.len().max(1);
-    let out = a
-        .iter()
-        .enumerate()
-        .map(|(i, &x)| {
-            let ra = s_a * (x as i32 - zp_a) as f32;
-            let rb = s_b * (b[i % blen] as i32 - zp_b) as f32;
-            let r = activation.apply(ra + rb);
-            (zp_out + (r / s_out).round() as i32).clamp(0, 255) as u8
-        })
-        .collect();
-    build_q_output(node, out_def, out)
+    let out = u8_slot(out_t, out_def)?;
+    for (i, (o, &x)) in out.iter_mut().zip(a).enumerate() {
+        let ra = s_a * (x as i32 - zp_a) as f32;
+        let rb = s_b * (b[i % blen] as i32 - zp_b) as f32;
+        let r = activation.apply(ra + rb);
+        *o = (zp_out + (r / s_out).round() as i32).clamp(0, 255) as u8;
+    }
+    Ok(())
 }
 
 fn mul_rhs_index(lhs: &Tensor, rhs: &Tensor, i: usize) -> usize {
@@ -69,35 +68,41 @@ fn mul_rhs_index(lhs: &Tensor, rhs: &Tensor, i: usize) -> usize {
 }
 
 /// Float multiplication: same shape, scalar, or `[n,1,1,c]` gate.
-pub(crate) fn mul_f32(node: &Node, inputs: &[&Tensor], out_def: &TensorDef) -> Result<Tensor> {
+pub(crate) fn mul_f32(
+    node: &Node,
+    inputs: &[&Tensor],
+    out_def: &TensorDef,
+    out_t: &mut Tensor,
+) -> Result<()> {
     let _ = node;
     let a = inputs[0].as_f32()?;
     let b = inputs[1].as_f32()?;
-    let out = a
-        .iter()
-        .enumerate()
-        .map(|(i, &x)| x * b[mul_rhs_index(inputs[0], inputs[1], i)])
-        .collect();
-    build_f_output(out_def, out)
+    let out = f32_slot(out_t, out_def)?;
+    for (i, (o, &x)) in out.iter_mut().zip(a).enumerate() {
+        *o = x * b[mul_rhs_index(inputs[0], inputs[1], i)];
+    }
+    Ok(())
 }
 
 /// Quantized multiplication via dequantize-multiply-requantize.
-pub(crate) fn mul_q(node: &Node, inputs: &[&Tensor], out_def: &TensorDef) -> Result<Tensor> {
+pub(crate) fn mul_q(
+    node: &Node,
+    inputs: &[&Tensor],
+    out_def: &TensorDef,
+    out_t: &mut Tensor,
+) -> Result<()> {
     let (s_a, zp_a) = qparams_of(node, inputs[0])?;
     let (s_b, zp_b) = qparams_of(node, inputs[1])?;
     let (s_out, zp_out) = out_qparams(node, out_def)?;
     let a = inputs[0].as_u8()?;
     let b = inputs[1].as_u8()?;
-    let out = a
-        .iter()
-        .enumerate()
-        .map(|(i, &x)| {
-            let rb = s_b * (b[mul_rhs_index(inputs[0], inputs[1], i)] as i32 - zp_b) as f32;
-            let r = s_a * (x as i32 - zp_a) as f32 * rb;
-            (zp_out + (r / s_out).round() as i32).clamp(0, 255) as u8
-        })
-        .collect();
-    build_q_output(node, out_def, out)
+    let out = u8_slot(out_t, out_def)?;
+    for (i, (o, &x)) in out.iter_mut().zip(a).enumerate() {
+        let rb = s_b * (b[mul_rhs_index(inputs[0], inputs[1], i)] as i32 - zp_b) as f32;
+        let r = s_a * (x as i32 - zp_a) as f32 * rb;
+        *o = (zp_out + (r / s_out).round() as i32).clamp(0, 255) as u8;
+    }
+    Ok(())
 }
 
 /// Standalone float activation.
@@ -106,10 +111,15 @@ pub(crate) fn act_f32(
     inputs: &[&Tensor],
     out_def: &TensorDef,
     act: Activation,
-) -> Result<Tensor> {
+    out_t: &mut Tensor,
+) -> Result<()> {
     let _ = node;
-    let out = inputs[0].as_f32()?.iter().map(|&x| act.apply(x)).collect();
-    build_f_output(out_def, out)
+    let x = inputs[0].as_f32()?;
+    let out = f32_slot(out_t, out_def)?;
+    for (o, &v) in out.iter_mut().zip(x) {
+        *o = act.apply(v);
+    }
+    Ok(())
 }
 
 /// Standalone quantized activation via dequantize-apply-requantize (TFLite
@@ -119,7 +129,8 @@ pub(crate) fn act_q(
     inputs: &[&Tensor],
     out_def: &TensorDef,
     act: Activation,
-) -> Result<Tensor> {
+    out_t: &mut Tensor,
+) -> Result<()> {
     let (s_in, zp_in) = qparams_of(node, inputs[0])?;
     let (s_out, zp_out) = out_qparams(node, out_def)?;
     // Build the 256-entry LUT, as the real runtime does.
@@ -129,15 +140,16 @@ pub(crate) fn act_q(
             (zp_out + (r / s_out).round() as i32).clamp(0, 255) as u8
         })
         .collect();
-    let out = inputs[0]
-        .as_u8()?
-        .iter()
-        .map(|&q| lut[q as usize])
-        .collect();
-    build_q_output(node, out_def, out)
+    let x = inputs[0].as_u8()?;
+    let out = u8_slot(out_t, out_def)?;
+    for (o, &q) in out.iter_mut().zip(x) {
+        *o = lut[q as usize];
+    }
+    Ok(())
 }
 
 /// Spatial zero padding (quantized tensors pad with the zero point).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn pad(
     node: &Node,
     inputs: &[&Tensor],
@@ -146,7 +158,8 @@ pub(crate) fn pad(
     bottom: usize,
     left: usize,
     right: usize,
-) -> Result<Tensor> {
+    out_t: &mut Tensor,
+) -> Result<()> {
     let _ = (bottom, right);
     let input = inputs[0];
     let d = input.shape().dims();
@@ -155,7 +168,8 @@ pub(crate) fn pad(
     let (oh, ow) = (od[1], od[2]);
     match input.as_f32() {
         Ok(x) => {
-            let mut out = vec![0.0f32; out_def.shape().num_elements()];
+            let out = f32_slot(out_t, out_def)?;
+            out.iter_mut().for_each(|v| *v = 0.0);
             for b in 0..n {
                 for y in 0..h {
                     for xx in 0..w {
@@ -165,12 +179,13 @@ pub(crate) fn pad(
                     }
                 }
             }
-            build_f_output(out_def, out)
+            Ok(())
         }
         Err(_) => {
             let (_, zp) = out_qparams(node, out_def)?;
             let x = inputs[0].as_u8()?;
-            let mut out = vec![zp.clamp(0, 255) as u8; out_def.shape().num_elements()];
+            let out = u8_slot(out_t, out_def)?;
+            out.iter_mut().for_each(|v| *v = zp.clamp(0, 255) as u8);
             for b in 0..n {
                 for y in 0..h {
                     for xx in 0..w {
@@ -180,7 +195,7 @@ pub(crate) fn pad(
                     }
                 }
             }
-            build_q_output(node, out_def, out)
+            Ok(())
         }
     }
 }
@@ -192,14 +207,15 @@ pub(crate) fn concat(
     inputs: &[&Tensor],
     out_def: &TensorDef,
     axis: usize,
-) -> Result<Tensor> {
+    out_t: &mut Tensor,
+) -> Result<()> {
     let out_dims = out_def.shape().dims().to_vec();
     let outer: usize = out_dims[..axis].iter().product::<usize>().max(1);
     let inner: usize = out_dims[axis + 1..].iter().product::<usize>().max(1);
     let quantized = inputs[0].dtype() == mlexray_tensor::DType::U8;
     if quantized {
         let (s_out, zp_out) = out_qparams(node, out_def)?;
-        let mut out = vec![0u8; out_def.shape().num_elements()];
+        let out = u8_slot(out_t, out_def)?;
         let mut axis_off = 0usize;
         let out_axis = out_dims[axis];
         for t in inputs {
@@ -218,9 +234,9 @@ pub(crate) fn concat(
             }
             axis_off += a;
         }
-        build_q_output(node, out_def, out)
+        Ok(())
     } else {
-        let mut out = vec![0.0f32; out_def.shape().num_elements()];
+        let out = f32_slot(out_t, out_def)?;
         let mut axis_off = 0usize;
         let out_axis = out_dims[axis];
         for t in inputs {
@@ -235,18 +251,23 @@ pub(crate) fn concat(
             }
             axis_off += a;
         }
-        build_f_output(out_def, out)
+        Ok(())
     }
 }
 
 /// Softmax over the last axis.
-pub(crate) fn softmax_f32(node: &Node, inputs: &[&Tensor], out_def: &TensorDef) -> Result<Tensor> {
+pub(crate) fn softmax_f32(
+    node: &Node,
+    inputs: &[&Tensor],
+    out_def: &TensorDef,
+    out_t: &mut Tensor,
+) -> Result<()> {
     let _ = node;
     let x = inputs[0].as_f32()?;
     let dims = inputs[0].shape().dims();
     let last = dims[dims.len() - 1];
     let rows = x.len() / last.max(1);
-    let mut out = vec![0.0f32; x.len()];
+    let out = f32_slot(out_t, out_def)?;
     for r in 0..rows {
         let row = &x[r * last..(r + 1) * last];
         let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
@@ -260,7 +281,7 @@ pub(crate) fn softmax_f32(node: &Node, inputs: &[&Tensor], out_def: &TensorDef) 
             *v /= sum;
         }
     }
-    build_f_output(out_def, out)
+    Ok(())
 }
 
 /// Inference-style batch normalization over the channel (last) axis.
@@ -269,7 +290,8 @@ pub(crate) fn batch_norm_f32(
     inputs: &[&Tensor],
     out_def: &TensorDef,
     epsilon: f32,
-) -> Result<Tensor> {
+    out_t: &mut Tensor,
+) -> Result<()> {
     let _ = node;
     let x = inputs[0].as_f32()?;
     let gamma = inputs[1].as_f32()?;
@@ -277,15 +299,12 @@ pub(crate) fn batch_norm_f32(
     let mean = inputs[3].as_f32()?;
     let var = inputs[4].as_f32()?;
     let c = gamma.len();
-    let out = x
-        .iter()
-        .enumerate()
-        .map(|(i, &v)| {
-            let ch = i % c;
-            gamma[ch] * (v - mean[ch]) / (var[ch] + epsilon).sqrt() + beta[ch]
-        })
-        .collect();
-    build_f_output(out_def, out)
+    let out = f32_slot(out_t, out_def)?;
+    for (i, (o, &v)) in out.iter_mut().zip(x).enumerate() {
+        let ch = i % c;
+        *o = gamma[ch] * (v - mean[ch]) / (var[ch] + epsilon).sqrt() + beta[ch];
+    }
+    Ok(())
 }
 
 /// Layer normalization over the last axis.
@@ -294,14 +313,15 @@ pub(crate) fn layer_norm_f32(
     inputs: &[&Tensor],
     out_def: &TensorDef,
     epsilon: f32,
-) -> Result<Tensor> {
+    out_t: &mut Tensor,
+) -> Result<()> {
     let _ = node;
     let x = inputs[0].as_f32()?;
     let gamma = inputs[1].as_f32()?;
     let beta = inputs[2].as_f32()?;
     let d = gamma.len();
     let rows = x.len() / d.max(1);
-    let mut out = vec![0.0f32; x.len()];
+    let out = f32_slot(out_t, out_def)?;
     for r in 0..rows {
         let row = &x[r * d..(r + 1) * d];
         let mean = row.iter().sum::<f32>() / d as f32;
@@ -311,7 +331,7 @@ pub(crate) fn layer_norm_f32(
             out[r * d + i] = gamma[i] * (v - mean) * inv + beta[i];
         }
     }
-    build_f_output(out_def, out)
+    Ok(())
 }
 
 /// Embedding lookup; out-of-range ids clamp to the table (the `<unk>`
@@ -320,39 +340,68 @@ pub(crate) fn embedding_f32(
     node: &Node,
     inputs: &[&Tensor],
     out_def: &TensorDef,
-) -> Result<Tensor> {
+    out_t: &mut Tensor,
+) -> Result<()> {
     let _ = node;
     let ids = inputs[0].as_i32()?;
     let table = inputs[1].as_f32()?;
     let d = inputs[1].shape().dims()[1];
     let v = inputs[1].shape().dims()[0];
-    let mut out = vec![0.0f32; out_def.shape().num_elements()];
+    let out = f32_slot(out_t, out_def)?;
     for (i, &id) in ids.iter().enumerate() {
         let id = (id.max(0) as usize).min(v - 1);
         out[i * d..(i + 1) * d].copy_from_slice(&table[id * d..(id + 1) * d]);
     }
-    build_f_output(out_def, out)
+    Ok(())
 }
 
-/// Reshape: same data, new shape (any dtype).
-pub(crate) fn reshape(node: &Node, inputs: &[&Tensor], out_def: &TensorDef) -> Result<Tensor> {
-    let _ = node;
-    Ok(inputs[0].reshape(out_def.shape().clone())?)
+/// Reshape: same data, new shape (any dtype). Keeps the *input's*
+/// quantization parameters on the output slot, matching the semantics of a
+/// data-preserving view.
+pub(crate) fn reshape(
+    node: &Node,
+    inputs: &[&Tensor],
+    out_def: &TensorDef,
+    out_t: &mut Tensor,
+) -> Result<()> {
+    let _ = (node, out_def);
+    let input = inputs[0];
+    match input.data() {
+        TensorData::F32(src) => out_t.as_f32_mut()?.copy_from_slice(src),
+        TensorData::U8(src) => out_t.as_u8_mut()?.copy_from_slice(src),
+        TensorData::I8(src) => out_t.as_i8_mut()?.copy_from_slice(src),
+        TensorData::I32(src) => out_t.as_i32_mut()?.copy_from_slice(src),
+    }
+    out_t.set_quant(input.quant().cloned());
+    Ok(())
 }
 
 /// The `f32 → u8` quantization boundary inserted by the quantizer.
-pub(crate) fn quantize(node: &Node, inputs: &[&Tensor], out_def: &TensorDef) -> Result<Tensor> {
+pub(crate) fn quantize(
+    node: &Node,
+    inputs: &[&Tensor],
+    out_def: &TensorDef,
+    out_t: &mut Tensor,
+) -> Result<()> {
     let (scale, zp) = out_qparams(node, out_def)?;
-    let out = inputs[0]
-        .as_f32()?
-        .iter()
-        .map(|&v| (zp + (v / scale).round() as i32).clamp(0, 255) as u8)
-        .collect();
-    build_q_output(node, out_def, out)
+    let x = inputs[0].as_f32()?;
+    let out = u8_slot(out_t, out_def)?;
+    for (o, &v) in out.iter_mut().zip(x) {
+        *o = (zp + (v / scale).round() as i32).clamp(0, 255) as u8;
+    }
+    Ok(())
 }
 
 /// The `u8 → f32` dequantization boundary.
-pub(crate) fn dequantize(node: &Node, inputs: &[&Tensor], out_def: &TensorDef) -> Result<Tensor> {
+pub(crate) fn dequantize(
+    node: &Node,
+    inputs: &[&Tensor],
+    out_def: &TensorDef,
+    out_t: &mut Tensor,
+) -> Result<()> {
     let _ = node;
-    build_f_output(out_def, inputs[0].to_f32_vec())
+    let values = inputs[0].to_f32_vec();
+    let out = f32_slot(out_t, out_def)?;
+    out.copy_from_slice(&values);
+    Ok(())
 }

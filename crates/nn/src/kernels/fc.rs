@@ -1,11 +1,12 @@
 //! Fully-connected and matrix-multiplication kernels.
+//!
+//! `fc_f32`/`fc_q` treat the leading dimension as the batch, so a stacked
+//! N-frame invoke runs as one `[N*n, in] x [out, in]^T` GEMM.
 
 use mlexray_tensor::{QuantParams, Tensor};
 
 use crate::graph::{Node, TensorDef};
-use crate::kernels::{
-    act_qbounds, build_f_output, build_q_output, out_qparams, qparams_of, requantize,
-};
+use crate::kernels::{act_qbounds, f32_slot, out_qparams, qparams_of, requantize, u8_slot};
 use crate::ops::Activation;
 use crate::resolver::KernelFlavor;
 use crate::Result;
@@ -17,7 +18,8 @@ pub(crate) fn fc_f32(
     out_def: &TensorDef,
     activation: Activation,
     flavor: KernelFlavor,
-) -> Result<Tensor> {
+    out_t: &mut Tensor,
+) -> Result<()> {
     let _ = node;
     let x = inputs[0].as_f32()?;
     let w = inputs[1].as_f32()?;
@@ -25,7 +27,7 @@ pub(crate) fn fc_f32(
     let in_f = inputs[1].shape().dims()[1];
     let out_f = inputs[1].shape().dims()[0];
     let batch = inputs[0].shape().dims()[0];
-    let mut out = vec![0.0f32; batch * out_f];
+    let out = f32_slot(out_t, out_def)?;
     for n in 0..batch {
         let xrow = &x[n * in_f..(n + 1) * in_f];
         for o in 0..out_f {
@@ -58,7 +60,7 @@ pub(crate) fn fc_f32(
             out[n * out_f + o] = activation.apply(acc + bias.map(|b| b[o]).unwrap_or(0.0));
         }
     }
-    build_f_output(out_def, out)
+    Ok(())
 }
 
 /// Quantized fully-connected layer.
@@ -67,7 +69,8 @@ pub(crate) fn fc_q(
     inputs: &[&Tensor],
     out_def: &TensorDef,
     activation: Activation,
-) -> Result<Tensor> {
+    out_t: &mut Tensor,
+) -> Result<()> {
     let input = inputs[0];
     let weights = inputs[1];
     let bias = inputs.get(2).map(|t| t.as_i32()).transpose()?;
@@ -83,7 +86,7 @@ pub(crate) fn fc_q(
     let out_f = weights.shape().dims()[0];
     let batch = input.shape().dims()[0];
     let (qlo, qhi) = act_qbounds(activation, s_out, zp_out);
-    let mut out = vec![0u8; batch * out_f];
+    let out = u8_slot(out_t, out_def)?;
     for n in 0..batch {
         for o in 0..out_f {
             let mut acc: i32 = bias.map(|b| b[o]).unwrap_or(0);
@@ -94,7 +97,7 @@ pub(crate) fn fc_q(
             out[n * out_f + o] = requantize(acc, m, zp_out, qlo, qhi);
         }
     }
-    build_q_output(node, out_def, out)
+    Ok(())
 }
 
 /// Float 2-D matrix multiplication (used by the transformer encoder).
@@ -103,7 +106,8 @@ pub(crate) fn matmul_f32(
     inputs: &[&Tensor],
     out_def: &TensorDef,
     transpose_b: bool,
-) -> Result<Tensor> {
+    out_t: &mut Tensor,
+) -> Result<()> {
     let _ = node;
     let a = inputs[0].as_f32()?;
     let b = inputs[1].as_f32()?;
@@ -111,7 +115,7 @@ pub(crate) fn matmul_f32(
     let sb = inputs[1].shape().dims();
     let (m, k) = (sa[0], sa[1]);
     let n = if transpose_b { sb[0] } else { sb[1] };
-    let mut out = vec![0.0f32; m * n];
+    let out = f32_slot(out_t, out_def)?;
     for i in 0..m {
         for j in 0..n {
             let mut acc = 0.0f32;
@@ -127,5 +131,5 @@ pub(crate) fn matmul_f32(
             out[i * n + j] = acc;
         }
     }
-    build_f_output(out_def, out)
+    Ok(())
 }

@@ -7,6 +7,14 @@
 //! changes float summation order — the benign source of the small
 //! checkpoint-vs-mobile drift in Fig. 5 — and is where the injected
 //! depthwise-conv defect of [`KernelBugs`] lives.
+//!
+//! Every kernel writes into an arena-provided output slot (`&mut Tensor`,
+//! preallocated from the interpreter's `MemoryPlan`) instead of returning a
+//! fresh tensor, so steady-state execution allocates nothing per node. The
+//! batched execution path additionally routes optimized float convolutions
+//! through [`conv::conv2d_f32_gemm`], a whole-batch im2col + blocked GEMM
+//! whose per-cell arithmetic is bitwise-identical to the per-pixel optimized
+//! kernel.
 
 mod conv;
 mod elementwise;
@@ -20,20 +28,35 @@ use crate::ops::{Activation, OpKind};
 use crate::resolver::{KernelBugs, KernelFlavor};
 use crate::{NnError, Result};
 
-/// Executes one node given resolved input tensors and the output slot
-/// definition (shape, dtype, quantization).
+/// Per-invoke execution context threaded through the dispatch: kernel
+/// family, injected defects, whether this invoke runs a stacked batch, and
+/// the plan-sized f32 scratch buffer.
+pub(crate) struct KernelCtx<'a> {
+    pub flavor: KernelFlavor,
+    pub bugs: &'a KernelBugs,
+    /// True when the interpreter stacked several frames into one invoke —
+    /// enables the batched GEMM convolution path.
+    pub batched: bool,
+    /// Scratch reused across nodes; capacity is reserved at plan time so
+    /// `resize` never reallocates in steady state.
+    pub scratch: &'a mut Vec<f32>,
+}
+
+/// Executes one node given resolved input tensors, the output slot
+/// definition (shape, dtype, quantization) and the preallocated output slot.
 pub(crate) fn execute_node(
     _graph: &Graph,
     node: &Node,
     inputs: &[&Tensor],
     out_def: &TensorDef,
-    flavor: KernelFlavor,
-    bugs: &KernelBugs,
-) -> Result<Tensor> {
+    out: &mut Tensor,
+    ctx: &mut KernelCtx<'_>,
+) -> Result<()> {
     let quantized = inputs
         .first()
         .map(|t| t.dtype() == DType::U8)
         .unwrap_or(false);
+    let flavor = ctx.flavor;
     match (&node.op, quantized) {
         (
             OpKind::Conv2d {
@@ -42,15 +65,31 @@ pub(crate) fn execute_node(
                 activation,
             },
             false,
-        ) => conv::conv2d_f32(
-            node,
-            inputs,
-            out_def,
-            *stride,
-            *padding,
-            *activation,
-            flavor,
-        ),
+        ) => {
+            if ctx.batched && flavor == KernelFlavor::Optimized {
+                conv::conv2d_f32_gemm(
+                    node,
+                    inputs,
+                    out_def,
+                    *stride,
+                    *padding,
+                    *activation,
+                    ctx.scratch,
+                    out,
+                )
+            } else {
+                conv::conv2d_f32(
+                    node,
+                    inputs,
+                    out_def,
+                    *stride,
+                    *padding,
+                    *activation,
+                    flavor,
+                    out,
+                )
+            }
+        }
         (
             OpKind::Conv2d {
                 stride,
@@ -58,7 +97,7 @@ pub(crate) fn execute_node(
                 activation,
             },
             true,
-        ) => conv::conv2d_q(node, inputs, out_def, *stride, *padding, *activation),
+        ) => conv::conv2d_q(node, inputs, out_def, *stride, *padding, *activation, out),
         (
             OpKind::DepthwiseConv2d {
                 stride,
@@ -66,15 +105,22 @@ pub(crate) fn execute_node(
                 activation,
             },
             false,
-        ) => conv::dwconv_f32(
-            node,
-            inputs,
-            out_def,
-            *stride,
-            *padding,
-            *activation,
-            flavor,
-        ),
+        ) => {
+            if ctx.batched && flavor == KernelFlavor::Optimized {
+                conv::dwconv_f32_batched(node, inputs, out_def, *stride, *padding, *activation, out)
+            } else {
+                conv::dwconv_f32(
+                    node,
+                    inputs,
+                    out_def,
+                    *stride,
+                    *padding,
+                    *activation,
+                    flavor,
+                    out,
+                )
+            }
+        }
         (
             OpKind::DepthwiseConv2d {
                 stride,
@@ -90,15 +136,18 @@ pub(crate) fn execute_node(
             *padding,
             *activation,
             flavor,
-            bugs,
+            ctx.bugs,
+            out,
         ),
         (OpKind::FullyConnected { activation }, false) => {
-            fc::fc_f32(node, inputs, out_def, *activation, flavor)
+            fc::fc_f32(node, inputs, out_def, *activation, flavor, out)
         }
         (OpKind::FullyConnected { activation }, true) => {
-            fc::fc_q(node, inputs, out_def, *activation)
+            fc::fc_q(node, inputs, out_def, *activation, out)
         }
-        (OpKind::MatMul { transpose_b }, _) => fc::matmul_f32(node, inputs, out_def, *transpose_b),
+        (OpKind::MatMul { transpose_b }, _) => {
+            fc::matmul_f32(node, inputs, out_def, *transpose_b, out)
+        }
         (
             OpKind::AveragePool2d {
                 pool_h,
@@ -107,7 +156,9 @@ pub(crate) fn execute_node(
                 padding,
             },
             false,
-        ) => pool::avgpool_f32(node, inputs, out_def, *pool_h, *pool_w, *stride, *padding),
+        ) => pool::avgpool_f32(
+            node, inputs, out_def, *pool_h, *pool_w, *stride, *padding, out,
+        ),
         (
             OpKind::AveragePool2d {
                 pool_h,
@@ -117,7 +168,7 @@ pub(crate) fn execute_node(
             },
             true,
         ) => pool::avgpool_q(
-            node, inputs, out_def, *pool_h, *pool_w, *stride, *padding, bugs,
+            node, inputs, out_def, *pool_h, *pool_w, *stride, *padding, ctx.bugs, out,
         ),
         (
             OpKind::MaxPool2d {
@@ -127,7 +178,9 @@ pub(crate) fn execute_node(
                 padding,
             },
             false,
-        ) => pool::maxpool_f32(node, inputs, out_def, *pool_h, *pool_w, *stride, *padding),
+        ) => pool::maxpool_f32(
+            node, inputs, out_def, *pool_h, *pool_w, *stride, *padding, out,
+        ),
         (
             OpKind::MaxPool2d {
                 pool_h,
@@ -136,18 +189,20 @@ pub(crate) fn execute_node(
                 padding,
             },
             true,
-        ) => pool::maxpool_q(node, inputs, out_def, *pool_h, *pool_w, *stride, *padding),
-        (OpKind::Mean, false) => pool::mean_f32(node, inputs, out_def),
-        (OpKind::Mean, true) => pool::mean_q(node, inputs, out_def),
+        ) => pool::maxpool_q(
+            node, inputs, out_def, *pool_h, *pool_w, *stride, *padding, out,
+        ),
+        (OpKind::Mean, false) => pool::mean_f32(node, inputs, out_def, out),
+        (OpKind::Mean, true) => pool::mean_q(node, inputs, out_def, out),
         (OpKind::Add { activation }, false) => {
-            elementwise::add_f32(node, inputs, out_def, *activation)
+            elementwise::add_f32(node, inputs, out_def, *activation, out)
         }
         (OpKind::Add { activation }, true) => {
-            elementwise::add_q(node, inputs, out_def, *activation)
+            elementwise::add_q(node, inputs, out_def, *activation, out)
         }
-        (OpKind::Mul, false) => elementwise::mul_f32(node, inputs, out_def),
-        (OpKind::Mul, true) => elementwise::mul_q(node, inputs, out_def),
-        (OpKind::Concat { axis }, _) => elementwise::concat(node, inputs, out_def, *axis),
+        (OpKind::Mul, false) => elementwise::mul_f32(node, inputs, out_def, out),
+        (OpKind::Mul, true) => elementwise::mul_q(node, inputs, out_def, out),
+        (OpKind::Concat { axis }, _) => elementwise::concat(node, inputs, out_def, *axis, out),
         (
             OpKind::Pad {
                 top,
@@ -156,21 +211,21 @@ pub(crate) fn execute_node(
                 right,
             },
             _,
-        ) => elementwise::pad(node, inputs, out_def, *top, *bottom, *left, *right),
-        (OpKind::Softmax, false) => elementwise::softmax_f32(node, inputs, out_def),
+        ) => elementwise::pad(node, inputs, out_def, *top, *bottom, *left, *right, out),
+        (OpKind::Softmax, false) => elementwise::softmax_f32(node, inputs, out_def, out),
         (OpKind::Softmax, true) => Err(unsupported(node, "quantized softmax (insert Dequantize)")),
-        (OpKind::Act(act), false) => elementwise::act_f32(node, inputs, out_def, *act),
-        (OpKind::Act(act), true) => elementwise::act_q(node, inputs, out_def, *act),
+        (OpKind::Act(act), false) => elementwise::act_f32(node, inputs, out_def, *act, out),
+        (OpKind::Act(act), true) => elementwise::act_q(node, inputs, out_def, *act, out),
         (OpKind::BatchNorm { epsilon }, false) => {
-            elementwise::batch_norm_f32(node, inputs, out_def, *epsilon)
+            elementwise::batch_norm_f32(node, inputs, out_def, *epsilon, out)
         }
         (OpKind::LayerNorm { epsilon }, false) => {
-            elementwise::layer_norm_f32(node, inputs, out_def, *epsilon)
+            elementwise::layer_norm_f32(node, inputs, out_def, *epsilon, out)
         }
-        (OpKind::Embedding, _) => elementwise::embedding_f32(node, inputs, out_def),
-        (OpKind::Reshape { .. }, _) => elementwise::reshape(node, inputs, out_def),
-        (OpKind::Quantize, _) => elementwise::quantize(node, inputs, out_def),
-        (OpKind::Dequantize, _) => elementwise::dequantize(node, inputs, out_def),
+        (OpKind::Embedding, _) => elementwise::embedding_f32(node, inputs, out_def, out),
+        (OpKind::Reshape { .. }, _) => elementwise::reshape(node, inputs, out_def, out),
+        (OpKind::Quantize, _) => elementwise::quantize(node, inputs, out_def, out),
+        (OpKind::Dequantize, _) => elementwise::dequantize(node, inputs, out_def, out),
         (op, true) => Err(unsupported(node, &format!("quantized {}", op.type_label()))),
     }
 }
@@ -227,17 +282,16 @@ pub(crate) fn requantize(acc: i32, m: f64, zp_out: i32, qlo: i32, qhi: i32) -> u
     v.clamp(qlo, qhi) as u8
 }
 
-/// Builds the output tensor for a quantized kernel from raw `u8` values and
-/// the output slot's parameters.
-pub(crate) fn build_q_output(node: &Node, out_def: &TensorDef, data: Vec<u8>) -> Result<Tensor> {
-    let quant = out_def.quant().cloned().ok_or_else(|| NnError::InvalidOp {
-        node: node.name.clone(),
-        reason: "missing output quantization".into(),
-    })?;
-    Ok(Tensor::from_u8(out_def.shape().clone(), data, quant)?)
+/// Borrows a float output slot, checking it matches the slot definition.
+pub(crate) fn f32_slot<'a>(out: &'a mut Tensor, out_def: &TensorDef) -> Result<&'a mut [f32]> {
+    debug_assert_eq!(out.len(), out_def.shape().num_elements());
+    Ok(out.as_f32_mut()?)
 }
 
-/// Builds the output tensor for a float kernel.
-pub(crate) fn build_f_output(out_def: &TensorDef, data: Vec<f32>) -> Result<Tensor> {
-    Ok(Tensor::from_f32(out_def.shape().clone(), data)?)
+/// Borrows a quantized (`u8`) output slot. The slot's quantization
+/// parameters were attached from the slot definition when the arena was
+/// planned, matching what `out_qparams` reads.
+pub(crate) fn u8_slot<'a>(out: &'a mut Tensor, out_def: &TensorDef) -> Result<&'a mut [u8]> {
+    debug_assert_eq!(out.len(), out_def.shape().num_elements());
+    Ok(out.as_u8_mut()?)
 }

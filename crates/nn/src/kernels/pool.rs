@@ -1,10 +1,11 @@
 //! Pooling and reduction kernels, including the injectable quantized
-//! AveragePool2D defect of §4.4.
+//! AveragePool2D defect of §4.4. All loops are batch-outer, so stacked
+//! batches run natively.
 
 use mlexray_tensor::Tensor;
 
 use crate::graph::{Node, TensorDef};
-use crate::kernels::{build_f_output, build_q_output, out_qparams, qparams_of, requantize};
+use crate::kernels::{f32_slot, out_qparams, qparams_of, requantize, u8_slot};
 use crate::ops::{same_pad_before, Padding};
 use crate::resolver::KernelBugs;
 use crate::Result;
@@ -74,6 +75,7 @@ fn window(
 }
 
 /// Float average pooling.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn avgpool_f32(
     node: &Node,
     inputs: &[&Tensor],
@@ -82,11 +84,12 @@ pub(crate) fn avgpool_f32(
     pool_w: usize,
     stride: usize,
     padding: Padding,
-) -> Result<Tensor> {
+    out_t: &mut Tensor,
+) -> Result<()> {
     let _ = node;
     let x = inputs[0].as_f32()?;
     let g = geometry(inputs[0], out_def, pool_h, pool_w, stride, padding);
-    let mut out = vec![0.0f32; out_def.shape().num_elements()];
+    let out = f32_slot(out_t, out_def)?;
     for n in 0..g.n {
         for oy in 0..g.out_h {
             for ox in 0..g.out_w {
@@ -103,10 +106,11 @@ pub(crate) fn avgpool_f32(
             }
         }
     }
-    build_f_output(out_def, out)
+    Ok(())
 }
 
 /// Float max pooling.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn maxpool_f32(
     node: &Node,
     inputs: &[&Tensor],
@@ -115,11 +119,12 @@ pub(crate) fn maxpool_f32(
     pool_w: usize,
     stride: usize,
     padding: Padding,
-) -> Result<Tensor> {
+    out_t: &mut Tensor,
+) -> Result<()> {
     let _ = node;
     let x = inputs[0].as_f32()?;
     let g = geometry(inputs[0], out_def, pool_h, pool_w, stride, padding);
-    let mut out = vec![0.0f32; out_def.shape().num_elements()];
+    let out = f32_slot(out_t, out_def)?;
     for n in 0..g.n {
         for oy in 0..g.out_h {
             for ox in 0..g.out_w {
@@ -135,18 +140,24 @@ pub(crate) fn maxpool_f32(
             }
         }
     }
-    build_f_output(out_def, out)
+    Ok(())
 }
 
 /// Float global reduce-mean: `[n, ..., c] → [n, c]`.
-pub(crate) fn mean_f32(node: &Node, inputs: &[&Tensor], out_def: &TensorDef) -> Result<Tensor> {
+pub(crate) fn mean_f32(
+    node: &Node,
+    inputs: &[&Tensor],
+    out_def: &TensorDef,
+    out_t: &mut Tensor,
+) -> Result<()> {
     let _ = node;
     let x = inputs[0].as_f32()?;
     let dims = inputs[0].shape().dims();
     let n = dims[0];
     let c = dims[dims.len() - 1];
     let mid: usize = dims[1..dims.len() - 1].iter().product::<usize>().max(1);
-    let mut out = vec![0.0f32; n * c];
+    let out = f32_slot(out_t, out_def)?;
+    out.iter_mut().for_each(|v| *v = 0.0);
     for b in 0..n {
         for m in 0..mid {
             let base = (b * mid + m) * c;
@@ -158,7 +169,7 @@ pub(crate) fn mean_f32(node: &Node, inputs: &[&Tensor], out_def: &TensorDef) -> 
             out[b * c + ch] /= mid as f32;
         }
     }
-    build_f_output(out_def, out)
+    Ok(())
 }
 
 /// Quantized average pooling. When [`KernelBugs::avgpool_double_division`] is
@@ -175,13 +186,14 @@ pub(crate) fn avgpool_q(
     stride: usize,
     padding: Padding,
     bugs: &KernelBugs,
-) -> Result<Tensor> {
+    out_t: &mut Tensor,
+) -> Result<()> {
     let input = inputs[0];
     let (s_in, zp_in) = qparams_of(node, input)?;
     let (s_out, zp_out) = out_qparams(node, out_def)?;
     let x = input.as_u8()?;
     let g = geometry(input, out_def, pool_h, pool_w, stride, padding);
-    let mut out = vec![0u8; out_def.shape().num_elements()];
+    let out = u8_slot(out_t, out_def)?;
     let m = (s_in as f64) / (s_out as f64);
     let buggy = bugs.avgpool_double_division && pool_h * pool_w >= 16;
     for n in 0..g.n {
@@ -209,10 +221,11 @@ pub(crate) fn avgpool_q(
             }
         }
     }
-    build_q_output(node, out_def, out)
+    Ok(())
 }
 
 /// Quantized max pooling (correct in both resolvers).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn maxpool_q(
     node: &Node,
     inputs: &[&Tensor],
@@ -221,14 +234,15 @@ pub(crate) fn maxpool_q(
     pool_w: usize,
     stride: usize,
     padding: Padding,
-) -> Result<Tensor> {
+    out_t: &mut Tensor,
+) -> Result<()> {
     let input = inputs[0];
     let (s_in, zp_in) = qparams_of(node, input)?;
     let (s_out, zp_out) = out_qparams(node, out_def)?;
     let x = input.as_u8()?;
     let g = geometry(input, out_def, pool_h, pool_w, stride, padding);
     let m = (s_in as f64) / (s_out as f64);
-    let mut out = vec![0u8; out_def.shape().num_elements()];
+    let out = u8_slot(out_t, out_def)?;
     for n in 0..g.n {
         for oy in 0..g.out_h {
             for ox in 0..g.out_w {
@@ -250,13 +264,18 @@ pub(crate) fn maxpool_q(
             }
         }
     }
-    build_q_output(node, out_def, out)
+    Ok(())
 }
 
 /// Quantized global reduce-mean (TFLite `Mean`, correct — which is why
 /// MobileNet v1/v2 survive quantization in Fig. 5 while v3's `AveragePool2d`
 /// does not).
-pub(crate) fn mean_q(node: &Node, inputs: &[&Tensor], out_def: &TensorDef) -> Result<Tensor> {
+pub(crate) fn mean_q(
+    node: &Node,
+    inputs: &[&Tensor],
+    out_def: &TensorDef,
+    out_t: &mut Tensor,
+) -> Result<()> {
     let input = inputs[0];
     let (s_in, zp_in) = qparams_of(node, input)?;
     let (s_out, zp_out) = out_qparams(node, out_def)?;
@@ -266,7 +285,7 @@ pub(crate) fn mean_q(node: &Node, inputs: &[&Tensor], out_def: &TensorDef) -> Re
     let c = dims[dims.len() - 1];
     let mid: usize = dims[1..dims.len() - 1].iter().product::<usize>().max(1);
     let m = (s_in as f64) / (s_out as f64);
-    let mut out = vec![0u8; n * c];
+    let out = u8_slot(out_t, out_def)?;
     for b in 0..n {
         for ch in 0..c {
             let mut acc: i64 = 0;
@@ -277,5 +296,5 @@ pub(crate) fn mean_q(node: &Node, inputs: &[&Tensor], out_def: &TensorDef) -> Re
             out[b * c + ch] = requantize(avg - zp_in, m, zp_out, 0, 255);
         }
     }
-    build_q_output(node, out_def, out)
+    Ok(())
 }

@@ -37,11 +37,13 @@
 
 mod convert;
 mod error;
+pub mod golden;
 mod graph;
 mod interpreter;
 mod kernels;
 mod model;
 mod ops;
+mod plan;
 mod quantize;
 mod resolver;
 
@@ -53,6 +55,7 @@ pub use interpreter::{
 };
 pub use model::{Model, ModelVariant};
 pub use ops::{Activation, OpKind, Padding};
+pub use plan::{MemoryPlan, PlannedTensor};
 pub use quantize::{calibrate, output_params, quantize_model, Calibration, QuantizationOptions};
 pub use resolver::{KernelBugs, KernelFlavor};
 

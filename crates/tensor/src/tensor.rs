@@ -306,6 +306,32 @@ impl Tensor {
         }
     }
 
+    /// Mutably borrows the buffer as `i8`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DTypeMismatch`] for non-`i8` tensors.
+    pub fn as_i8_mut(&mut self) -> Result<&mut [i8]> {
+        let err = self.dtype_err(DType::I8);
+        match &mut self.data {
+            TensorData::I8(v) => Ok(v),
+            _ => Err(err),
+        }
+    }
+
+    /// Mutably borrows the buffer as `i32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DTypeMismatch`] for non-`i32` tensors.
+    pub fn as_i32_mut(&mut self) -> Result<&mut [i32]> {
+        let err = self.dtype_err(DType::I32);
+        match &mut self.data {
+            TensorData::I32(v) => Ok(v),
+            _ => Err(err),
+        }
+    }
+
     /// Borrows the buffer as `i32`.
     ///
     /// # Errors
