@@ -1,0 +1,9 @@
+//! Prints the differential-debugging figure: localization accuracy and
+//! overhead of the cross-backend per-layer differential debugger.
+fn main() {
+    let scale = mlexray_bench::support::Scale::from_env();
+    println!(
+        "{}",
+        mlexray_bench::experiments::fig_differential::run(&scale)
+    );
+}

@@ -22,4 +22,8 @@ fn main() {
         "{}\n",
         mlexray_bench::experiments::fig_batching::run(&scale)
     );
+    println!(
+        "{}\n",
+        mlexray_bench::experiments::fig_differential::run(&scale)
+    );
 }

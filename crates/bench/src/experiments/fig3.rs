@@ -197,6 +197,7 @@ pub fn run(scale: &Scale) -> String {
             &ImagePipeline::new(quant, canonical3).with_options(InterpreterOptions {
                 flavor: KernelFlavor::Reference,
                 bugs: KernelBugs::paper_2021(),
+                numerics: None,
             }),
             &frames,
             MonitorConfig::offline_validation(),

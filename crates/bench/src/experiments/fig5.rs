@@ -46,6 +46,7 @@ pub fn run(scale: &Scale) -> String {
             InterpreterOptions {
                 flavor: KernelFlavor::Optimized,
                 bugs: KernelBugs::paper_2021(),
+                numerics: None,
             },
         );
         let quant_ref = accuracy_with_options(
@@ -54,6 +55,7 @@ pub fn run(scale: &Scale) -> String {
             InterpreterOptions {
                 flavor: KernelFlavor::Reference,
                 bugs: KernelBugs::paper_2021(),
+                numerics: None,
             },
         );
         rows.push(vec![

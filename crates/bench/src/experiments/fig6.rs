@@ -60,6 +60,7 @@ pub fn panel(family: MiniFamily, scale: &Scale) -> String {
             ImagePipeline::new(quant.clone(), canonical.clone()).with_options(InterpreterOptions {
                 flavor,
                 bugs: KernelBugs::paper_2021(),
+                numerics: None,
             });
         let edge_logs = collect_logs(&edge_pipeline, &frames, MonitorConfig::offline_validation())
             .expect("edge replay");

@@ -8,6 +8,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod fig_batching;
+pub mod fig_differential;
 pub mod fig_scaling;
 pub mod table1;
 pub mod table2;

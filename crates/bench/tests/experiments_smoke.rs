@@ -135,6 +135,58 @@ fn fig_batching_renders_and_batched_invoke_is_equivalent_and_fast() {
 }
 
 #[test]
+fn fig_differential_localizes_injected_bugs() {
+    let mut result = None;
+    let out = smoke("fig_differential", |scale| {
+        let (r, rendered) = experiments::fig_differential::run_measured(scale);
+        result = Some(r);
+        rendered
+    });
+    let result = result.expect("smoke ran the closure");
+    let by_name = |prefix: &str| {
+        result
+            .scenarios
+            .iter()
+            .find(|s| s.name.starts_with(prefix))
+            .unwrap_or_else(|| panic!("scenario {prefix} missing"))
+    };
+    // The acceptance bar: the clean run reports no divergence, every
+    // injected defect localizes to exactly the eligible layer, and
+    // bisection confirms the defects op-local.
+    let clean = by_name("clean");
+    assert!(
+        clean.hit && clean.localized.is_none(),
+        "clean ref-vs-opt int8 run must be bitwise equivalent:\n{out}"
+    );
+    for prefix in ["dwconv-bug", "avgpool-bug"] {
+        let s = by_name(prefix);
+        assert!(
+            s.hit,
+            "{prefix} localized {:?}, expected {:?}:\n{out}",
+            s.localized, s.expected
+        );
+        assert_eq!(
+            s.op_local,
+            Some(true),
+            "{prefix} must bisect op-local:\n{out}"
+        );
+    }
+    let emulator = by_name("edge-emulator");
+    assert!(
+        emulator.hit,
+        "emulator numerics must first surface at the first GEMM layer:\n{out}"
+    );
+    assert!(
+        result.localization_accuracy >= 1.0,
+        "every scenario must localize correctly:\n{out}"
+    );
+    assert!(
+        result.overhead_factor > 0.0,
+        "overhead measurement produced nothing:\n{out}"
+    );
+}
+
+#[test]
 fn fig_scaling_renders_scales_and_is_deterministic() {
     // run_measured pays for the (expensive) worker sweep once and hands
     // back both the rendering (artifact + string checks) and the numbers

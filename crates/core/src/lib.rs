@@ -21,7 +21,12 @@
 //! 3. **Deployment validation** — [`DeploymentValidator`] drives the Fig. 2
 //!    flow: accuracy comparison, per-layer normalized-rMSE drift
 //!    ([`per_layer_drift`]), per-layer latency analysis, and a suite of
-//!    built-in + user-defined [`Assertion`]s for root-cause analysis.
+//!    built-in + user-defined [`Assertion`]s for root-cause analysis. The
+//!    §4.4 cross-runtime technique is [`diff_backends`] /
+//!    [`diff_image_pipelines`]: two [`mlexray_nn::ExecutionBackend`]s
+//!    replay the same frames over the sharded engine, the first divergent
+//!    layer is localized from per-layer drift, and a bisection pass
+//!    confirms whether the defect is op-local ([`DifferentialReport`]).
 //!
 //! # Instrumenting an app (≤ 5 LoC, Table 1)
 //!
@@ -80,10 +85,12 @@ pub use sink::{
     SinkBackpressure, TeeSink,
 };
 pub use validate::{
-    compare_layer_latency, first_drift_jump, layers_above, per_layer_drift, per_layer_latency,
-    stragglers, AccuracyComparison, Assertion, AssertionOutcome, AssertionStatus,
+    compare_layer_latency, diff_backends, diff_image_pipelines, first_drift_jump, layers_above,
+    per_layer_drift, per_layer_latency, stragglers, AccuracyComparison, Assertion,
+    AssertionOutcome, AssertionStatus, BisectionOutcome, BisectionVerdict,
     ChannelArrangementAssertion, ConstantOutputAssertion, DecisionTally, DeploymentValidator,
-    FnAssertion, LatencyBudgetAssertion, LayerDrift, LayerLatency, MemoryBudgetAssertion,
+    DifferentialOptions, DifferentialReport, DifferentialVerdict, DivergentLayer, FnAssertion,
+    LatencyBudgetAssertion, LayerDrift, LayerLatency, MemoryBudgetAssertion,
     NormalizationRangeAssertion, OrientationAssertion, QuantizationDriftAssertion,
     ResizeFunctionAssertion, ShardValidation, StragglerLayerAssertion, ValidationContext,
     ValidationReport, Verdict,

@@ -74,7 +74,7 @@ impl ReplayOptions {
         }
     }
 
-    fn effective_workers(&self, shards: usize) -> usize {
+    pub(crate) fn effective_workers(&self, shards: usize) -> usize {
         let requested = if self.workers == 0 {
             std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -85,7 +85,7 @@ impl ReplayOptions {
         requested.clamp(1, shards.max(1))
     }
 
-    fn effective_queue_depth(&self, workers: usize) -> usize {
+    pub(crate) fn effective_queue_depth(&self, workers: usize) -> usize {
         if self.queue_depth == 0 {
             workers * 2
         } else {
@@ -225,7 +225,7 @@ impl<T> ShardQueue<T> {
 /// each shard's output, sorted by start frame. Each worker lazily builds its
 /// own state (interpreter instances) via `init` on the first shard it claims,
 /// so workers that never win a shard never pay for construction.
-fn run_sharded<T: Send, S>(
+pub(crate) fn run_sharded<T: Send, S>(
     partition: &[Range<usize>],
     workers: usize,
     queue_depth: usize,

@@ -3,6 +3,7 @@
 //! Figure-2 debugging flow.
 
 mod assertions;
+mod differential;
 mod drift;
 mod latency;
 mod report;
@@ -13,9 +14,11 @@ pub use assertions::{
     NormalizationRangeAssertion, OrientationAssertion, QuantizationDriftAssertion,
     ResizeFunctionAssertion, StragglerLayerAssertion, ValidationContext,
 };
+pub use differential::{diff_backends, diff_image_pipelines, DifferentialOptions};
 pub use drift::{first_drift_jump, layers_above, per_layer_drift, LayerDrift};
 pub use latency::{compare_layer_latency, per_layer_latency, stragglers, LayerLatency};
 pub use report::{
-    AccuracyComparison, DecisionTally, DeploymentValidator, ShardValidation, ValidationReport,
+    AccuracyComparison, BisectionOutcome, BisectionVerdict, DecisionTally, DeploymentValidator,
+    DifferentialReport, DifferentialVerdict, DivergentLayer, ShardValidation, ValidationReport,
     Verdict,
 };

@@ -106,6 +106,142 @@ impl fmt::Display for ValidationReport {
     }
 }
 
+/// Verdict of a cross-backend differential run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DifferentialVerdict {
+    /// No layer exceeded the divergence threshold on any frame.
+    Equivalent,
+    /// At least one layer diverged; see
+    /// [`DifferentialReport::first_divergent`].
+    Diverged,
+}
+
+/// The first layer (in execution order) whose output diverged between the
+/// two backends.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DivergentLayer {
+    /// Execution-order index among the compared layers.
+    pub index: usize,
+    /// Node display name.
+    pub layer: String,
+    /// Mean normalized rMSE over frames.
+    pub mean_nrmse: f32,
+    /// Worst-frame normalized rMSE.
+    pub max_nrmse: f32,
+    /// The frame with the worst divergence (ties resolve to the lowest
+    /// frame, keeping the report deterministic).
+    pub worst_frame: u64,
+}
+
+/// What the bisection pass concluded about the first divergent layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BisectionVerdict {
+    /// Re-executing the suspect op in isolation on reference-produced
+    /// inputs still diverges: the defect is *in* that operator. Localization
+    /// confirmed.
+    OpLocal,
+    /// The isolated re-execution agrees: the divergence observed at this
+    /// layer was inherited from upstream numerics rather than an op-local
+    /// defect.
+    Propagated,
+}
+
+/// Result of the bisection pass: the first divergent layer re-executed in
+/// isolation, with its inputs taken from a reference-backend replay of the
+/// graph prefix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BisectionOutcome {
+    /// The layer re-executed.
+    pub layer: String,
+    /// The frame the isolation ran on ([`DivergentLayer::worst_frame`]).
+    pub frame: u64,
+    /// Normalized rMSE between the two backends' outputs for the isolated
+    /// op on identical (reference-prefix) inputs.
+    pub isolated_nrmse: f32,
+    /// Worst per-layer `max_nrmse` over the layers *before* the divergent
+    /// one — how clean the prefix agreement backing the localization is.
+    pub prefix_max_nrmse: f32,
+    /// The conclusion.
+    pub verdict: BisectionVerdict,
+}
+
+/// Everything a per-layer differential run of two execution backends over
+/// the same frames produces: per-layer drift, the first-divergent-layer
+/// localization, and (optionally) the bisection confirmation.
+///
+/// The report is a pure function of the two backends, the frames and the
+/// options — byte-identical (via [`std::fmt::Display`] or [`PartialEq`])
+/// however many replay workers produced it and whatever micro-batch setting
+/// they ran with.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DifferentialReport {
+    /// Baseline backend label.
+    pub baseline: String,
+    /// Candidate backend label.
+    pub candidate: String,
+    /// Frames compared.
+    pub frames: usize,
+    /// Per-layer divergence threshold (worst-frame normalized rMSE).
+    pub threshold: f32,
+    /// Per-layer drift in execution order (reusing the §3.4 metric).
+    pub drift: Vec<LayerDrift>,
+    /// The localization, when any layer diverged.
+    pub first_divergent: Option<DivergentLayer>,
+    /// The bisection confirmation, when requested and a layer diverged.
+    pub bisection: Option<BisectionOutcome>,
+    /// Overall verdict.
+    pub verdict: DifferentialVerdict,
+}
+
+impl DifferentialReport {
+    /// True when no layer diverged.
+    pub fn is_equivalent(&self) -> bool {
+        self.verdict == DifferentialVerdict::Equivalent
+    }
+
+    /// Name of the first divergent layer, if any.
+    pub fn divergent_layer(&self) -> Option<&str> {
+        self.first_divergent.as_ref().map(|d| d.layer.as_str())
+    }
+}
+
+impl fmt::Display for DifferentialReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== ML-EXray differential report ===")?;
+        writeln!(
+            f,
+            "backends: {} (baseline) vs {} (candidate), {} frames, threshold {:e}",
+            self.baseline, self.candidate, self.frames, self.threshold
+        )?;
+        for d in &self.drift {
+            writeln!(
+                f,
+                "  layer {:>3} {:<24} mean {:e}  max {:e}",
+                d.index,
+                d.layer_name(),
+                d.mean_nrmse,
+                d.max_nrmse
+            )?;
+        }
+        match &self.first_divergent {
+            Some(d) => writeln!(
+                f,
+                "first divergent: #{} '{}' (max nrmse {:e} @ frame {})",
+                d.index, d.layer, d.max_nrmse, d.worst_frame
+            )?,
+            None => writeln!(f, "first divergent: none")?,
+        }
+        if let Some(b) = &self.bisection {
+            writeln!(
+                f,
+                "bisection: '{}' isolated on frame {} -> nrmse {:e} (prefix max {:e}): {:?}",
+                b.layer, b.frame, b.isolated_nrmse, b.prefix_max_nrmse, b.verdict
+            )?;
+        }
+        write!(f, "verdict: {:?}", self.verdict)
+    }
+}
+
 /// The deployment validator: holds thresholds and the assertion suite, and
 /// drives the Fig. 2 flow over a pair of log sets.
 pub struct DeploymentValidator {

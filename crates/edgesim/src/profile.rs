@@ -7,7 +7,7 @@ use crate::cost::{
     pixel4_float_optimized, pixel4_float_reference, pixel4_quant_optimized, pixel4_quant_reference,
     x86_float_optimized, x86_quant_optimized, CostTable, DtypeClass,
 };
-use mlexray_nn::KernelFlavor;
+use mlexray_nn::{AccumOrder, BackendSpec, EdgeNumerics, KernelFlavor, RequantMode};
 
 /// Which processor executes the model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -47,6 +47,10 @@ pub struct DeviceProfile {
     pub monitor_fixed_ns_gpu: f64,
     /// Marginal monitor cost per logged byte, ns.
     pub monitor_ns_per_byte: f64,
+    /// The device runtime's kernel numerics, for the
+    /// [`mlexray_nn::EdgeEmulatorBackend`]: how this target's arithmetic
+    /// deviates from the reference kernels.
+    pub numerics: EdgeNumerics,
 }
 
 impl DeviceProfile {
@@ -63,6 +67,14 @@ impl DeviceProfile {
             monitor_fixed_ns_cpu: 1_200_000.0,
             monitor_fixed_ns_gpu: 2_300_000.0,
             monitor_ns_per_byte: 0.5,
+            // NEON codegen: lane-reduced sums, FMA contraction, FTZ on by
+            // default, fixed-point (single-precision) requantization.
+            numerics: EdgeNumerics {
+                accumulation: AccumOrder::Lanes8,
+                fused_multiply_add: true,
+                flush_to_zero: true,
+                requant: RequantMode::Single,
+            },
         }
     }
 
@@ -81,6 +93,14 @@ impl DeviceProfile {
             monitor_fixed_ns_cpu: 1_300_000.0,
             monitor_fixed_ns_gpu: 1_600_000.0,
             monitor_ns_per_byte: 0.6,
+            // Older NEON pipeline: lane reduction and FTZ, but no FMA
+            // contraction in the hot kernels of its runtime build.
+            numerics: EdgeNumerics {
+                accumulation: AccumOrder::Lanes8,
+                fused_multiply_add: false,
+                flush_to_zero: true,
+                requant: RequantMode::Single,
+            },
         }
     }
 
@@ -99,6 +119,14 @@ impl DeviceProfile {
             monitor_fixed_ns_cpu: 400_000.0,
             monitor_fixed_ns_gpu: 400_000.0,
             monitor_ns_per_byte: 0.2,
+            // Scalar x86 fallback kernels: reversed unrolled tails, no FMA,
+            // denormals preserved (SSE default), double-precision requant.
+            numerics: EdgeNumerics {
+                accumulation: AccumOrder::Reversed,
+                fused_multiply_add: false,
+                flush_to_zero: false,
+                requant: RequantMode::Double,
+            },
         }
     }
 
@@ -136,6 +164,12 @@ impl DeviceProfile {
     pub fn storage_write_ns(&self, bytes: u64) -> f64 {
         self.storage_ns_per_byte * bytes as f64
     }
+
+    /// The backend spec emulating this device's runtime numerics — the
+    /// "suspect pipeline" side of a cross-runtime differential run.
+    pub fn emulator_spec(&self) -> BackendSpec {
+        BackendSpec::emulator(self.numerics)
+    }
 }
 
 #[cfg(test)]
@@ -167,6 +201,24 @@ mod tests {
         let cpu = em.table(DtypeClass::Float, KernelFlavor::Optimized, Processor::Cpu);
         let gpu = em.table(DtypeClass::Float, KernelFlavor::Optimized, Processor::Gpu);
         assert_eq!(cpu, gpu);
+    }
+
+    #[test]
+    fn profiles_map_to_distinct_emulator_numerics() {
+        let p4 = DeviceProfile::pixel4();
+        let p3 = DeviceProfile::pixel3();
+        let em = DeviceProfile::x86_emulator();
+        assert_ne!(p4.numerics, p3.numerics);
+        assert_ne!(p4.numerics, em.numerics);
+        assert!(
+            !p4.numerics.is_faithful(),
+            "a real device target must deviate from reference arithmetic"
+        );
+        assert_eq!(
+            p4.emulator_spec(),
+            BackendSpec::emulator(p4.numerics),
+            "emulator spec must carry the profile's numerics"
+        );
     }
 
     #[test]

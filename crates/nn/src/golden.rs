@@ -21,7 +21,7 @@ use mlexray_tensor::{DType, QuantParams, Shape, Tensor, TensorData};
 use crate::graph::{Graph, GraphBuilder, TensorId};
 use crate::interpreter::{Interpreter, InterpreterOptions};
 use crate::ops::{Activation, OpKind, Padding};
-use crate::resolver::{KernelBugs, KernelFlavor};
+use crate::resolver::{AccumOrder, EdgeNumerics, KernelBugs, KernelFlavor, RequantMode};
 use crate::Result;
 
 /// The directory the checked-in goldens live in.
@@ -38,6 +38,9 @@ pub struct GoldenCase {
     pub name: String,
     /// Injected defects active for this case.
     pub bugs: KernelBugs,
+    /// Edge-emulator numerics active for this case (`None` for the native
+    /// dispatch arms).
+    pub numerics: Option<EdgeNumerics>,
     /// Flavors to check against the recorded golden, with their allowed
     /// absolute deviation (scaled by `max(1, |golden|)` for f32).
     pub flavors: Vec<(KernelFlavor, f32)>,
@@ -64,6 +67,7 @@ impl GoldenCase {
             InterpreterOptions {
                 flavor,
                 bugs: self.bugs,
+                numerics: self.numerics,
             },
         )?;
         interp.invoke(&self.inputs)
@@ -267,7 +271,21 @@ fn case(
     GoldenCase {
         name: name.to_string(),
         bugs,
+        numerics: None,
         flavors: flavors.to_vec(),
+        graph,
+        inputs,
+    }
+}
+
+/// A golden case running under the edge emulator's numerics (recorded and
+/// checked bitwise — emulated arithmetic is deterministic per config).
+fn emu_case(name: &str, numerics: EdgeNumerics, graph: Graph, inputs: Vec<Tensor>) -> GoldenCase {
+    GoldenCase {
+        name: name.to_string(),
+        bugs: KernelBugs::none(),
+        numerics: Some(numerics),
+        flavors: vec![(KernelFlavor::Reference, 0.0)],
         graph,
         inputs,
     }
@@ -964,6 +982,280 @@ pub fn cases() -> Vec<GoldenCase> {
             vec![u8_input(Shape::vector(16), 181, 0.05, 128)],
         ));
     }
+    // --- edge-emulator numerics knobs ---------------------------------------
+    // One case per knob of `EdgeNumerics`, so emulator drift is pinned as
+    // bit patterns exactly like the native dispatch arms. Recorded under the
+    // emulated kernels (flavor is structural only there) and compared
+    // bitwise — emulated arithmetic is deterministic per configuration.
+    {
+        let emu_conv_graph = |name: &str| {
+            let mut b = GraphBuilder::new(name);
+            let x = b.input("x", Shape::nhwc(1, 5, 5, 3));
+            let w = b.constant("w", f32_input(Shape::new(vec![4, 3, 3, 3]), 211, -0.5, 0.5));
+            let bias = b.constant("b", f32_input(Shape::vector(4), 212, -0.2, 0.2));
+            let y = b
+                .conv2d(
+                    "conv",
+                    x,
+                    w,
+                    Some(bias),
+                    1,
+                    Padding::Same,
+                    Activation::Relu6,
+                )
+                .unwrap();
+            b.output(y);
+            b.finish().unwrap()
+        };
+        let emu_conv_input = || vec![f32_input(Shape::nhwc(1, 5, 5, 3), 213, -1.0, 1.0)];
+        for (suffix, numerics) in [
+            ("faithful", EdgeNumerics::faithful()),
+            (
+                "reversed",
+                EdgeNumerics {
+                    accumulation: AccumOrder::Reversed,
+                    ..EdgeNumerics::faithful()
+                },
+            ),
+            (
+                "lanes8",
+                EdgeNumerics {
+                    accumulation: AccumOrder::Lanes8,
+                    ..EdgeNumerics::faithful()
+                },
+            ),
+            (
+                "fma",
+                EdgeNumerics {
+                    fused_multiply_add: true,
+                    ..EdgeNumerics::faithful()
+                },
+            ),
+        ] {
+            let name = format!("conv2d_f32_emu_{suffix}");
+            all.push(emu_case(
+                &name,
+                numerics,
+                emu_conv_graph(&name),
+                emu_conv_input(),
+            ));
+        }
+        // Flush-to-zero: subnormal-magnitude products (1e-20 activations
+        // against 1e-25 weights) survive as denormals without FTZ and
+        // collapse to signed zero with it.
+        let mut b = GraphBuilder::new("conv2d_f32_emu_ftz");
+        let x = b.input("x", Shape::nhwc(1, 4, 4, 2));
+        let w = b.constant(
+            "w",
+            f32_input(Shape::new(vec![2, 3, 3, 2]), 221, -3e-25, 3e-25),
+        );
+        let y = b
+            .conv2d("conv", x, w, None, 1, Padding::Same, Activation::None)
+            .unwrap();
+        b.output(y);
+        all.push(emu_case(
+            "conv2d_f32_emu_ftz",
+            EdgeNumerics {
+                flush_to_zero: true,
+                ..EdgeNumerics::faithful()
+            },
+            b.finish().unwrap(),
+            vec![f32_input(Shape::nhwc(1, 4, 4, 2), 222, 1e-21, 2e-20)],
+        ));
+    }
+    {
+        let emu_dw_graph = |name: &str| {
+            let mut b = GraphBuilder::new(name);
+            let x = b.input("x", Shape::nhwc(1, 5, 5, 4));
+            let w = b.constant("w", f32_input(Shape::new(vec![1, 3, 3, 4]), 231, -0.5, 0.5));
+            let bias = b.constant("b", f32_input(Shape::vector(4), 232, -0.1, 0.1));
+            let y = b
+                .depthwise_conv2d(
+                    "dw",
+                    x,
+                    w,
+                    Some(bias),
+                    1,
+                    Padding::Same,
+                    Activation::HardSwish,
+                )
+                .unwrap();
+            b.output(y);
+            b.finish().unwrap()
+        };
+        let emu_dw_input = || vec![f32_input(Shape::nhwc(1, 5, 5, 4), 233, -1.0, 1.0)];
+        for (suffix, numerics) in [
+            (
+                "reversed",
+                EdgeNumerics {
+                    accumulation: AccumOrder::Reversed,
+                    ..EdgeNumerics::faithful()
+                },
+            ),
+            (
+                "fma",
+                EdgeNumerics {
+                    fused_multiply_add: true,
+                    ..EdgeNumerics::faithful()
+                },
+            ),
+        ] {
+            let name = format!("dwconv_f32_emu_{suffix}");
+            all.push(emu_case(
+                &name,
+                numerics,
+                emu_dw_graph(&name),
+                emu_dw_input(),
+            ));
+        }
+    }
+    {
+        let emu_fc_graph = |name: &str| {
+            let mut b = GraphBuilder::new(name);
+            let x = b.input("x", Shape::matrix(2, 10));
+            let w = b.constant("w", f32_input(Shape::matrix(6, 10), 241, -0.5, 0.5));
+            let bias = b.constant("b", f32_input(Shape::vector(6), 242, -0.3, 0.3));
+            let y = b
+                .fully_connected("fc", x, w, Some(bias), Activation::Relu)
+                .unwrap();
+            b.output(y);
+            b.finish().unwrap()
+        };
+        let emu_fc_input = || vec![f32_input(Shape::matrix(2, 10), 243, -1.0, 1.0)];
+        for (suffix, numerics) in [
+            (
+                "lanes8",
+                EdgeNumerics {
+                    accumulation: AccumOrder::Lanes8,
+                    ..EdgeNumerics::faithful()
+                },
+            ),
+            (
+                "fma",
+                EdgeNumerics {
+                    fused_multiply_add: true,
+                    ..EdgeNumerics::faithful()
+                },
+            ),
+        ] {
+            let name = format!("fc_f32_emu_{suffix}");
+            all.push(emu_case(
+                &name,
+                numerics,
+                emu_fc_graph(&name),
+                emu_fc_input(),
+            ));
+        }
+    }
+    {
+        // Reduced-precision requantization across the quantized requantizing
+        // kernels: the f32 multiplier rounds differently near ties.
+        let single = EdgeNumerics {
+            requant: RequantMode::Single,
+            ..EdgeNumerics::faithful()
+        };
+        {
+            let mut b = GraphBuilder::new("conv2d_q_emu_requant");
+            let x = q_input(&mut b, "x", Shape::nhwc(1, 5, 5, 3), 0.02, 128);
+            let w = b.constant("w", i8_weights(Shape::new(vec![4, 3, 3, 3]), 251, 0.5));
+            let bias = b.constant("b", i32_bias(vec![40, -25, 0, 12]));
+            let y = b.push_node(
+                "conv",
+                OpKind::Conv2d {
+                    stride: 1,
+                    padding: Padding::Same,
+                    activation: Activation::Relu,
+                },
+                vec![x, w, bias],
+                Shape::nhwc(1, 5, 5, 4),
+                DType::U8,
+                pt(0.06, 10),
+            );
+            b.output(y);
+            all.push(emu_case(
+                "conv2d_q_emu_requant",
+                single,
+                b.finish().unwrap(),
+                vec![u8_input(Shape::nhwc(1, 5, 5, 3), 252, 0.02, 128)],
+            ));
+        }
+        {
+            let mut b = GraphBuilder::new("dwconv_q_emu_requant");
+            let x = q_input(&mut b, "x", Shape::nhwc(1, 5, 5, 3), 0.05, 128);
+            let w = b.constant(
+                "w",
+                i8_weights_per_channel(Shape::new(vec![1, 3, 3, 3]), 253, 3),
+            );
+            let bias = b.constant("b", i32_bias(vec![15, -10, 4]));
+            let y = b.push_node(
+                "dw",
+                OpKind::DepthwiseConv2d {
+                    stride: 1,
+                    padding: Padding::Same,
+                    activation: Activation::None,
+                },
+                vec![x, w, bias],
+                Shape::nhwc(1, 5, 5, 3),
+                DType::U8,
+                pt(0.1, 128),
+            );
+            b.output(y);
+            all.push(emu_case(
+                "dwconv_q_emu_requant",
+                single,
+                b.finish().unwrap(),
+                vec![u8_input(Shape::nhwc(1, 5, 5, 3), 254, 0.05, 128)],
+            ));
+        }
+        {
+            let mut b = GraphBuilder::new("fc_q_emu_requant");
+            let x = q_input(&mut b, "x", Shape::matrix(2, 8), 0.03, 128);
+            let w = b.constant("w", i8_weights(Shape::matrix(4, 8), 255, 0.6));
+            let bias = b.constant("b", i32_bias(vec![50, -30, 10, 0]));
+            let y = b.push_node(
+                "fc",
+                OpKind::FullyConnected {
+                    activation: Activation::Relu,
+                },
+                vec![x, w, bias],
+                Shape::matrix(2, 4),
+                DType::U8,
+                pt(0.08, 20),
+            );
+            b.output(y);
+            all.push(emu_case(
+                "fc_q_emu_requant",
+                single,
+                b.finish().unwrap(),
+                vec![u8_input(Shape::matrix(2, 8), 256, 0.03, 128)],
+            ));
+        }
+        {
+            let mut b = GraphBuilder::new("avgpool_q_emu_requant");
+            let x = q_input(&mut b, "x", Shape::nhwc(1, 4, 4, 2), 0.04, 128);
+            let y = b.push_node(
+                "ap",
+                OpKind::AveragePool2d {
+                    pool_h: 2,
+                    pool_w: 2,
+                    stride: 2,
+                    padding: Padding::Valid,
+                },
+                vec![x],
+                Shape::nhwc(1, 2, 2, 2),
+                DType::U8,
+                pt(0.045, 120),
+            );
+            b.output(y);
+            all.push(emu_case(
+                "avgpool_q_emu_requant",
+                single,
+                b.finish().unwrap(),
+                vec![u8_input(Shape::nhwc(1, 4, 4, 2), 257, 0.04, 128)],
+            ));
+        }
+    }
+
     {
         let mut b = GraphBuilder::new("reshape_q");
         let x = q_input(&mut b, "x", Shape::nhwc(1, 2, 2, 2), 0.03, 99);
@@ -1011,6 +1303,61 @@ mod tests {
                 assert!(!out.is_empty(), "case {} produced no outputs", case.name);
             }
         }
+    }
+
+    /// The faithful emulator configuration must be bitwise-identical to the
+    /// reference kernels, and every non-faithful knob must actually move
+    /// bits on its fixture — otherwise the emulator goldens pin nothing.
+    #[test]
+    fn emulator_knobs_are_faithful_or_observable() {
+        let by_name = |name: &str| {
+            cases()
+                .into_iter()
+                .find(|c| c.name == name)
+                .unwrap_or_else(|| panic!("case {name} missing"))
+        };
+        let faithful = by_name("conv2d_f32_emu_faithful");
+        let emulated = faithful.run(KernelFlavor::Reference).unwrap();
+        let native = Interpreter::new(&faithful.graph, InterpreterOptions::reference())
+            .unwrap()
+            .invoke(&faithful.inputs)
+            .unwrap();
+        assert_eq!(
+            emulated, native,
+            "faithful emulation must match reference kernels bitwise"
+        );
+
+        let baseline = GoldenTensor::of(&emulated[0]);
+        for knob in [
+            "conv2d_f32_emu_reversed",
+            "conv2d_f32_emu_lanes8",
+            "conv2d_f32_emu_fma",
+        ] {
+            let out = by_name(knob).run(KernelFlavor::Reference).unwrap();
+            assert!(
+                baseline.matches(&out[0], 0.0).is_err(),
+                "{knob} produced bits identical to faithful — knob is dead"
+            );
+            // ...while staying numerically benign (reassociation-level).
+            assert!(
+                baseline.matches(&out[0], 1e-4).is_ok(),
+                "{knob} drifted beyond reassociation tolerance"
+            );
+        }
+
+        // FTZ: the subnormal fixture must flush every output to zero while
+        // the same graph without FTZ keeps denormals alive.
+        let ftz = by_name("conv2d_f32_emu_ftz");
+        let flushed = ftz.run(KernelFlavor::Reference).unwrap();
+        assert!(flushed[0].as_f32().unwrap().iter().all(|v| *v == 0.0));
+        let kept = Interpreter::new(&ftz.graph, InterpreterOptions::reference())
+            .unwrap()
+            .invoke(&ftz.inputs)
+            .unwrap();
+        assert!(
+            kept[0].as_f32().unwrap().iter().any(|v| *v != 0.0),
+            "fixture no longer produces subnormals — FTZ golden is vacuous"
+        );
     }
 
     #[test]

@@ -6,17 +6,24 @@ use crate::graph::{Graph, TensorDef, TensorId};
 use crate::kernels::{execute_node, KernelCtx};
 use crate::ops::OpKind;
 use crate::plan::{batched_shape, MemoryPlan};
-use crate::resolver::{KernelBugs, KernelFlavor};
+use crate::resolver::{EdgeNumerics, KernelBugs, KernelFlavor};
 use crate::{NnError, Result};
 
-/// Interpreter configuration: which kernel family to dispatch and which
-/// injected defects are active.
+/// Interpreter configuration: which kernel family to dispatch, which
+/// injected defects are active, and (for the edge-emulator backend) which
+/// emulated numerics to apply.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct InterpreterOptions {
     /// Kernel family (TFLite `OpResolver` vs `RefOpResolver`).
     pub flavor: KernelFlavor,
     /// Injected kernel defects (off by default).
     pub bugs: KernelBugs,
+    /// Emulated edge-runtime numerics. `None` (the default) runs the
+    /// flavor's native arithmetic; `Some` routes GEMM-family float kernels
+    /// through the emulated accumulator, applies the configured
+    /// requantization precision to quantized kernels, and optionally flushes
+    /// subnormal outputs to zero after every node.
+    pub numerics: Option<EdgeNumerics>,
 }
 
 impl InterpreterOptions {
@@ -25,6 +32,7 @@ impl InterpreterOptions {
         InterpreterOptions {
             flavor: KernelFlavor::Optimized,
             bugs: KernelBugs::none(),
+            numerics: None,
         }
     }
 
@@ -33,6 +41,16 @@ impl InterpreterOptions {
         InterpreterOptions {
             flavor: KernelFlavor::Reference,
             bugs: KernelBugs::none(),
+            numerics: None,
+        }
+    }
+
+    /// Edge-emulator numerics over reference kernel structure, no bugs.
+    pub fn emulated(numerics: EdgeNumerics) -> Self {
+        InterpreterOptions {
+            flavor: KernelFlavor::Reference,
+            bugs: KernelBugs::none(),
+            numerics: Some(numerics),
         }
     }
 }
@@ -406,6 +424,7 @@ impl<'g> Interpreter<'g> {
                 let mut ctx = KernelCtx {
                     flavor: options.flavor,
                     bugs: &options.bugs,
+                    numerics: options.numerics,
                     batched: frames > 1,
                     scratch,
                 };

@@ -5,9 +5,11 @@
 use mlexray_tensor::{QuantParams, Tensor};
 
 use crate::graph::{Node, TensorDef};
-use crate::kernels::{act_qbounds, f32_slot, out_qparams, qparams_of, requantize, u8_slot};
+use crate::kernels::{
+    act_qbounds, emulated_dot, f32_slot, out_qparams, qparams_of, requantize, u8_slot,
+};
 use crate::ops::{same_pad_before, Activation, Padding};
-use crate::resolver::{KernelBugs, KernelFlavor};
+use crate::resolver::{EdgeNumerics, KernelBugs, KernelFlavor, RequantMode};
 use crate::Result;
 
 /// Blocked dot product with four partial accumulators. Matches the optimized
@@ -316,6 +318,79 @@ pub(crate) fn conv2d_f32_gemm(
     Ok(())
 }
 
+/// Edge-emulated float convolution: per-pixel tap gathering (reference loop
+/// structure, so any batch size runs natively) with the reduction folded
+/// under the emulator's numerics — accumulation order, multiply-add
+/// contraction. Taps are gathered in the reference kernel's `(ky, kx, ic)`
+/// order, so the faithful configuration is bitwise-identical to
+/// [`conv2d_f32`] under [`KernelFlavor::Reference`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn conv2d_f32_emulated(
+    node: &Node,
+    inputs: &[&Tensor],
+    out_def: &TensorDef,
+    stride: usize,
+    padding: Padding,
+    activation: Activation,
+    numerics: &EdgeNumerics,
+    scratch: &mut Vec<f32>,
+    out_t: &mut Tensor,
+) -> Result<()> {
+    let _ = node;
+    let input = inputs[0];
+    let weights = inputs[1];
+    let bias = inputs.get(2).map(|t| t.as_f32()).transpose()?;
+    let x = input.as_f32()?;
+    let w = weights.as_f32()?;
+    let ws = weights.shape().dims();
+    let (out_c, kh, kw) = (ws[0], ws[1], ws[2]);
+    let g = geometry(input, out_def, kh, kw, stride, padding);
+    let out = f32_slot(out_t, out_def)?;
+    let ksize = kh * kw * g.in_c;
+    // Weight offsets of the gathered taps, relative to an output channel's
+    // weight row (the validity pattern is shared across output channels).
+    let mut offsets: Vec<usize> = Vec::with_capacity(ksize);
+
+    for n in 0..g.n {
+        for oy in 0..g.out_h {
+            for ox in 0..g.out_w {
+                scratch.clear();
+                offsets.clear();
+                for ky in 0..kh {
+                    let iy = (oy * stride + ky) as isize - g.pad_top as isize;
+                    if iy < 0 || iy >= g.in_h as isize {
+                        continue;
+                    }
+                    for kx in 0..kw {
+                        let ix = (ox * stride + kx) as isize - g.pad_left as isize;
+                        if ix < 0 || ix >= g.in_w as isize {
+                            continue;
+                        }
+                        let ibase = ((n * g.in_h + iy as usize) * g.in_w + ix as usize) * g.in_c;
+                        let wbase = (ky * kw + kx) * g.in_c;
+                        for ic in 0..g.in_c {
+                            scratch.push(x[ibase + ic]);
+                            offsets.push(wbase + ic);
+                        }
+                    }
+                }
+                let obase = ((n * g.out_h + oy) * g.out_w + ox) * out_c;
+                for oc in 0..out_c {
+                    let wrow = &w[oc * ksize..(oc + 1) * ksize];
+                    let acc = emulated_dot(
+                        bias.map(|b| b[oc]).unwrap_or(0.0),
+                        scratch.len(),
+                        |i| (scratch[i], wrow[offsets[i]]),
+                        numerics,
+                    );
+                    out[obase + oc] = activation.apply(acc);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Float depthwise 2-D convolution.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn dwconv_f32(
@@ -475,6 +550,69 @@ pub(crate) fn dwconv_f32_batched(
     Ok(())
 }
 
+/// Edge-emulated float depthwise convolution: taps gathered per output cell
+/// and channel in the reference `(ky, kx)` order, reduced under the
+/// emulator's numerics. The faithful configuration is bitwise-identical to
+/// [`dwconv_f32`] (whose two flavors only differ in loop order).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn dwconv_f32_emulated(
+    node: &Node,
+    inputs: &[&Tensor],
+    out_def: &TensorDef,
+    stride: usize,
+    padding: Padding,
+    activation: Activation,
+    numerics: &EdgeNumerics,
+    scratch: &mut Vec<f32>,
+    out_t: &mut Tensor,
+) -> Result<()> {
+    let _ = node;
+    let input = inputs[0];
+    let weights = inputs[1];
+    let bias = inputs.get(2).map(|t| t.as_f32()).transpose()?;
+    let x = input.as_f32()?;
+    let w = weights.as_f32()?;
+    let ws = weights.shape().dims();
+    let (kh, kw, c) = (ws[1], ws[2], ws[3]);
+    let g = geometry(input, out_def, kh, kw, stride, padding);
+    let out = f32_slot(out_t, out_def)?;
+
+    for n in 0..g.n {
+        for oy in 0..g.out_h {
+            for ox in 0..g.out_w {
+                let obase = ((n * g.out_h + oy) * g.out_w + ox) * c;
+                for ch in 0..c {
+                    // Interleaved (value, weight) tap pairs.
+                    scratch.clear();
+                    for ky in 0..kh {
+                        let iy = (oy * stride + ky) as isize - g.pad_top as isize;
+                        if iy < 0 || iy >= g.in_h as isize {
+                            continue;
+                        }
+                        for kx in 0..kw {
+                            let ix = (ox * stride + kx) as isize - g.pad_left as isize;
+                            if ix < 0 || ix >= g.in_w as isize {
+                                continue;
+                            }
+                            let i = ((n * g.in_h + iy as usize) * g.in_w + ix as usize) * c + ch;
+                            scratch.push(x[i]);
+                            scratch.push(w[(ky * kw + kx) * c + ch]);
+                        }
+                    }
+                    let acc = emulated_dot(
+                        bias.map(|b| b[ch]).unwrap_or(0.0),
+                        scratch.len() / 2,
+                        |i| (scratch[2 * i], scratch[2 * i + 1]),
+                        numerics,
+                    );
+                    out[obase + ch] = activation.apply(acc);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 fn weight_scale(q: &QuantParams, c: usize) -> f32 {
     q.for_channel(c).0
 }
@@ -489,6 +627,7 @@ pub(crate) fn conv2d_q(
     stride: usize,
     padding: Padding,
     activation: Activation,
+    requant: RequantMode,
     out_t: &mut Tensor,
 ) -> Result<()> {
     let input = inputs[0];
@@ -535,7 +674,7 @@ pub(crate) fn conv2d_q(
                         }
                     }
                     let m = (s_in as f64) * (weight_scale(&wq, oc) as f64) / (s_out as f64);
-                    out[obase + oc] = requantize(acc, m, zp_out, qlo, qhi);
+                    out[obase + oc] = requantize(acc, m, zp_out, qlo, qhi, requant);
                 }
             }
         }
@@ -556,6 +695,7 @@ pub(crate) fn dwconv_q(
     activation: Activation,
     flavor: KernelFlavor,
     bugs: &KernelBugs,
+    requant: RequantMode,
     out_t: &mut Tensor,
 ) -> Result<()> {
     let input = inputs[0];
@@ -613,7 +753,7 @@ pub(crate) fn dwconv_q(
                         acc + bias.map(|b| b[ch]).unwrap_or(0)
                     };
                     let m = (s_in as f64) * (weight_scale(&wq, ch) as f64) / (s_out as f64);
-                    out[obase + ch] = requantize(total, m, zp_out, qlo, qhi);
+                    out[obase + ch] = requantize(total, m, zp_out, qlo, qhi, requant);
                 }
             }
         }

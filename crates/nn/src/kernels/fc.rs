@@ -6,9 +6,11 @@
 use mlexray_tensor::{QuantParams, Tensor};
 
 use crate::graph::{Node, TensorDef};
-use crate::kernels::{act_qbounds, f32_slot, out_qparams, qparams_of, requantize, u8_slot};
+use crate::kernels::{
+    act_qbounds, emulated_dot, f32_slot, out_qparams, qparams_of, requantize, u8_slot,
+};
 use crate::ops::Activation;
-use crate::resolver::KernelFlavor;
+use crate::resolver::{EdgeNumerics, KernelFlavor, RequantMode};
 use crate::Result;
 
 /// Float fully-connected layer, `[n, in] x [out, in]^T`.
@@ -63,12 +65,43 @@ pub(crate) fn fc_f32(
     Ok(())
 }
 
+/// Edge-emulated float fully-connected layer: each row reduction runs under
+/// the emulator's numerics. The faithful configuration matches the reference
+/// flavor of [`fc_f32`] bitwise.
+pub(crate) fn fc_f32_emulated(
+    node: &Node,
+    inputs: &[&Tensor],
+    out_def: &TensorDef,
+    activation: Activation,
+    numerics: &EdgeNumerics,
+    out_t: &mut Tensor,
+) -> Result<()> {
+    let _ = node;
+    let x = inputs[0].as_f32()?;
+    let w = inputs[1].as_f32()?;
+    let bias = inputs.get(2).map(|t| t.as_f32()).transpose()?;
+    let in_f = inputs[1].shape().dims()[1];
+    let out_f = inputs[1].shape().dims()[0];
+    let batch = inputs[0].shape().dims()[0];
+    let out = f32_slot(out_t, out_def)?;
+    for n in 0..batch {
+        let xrow = &x[n * in_f..(n + 1) * in_f];
+        for o in 0..out_f {
+            let wrow = &w[o * in_f..(o + 1) * in_f];
+            let acc = emulated_dot(0.0, in_f, |i| (xrow[i], wrow[i]), numerics);
+            out[n * out_f + o] = activation.apply(acc + bias.map(|b| b[o]).unwrap_or(0.0));
+        }
+    }
+    Ok(())
+}
+
 /// Quantized fully-connected layer.
 pub(crate) fn fc_q(
     node: &Node,
     inputs: &[&Tensor],
     out_def: &TensorDef,
     activation: Activation,
+    requant: RequantMode,
     out_t: &mut Tensor,
 ) -> Result<()> {
     let input = inputs[0];
@@ -94,7 +127,7 @@ pub(crate) fn fc_q(
                 acc += (x[n * in_f + i] as i32 - zp_in) * w[o * in_f + i] as i32;
             }
             let m = (s_in as f64) * (wq.for_channel(o).0 as f64) / (s_out as f64);
-            out[n * out_f + o] = requantize(acc, m, zp_out, qlo, qhi);
+            out[n * out_f + o] = requantize(acc, m, zp_out, qlo, qhi, requant);
         }
     }
     Ok(())

@@ -21,25 +21,35 @@ mod elementwise;
 mod fc;
 mod pool;
 
-use mlexray_tensor::{DType, QuantParams, Tensor};
+use mlexray_tensor::{DType, QuantParams, Tensor, TensorData};
 
 use crate::graph::{Graph, Node, TensorDef};
 use crate::ops::{Activation, OpKind};
-use crate::resolver::{KernelBugs, KernelFlavor};
+use crate::resolver::{AccumOrder, EdgeNumerics, KernelBugs, KernelFlavor, RequantMode};
 use crate::{NnError, Result};
 
 /// Per-invoke execution context threaded through the dispatch: kernel
-/// family, injected defects, whether this invoke runs a stacked batch, and
-/// the plan-sized f32 scratch buffer.
+/// family, injected defects, emulated numerics, whether this invoke runs a
+/// stacked batch, and the plan-sized f32 scratch buffer.
 pub(crate) struct KernelCtx<'a> {
     pub flavor: KernelFlavor,
     pub bugs: &'a KernelBugs,
+    /// Emulated edge-runtime numerics; `None` runs native arithmetic.
+    pub numerics: Option<EdgeNumerics>,
     /// True when the interpreter stacked several frames into one invoke —
     /// enables the batched GEMM convolution path.
     pub batched: bool,
     /// Scratch reused across nodes; capacity is reserved at plan time so
     /// `resize` never reallocates in steady state.
     pub scratch: &'a mut Vec<f32>,
+}
+
+impl KernelCtx<'_> {
+    /// Requantization multiplier precision for this invoke's quantized
+    /// kernels.
+    pub(crate) fn requant_mode(&self) -> RequantMode {
+        self.numerics.map(|n| n.requant).unwrap_or_default()
+    }
 }
 
 /// Executes one node given resolved input tensors, the output slot
@@ -57,7 +67,7 @@ pub(crate) fn execute_node(
         .map(|t| t.dtype() == DType::U8)
         .unwrap_or(false);
     let flavor = ctx.flavor;
-    match (&node.op, quantized) {
+    let result = match (&node.op, quantized) {
         (
             OpKind::Conv2d {
                 stride,
@@ -66,7 +76,19 @@ pub(crate) fn execute_node(
             },
             false,
         ) => {
-            if ctx.batched && flavor == KernelFlavor::Optimized {
+            if let Some(numerics) = ctx.numerics {
+                conv::conv2d_f32_emulated(
+                    node,
+                    inputs,
+                    out_def,
+                    *stride,
+                    *padding,
+                    *activation,
+                    &numerics,
+                    ctx.scratch,
+                    out,
+                )
+            } else if ctx.batched && flavor == KernelFlavor::Optimized {
                 conv::conv2d_f32_gemm(
                     node,
                     inputs,
@@ -97,7 +119,16 @@ pub(crate) fn execute_node(
                 activation,
             },
             true,
-        ) => conv::conv2d_q(node, inputs, out_def, *stride, *padding, *activation, out),
+        ) => conv::conv2d_q(
+            node,
+            inputs,
+            out_def,
+            *stride,
+            *padding,
+            *activation,
+            ctx.requant_mode(),
+            out,
+        ),
         (
             OpKind::DepthwiseConv2d {
                 stride,
@@ -106,7 +137,19 @@ pub(crate) fn execute_node(
             },
             false,
         ) => {
-            if ctx.batched && flavor == KernelFlavor::Optimized {
+            if let Some(numerics) = ctx.numerics {
+                conv::dwconv_f32_emulated(
+                    node,
+                    inputs,
+                    out_def,
+                    *stride,
+                    *padding,
+                    *activation,
+                    &numerics,
+                    ctx.scratch,
+                    out,
+                )
+            } else if ctx.batched && flavor == KernelFlavor::Optimized {
                 conv::dwconv_f32_batched(node, inputs, out_def, *stride, *padding, *activation, out)
             } else {
                 conv::dwconv_f32(
@@ -137,13 +180,18 @@ pub(crate) fn execute_node(
             *activation,
             flavor,
             ctx.bugs,
+            ctx.requant_mode(),
             out,
         ),
         (OpKind::FullyConnected { activation }, false) => {
-            fc::fc_f32(node, inputs, out_def, *activation, flavor, out)
+            if let Some(numerics) = ctx.numerics {
+                fc::fc_f32_emulated(node, inputs, out_def, *activation, &numerics, out)
+            } else {
+                fc::fc_f32(node, inputs, out_def, *activation, flavor, out)
+            }
         }
         (OpKind::FullyConnected { activation }, true) => {
-            fc::fc_q(node, inputs, out_def, *activation, out)
+            fc::fc_q(node, inputs, out_def, *activation, ctx.requant_mode(), out)
         }
         (OpKind::MatMul { transpose_b }, _) => {
             fc::matmul_f32(node, inputs, out_def, *transpose_b, out)
@@ -168,7 +216,16 @@ pub(crate) fn execute_node(
             },
             true,
         ) => pool::avgpool_q(
-            node, inputs, out_def, *pool_h, *pool_w, *stride, *padding, ctx.bugs, out,
+            node,
+            inputs,
+            out_def,
+            *pool_h,
+            *pool_w,
+            *stride,
+            *padding,
+            ctx.bugs,
+            ctx.requant_mode(),
+            out,
         ),
         (
             OpKind::MaxPool2d {
@@ -190,10 +247,18 @@ pub(crate) fn execute_node(
             },
             true,
         ) => pool::maxpool_q(
-            node, inputs, out_def, *pool_h, *pool_w, *stride, *padding, out,
+            node,
+            inputs,
+            out_def,
+            *pool_h,
+            *pool_w,
+            *stride,
+            *padding,
+            ctx.requant_mode(),
+            out,
         ),
         (OpKind::Mean, false) => pool::mean_f32(node, inputs, out_def, out),
-        (OpKind::Mean, true) => pool::mean_q(node, inputs, out_def, out),
+        (OpKind::Mean, true) => pool::mean_q(node, inputs, out_def, ctx.requant_mode(), out),
         (OpKind::Add { activation }, false) => {
             elementwise::add_f32(node, inputs, out_def, *activation, out)
         }
@@ -227,6 +292,58 @@ pub(crate) fn execute_node(
         (OpKind::Quantize, _) => elementwise::quantize(node, inputs, out_def, out),
         (OpKind::Dequantize, _) => elementwise::dequantize(node, inputs, out_def, out),
         (op, true) => Err(unsupported(node, &format!("quantized {}", op.type_label()))),
+    };
+    // The emulator's flush-to-zero knob models ARM's default FTZ mode at
+    // node granularity: every float output has its subnormals flushed before
+    // the next op can read them.
+    if result.is_ok() && ctx.numerics.map(|n| n.flush_to_zero).unwrap_or(false) {
+        if let TensorData::F32(_) = out.data() {
+            for v in out.as_f32_mut()? {
+                if v.is_subnormal() {
+                    *v = 0.0f32.copysign(*v);
+                }
+            }
+        }
+    }
+    result
+}
+
+/// Emulated GEMM-family reduction: `n` (value, weight) terms addressed by
+/// `term`, folded under the emulator's accumulation order and multiply-add
+/// contraction, starting from `init`.
+///
+/// With the faithful configuration ([`AccumOrder::Sequential`], split
+/// multiply-add) this is exactly the reference kernels' arithmetic.
+#[inline]
+pub(crate) fn emulated_dot(
+    init: f32,
+    n: usize,
+    term: impl Fn(usize) -> (f32, f32),
+    numerics: &EdgeNumerics,
+) -> f32 {
+    let fma = numerics.fused_multiply_add;
+    let step = |acc: f32, i: usize| -> f32 {
+        let (a, b) = term(i);
+        if fma {
+            a.mul_add(b, acc)
+        } else {
+            acc + a * b
+        }
+    };
+    match numerics.accumulation {
+        AccumOrder::Sequential => (0..n).fold(init, step),
+        AccumOrder::Reversed => (0..n).rev().fold(init, step),
+        AccumOrder::Lanes8 => {
+            // `init` (the bias) seeds lane 0, as a real lane reduction would
+            // fold the bias into one accumulator register.
+            let mut lanes = [0.0f32; 8];
+            lanes[0] = init;
+            for i in 0..n {
+                lanes[i % 8] = step(lanes[i % 8], i);
+            }
+            ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]))
+                + ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]))
+        }
     }
 }
 
@@ -275,11 +392,24 @@ pub(crate) fn act_qbounds(act: Activation, scale: f32, zp: i32) -> (i32, i32) {
     (lo, hi.max(lo))
 }
 
-/// Requantizes an `i32` accumulator to `u8` with real multiplier `m`.
+/// Requantizes an `i32` accumulator to `u8` with real multiplier `m`, at the
+/// multiplier precision the execution context dictates
+/// ([`RequantMode::Double`] is the native arithmetic; [`RequantMode::Single`]
+/// is the emulator's reduced-precision knob).
 #[inline]
-pub(crate) fn requantize(acc: i32, m: f64, zp_out: i32, qlo: i32, qhi: i32) -> u8 {
-    let v = zp_out + (m * acc as f64).round() as i32;
-    v.clamp(qlo, qhi) as u8
+pub(crate) fn requantize(
+    acc: i32,
+    m: f64,
+    zp_out: i32,
+    qlo: i32,
+    qhi: i32,
+    mode: RequantMode,
+) -> u8 {
+    let scaled = match mode {
+        RequantMode::Double => (m * acc as f64).round() as i32,
+        RequantMode::Single => ((m as f32) * acc as f32).round() as i32,
+    };
+    (zp_out + scaled).clamp(qlo, qhi) as u8
 }
 
 /// Borrows a float output slot, checking it matches the slot definition.

@@ -7,7 +7,7 @@ use mlexray_tensor::Tensor;
 use crate::graph::{Node, TensorDef};
 use crate::kernels::{f32_slot, out_qparams, qparams_of, requantize, u8_slot};
 use crate::ops::{same_pad_before, Padding};
-use crate::resolver::KernelBugs;
+use crate::resolver::{KernelBugs, RequantMode};
 use crate::Result;
 
 struct PoolGeom {
@@ -186,6 +186,7 @@ pub(crate) fn avgpool_q(
     stride: usize,
     padding: Padding,
     bugs: &KernelBugs,
+    requant: RequantMode,
     out_t: &mut Tensor,
 ) -> Result<()> {
     let input = inputs[0];
@@ -216,7 +217,7 @@ pub(crate) fn avgpool_q(
                     };
                     let centered = avg_q - zp_in;
                     out[((n * g.out_h + oy) * g.out_w + ox) * g.c + ch] =
-                        requantize(centered, m, zp_out, 0, 255);
+                        requantize(centered, m, zp_out, 0, 255, requant);
                 }
             }
         }
@@ -234,6 +235,7 @@ pub(crate) fn maxpool_q(
     pool_w: usize,
     stride: usize,
     padding: Padding,
+    requant: RequantMode,
     out_t: &mut Tensor,
 ) -> Result<()> {
     let input = inputs[0];
@@ -259,7 +261,7 @@ pub(crate) fn maxpool_q(
                         }
                     }
                     out[((n * g.out_h + oy) * g.out_w + ox) * g.c + ch] =
-                        requantize(best - zp_in, m, zp_out, 0, 255);
+                        requantize(best - zp_in, m, zp_out, 0, 255, requant);
                 }
             }
         }
@@ -274,6 +276,7 @@ pub(crate) fn mean_q(
     node: &Node,
     inputs: &[&Tensor],
     out_def: &TensorDef,
+    requant: RequantMode,
     out_t: &mut Tensor,
 ) -> Result<()> {
     let input = inputs[0];
@@ -293,7 +296,7 @@ pub(crate) fn mean_q(
                 acc += x[(b * mid + mi) * c + ch] as i64;
             }
             let avg = ((acc + (mid as i64) / 2) / mid as i64) as i32;
-            out[b * c + ch] = requantize(avg - zp_in, m, zp_out, 0, 255);
+            out[b * c + ch] = requantize(avg - zp_in, m, zp_out, 0, 255, requant);
         }
     }
     Ok(())

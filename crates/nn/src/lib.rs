@@ -14,6 +14,14 @@
 //! `DepthwiseConv2D` and a broken quantized `AveragePool2D`. Both are off by
 //! default.
 //!
+//! Execution is pluggable behind the [`ExecutionBackend`] trait: the
+//! [`ReferenceBackend`] and [`OptimizedBackend`] wrap the two kernel
+//! flavors, and the [`EdgeEmulatorBackend`] reproduces a foreign edge
+//! runtime's numerics ([`EdgeNumerics`]: GEMM accumulation order, fused
+//! multiply-add, flush-to-zero denormals, reduced-precision
+//! requantization) — the substrate of `mlexray-core`'s per-layer
+//! differential debugger.
+//!
 //! # Example
 //!
 //! ```
@@ -35,6 +43,7 @@
 
 #![warn(missing_docs)]
 
+mod backend;
 mod convert;
 mod error;
 pub mod golden;
@@ -47,6 +56,10 @@ mod plan;
 mod quantize;
 mod resolver;
 
+pub use backend::{
+    BackendSpec, BoxedBackend, EdgeEmulatorBackend, ExecutionBackend, OptimizedBackend,
+    ReferenceBackend,
+};
 pub use convert::convert_to_mobile;
 pub use error::NnError;
 pub use graph::{Graph, GraphBuilder, Node, NodeId, TensorDef, TensorId};
@@ -57,7 +70,7 @@ pub use model::{Model, ModelVariant};
 pub use ops::{Activation, OpKind, Padding};
 pub use plan::{MemoryPlan, PlannedTensor};
 pub use quantize::{calibrate, output_params, quantize_model, Calibration, QuantizationOptions};
-pub use resolver::{KernelBugs, KernelFlavor};
+pub use resolver::{AccumOrder, EdgeNumerics, KernelBugs, KernelFlavor, RequantMode};
 
 /// Result alias used throughout the nn crate.
 pub type Result<T> = std::result::Result<T, NnError>;

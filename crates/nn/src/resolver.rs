@@ -72,6 +72,75 @@ impl KernelBugs {
     }
 }
 
+/// Summation order of a float GEMM-family reduction (conv im2col rows,
+/// depthwise kernel windows, fully-connected rows) under the edge emulator.
+///
+/// Real edge runtimes reassociate float sums freely — NEON lane reductions,
+/// reversed unrolled tails, accumulator trees — and every reassociation is a
+/// (benign) bit-level divergence the differential debugger must be able to
+/// reproduce and pin down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum AccumOrder {
+    /// One accumulator, terms added in canonical (reference-kernel) order.
+    #[default]
+    Sequential,
+    /// One accumulator, terms added in reverse order (unrolled-tail-first
+    /// codegen).
+    Reversed,
+    /// Eight partial accumulators striped over the term index (SIMD lane
+    /// reduction), combined pairwise at the end.
+    Lanes8,
+}
+
+/// Precision of the requantization multiplier applied to quantized
+/// accumulators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum RequantMode {
+    /// Double-precision multiplier (this crate's native kernels; TFLite's
+    /// off-device reference arithmetic).
+    #[default]
+    Double,
+    /// Single-precision multiplier — the reduced-precision fixed-point
+    /// approximation many edge runtimes use, which rounds differently near
+    /// ties.
+    Single,
+}
+
+/// The numerics knobs of the edge-emulator backend: how an emulated edge
+/// runtime's arithmetic deviates from this crate's native kernels.
+///
+/// The default configuration is *faithful*: sequential accumulation, split
+/// multiply-add, denormals preserved, double-precision requantization —
+/// bitwise-identical to the reference kernels. Each knob then introduces one
+/// realistic class of cross-runtime numeric divergence; device profiles in
+/// `mlexray-edgesim` bundle them per target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct EdgeNumerics {
+    /// Summation order of float GEMM reductions.
+    pub accumulation: AccumOrder,
+    /// Contract multiply-add pairs into fused `mul_add` (FMA) instructions,
+    /// which skip the intermediate rounding step.
+    pub fused_multiply_add: bool,
+    /// Flush subnormal float outputs to (signed) zero after every node, as
+    /// ARM NEON does by default.
+    pub flush_to_zero: bool,
+    /// Requantization multiplier precision for quantized kernels.
+    pub requant: RequantMode,
+}
+
+impl EdgeNumerics {
+    /// The faithful configuration: every knob neutral. An emulator running
+    /// this config is bitwise-identical to the reference kernels.
+    pub fn faithful() -> Self {
+        EdgeNumerics::default()
+    }
+
+    /// True when every knob is at its faithful (native-arithmetic) setting.
+    pub fn is_faithful(self) -> bool {
+        self == EdgeNumerics::faithful()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -5,119 +5,19 @@
 //! [`KernelBugs`] — and per-frame observer records must carry the right
 //! frame index and data.
 
+mod common;
+
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 
+use common::{rand_tensor, random_graph, sample_batch};
 use mlexray_nn::{
     calibrate, quantize_model, Activation, Graph, GraphBuilder, Interpreter, InterpreterOptions,
     KernelBugs, KernelFlavor, LayerObserver, LayerRecord, Model, ModelVariant, Padding,
     QuantizationOptions,
 };
 use mlexray_tensor::{Shape, Tensor};
-
-fn rand_tensor(rng: &mut SmallRng, shape: Shape) -> Tensor {
-    let n = shape.num_elements();
-    let data: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.5..1.5f32)).collect();
-    Tensor::from_f32(shape, data).expect("length matches")
-}
-
-fn pick_act(rng: &mut SmallRng) -> Activation {
-    match rng.gen_range(0..4) {
-        0 => Activation::None,
-        1 => Activation::Relu,
-        2 => Activation::Relu6,
-        _ => Activation::HardSwish,
-    }
-}
-
-/// Builds a random small image graph out of batch-safe and batch-unsafe ops
-/// alike (conv, depthwise, pooling, padding, add, squeeze-excite gate, mean
-/// + fc + softmax head), plus the input shape it expects.
-fn random_graph(rng: &mut SmallRng) -> (Graph, Shape) {
-    let h = rng.gen_range(4..7usize);
-    let c = rng.gen_range(1..4usize);
-    let in_shape = Shape::nhwc(1, h, h, c);
-    let mut b = GraphBuilder::new("prop");
-    let mut cur = b.input("x", in_shape.clone());
-    let mut cur_c = c;
-    for i in 0..rng.gen_range(1..4usize) {
-        match rng.gen_range(0..7u8) {
-            0 | 1 => {
-                let out_c = rng.gen_range(1..5usize);
-                let k = rng.gen_range(1..4usize);
-                let stride = rng.gen_range(1..3usize);
-                let act = pick_act(rng);
-                let w = b.constant(
-                    format!("w{i}"),
-                    rand_tensor(rng, Shape::new(vec![out_c, k, k, cur_c])),
-                );
-                let bias = rng
-                    .gen_bool(0.5)
-                    .then(|| b.constant(format!("b{i}"), rand_tensor(rng, Shape::vector(out_c))));
-                cur = b
-                    .conv2d(format!("conv{i}"), cur, w, bias, stride, Padding::Same, act)
-                    .expect("conv with Same padding always fits");
-                cur_c = out_c;
-            }
-            2 => {
-                let w = b.constant(
-                    format!("w{i}"),
-                    rand_tensor(rng, Shape::new(vec![1, 3, 3, cur_c])),
-                );
-                cur = b
-                    .depthwise_conv2d(
-                        format!("dw{i}"),
-                        cur,
-                        w,
-                        None,
-                        1,
-                        Padding::Same,
-                        pick_act(rng),
-                    )
-                    .expect("depthwise with Same padding always fits");
-            }
-            3 => {
-                cur = b
-                    .avg_pool2d(format!("ap{i}"), cur, 2, 2, 2, Padding::Same)
-                    .expect("Same pooling always fits");
-            }
-            4 => {
-                cur = b
-                    .max_pool2d(format!("mp{i}"), cur, 2, 2, 2, Padding::Same)
-                    .expect("Same pooling always fits");
-            }
-            5 => {
-                cur = b
-                    .pad(format!("pad{i}"), cur, 1, 0, 1, 1)
-                    .expect("padding a 4-D tensor");
-            }
-            _ => {
-                let shift = b.constant(format!("s{i}"), rand_tensor(rng, Shape::vector(cur_c)));
-                cur = b
-                    .add(format!("add{i}"), cur, shift, pick_act(rng))
-                    .expect("suffix broadcast");
-            }
-        }
-    }
-    if rng.gen_bool(0.7) {
-        let m = b.mean("gap", cur).expect("rank-4 mean");
-        let classes = rng.gen_range(2..5usize);
-        let w = b.constant("wfc", rand_tensor(rng, Shape::matrix(classes, cur_c)));
-        let fc = b
-            .fully_connected("fc", m, w, None, Activation::None)
-            .expect("matching features");
-        cur = b.softmax("softmax", fc).expect("softmax");
-    }
-    b.output(cur);
-    (b.finish().expect("generated graph validates"), in_shape)
-}
-
-fn sample_batch(rng: &mut SmallRng, shape: &Shape, n: usize) -> Vec<Vec<Tensor>> {
-    (0..n)
-        .map(|_| vec![rand_tensor(rng, shape.clone())])
-        .collect()
-}
 
 /// Asserts `invoke_batch` output equals sequential invokes, bitwise
 /// (tensor equality covers values, shapes and quantization).
@@ -152,7 +52,7 @@ proptest! {
             assert_batch_equivalence(
                 &graph,
                 &samples,
-                InterpreterOptions { flavor, bugs: KernelBugs::none() },
+                InterpreterOptions { flavor, bugs: KernelBugs::none(), numerics: None },
             );
         }
     }
@@ -179,7 +79,7 @@ proptest! {
                 assert_batch_equivalence(
                     &quant.graph,
                     &samples,
-                    InterpreterOptions { flavor, bugs },
+                    InterpreterOptions { flavor, bugs, numerics: None },
                 );
             }
         }

@@ -1,0 +1,224 @@
+//! Shared random-graph generators for the nn integration suites
+//! (`batch_equivalence` and `backend_differential`).
+#![allow(dead_code)]
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use mlexray_nn::{Activation, Graph, GraphBuilder, Padding};
+use mlexray_tensor::{Shape, Tensor};
+
+/// A random tensor with values in `[-1.5, 1.5)`.
+pub fn rand_tensor(rng: &mut SmallRng, shape: Shape) -> Tensor {
+    let n = shape.num_elements();
+    let data: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.5..1.5f32)).collect();
+    Tensor::from_f32(shape, data).expect("length matches")
+}
+
+/// A random fused activation.
+pub fn pick_act(rng: &mut SmallRng) -> Activation {
+    match rng.gen_range(0..4) {
+        0 => Activation::None,
+        1 => Activation::Relu,
+        2 => Activation::Relu6,
+        _ => Activation::HardSwish,
+    }
+}
+
+/// Builds a random small image graph out of batch-safe and batch-unsafe ops
+/// alike (conv, depthwise, pooling, padding, add, squeeze-excite gate, mean
+/// + fc + softmax head), plus the input shape it expects.
+pub fn random_graph(rng: &mut SmallRng) -> (Graph, Shape) {
+    let h = rng.gen_range(4..7usize);
+    let c = rng.gen_range(1..4usize);
+    let in_shape = Shape::nhwc(1, h, h, c);
+    let mut b = GraphBuilder::new("prop");
+    let mut cur = b.input("x", in_shape.clone());
+    let mut cur_c = c;
+    for i in 0..rng.gen_range(1..4usize) {
+        match rng.gen_range(0..7u8) {
+            0 | 1 => {
+                let out_c = rng.gen_range(1..5usize);
+                let k = rng.gen_range(1..4usize);
+                let stride = rng.gen_range(1..3usize);
+                let act = pick_act(rng);
+                let w = b.constant(
+                    format!("w{i}"),
+                    rand_tensor(rng, Shape::new(vec![out_c, k, k, cur_c])),
+                );
+                let bias = rng
+                    .gen_bool(0.5)
+                    .then(|| b.constant(format!("b{i}"), rand_tensor(rng, Shape::vector(out_c))));
+                cur = b
+                    .conv2d(format!("conv{i}"), cur, w, bias, stride, Padding::Same, act)
+                    .expect("conv with Same padding always fits");
+                cur_c = out_c;
+            }
+            2 => {
+                let w = b.constant(
+                    format!("w{i}"),
+                    rand_tensor(rng, Shape::new(vec![1, 3, 3, cur_c])),
+                );
+                cur = b
+                    .depthwise_conv2d(
+                        format!("dw{i}"),
+                        cur,
+                        w,
+                        None,
+                        1,
+                        Padding::Same,
+                        pick_act(rng),
+                    )
+                    .expect("depthwise with Same padding always fits");
+            }
+            3 => {
+                cur = b
+                    .avg_pool2d(format!("ap{i}"), cur, 2, 2, 2, Padding::Same)
+                    .expect("Same pooling always fits");
+            }
+            4 => {
+                cur = b
+                    .max_pool2d(format!("mp{i}"), cur, 2, 2, 2, Padding::Same)
+                    .expect("Same pooling always fits");
+            }
+            5 => {
+                cur = b
+                    .pad(format!("pad{i}"), cur, 1, 0, 1, 1)
+                    .expect("padding a 4-D tensor");
+            }
+            _ => {
+                let shift = b.constant(format!("s{i}"), rand_tensor(rng, Shape::vector(cur_c)));
+                cur = b
+                    .add(format!("add{i}"), cur, shift, pick_act(rng))
+                    .expect("suffix broadcast");
+            }
+        }
+    }
+    if rng.gen_bool(0.7) {
+        let m = b.mean("gap", cur).expect("rank-4 mean");
+        let classes = rng.gen_range(2..5usize);
+        let w = b.constant("wfc", rand_tensor(rng, Shape::matrix(classes, cur_c)));
+        let fc = b
+            .fully_connected("fc", m, w, None, Activation::None)
+            .expect("matching features");
+        cur = b.softmax("softmax", fc).expect("softmax");
+    }
+    b.output(cur);
+    (b.finish().expect("generated graph validates"), in_shape)
+}
+
+/// One random input set per frame for a generated graph.
+pub fn sample_batch(rng: &mut SmallRng, shape: &Shape, n: usize) -> Vec<Vec<Tensor>> {
+    (0..n)
+        .map(|_| vec![rand_tensor(rng, shape.clone())])
+        .collect()
+}
+
+/// Which injectable kernel defect a generated graph must carry an eligible
+/// site for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BugSite {
+    /// A quantized depthwise convolution — the optimized i16-accumulator
+    /// defect's target.
+    Dwconv,
+    /// A quantized `AveragePool2d` with window area >= 16 — the
+    /// double-division defect's target (small windows are unaffected).
+    AvgPool16,
+}
+
+impl BugSite {
+    /// Name of the target node [`random_graph_with_site`] inserts.
+    pub fn layer_name(self) -> &'static str {
+        match self {
+            BugSite::Dwconv => "target_dw",
+            BugSite::AvgPool16 => "target_ap",
+        }
+    }
+}
+
+/// Builds a random image graph guaranteed to contain exactly one layer
+/// eligible for the given [`BugSite`] (named [`BugSite::layer_name`]), with
+/// a random spatial-preserving prefix before it and the usual mean/fc
+/// /softmax head after it. The prefix never contains a depthwise conv or a
+/// large-window average pool, so under an injected defect the target is the
+/// unique first-divergent candidate.
+pub fn random_graph_with_site(rng: &mut SmallRng, site: BugSite) -> (Graph, Shape) {
+    let h = rng.gen_range(8..11usize);
+    let c = rng.gen_range(2..4usize);
+    let in_shape = Shape::nhwc(1, h, h, c);
+    let mut b = GraphBuilder::new("prop_site");
+    let mut cur = b.input("x", in_shape.clone());
+    let mut cur_c = c;
+    for i in 0..rng.gen_range(0..3usize) {
+        match rng.gen_range(0..3u8) {
+            0 => {
+                let out_c = rng.gen_range(2..5usize);
+                let k = rng.gen_range(1..4usize);
+                let w = b.constant(
+                    format!("w{i}"),
+                    rand_tensor(rng, Shape::new(vec![out_c, k, k, cur_c])),
+                );
+                // Stride 1 + Same keeps the spatial size >= the 4x4 the
+                // avg-pool site needs.
+                cur = b
+                    .conv2d(
+                        format!("conv{i}"),
+                        cur,
+                        w,
+                        None,
+                        1,
+                        Padding::Same,
+                        pick_act(rng),
+                    )
+                    .expect("stride-1 Same conv fits");
+                cur_c = out_c;
+            }
+            1 => {
+                cur = b
+                    .max_pool2d(format!("mp{i}"), cur, 2, 2, 1, Padding::Same)
+                    .expect("stride-1 Same pooling fits");
+            }
+            _ => {
+                let shift = b.constant(format!("s{i}"), rand_tensor(rng, Shape::vector(cur_c)));
+                cur = b
+                    .add(format!("add{i}"), cur, shift, pick_act(rng))
+                    .expect("suffix broadcast");
+            }
+        }
+    }
+    match site {
+        BugSite::Dwconv => {
+            // Wide weights push quantized products toward the i16 overflow
+            // the injected defect wraps on.
+            let w = b.constant(
+                "target_w",
+                rand_tensor(rng, Shape::new(vec![1, 3, 3, cur_c])),
+            );
+            cur = b
+                .depthwise_conv2d(
+                    site.layer_name(),
+                    cur,
+                    w,
+                    None,
+                    1,
+                    Padding::Same,
+                    Activation::None,
+                )
+                .expect("depthwise with Same padding fits");
+        }
+        BugSite::AvgPool16 => {
+            cur = b
+                .avg_pool2d(site.layer_name(), cur, 4, 4, 4, Padding::Valid)
+                .expect("spatial size stays >= 4 through the prefix");
+        }
+    }
+    let m = b.mean("gap", cur).expect("rank-4 mean");
+    let classes = rng.gen_range(2..5usize);
+    let w = b.constant("wfc", rand_tensor(rng, Shape::matrix(classes, cur_c)));
+    let fc = b
+        .fully_connected("fc", m, w, None, Activation::None)
+        .expect("matching features");
+    cur = b.softmax("softmax", fc).expect("softmax");
+    b.output(cur);
+    (b.finish().expect("generated graph validates"), in_shape)
+}

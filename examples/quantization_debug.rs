@@ -81,6 +81,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ImagePipeline::new(quant.clone(), canonical.clone()).with_options(InterpreterOptions {
                 flavor,
                 bugs: KernelBugs::paper_2021(),
+                numerics: None,
             });
         let edge_logs = collect_logs(&edge, &frames, MonitorConfig::offline_validation())?;
         let report = DeploymentValidator::new().validate(&edge_logs, &reference_logs);

@@ -28,6 +28,10 @@ if [[ "$QUICK" == "1" ]]; then
   exit 0
 fi
 
+step "backend suites (differential property + emulator goldens + report determinism)"
+cargo test -q -p mlexray-nn --test backend_differential --test golden_kernels
+cargo test -q -p mlexray-core --test differential_replay
+
 step "cargo build --release"
 cargo build --release
 

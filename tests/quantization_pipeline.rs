@@ -92,6 +92,7 @@ fn dwconv_defect_only_hits_the_optimized_resolver() {
         InterpreterOptions {
             flavor: KernelFlavor::Optimized,
             bugs,
+            numerics: None,
         },
     );
     let reference = acc(
@@ -100,6 +101,7 @@ fn dwconv_defect_only_hits_the_optimized_resolver() {
         InterpreterOptions {
             flavor: KernelFlavor::Reference,
             bugs,
+            numerics: None,
         },
     );
     assert!(
@@ -115,7 +117,15 @@ fn avgpool_defect_hits_both_resolvers_on_v3() {
     let clean = acc(&quant, test, InterpreterOptions::optimized());
     let bugs = KernelBugs::paper_2021();
     for flavor in [KernelFlavor::Optimized, KernelFlavor::Reference] {
-        let broken = acc(&quant, test, InterpreterOptions { flavor, bugs });
+        let broken = acc(
+            &quant,
+            test,
+            InterpreterOptions {
+                flavor,
+                bugs,
+                numerics: None,
+            },
+        );
         // At this smoke scale the clean int8 accuracy is itself modest, so
         // assert a collapse to (near-)chance rather than an absolute drop.
         assert!(
@@ -149,6 +159,7 @@ fn drift_analysis_localizes_the_defective_ops() {
         &ImagePipeline::new(quant, canonical).with_options(InterpreterOptions {
             flavor: KernelFlavor::Optimized,
             bugs: KernelBugs::paper_2021(),
+            numerics: None,
         }),
         &frames,
         MonitorConfig::offline_validation(),
