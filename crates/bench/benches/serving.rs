@@ -1,0 +1,86 @@
+//! Batch-size-1 vs dynamic-batching serving throughput on the MobileNet
+//! zoo model: the criterion view of the `fig_serving` experiment's
+//! acceptance claim (dynamic batching with a window ≥ 4 at least 1.5x the
+//! single-invoke service).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mlexray_models::{full_model, FullFamily};
+use mlexray_nn::BackendSpec;
+use mlexray_serve::{BatchPolicy, InferenceService, ModelRegistry, MonitorPolicy, ServiceConfig};
+use mlexray_tensor::{Shape, Tensor};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const INPUT: usize = 64;
+const REQUESTS: usize = 16;
+
+fn frames() -> Vec<Vec<Tensor>> {
+    let mut rng = SmallRng::seed_from_u64(23);
+    let shape = Shape::nhwc(1, INPUT, INPUT, 3);
+    (0..REQUESTS)
+        .map(|_| {
+            let data: Vec<f32> = (0..shape.num_elements())
+                .map(|_| rng.gen_range(-1.0..1.0))
+                .collect();
+            vec![Tensor::from_f32(shape.clone(), data).unwrap()]
+        })
+        .collect()
+}
+
+fn serve_burst(service: &Arc<InferenceService>, frames: &[Vec<Tensor>]) {
+    std::thread::scope(|scope| {
+        for c in 0..4 {
+            let service = service.clone();
+            scope.spawn(move || {
+                let pendings: Vec<_> = (c..frames.len())
+                    .step_by(4)
+                    .map(|i| service.submit("mobilenet_v2", frames[i].clone()).unwrap())
+                    .collect();
+                for pending in pendings {
+                    pending.wait().unwrap();
+                }
+            });
+        }
+    });
+}
+
+fn bench_serving(c: &mut Criterion) {
+    let registry = ModelRegistry::new();
+    registry
+        .register_model(
+            "mobilenet_v2",
+            full_model(FullFamily::MobileNetV2, INPUT, 10, 0.5, 7).unwrap(),
+            BackendSpec::optimized(),
+        )
+        .unwrap();
+    let frames = frames();
+    let config = |batch: BatchPolicy| ServiceConfig {
+        queue_capacity: REQUESTS,
+        workers_per_model: 1,
+        core_budget: 2,
+        batch,
+        monitor: MonitorPolicy::off(),
+        ..Default::default()
+    };
+
+    for (label, policy) in [
+        ("single", BatchPolicy::single()),
+        (
+            "batched_8",
+            BatchPolicy::windowed(8, Duration::from_millis(2)),
+        ),
+    ] {
+        let service = Arc::new(InferenceService::start(&registry, config(policy), None).unwrap());
+        c.bench_function(&format!("serve/mobilenet_v2/{label}_x{REQUESTS}"), |b| {
+            b.iter(|| serve_burst(&service, &frames))
+        });
+        drop(service);
+    }
+}
+
+criterion_group!(benches, bench_serving);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Prints the serving figure: dynamic micro-batching throughput, latency
+//! percentiles, shed accounting and monitoring overhead for the online
+//! serving subsystem on the MobileNet zoo model.
+fn main() {
+    let scale = mlexray_bench::support::Scale::from_env();
+    println!("{}", mlexray_bench::experiments::fig_serving::run(&scale));
+}

@@ -26,4 +26,5 @@ fn main() {
         "{}\n",
         mlexray_bench::experiments::fig_differential::run(&scale)
     );
+    println!("{}\n", mlexray_bench::experiments::fig_serving::run(&scale));
 }

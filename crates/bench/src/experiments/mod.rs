@@ -10,6 +10,7 @@ pub mod fig6;
 pub mod fig_batching;
 pub mod fig_differential;
 pub mod fig_scaling;
+pub mod fig_serving;
 pub mod table1;
 pub mod table2;
 pub mod table3_5;

@@ -127,6 +127,37 @@ pub fn record_artifact(name: &str, quick_scale: bool, output: &str) -> PathBuf {
     path
 }
 
+/// Records a *structured* experiment artifact
+/// (`<artifact_dir>/<name>.json`): machine-readable metrics CI can diff
+/// across runs, where [`record_artifact`] stores the rendered text. Returns
+/// the path written.
+///
+/// # Panics
+///
+/// Panics on filesystem/serialization failures, like [`record_artifact`].
+pub fn record_json_artifact<T: serde::Serialize>(
+    name: &str,
+    quick_scale: bool,
+    metrics: &T,
+) -> PathBuf {
+    // Hand-assembled envelope: the vendored serde_derive does not support
+    // generic structs, but `Value` trees serialize directly.
+    let artifact = serde::Value::Object(vec![
+        (
+            "experiment".to_string(),
+            serde::Value::String(name.to_string()),
+        ),
+        ("quick_scale".to_string(), serde::Value::Bool(quick_scale)),
+        ("metrics".to_string(), metrics.to_value()),
+    ]);
+    let dir = artifact_dir();
+    std::fs::create_dir_all(&dir).expect("create artifact dir");
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string(&artifact).expect("metrics serialize");
+    std::fs::write(&path, json).expect("write artifact");
+    path
+}
+
 /// Deterministic train/test image split used by every image experiment.
 pub fn image_split(scale: &Scale) -> (Vec<LabeledImage>, Vec<LabeledImage>) {
     synth_image::train_test_split(scale.frame_res, scale.train_n, scale.test_n, 2026)

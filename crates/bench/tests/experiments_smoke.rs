@@ -1,6 +1,6 @@
 //! Smoke tests for the paper-artifact experiment layer: every experiment
 //! `run()` must produce non-empty formatted output at quick scale, so the
-//! 14 `src/bin/*` binaries can't silently rot. Each output is also recorded
+//! 15 `src/bin/*` binaries can't silently rot. Each output is also recorded
 //! as a JSON artifact under `target/experiment-artifacts/` — CI uploads the
 //! directory, so the perf/accuracy trajectory is inspectable per PR.
 //!
@@ -132,6 +132,87 @@ fn fig_batching_renders_and_batched_invoke_is_equivalent_and_fast() {
         );
     }
     assert!(result.replay_fps_micro_batched > 0.0 && result.replay_fps_per_frame > 0.0);
+}
+
+#[test]
+fn fig_serving_batches_sheds_and_monitors_correctly() {
+    let mut result = None;
+    let out = smoke("fig_serving", |scale| {
+        let (r, rendered) = experiments::fig_serving::run_measured(scale);
+        result = Some(r);
+        rendered
+    });
+    let result = result.expect("smoke ran the closure");
+    // Correctness bars hold at any scale, debug or release:
+    assert!(
+        result.bitwise_identical,
+        "served responses must be bitwise-identical to sequential invokes:\n{out}"
+    );
+    assert!(
+        result.balanced,
+        "admission books must balance exactly — no silent drops:\n{out}"
+    );
+    assert!(
+        result.shed_queue_full > 0 && result.shed_deadline > 0 && result.overload_completed > 0,
+        "the overload phase must exercise queue-full shed, deadline shed \
+         AND completion:\n{out}"
+    );
+    assert!(result.shed_rate > 0.0 && result.shed_rate < 1.0, "{out}");
+    assert!(
+        !result.drift_alarm_raised,
+        "a clean optimized backend must not trip the online validator:\n{out}"
+    );
+    assert!(
+        result.telemetry_persisted > 0,
+        "sampled monitoring must persist telemetry through the channel sink:\n{out}"
+    );
+    assert!(
+        result.max_batch > 1,
+        "the dynamic batcher must coalesce at least one real batch:\n{out}"
+    );
+    assert!(
+        result.p50_ms > 0.0 && result.p99_ms >= result.p50_ms,
+        "{out}"
+    );
+    assert!(
+        result.open_loop_completed + result.open_loop_shed == 32 && result.open_loop_completed > 0,
+        "the TrafficGenerator open-loop phase must account for every paced \
+         arrival and complete most of an ~80%-capacity stream:\n{out}"
+    );
+    // The perf bars (>= 1.5x batching speedup, <= 1.3x monitoring tax at
+    // 10% sampling) are enforced with MLEXRAY_ENFORCE_SCALING=1 in release
+    // mode on dedicated hardware, mirroring the fig_batching policy —
+    // debug-mode smoke runs only apply catastrophic-regression floors.
+    let enforce = std::env::var("MLEXRAY_ENFORCE_SCALING")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    if enforce && cfg!(not(debug_assertions)) {
+        assert!(
+            result.speedup >= 1.5,
+            "expected >=1.5x dynamic-batching speedup, got {:.2}x:\n{out}",
+            result.speedup
+        );
+        assert!(
+            result.monitoring_overhead <= 1.3,
+            "expected <=1.3x monitoring tax at 10% sampling, got {:.2}x:\n{out}",
+            result.monitoring_overhead
+        );
+    } else {
+        assert!(
+            result.speedup > 0.3,
+            "dynamic batching catastrophically slower than single-invoke \
+             serving: {:.2}x:\n{out}",
+            result.speedup
+        );
+        assert!(
+            result.monitoring_overhead < 4.0,
+            "sampled monitoring catastrophically expensive: {:.2}x:\n{out}",
+            result.monitoring_overhead
+        );
+    }
+    // The structured metrics artifact rides along with the rendered one.
+    let metrics = mlexray_bench::support::artifact_dir().join("fig_serving_metrics.json");
+    assert!(metrics.exists(), "structured metrics artifact missing");
 }
 
 #[test]

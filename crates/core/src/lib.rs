@@ -89,11 +89,11 @@ pub use validate::{
     per_layer_drift, per_layer_latency, stragglers, AccuracyComparison, Assertion,
     AssertionOutcome, AssertionStatus, BisectionOutcome, BisectionVerdict,
     ChannelArrangementAssertion, ConstantOutputAssertion, DecisionTally, DeploymentValidator,
-    DifferentialOptions, DifferentialReport, DifferentialVerdict, DivergentLayer, FnAssertion,
-    LatencyBudgetAssertion, LayerDrift, LayerLatency, MemoryBudgetAssertion,
-    NormalizationRangeAssertion, OrientationAssertion, QuantizationDriftAssertion,
-    ResizeFunctionAssertion, ShardValidation, StragglerLayerAssertion, ValidationContext,
-    ValidationReport, Verdict,
+    DifferentialOptions, DifferentialReport, DifferentialVerdict, DivergentLayer, DriftAlarm,
+    FnAssertion, LatencyBudgetAssertion, LayerDrift, LayerLatency, MemoryBudgetAssertion,
+    NormalizationRangeAssertion, OnlineValidator, OnlineValidatorConfig, OnlineValidatorStats,
+    OrientationAssertion, QuantizationDriftAssertion, ResizeFunctionAssertion, ShardValidation,
+    StragglerLayerAssertion, ValidationContext, ValidationReport, Verdict,
 };
 
 /// Result alias used throughout the core crate.

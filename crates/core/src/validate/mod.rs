@@ -6,6 +6,7 @@ mod assertions;
 mod differential;
 mod drift;
 mod latency;
+mod online;
 mod report;
 
 pub use assertions::{
@@ -17,6 +18,7 @@ pub use assertions::{
 pub use differential::{diff_backends, diff_image_pipelines, DifferentialOptions};
 pub use drift::{first_drift_jump, layers_above, per_layer_drift, LayerDrift};
 pub use latency::{compare_layer_latency, per_layer_latency, stragglers, LayerLatency};
+pub use online::{DriftAlarm, OnlineValidator, OnlineValidatorConfig, OnlineValidatorStats};
 pub use report::{
     AccuracyComparison, BisectionOutcome, BisectionVerdict, DecisionTally, DeploymentValidator,
     DifferentialReport, DifferentialVerdict, DivergentLayer, ShardValidation, ValidationReport,

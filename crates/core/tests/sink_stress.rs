@@ -1,0 +1,200 @@
+//! Backpressure-accounting stress for [`ChannelSink`] under a deliberately
+//! slow consumer.
+//!
+//! The offline replay path drains a sink after the run; the serving monitor
+//! writes through it *while* inference threads are hot, so the
+//! [`SinkBackpressure`] invariants have to hold exactly under sustained
+//! contention, not just in the single-threaded unit tests:
+//!
+//! * `enqueued + dropped == write calls` — no write is ever unaccounted;
+//! * after `close`, `persisted == enqueued` — every admitted record reaches
+//!   the wrapped sink, none is destroyed in flight;
+//! * `Block` overflow is lossless (`dropped == 0`) and records the stalls;
+//! * `DropNewest` overflow shields the writers and counts every shed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use mlexray_core::{
+    ChannelSink, ChannelSinkConfig, LogRecord, LogSink, LogValue, MemorySink, OverflowPolicy,
+    SinkBackpressure,
+};
+
+/// Wraps a [`MemorySink`] with a fixed per-batch stall — the "slow SD card"
+/// the serving monitor must absorb without losing accounting.
+struct SlowSink {
+    inner: MemorySink,
+    stall: Duration,
+    batches_seen: AtomicU64,
+}
+
+impl SlowSink {
+    fn new(stall: Duration) -> Self {
+        SlowSink {
+            inner: MemorySink::new(),
+            stall,
+            batches_seen: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LogSink for SlowSink {
+    fn write(&self, record: LogRecord) {
+        std::thread::sleep(self.stall);
+        self.batches_seen.fetch_add(1, Ordering::AcqRel);
+        self.inner.write(record);
+    }
+
+    fn write_batch(&self, records: Vec<LogRecord>) {
+        std::thread::sleep(self.stall);
+        self.batches_seen.fetch_add(1, Ordering::AcqRel);
+        self.inner.write_batch(records);
+    }
+
+    fn bytes_written(&self) -> u64 {
+        self.inner.bytes_written()
+    }
+}
+
+fn rec(frame: u64) -> LogRecord {
+    LogRecord {
+        frame,
+        key: "stress".into(),
+        value: LogValue::Scalar(frame as f64),
+    }
+}
+
+/// Hammers `sink` from `writers` threads, `per_writer` records each.
+fn hammer(sink: &ChannelSink, writers: u64, per_writer: u64) {
+    std::thread::scope(|scope| {
+        for w in 0..writers {
+            scope.spawn(move || {
+                for i in 0..per_writer {
+                    sink.write(rec(w * per_writer + i));
+                }
+            });
+        }
+    });
+}
+
+fn assert_exact(stats: &SinkBackpressure, writes: u64) {
+    assert_eq!(
+        stats.enqueued + stats.dropped,
+        writes,
+        "every write must be counted exactly once: {stats:?}"
+    );
+    assert_eq!(
+        stats.persisted, stats.enqueued,
+        "after close, every admitted record must be persisted: {stats:?}"
+    );
+}
+
+#[test]
+fn blocking_overflow_is_lossless_and_exact_under_a_slow_consumer() {
+    let slow = Arc::new(SlowSink::new(Duration::from_millis(2)));
+    let sink = ChannelSink::new(
+        slow.clone(),
+        ChannelSinkConfig {
+            capacity: 8,
+            batch_records: 4,
+            overflow: OverflowPolicy::Block,
+            ..Default::default()
+        },
+    );
+    let (writers, per_writer) = (4u64, 200u64);
+    let writes = writers * per_writer;
+    hammer(&sink, writers, per_writer);
+    let stats = sink.close();
+    assert_exact(&stats, writes);
+    assert_eq!(
+        stats.dropped, 0,
+        "Block overflow must never shed: {stats:?}"
+    );
+    assert_eq!(stats.enqueued, writes);
+    assert!(
+        stats.blocked > 0,
+        "a 2ms/batch consumer behind an 8-slot channel must have stalled \
+         writers at least once: {stats:?}"
+    );
+    let (len, _) = slow.inner.len_and_bytes();
+    assert_eq!(len as u64, writes, "inner sink must hold every record");
+    assert!(slow.batches_seen.load(Ordering::Acquire) > 0);
+}
+
+#[test]
+fn drop_newest_overflow_sheds_but_never_miscounts() {
+    let slow = Arc::new(SlowSink::new(Duration::from_millis(3)));
+    let sink = ChannelSink::new(
+        slow.clone(),
+        ChannelSinkConfig {
+            capacity: 4,
+            batch_records: 2,
+            overflow: OverflowPolicy::DropNewest,
+            ..Default::default()
+        },
+    );
+    let (writers, per_writer) = (4u64, 150u64);
+    let writes = writers * per_writer;
+    hammer(&sink, writers, per_writer);
+    let stats = sink.close();
+    assert_exact(&stats, writes);
+    assert_eq!(stats.blocked, 0, "DropNewest must never block: {stats:?}");
+    assert!(
+        stats.dropped > 0,
+        "4 writers against a 3ms/batch consumer behind a 4-slot channel \
+         must overflow: {stats:?}"
+    );
+    let (len, _) = slow.inner.len_and_bytes();
+    assert_eq!(
+        len as u64, stats.persisted,
+        "inner sink must hold exactly the persisted records"
+    );
+}
+
+#[test]
+fn close_racing_concurrent_writers_keeps_the_books_balanced() {
+    // Repeat the race a few times: close() lands mid-hammer, and whatever
+    // interleaving occurs, enqueued + dropped == writes and persisted ==
+    // enqueued must hold — a record is persisted or counted shed, never
+    // silently destroyed.
+    for round in 0..5u64 {
+        let slow = Arc::new(SlowSink::new(Duration::from_micros(200)));
+        let sink = Arc::new(ChannelSink::new(
+            slow.clone(),
+            ChannelSinkConfig {
+                capacity: 8,
+                batch_records: 4,
+                overflow: OverflowPolicy::Block,
+                ..Default::default()
+            },
+        ));
+        let (writers, per_writer) = (4u64, 50u64);
+        let writes = writers * per_writer;
+        let stats = std::thread::scope(|scope| {
+            for w in 0..writers {
+                let sink = sink.clone();
+                scope.spawn(move || {
+                    for i in 0..per_writer {
+                        sink.write(rec(w * per_writer + i));
+                    }
+                });
+            }
+            let closer = sink.clone();
+            scope
+                .spawn(move || {
+                    std::thread::sleep(Duration::from_millis(round));
+                    closer.close()
+                })
+                .join()
+                .expect("closer thread")
+        });
+        // The scope joined every writer, so the mid-run snapshot from the
+        // closer thread may predate late writes — re-read the frozen books.
+        let _ = stats;
+        let finals = sink.close();
+        assert_exact(&finals, writes);
+        let (len, _) = slow.inner.len_and_bytes();
+        assert_eq!(len as u64, finals.persisted, "round {round}: {finals:?}");
+    }
+}

@@ -1,5 +1,7 @@
 //! Simulated execution: real interpreter, simulated clock.
 
+use std::time::Duration;
+
 use mlexray_nn::{Graph, Interpreter, InterpreterOptions, LayerObserver, LayerRecord, NnError};
 use mlexray_tensor::{DType, Tensor};
 
@@ -147,6 +149,41 @@ impl SimulatedDevice {
             model_bytes: graph.param_bytes(),
         })
     }
+
+    /// Predicted wall-clock of one single-frame invoke of `graph` on this
+    /// device, in nanoseconds (the cost-model sum over one simulated run).
+    ///
+    /// # Errors
+    ///
+    /// Propagates interpreter errors.
+    pub fn predicted_invoke_ns(
+        &self,
+        graph: &Graph,
+        inputs: &[Tensor],
+        options: InterpreterOptions,
+    ) -> Result<f64, NnError> {
+        Ok(self.run(graph, inputs, options)?.total_ns)
+    }
+
+    /// The dynamic-batching coalescing window this device's latency model
+    /// suggests for `graph`: half of one predicted invoke — a request never
+    /// waits longer to fill a batch than ~50% of the compute it is about to
+    /// pay anyway — clamped to `[50 µs, 20 ms]` so degenerate cost models
+    /// can't produce zero-coalescing or unbounded-tail windows.
+    ///
+    /// # Errors
+    ///
+    /// Propagates interpreter errors.
+    pub fn suggested_batch_window(
+        &self,
+        graph: &Graph,
+        inputs: &[Tensor],
+        options: InterpreterOptions,
+    ) -> Result<Duration, NnError> {
+        let ns = self.predicted_invoke_ns(graph, inputs, options)? * 0.5;
+        let clamped = ns.clamp(50_000.0, 20_000_000.0);
+        Ok(Duration::from_nanos(clamped as u64))
+    }
 }
 
 #[cfg(test)]
@@ -221,6 +258,36 @@ mod tests {
             .run(&g, &[x], InterpreterOptions::optimized())
             .unwrap();
         assert!(gpu.total_ns < cpu.total_ns);
+    }
+
+    #[test]
+    fn batch_window_tracks_the_cost_model_within_clamps() {
+        let device = SimulatedDevice::new(DeviceProfile::pixel4(), Processor::Cpu);
+        let g = small_graph();
+        let x = Tensor::filled_f32(Shape::nhwc(1, 16, 16, 3), 0.1);
+        let opt = device
+            .suggested_batch_window(
+                &g,
+                std::slice::from_ref(&x),
+                InterpreterOptions::optimized(),
+            )
+            .unwrap();
+        let mut ref_opts = InterpreterOptions::optimized();
+        ref_opts.flavor = KernelFlavor::Reference;
+        let reference = device
+            .suggested_batch_window(&g, std::slice::from_ref(&x), ref_opts)
+            .unwrap();
+        // Slower predicted invokes buy longer coalescing windows...
+        assert!(reference >= opt, "{reference:?} vs {opt:?}");
+        // ...but both stay inside the tail-latency clamp.
+        for window in [opt, reference] {
+            assert!(window >= Duration::from_micros(50), "{window:?}");
+            assert!(window <= Duration::from_millis(20), "{window:?}");
+        }
+        let predicted = device
+            .predicted_invoke_ns(&g, &[x], InterpreterOptions::optimized())
+            .unwrap();
+        assert!(predicted > 0.0);
     }
 
     #[test]

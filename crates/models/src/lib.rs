@@ -32,4 +32,6 @@ pub mod text;
 pub mod zoo;
 
 pub use blocks::NetBuilder;
-pub use zoo::{canonical_preprocess, full_model, mini_model, FullFamily, MiniFamily};
+pub use zoo::{
+    by_name, canonical_preprocess, full_model, mini_model, FullFamily, MiniFamily, ZooModel,
+};

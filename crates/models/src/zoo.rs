@@ -144,6 +144,76 @@ pub fn mini_model(family: MiniFamily, input: usize, classes: usize, seed: u64) -
     }
 }
 
+/// Either tier of the zoo, resolved from a family-name string — what lets
+/// the serving registry and CLI-style configs name models (`"mobilenet_v2"`,
+/// `"mini_resnet"`) without matching on the tier enums at every call site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ZooModel {
+    /// A full-size checkpoint architecture.
+    Full(FullFamily),
+    /// A mini (trainable) architecture.
+    Mini(MiniFamily),
+}
+
+impl ZooModel {
+    /// The family name this entry resolves back to (`by_name` round-trips).
+    pub fn name(self) -> &'static str {
+        match self {
+            ZooModel::Full(f) => f.name(),
+            ZooModel::Mini(f) => f.name(),
+        }
+    }
+
+    /// Builds the model at an explicit width multiplier (full-size tiers
+    /// only; minis have fixed width and ignore it).
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph-construction errors.
+    pub fn build_scaled(
+        self,
+        input: usize,
+        classes: usize,
+        width: f32,
+        seed: u64,
+    ) -> Result<Model> {
+        match self {
+            ZooModel::Full(f) => full_model(f, input, classes, width, seed),
+            ZooModel::Mini(f) => mini_model(f, input, classes, seed),
+        }
+    }
+
+    /// Builds the model at its canonical width (1.0 for full-size tiers).
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph-construction errors.
+    pub fn build(self, input: usize, classes: usize, seed: u64) -> Result<Model> {
+        self.build_scaled(input, classes, 1.0, seed)
+    }
+
+    /// This family's canonical preprocessing at the given input resolution.
+    pub fn canonical_preprocess(self, input: usize) -> ImagePreprocessConfig {
+        canonical_preprocess(self.name(), input)
+    }
+}
+
+/// Looks a zoo family up by its table name (`FullFamily::name` /
+/// `MiniFamily::name` spelling, e.g. `"mobilenet_v2"` or
+/// `"mini_densenet"`). Returns `None` for unknown names.
+pub fn by_name(name: &str) -> Option<ZooModel> {
+    FullFamily::ALL
+        .into_iter()
+        .find(|f| f.name() == name)
+        .map(ZooModel::Full)
+        .or_else(|| {
+            MiniFamily::ALL
+                .into_iter()
+                .find(|f| f.name() == name)
+                .map(ZooModel::Mini)
+        })
+}
+
 /// Canonical preprocessing of a model family: what the training pipeline
 /// used and what the reference pipeline replays. Deployments that deviate
 /// from this configuration are, by definition, carrying a §4.3 bug.
@@ -186,6 +256,37 @@ mod tests {
             let m = full_model(f, 64, 10, 0.25, 1).unwrap();
             assert_eq!(m.family, f.name());
         }
+    }
+
+    #[test]
+    fn by_name_round_trips_every_family_and_rejects_unknowns() {
+        for f in FullFamily::ALL {
+            let entry = by_name(f.name()).unwrap_or_else(|| panic!("{} missing", f.name()));
+            assert_eq!(entry, ZooModel::Full(f));
+            assert_eq!(entry.name(), f.name());
+        }
+        for f in MiniFamily::ALL {
+            let entry = by_name(f.name()).unwrap_or_else(|| panic!("{} missing", f.name()));
+            assert_eq!(entry, ZooModel::Mini(f));
+            assert_eq!(entry.name(), f.name());
+        }
+        assert_eq!(by_name("mobilenet_v9"), None);
+        assert_eq!(by_name(""), None);
+        assert_eq!(by_name("MobileNet_V2"), None, "lookups are exact-case");
+    }
+
+    #[test]
+    fn by_name_entries_build_models_with_their_canonical_preprocess() {
+        let full = by_name("mobilenet_v2").unwrap();
+        let m = full.build_scaled(64, 10, 0.25, 1).unwrap();
+        assert_eq!(m.family, "mobilenet_v2");
+        let mini = by_name("mini_densenet").unwrap();
+        let m = mini.build(32, 8, 1).unwrap();
+        assert_eq!(m.family, "mini_densenet");
+        assert_eq!(
+            mini.canonical_preprocess(32).normalization,
+            canonical_preprocess("mini_densenet", 32).normalization
+        );
     }
 
     #[test]

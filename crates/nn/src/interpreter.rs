@@ -136,6 +136,25 @@ pub struct InvokeStats {
     pub arena_frames: usize,
 }
 
+impl InvokeStats {
+    /// This invoke's latency attributed to one frame (`latency / batch`) —
+    /// what a serving layer reports as per-request execution time when
+    /// several coalesced requests shared one batched invoke.
+    pub fn per_frame_latency(&self) -> Duration {
+        self.latency / self.batch.max(1) as u32
+    }
+
+    /// This invoke's throughput in frames per second.
+    pub fn frames_per_sec(&self) -> f64 {
+        let secs = self.latency.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.batch as f64 / secs
+        }
+    }
+}
+
 /// One prepared execution arena: the memory plan for a batch factor plus the
 /// preallocated per-slot buffers and GEMM scratch it describes.
 #[derive(Debug)]
@@ -761,6 +780,28 @@ mod tests {
         assert_eq!(v[2], 4.0);
         assert!(interp.last_stats().unwrap().peak_activation_bytes > 0);
         assert!(interp.last_stats().unwrap().arena_bytes > 0);
+    }
+
+    #[test]
+    fn invoke_stats_attribute_latency_per_frame() {
+        let stats = InvokeStats {
+            latency: Duration::from_millis(8),
+            peak_activation_bytes: 0,
+            arena_bytes: 0,
+            allocations: 0,
+            batch: 4,
+            arena_frames: 4,
+        };
+        assert_eq!(stats.per_frame_latency(), Duration::from_millis(2));
+        assert!((stats.frames_per_sec() - 500.0).abs() < 1e-6);
+        // Degenerate batch of 0 must not divide by zero.
+        let empty = InvokeStats { batch: 0, ..stats };
+        assert_eq!(empty.per_frame_latency(), Duration::from_millis(8));
+        let instant = InvokeStats {
+            latency: Duration::ZERO,
+            ..stats
+        };
+        assert_eq!(instant.frames_per_sec(), 0.0);
     }
 
     #[test]

@@ -1,0 +1,57 @@
+use std::fmt;
+
+use mlexray_core::ExrayError;
+use mlexray_nn::NnError;
+
+/// Errors produced by the serving subsystem's control plane (registration,
+/// configuration, validation). Per-request failures travel as typed
+/// [`crate::Rejection`]s through the response channel instead — a request
+/// is never answered with a control-plane error.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A model name not present in the registry (or the zoo, for
+    /// [`crate::ModelRegistry::register_zoo`]).
+    UnknownModel(String),
+    /// Model execution / graph validation failed.
+    Nn(NnError),
+    /// A core-layer failure (online validation, log plumbing).
+    Core(ExrayError),
+    /// The service was configured inconsistently.
+    Config(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownModel(name) => write!(f, "unknown model '{name}'"),
+            ServeError::Nn(e) => write!(f, "model execution: {e}"),
+            ServeError::Core(e) => write!(f, "core: {e}"),
+            ServeError::Config(msg) => write!(f, "configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Nn(e) => Some(e),
+            ServeError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for ServeError {
+    fn from(e: NnError) -> Self {
+        ServeError::Nn(e)
+    }
+}
+
+impl From<ExrayError> for ServeError {
+    fn from(e: ExrayError) -> Self {
+        ServeError::Core(e)
+    }
+}
+
+/// Result alias used throughout the serve crate.
+pub type Result<T> = std::result::Result<T, ServeError>;

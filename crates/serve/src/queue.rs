@@ -1,0 +1,241 @@
+//! The bounded MPMC request queue behind each served model.
+//!
+//! Producers (client threads in [`crate::InferenceService::submit`]) never
+//! block: `try_push` either admits the request or reports `Full`/`Closed`
+//! so admission control can shed with a typed reason. Consumers (the
+//! model's worker pool) block on `pop`, and coalesce batches with the
+//! deadline-bounded `pop_until`. `pause` holds consumers without affecting
+//! admission (maintenance windows, deterministic tests); `close` overrides
+//! `pause` and switches consumers to drain mode — remaining items are
+//! handed out until the queue is empty, then every `pop` returns `None`.
+//! That drain-then-stop contract is what makes shutdown deterministic:
+//! everything admitted before `close` is processed, nothing after it is
+//! admitted.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
+/// Why `try_push` refused an item (the item is handed back).
+pub(crate) enum PushRefusal<T> {
+    /// The queue was at capacity.
+    Full(T, usize),
+    /// The queue was closed.
+    Closed(T),
+}
+
+/// Outcome of a deadline-bounded pop.
+pub(crate) enum TimedPop<T> {
+    /// An item was dequeued.
+    Popped(T),
+    /// The deadline passed with nothing available.
+    TimedOut,
+    /// The queue is closed and fully drained.
+    Drained,
+}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    closed: bool,
+    paused: bool,
+}
+
+pub(crate) struct RequestQueue<T> {
+    state: Mutex<QueueState<T>>,
+    available: Condvar,
+}
+
+impl<T> RequestQueue<T> {
+    pub(crate) fn new(capacity: usize, paused: bool) -> Self {
+        RequestQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                capacity: capacity.max(1),
+                closed: false,
+                paused,
+            }),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Locks the state; like the replay engine's shard queue, a panicked
+    /// holder does not wedge the service.
+    fn lock(&self) -> MutexGuard<'_, QueueState<T>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Admits `item` unless the queue is full or closed; never blocks.
+    /// Returns the post-push depth on success.
+    pub(crate) fn try_push(&self, item: T) -> Result<usize, PushRefusal<T>> {
+        let mut state = self.lock();
+        if state.closed {
+            return Err(PushRefusal::Closed(item));
+        }
+        if state.items.len() >= state.capacity {
+            let depth = state.items.len();
+            return Err(PushRefusal::Full(item, depth));
+        }
+        state.items.push_back(item);
+        self.available.notify_one();
+        Ok(state.items.len())
+    }
+
+    /// Blocks until an item is available (and the queue is not paused);
+    /// after `close`, drains remaining items and then returns `None`.
+    pub(crate) fn pop(&self) -> Option<T> {
+        let mut state = self.lock();
+        loop {
+            if state.closed {
+                return state.items.pop_front();
+            }
+            if !state.paused {
+                if let Some(item) = state.items.pop_front() {
+                    return Some(item);
+                }
+            }
+            state = self
+                .available
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Like [`RequestQueue::pop`] but gives up at `deadline` — the batch
+    /// coalescing wait.
+    pub(crate) fn pop_until(&self, deadline: Instant) -> TimedPop<T> {
+        let mut state = self.lock();
+        loop {
+            if state.closed {
+                return match state.items.pop_front() {
+                    Some(item) => TimedPop::Popped(item),
+                    None => TimedPop::Drained,
+                };
+            }
+            if !state.paused {
+                if let Some(item) = state.items.pop_front() {
+                    return TimedPop::Popped(item);
+                }
+            }
+            let Some(remaining) = deadline
+                .checked_duration_since(Instant::now())
+                .filter(|d| !d.is_zero())
+            else {
+                return TimedPop::TimedOut;
+            };
+            state = self
+                .available
+                .wait_timeout(state, remaining)
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
+            // Loop re-checks closed/paused/items before re-deriving the
+            // remaining wait, so a push or close racing the timeout is
+            // never missed.
+        }
+    }
+
+    /// Current depth.
+    pub(crate) fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Holds consumers (admission continues).
+    pub(crate) fn pause(&self) {
+        self.lock().paused = true;
+    }
+
+    /// Releases paused consumers.
+    pub(crate) fn resume(&self) {
+        self.lock().paused = false;
+        self.available.notify_all();
+    }
+
+    /// Stops admission and switches consumers to drain mode (overrides
+    /// pause).
+    pub(crate) fn close(&self) {
+        self.lock().closed = true;
+        self.available.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn bounded_fifo_with_typed_refusals() {
+        let queue = RequestQueue::new(2, false);
+        assert_eq!(queue.try_push(1).ok(), Some(1));
+        assert_eq!(queue.try_push(2).ok(), Some(2));
+        match queue.try_push(3) {
+            Err(PushRefusal::Full(item, depth)) => {
+                assert_eq!(item, 3);
+                assert_eq!(depth, 2);
+            }
+            _ => panic!("expected Full"),
+        }
+        assert_eq!(queue.pop(), Some(1));
+        assert_eq!(queue.pop(), Some(2));
+        queue.close();
+        match queue.try_push(4) {
+            Err(PushRefusal::Closed(4)) => {}
+            _ => panic!("expected Closed"),
+        }
+        assert_eq!(queue.pop(), None);
+    }
+
+    #[test]
+    fn close_drains_remaining_items_even_while_paused() {
+        let queue = RequestQueue::new(8, true);
+        for i in 0..3 {
+            queue.try_push(i).ok().unwrap();
+        }
+        queue.close();
+        assert_eq!(queue.pop(), Some(0));
+        assert_eq!(queue.pop(), Some(1));
+        assert_eq!(queue.pop(), Some(2));
+        assert_eq!(queue.pop(), None, "drained queue must report completion");
+    }
+
+    #[test]
+    fn pause_holds_consumers_until_resume() {
+        let queue = Arc::new(RequestQueue::new(4, true));
+        queue.try_push(7).ok().unwrap();
+        match queue.pop_until(Instant::now() + Duration::from_millis(10)) {
+            TimedPop::TimedOut => {}
+            _ => panic!("paused queue must not hand out items"),
+        }
+        let consumer = {
+            let queue = queue.clone();
+            std::thread::spawn(move || queue.pop())
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(!consumer.is_finished(), "pop must block while paused");
+        queue.resume();
+        assert_eq!(consumer.join().unwrap(), Some(7));
+    }
+
+    #[test]
+    fn pop_until_returns_pushed_items_before_deadline() {
+        let queue = Arc::new(RequestQueue::new(4, false));
+        let producer = {
+            let queue = queue.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(5));
+                queue.try_push(42).ok().unwrap();
+            })
+        };
+        match queue.pop_until(Instant::now() + Duration::from_millis(500)) {
+            TimedPop::Popped(42) => {}
+            _ => panic!("expected the produced item within the window"),
+        }
+        producer.join().unwrap();
+        queue.close();
+        match queue.pop_until(Instant::now() + Duration::from_millis(5)) {
+            TimedPop::Drained => {}
+            _ => panic!("closed empty queue must report Drained"),
+        }
+    }
+}

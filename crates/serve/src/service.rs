@@ -1,0 +1,688 @@
+//! The inference service: per-model worker pools over dynamic
+//! micro-batching queues, with admission control and always-on EXray
+//! monitoring.
+//!
+//! # Data path
+//!
+//! ```text
+//! submit() ──try_push──▶ bounded queue ──pop──▶ worker: coalesce ≤ max_batch
+//!    │                                            within the batch window,
+//!    │ typed Rejection                            shed expired deadlines,
+//!    ▼ (QueueFull / ShuttingDown)                 invoke_batch, reply
+//! ```
+//!
+//! Each worker owns a private backend built from the model's
+//! [`BackendSpec`] — the same share-nothing discipline as the sharded
+//! replay engine, and the two compose: the service's worker pools are
+//! capped by [`ServiceConfig::core_budget`], defaulting to the machine
+//! parallelism the replay engine also sizes against.
+//!
+//! # Monitoring
+//!
+//! Every `sample_every`-th admitted request runs with deep EXray capture:
+//! its per-layer outputs stream into the configured [`LogSink`] (an
+//! [`mlexray_core::ChannelSink`] moves that off the worker threads), and
+//! its inputs feed the model's rolling [`OnlineValidator`] reservoir.
+//! [`InferenceService::drift_check`] replays that reservoir against the
+//! reference backend via the §4.4 differential debugger — drift alarms
+//! with a localized first divergent layer, raised without stopping the
+//! service.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::sync_channel;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use mlexray_core::{
+    layer_output_key, DriftAlarm, LogRecord, LogSink, LogValue, OnlineValidator,
+    OnlineValidatorConfig, OnlineValidatorStats, KEY_INFERENCE_LATENCY,
+};
+use mlexray_edgesim::SimulatedDevice;
+use mlexray_nn::{BackendSpec, ExecutionBackend, LayerObserver, LayerRecord};
+use mlexray_tensor::Tensor;
+
+use crate::queue::{PushRefusal, RequestQueue, TimedPop};
+use crate::registry::{ModelRegistry, ServedModel};
+use crate::request::{InferRequest, InferResponse, PendingResponse, RejectReason, Rejection};
+use crate::stats::{ModelCounters, ModelStats};
+use crate::{Result, ServeError};
+
+/// How a model's workers coalesce queued requests into batched invokes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Most requests stacked into one `invoke_batch` call.
+    pub max_batch: usize,
+    /// How long a batch leader waits for followers before invoking with
+    /// what it has. Zero still coalesces whatever is already queued.
+    pub window: Duration,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            max_batch: 4,
+            window: Duration::from_millis(1),
+        }
+    }
+}
+
+impl BatchPolicy {
+    /// Batch-size-1 serving: every request is its own invoke (the baseline
+    /// the `fig_serving` experiment compares against).
+    pub fn single() -> Self {
+        BatchPolicy {
+            max_batch: 1,
+            window: Duration::ZERO,
+        }
+    }
+
+    /// An explicit size/window pair.
+    pub fn windowed(max_batch: usize, window: Duration) -> Self {
+        BatchPolicy {
+            max_batch: max_batch.max(1),
+            window,
+        }
+    }
+
+    /// Derives the coalescing window from a simulated device's latency
+    /// model ([`SimulatedDevice::suggested_batch_window`]): slower devices
+    /// buy longer windows, and a request never waits longer than ~half the
+    /// compute it is about to pay for.
+    ///
+    /// # Errors
+    ///
+    /// Propagates interpreter errors from the one-off costing run.
+    pub fn for_device(
+        max_batch: usize,
+        device: &SimulatedDevice,
+        entry: &ServedModel,
+        sample_inputs: &[Tensor],
+    ) -> Result<Self> {
+        let window =
+            device.suggested_batch_window(entry.graph(), sample_inputs, entry.spec().options())?;
+        Ok(Self::windowed(max_batch, window))
+    }
+}
+
+/// The always-on monitoring policy of a service.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonitorPolicy {
+    /// Deep-capture sampling period: every `sample_every`-th admitted
+    /// request per model streams per-layer telemetry and feeds the online
+    /// validator. `0` disables deep capture.
+    pub sample_every: u64,
+    /// Log per-request end-to-end latency to the sink for *every* completed
+    /// request (the lightweight §4.2 always-on telemetry).
+    pub log_latency: bool,
+    /// Capture full tensors (not stats) for sampled per-layer records.
+    pub full_capture: bool,
+    /// Rolling-reservoir configuration for the per-model
+    /// [`OnlineValidator`]; `None` disables online drift checks.
+    pub validator: Option<OnlineValidatorConfig>,
+}
+
+impl Default for MonitorPolicy {
+    fn default() -> Self {
+        MonitorPolicy {
+            sample_every: 0,
+            log_latency: true,
+            full_capture: false,
+            validator: None,
+        }
+    }
+}
+
+impl MonitorPolicy {
+    /// Monitoring disabled entirely.
+    pub fn off() -> Self {
+        MonitorPolicy {
+            sample_every: 0,
+            log_latency: false,
+            full_capture: false,
+            validator: None,
+        }
+    }
+
+    /// Deep capture every `n`-th request with a default online validator.
+    pub fn sampled(n: u64) -> Self {
+        MonitorPolicy {
+            sample_every: n,
+            log_latency: true,
+            full_capture: false,
+            validator: Some(OnlineValidatorConfig::default()),
+        }
+    }
+}
+
+/// Service-wide tuning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceConfig {
+    /// Bounded request-queue capacity per model — the admission-control
+    /// backstop: a submit finding the queue at this depth is refused with
+    /// [`RejectReason::QueueFull`].
+    pub queue_capacity: usize,
+    /// Worker threads requested per model (each owns a private backend).
+    pub workers_per_model: usize,
+    /// Global cap on worker threads across all models, so serving pools
+    /// compose with the replay engine's sharding instead of oversubscribing
+    /// cores. `0` means the machine's available parallelism. Every model
+    /// still gets at least one worker.
+    pub core_budget: usize,
+    /// Dynamic-batching policy.
+    pub batch: BatchPolicy,
+    /// Deadline applied to requests submitted without an explicit one.
+    pub default_deadline: Option<Duration>,
+    /// Start with worker pools paused (admission continues; nothing is
+    /// dequeued until [`InferenceService::resume`]) — maintenance windows
+    /// and deterministic load tests.
+    pub start_paused: bool,
+    /// Monitoring policy.
+    pub monitor: MonitorPolicy,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            queue_capacity: 64,
+            workers_per_model: 1,
+            core_budget: 0,
+            batch: BatchPolicy::default(),
+            default_deadline: None,
+            start_paused: false,
+            monitor: MonitorPolicy::default(),
+        }
+    }
+}
+
+/// Final accounting of a drained service ([`InferenceService::shutdown`]).
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Per-model counters, sorted by model name. For every model,
+    /// [`ModelStats::is_balanced`] holds: each offered request was
+    /// completed or shed with a typed reason — never silently dropped.
+    pub models: Vec<ModelStats>,
+    /// Per-model online-validator counters (models with validation on).
+    pub validators: Vec<(String, OnlineValidatorStats)>,
+    /// Bytes the telemetry sink persisted, when one was configured.
+    pub sink_bytes: Option<u64>,
+}
+
+struct ModelServer {
+    entry: Arc<ServedModel>,
+    queue: Arc<RequestQueue<InferRequest>>,
+    counters: Arc<ModelCounters>,
+    validator: Option<Arc<OnlineValidator>>,
+    workers: Vec<JoinHandle<()>>,
+    worker_count: usize,
+    next_id: AtomicU64,
+    sample_clock: AtomicU64,
+}
+
+/// The in-process inference service: spawn it over a [`ModelRegistry`],
+/// submit requests from any thread, shut it down for the final accounting.
+/// See the module docs for the data path.
+pub struct InferenceService {
+    servers: BTreeMap<String, ModelServer>,
+    accepting: Arc<AtomicBool>,
+    sink: Option<Arc<dyn LogSink>>,
+    config: ServiceConfig,
+}
+
+impl std::fmt::Debug for InferenceService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InferenceService")
+            .field("models", &self.servers.keys().collect::<Vec<_>>())
+            .field("accepting", &self.accepting.load(Ordering::Acquire))
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl InferenceService {
+    /// Spawns worker pools for every model currently in `registry`.
+    /// `sink` receives the always-on telemetry stream (wrap a
+    /// [`mlexray_core::ChannelSink`] around it to move persistence off the
+    /// worker threads).
+    ///
+    /// # Errors
+    ///
+    /// Propagates trial backend builds; rejects an empty registry.
+    pub fn start(
+        registry: &ModelRegistry,
+        config: ServiceConfig,
+        sink: Option<Arc<dyn LogSink>>,
+    ) -> Result<Self> {
+        let entries = registry.snapshot();
+        if entries.is_empty() {
+            return Err(ServeError::Config(
+                "cannot serve an empty model registry".into(),
+            ));
+        }
+        let accepting = Arc::new(AtomicBool::new(true));
+        let budget = if config.core_budget == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            config.core_budget
+        };
+        let mut remaining = budget;
+        let mut servers = BTreeMap::new();
+        for entry in entries {
+            // Validate the spec builds before any worker relies on it.
+            entry.spec().build(entry.graph())?;
+            let workers = config.workers_per_model.min(remaining.max(1)).max(1);
+            remaining = remaining.saturating_sub(workers);
+            let queue = Arc::new(RequestQueue::new(
+                config.queue_capacity,
+                config.start_paused,
+            ));
+            let counters = Arc::new(ModelCounters::default());
+            let validator = config
+                .monitor
+                .validator
+                .filter(|_| config.monitor.sample_every > 0)
+                .map(|cfg| Arc::new(OnlineValidator::new(cfg)));
+            let handles = (0..workers)
+                .map(|i| {
+                    let ctx = WorkerCtx {
+                        entry: entry.clone(),
+                        queue: queue.clone(),
+                        counters: counters.clone(),
+                        validator: validator.clone(),
+                        sink: sink.clone(),
+                        batch: config.batch,
+                        monitor: config.monitor,
+                    };
+                    std::thread::Builder::new()
+                        .name(format!("mlexray-serve-{}-{i}", entry.name()))
+                        .spawn(move || worker_loop(ctx))
+                        .expect("spawn serving worker")
+                })
+                .collect();
+            servers.insert(
+                entry.name().to_string(),
+                ModelServer {
+                    entry,
+                    queue,
+                    counters,
+                    validator,
+                    workers: handles,
+                    worker_count: workers,
+                    next_id: AtomicU64::new(0),
+                    sample_clock: AtomicU64::new(0),
+                },
+            );
+        }
+        Ok(InferenceService {
+            servers,
+            accepting,
+            sink,
+            config,
+        })
+    }
+
+    /// The service's configuration.
+    pub fn config(&self) -> ServiceConfig {
+        self.config
+    }
+
+    /// Names of the served models, sorted.
+    pub fn models(&self) -> Vec<String> {
+        self.servers.keys().cloned().collect()
+    }
+
+    /// Submits a request under the default deadline policy.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`Rejection`] when admission control refuses the request
+    /// (unknown model, queue full, shutting down).
+    pub fn submit(
+        &self,
+        model: &str,
+        inputs: Vec<Tensor>,
+    ) -> std::result::Result<PendingResponse, Rejection> {
+        self.submit_with_deadline(model, inputs, self.config.default_deadline)
+    }
+
+    /// Submits a request with an explicit deadline (`None` = no deadline,
+    /// overriding any configured default). The deadline is enforced at
+    /// dequeue: a request whose deadline passed while queued is shed with
+    /// [`RejectReason::DeadlineExpired`] instead of burning compute.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`Rejection`] when admission control refuses the request.
+    pub fn submit_with_deadline(
+        &self,
+        model: &str,
+        inputs: Vec<Tensor>,
+        deadline: Option<Duration>,
+    ) -> std::result::Result<PendingResponse, Rejection> {
+        let Some(server) = self.servers.get(model) else {
+            return Err(Rejection {
+                model: model.to_string(),
+                request_id: 0,
+                reason: RejectReason::UnknownModel,
+            });
+        };
+        server.counters.offered.fetch_add(1, Ordering::AcqRel);
+        if !self.accepting.load(Ordering::Acquire) {
+            server.counters.shed_shutdown.fetch_add(1, Ordering::AcqRel);
+            return Err(Rejection {
+                model: model.to_string(),
+                request_id: 0,
+                reason: RejectReason::ShuttingDown,
+            });
+        }
+        let id = server.next_id.fetch_add(1, Ordering::AcqRel);
+        let sample_every = self.config.monitor.sample_every;
+        // Sampling ticks over *admitted* requests, not submit attempts —
+        // the tick is taken optimistically and rolled back on refusal, so
+        // sustained queue-full bursts cannot starve the monitoring stream
+        // (ids themselves are identity and may skip).
+        let sample_tick =
+            (sample_every > 0).then(|| server.sample_clock.fetch_add(1, Ordering::AcqRel));
+        let sampled = sample_tick.is_some_and(|tick| tick % sample_every == 0);
+        let (reply, rx) = sync_channel(1);
+        let request = InferRequest {
+            id,
+            inputs,
+            deadline: deadline.map(|d| Instant::now() + d),
+            admitted_at: Instant::now(),
+            sampled,
+            reply,
+        };
+        let refusal = match server.queue.try_push(request) {
+            Ok(_) => {
+                server.counters.admitted.fetch_add(1, Ordering::AcqRel);
+                return Ok(PendingResponse {
+                    model: model.to_string(),
+                    request_id: id,
+                    rx,
+                });
+            }
+            Err(refusal) => refusal,
+        };
+        if sample_tick.is_some() {
+            server.sample_clock.fetch_sub(1, Ordering::AcqRel);
+        }
+        match refusal {
+            PushRefusal::Full(_, depth) => {
+                server
+                    .counters
+                    .shed_queue_full
+                    .fetch_add(1, Ordering::AcqRel);
+                Err(Rejection {
+                    model: model.to_string(),
+                    request_id: id,
+                    reason: RejectReason::QueueFull { depth },
+                })
+            }
+            PushRefusal::Closed(_) => {
+                server.counters.shed_shutdown.fetch_add(1, Ordering::AcqRel);
+                Err(Rejection {
+                    model: model.to_string(),
+                    request_id: id,
+                    reason: RejectReason::ShuttingDown,
+                })
+            }
+        }
+    }
+
+    /// Current queue depth of a model.
+    pub fn queue_depth(&self, model: &str) -> Option<usize> {
+        self.servers.get(model).map(|s| s.queue.len())
+    }
+
+    /// A live snapshot of a model's counters.
+    pub fn stats(&self, model: &str) -> Option<ModelStats> {
+        self.servers
+            .get(model)
+            .map(|s| s.counters.snapshot(model, s.worker_count))
+    }
+
+    /// Holds every worker pool (admission continues; queues fill).
+    pub fn pause(&self) {
+        for server in self.servers.values() {
+            server.queue.pause();
+        }
+    }
+
+    /// Releases paused worker pools.
+    pub fn resume(&self) {
+        for server in self.servers.values() {
+            server.queue.resume();
+        }
+    }
+
+    /// Runs an online drift check for `model`: replays its validator
+    /// reservoir (sampled live traffic) through the model's serving backend
+    /// and the trusted reference backend via the differential debugger.
+    /// `Ok(None)` while the reservoir is below its minimum occupancy or
+    /// validation is disabled. Never touches the worker interpreters — the
+    /// service keeps serving while the check runs.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownModel`] for unknown names; otherwise propagates
+    /// differential-run errors.
+    pub fn drift_check(&self, model: &str) -> Result<Option<DriftAlarm>> {
+        let server = self
+            .servers
+            .get(model)
+            .ok_or_else(|| ServeError::UnknownModel(model.to_string()))?;
+        let Some(validator) = &server.validator else {
+            return Ok(None);
+        };
+        Ok(validator.check(
+            server.entry.graph(),
+            BackendSpec::reference(),
+            server.entry.spec(),
+        )?)
+    }
+
+    /// The online validator's counters for `model`, when validation is on.
+    pub fn validator_stats(&self, model: &str) -> Option<OnlineValidatorStats> {
+        self.servers
+            .get(model)?
+            .validator
+            .as_ref()
+            .map(|v| v.stats())
+    }
+
+    /// Stops admission, drains every queue, joins every worker and returns
+    /// the final accounting. Deterministic: every request admitted before
+    /// the call completes (or sheds on its deadline) before this returns,
+    /// and the report's books balance per model.
+    pub fn shutdown(mut self) -> ServeReport {
+        self.shutdown_in_place()
+    }
+
+    fn shutdown_in_place(&mut self) -> ServeReport {
+        self.accepting.store(false, Ordering::Release);
+        for server in self.servers.values() {
+            // close() overrides pause, so a paused service still drains.
+            server.queue.close();
+        }
+        for server in self.servers.values_mut() {
+            for handle in server.workers.drain(..) {
+                let _ = handle.join();
+            }
+        }
+        if let Some(sink) = &self.sink {
+            let _ = sink.flush();
+        }
+        ServeReport {
+            models: self
+                .servers
+                .iter()
+                .map(|(name, s)| s.counters.snapshot(name, s.worker_count))
+                .collect(),
+            validators: self
+                .servers
+                .iter()
+                .filter_map(|(name, s)| s.validator.as_ref().map(|v| (name.clone(), v.stats())))
+                .collect(),
+            sink_bytes: self.sink.as_ref().map(|s| s.bytes_written()),
+        }
+    }
+}
+
+impl Drop for InferenceService {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+struct WorkerCtx {
+    entry: Arc<ServedModel>,
+    queue: Arc<RequestQueue<InferRequest>>,
+    counters: Arc<ModelCounters>,
+    validator: Option<Arc<OnlineValidator>>,
+    sink: Option<Arc<dyn LogSink>>,
+    batch: BatchPolicy,
+    monitor: MonitorPolicy,
+}
+
+/// Streams sampled frames' per-layer records out of a batched invoke.
+/// Frames whose request was not sampled produce nothing.
+struct SampledCapture {
+    request_ids: Vec<u64>,
+    sampled: Vec<bool>,
+    full: bool,
+    records: Vec<LogRecord>,
+}
+
+impl LayerObserver for SampledCapture {
+    fn on_layer(&mut self, record: &LayerRecord<'_>) {
+        if !self.sampled[record.batch] {
+            return;
+        }
+        self.records.push(LogRecord {
+            frame: self.request_ids[record.batch],
+            key: layer_output_key(record.name),
+            value: LogValue::of_tensor(record.output, self.full),
+        });
+    }
+}
+
+fn worker_loop(ctx: WorkerCtx) {
+    let mut backend = ctx
+        .entry
+        .spec()
+        .build(ctx.entry.graph())
+        .expect("spec validated at service start");
+    loop {
+        let Some(leader) = ctx.queue.pop() else {
+            break; // Closed and drained: deterministic exit.
+        };
+        let mut batch = vec![leader];
+        if ctx.batch.max_batch > 1 {
+            let window_ends = Instant::now() + ctx.batch.window;
+            while batch.len() < ctx.batch.max_batch {
+                match ctx.queue.pop_until(window_ends) {
+                    TimedPop::Popped(request) => batch.push(request),
+                    TimedPop::TimedOut | TimedPop::Drained => break,
+                }
+            }
+        }
+        // Deadline enforcement at dequeue: answer expired requests with the
+        // typed shed reason instead of burning compute on them.
+        let now = Instant::now();
+        let (live, expired): (Vec<_>, Vec<_>) = batch
+            .into_iter()
+            .partition(|r| r.deadline.map(|d| now <= d).unwrap_or(true));
+        for request in expired {
+            ctx.counters.shed_deadline.fetch_add(1, Ordering::AcqRel);
+            let missed_by = request
+                .deadline
+                .map(|d| now.duration_since(d))
+                .unwrap_or_default();
+            let _ = request.reply.send(Err(Rejection {
+                model: ctx.entry.name().to_string(),
+                request_id: request.id,
+                reason: RejectReason::DeadlineExpired { missed_by },
+            }));
+        }
+        if live.is_empty() {
+            continue;
+        }
+        run_batch(&ctx, backend.as_mut(), live);
+    }
+}
+
+fn run_batch(ctx: &WorkerCtx, backend: &mut dyn ExecutionBackend, requests: Vec<InferRequest>) {
+    let inputs: Vec<&[Tensor]> = requests.iter().map(|r| r.inputs.as_slice()).collect();
+    let deep = ctx.sink.is_some() && requests.iter().any(|r| r.sampled);
+    let result = if deep {
+        let mut capture = SampledCapture {
+            request_ids: requests.iter().map(|r| r.id).collect(),
+            sampled: requests.iter().map(|r| r.sampled).collect(),
+            full: ctx.monitor.full_capture,
+            records: Vec::new(),
+        };
+        backend
+            .invoke_batch_observed(&inputs, &mut capture)
+            .map(|outputs| (outputs, capture.records))
+    } else {
+        backend.invoke_batch(&inputs).map(|o| (o, Vec::new()))
+    };
+    match result {
+        Ok((outputs, layer_records)) => {
+            let size = requests.len();
+            ctx.counters.record_batch(size);
+            let exec_latency = backend
+                .last_stats()
+                .map(|s| s.per_frame_latency())
+                .unwrap_or_default();
+            let mut telemetry = layer_records;
+            for (request, outputs) in requests.into_iter().zip(outputs) {
+                if request.sampled {
+                    ctx.counters.sampled.fetch_add(1, Ordering::AcqRel);
+                    if let Some(validator) = &ctx.validator {
+                        validator.observe(&request.inputs);
+                    }
+                }
+                let total_latency = request.admitted_at.elapsed();
+                if ctx.monitor.log_latency && ctx.sink.is_some() {
+                    telemetry.push(LogRecord {
+                        frame: request.id,
+                        key: KEY_INFERENCE_LATENCY.to_string(),
+                        value: LogValue::LatencyNs(total_latency.as_nanos() as u64),
+                    });
+                }
+                ctx.counters.record_completion(total_latency);
+                let _ = request.reply.send(Ok(InferResponse {
+                    request_id: request.id,
+                    outputs,
+                    total_latency,
+                    exec_latency,
+                    batch_size: size,
+                    sampled: request.sampled,
+                }));
+            }
+            if let Some(sink) = &ctx.sink {
+                if !telemetry.is_empty() {
+                    sink.write_batch(telemetry);
+                }
+            }
+        }
+        Err(error) => {
+            let detail = error.to_string();
+            for request in requests {
+                ctx.counters.failed.fetch_add(1, Ordering::AcqRel);
+                let _ = request.reply.send(Err(Rejection {
+                    model: ctx.entry.name().to_string(),
+                    request_id: request.id,
+                    reason: RejectReason::ExecutionFailed {
+                        detail: detail.clone(),
+                    },
+                }));
+            }
+        }
+    }
+}

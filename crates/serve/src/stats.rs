@@ -1,0 +1,176 @@
+//! Per-model serving accounting: exact request bookkeeping plus latency
+//! percentiles.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+/// Internal live counters of one model's serving pool. Every admitted
+/// request increments exactly one terminal counter (`completed`,
+/// `shed_deadline` or `failed`); every refused submit increments exactly
+/// one of the shed-at-admission counters — so the books always balance.
+#[derive(Debug, Default)]
+pub(crate) struct ModelCounters {
+    pub(crate) offered: AtomicU64,
+    pub(crate) admitted: AtomicU64,
+    pub(crate) completed: AtomicU64,
+    pub(crate) shed_queue_full: AtomicU64,
+    pub(crate) shed_deadline: AtomicU64,
+    pub(crate) shed_shutdown: AtomicU64,
+    pub(crate) failed: AtomicU64,
+    pub(crate) batches: AtomicU64,
+    pub(crate) batched_frames: AtomicU64,
+    pub(crate) max_batch: AtomicUsize,
+    pub(crate) sampled: AtomicU64,
+    latencies_ns: Mutex<Vec<u64>>,
+}
+
+impl ModelCounters {
+    pub(crate) fn record_completion(&self, total: Duration) {
+        self.completed.fetch_add(1, Ordering::AcqRel);
+        self.latencies_ns.lock().push(total.as_nanos() as u64);
+    }
+
+    pub(crate) fn record_batch(&self, size: usize) {
+        self.batches.fetch_add(1, Ordering::AcqRel);
+        self.batched_frames.fetch_add(size as u64, Ordering::AcqRel);
+        self.max_batch.fetch_max(size, Ordering::AcqRel);
+    }
+
+    pub(crate) fn snapshot(&self, model: &str, workers: usize) -> ModelStats {
+        let mut latencies = self.latencies_ns.lock().clone();
+        latencies.sort_unstable();
+        let pct = |p: f64| -> Duration {
+            if latencies.is_empty() {
+                return Duration::ZERO;
+            }
+            let rank = ((latencies.len() as f64) * p).ceil() as usize;
+            Duration::from_nanos(latencies[rank.clamp(1, latencies.len()) - 1])
+        };
+        ModelStats {
+            model: model.to_string(),
+            workers,
+            offered: self.offered.load(Ordering::Acquire),
+            admitted: self.admitted.load(Ordering::Acquire),
+            completed: self.completed.load(Ordering::Acquire),
+            shed_queue_full: self.shed_queue_full.load(Ordering::Acquire),
+            shed_deadline: self.shed_deadline.load(Ordering::Acquire),
+            shed_shutdown: self.shed_shutdown.load(Ordering::Acquire),
+            failed: self.failed.load(Ordering::Acquire),
+            batches: self.batches.load(Ordering::Acquire),
+            batched_frames: self.batched_frames.load(Ordering::Acquire),
+            max_batch: self.max_batch.load(Ordering::Acquire),
+            sampled: self.sampled.load(Ordering::Acquire),
+            p50: pct(0.50),
+            p95: pct(0.95),
+            p99: pct(0.99),
+        }
+    }
+}
+
+/// A consistent snapshot of one model's serving counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelStats {
+    /// The model name.
+    pub model: String,
+    /// Worker threads serving this model.
+    pub workers: usize,
+    /// Submit calls that reached this model (admitted + refused).
+    pub offered: u64,
+    /// Requests admitted to the queue.
+    pub admitted: u64,
+    /// Requests answered with outputs.
+    pub completed: u64,
+    /// Refused at admission: queue at capacity.
+    pub shed_queue_full: u64,
+    /// Shed at dequeue: deadline already passed.
+    pub shed_deadline: u64,
+    /// Refused at admission: service shutting down.
+    pub shed_shutdown: u64,
+    /// Answered with an execution error.
+    pub failed: u64,
+    /// Batched invokes executed.
+    pub batches: u64,
+    /// Frames carried by those invokes.
+    pub batched_frames: u64,
+    /// Largest coalesced batch observed.
+    pub max_batch: usize,
+    /// Requests that ran with deep EXray capture.
+    pub sampled: u64,
+    /// Median end-to-end latency of completed requests.
+    pub p50: Duration,
+    /// 95th-percentile end-to-end latency.
+    pub p95: Duration,
+    /// 99th-percentile end-to-end latency.
+    pub p99: Duration,
+}
+
+impl ModelStats {
+    /// Requests shed for any reason (queue-full + deadline + shutdown +
+    /// execution failure).
+    pub fn shed(&self) -> u64 {
+        self.shed_queue_full + self.shed_deadline + self.shed_shutdown + self.failed
+    }
+
+    /// Shed fraction of everything offered.
+    pub fn shed_rate(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.shed() as f64 / self.offered as f64
+        }
+    }
+
+    /// Mean coalesced batch size.
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_frames as f64 / self.batches as f64
+        }
+    }
+
+    /// The bookkeeping invariants every drained service must satisfy:
+    /// every offer is accounted exactly once, terminally.
+    pub fn is_balanced(&self) -> bool {
+        self.offered == self.admitted + self.shed_queue_full + self.shed_shutdown
+            && self.admitted == self.completed + self.shed_deadline + self.failed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_and_balance() {
+        let counters = ModelCounters::default();
+        counters.offered.store(10, Ordering::Release);
+        counters.admitted.store(8, Ordering::Release);
+        counters.shed_queue_full.store(2, Ordering::Release);
+        for ms in [1u64, 2, 3, 4, 5, 6, 7] {
+            counters.record_completion(Duration::from_millis(ms));
+        }
+        counters.shed_deadline.store(1, Ordering::Release);
+        counters.record_batch(3);
+        counters.record_batch(5);
+        let stats = counters.snapshot("m", 2);
+        assert!(stats.is_balanced(), "{stats:?}");
+        assert_eq!(stats.p50, Duration::from_millis(4));
+        assert_eq!(stats.p99, Duration::from_millis(7));
+        assert_eq!(stats.shed(), 3);
+        assert!((stats.shed_rate() - 0.3).abs() < 1e-9);
+        assert!((stats.mean_batch() - 4.0).abs() < 1e-9);
+        assert_eq!(stats.max_batch, 5);
+    }
+
+    #[test]
+    fn empty_snapshot_is_zeroed_not_panicking() {
+        let stats = ModelCounters::default().snapshot("m", 1);
+        assert_eq!(stats.p50, Duration::ZERO);
+        assert_eq!(stats.shed_rate(), 0.0);
+        assert_eq!(stats.mean_batch(), 0.0);
+        assert!(stats.is_balanced());
+    }
+}

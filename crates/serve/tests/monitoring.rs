@@ -1,0 +1,189 @@
+//! Always-on EXray monitoring under serving: sampled per-layer telemetry
+//! streams through an async `ChannelSink`, and the online validator raises
+//! localized drift alarms from sampled live traffic without stopping the
+//! service.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use mlexray_core::{
+    layer_output_key, ChannelSink, ChannelSinkConfig, DifferentialOptions, MemorySink,
+    OnlineValidatorConfig, KEY_INFERENCE_LATENCY,
+};
+use mlexray_nn::{AccumOrder, Activation, BackendSpec, EdgeNumerics, GraphBuilder, Model, Padding};
+use mlexray_serve::{BatchPolicy, InferenceService, ModelRegistry, MonitorPolicy, ServiceConfig};
+use mlexray_tensor::{Shape, Tensor};
+
+fn conv_model(name: &str) -> Model {
+    let mut b = GraphBuilder::new(name);
+    let x = b.input("x", Shape::nhwc(1, 6, 6, 2));
+    let w = b.constant(
+        "w",
+        Tensor::from_f32(
+            Shape::new(vec![3, 3, 3, 2]),
+            (0..54).map(|i| (i as f32 * 0.211).sin() * 0.4).collect(),
+        )
+        .unwrap(),
+    );
+    let c = b
+        .conv2d("conv", x, w, None, 1, Padding::Same, Activation::Relu)
+        .unwrap();
+    let m = b.mean("gap", c).unwrap();
+    b.output(m);
+    Model::checkpoint(b.finish().unwrap(), name)
+}
+
+fn frame(i: usize) -> Vec<Tensor> {
+    vec![Tensor::from_f32(
+        Shape::nhwc(1, 6, 6, 2),
+        (0..72)
+            .map(|j| ((i * 72 + j) as f32 * 0.029).cos())
+            .collect(),
+    )
+    .unwrap()]
+}
+
+#[test]
+fn sampled_requests_stream_layer_telemetry_through_the_channel_sink() {
+    let registry = ModelRegistry::new();
+    registry
+        .register_model("m", conv_model("m"), BackendSpec::optimized())
+        .unwrap();
+    let store = Arc::new(MemorySink::new());
+    let sink = Arc::new(ChannelSink::new(
+        store.clone(),
+        ChannelSinkConfig::default(),
+    ));
+    let service = InferenceService::start(
+        &registry,
+        ServiceConfig {
+            batch: BatchPolicy::windowed(4, Duration::from_micros(200)),
+            monitor: MonitorPolicy {
+                sample_every: 4, // requests 0, 4, 8, ... get deep capture
+                log_latency: true,
+                full_capture: true,
+                validator: Some(OnlineValidatorConfig::default()),
+            },
+            ..Default::default()
+        },
+        Some(sink.clone()),
+    )
+    .unwrap();
+
+    let total = 12usize;
+    let pendings: Vec<_> = (0..total)
+        .map(|i| service.submit("m", frame(i)).unwrap())
+        .collect();
+    let mut sampled_ids = Vec::new();
+    for pending in pendings {
+        let response = pending.wait().unwrap();
+        if response.sampled {
+            sampled_ids.push(response.request_id);
+        }
+    }
+    assert_eq!(sampled_ids, vec![0, 4, 8], "every 4th request is sampled");
+
+    let stats = service.stats("m").unwrap();
+    assert_eq!(stats.sampled, 3);
+    let report = service.shutdown();
+    let backpressure = sink.close();
+    assert_eq!(backpressure.dropped, 0);
+    assert_eq!(backpressure.persisted, backpressure.enqueued);
+
+    let records = store.drain();
+    // Lightweight telemetry: one latency record per completed request.
+    let latency_records: Vec<_> = records
+        .iter()
+        .filter(|r| r.key == KEY_INFERENCE_LATENCY)
+        .collect();
+    assert_eq!(latency_records.len(), total);
+    // Deep capture: per-layer records only for the sampled request ids
+    // (frame field carries the request id).
+    for key in [layer_output_key("conv"), layer_output_key("gap")] {
+        let frames: Vec<u64> = records
+            .iter()
+            .filter(|r| r.key == key)
+            .map(|r| r.frame)
+            .collect();
+        assert_eq!(frames, vec![0, 4, 8], "key {key}");
+    }
+    assert!(report.sink_bytes.unwrap_or(0) > 0);
+    assert_eq!(report.models[0].sampled, 3);
+}
+
+#[test]
+fn online_validator_raises_localized_drift_alarms_from_sampled_traffic() {
+    // The live backend emulates a foreign runtime with reversed GEMM
+    // accumulation: bitwise-divergent from the reference at the conv layer.
+    let numerics = EdgeNumerics {
+        accumulation: AccumOrder::Reversed,
+        ..EdgeNumerics::faithful()
+    };
+    let registry = ModelRegistry::new();
+    registry
+        .register_model(
+            "drifty",
+            conv_model("drifty"),
+            BackendSpec::emulator(numerics),
+        )
+        .unwrap();
+    registry
+        .register_model("clean", conv_model("clean"), BackendSpec::reference())
+        .unwrap();
+    let service = InferenceService::start(
+        &registry,
+        ServiceConfig {
+            monitor: MonitorPolicy {
+                sample_every: 1, // sample everything: deterministic reservoir
+                log_latency: false,
+                full_capture: false,
+                validator: Some(OnlineValidatorConfig {
+                    window: 8,
+                    min_frames: 3,
+                    options: DifferentialOptions::bitwise(),
+                }),
+            },
+            ..Default::default()
+        },
+        // Monitoring without a sink still feeds the validator.
+        None,
+    )
+    .unwrap();
+
+    // Below min_frames: no verdict yet.
+    service.submit("drifty", frame(0)).unwrap().wait().unwrap();
+    assert!(service.drift_check("drifty").unwrap().is_none());
+
+    for i in 1..6 {
+        for model in ["drifty", "clean"] {
+            service.submit(model, frame(i)).unwrap().wait().unwrap();
+        }
+    }
+
+    let alarm = service
+        .drift_check("drifty")
+        .unwrap()
+        .expect("reservoir is warm");
+    assert!(alarm.raised, "{alarm}");
+    assert_eq!(
+        alarm.report.divergent_layer(),
+        Some("conv"),
+        "the alarm must localize the first divergent layer"
+    );
+
+    let clean = service
+        .drift_check("clean")
+        .unwrap()
+        .expect("reservoir is warm");
+    assert!(!clean.raised, "{clean}");
+
+    // The checks ran while the service stayed up — it still serves.
+    assert!(service.submit("drifty", frame(99)).unwrap().wait().is_ok());
+
+    let v = service.validator_stats("drifty").unwrap();
+    assert!(v.observed >= 6);
+    assert_eq!(v.checks, 1, "the below-min-frames probe must not count");
+    assert_eq!(v.alarms, 1);
+    let report = service.shutdown();
+    assert_eq!(report.validators.len(), 2);
+}

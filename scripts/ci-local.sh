@@ -32,6 +32,11 @@ step "backend suites (differential property + emulator goldens + report determin
 cargo test -q -p mlexray-nn --test backend_differential --test golden_kernels
 cargo test -q -p mlexray-core --test differential_replay
 
+step "serve suite (loaded serving integration + sink backpressure stress + fig_serving smoke)"
+cargo test -q -p mlexray-serve
+cargo test -q -p mlexray-core --test sink_stress
+MLEXRAY_QUICK=1 cargo test -q -p mlexray-bench --test experiments_smoke fig_serving
+
 step "cargo build --release"
 cargo build --release
 

@@ -21,6 +21,8 @@
 //! * [`edgesim`] — Pixel-class device simulation (latency/memory/storage).
 //! * [`core`] — ML-EXray itself: the EdgeML Monitor, reference pipelines,
 //!   deployment validation, per-layer drift analysis and assertions.
+//! * [`serve`] — the online serving layer: multi-model registry, dynamic
+//!   micro-batching scheduler, admission control and always-on monitoring.
 //!
 //! # Quickstart
 //!
@@ -40,6 +42,7 @@ pub use mlexray_edgesim as edgesim;
 pub use mlexray_models as models;
 pub use mlexray_nn as nn;
 pub use mlexray_preprocess as preprocess;
+pub use mlexray_serve as serve;
 pub use mlexray_tensor as tensor;
 pub use mlexray_trainer as trainer;
 

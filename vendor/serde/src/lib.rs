@@ -77,6 +77,14 @@ macro_rules! float_impls {
 
 float_impls!(f32, f64);
 
+/// A [`Value`] serializes to itself — what lets callers hand-assemble JSON
+/// trees (mirrors the real serde_json's `Value: Serialize`).
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)
