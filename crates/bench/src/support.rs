@@ -357,13 +357,11 @@ mod tests {
             let frames = if count == 0 {
                 Vec::new() // the generator (rightly) rejects empty specs
             } else {
-                mlexray_datasets::synth_image::generate(
-                    mlexray_datasets::synth_image::SynthImageSpec {
-                        resolution: 16,
-                        count,
-                        seed: 1,
-                    },
-                )
+                synth_image::generate(synth_image::SynthImageSpec {
+                    resolution: 16,
+                    count,
+                    seed: 1,
+                })
                 .expect("valid spec")
             };
             let source = InMemoryPlayback::new(frames);

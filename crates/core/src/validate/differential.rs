@@ -147,6 +147,7 @@ pub fn diff_backends(
 ) -> Result<DifferentialReport> {
     let baseline_logs = run_backend_sharded(graph, baseline, frames, &options.replay)?;
     let candidate_logs = run_backend_sharded(graph, candidate, frames, &options.replay)?;
+    let static_findings = mlexray_nn::analysis::analyze(graph).diagnostics;
     let mut report = localize(
         baseline.label().to_string(),
         candidate.label().to_string(),
@@ -155,6 +156,7 @@ pub fn diff_backends(
         frames.len(),
         options.threshold,
     );
+    report.static_findings = static_findings;
     if options.bisect {
         if let Some(divergent) = report.first_divergent.clone() {
             let inputs = &frames[divergent.worst_frame as usize];
@@ -274,6 +276,7 @@ fn localize(
         drift,
         first_divergent,
         bisection: None,
+        static_findings: Vec::new(),
         verdict,
     }
 }

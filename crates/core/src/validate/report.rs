@@ -189,6 +189,11 @@ pub struct DifferentialReport {
     pub first_divergent: Option<DivergentLayer>,
     /// The bisection confirmation, when requested and a layer diverged.
     pub bisection: Option<BisectionOutcome>,
+    /// Pre-attach static findings from the graph analyzer
+    /// ([`mlexray_nn::analysis::analyze`]): anything the linter can prove
+    /// without running a frame, surfaced alongside the dynamic drift so a
+    /// statically-detectable bug is never chased dynamically.
+    pub static_findings: Vec<mlexray_nn::analysis::Diagnostic>,
     /// Overall verdict.
     pub verdict: DifferentialVerdict,
 }
@@ -237,6 +242,14 @@ impl fmt::Display for DifferentialReport {
                 "bisection: '{}' isolated on frame {} -> nrmse {:e} (prefix max {:e}): {:?}",
                 b.layer, b.frame, b.isolated_nrmse, b.prefix_max_nrmse, b.verdict
             )?;
+        }
+        // Only rendered when present, so reports from paths that skip the
+        // static pass stay byte-identical to their historical form.
+        if !self.static_findings.is_empty() {
+            writeln!(f, "static findings ({}):", self.static_findings.len())?;
+            for d in &self.static_findings {
+                writeln!(f, "  {d}")?;
+            }
         }
         write!(f, "verdict: {:?}", self.verdict)
     }

@@ -473,7 +473,7 @@ mod tests {
         );
         let shards = source.shards(4);
         assert_eq!(shards, vec![0..4, 4..8, 8..10]);
-        let covered: usize = shards.iter().map(std::iter::ExactSizeIterator::len).sum();
+        let covered: usize = shards.iter().map(ExactSizeIterator::len).sum();
         assert_eq!(covered, source.frame_count());
         // A shard read equals the frame-by-frame reads it covers.
         let by_range = source.read_range(4..8).unwrap();

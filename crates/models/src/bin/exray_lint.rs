@@ -1,0 +1,181 @@
+//! `exray-lint` — static analysis over zoo models and serialized graphs.
+//!
+//! ```text
+//! exray-lint [--json] [--deny-warn] [--zoo] [--goldens] [TARGET...]
+//! ```
+//!
+//! Each `TARGET` is either a zoo family name (`mobilenet_v2`,
+//! `mini_resnet`, ...) or a path to a JSON artifact holding a serialized
+//! `Model` or bare `Graph`. `--zoo` lints every family's checkpoint *and*
+//! converted graph; `--goldens` lints the golden kernel suite's graphs.
+//! Artifacts are deserialized without the loader's validation step, so a
+//! broken file is linted (and its defects reported) rather than refused.
+//!
+//! Exit status: `0` all targets clean, `1` some target carries a Deny
+//! diagnostic (or a Warn under `--deny-warn`), `2` usage error.
+
+use std::process::ExitCode;
+
+use mlexray_models::{by_name, FullFamily, MiniFamily};
+use mlexray_nn::analysis::{analyze, LintReport, Severity};
+use mlexray_nn::{convert_to_mobile, golden, Graph, Model};
+
+/// Zoo build parameters: small resolutions keep a full sweep under a few
+/// seconds while exercising every family's graph-construction path.
+const MINI_INPUT: usize = 32;
+const FULL_INPUT: usize = 64;
+const FULL_WIDTH: f32 = 0.25;
+const CLASSES: usize = 10;
+const SEED: u64 = 1;
+
+struct Options {
+    json: bool,
+    deny_warn: bool,
+    zoo: bool,
+    goldens: bool,
+    targets: Vec<String>,
+}
+
+fn usage() -> &'static str {
+    "usage: exray-lint [--json] [--deny-warn] [--zoo] [--goldens] [TARGET...]\n\
+     TARGET: a zoo family name (e.g. mobilenet_v2, mini_resnet) or a path to\n\
+     a JSON-serialized Model or Graph"
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        json: false,
+        deny_warn: false,
+        zoo: false,
+        goldens: false,
+        targets: Vec::new(),
+    };
+    for arg in args {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--deny-warn" => opts.deny_warn = true,
+            "--zoo" => opts.zoo = true,
+            "--goldens" => opts.goldens = true,
+            "--help" | "-h" => return Err(String::new()),
+            flag if flag.starts_with('-') => return Err(format!("unknown flag '{flag}'")),
+            target => opts.targets.push(target.to_string()),
+        }
+    }
+    if !opts.zoo && !opts.goldens && opts.targets.is_empty() {
+        return Err("no targets given".into());
+    }
+    Ok(opts)
+}
+
+/// Builds a family's checkpoint and converted graphs (named for reporting).
+fn family_graphs(name: &str) -> Result<Vec<(String, Graph)>, String> {
+    let zoo = by_name(name).ok_or_else(|| format!("unknown zoo family '{name}'"))?;
+    let (input, width) = if name.starts_with("mini_") {
+        (MINI_INPUT, 1.0)
+    } else {
+        (FULL_INPUT, FULL_WIDTH)
+    };
+    let checkpoint = zoo
+        .build_scaled(input, CLASSES, width, SEED)
+        .map_err(|e| format!("building '{name}': {e}"))?;
+    let mobile = convert_to_mobile(&checkpoint).map_err(|e| format!("converting '{name}': {e}"))?;
+    Ok(vec![
+        (format!("{name} (checkpoint)"), checkpoint.graph),
+        (format!("{name} (converted)"), mobile.graph),
+    ])
+}
+
+/// Reads a serialized artifact as a `Model`, falling back to a bare
+/// `Graph`. Deliberately skips `Model::load_json`'s validation: the linter
+/// exists to explain broken artifacts, not to refuse to look at them.
+fn load_graph(path: &str) -> Result<(String, Graph), String> {
+    let data = std::fs::read_to_string(path).map_err(|e| format!("reading '{path}': {e}"))?;
+    if let Ok(model) = serde_json::from_str::<Model>(&data) {
+        return Ok((path.to_string(), model.graph));
+    }
+    match serde_json::from_str::<Graph>(&data) {
+        Ok(graph) => Ok((path.to_string(), graph)),
+        Err(e) => Err(format!("parsing '{path}' as Model or Graph: {e}")),
+    }
+}
+
+fn collect_graphs(opts: &Options) -> Result<Vec<(String, Graph)>, String> {
+    let mut graphs = Vec::new();
+    if opts.zoo {
+        for f in FullFamily::ALL {
+            graphs.extend(family_graphs(f.name())?);
+        }
+        for f in MiniFamily::ALL {
+            graphs.extend(family_graphs(f.name())?);
+        }
+    }
+    if opts.goldens {
+        for case in golden::cases() {
+            graphs.push((format!("golden '{}'", case.name), case.graph));
+        }
+    }
+    for target in &opts.targets {
+        if target.ends_with(".json") || std::path::Path::new(target).exists() {
+            graphs.push(load_graph(target)?);
+        } else {
+            graphs.extend(family_graphs(target)?);
+        }
+    }
+    Ok(graphs)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("exray-lint: {msg}");
+            }
+            eprintln!("{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    let graphs = match collect_graphs(&opts) {
+        Ok(graphs) => graphs,
+        Err(msg) => {
+            eprintln!("exray-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut failed = false;
+    let mut reports: Vec<(String, LintReport)> = Vec::new();
+    for (label, graph) in graphs {
+        let report = analyze(&graph);
+        let deny = report.count(Severity::Deny);
+        let warn = report.count(Severity::Warn);
+        if deny > 0 || (opts.deny_warn && warn > 0) {
+            failed = true;
+        }
+        reports.push((label, report));
+    }
+
+    if opts.json {
+        let body: Vec<String> = reports.iter().map(|(_, r)| r.to_json()).collect();
+        println!("[{}]", body.join(","));
+    } else {
+        for (label, report) in &reports {
+            println!("{label}: {report}");
+        }
+        let denies: usize = reports.iter().map(|(_, r)| r.count(Severity::Deny)).sum();
+        let warns: usize = reports.iter().map(|(_, r)| r.count(Severity::Warn)).sum();
+        println!(
+            "exray-lint: {} graphs, {} deny, {} warn -> {}",
+            reports.len(),
+            denies,
+            warns,
+            if failed { "FAIL" } else { "ok" }
+        );
+    }
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,114 @@
+//! Zero-false-positive guarantee over the model zoo: every family's
+//! checkpoint and converted graph — and every quantizable mini family's
+//! int8 graph — lints with no Deny and no Warn findings. This is the
+//! contract that lets the serving registry hard-reject any model the
+//! analyzer denies: a lint that fires on a legitimate zoo model would turn
+//! the gate into a false rejection.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use mlexray_models::{FullFamily, MiniFamily, ZooModel};
+use mlexray_nn::analysis::{analyze, Severity};
+use mlexray_nn::{calibrate, convert_to_mobile, quantize_model, Graph, QuantizationOptions};
+use mlexray_tensor::Tensor;
+
+/// Small resolutions keep the sweep fast while still exercising every
+/// family's graph-construction path (same settings as the `exray-lint`
+/// binary's `--zoo` mode).
+const MINI_INPUT: usize = 32;
+const FULL_INPUT: usize = 64;
+const FULL_WIDTH: f32 = 0.25;
+const CLASSES: usize = 10;
+const SEED: u64 = 1;
+
+fn assert_lints_clean(label: &str, graph: &Graph) {
+    let report = analyze(graph);
+    assert_eq!(
+        report.count(Severity::Deny),
+        0,
+        "{label}: deny findings on a zoo graph:\n{report}"
+    );
+    assert_eq!(
+        report.count(Severity::Warn),
+        0,
+        "{label}: warn findings on a zoo graph:\n{report}"
+    );
+}
+
+fn check_family(zoo: ZooModel, name: &str, input: usize, width: f32) {
+    let checkpoint = zoo
+        .build_scaled(input, CLASSES, width, SEED)
+        .unwrap_or_else(|e| panic!("building '{name}': {e}"));
+    assert_lints_clean(&format!("{name} (checkpoint)"), &checkpoint.graph);
+    let mobile =
+        convert_to_mobile(&checkpoint).unwrap_or_else(|e| panic!("converting '{name}': {e}"));
+    assert_lints_clean(&format!("{name} (converted)"), &mobile.graph);
+}
+
+#[test]
+fn full_families_lint_clean() {
+    for family in FullFamily::ALL {
+        check_family(
+            ZooModel::Full(family),
+            family.name(),
+            FULL_INPUT,
+            FULL_WIDTH,
+        );
+    }
+}
+
+#[test]
+fn mini_families_lint_clean() {
+    for family in MiniFamily::ALL {
+        check_family(ZooModel::Mini(family), family.name(), MINI_INPUT, 1.0);
+    }
+}
+
+/// Mini families taken through the real int8 path (convert, calibrate over
+/// random samples, quantize) still lint clean: scales positive, zero
+/// points in range, weight axes and float/quant boundaries consistent.
+/// Families whose op set the quantizer does not cover are skipped, but the
+/// path must cover most of the zoo — an unexpected regression in quantizer
+/// coverage fails the floor assertion.
+#[test]
+fn quantized_minis_lint_clean() {
+    let mut rng = SmallRng::seed_from_u64(SEED);
+    let mut quantized = 0usize;
+    for family in MiniFamily::ALL {
+        let name = family.name();
+        let model = ZooModel::Mini(family)
+            .build_scaled(MINI_INPUT, CLASSES, 1.0, SEED)
+            .unwrap_or_else(|e| panic!("building '{name}': {e}"));
+        let mobile =
+            convert_to_mobile(&model).unwrap_or_else(|e| panic!("converting '{name}': {e}"));
+        let samples: Vec<Vec<Tensor>> = (0..2)
+            .map(|_| {
+                mobile
+                    .graph
+                    .inputs()
+                    .iter()
+                    .map(|&id| {
+                        let shape = mobile.graph.tensor(id).shape().clone();
+                        let n = shape.num_elements();
+                        let data: Vec<f32> = (0..n).map(|_| rng.gen_range(-1.0..1.0f32)).collect();
+                        Tensor::from_f32(shape, data).expect("length matches")
+                    })
+                    .collect()
+            })
+            .collect();
+        let calib = calibrate(&mobile.graph, samples.iter().map(Vec::as_slice))
+            .unwrap_or_else(|e| panic!("calibrating '{name}': {e}"));
+        match quantize_model(&mobile, &calib, QuantizationOptions::default()) {
+            Ok(quant) => {
+                assert_lints_clean(&format!("{name} (int8)"), &quant.graph);
+                quantized += 1;
+            }
+            Err(e) => eprintln!("skipping '{name}': quantizer does not cover it ({e})"),
+        }
+    }
+    assert!(
+        quantized >= 3,
+        "quantizer covers only {quantized} mini families; expected most of the zoo"
+    );
+}

@@ -1,0 +1,198 @@
+//! Pass 5: batchability certification (`EX401`–`EX402`).
+//!
+//! The interpreter's `is_batchable` flag decides whether the serving layer
+//! may stack frames along the leading dimension. This pass re-derives that
+//! verdict node by node from first principles — which operands scale with
+//! the batch, which broadcasts stay frame-periodic under stacking — and
+//! records *why* a graph is not batchable. A disagreement with the
+//! interpreter's own claim is a regression tripwire ([`super::LintCode::BatchabilityDisagreement`]):
+//! either the certifier or the dispatcher learned a rule the other didn't.
+
+use crate::graph::{Graph, TensorId};
+use crate::interpreter::batch_safe;
+use crate::ops::OpKind;
+
+use super::{Diagnostic, LintCode};
+
+/// Statically certifies whether stacking invocations along the leading
+/// dimension preserves per-frame semantics, with one human-readable reason
+/// per obstruction. `(true, vec![])` means certified batchable.
+pub fn certify_batchable(graph: &Graph) -> (bool, Vec<String>) {
+    let mut reasons = Vec::new();
+    let is_const = |id: TensorId| graph.tensor(id).as_constant().is_some();
+    let shape = |id: TensorId| graph.tensor(id).shape();
+    let name = |id: TensorId| graph.tensor(id).name();
+
+    for def in graph.tensors() {
+        if def.as_constant().is_none() && def.shape().rank() < 2 {
+            reasons.push(format!(
+                "runtime tensor '{}' has rank {} (< 2): its leading dimension is a feature \
+                 dimension, so scaling it changes kernel geometry",
+                def.name(),
+                def.shape().rank()
+            ));
+        }
+    }
+
+    for node in graph.nodes() {
+        match node.inputs.first() {
+            None => {
+                reasons.push(format!("node '{}' has no data operand to stack", node.name));
+                continue;
+            }
+            Some(&data) if is_const(data) => {
+                reasons.push(format!(
+                    "node '{}' reads constant data operand '{}', which cannot scale with the \
+                     batch",
+                    node.name,
+                    name(data)
+                ));
+                continue;
+            }
+            Some(_) => {}
+        }
+        match &node.op {
+            OpKind::Conv2d { .. }
+            | OpKind::DepthwiseConv2d { .. }
+            | OpKind::FullyConnected { .. }
+            | OpKind::MatMul { .. }
+            | OpKind::Embedding
+            | OpKind::BatchNorm { .. }
+            | OpKind::LayerNorm { .. } => {
+                for &id in &node.inputs[1..] {
+                    if !is_const(id) {
+                        reasons.push(format!(
+                            "node '{}' parameter operand '{}' is runtime-computed; the kernel \
+                             applies it unstacked",
+                            node.name,
+                            name(id)
+                        ));
+                    }
+                }
+            }
+            OpKind::Concat { axis } => {
+                if *axis == 0 {
+                    reasons.push(format!(
+                        "node '{}' concatenates along axis 0, which interleaves with the \
+                         stacked batch dimension",
+                        node.name
+                    ));
+                }
+                for &id in &node.inputs {
+                    if is_const(id) {
+                        reasons.push(format!(
+                            "node '{}' concatenates constant '{}', which cannot scale with \
+                             the batch",
+                            node.name,
+                            name(id)
+                        ));
+                    }
+                }
+            }
+            OpKind::Add { .. } if node.inputs.len() >= 2 => {
+                // A constant rhs broadcasts by trailing suffix, which repeats
+                // per frame under stacking; a runtime rhs must stack in
+                // lockstep with the lhs, so partial shapes are out.
+                let rhs = node.inputs[1];
+                if !is_const(rhs) && shape(rhs) != shape(node.inputs[0]) {
+                    reasons.push(format!(
+                        "node '{}' adds runtime tensor '{}' of shape {} to shape {}; \
+                         broadcast is not frame-periodic under stacking",
+                        node.name,
+                        name(rhs),
+                        shape(rhs),
+                        shape(node.inputs[0])
+                    ));
+                }
+            }
+            OpKind::Mul if node.inputs.len() >= 2 => {
+                let (lhs, rhs) = (node.inputs[0], node.inputs[1]);
+                let ok = if is_const(rhs) {
+                    // Multi-element constants index by flat position, which
+                    // shifts once frames are stacked; scalars are immune.
+                    shape(rhs).num_elements() == 1
+                } else {
+                    let (ls, rs) = (shape(lhs), shape(rhs));
+                    rs == ls
+                        || (ls.rank() == 4
+                            && rs.rank() == 4
+                            && rs.dims()[0] == ls.dims()[0]
+                            && rs.dims()[1] == 1
+                            && rs.dims()[2] == 1
+                            && rs.dims()[3] == ls.dims()[3])
+                };
+                if !ok {
+                    reasons.push(format!(
+                        "node '{}' multiplies by '{}' of shape {}, which does not stay \
+                         aligned when frames are stacked",
+                        node.name,
+                        name(rhs),
+                        shape(rhs)
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    (reasons.is_empty(), reasons)
+}
+
+pub(super) fn check(graph: &Graph) -> Vec<Diagnostic> {
+    let (certified, reasons) = certify_batchable(graph);
+    let claimed = batch_safe(graph);
+    diagnose(certified, &reasons, claimed)
+}
+
+/// Turns a certification verdict and the interpreter's claim into
+/// diagnostics. Split out so tests can feed a fake claim and exercise the
+/// disagreement path, which `check` can never reach unless the certifier
+/// and dispatcher drift apart.
+fn diagnose(certified: bool, reasons: &[String], claimed: bool) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    if certified != claimed {
+        diags.push(Diagnostic::new(
+            LintCode::BatchabilityDisagreement,
+            format!(
+                "static certification says batchable={certified}, interpreter dispatch says \
+                 batchable={claimed}; one of them learned a rule the other didn't"
+            ),
+        ));
+    }
+    if !certified {
+        for reason in reasons {
+            diags.push(Diagnostic::new(LintCode::NotBatchable, reason.clone()));
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::diagnose;
+    use crate::analysis::LintCode;
+
+    #[test]
+    fn disagreement_is_flagged() {
+        let d = diagnose(true, &[], false);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, LintCode::BatchabilityDisagreement);
+
+        let reasons = vec!["node 'x' reads constant data".to_string()];
+        let d = diagnose(false, &reasons, true);
+        assert_eq!(d.len(), 2);
+        assert!(d
+            .iter()
+            .any(|d| d.code == LintCode::BatchabilityDisagreement));
+        assert!(d.iter().any(|d| d.code == LintCode::NotBatchable));
+    }
+
+    #[test]
+    fn agreement_reports_reasons_only() {
+        let reasons = vec!["rank-1 runtime tensor".to_string()];
+        let d = diagnose(false, &reasons, false);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, LintCode::NotBatchable);
+        assert!(diagnose(true, &[], true).is_empty());
+    }
+}

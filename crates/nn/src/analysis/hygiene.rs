@@ -1,0 +1,82 @@
+//! Pass 6: graph hygiene (`EX501`–`EX504`).
+//!
+//! Nothing here makes a graph wrong to run — dead slots and unreachable
+//! nodes execute fine — but they are the residue of a conversion or
+//! quantization pass that forgot to clean up, they inflate the memory plan
+//! (dead activations still get arena slots and stay live to the horizon),
+//! and in a hand-edited artifact they usually mean the author wired up the
+//! wrong tensor.
+
+use std::collections::HashSet;
+
+use crate::graph::{Graph, TensorDef, TensorId};
+
+use super::{Diagnostic, LintCode};
+
+pub(super) fn check(graph: &Graph) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+
+    let mut consumed: HashSet<TensorId> = HashSet::new();
+    for node in graph.nodes() {
+        consumed.extend(node.inputs.iter().copied());
+    }
+    let outputs: HashSet<TensorId> = graph.outputs().iter().copied().collect();
+
+    for (i, def) in graph.tensors().iter().enumerate() {
+        let id = TensorId(i);
+        if consumed.contains(&id) || outputs.contains(&id) {
+            continue;
+        }
+        match def {
+            TensorDef::Activation { .. } => diags.push(
+                Diagnostic::new(
+                    LintCode::DeadActivation,
+                    "activation is never consumed and is not a graph output (it still gets an \
+                     arena slot)",
+                )
+                .with_tensor(def.name()),
+            ),
+            TensorDef::Constant { .. } => diags.push(
+                Diagnostic::new(
+                    LintCode::UnusedConstant,
+                    "constant is referenced by no node",
+                )
+                .with_tensor(def.name()),
+            ),
+            TensorDef::Input { .. } => diags.push(
+                Diagnostic::new(LintCode::UnusedInput, "graph input is never consumed")
+                    .with_tensor(def.name()),
+            ),
+        }
+    }
+
+    // Nodes no graph output transitively depends on. Walk producers
+    // backwards from the outputs; anything left over is unreachable.
+    let mut needed: Vec<TensorId> = graph.outputs().to_vec();
+    let mut live_tensors: HashSet<TensorId> = needed.iter().copied().collect();
+    let mut live_nodes: HashSet<usize> = HashSet::new();
+    while let Some(id) = needed.pop() {
+        for (j, node) in graph.nodes().iter().enumerate() {
+            if node.output == id && live_nodes.insert(j) {
+                for &input in &node.inputs {
+                    if live_tensors.insert(input) {
+                        needed.push(input);
+                    }
+                }
+            }
+        }
+    }
+    for (j, node) in graph.nodes().iter().enumerate() {
+        if !live_nodes.contains(&j) {
+            diags.push(
+                Diagnostic::new(
+                    LintCode::UnreachableNode,
+                    "no graph output depends on this node (it still executes every invoke)",
+                )
+                .with_node(&node.name),
+            );
+        }
+    }
+
+    diags
+}

@@ -1,0 +1,239 @@
+//! Pass 3: quantization consistency (`EX201`–`EX208`).
+//!
+//! The paper's classic edge-deployment bug class: quantization parameters
+//! that are individually plausible but jointly wrong. Checks every tensor's
+//! params against the TFLite full-integer scheme the kernels implement
+//! (asymmetric per-tensor `u8` activations, symmetric `i8` weights with
+//! per-tensor or per-channel scales, bare `i32` biases), then walks every
+//! node to prove its operands agree across the float/quant boundary — a
+//! `u8` conv fed `f32` weights fails at kernel dispatch today, but only
+//! once traffic arrives.
+
+use mlexray_tensor::{DType, QuantParams};
+
+use crate::graph::{Graph, TensorDef};
+use crate::ops::OpKind;
+
+use super::{Diagnostic, LintCode};
+
+pub(super) fn check(graph: &Graph) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for def in graph.tensors() {
+        check_tensor(def, &mut diags);
+    }
+    for node in graph.nodes() {
+        check_node(graph, node, &mut diags);
+    }
+    diags
+}
+
+/// Per-tensor parameter sanity, independent of how the tensor is consumed.
+fn check_tensor(def: &TensorDef, diags: &mut Vec<Diagnostic>) {
+    let at = |code: LintCode, msg: String| Diagnostic::new(code, msg).with_tensor(def.name());
+    let Some(q) = def.quant() else {
+        // Quantized element types are meaningless without parameters: the
+        // kernels cannot map `u8`/`i8` payloads back to reals. `i32` biases
+        // are the exception — their scale is derived from input x weights.
+        if matches!(def.dtype(), DType::U8 | DType::I8) {
+            diags.push(at(
+                LintCode::MissingQuantParams,
+                format!("{:?} tensor has no quantization parameters", def.dtype()),
+            ));
+        }
+        return;
+    };
+
+    if def.dtype() == DType::F32 {
+        diags.push(at(
+            LintCode::FloatWithQuantParams,
+            "f32 tensor carries quantization parameters (they are ignored)".into(),
+        ));
+    }
+
+    let (scales, zero_points): (Vec<f32>, Vec<i32>) = match q {
+        QuantParams::PerTensor { scale, zero_point } => (vec![*scale], vec![*zero_point]),
+        QuantParams::PerChannel {
+            scales,
+            zero_points,
+            axis,
+        } => {
+            if scales.is_empty() || scales.len() != zero_points.len() {
+                diags.push(at(
+                    LintCode::PerChannelInvalid,
+                    format!(
+                        "per-channel params have {} scales but {} zero points",
+                        scales.len(),
+                        zero_points.len()
+                    ),
+                ));
+                return;
+            }
+            if *axis >= def.shape().rank() || def.shape().dims()[*axis] != scales.len() {
+                diags.push(at(
+                    LintCode::PerChannelInvalid,
+                    format!(
+                        "per-channel axis {axis} with {} scales does not fit shape {}",
+                        scales.len(),
+                        def.shape()
+                    ),
+                ));
+                return;
+            }
+            if !matches!(def, TensorDef::Constant { .. }) {
+                // Runtime tensors are asymmetric per-tensor by construction;
+                // every kernel reads their params through `.scalar()`, which
+                // would silently use channel 0's scale for all channels.
+                diags.push(at(
+                    LintCode::PerChannelOnActivation,
+                    "per-channel parameters on a runtime tensor (kernels read per-tensor params)"
+                        .into(),
+                ));
+            }
+            (scales.clone(), zero_points.clone())
+        }
+    };
+
+    for (c, &s) in scales.iter().enumerate() {
+        if !s.is_finite() || s <= 0.0 {
+            diags.push(at(
+                LintCode::InvalidScale,
+                format!("channel {c} scale {s} is not finite and positive"),
+            ));
+        }
+    }
+    for (c, &zp) in zero_points.iter().enumerate() {
+        match def.dtype() {
+            DType::U8 => {
+                if !(0..=255).contains(&zp) {
+                    diags.push(at(
+                        LintCode::InvalidZeroPoint,
+                        format!("channel {c} zero point {zp} outside u8 range [0, 255]"),
+                    ));
+                }
+            }
+            DType::I8 => {
+                if !(-128..=127).contains(&zp) {
+                    diags.push(at(
+                        LintCode::InvalidZeroPoint,
+                        format!("channel {c} zero point {zp} outside i8 range [-128, 127]"),
+                    ));
+                } else if zp != 0 {
+                    diags.push(at(
+                        LintCode::AsymmetricWeights,
+                        format!(
+                            "channel {c} zero point {zp} != 0; i8 weights are symmetric in \
+                             this scheme"
+                        ),
+                    ));
+                }
+            }
+            DType::I32 => {
+                if zp != 0 {
+                    diags.push(at(
+                        LintCode::InvalidZeroPoint,
+                        format!("channel {c} zero point {zp} != 0 on an i32 bias"),
+                    ));
+                }
+            }
+            DType::F32 => {}
+        }
+    }
+}
+
+/// Cross-operand agreement at each node: the requant chain must not mix
+/// float and quantized payloads without an explicit boundary op.
+fn check_node(graph: &Graph, node: &crate::graph::Node, diags: &mut Vec<Diagnostic>) {
+    let dtype = |i: usize| graph.tensor(node.inputs[i]).dtype();
+    let tname = |i: usize| graph.tensor(node.inputs[i]).name();
+    let boundary = |msg: String, tensor: &str| {
+        Diagnostic::new(LintCode::QuantBoundary, msg)
+            .with_node(&node.name)
+            .with_tensor(tensor)
+    };
+    // Arity violations are reported by the shape pass; don't double up here.
+    match &node.op {
+        OpKind::Conv2d { .. } | OpKind::DepthwiseConv2d { .. } | OpKind::FullyConnected { .. } => {
+            if node.inputs.len() < 2 {
+                return;
+            }
+            let data = dtype(0);
+            let want_w = match data {
+                DType::U8 => DType::I8,
+                _ => DType::F32,
+            };
+            if dtype(1) != want_w {
+                diags.push(boundary(
+                    format!(
+                        "{:?} data with {:?} weights (expected {:?})",
+                        data,
+                        dtype(1),
+                        want_w
+                    ),
+                    tname(1),
+                ));
+            }
+            if node.inputs.len() > 2 {
+                let want_b = match data {
+                    DType::U8 => DType::I32,
+                    _ => DType::F32,
+                };
+                if dtype(2) != want_b {
+                    diags.push(boundary(
+                        format!(
+                            "{:?} data with {:?} bias (expected {:?})",
+                            data,
+                            dtype(2),
+                            want_b
+                        ),
+                        tname(2),
+                    ));
+                }
+            }
+            // Per-channel weight scales must run along the axis the kernels
+            // iterate: output channels for conv/fc, channel-last for
+            // depthwise. A folded-then-requantized model with the wrong axis
+            // is §2's silent accuracy bug.
+            if let Some(QuantParams::PerChannel { axis, .. }) = graph.tensor(node.inputs[1]).quant()
+            {
+                let want_axis = match node.op {
+                    OpKind::DepthwiseConv2d { .. } => 3,
+                    _ => 0,
+                };
+                if *axis != want_axis {
+                    diags.push(
+                        Diagnostic::new(
+                            LintCode::PerChannelInvalid,
+                            format!(
+                                "weight per-channel axis {axis}, but {} scales run along \
+                                 axis {want_axis}",
+                                node.op.type_label()
+                            ),
+                        )
+                        .with_node(&node.name)
+                        .with_tensor(tname(1)),
+                    );
+                }
+            }
+        }
+        OpKind::Add { .. } | OpKind::Mul | OpKind::Concat { .. } => {
+            if node.inputs.is_empty() {
+                return;
+            }
+            let data = dtype(0);
+            for i in 1..node.inputs.len() {
+                if dtype(i) != data {
+                    diags.push(boundary(
+                        format!(
+                            "mixes {:?} and {:?} operands without a quantize/dequantize \
+                             boundary",
+                            data,
+                            dtype(i)
+                        ),
+                        tname(i),
+                    ));
+                }
+            }
+        }
+        _ => {}
+    }
+}

@@ -467,7 +467,7 @@ mod tests {
     fn of_options_preserves_emulator_flavor() {
         let options = InterpreterOptions {
             flavor: KernelFlavor::Optimized,
-            bugs: crate::resolver::KernelBugs::paper_2021(),
+            bugs: KernelBugs::paper_2021(),
             numerics: Some(EdgeNumerics::faithful()),
         };
         let spec = BackendSpec::of_options(options);

@@ -126,6 +126,9 @@ pub fn convert_to_mobile(model: &Model) -> Result<Model> {
     }
 
     *graph.nodes_mut() = new_nodes;
+    // Fusion rewires producers and folding retires BN parameter constants;
+    // drop the orphaned slots so derived graphs stay hygiene-lint clean.
+    graph.compact_tensors();
     graph.set_name(format!("{}_mobile", model.graph.name()));
     graph.validate()?;
     Ok(Model {

@@ -271,11 +271,8 @@ impl Graph {
         let mut new_nodes: Vec<Node> = Vec::with_capacity(g.nodes.len());
         let old_nodes = std::mem::take(&mut g.nodes);
         for mut node in old_nodes {
-            let act = node
-                .op
-                .fused_activation()
-                .unwrap_or(crate::ops::Activation::None);
-            if act == crate::ops::Activation::None {
+            let act = node.op.fused_activation().unwrap_or(Activation::None);
+            if act == Activation::None {
                 new_nodes.push(node);
                 continue;
             }
@@ -284,7 +281,7 @@ impl Graph {
                 OpKind::Conv2d { activation, .. }
                 | OpKind::DepthwiseConv2d { activation, .. }
                 | OpKind::FullyConnected { activation }
-                | OpKind::Add { activation } => *activation = crate::ops::Activation::None,
+                | OpKind::Add { activation } => *activation = Activation::None,
                 _ => {}
             }
             let final_out = node.output;
@@ -321,65 +318,56 @@ impl Graph {
         self.name = name;
     }
 
-    /// Checks structural invariants: non-empty interface, slot indices in
-    /// range, and topological order (every node input defined before use).
+    /// Checks structural invariants by delegating to the static analyzer's
+    /// structure pass (`EX001`–`EX009`): non-empty interface, slot indices
+    /// in range, topological order (every node input defined before use),
+    /// single writer per activation, nodes writing only activation slots,
+    /// every graph output produced by a node, and unique tensor/node names.
     ///
     /// # Errors
     ///
-    /// Returns [`NnError::InvalidGraph`] describing the first violation.
+    /// Returns [`NnError::InvalidGraph`] describing the first violation
+    /// (the full list is available from [`crate::analysis::analyze`]).
     pub fn validate(&self) -> Result<()> {
-        if self.inputs.is_empty() {
-            return Err(NnError::InvalidGraph("graph has no inputs".into()));
-        }
-        if self.outputs.is_empty() {
-            return Err(NnError::InvalidGraph("graph has no outputs".into()));
-        }
-        let mut defined = vec![false; self.tensors.len()];
-        for (i, t) in self.tensors.iter().enumerate() {
-            if !matches!(t, TensorDef::Activation { .. }) {
-                defined[i] = true;
+        crate::analysis::structural_error(self)
+    }
+
+    /// Drops every tensor slot no node, graph input or graph output
+    /// references, remapping ids. In-crate rewrite passes (conversion,
+    /// fusion) orphan slots when they rewire producers; compacting keeps
+    /// the hygiene lints meaningful on derived graphs.
+    pub(crate) fn compact_tensors(&mut self) {
+        let mut used = vec![false; self.tensors.len()];
+        let mut mark = |id: &TensorId| {
+            if id.0 < used.len() {
+                used[id.0] = true;
             }
-        }
+        };
+        self.inputs.iter().for_each(&mut mark);
+        self.outputs.iter().for_each(&mut mark);
         for node in &self.nodes {
-            for &input in &node.inputs {
-                if input.0 >= self.tensors.len() {
-                    return Err(NnError::InvalidGraph(format!(
-                        "node '{}' references missing tensor {}",
-                        node.name, input.0
-                    )));
-                }
-                if !defined[input.0] {
-                    return Err(NnError::InvalidGraph(format!(
-                        "node '{}' uses tensor '{}' before it is produced",
-                        node.name,
-                        self.tensors[input.0].name()
-                    )));
-                }
-            }
-            if node.output.0 >= self.tensors.len() {
-                return Err(NnError::InvalidGraph(format!(
-                    "node '{}' writes missing tensor {}",
-                    node.name, node.output.0
-                )));
-            }
-            if defined[node.output.0]
-                && matches!(self.tensors[node.output.0], TensorDef::Activation { .. })
-            {
-                return Err(NnError::InvalidGraph(format!(
-                    "tensor '{}' written twice",
-                    self.tensors[node.output.0].name()
-                )));
-            }
-            defined[node.output.0] = true;
+            node.inputs.iter().for_each(&mut mark);
+            mark(&node.output);
         }
-        for &out in &self.outputs {
-            if out.0 >= self.tensors.len() || !defined[out.0] {
-                return Err(NnError::InvalidGraph(
-                    "graph output is never produced".into(),
-                ));
+        if used.iter().all(|&u| u) {
+            return;
+        }
+        let mut remap = vec![usize::MAX; self.tensors.len()];
+        let mut kept = Vec::with_capacity(self.tensors.len());
+        for (i, def) in std::mem::take(&mut self.tensors).into_iter().enumerate() {
+            if used[i] {
+                remap[i] = kept.len();
+                kept.push(def);
             }
         }
-        Ok(())
+        self.tensors = kept;
+        let apply = |id: &mut TensorId| id.0 = remap[id.0];
+        self.inputs.iter_mut().for_each(apply);
+        self.outputs.iter_mut().for_each(apply);
+        for node in &mut self.nodes {
+            node.inputs.iter_mut().for_each(apply);
+            apply(&mut node.output);
+        }
     }
 }
 

@@ -175,6 +175,23 @@ struct ExecState {
 impl ExecState {
     fn new(graph: &Graph, batch: usize) -> Result<Self> {
         let plan = MemoryPlan::for_graph(graph, batch)?;
+        // Debug builds re-prove the arena layout with the independent
+        // verifier from the static analyzer, so a future planner bug fails
+        // loudly in tests instead of silently corrupting activations in
+        // release.
+        #[cfg(debug_assertions)]
+        {
+            let findings = crate::analysis::verify_plan(graph, &plan);
+            assert!(
+                findings.is_empty(),
+                "memory plan failed alias verification:\n{}",
+                findings
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            );
+        }
         let mut defs: Vec<Option<TensorDef>> = vec![None; graph.tensors().len()];
         let mut values: Vec<Option<Tensor>> = vec![None; graph.tensors().len()];
         for (i, def) in graph.tensors().iter().enumerate() {
@@ -655,7 +672,7 @@ impl<'g> Interpreter<'g> {
     /// debugging intermediate activations by id). Arena slots are reused,
     /// not freed, so every intermediate remains readable until the next
     /// invoke; after a stacked batched invoke the value holds all frames.
-    pub fn tensor_value(&self, id: crate::graph::TensorId) -> Option<&Tensor> {
+    pub fn tensor_value(&self, id: TensorId) -> Option<&Tensor> {
         let state = self
             .last_batched
             .and_then(|n| self.batched.iter().find(|s| s.batch == n))
@@ -682,8 +699,10 @@ fn uniform_quant(batch: &[&[Tensor]]) -> bool {
 }
 
 /// Whether stacking frames along the leading dimension preserves per-frame
-/// semantics for every node of `graph`.
-fn batch_safe(graph: &Graph) -> bool {
+/// semantics for every node of `graph`. The static analyzer re-derives
+/// this verdict independently ([`crate::analysis::certify_batchable`]) and
+/// cross-checks it against this function.
+pub(crate) fn batch_safe(graph: &Graph) -> bool {
     let constant = |id: TensorId| graph.tensor(id).as_constant().is_some();
     // A rank-1 runtime tensor's leading dimension doubles as its feature
     // dimension, so scaling it changes row-based kernels' geometry (e.g.

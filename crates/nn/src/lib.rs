@@ -7,7 +7,10 @@
 //! *reference* and *optimized* kernel flavors mirroring TFLite's two op
 //! resolvers, checkpoint→mobile [conversion](convert_to_mobile) (batch-norm
 //! folding, activation fusion) and post-training full-integer
-//! [quantization](quantize_model) with dataset calibration.
+//! [quantization](quantize_model) with dataset calibration. The [`analysis`]
+//! module is the static complement: a multi-pass linter that proves shape,
+//! dtype, quantization, memory-plan and batchability safety from the graph
+//! alone, before a model ever runs.
 //!
 //! Two injectable kernel defects ([`KernelBugs`]) reproduce the real TFLite
 //! bugs the paper discovered in §4.4: a broken optimized quantized
@@ -43,6 +46,7 @@
 
 #![warn(missing_docs)]
 
+pub mod analysis;
 mod backend;
 mod convert;
 mod error;

@@ -261,6 +261,18 @@ impl MemoryPlan {
     pub fn unshared_bytes(&self) -> usize {
         self.slots.iter().flatten().map(|p| p.bytes).sum()
     }
+
+    /// Overrides one slot's arena offset, bypassing first-fit placement.
+    ///
+    /// Test-only hook for the lint suite: corrupting a correct plan is how
+    /// `verify_plan` proves it detects aliasing, without depending on a
+    /// planner bug to exist. No-op when `id` has no slot.
+    #[doc(hidden)]
+    pub fn force_offset(&mut self, id: TensorId, offset: usize) {
+        if let Some(Some(slot)) = self.slots.get_mut(id.0) {
+            slot.offset = offset;
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,6 +1,7 @@
 use std::fmt;
 
 use mlexray_core::ExrayError;
+use mlexray_nn::analysis::LintReport;
 use mlexray_nn::NnError;
 
 /// Errors produced by the serving subsystem's control plane (registration,
@@ -14,6 +15,14 @@ pub enum ServeError {
     UnknownModel(String),
     /// Model execution / graph validation failed.
     Nn(NnError),
+    /// Registration-time static analysis found Deny diagnostics; the full
+    /// report says which lints fired and where.
+    LintFailed {
+        /// The model whose registration was rejected.
+        model: String,
+        /// The analyzer's findings (carries at least one Deny).
+        report: Box<LintReport>,
+    },
     /// A core-layer failure (online validation, log plumbing).
     Core(ExrayError),
     /// The service was configured inconsistently.
@@ -25,6 +34,9 @@ impl fmt::Display for ServeError {
         match self {
             ServeError::UnknownModel(name) => write!(f, "unknown model '{name}'"),
             ServeError::Nn(e) => write!(f, "model execution: {e}"),
+            ServeError::LintFailed { model, report } => {
+                write!(f, "model '{model}' rejected by static analysis: {report}")
+            }
             ServeError::Core(e) => write!(f, "core: {e}"),
             ServeError::Config(msg) => write!(f, "configuration: {msg}"),
         }

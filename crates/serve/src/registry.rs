@@ -23,19 +23,34 @@ pub struct ServedModel {
 }
 
 impl ServedModel {
-    /// Binds a model to a backend spec under a serving name. Validates that
-    /// the spec can actually build a backend for the graph, so worker-side
-    /// construction cannot fail later.
+    /// Binds a model to a backend spec under a serving name. Runs the
+    /// static analyzer over the graph and rejects models carrying Deny
+    /// diagnostics, then validates that the spec can actually build a
+    /// backend for the graph, so worker-side construction cannot fail
+    /// later.
     ///
     /// # Errors
     ///
-    /// Propagates graph-validation errors from a trial backend build.
+    /// [`ServeError::LintFailed`] (with the full lint report) for models
+    /// the analyzer denies; otherwise propagates graph-validation errors
+    /// from a trial backend build.
     pub fn new(name: impl Into<String>, model: Model, spec: BackendSpec) -> Result<Self> {
+        let name = name.into();
+        // Static gate first: it is cheaper than a trial build and its
+        // diagnostics say *what* is broken, not just that construction
+        // failed.
+        let report = mlexray_nn::analysis::analyze(&model.graph);
+        if !report.is_clean() {
+            return Err(ServeError::LintFailed {
+                model: name,
+                report: Box::new(report),
+            });
+        }
         // Trial build: surface graph/spec incompatibilities at registration
         // time, not on the first request.
         spec.build(&model.graph)?;
         Ok(ServedModel {
-            name: name.into(),
+            name,
             model: Arc::new(model),
             spec,
         })
@@ -188,6 +203,30 @@ mod tests {
             .unwrap();
         assert_eq!(registry.get("a").unwrap().spec(), BackendSpec::reference());
         assert_eq!(registry.len(), 2);
+    }
+
+    #[test]
+    fn registration_rejects_deny_lint_models() {
+        use mlexray_nn::analysis::{mutate::GraphMutation, LintCode};
+
+        let mut model = tiny_model("broken");
+        model.graph = GraphMutation::ShapeMismatch
+            .apply(&model.graph)
+            .expect("conv model has a mutable output shape");
+        let registry = ModelRegistry::new();
+        match registry.register_model("broken", model, BackendSpec::optimized()) {
+            Err(ServeError::LintFailed { model, report }) => {
+                assert_eq!(model, "broken");
+                assert!(!report.is_clean());
+                assert!(report.has_code(LintCode::ShapeMismatch));
+            }
+            other => panic!("expected LintFailed, got {other:?}"),
+        }
+        assert!(registry.is_empty(), "rejected models must not register");
+        // The clean version of the same model registers fine.
+        registry
+            .register_model("ok", tiny_model("ok"), BackendSpec::optimized())
+            .unwrap();
     }
 
     #[test]

@@ -106,7 +106,7 @@ pub struct InferResponse {
 }
 
 /// What a client ultimately receives for one submitted request.
-pub type ServeResult = std::result::Result<InferResponse, Rejection>;
+pub type ServeResult = Result<InferResponse, Rejection>;
 
 /// One admitted request as it travels through the queue to a worker.
 pub(crate) struct InferRequest {

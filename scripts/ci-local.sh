@@ -40,6 +40,9 @@ MLEXRAY_QUICK=1 cargo test -q -p mlexray-bench --test experiments_smoke fig_serv
 step "cargo build --release"
 cargo build --release
 
+step "exray-lint over the zoo and goldens (fails on any Deny finding)"
+cargo run --release -q -p mlexray-models --bin exray-lint -- --zoo --goldens
+
 step "cargo build --examples && cargo build --benches -p mlexray-bench"
 cargo build --examples
 cargo build --benches -p mlexray-bench
