@@ -1,0 +1,65 @@
+//! `bench-record`: collects the headline numbers of the perf experiments
+//! (`fig_batching`, `fig_serving`, `fig_rpc`) into one
+//! `experiment → metric → value` record,
+//! `target/experiment-artifacts/BENCH_PR7.json`, which CI uploads per PR.
+//!
+//! Any experiment whose structured artifact
+//! (`<name>_metrics.json`) is missing is run first at the scale
+//! `MLEXRAY_QUICK` selects — so a bare
+//! `cargo run --release --bin bench_record` is self-contained, while a CI
+//! job that already ran the smoke suite only pays for collection.
+
+use mlexray_bench::experiments::{fig_batching, fig_rpc, fig_serving};
+use mlexray_bench::support::{artifact_dir, collect_headline_metrics, Scale};
+
+const EXPERIMENTS: [&str; 3] = ["fig_batching", "fig_serving", "fig_rpc"];
+
+fn main() {
+    let scale = Scale::from_env();
+    let dir = artifact_dir();
+    for name in EXPERIMENTS {
+        let path = dir.join(format!("{name}_metrics.json"));
+        if path.exists() {
+            continue;
+        }
+        eprintln!("bench-record: no {} — running {name}", path.display());
+        match name {
+            "fig_batching" => drop(fig_batching::run_measured(&scale)),
+            "fig_serving" => drop(fig_serving::run_measured(&scale)),
+            "fig_rpc" => drop(fig_rpc::run_measured(&scale)),
+            other => unreachable!("unknown experiment {other}"),
+        }
+    }
+
+    let record = match collect_headline_metrics(&EXPERIMENTS) {
+        Ok(record) => record,
+        Err(message) => {
+            eprintln!("bench-record: {message}");
+            std::process::exit(1);
+        }
+    };
+    let path = dir.join("BENCH_PR7.json");
+    let json = serde_json::to_string(&record).expect("record serializes");
+    std::fs::write(&path, &json).expect("write BENCH_PR7.json");
+    println!("wrote {}", path.display());
+
+    // A human-readable echo of what landed in the record.
+    let serde::Value::Object(experiments) = &record else {
+        unreachable!("collect_headline_metrics returns an object");
+    };
+    for (experiment, metrics) in experiments {
+        let serde::Value::Object(entries) = metrics else {
+            continue;
+        };
+        println!("{experiment}: {} metrics", entries.len());
+        for (metric, value) in entries {
+            match value {
+                serde::Value::Float(f) => println!("  {metric} = {f:.3}"),
+                serde::Value::UInt(u) => println!("  {metric} = {u}"),
+                serde::Value::Int(i) => println!("  {metric} = {i}"),
+                serde::Value::Bool(b) => println!("  {metric} = {b}"),
+                _ => {}
+            }
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! Prints the RPC figure: the framed-TCP front door under 32 concurrent
+//! sessions, upload-every-request versus seal-once-re-infer-by-handle
+//! (bytes moved, latency percentiles, throughput).
+fn main() {
+    let scale = mlexray_bench::support::Scale::from_env();
+    println!("{}", mlexray_bench::experiments::fig_rpc::run(&scale));
+}

@@ -1,0 +1,260 @@
+//! `rpc-loadgen`: an open-loop load generator for the RPC front door.
+//!
+//! The datasets [`TrafficGenerator`] paces seeded Poisson arrivals from a
+//! looping synthetic playback set through the target model's canonical
+//! preprocessing; the arrivals are spread round-robin over a pool of
+//! concurrent TCP sessions, each submitting over the wire and measuring
+//! end-to-end latency. Typed server refusals (queue-full, deadline,
+//! drain) are counted as shed, never as failures.
+//!
+//! With no target address, the tool starts its own loopback server on an
+//! ephemeral port over the `mini_mobilenet_v2` zoo model — a self-contained
+//! smoke CI runs on every PR. Against an external server it first issues an
+//! idempotent zoo `Load`, so the target model always exists.
+//!
+//! Environment knobs:
+//!
+//! | variable | default | meaning |
+//! |---|---|---|
+//! | `MLEXRAY_RPC_ADDR` | _(loopback)_ | target `host:port`; unset = spawn in-process server |
+//! | `MLEXRAY_RPC_TOKEN` | _(none)_ | auth token sent via `Hello` |
+//! | `MLEXRAY_LOADGEN_SESSIONS` | 8 | concurrent TCP sessions |
+//! | `MLEXRAY_LOADGEN_REQUESTS` | 64 | total paced arrivals |
+//! | `MLEXRAY_LOADGEN_RATE_HZ` | 40 | mean Poisson arrival rate |
+//! | `MLEXRAY_LOADGEN_DEADLINE_MS` | _(none)_ | per-request deadline |
+
+use std::time::{Duration, Instant};
+
+use mlexray_bench::support::Scale;
+use mlexray_datasets::synth_image::{self, SynthImageSpec};
+use mlexray_datasets::{InMemoryPlayback, TrafficGenerator};
+use mlexray_models::canonical_preprocess;
+use mlexray_nn::BackendSpec;
+use mlexray_serve::rpc::{ErrorCode, RpcClient, RpcServer, RpcServerConfig, WireSpec};
+use mlexray_serve::{BatchPolicy, InferenceService, ModelRegistry, MonitorPolicy, ServiceConfig};
+use mlexray_tensor::Tensor;
+
+const MODEL: &str = "mini_mobilenet_v2";
+const ZOO_SEED: u64 = 1;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_f64(key: &str, default: f64) -> f64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Shed vs hard failure: typed load-control refusals are expected under an
+/// open loop and land in the shed column.
+fn is_shed(code: ErrorCode) -> bool {
+    matches!(
+        code,
+        ErrorCode::QueueFull | ErrorCode::DeadlineExpired | ErrorCode::ShuttingDown
+    )
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+#[derive(Default)]
+struct SessionTally {
+    latencies_ms: Vec<f64>,
+    completed: u64,
+    shed: u64,
+    failed: u64,
+    bytes_sent: u64,
+    bytes_received: u64,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let sessions = env_usize("MLEXRAY_LOADGEN_SESSIONS", 8).max(1);
+    let requests = env_usize("MLEXRAY_LOADGEN_REQUESTS", 64).max(1);
+    let rate_hz = env_f64("MLEXRAY_LOADGEN_RATE_HZ", 40.0).max(0.1);
+    let deadline = std::env::var("MLEXRAY_LOADGEN_DEADLINE_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .map(Duration::from_millis);
+    let token = std::env::var("MLEXRAY_RPC_TOKEN").ok();
+
+    // No target address: stand up a loopback server on an ephemeral port.
+    let (addr, loopback) = match std::env::var("MLEXRAY_RPC_ADDR") {
+        Ok(addr) => (addr, None),
+        Err(_) => {
+            let registry = ModelRegistry::new();
+            registry
+                .register_zoo(
+                    MODEL,
+                    scale.input,
+                    synth_image::NUM_CLASSES,
+                    ZOO_SEED,
+                    BackendSpec::optimized(),
+                )
+                .expect("zoo model builds");
+            let service = InferenceService::start(
+                &registry,
+                ServiceConfig {
+                    workers_per_model: 2,
+                    core_budget: 2,
+                    queue_capacity: sessions * 4,
+                    batch: BatchPolicy::windowed(8, Duration::from_micros(200)),
+                    monitor: MonitorPolicy::off(),
+                    ..Default::default()
+                },
+                None,
+            )
+            .expect("service starts");
+            let server = RpcServer::start(
+                "127.0.0.1:0",
+                service,
+                registry,
+                RpcServerConfig::default(),
+                None,
+            )
+            .expect("loopback server binds an ephemeral port");
+            (server.local_addr().to_string(), Some(server))
+        }
+    };
+
+    let mut clients: Vec<RpcClient> = (0..sessions)
+        .map(|_| RpcClient::connect(addr.as_str()).expect("connect to RPC server"))
+        .collect();
+    if let Some(token) = &token {
+        for client in &mut clients {
+            client.hello(token).expect("token accepted");
+        }
+    }
+    // Idempotent zoo load: guarantees the model exists on external targets
+    // and is a no-op (`existing = true`) against the loopback server.
+    clients[0]
+        .load_zoo(
+            MODEL,
+            scale.input as u32,
+            synth_image::NUM_CLASSES as u32,
+            ZOO_SEED,
+            WireSpec::Optimized,
+        )
+        .expect("zoo load accepted");
+
+    // Paced arrivals: Poisson inter-arrival times over a looping synthetic
+    // playback set, preprocessed the way the model expects.
+    let playback = InMemoryPlayback::new(
+        synth_image::generate(SynthImageSpec {
+            resolution: scale.frame_res,
+            count: 16,
+            seed: 99,
+        })
+        .expect("valid spec"),
+    );
+    let preprocess = canonical_preprocess(MODEL, scale.input);
+    let arrivals: Vec<(Duration, Tensor)> = TrafficGenerator::new(playback, rate_hz)
+        .poisson(7)
+        .take(requests)
+        .map(|arrival| {
+            let input = preprocess
+                .apply(&arrival.frame.image)
+                .expect("canonical preprocessing runs");
+            (arrival.at, input)
+        })
+        .collect();
+
+    println!(
+        "rpc-loadgen: {requests} arrivals @ {rate_hz:.1} req/s over {sessions} sessions -> {addr}"
+    );
+    let started = Instant::now();
+    let tallies: Vec<SessionTally> = std::thread::scope(|scope| {
+        let arrivals = &arrivals;
+        let handles: Vec<_> = clients
+            .iter_mut()
+            .enumerate()
+            .map(|(s, client)| {
+                scope.spawn(move || {
+                    let mut tally = SessionTally::default();
+                    let bytes_out0 = client.bytes_sent();
+                    let bytes_in0 = client.bytes_received();
+                    for (at, input) in arrivals.iter().skip(s).step_by(sessions) {
+                        if let Some(wait) = at.checked_sub(started.elapsed()) {
+                            std::thread::sleep(wait); // open loop: pace the offer
+                        }
+                        let sent = Instant::now();
+                        match client.infer(MODEL, vec![input.clone()], deadline) {
+                            Ok(_) => {
+                                tally.latencies_ms.push(sent.elapsed().as_secs_f64() * 1e3);
+                                tally.completed += 1;
+                            }
+                            Err(e) => match e.server_code() {
+                                Some(code) if is_shed(code) => tally.shed += 1,
+                                _ => tally.failed += 1,
+                            },
+                        }
+                    }
+                    tally.bytes_sent = client.bytes_sent() - bytes_out0;
+                    tally.bytes_received = client.bytes_received() - bytes_in0;
+                    tally
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("session thread"))
+            .collect()
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let mut latencies: Vec<f64> = tallies
+        .iter()
+        .flat_map(|t| t.latencies_ms.iter().copied())
+        .collect();
+    latencies.sort_by(f64::total_cmp);
+    let completed: u64 = tallies.iter().map(|t| t.completed).sum();
+    let shed: u64 = tallies.iter().map(|t| t.shed).sum();
+    let failed: u64 = tallies.iter().map(|t| t.failed).sum();
+    let bytes_sent: u64 = tallies.iter().map(|t| t.bytes_sent).sum();
+    let bytes_received: u64 = tallies.iter().map(|t| t.bytes_received).sum();
+
+    let status = clients[0].status().expect("status answers");
+    println!(
+        "completed {completed}  shed {shed}  failed {failed}  \
+         ({:.1} req/s achieved, {:.1}s wall)",
+        completed as f64 / elapsed.max(1e-9),
+        elapsed,
+    );
+    println!(
+        "latency p50 {:.2} ms  p95 {:.2} ms  p99 {:.2} ms",
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.95),
+        percentile(&latencies, 0.99),
+    );
+    println!("wire bytes: {bytes_sent} sent, {bytes_received} received");
+    println!(
+        "server status: ready={} models={} sealed_bytes={}",
+        status.ready,
+        status.models.len(),
+        status.sealed_bytes,
+    );
+    drop(clients);
+
+    if let Some(server) = loopback {
+        let report = server.shutdown();
+        let balanced = report.serve.models.iter().all(|m| m.is_balanced());
+        println!(
+            "loopback server: {} connections, {} requests served, books balanced: {balanced}",
+            report.connections_accepted, report.requests_served,
+        );
+        assert!(balanced, "loopback books must balance");
+        assert_eq!(failed, 0, "loadgen saw hard failures");
+        assert_eq!(completed + shed, requests as u64, "arrivals unaccounted");
+    }
+}

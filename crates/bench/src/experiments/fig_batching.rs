@@ -20,7 +20,7 @@ use mlexray_tensor::{Shape, Tensor};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use crate::support::{format_table, image_split, Scale};
+use crate::support::{format_table, image_split, record_json_artifact, Scale};
 
 /// Batch sizes the sweep measures (1 = the single-invoke baseline).
 pub const BATCH_SWEEP: [usize; 4] = [1, 2, 4, 8];
@@ -183,9 +183,53 @@ pub fn run(scale: &Scale) -> String {
     run_measured(scale).1
 }
 
-/// Like [`run`], but also hands back the structured sweep for assertions.
+/// Like [`run`], but also hands back the structured sweep for assertions,
+/// and records it as a machine-readable JSON artifact
+/// (`fig_batching_metrics.json`).
 pub fn run_measured(scale: &Scale) -> (BatchingResult, String) {
     let result = measure(scale);
+    let quick = *scale == Scale::quick();
+    let mut metrics = vec![
+        (
+            "bitwise_identical".to_string(),
+            serde::Value::Bool(result.bitwise_identical),
+        ),
+        (
+            "arena_bytes".to_string(),
+            serde::Value::UInt(result.arena_bytes as u64),
+        ),
+        (
+            "unshared_bytes".to_string(),
+            serde::Value::UInt(result.unshared_bytes as u64),
+        ),
+        (
+            "allocations_per_invoke".to_string(),
+            serde::Value::UInt(result.allocations_per_invoke as u64),
+        ),
+        (
+            "replay_fps_per_frame".to_string(),
+            serde::Value::Float(result.replay_fps_per_frame),
+        ),
+        (
+            "replay_fps_micro_batched".to_string(),
+            serde::Value::Float(result.replay_fps_micro_batched),
+        ),
+    ];
+    for point in &result.points {
+        metrics.push((
+            format!("fps_batch_{}", point.batch),
+            serde::Value::Float(point.frames_per_sec),
+        ));
+        metrics.push((
+            format!("speedup_batch_{}", point.batch),
+            serde::Value::Float(point.speedup),
+        ));
+    }
+    record_json_artifact(
+        "fig_batching_metrics",
+        quick,
+        &serde::Value::Object(metrics),
+    );
     let rows: Vec<Vec<String>> = result
         .points
         .iter()

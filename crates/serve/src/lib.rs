@@ -78,6 +78,7 @@ mod error;
 mod queue;
 mod registry;
 mod request;
+pub mod rpc;
 mod service;
 mod stats;
 

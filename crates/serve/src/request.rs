@@ -3,6 +3,7 @@
 
 use std::fmt;
 use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use mlexray_tensor::Tensor;
@@ -109,9 +110,12 @@ pub struct InferResponse {
 pub type ServeResult = Result<InferResponse, Rejection>;
 
 /// One admitted request as it travels through the queue to a worker.
+/// Inputs are shared, not owned: the zero-copy sealed-tensor path
+/// re-submits one long-lived `Arc` any number of times, and the one-shot
+/// path wraps its owned inputs in a fresh `Arc` at submit.
 pub(crate) struct InferRequest {
     pub(crate) id: u64,
-    pub(crate) inputs: Vec<Tensor>,
+    pub(crate) inputs: Arc<Vec<Tensor>>,
     pub(crate) deadline: Option<Instant>,
     pub(crate) admitted_at: Instant,
     pub(crate) sampled: bool,

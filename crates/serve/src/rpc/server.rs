@@ -1,0 +1,781 @@
+//! The framed TCP server: thread-per-connection over the existing MPMC
+//! queues — no async runtime, no new dependencies.
+//!
+//! # Lifecycle
+//!
+//! ```text
+//! accept loop ──▶ connection thread: read frame ▶ decode ▶ dispatch ▶ reply
+//!                   │  Seal ──▶ session arena (Arc<Vec<Tensor>>)
+//!                   │  Infer ─▶ InferenceService::submit_shared (zero-copy)
+//!                   └─ Load ──▶ registry (lint gate) + service.add_model
+//! ```
+//!
+//! Graceful drain ([`RpcServer::shutdown`]) runs in phases: (1) new
+//! connections are answered with a [`ErrorCode::ShuttingDown`] error frame
+//! and closed, and new work on existing connections is refused the same
+//! way; (2) the inference service drains — every already-admitted request
+//! completes (or sheds on its deadline) and its connection receives the
+//! reply; (3) connection threads and the acceptor are joined. In-flight
+//! work finishes, new work is refused, nothing hangs.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use mlexray_core::{LogRecord, LogSink, LogValue};
+use mlexray_nn::{Graph, Model};
+use mlexray_tensor::Tensor;
+
+use crate::rpc::wire::{
+    self, ErrorCode, InferPayload, LoadSource, ModelStatus, RpcRequest, RpcResponse, SealHandle,
+    StatusReply, WireError, WireInferResponse,
+};
+use crate::{
+    InferenceService, ModelRegistry, RejectReason, Rejection, ServeError, ServeReport, ServedModel,
+};
+
+/// Tuning of the RPC front door.
+#[derive(Debug, Clone)]
+pub struct RpcServerConfig {
+    /// Upper bound on one frame's payload; larger announcements are
+    /// refused with [`ErrorCode::PayloadTooLarge`] before allocation.
+    pub max_frame_len: u32,
+    /// Bearer-token table: token → tenant. `Some` makes `Hello` mandatory
+    /// before any verb other than `Status`; `None` serves anonymously.
+    pub tokens: Option<BTreeMap<String, String>>,
+    /// Per-session cap on bytes sealed in the arena.
+    pub max_sealed_bytes: u64,
+    /// Socket read-timeout granularity — how often an idle connection
+    /// thread re-checks the drain/stop flags.
+    pub poll_interval: Duration,
+    /// How long a *started* frame may take to finish arriving before the
+    /// connection is declared truncated.
+    pub frame_timeout: Duration,
+}
+
+impl Default for RpcServerConfig {
+    fn default() -> Self {
+        RpcServerConfig {
+            max_frame_len: wire::DEFAULT_MAX_FRAME_LEN,
+            tokens: None,
+            max_sealed_bytes: 256 * 1024 * 1024,
+            poll_interval: Duration::from_millis(25),
+            frame_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Final accounting of a stopped RPC server.
+#[derive(Debug, Clone)]
+pub struct RpcReport {
+    /// The drained inference service's books (per-model, balanced).
+    pub serve: ServeReport,
+    /// Connections accepted and served.
+    pub connections_accepted: u64,
+    /// Connections refused during drain with `ShuttingDown`.
+    pub connections_refused: u64,
+    /// Request frames answered with a success response.
+    pub requests_served: u64,
+    /// Error frames sent (protocol + admission failures).
+    pub errors_sent: u64,
+    /// Bytes read off client sockets (frames + length prefixes).
+    pub bytes_in: u64,
+    /// Bytes written to client sockets.
+    pub bytes_out: u64,
+}
+
+struct Inner {
+    service: InferenceService,
+    registry: ModelRegistry,
+    config: RpcServerConfig,
+    sink: Option<Arc<dyn LogSink>>,
+    draining: AtomicBool,
+    stopping: AtomicBool,
+    open_connections: AtomicU32,
+    connections_accepted: AtomicU64,
+    connections_refused: AtomicU64,
+    requests_served: AtomicU64,
+    errors_sent: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    sealed_bytes: AtomicU64,
+    conn_handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// The RPC front door over an [`InferenceService`]. Binds a TCP listener
+/// (always ask for port `0` in tests and read [`RpcServer::local_addr`]
+/// back), serves the wire protocol of [`crate::rpc::wire`], and owns both
+/// the service and the registry so the `Load` verb can grow the model set
+/// at runtime.
+pub struct RpcServer {
+    inner: Arc<Inner>,
+    acceptor: Option<JoinHandle<()>>,
+    addr: SocketAddr,
+}
+
+impl std::fmt::Debug for RpcServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RpcServer")
+            .field("addr", &self.addr)
+            .field("draining", &self.inner.draining.load(Ordering::Acquire))
+            .finish_non_exhaustive()
+    }
+}
+
+impl RpcServer {
+    /// Binds `addr` (use `127.0.0.1:0` for an ephemeral port) and starts
+    /// the accept loop. Takes ownership of the service and its registry;
+    /// both come back out through [`RpcServer::shutdown`]'s report.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Config`] when the bind fails.
+    pub fn start(
+        addr: impl ToSocketAddrs,
+        service: InferenceService,
+        registry: ModelRegistry,
+        config: RpcServerConfig,
+        sink: Option<Arc<dyn LogSink>>,
+    ) -> crate::Result<Self> {
+        let listener = TcpListener::bind(addr)
+            .map_err(|e| ServeError::Config(format!("rpc bind failed: {e}")))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| ServeError::Config(format!("rpc local_addr failed: {e}")))?;
+        let inner = Arc::new(Inner {
+            service,
+            registry,
+            config,
+            sink,
+            draining: AtomicBool::new(false),
+            stopping: AtomicBool::new(false),
+            open_connections: AtomicU32::new(0),
+            connections_accepted: AtomicU64::new(0),
+            connections_refused: AtomicU64::new(0),
+            requests_served: AtomicU64::new(0),
+            errors_sent: AtomicU64::new(0),
+            bytes_in: AtomicU64::new(0),
+            bytes_out: AtomicU64::new(0),
+            sealed_bytes: AtomicU64::new(0),
+            conn_handles: Mutex::new(Vec::new()),
+        });
+        let acceptor = {
+            let inner = inner.clone();
+            std::thread::Builder::new()
+                .name("mlexray-rpc-accept".into())
+                .spawn(move || accept_loop(inner, listener))
+                .map_err(|e| ServeError::Config(format!("spawn acceptor: {e}")))?
+        };
+        Ok(RpcServer {
+            inner,
+            acceptor: Some(acceptor),
+            addr: local,
+        })
+    }
+
+    /// The bound address (the assigned port when started on port `0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The inference service behind the door.
+    pub fn service(&self) -> &InferenceService {
+        &self.inner.service
+    }
+
+    /// The registry the `Load` verb registers into.
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.inner.registry
+    }
+
+    /// Begins graceful drain *without* stopping: new connections and new
+    /// work are refused with `ShuttingDown`, while requests already
+    /// admitted keep running and their connections stay open to receive
+    /// the replies. [`RpcServer::shutdown`] completes the stop.
+    pub fn begin_drain(&self) {
+        self.inner.draining.store(true, Ordering::Release);
+    }
+
+    /// Drains and stops: refuses new work, completes everything already
+    /// admitted, joins every thread, and returns the final accounting.
+    pub fn shutdown(mut self) -> RpcReport {
+        self.halt()
+    }
+
+    fn halt(&mut self) -> RpcReport {
+        let inner = &self.inner;
+        inner.draining.store(true, Ordering::Release);
+        // Phase 2: drain the service — every admitted request is answered,
+        // unblocking any connection thread parked in PendingResponse::wait.
+        let serve = inner.service.drain();
+        // Phase 3: stop the loops. The self-connect unblocks an acceptor
+        // parked in accept().
+        inner.stopping.store(true, Ordering::Release);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *inner.conn_handles.lock());
+        for handle in handles {
+            let _ = handle.join();
+        }
+        RpcReport {
+            serve,
+            connections_accepted: inner.connections_accepted.load(Ordering::Acquire),
+            connections_refused: inner.connections_refused.load(Ordering::Acquire),
+            requests_served: inner.requests_served.load(Ordering::Acquire),
+            errors_sent: inner.errors_sent.load(Ordering::Acquire),
+            bytes_in: inner.bytes_in.load(Ordering::Acquire),
+            bytes_out: inner.bytes_out.load(Ordering::Acquire),
+        }
+    }
+}
+
+impl Drop for RpcServer {
+    fn drop(&mut self) {
+        if self.acceptor.is_some() {
+            self.halt();
+        }
+    }
+}
+
+fn accept_loop(inner: Arc<Inner>, listener: TcpListener) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            if inner.stopping.load(Ordering::Acquire) {
+                break;
+            }
+            continue;
+        };
+        if inner.stopping.load(Ordering::Acquire) {
+            break;
+        }
+        if inner.draining.load(Ordering::Acquire) {
+            // Refuse at the door, with a typed frame so the client learns
+            // *why* instead of seeing a bare reset.
+            inner.connections_refused.fetch_add(1, Ordering::AcqRel);
+            send_response(
+                &inner,
+                &stream,
+                0,
+                &RpcResponse::Error {
+                    code: ErrorCode::ShuttingDown,
+                    message: "server is draining; not accepting connections".into(),
+                    detail: String::new(),
+                },
+            );
+            continue;
+        }
+        inner.connections_accepted.fetch_add(1, Ordering::AcqRel);
+        inner.open_connections.fetch_add(1, Ordering::AcqRel);
+        let conn_id = inner.connections_accepted.load(Ordering::Acquire);
+        let conn_inner = inner.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("mlexray-rpc-conn-{conn_id}"))
+            .spawn(move || {
+                handle_connection(&conn_inner, stream, conn_id);
+                conn_inner.open_connections.fetch_sub(1, Ordering::AcqRel);
+            })
+            .expect("spawn rpc connection thread");
+        inner.conn_handles.lock().push(handle);
+    }
+}
+
+/// Per-connection session state: who the peer is and what it has sealed.
+/// The arena maps handles to shared tensor sets — `Infer` by handle clones
+/// the `Arc`, never the tensors.
+struct Session {
+    tenant: Option<String>,
+    arena: BTreeMap<SealHandle, Arc<Vec<Tensor>>>,
+    next_handle: SealHandle,
+    arena_bytes: u64,
+}
+
+enum ReadEnd {
+    /// Buffer filled.
+    Frame,
+    /// EOF at a frame boundary before any byte: the client hung up cleanly.
+    CleanClose,
+    /// EOF or stall part-way through a frame.
+    Truncated,
+    /// The server is stopping.
+    Stopped,
+    /// Unrecoverable socket error.
+    Failed,
+}
+
+/// Fills `buf` from the socket, polling at the configured read timeout so
+/// the thread notices stop requests, and bounding how long a started frame
+/// may dribble in.
+fn read_polled(stream: &TcpStream, buf: &mut [u8], inner: &Inner, mid_frame: bool) -> ReadEnd {
+    let mut reader = stream;
+    let mut filled = 0usize;
+    let mut deadline = if mid_frame {
+        Some(Instant::now() + inner.config.frame_timeout)
+    } else {
+        None
+    };
+    loop {
+        if inner.stopping.load(Ordering::Acquire) {
+            return ReadEnd::Stopped;
+        }
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 && !mid_frame {
+                    ReadEnd::CleanClose
+                } else {
+                    ReadEnd::Truncated
+                }
+            }
+            Ok(n) => {
+                filled += n;
+                if filled == buf.len() {
+                    return ReadEnd::Frame;
+                }
+                deadline.get_or_insert_with(|| Instant::now() + inner.config.frame_timeout);
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if let Some(d) = deadline {
+                    if Instant::now() >= d {
+                        return ReadEnd::Truncated;
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return ReadEnd::Failed,
+        }
+    }
+}
+
+/// Writes a response frame, accounting bytes; write failures are swallowed
+/// (a peer that disconnected mid-`Infer` simply never reads its reply —
+/// the server must not care).
+fn send_response(inner: &Inner, stream: &TcpStream, id: u64, response: &RpcResponse) {
+    if matches!(response, RpcResponse::Error { .. }) {
+        inner.errors_sent.fetch_add(1, Ordering::AcqRel);
+    }
+    let payload = wire::encode_response(id, response);
+    let mut writer = stream;
+    // The frame cap is a *request* defense; responses (tensor outputs) are
+    // whatever the model produced, so write without the cap.
+    if let Ok(wrote) = wire::write_frame(&mut writer, &payload, u32::MAX) {
+        inner.bytes_out.fetch_add(wrote, Ordering::AcqRel);
+    }
+    let _ = writer.flush();
+}
+
+fn send_error(
+    inner: &Inner,
+    stream: &TcpStream,
+    id: u64,
+    code: ErrorCode,
+    message: String,
+    detail: String,
+) {
+    send_response(
+        inner,
+        stream,
+        id,
+        &RpcResponse::Error {
+            code,
+            message,
+            detail,
+        },
+    );
+}
+
+fn log_request(inner: &Inner, conn_id: u64, session: &Session, verb: &str, outcome: &str) {
+    if let Some(sink) = &inner.sink {
+        let tenant = session.tenant.as_deref().unwrap_or("-");
+        sink.write(LogRecord {
+            frame: conn_id,
+            key: format!("rpc/{verb}"),
+            value: LogValue::Text(format!("tenant={tenant} outcome={outcome}")),
+        });
+    }
+}
+
+fn handle_connection(inner: &Arc<Inner>, stream: TcpStream, conn_id: u64) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(inner.config.poll_interval));
+    let mut session = Session {
+        tenant: None,
+        arena: BTreeMap::new(),
+        next_handle: 1,
+        arena_bytes: 0,
+    };
+    loop {
+        let mut len_buf = [0u8; 4];
+        match read_polled(&stream, &mut len_buf, inner, false) {
+            ReadEnd::Frame => {}
+            ReadEnd::CleanClose | ReadEnd::Stopped | ReadEnd::Failed => break,
+            ReadEnd::Truncated => {
+                send_error(
+                    inner,
+                    &stream,
+                    0,
+                    ErrorCode::Truncated,
+                    "stream ended mid-frame".into(),
+                    String::new(),
+                );
+                break;
+            }
+        }
+        let len = u32::from_le_bytes(len_buf);
+        if len > inner.config.max_frame_len {
+            // Refuse before allocating; the stream cannot be resynced past
+            // an unread payload, so close.
+            send_error(
+                inner,
+                &stream,
+                0,
+                ErrorCode::PayloadTooLarge,
+                format!(
+                    "frame of {len} bytes exceeds the {}-byte cap",
+                    inner.config.max_frame_len
+                ),
+                String::new(),
+            );
+            break;
+        }
+        let mut payload = vec![0u8; len as usize];
+        match read_polled(&stream, &mut payload, inner, true) {
+            ReadEnd::Frame => {}
+            ReadEnd::CleanClose | ReadEnd::Stopped | ReadEnd::Failed => break,
+            ReadEnd::Truncated => {
+                send_error(
+                    inner,
+                    &stream,
+                    0,
+                    ErrorCode::Truncated,
+                    "stream ended mid-frame".into(),
+                    String::new(),
+                );
+                break;
+            }
+        }
+        inner.bytes_in.fetch_add(4 + len as u64, Ordering::AcqRel);
+        match wire::decode_request(&payload) {
+            Ok(frame) => {
+                if !dispatch(inner, &stream, &mut session, conn_id, frame) {
+                    break;
+                }
+            }
+            Err(err) => {
+                let id = match &err {
+                    WireError::UnknownKind { id, .. } => *id,
+                    _ => 0,
+                };
+                // Bad magic means the stream is not framed by this
+                // protocol at all — close. Unknown verbs / versions /
+                // malformed bodies leave framing intact, so the
+                // connection survives for the client's next try.
+                let fatal = matches!(err, WireError::BadMagic(_));
+                send_error(
+                    inner,
+                    &stream,
+                    id,
+                    err.code(),
+                    err.to_string(),
+                    String::new(),
+                );
+                if fatal {
+                    break;
+                }
+            }
+        }
+    }
+    inner
+        .sealed_bytes
+        .fetch_sub(session.arena_bytes, Ordering::AcqRel);
+}
+
+/// Serves one decoded request; returns `false` to close the connection.
+fn dispatch(
+    inner: &Arc<Inner>,
+    stream: &TcpStream,
+    session: &mut Session,
+    conn_id: u64,
+    frame: wire::RequestFrame,
+) -> bool {
+    let id = frame.id;
+    let verb = frame.request.verb();
+    // Token-table servers require an authenticated session for everything
+    // except the handshake itself and health probes.
+    let needs_auth = inner.config.tokens.is_some()
+        && session.tenant.is_none()
+        && !matches!(frame.request, RpcRequest::Hello { .. } | RpcRequest::Status);
+    if needs_auth {
+        log_request(inner, conn_id, session, verb, "unauthenticated");
+        send_error(
+            inner,
+            stream,
+            id,
+            ErrorCode::Unauthenticated,
+            "session must Hello with a known token first".into(),
+            String::new(),
+        );
+        return true;
+    }
+    let reply = match frame.request {
+        RpcRequest::Hello { token } => handle_hello(inner, session, token),
+        RpcRequest::Load { spec, source } => handle_load(inner, spec, source),
+        RpcRequest::Seal { tensors } => handle_seal(inner, session, tensors),
+        RpcRequest::Infer {
+            model,
+            payload,
+            deadline_ms,
+        } => handle_infer(inner, session, &model, payload, deadline_ms),
+        RpcRequest::Unseal { handle } => handle_unseal(inner, session, handle),
+        RpcRequest::Status => Ok(handle_status(inner, session)),
+    };
+    match reply {
+        Ok(response) => {
+            inner.requests_served.fetch_add(1, Ordering::AcqRel);
+            log_request(inner, conn_id, session, verb, "ok");
+            send_response(inner, stream, id, &response);
+        }
+        Err((code, message, detail)) => {
+            log_request(inner, conn_id, session, verb, &code.to_string());
+            send_error(inner, stream, id, code, message, detail);
+        }
+    }
+    true
+}
+
+type VerbResult = Result<RpcResponse, (ErrorCode, String, String)>;
+
+fn handle_hello(inner: &Inner, session: &mut Session, token: String) -> VerbResult {
+    let tenant = match &inner.config.tokens {
+        Some(table) => table.get(&token).cloned().ok_or_else(|| {
+            (
+                ErrorCode::Unauthenticated,
+                "unknown token".into(),
+                String::new(),
+            )
+        })?,
+        None if token.is_empty() => "anonymous".to_string(),
+        None => token,
+    };
+    session.tenant = Some(tenant.clone());
+    Ok(RpcResponse::Hello { tenant })
+}
+
+fn serve_error_to_wire(error: ServeError) -> (ErrorCode, String, String) {
+    match error {
+        ServeError::LintFailed { model, report } => (
+            ErrorCode::LintRejected,
+            format!("model '{model}' rejected by static analysis"),
+            report.to_json(),
+        ),
+        ServeError::UnknownModel(name) => (
+            ErrorCode::UnknownModel,
+            format!("unknown model '{name}'"),
+            String::new(),
+        ),
+        ServeError::Nn(e) => (
+            ErrorCode::Malformed,
+            format!("model rejected: {e}"),
+            String::new(),
+        ),
+        other => (ErrorCode::Internal, other.to_string(), String::new()),
+    }
+}
+
+fn handle_load(inner: &Inner, spec: wire::WireSpec, source: LoadSource) -> VerbResult {
+    if inner.draining.load(Ordering::Acquire) {
+        return Err((
+            ErrorCode::ShuttingDown,
+            "server is draining".into(),
+            String::new(),
+        ));
+    }
+    let name = match &source {
+        LoadSource::Zoo { family, .. } => family.clone(),
+        LoadSource::GraphJson { name, .. } => name.clone(),
+    };
+    // Idempotent fast path: the name is already behind a worker pool.
+    if inner.service.models().contains(&name) {
+        return Ok(RpcResponse::Load {
+            model: name,
+            existing: true,
+        });
+    }
+    let entry: Arc<ServedModel> = match source {
+        LoadSource::Zoo {
+            family,
+            input,
+            classes,
+            seed,
+        } => inner
+            .registry
+            .register_zoo(
+                &family,
+                input as usize,
+                classes as usize,
+                seed,
+                spec.to_backend(),
+            )
+            .map_err(serve_error_to_wire)?,
+        LoadSource::GraphJson { name, json } => {
+            // Accept a serialized Model, or a bare Graph promoted to a
+            // checkpoint — the exray-lint gate then runs inside
+            // ServedModel::new on either.
+            let model = match serde_json::from_str::<Model>(&json) {
+                Ok(model) => model,
+                Err(_) => match serde_json::from_str::<Graph>(&json) {
+                    Ok(graph) => Model::checkpoint(graph, &name),
+                    Err(e) => {
+                        return Err((
+                            ErrorCode::Malformed,
+                            format!("payload parses as neither Model nor Graph: {e}"),
+                            String::new(),
+                        ))
+                    }
+                },
+            };
+            inner
+                .registry
+                .register_model(&name, model, spec.to_backend())
+                .map_err(serve_error_to_wire)?
+        }
+    };
+    let added = inner
+        .service
+        .add_model(entry)
+        .map_err(serve_error_to_wire)?;
+    Ok(RpcResponse::Load {
+        model: name,
+        existing: !added,
+    })
+}
+
+fn handle_seal(inner: &Inner, session: &mut Session, tensors: Vec<Tensor>) -> VerbResult {
+    if inner.draining.load(Ordering::Acquire) {
+        return Err((
+            ErrorCode::ShuttingDown,
+            "server is draining".into(),
+            String::new(),
+        ));
+    }
+    let bytes: u64 = tensors.iter().map(|t| t.byte_size() as u64).sum();
+    if session.arena_bytes + bytes > inner.config.max_sealed_bytes {
+        return Err((
+            ErrorCode::SealLimitExceeded,
+            format!(
+                "sealing {bytes} bytes would exceed the {}-byte session arena",
+                inner.config.max_sealed_bytes
+            ),
+            String::new(),
+        ));
+    }
+    let handle = session.next_handle;
+    session.next_handle += 1;
+    session.arena.insert(handle, Arc::new(tensors));
+    session.arena_bytes += bytes;
+    inner.sealed_bytes.fetch_add(bytes, Ordering::AcqRel);
+    Ok(RpcResponse::Seal { handle, bytes })
+}
+
+fn rejection_to_wire(rejection: Rejection) -> (ErrorCode, String, String) {
+    let message = rejection.to_string();
+    let code = match rejection.reason {
+        RejectReason::UnknownModel => ErrorCode::UnknownModel,
+        RejectReason::QueueFull { .. } => ErrorCode::QueueFull,
+        RejectReason::DeadlineExpired { .. } => ErrorCode::DeadlineExpired,
+        RejectReason::ShuttingDown => ErrorCode::ShuttingDown,
+        RejectReason::ExecutionFailed { .. } => ErrorCode::ExecutionFailed,
+        RejectReason::ChannelClosed => ErrorCode::Internal,
+    };
+    (code, message, String::new())
+}
+
+fn handle_infer(
+    inner: &Inner,
+    session: &mut Session,
+    model: &str,
+    payload: InferPayload,
+    deadline_ms: u32,
+) -> VerbResult {
+    if inner.draining.load(Ordering::Acquire) {
+        return Err((
+            ErrorCode::ShuttingDown,
+            "server is draining".into(),
+            String::new(),
+        ));
+    }
+    // Zero-copy dispatch: sealed inputs are the arena's Arc, cloned by
+    // pointer; inline inputs were decoded once off the wire and wrapped.
+    let inputs: Arc<Vec<Tensor>> = match payload {
+        InferPayload::Tensors(tensors) => Arc::new(tensors),
+        InferPayload::Sealed(handle) => session.arena.get(&handle).cloned().ok_or_else(|| {
+            (
+                ErrorCode::UnknownHandle,
+                format!("handle {handle} is not sealed in this session"),
+                String::new(),
+            )
+        })?,
+    };
+    let deadline = (deadline_ms > 0).then(|| Duration::from_millis(u64::from(deadline_ms)));
+    let pending = inner
+        .service
+        .submit_shared(model, inputs, deadline)
+        .map_err(rejection_to_wire)?;
+    let response = pending.wait().map_err(rejection_to_wire)?;
+    Ok(RpcResponse::Infer(WireInferResponse {
+        request_id: response.request_id,
+        outputs: response.outputs,
+        total_latency_us: response.total_latency.as_micros() as u64,
+        exec_latency_us: response.exec_latency.as_micros() as u64,
+        batch_size: response.batch_size as u32,
+        sampled: response.sampled,
+    }))
+}
+
+fn handle_unseal(inner: &Inner, session: &mut Session, handle: SealHandle) -> VerbResult {
+    let Some(tensors) = session.arena.remove(&handle) else {
+        return Err((
+            ErrorCode::UnknownHandle,
+            format!("handle {handle} is not sealed in this session"),
+            String::new(),
+        ));
+    };
+    let freed: u64 = tensors.iter().map(|t| t.byte_size() as u64).sum();
+    session.arena_bytes -= freed;
+    inner.sealed_bytes.fetch_sub(freed, Ordering::AcqRel);
+    Ok(RpcResponse::Unseal { freed_bytes: freed })
+}
+
+fn handle_status(inner: &Inner, _session: &Session) -> RpcResponse {
+    let draining = inner.draining.load(Ordering::Acquire);
+    let models = inner
+        .service
+        .models()
+        .into_iter()
+        .filter_map(|name| {
+            let stats = inner.service.stats(&name)?;
+            Some(ModelStatus {
+                name: name.clone(),
+                queue_depth: inner.service.queue_depth(&name).unwrap_or(0) as u32,
+                offered: stats.offered,
+                completed: stats.completed,
+            })
+        })
+        .collect();
+    RpcResponse::Status(StatusReply {
+        ready: !draining && inner.service.is_accepting(),
+        draining,
+        open_connections: inner.open_connections.load(Ordering::Acquire),
+        sealed_bytes: inner.sealed_bytes.load(Ordering::Acquire),
+        models,
+    })
+}

@@ -17,6 +17,16 @@
 //! capped by [`ServiceConfig::core_budget`], defaulting to the machine
 //! parallelism the replay engine also sizes against.
 //!
+//! # Shared inputs
+//!
+//! Requests travel as [`std::sync::Arc`]`<Vec<Tensor>>`: a caller that
+//! holds a long-lived input (the RPC layer's sealed-tensor arenas) submits
+//! the same allocation any number of times via
+//! [`InferenceService::submit_shared`] without copying tensor data — the
+//! worker lends the arena-held tensors to `invoke_batch` by reference.
+//! [`InferenceService::submit`] wraps owned inputs in a fresh `Arc`, so the
+//! one-shot path pays a pointer, not a copy.
+//!
 //! # Monitoring
 //!
 //! Every `sample_every`-th admitted request runs with deep EXray capture:
@@ -29,11 +39,13 @@
 //! service.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::sync_channel;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+use parking_lot::RwLock;
 
 use mlexray_core::{
     layer_output_key, DriftAlarm, LogRecord, LogSink, LogValue, OnlineValidator,
@@ -223,17 +235,24 @@ struct ModelServer {
 /// The in-process inference service: spawn it over a [`ModelRegistry`],
 /// submit requests from any thread, shut it down for the final accounting.
 /// See the module docs for the data path.
+///
+/// Models can also be added *after* start via
+/// [`InferenceService::add_model`] — the door the RPC `Load` verb walks
+/// through — each new model receiving its own worker pool under the same
+/// global core budget.
 pub struct InferenceService {
-    servers: BTreeMap<String, ModelServer>,
+    servers: RwLock<BTreeMap<String, ModelServer>>,
     accepting: Arc<AtomicBool>,
     sink: Option<Arc<dyn LogSink>>,
     config: ServiceConfig,
+    /// Worker-thread budget still unspent (feeds [`Self::add_model`]).
+    budget_left: AtomicUsize,
 }
 
 impl std::fmt::Debug for InferenceService {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("InferenceService")
-            .field("models", &self.servers.keys().collect::<Vec<_>>())
+            .field("models", &self.servers.read().keys().collect::<Vec<_>>())
             .field("accepting", &self.accepting.load(Ordering::Acquire))
             .field("config", &self.config)
             .finish_non_exhaustive()
@@ -260,7 +279,6 @@ impl InferenceService {
                 "cannot serve an empty model registry".into(),
             ));
         }
-        let accepting = Arc::new(AtomicBool::new(true));
         let budget = if config.core_budget == 0 {
             std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -268,60 +286,111 @@ impl InferenceService {
         } else {
             config.core_budget
         };
-        let mut remaining = budget;
-        let mut servers = BTreeMap::new();
-        for entry in entries {
-            // Validate the spec builds before any worker relies on it.
-            entry.spec().build(entry.graph())?;
-            let workers = config.workers_per_model.min(remaining.max(1)).max(1);
-            remaining = remaining.saturating_sub(workers);
-            let queue = Arc::new(RequestQueue::new(
-                config.queue_capacity,
-                config.start_paused,
-            ));
-            let counters = Arc::new(ModelCounters::default());
-            let validator = config
-                .monitor
-                .validator
-                .filter(|_| config.monitor.sample_every > 0)
-                .map(|cfg| Arc::new(OnlineValidator::new(cfg)));
-            let handles = (0..workers)
-                .map(|i| {
-                    let ctx = WorkerCtx {
-                        entry: entry.clone(),
-                        queue: queue.clone(),
-                        counters: counters.clone(),
-                        validator: validator.clone(),
-                        sink: sink.clone(),
-                        batch: config.batch,
-                        monitor: config.monitor,
-                    };
-                    std::thread::Builder::new()
-                        .name(format!("mlexray-serve-{}-{i}", entry.name()))
-                        .spawn(move || worker_loop(ctx))
-                        .expect("spawn serving worker")
-                })
-                .collect();
-            servers.insert(
-                entry.name().to_string(),
-                ModelServer {
-                    entry,
-                    queue,
-                    counters,
-                    validator,
-                    workers: handles,
-                    worker_count: workers,
-                    next_id: AtomicU64::new(0),
-                    sample_clock: AtomicU64::new(0),
-                },
-            );
-        }
-        Ok(InferenceService {
-            servers,
-            accepting,
+        let service = InferenceService {
+            servers: RwLock::new(BTreeMap::new()),
+            accepting: Arc::new(AtomicBool::new(true)),
             sink,
             config,
+            budget_left: AtomicUsize::new(budget),
+        };
+        for entry in entries {
+            let server = service.spawn_server(entry)?;
+            let name = server.entry.name().to_string();
+            service.servers.write().insert(name, server);
+        }
+        Ok(service)
+    }
+
+    /// Builds one model's worker pool, drawing threads from the remaining
+    /// core budget (every model still gets at least one worker).
+    fn spawn_server(&self, entry: Arc<ServedModel>) -> Result<ModelServer> {
+        // Validate the spec builds before any worker relies on it.
+        entry.spec().build(entry.graph())?;
+        let remaining = self.budget_left.load(Ordering::Acquire);
+        let workers = self.config.workers_per_model.min(remaining.max(1)).max(1);
+        self.budget_left
+            .store(remaining.saturating_sub(workers), Ordering::Release);
+        let queue = Arc::new(RequestQueue::new(
+            self.config.queue_capacity,
+            self.config.start_paused,
+        ));
+        let counters = Arc::new(ModelCounters::default());
+        let validator = self
+            .config
+            .monitor
+            .validator
+            .filter(|_| self.config.monitor.sample_every > 0)
+            .map(|cfg| Arc::new(OnlineValidator::new(cfg)));
+        let handles = (0..workers)
+            .map(|i| {
+                let ctx = WorkerCtx {
+                    entry: entry.clone(),
+                    queue: queue.clone(),
+                    counters: counters.clone(),
+                    validator: validator.clone(),
+                    sink: self.sink.clone(),
+                    batch: self.config.batch,
+                    monitor: self.config.monitor,
+                };
+                std::thread::Builder::new()
+                    .name(format!("mlexray-serve-{}-{i}", entry.name()))
+                    .spawn(move || worker_loop(ctx))
+                    .expect("spawn serving worker")
+            })
+            .collect();
+        Ok(ModelServer {
+            entry,
+            queue,
+            counters,
+            validator,
+            workers: handles,
+            worker_count: workers,
+            next_id: AtomicU64::new(0),
+            sample_clock: AtomicU64::new(0),
         })
+    }
+
+    /// Adds a model to a *running* service, spawning a fresh worker pool
+    /// for it under the remaining core budget. Returns `false` (and leaves
+    /// the running pool untouched) when a model of the same name is already
+    /// served — re-loading an already-served name is idempotent, not an
+    /// error, so concurrent RPC sessions can both `Load` the same family.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Config`] once shutdown has begun; otherwise propagates
+    /// the trial backend build.
+    pub fn add_model(&self, entry: Arc<ServedModel>) -> Result<bool> {
+        if !self.accepting.load(Ordering::Acquire) {
+            return Err(ServeError::Config(
+                "cannot add a model to a draining service".into(),
+            ));
+        }
+        if self.servers.read().contains_key(entry.name()) {
+            return Ok(false);
+        }
+        let name = entry.name().to_string();
+        let server = self.spawn_server(entry)?;
+        let displaced = {
+            let mut servers = self.servers.write();
+            match servers.entry(name) {
+                std::collections::btree_map::Entry::Vacant(slot) => {
+                    slot.insert(server);
+                    None
+                }
+                // Lost a registration race: keep the incumbent, retire the
+                // pool we just spawned.
+                std::collections::btree_map::Entry::Occupied(_) => Some(server),
+            }
+        };
+        if let Some(mut loser) = displaced {
+            loser.queue.close();
+            for handle in loser.workers.drain(..) {
+                let _ = handle.join();
+            }
+            return Ok(false);
+        }
+        Ok(true)
     }
 
     /// The service's configuration.
@@ -331,7 +400,13 @@ impl InferenceService {
 
     /// Names of the served models, sorted.
     pub fn models(&self) -> Vec<String> {
-        self.servers.keys().cloned().collect()
+        self.servers.read().keys().cloned().collect()
+    }
+
+    /// Whether the service still admits new requests (false once drain has
+    /// begun) — the readiness signal the RPC `Status` verb reports.
+    pub fn is_accepting(&self) -> bool {
+        self.accepting.load(Ordering::Acquire)
     }
 
     /// Submits a request under the default deadline policy.
@@ -345,7 +420,7 @@ impl InferenceService {
         model: &str,
         inputs: Vec<Tensor>,
     ) -> std::result::Result<PendingResponse, Rejection> {
-        self.submit_with_deadline(model, inputs, self.config.default_deadline)
+        self.submit_shared(model, Arc::new(inputs), self.config.default_deadline)
     }
 
     /// Submits a request with an explicit deadline (`None` = no deadline,
@@ -362,7 +437,26 @@ impl InferenceService {
         inputs: Vec<Tensor>,
         deadline: Option<Duration>,
     ) -> std::result::Result<PendingResponse, Rejection> {
-        let Some(server) = self.servers.get(model) else {
+        self.submit_shared(model, Arc::new(inputs), deadline)
+    }
+
+    /// Submits a request whose inputs the caller keeps alive elsewhere —
+    /// the zero-copy path: the `Arc` is cloned, the tensor data is not.
+    /// The RPC layer's sealed-tensor arenas re-submit one upload this way
+    /// any number of times; workers lend the shared tensors to
+    /// `invoke_batch` by reference.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`Rejection`] when admission control refuses the request.
+    pub fn submit_shared(
+        &self,
+        model: &str,
+        inputs: Arc<Vec<Tensor>>,
+        deadline: Option<Duration>,
+    ) -> std::result::Result<PendingResponse, Rejection> {
+        let servers = self.servers.read();
+        let Some(server) = servers.get(model) else {
             return Err(Rejection {
                 model: model.to_string(),
                 request_id: 0,
@@ -435,26 +529,27 @@ impl InferenceService {
 
     /// Current queue depth of a model.
     pub fn queue_depth(&self, model: &str) -> Option<usize> {
-        self.servers.get(model).map(|s| s.queue.len())
+        self.servers.read().get(model).map(|s| s.queue.len())
     }
 
     /// A live snapshot of a model's counters.
     pub fn stats(&self, model: &str) -> Option<ModelStats> {
         self.servers
+            .read()
             .get(model)
             .map(|s| s.counters.snapshot(model, s.worker_count))
     }
 
     /// Holds every worker pool (admission continues; queues fill).
     pub fn pause(&self) {
-        for server in self.servers.values() {
+        for server in self.servers.read().values() {
             server.queue.pause();
         }
     }
 
     /// Releases paused worker pools.
     pub fn resume(&self) {
-        for server in self.servers.values() {
+        for server in self.servers.read().values() {
             server.queue.resume();
         }
     }
@@ -471,8 +566,8 @@ impl InferenceService {
     /// [`ServeError::UnknownModel`] for unknown names; otherwise propagates
     /// differential-run errors.
     pub fn drift_check(&self, model: &str) -> Result<Option<DriftAlarm>> {
-        let server = self
-            .servers
+        let servers = self.servers.read();
+        let server = servers
             .get(model)
             .ok_or_else(|| ServeError::UnknownModel(model.to_string()))?;
         let Some(validator) = &server.validator else {
@@ -488,6 +583,7 @@ impl InferenceService {
     /// The online validator's counters for `model`, when validation is on.
     pub fn validator_stats(&self, model: &str) -> Option<OnlineValidatorStats> {
         self.servers
+            .read()
             .get(model)?
             .validator
             .as_ref()
@@ -498,32 +594,49 @@ impl InferenceService {
     /// the final accounting. Deterministic: every request admitted before
     /// the call completes (or sheds on its deadline) before this returns,
     /// and the report's books balance per model.
-    pub fn shutdown(mut self) -> ServeReport {
-        self.shutdown_in_place()
+    pub fn shutdown(self) -> ServeReport {
+        self.drain()
     }
 
-    fn shutdown_in_place(&mut self) -> ServeReport {
+    /// Like [`InferenceService::shutdown`], but callable through a shared
+    /// reference: the RPC front door drains the service while its
+    /// connection handlers still hold it, answering their in-flight
+    /// requests before the sockets close. Idempotent — a second call finds
+    /// closed queues and no workers left to join, and just re-snapshots the
+    /// books.
+    pub fn drain(&self) -> ServeReport {
         self.accepting.store(false, Ordering::Release);
-        for server in self.servers.values() {
-            // close() overrides pause, so a paused service still drains.
-            server.queue.close();
-        }
-        for server in self.servers.values_mut() {
-            for handle in server.workers.drain(..) {
-                let _ = handle.join();
+        {
+            let servers = self.servers.read();
+            for server in servers.values() {
+                // close() overrides pause, so a paused service still
+                // drains.
+                server.queue.close();
             }
+        }
+        // Take the worker handles under the write lock, but join them
+        // outside it: a worker answering its last requests must not be able
+        // to dead-lock against a reader of the map.
+        let handles: Vec<JoinHandle<()>> = {
+            let mut servers = self.servers.write();
+            servers
+                .values_mut()
+                .flat_map(|s| s.workers.drain(..))
+                .collect()
+        };
+        for handle in handles {
+            let _ = handle.join();
         }
         if let Some(sink) = &self.sink {
             let _ = sink.flush();
         }
+        let servers = self.servers.read();
         ServeReport {
-            models: self
-                .servers
+            models: servers
                 .iter()
                 .map(|(name, s)| s.counters.snapshot(name, s.worker_count))
                 .collect(),
-            validators: self
-                .servers
+            validators: servers
                 .iter()
                 .filter_map(|(name, s)| s.validator.as_ref().map(|v| (name.clone(), v.stats())))
                 .collect(),
@@ -534,7 +647,7 @@ impl InferenceService {
 
 impl Drop for InferenceService {
     fn drop(&mut self) {
-        self.shutdown_in_place();
+        self.drain();
     }
 }
 
@@ -644,7 +757,7 @@ fn run_batch(ctx: &WorkerCtx, backend: &mut dyn ExecutionBackend, requests: Vec<
                 if request.sampled {
                     ctx.counters.sampled.fetch_add(1, Ordering::AcqRel);
                     if let Some(validator) = &ctx.validator {
-                        validator.observe(&request.inputs);
+                        validator.observe(request.inputs.as_slice());
                     }
                 }
                 let total_latency = request.admitted_at.elapsed();

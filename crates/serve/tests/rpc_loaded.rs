@@ -1,0 +1,306 @@
+//! Loaded correctness proof for the RPC front door: results through the
+//! TCP door are bitwise-identical to in-process `InferenceService`
+//! submits (sealed and inline alike), ≥32 concurrent sessions survive,
+//! the wire `Load` verb grows the model set at runtime, and the
+//! `exray-lint` gate refuses Deny graphs over the wire with the report in
+//! the error frame — pinned against the whole `GraphMutation` corpus.
+//!
+//! All servers bind `127.0.0.1:0` and read back the assigned address.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use mlexray_nn::analysis::mutate::GraphMutation;
+use mlexray_nn::analysis::Severity;
+use mlexray_nn::{Activation, BackendSpec, GraphBuilder, Model, Padding};
+use mlexray_serve::rpc::{ErrorCode, RpcClient, RpcServer, RpcServerConfig, WireSpec};
+use mlexray_serve::{BatchPolicy, InferenceService, ModelRegistry, MonitorPolicy, ServiceConfig};
+use mlexray_tensor::{Shape, Tensor};
+
+fn serving_model(name: &str) -> Model {
+    let mut b = GraphBuilder::new(name);
+    let x = b.input("x", Shape::nhwc(1, 8, 8, 3));
+    let w1 = b.constant(
+        "w1",
+        Tensor::from_f32(
+            Shape::new(vec![4, 3, 3, 3]),
+            (0..108).map(|i| (i as f32 * 0.173).sin() * 0.3).collect(),
+        )
+        .unwrap(),
+    );
+    let c1 = b
+        .conv2d("conv1", x, w1, None, 2, Padding::Same, Activation::Relu)
+        .unwrap();
+    let w2 = b.constant(
+        "w2",
+        Tensor::from_f32(
+            Shape::new(vec![8, 1, 1, 4]),
+            (0..32).map(|i| (i as f32 * 0.311).cos() * 0.4).collect(),
+        )
+        .unwrap(),
+    );
+    let c2 = b
+        .conv2d("conv2", c1, w2, None, 1, Padding::Same, Activation::None)
+        .unwrap();
+    let m = b.mean("gap", c2).unwrap();
+    let s = b.softmax("softmax", m).unwrap();
+    b.output(s);
+    Model::checkpoint(b.finish().unwrap(), name)
+}
+
+fn frame_input(client: usize, index: usize) -> Vec<Tensor> {
+    let seed = client * 1000 + index;
+    vec![Tensor::from_f32(
+        Shape::nhwc(1, 8, 8, 3),
+        (0..192)
+            .map(|j| ((seed * 192 + j) as f32 * 0.0137).sin())
+            .collect(),
+    )
+    .unwrap()]
+}
+
+fn service_config() -> ServiceConfig {
+    ServiceConfig {
+        workers_per_model: 2,
+        queue_capacity: 256,
+        batch: BatchPolicy::windowed(4, Duration::from_micros(200)),
+        monitor: MonitorPolicy::off(),
+        ..Default::default()
+    }
+}
+
+fn start_server() -> RpcServer {
+    let registry = ModelRegistry::new();
+    registry
+        .register_model("m", serving_model("m"), BackendSpec::optimized())
+        .unwrap();
+    let service = InferenceService::start(&registry, service_config(), None).unwrap();
+    RpcServer::start(
+        "127.0.0.1:0",
+        service,
+        registry,
+        RpcServerConfig::default(),
+        None,
+    )
+    .unwrap()
+}
+
+/// In-process ground truth for one frame: a fresh service, one submit.
+fn in_process_outputs(inputs: Vec<Tensor>) -> Vec<Tensor> {
+    let registry = ModelRegistry::new();
+    registry
+        .register_model("m", serving_model("m"), BackendSpec::optimized())
+        .unwrap();
+    let service = InferenceService::start(&registry, service_config(), None).unwrap();
+    let outputs = service.submit("m", inputs).unwrap().wait().unwrap().outputs;
+    service.shutdown();
+    outputs
+}
+
+/// The acceptance-criteria core: Seal-then-re-Infer through TCP is
+/// bitwise-identical to in-process submits, and inline upload agrees.
+#[test]
+fn sealed_and_inline_wire_inference_is_bitwise_identical_to_in_process() {
+    let server = start_server();
+    let mut client = RpcClient::connect(server.local_addr()).unwrap();
+
+    let inputs = frame_input(0, 0);
+    let expected = in_process_outputs(inputs.clone());
+
+    let inline = client.infer("m", inputs.clone(), None).unwrap();
+    assert_eq!(
+        inline.outputs, expected,
+        "inline upload must be bitwise identical"
+    );
+
+    let handle = client.seal(inputs).unwrap();
+    for round in 0..5 {
+        let sealed = client.infer_sealed("m", handle, None).unwrap();
+        assert_eq!(
+            sealed.outputs, expected,
+            "sealed re-infer round {round} must be bitwise identical"
+        );
+    }
+    // The sealed rounds moved no tensors: each Infer frame is tiny.
+    let report = server.shutdown();
+    assert!(report.requests_served >= 7);
+    for stats in &report.serve.models {
+        assert!(stats.is_balanced(), "unbalanced books: {stats:?}");
+    }
+}
+
+/// ≥32 concurrent sessions through the TCP door, each sealing once and
+/// re-inferring repeatedly; every answer must match that client's own
+/// in-process ground truth bitwise.
+#[test]
+fn thirty_two_concurrent_sessions_stay_bitwise_correct() {
+    const SESSIONS: usize = 32;
+    const REINFERS: usize = 4;
+
+    let server = start_server();
+    let addr = server.local_addr();
+
+    // Ground truths computed once, before the hammering.
+    let expected: Arc<Vec<Vec<Tensor>>> = Arc::new(
+        (0..SESSIONS)
+            .map(|c| in_process_outputs(frame_input(c, 0)))
+            .collect(),
+    );
+
+    let threads: Vec<_> = (0..SESSIONS)
+        .map(|c| {
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                let mut client = RpcClient::connect(addr).unwrap();
+                let inputs = frame_input(c, 0);
+                // Inline first…
+                let inline = client.infer("m", inputs.clone(), None).unwrap();
+                assert_eq!(inline.outputs, expected[c], "session {c} inline diverged");
+                // …then seal once and re-infer by handle.
+                let handle = client.seal(inputs).unwrap();
+                let before = client.bytes_sent();
+                for r in 0..REINFERS {
+                    let sealed = client.infer_sealed("m", handle, None).unwrap();
+                    assert_eq!(
+                        sealed.outputs, expected[c],
+                        "session {c} sealed round {r} diverged"
+                    );
+                }
+                // Re-infers move only the handle — far less than one
+                // 192-float tensor per request.
+                let sealed_upload = client.bytes_sent() - before;
+                assert!(
+                    sealed_upload < (192 * 4 * REINFERS) as u64 / 4,
+                    "sealed re-infers moved {sealed_upload} bytes"
+                );
+                client.unseal(handle).unwrap();
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("session thread must not panic");
+    }
+
+    let report = server.shutdown();
+    assert_eq!(report.connections_accepted, SESSIONS as u64);
+    assert_eq!(
+        report.requests_served,
+        (SESSIONS * (REINFERS + 3)) as u64,
+        "infer + seal + unseal + inline per session"
+    );
+    for stats in &report.serve.models {
+        assert!(stats.is_balanced(), "unbalanced books: {stats:?}");
+    }
+}
+
+/// The wire `Load` verb: a zoo family and an uploaded graph both join the
+/// served set at runtime; re-loading is idempotent.
+#[test]
+fn wire_load_grows_the_served_model_set() {
+    let server = start_server();
+    let mut client = RpcClient::connect(server.local_addr()).unwrap();
+
+    // Zoo load by family name.
+    let (model, existing) = client
+        .load_zoo("mini_mobilenet_v2", 24, 8, 1, WireSpec::Optimized)
+        .unwrap();
+    assert_eq!(model, "mini_mobilenet_v2");
+    assert!(!existing);
+    let input = vec![Tensor::filled_f32(Shape::nhwc(1, 24, 24, 3), 0.1)];
+    assert_eq!(
+        client
+            .infer("mini_mobilenet_v2", input, None)
+            .unwrap()
+            .outputs
+            .len(),
+        1
+    );
+    // Idempotent re-load.
+    let (_, existing) = client
+        .load_zoo("mini_mobilenet_v2", 24, 8, 1, WireSpec::Optimized)
+        .unwrap();
+    assert!(existing);
+    // Unknown family is a typed refusal.
+    let err = client
+        .load_zoo("not_a_family", 24, 8, 1, WireSpec::Optimized)
+        .unwrap_err();
+    assert_eq!(err.server_code(), Some(ErrorCode::UnknownModel));
+
+    // Uploaded graph JSON (a serialized Model).
+    let json = serde_json::to_string(&serving_model("uploaded")).unwrap();
+    let (model, existing) = client
+        .load_graph_json("uploaded", &json, WireSpec::Reference)
+        .unwrap();
+    assert_eq!(model, "uploaded");
+    assert!(!existing);
+    let out = client.infer("uploaded", frame_input(5, 5), None).unwrap();
+    assert_eq!(out.outputs.len(), 1);
+    // Garbage JSON is Malformed, not a hang or a crash.
+    let err = client
+        .load_graph_json("junk", "{not json", WireSpec::Reference)
+        .unwrap_err();
+    assert_eq!(err.server_code(), Some(ErrorCode::Malformed));
+
+    let status = client.status().unwrap();
+    let names: Vec<&str> = status.models.iter().map(|m| m.name.as_str()).collect();
+    assert_eq!(names, vec!["m", "mini_mobilenet_v2", "uploaded"]);
+    server.shutdown();
+}
+
+/// `exray-lint` gating at the door, pinned by the GraphMutation corpus:
+/// every Deny-severity mutation is refused over the wire with
+/// `LintRejected` and the report JSON (naming the expected lint code) in
+/// the error detail; Warn-severity mutations still load.
+#[test]
+fn wire_load_is_gated_by_exray_lint_on_the_mutation_corpus() {
+    let server = start_server();
+    let mut client = RpcClient::connect(server.local_addr()).unwrap();
+    let base = serving_model("base");
+
+    let mut denies_exercised = 0;
+    for (i, mutation) in GraphMutation::ALL.iter().enumerate() {
+        let Some(graph) = mutation.apply(&base.graph) else {
+            continue; // No site for this mutation on a float graph.
+        };
+        let name = format!("mutant_{i}");
+        let mut model = serving_model(&name);
+        model.graph = graph;
+        let json = serde_json::to_string(&model).unwrap();
+        let code = mutation.expected_code();
+        if code.severity() == Severity::Deny {
+            denies_exercised += 1;
+            let err = client
+                .load_graph_json(&name, &json, WireSpec::Optimized)
+                .unwrap_err();
+            assert_eq!(
+                err.server_code(),
+                Some(ErrorCode::LintRejected),
+                "{mutation:?} must be denied at the door"
+            );
+            match err {
+                mlexray_serve::rpc::ClientError::Server { detail, .. } => {
+                    assert!(
+                        detail.contains(&code.to_string()),
+                        "{mutation:?}: report JSON must name {code}, got: {detail}"
+                    );
+                }
+                other => panic!("expected server error, got {other:?}"),
+            }
+            // The denied model must not be serving.
+            let err = client.infer(&name, frame_input(0, i), None).unwrap_err();
+            assert_eq!(err.server_code(), Some(ErrorCode::UnknownModel));
+        } else {
+            // Warn-level hygiene findings do not block the door.
+            let (loaded, existing) = client
+                .load_graph_json(&name, &json, WireSpec::Optimized)
+                .unwrap();
+            assert_eq!(loaded, name);
+            assert!(!existing);
+        }
+    }
+    assert!(
+        denies_exercised >= 2,
+        "corpus must exercise Deny mutations (got {denies_exercised})"
+    );
+    server.shutdown();
+}

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Collects the headline numbers of the perf experiments (fig_batching,
+# fig_serving, fig_rpc) into target/experiment-artifacts/BENCH_PR7.json
+# (schema: experiment -> metric -> value), via the bench_record binary.
+# Stale structured artifacts are removed first, so every number in the
+# record comes from the build under test; experiments whose artifacts are
+# then missing are run by bench_record itself, in release mode.
+#
+# Usage: scripts/bench-record.sh [--quick]
+#   --quick   run the experiments at reduced scale (MLEXRAY_QUICK=1)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+[[ "${1:-}" == "--quick" ]] && export MLEXRAY_QUICK=1
+
+ARTIFACTS="${CARGO_TARGET_DIR:-target}/experiment-artifacts"
+rm -f "$ARTIFACTS"/fig_batching_metrics.json \
+      "$ARTIFACTS"/fig_serving_metrics.json \
+      "$ARTIFACTS"/fig_rpc_metrics.json \
+      "$ARTIFACTS"/BENCH_PR7.json
+
+cargo run --release -q -p mlexray-bench --bin bench_record

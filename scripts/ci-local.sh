@@ -40,6 +40,12 @@ MLEXRAY_QUICK=1 cargo test -q -p mlexray-bench --test experiments_smoke fig_serv
 step "cargo build --release"
 cargo build --release
 
+step "rpc suite (release: protocol robustness + 32-session loaded proof + fig_rpc floors + loadgen + BENCH_PR7)"
+cargo test --release -q -p mlexray-serve --test rpc_protocol --test rpc_loaded
+MLEXRAY_QUICK=1 MLEXRAY_ENFORCE_SCALING=1 cargo test --release -q -p mlexray-bench --test experiments_smoke fig_rpc
+MLEXRAY_QUICK=1 cargo run --release -q -p mlexray-bench --bin rpc_loadgen
+scripts/bench-record.sh --quick
+
 step "exray-lint over the zoo and goldens (fails on any Deny finding)"
 cargo run --release -q -p mlexray-models --bin exray-lint -- --zoo --goldens
 
