@@ -1,0 +1,7 @@
+//! Prints the metrics figure: bounded latency-histogram quantile fidelity
+//! and footprint, the amortized cost of a lock-free `record`, and a live
+//! `Metrics` scrape held against the drained serving books.
+fn main() {
+    let scale = mlexray_bench::support::Scale::from_env();
+    println!("{}", mlexray_bench::experiments::fig_metrics::run(&scale));
+}

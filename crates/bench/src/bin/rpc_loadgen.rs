@@ -12,6 +12,11 @@
 //! smoke CI runs on every PR. Against an external server it first issues an
 //! idempotent zoo `Load`, so the target model always exists.
 //!
+//! With `--metrics`, a dedicated session scrapes the `Metrics` verb
+//! while the load runs — every exposition must parse — and once the load
+//! (and, on the loopback server, the drain) completes, a final scrape is
+//! held against the drained books counter for counter.
+//!
 //! Environment knobs:
 //!
 //! | variable | default | meaning |
@@ -23,6 +28,7 @@
 //! | `MLEXRAY_LOADGEN_RATE_HZ` | 40 | mean Poisson arrival rate |
 //! | `MLEXRAY_LOADGEN_DEADLINE_MS` | _(none)_ | per-request deadline |
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 use mlexray_bench::support::Scale;
@@ -30,6 +36,7 @@ use mlexray_datasets::synth_image::{self, SynthImageSpec};
 use mlexray_datasets::{InMemoryPlayback, TrafficGenerator};
 use mlexray_models::canonical_preprocess;
 use mlexray_nn::BackendSpec;
+use mlexray_serve::metrics::{parse_exposition, sample};
 use mlexray_serve::rpc::{ErrorCode, RpcClient, RpcServer, RpcServerConfig, WireSpec};
 use mlexray_serve::{BatchPolicy, InferenceService, ModelRegistry, MonitorPolicy, ServiceConfig};
 use mlexray_tensor::Tensor;
@@ -88,6 +95,9 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .map(Duration::from_millis);
     let token = std::env::var("MLEXRAY_RPC_TOKEN").ok();
+    // `--metrics`: scrape the Prometheus exposition while the load runs
+    // and hold the final scrape against the drained books.
+    let metrics_mode = std::env::args().any(|a| a == "--metrics");
 
     // No target address: stand up a loopback server on an ephemeral port.
     let (addr, loopback) = match std::env::var("MLEXRAY_RPC_ADDR") {
@@ -173,9 +183,32 @@ fn main() {
     println!(
         "rpc-loadgen: {requests} arrivals @ {rate_hz:.1} req/s over {sessions} sessions -> {addr}"
     );
+    // The scraper runs on its own session so a slow infer can't block a
+    // scrape (the protocol is one request in flight per connection).
+    let mut scraper = metrics_mode.then(|| {
+        let mut client = RpcClient::connect(addr.as_str()).expect("scraper connects");
+        if let Some(token) = &token {
+            client.hello(token).expect("token accepted");
+        }
+        client
+    });
+    let stop_scraper = AtomicBool::new(false);
     let started = Instant::now();
-    let tallies: Vec<SessionTally> = std::thread::scope(|scope| {
+    let (tallies, live_scrapes): (Vec<SessionTally>, u64) = std::thread::scope(|scope| {
         let arrivals = &arrivals;
+        let stop = &stop_scraper;
+        let scraper_handle = scraper.as_mut().map(|client| {
+            scope.spawn(move || {
+                let mut scrapes = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    let text = client.metrics().expect("Metrics answers under load");
+                    parse_exposition(&text).expect("exposition parses under load");
+                    scrapes += 1;
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                scrapes
+            })
+        });
         let handles: Vec<_> = clients
             .iter_mut()
             .enumerate()
@@ -206,10 +239,13 @@ fn main() {
                 })
             })
             .collect();
-        handles
+        let tallies = handles
             .into_iter()
             .map(|h| h.join().expect("session thread"))
-            .collect()
+            .collect();
+        stop.store(true, Ordering::Release);
+        let scrapes = scraper_handle.map_or(0, |h| h.join().expect("scraper thread"));
+        (tallies, scrapes)
     });
     let elapsed = started.elapsed().as_secs_f64();
 
@@ -247,6 +283,45 @@ fn main() {
     drop(clients);
 
     if let Some(server) = loopback {
+        if let Some(mut scraper) = scraper.take() {
+            // Drain the books, then hold the final exposition against them
+            // counter for counter (Metrics keeps answering during drain).
+            server.begin_drain();
+            let drained = server.service().drain();
+            let books = drained
+                .models
+                .iter()
+                .find(|m| m.model == MODEL)
+                .expect("loopback model books")
+                .clone();
+            let text = scraper.metrics().expect("Metrics answers during drain");
+            let samples = parse_exposition(&text).expect("final exposition parses");
+            let labels = &[("model", MODEL)][..];
+            let series = |name: &str| {
+                sample(&samples, name, labels).unwrap_or_else(|| panic!("missing series {name}"))
+                    as u64
+            };
+            assert_eq!(
+                series("mlexray_serve_requests_offered_total"),
+                books.offered
+            );
+            assert_eq!(
+                series("mlexray_serve_requests_admitted_total"),
+                books.admitted
+            );
+            assert_eq!(
+                series("mlexray_serve_requests_completed_total"),
+                books.completed
+            );
+            assert_eq!(series("mlexray_serve_requests_failed_total"), books.failed);
+            assert_eq!(books.completed, completed, "books vs client-side tally");
+            println!(
+                "metrics: {live_scrapes} live scrapes parsed; final exposition \
+                 {} B, {} series, counters match the drained books",
+                text.len(),
+                samples.len(),
+            );
+        }
         let report = server.shutdown();
         let balanced = report.serve.models.iter().all(|m| m.is_balanced());
         println!(
@@ -256,5 +331,15 @@ fn main() {
         assert!(balanced, "loopback books must balance");
         assert_eq!(failed, 0, "loadgen saw hard failures");
         assert_eq!(completed + shed, requests as u64, "arrivals unaccounted");
+    } else if let Some(mut scraper) = scraper.take() {
+        // External target: no books to drain here — the final scrape must
+        // still parse as a valid exposition.
+        let text = scraper.metrics().expect("final scrape answers");
+        let samples = parse_exposition(&text).expect("final exposition parses");
+        println!(
+            "metrics: {live_scrapes} live scrapes parsed; final exposition {} B, {} series",
+            text.len(),
+            samples.len(),
+        );
     }
 }

@@ -9,6 +9,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig_batching;
 pub mod fig_differential;
+pub mod fig_metrics;
 pub mod fig_rpc;
 pub mod fig_scaling;
 pub mod fig_serving;

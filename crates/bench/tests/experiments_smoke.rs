@@ -1,6 +1,6 @@
 //! Smoke tests for the paper-artifact experiment layer: every experiment
 //! `run()` must produce non-empty formatted output at quick scale, so the
-//! 15 `src/bin/*` binaries can't silently rot. Each output is also recorded
+//! `src/bin/*` binaries can't silently rot. Each output is also recorded
 //! as a JSON artifact under `target/experiment-artifacts/` — CI uploads the
 //! directory, so the perf/accuracy trajectory is inspectable per PR.
 //!
@@ -279,6 +279,53 @@ fn fig_rpc_seals_beat_uploads_and_stay_bitwise_correct() {
     assert!(result.upload_fps > 0.0 && result.sealed_fps > 0.0, "{out}");
     // The structured metrics artifact rides along with the rendered one.
     let metrics = mlexray_bench::support::artifact_dir().join("fig_rpc_metrics.json");
+    assert!(metrics.exists(), "structured metrics artifact missing");
+}
+
+#[test]
+fn fig_metrics_bounds_quantile_error_and_matches_drained_books() {
+    let mut result = None;
+    let out = smoke("fig_metrics", |scale| {
+        let (r, rendered) = experiments::fig_metrics::run_measured(scale);
+        result = Some(r);
+        rendered
+    });
+    let result = result.expect("smoke ran the closure");
+    // The histogram's design bound is a hard bar at any scale: quantile
+    // estimates within one sub-bucket of relative error, never below the
+    // exact percentile (measure() asserts the one-sided direction itself).
+    assert!(
+        result.max_quantile_rel_err <= result.design_bound,
+        "quantile error {:.4} exceeded the one-bucket bound {:.3}:\n{out}",
+        result.max_quantile_rel_err,
+        result.design_bound
+    );
+    assert!(
+        result.footprint_constant,
+        "histogram footprint moved under load — accounting is not O(1):\n{out}"
+    );
+    assert!(
+        result.histogram_bytes * 100 < result.vec_equivalent_bytes,
+        "bounded histogram ({} B) must undercut the unbounded Vec \
+         equivalent ({} B) by orders of magnitude:\n{out}",
+        result.histogram_bytes,
+        result.vec_equivalent_bytes
+    );
+    assert!(
+        result.counters_match,
+        "the wire exposition must equal the drained books exactly:\n{out}"
+    );
+    assert!(
+        result.balanced,
+        "drained books must balance under the scrape phase:\n{out}"
+    );
+    assert_eq!(
+        result.scrape_completed,
+        experiments::fig_metrics::SCRAPE_REQUESTS as u64
+    );
+    assert!(result.exposition_series > 10, "{out}");
+    // The structured metrics artifact rides along with the rendered one.
+    let metrics = mlexray_bench::support::artifact_dir().join("fig_metrics_metrics.json");
     assert!(metrics.exists(), "structured metrics artifact missing");
 }
 

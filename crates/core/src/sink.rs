@@ -315,6 +315,42 @@ pub struct SinkBackpressure {
     pub persisted: u64,
 }
 
+impl SinkBackpressure {
+    /// Stable `(name, help, value)` triples for metrics exporters. The
+    /// names are wire-stable suffixes (exporters prepend their own
+    /// namespace, e.g. `mlexray_sink_<name>_total`); appending new
+    /// counters is allowed, renaming existing ones is not.
+    pub fn export(&self) -> [(&'static str, &'static str, u64); 5] {
+        [
+            (
+                "enqueued",
+                "Records successfully enqueued to the sink writer thread.",
+                self.enqueued,
+            ),
+            (
+                "dropped",
+                "Records dropped at enqueue (channel full or sink closed).",
+                self.dropped,
+            ),
+            (
+                "blocked",
+                "Enqueues that blocked on a full channel (lossless mode).",
+                self.blocked,
+            ),
+            (
+                "batches",
+                "Batches handed to the underlying sink.",
+                self.batches,
+            ),
+            (
+                "persisted",
+                "Records persisted through those batches.",
+                self.persisted,
+            ),
+        ]
+    }
+}
+
 #[derive(Debug, Default)]
 struct BackpressureCounters {
     enqueued: AtomicU64,

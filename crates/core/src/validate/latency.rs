@@ -29,10 +29,15 @@ impl LayerLatency {
 /// Mean per-layer latency, in execution order, with total shares.
 pub fn per_layer_latency(logs: &LogSet) -> Vec<LayerLatency> {
     let mut layers = Vec::new();
-    for (index, key) in logs.keys_with_prefix("layer/").iter().enumerate() {
-        if !key.ends_with("/latency_ns") {
-            continue;
-        }
+    // Filter to latency keys *before* enumerating: interleaved non-latency
+    // layer records (output dumps, summaries) must not make the reported
+    // execution-order indices skip.
+    for (index, key) in logs
+        .keys_with_prefix("layer/")
+        .into_iter()
+        .filter(|key| key.ends_with("/latency_ns"))
+        .enumerate()
+    {
         let records = logs.all(key);
         let mut sum = 0.0f64;
         let mut n = 0usize;
@@ -45,7 +50,7 @@ pub fn per_layer_latency(logs: &LogSet) -> Vec<LayerLatency> {
         if n > 0 {
             layers.push(LayerLatency {
                 index,
-                key: (*key).to_string(),
+                key: key.to_string(),
                 mean_ns: sum / n as f64,
                 share: 0.0,
             });
@@ -117,6 +122,30 @@ mod tests {
         let s = stragglers(&l, 0.5);
         assert_eq!(s.len(), 1);
         assert_eq!(s[0].layer_name(), "b");
+    }
+
+    #[test]
+    fn indices_stay_contiguous_with_interleaved_layer_records() {
+        // Non-latency layer records (output summaries, text notes) between
+        // latency keys must not make execution-order indices skip.
+        let note = |frame: u64, key: &str| LogRecord {
+            frame,
+            key: key.into(),
+            value: LogValue::Text("checkpoint".into()),
+        };
+        let logs = LogSet::new(vec![
+            lat(0, "layer/a/latency_ns", 100),
+            note(0, "layer/a/output"),
+            note(0, "layer/b/summary"),
+            lat(0, "layer/b/latency_ns", 200),
+            note(0, "layer/c/output"),
+            lat(0, "layer/c/latency_ns", 300),
+        ]);
+        let l = per_layer_latency(&logs);
+        assert_eq!(l.len(), 3);
+        let indices: Vec<usize> = l.iter().map(|layer| layer.index).collect();
+        assert_eq!(indices, vec![0, 1, 2], "indices must be contiguous: {l:?}");
+        assert_eq!(l[2].layer_name(), "c");
     }
 
     #[test]

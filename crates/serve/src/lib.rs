@@ -39,6 +39,11 @@
 //!   [`InferenceService::drift_check`] replays that reservoir against the
 //!   reference backend and raises localized drift alarms without stopping
 //!   the service.
+//! * **Production metrics** — the [`metrics`] module: bounded lock-free
+//!   latency histograms (O(1) memory in request count), a unified
+//!   [`Collect`](metrics::Collect) registry over the serve pools, the log
+//!   sinks and the RPC session layer, and Prometheus text exposition
+//!   served through the wire protocol's `Metrics` verb.
 //!
 //! # Example
 //!
@@ -75,6 +80,7 @@
 #![warn(missing_docs)]
 
 mod error;
+pub mod metrics;
 mod queue;
 mod registry;
 mod request;

@@ -343,6 +343,21 @@ impl RpcClient {
         })
     }
 
+    /// `Metrics`: scrape the server's Prometheus text exposition. Keeps
+    /// answering during drain; requires an authenticated session when the
+    /// server runs with a token table.
+    ///
+    /// # Errors
+    ///
+    /// Transport, wire, or server-reported errors.
+    pub fn metrics(&mut self) -> ClientResult<String> {
+        let response = self.roundtrip(&RpcRequest::Metrics)?;
+        Self::expect(response, |r| match r {
+            RpcResponse::Metrics { exposition } => Ok(exposition),
+            other => Err(other),
+        })
+    }
+
     /// The underlying stream (robustness tests poke raw bytes through it).
     pub fn stream(&mut self) -> &mut TcpStream {
         &mut self.stream

@@ -22,7 +22,7 @@ use std::collections::BTreeMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -32,6 +32,7 @@ use mlexray_core::{LogRecord, LogSink, LogValue};
 use mlexray_nn::{Graph, Model};
 use mlexray_tensor::Tensor;
 
+use crate::metrics::{Collect, MetricsBuilder, MetricsRegistry};
 use crate::rpc::wire::{
     self, ErrorCode, InferPayload, LoadSource, ModelStatus, RpcRequest, RpcResponse, SealHandle,
     StatusReply, WireError, WireInferResponse,
@@ -91,10 +92,15 @@ pub struct RpcReport {
 }
 
 struct Inner {
-    service: InferenceService,
+    /// Shared so the service doubles as a [`Collect`] source in `metrics`.
+    service: Arc<InferenceService>,
     registry: ModelRegistry,
     config: RpcServerConfig,
     sink: Option<Arc<dyn LogSink>>,
+    metrics: MetricsRegistry,
+    /// Per-(tenant, verb, outcome) request counts for the exposition. Off
+    /// the latency-critical path: only touched once per RPC frame.
+    verb_counters: Mutex<BTreeMap<(String, String, String), u64>>,
     draining: AtomicBool,
     stopping: AtomicBool,
     open_connections: AtomicU32,
@@ -106,6 +112,79 @@ struct Inner {
     bytes_out: AtomicU64,
     sealed_bytes: AtomicU64,
     conn_handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// The RPC door's own metrics source. Holds a weak reference: `Inner` owns
+/// the registry that owns the collectors, so a strong reference here would
+/// cycle and leak the whole server.
+struct DoorMetrics(Weak<Inner>);
+
+impl Collect for DoorMetrics {
+    fn collect(&self, out: &mut MetricsBuilder) {
+        let Some(inner) = self.0.upgrade() else {
+            return;
+        };
+        out.counter(
+            "mlexray_rpc_connections_accepted_total",
+            "Connections accepted and served.",
+            &[],
+            inner.connections_accepted.load(Ordering::Acquire),
+        );
+        out.counter(
+            "mlexray_rpc_connections_refused_total",
+            "Connections refused during drain.",
+            &[],
+            inner.connections_refused.load(Ordering::Acquire),
+        );
+        out.counter(
+            "mlexray_rpc_requests_served_total",
+            "Request frames answered with a success response.",
+            &[],
+            inner.requests_served.load(Ordering::Acquire),
+        );
+        out.counter(
+            "mlexray_rpc_errors_sent_total",
+            "Error frames sent (protocol + admission failures).",
+            &[],
+            inner.errors_sent.load(Ordering::Acquire),
+        );
+        out.counter(
+            "mlexray_rpc_bytes_in_total",
+            "Bytes read off client sockets.",
+            &[],
+            inner.bytes_in.load(Ordering::Acquire),
+        );
+        out.counter(
+            "mlexray_rpc_bytes_out_total",
+            "Bytes written to client sockets.",
+            &[],
+            inner.bytes_out.load(Ordering::Acquire),
+        );
+        out.gauge(
+            "mlexray_rpc_open_connections",
+            "Currently open client connections.",
+            &[],
+            f64::from(inner.open_connections.load(Ordering::Acquire)),
+        );
+        out.gauge(
+            "mlexray_rpc_sealed_bytes",
+            "Bytes currently sealed across all session arenas.",
+            &[],
+            inner.sealed_bytes.load(Ordering::Acquire) as f64,
+        );
+        for ((tenant, verb, outcome), count) in inner.verb_counters.lock().iter() {
+            out.counter(
+                "mlexray_rpc_requests_total",
+                "RPC requests by tenant, verb and outcome.",
+                &[
+                    ("tenant", tenant.as_str()),
+                    ("verb", verb.as_str()),
+                    ("outcome", outcome.as_str()),
+                ],
+                *count,
+            );
+        }
+    }
 }
 
 /// The RPC front door over an [`InferenceService`]. Binds a TCP listener
@@ -149,10 +228,12 @@ impl RpcServer {
             .local_addr()
             .map_err(|e| ServeError::Config(format!("rpc local_addr failed: {e}")))?;
         let inner = Arc::new(Inner {
-            service,
+            service: Arc::new(service),
             registry,
             config,
             sink,
+            metrics: MetricsRegistry::new(),
+            verb_counters: Mutex::new(BTreeMap::new()),
             draining: AtomicBool::new(false),
             stopping: AtomicBool::new(false),
             open_connections: AtomicU32::new(0),
@@ -165,6 +246,13 @@ impl RpcServer {
             sealed_bytes: AtomicU64::new(0),
             conn_handles: Mutex::new(Vec::new()),
         });
+        // The serve pools and the door itself feed every `Metrics` scrape;
+        // callers can register more sources (e.g. a ChannelSink) through
+        // `RpcServer::metrics`.
+        inner.metrics.register(inner.service.clone());
+        inner
+            .metrics
+            .register(Arc::new(DoorMetrics(Arc::downgrade(&inner))));
         let acceptor = {
             let inner = inner.clone();
             std::thread::Builder::new()
@@ -186,7 +274,16 @@ impl RpcServer {
 
     /// The inference service behind the door.
     pub fn service(&self) -> &InferenceService {
-        &self.inner.service
+        self.inner.service.as_ref()
+    }
+
+    /// The metrics registry the `Metrics` verb renders. The serve pools
+    /// and the RPC door are pre-registered; callers may add further
+    /// [`Collect`] sources (e.g. the telemetry
+    /// [`ChannelSink`](mlexray_core::ChannelSink)) so one scrape covers
+    /// the whole deployment.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.inner.metrics
     }
 
     /// The registry the `Load` verb registers into.
@@ -516,6 +613,7 @@ fn dispatch(
         && !matches!(frame.request, RpcRequest::Hello { .. } | RpcRequest::Status);
     if needs_auth {
         log_request(inner, conn_id, session, verb, "unauthenticated");
+        record_verb(inner, session, verb, "unauthenticated");
         send_error(
             inner,
             stream,
@@ -537,19 +635,35 @@ fn dispatch(
         } => handle_infer(inner, session, &model, payload, deadline_ms),
         RpcRequest::Unseal { handle } => handle_unseal(inner, session, handle),
         RpcRequest::Status => Ok(handle_status(inner, session)),
+        // Like Status, Metrics keeps answering during drain — drain is
+        // exactly when an operator wants to watch the books settle.
+        RpcRequest::Metrics => Ok(handle_metrics(inner)),
     };
     match reply {
         Ok(response) => {
             inner.requests_served.fetch_add(1, Ordering::AcqRel);
             log_request(inner, conn_id, session, verb, "ok");
+            record_verb(inner, session, verb, "ok");
             send_response(inner, stream, id, &response);
         }
         Err((code, message, detail)) => {
             log_request(inner, conn_id, session, verb, &code.to_string());
+            record_verb(inner, session, verb, &code.to_string());
             send_error(inner, stream, id, code, message, detail);
         }
     }
     true
+}
+
+/// Bumps the per-(tenant, verb, outcome) request counter feeding
+/// `mlexray_rpc_requests_total`.
+fn record_verb(inner: &Inner, session: &Session, verb: &str, outcome: &str) {
+    let tenant = session.tenant.clone().unwrap_or_else(|| "anonymous".into());
+    *inner
+        .verb_counters
+        .lock()
+        .entry((tenant, verb.to_string(), outcome.to_string()))
+        .or_insert(0) += 1;
 }
 
 type VerbResult = Result<RpcResponse, (ErrorCode, String, String)>;
@@ -755,7 +869,7 @@ fn handle_unseal(inner: &Inner, session: &mut Session, handle: SealHandle) -> Ve
     Ok(RpcResponse::Unseal { freed_bytes: freed })
 }
 
-fn handle_status(inner: &Inner, _session: &Session) -> RpcResponse {
+fn handle_status(inner: &Inner, session: &Session) -> RpcResponse {
     let draining = inner.draining.load(Ordering::Acquire);
     let models = inner
         .service
@@ -765,17 +879,36 @@ fn handle_status(inner: &Inner, _session: &Session) -> RpcResponse {
             let stats = inner.service.stats(&name)?;
             Some(ModelStatus {
                 name: name.clone(),
-                queue_depth: inner.service.queue_depth(&name).unwrap_or(0) as u32,
+                // Saturate, never truncate: a queue deeper than u32::MAX
+                // must not report as nearly empty.
+                queue_depth: inner
+                    .service
+                    .queue_depth(&name)
+                    .map_or(0, |depth| u32::try_from(depth).unwrap_or(u32::MAX)),
                 offered: stats.offered,
                 completed: stats.completed,
             })
         })
         .collect();
+    // Status never requires authentication, so on token-table servers an
+    // unauthenticated probe must only see its own session's arena usage,
+    // not the server-global figure.
+    let sealed_bytes = if inner.config.tokens.is_some() && session.tenant.is_none() {
+        session.arena_bytes
+    } else {
+        inner.sealed_bytes.load(Ordering::Acquire)
+    };
     RpcResponse::Status(StatusReply {
         ready: !draining && inner.service.is_accepting(),
         draining,
         open_connections: inner.open_connections.load(Ordering::Acquire),
-        sealed_bytes: inner.sealed_bytes.load(Ordering::Acquire),
+        sealed_bytes,
         models,
     })
+}
+
+fn handle_metrics(inner: &Inner) -> RpcResponse {
+    RpcResponse::Metrics {
+        exposition: inner.metrics.render(),
+    }
 }

@@ -38,8 +38,9 @@ use mlexray_tensor::{DType, QuantParams, Shape, Tensor};
 
 /// Protocol magic: `"XR"` little-endian, first on every frame payload.
 pub const MAGIC: u16 = 0x5852;
-/// Current protocol revision.
-pub const VERSION: u8 = 1;
+/// Current protocol revision. Version 2 added the `Metrics` verb
+/// (kind 7); v1 peers are refused with `UnsupportedVersion`.
+pub const VERSION: u8 = 2;
 /// Default upper bound on one frame's payload length (32 MiB).
 pub const DEFAULT_MAX_FRAME_LEN: u32 = 32 * 1024 * 1024;
 
@@ -54,6 +55,7 @@ const KIND_SEAL: u8 = 3;
 const KIND_INFER: u8 = 4;
 const KIND_UNSEAL: u8 = 5;
 const KIND_STATUS: u8 = 6;
+const KIND_METRICS: u8 = 7;
 const RESP_BIT: u8 = 0x80;
 const KIND_ERROR: u8 = 0xFF;
 
@@ -287,6 +289,11 @@ pub enum RpcRequest {
     },
     /// Health/readiness probe; also the graceful-drain observability verb.
     Status,
+    /// Scrapes the server's metrics registry: the reply carries the full
+    /// Prometheus text exposition (serve books, latency histograms, sink
+    /// backpressure, RPC session counters). Answered during drain;
+    /// requires authentication when the server runs with a token table.
+    Metrics,
 }
 
 impl RpcRequest {
@@ -298,6 +305,7 @@ impl RpcRequest {
             RpcRequest::Infer { .. } => KIND_INFER,
             RpcRequest::Unseal { .. } => KIND_UNSEAL,
             RpcRequest::Status => KIND_STATUS,
+            RpcRequest::Metrics => KIND_METRICS,
         }
     }
 
@@ -310,6 +318,7 @@ impl RpcRequest {
             RpcRequest::Infer { .. } => "infer",
             RpcRequest::Unseal { .. } => "unseal",
             RpcRequest::Status => "status",
+            RpcRequest::Metrics => "metrics",
         }
     }
 }
@@ -394,6 +403,11 @@ pub enum RpcResponse {
     },
     /// `Status` report.
     Status(StatusReply),
+    /// `Metrics` scrape: the Prometheus text exposition.
+    Metrics {
+        /// Rendered exposition (format 0.0.4); see `docs/metrics.md`.
+        exposition: String,
+    },
     /// The request failed; see [`ErrorCode`] for the taxonomy.
     Error {
         /// Typed failure code.
@@ -415,6 +429,7 @@ impl RpcResponse {
             RpcResponse::Infer(_) => KIND_INFER | RESP_BIT,
             RpcResponse::Unseal { .. } => KIND_UNSEAL | RESP_BIT,
             RpcResponse::Status(_) => KIND_STATUS | RESP_BIT,
+            RpcResponse::Metrics { .. } => KIND_METRICS | RESP_BIT,
             RpcResponse::Error { .. } => KIND_ERROR,
         }
     }
@@ -878,7 +893,7 @@ pub fn encode_request(id: u64, request: &RpcRequest) -> Vec<u8> {
             }
         }
         RpcRequest::Unseal { handle } => w.put_u64(*handle),
-        RpcRequest::Status => {}
+        RpcRequest::Status | RpcRequest::Metrics => {}
     }
     w.buf
 }
@@ -941,6 +956,7 @@ pub fn decode_request(payload: &[u8]) -> Result<RequestFrame, WireError> {
             handle: r.take_u64()?,
         },
         KIND_STATUS => RpcRequest::Status,
+        KIND_METRICS => RpcRequest::Metrics,
         other => return Err(WireError::UnknownKind { kind: other, id }),
     };
     r.expect_end()?;
@@ -982,6 +998,7 @@ pub fn encode_response(id: u64, response: &RpcResponse) -> Vec<u8> {
                 w.put_u64(m.completed);
             }
         }
+        RpcResponse::Metrics { exposition } => w.put_str(exposition),
         RpcResponse::Error {
             code,
             message,
@@ -1061,6 +1078,9 @@ pub fn decode_response(payload: &[u8]) -> Result<ResponseFrame, WireError> {
                 models,
             })
         }
+        k if k == KIND_METRICS | RESP_BIT => RpcResponse::Metrics {
+            exposition: r.take_str()?,
+        },
         KIND_ERROR => RpcResponse::Error {
             code: ErrorCode::from_u16(r.take_u16()?),
             message: r.take_str()?,
@@ -1198,6 +1218,7 @@ mod tests {
             },
             RpcRequest::Unseal { handle: 42 },
             RpcRequest::Status,
+            RpcRequest::Metrics,
         ];
         for (i, request) in requests.into_iter().enumerate() {
             let id = 1000 + i as u64;
@@ -1243,6 +1264,9 @@ mod tests {
                     completed: 98,
                 }],
             }),
+            RpcResponse::Metrics {
+                exposition: "# TYPE up gauge\nup 1\n".into(),
+            },
             RpcResponse::Error {
                 code: ErrorCode::LintRejected,
                 message: "model rejected".into(),

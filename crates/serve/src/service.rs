@@ -532,7 +532,11 @@ impl InferenceService {
         self.servers.read().get(model).map(|s| s.queue.len())
     }
 
-    /// A live snapshot of a model's counters.
+    /// A live reading of a model's counters. Counters are loaded
+    /// independently with no lock, so a reading taken while requests are
+    /// in flight can catch one mid-transition —
+    /// [`ModelStats::is_balanced`] is only guaranteed for the post-drain
+    /// report from [`InferenceService::shutdown`].
     pub fn stats(&self, model: &str) -> Option<ModelStats> {
         self.servers
             .read()
@@ -645,6 +649,109 @@ impl InferenceService {
     }
 }
 
+/// The serve-side metrics source: a scrape walks the live model map and
+/// emits each model's books, queue/worker gauges and bounded latency
+/// histograms under stable `mlexray_serve_*` names (see
+/// `docs/metrics.md`). Counter readings follow the live-read semantics of
+/// [`InferenceService::stats`]; they match the drained books exactly once
+/// the service has quiesced.
+impl crate::metrics::Collect for InferenceService {
+    fn collect(&self, out: &mut crate::metrics::MetricsBuilder) {
+        let servers = self.servers.read();
+        for (name, server) in servers.iter() {
+            let counters = &server.counters;
+            let model = &[("model", name.as_str())];
+            out.counter(
+                "mlexray_serve_requests_offered_total",
+                "Submit calls that reached the model (admitted + refused).",
+                model,
+                counters.offered.load(Ordering::Acquire),
+            );
+            out.counter(
+                "mlexray_serve_requests_admitted_total",
+                "Requests admitted to the model's queue.",
+                model,
+                counters.admitted.load(Ordering::Acquire),
+            );
+            out.counter(
+                "mlexray_serve_requests_completed_total",
+                "Requests answered with outputs.",
+                model,
+                counters.completed.load(Ordering::Acquire),
+            );
+            out.counter(
+                "mlexray_serve_requests_failed_total",
+                "Requests answered with an execution error.",
+                model,
+                counters.failed.load(Ordering::Acquire),
+            );
+            for (reason, value) in [
+                (
+                    "queue_full",
+                    counters.shed_queue_full.load(Ordering::Acquire),
+                ),
+                ("deadline", counters.shed_deadline.load(Ordering::Acquire)),
+                ("shutdown", counters.shed_shutdown.load(Ordering::Acquire)),
+            ] {
+                out.counter(
+                    "mlexray_serve_requests_shed_total",
+                    "Requests shed, by typed reason.",
+                    &[("model", name.as_str()), ("reason", reason)],
+                    value,
+                );
+            }
+            out.counter(
+                "mlexray_serve_batches_total",
+                "Coalesced batch invokes executed.",
+                model,
+                counters.batches.load(Ordering::Acquire),
+            );
+            out.counter(
+                "mlexray_serve_batched_frames_total",
+                "Frames carried by coalesced batches.",
+                model,
+                counters.batched_frames.load(Ordering::Acquire),
+            );
+            out.counter(
+                "mlexray_serve_sampled_total",
+                "Requests that ran with deep EXray capture.",
+                model,
+                counters.sampled.load(Ordering::Acquire),
+            );
+            out.gauge(
+                "mlexray_serve_max_batch_frames",
+                "Largest coalesced batch observed.",
+                model,
+                counters.max_batch.load(Ordering::Acquire) as f64,
+            );
+            out.gauge(
+                "mlexray_serve_queue_depth",
+                "Requests currently queued for the model.",
+                model,
+                server.queue.len() as f64,
+            );
+            out.gauge(
+                "mlexray_serve_workers",
+                "Worker threads serving the model.",
+                model,
+                server.worker_count as f64,
+            );
+            out.histogram(
+                "mlexray_serve_request_latency_seconds",
+                "End-to-end latency (queue + execution) of completed requests.",
+                model,
+                counters.latency_snapshot(),
+            );
+            out.histogram(
+                "mlexray_serve_exec_latency_seconds",
+                "Backend-reported per-frame execution latency.",
+                model,
+                counters.exec_latency_snapshot(),
+            );
+        }
+    }
+}
+
 impl Drop for InferenceService {
     fn drop(&mut self) {
         self.drain();
@@ -752,6 +859,9 @@ fn run_batch(ctx: &WorkerCtx, backend: &mut dyn ExecutionBackend, requests: Vec<
                 .last_stats()
                 .map(|s| s.per_frame_latency())
                 .unwrap_or_default();
+            if !exec_latency.is_zero() {
+                ctx.counters.record_exec_latency(exec_latency);
+            }
             let mut telemetry = layer_records;
             for (request, outputs) in requests.into_iter().zip(outputs) {
                 if request.sampled {

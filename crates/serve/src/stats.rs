@@ -1,15 +1,20 @@
-//! Per-model serving accounting: exact request bookkeeping plus latency
-//! percentiles.
+//! Per-model serving accounting: exact request bookkeeping plus bounded
+//! latency histograms.
+//!
+//! Latency is accounted in a fixed-footprint [`LatencyHistogram`] — memory
+//! is O(1) in the request count and recording a completion is lock-free —
+//! so the books stay cheap enough to leave on in production forever.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Duration;
 
-use parking_lot::Mutex;
+use crate::metrics::{HistogramSnapshot, LatencyHistogram};
 
 /// Internal live counters of one model's serving pool. Every admitted
 /// request increments exactly one terminal counter (`completed`,
 /// `shed_deadline` or `failed`); every refused submit increments exactly
-/// one of the shed-at-admission counters — so the books always balance.
+/// one of the shed-at-admission counters — so the books balance once the
+/// pool has drained.
 #[derive(Debug, Default)]
 pub(crate) struct ModelCounters {
     pub(crate) offered: AtomicU64,
@@ -23,13 +28,23 @@ pub(crate) struct ModelCounters {
     pub(crate) batched_frames: AtomicU64,
     pub(crate) max_batch: AtomicUsize,
     pub(crate) sampled: AtomicU64,
-    latencies_ns: Mutex<Vec<u64>>,
+    /// End-to-end (queue + execution) latency of completed requests.
+    latency: LatencyHistogram,
+    /// Backend execution latency per frame, when the backend reports it.
+    exec_latency: LatencyHistogram,
 }
 
 impl ModelCounters {
+    /// Account one completed request. Lock-free: a few atomic adds, no
+    /// mutex and no allocation on the serving hot path.
     pub(crate) fn record_completion(&self, total: Duration) {
         self.completed.fetch_add(1, Ordering::AcqRel);
-        self.latencies_ns.lock().push(total.as_nanos() as u64);
+        self.latency.record(total.as_nanos() as u64);
+    }
+
+    /// Account the backend-reported per-frame execution latency.
+    pub(crate) fn record_exec_latency(&self, per_frame: Duration) {
+        self.exec_latency.record(per_frame.as_nanos() as u64);
     }
 
     pub(crate) fn record_batch(&self, size: usize) {
@@ -38,16 +53,28 @@ impl ModelCounters {
         self.max_batch.fetch_max(size, Ordering::AcqRel);
     }
 
+    /// A bounded copy of the end-to-end latency distribution.
+    pub(crate) fn latency_snapshot(&self) -> HistogramSnapshot {
+        self.latency.snapshot()
+    }
+
+    /// A bounded copy of the backend execution-latency distribution.
+    pub(crate) fn exec_latency_snapshot(&self) -> HistogramSnapshot {
+        self.exec_latency.snapshot()
+    }
+
+    /// A point-in-time reading of the books.
+    ///
+    /// Each counter is loaded independently with no global lock, so a
+    /// snapshot taken while requests are in flight may observe a request
+    /// in transition (e.g. admitted but not yet terminal) and
+    /// [`ModelStats::is_balanced`] can transiently report `false` on a
+    /// live service. Balance is guaranteed only once the pool has drained
+    /// — assert it on the [`ServeReport`](crate::ServeReport) returned by
+    /// shutdown, not on a live reading. Percentiles are histogram
+    /// estimates, high by at most one bucket width (≤ 12.5% relative).
     pub(crate) fn snapshot(&self, model: &str, workers: usize) -> ModelStats {
-        let mut latencies = self.latencies_ns.lock().clone();
-        latencies.sort_unstable();
-        let pct = |p: f64| -> Duration {
-            if latencies.is_empty() {
-                return Duration::ZERO;
-            }
-            let rank = ((latencies.len() as f64) * p).ceil() as usize;
-            Duration::from_nanos(latencies[rank.clamp(1, latencies.len()) - 1])
-        };
+        let latency = self.latency.snapshot();
         ModelStats {
             model: model.to_string(),
             workers,
@@ -62,14 +89,21 @@ impl ModelCounters {
             batched_frames: self.batched_frames.load(Ordering::Acquire),
             max_batch: self.max_batch.load(Ordering::Acquire),
             sampled: self.sampled.load(Ordering::Acquire),
-            p50: pct(0.50),
-            p95: pct(0.95),
-            p99: pct(0.99),
+            p50: Duration::from_nanos(latency.quantile(0.50)),
+            p95: Duration::from_nanos(latency.quantile(0.95)),
+            p99: Duration::from_nanos(latency.quantile(0.99)),
         }
     }
 }
 
-/// A consistent snapshot of one model's serving counters.
+/// A point-in-time reading of one model's serving counters.
+///
+/// Counters are read independently (live-read semantics): on a live
+/// service a reading may catch a request mid-transition, so
+/// [`ModelStats::is_balanced`] is guaranteed only for readings taken
+/// after the pool drained (the [`ServeReport`](crate::ServeReport) from
+/// shutdown). Latency percentiles are bounded-histogram estimates, high
+/// by at most one bucket width (≤ 12.5% relative error).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ModelStats {
     /// The model name.
@@ -98,11 +132,12 @@ pub struct ModelStats {
     pub max_batch: usize,
     /// Requests that ran with deep EXray capture.
     pub sampled: u64,
-    /// Median end-to-end latency of completed requests.
+    /// Median end-to-end latency of completed requests (histogram
+    /// estimate).
     pub p50: Duration,
-    /// 95th-percentile end-to-end latency.
+    /// 95th-percentile end-to-end latency (histogram estimate).
     pub p95: Duration,
-    /// 99th-percentile end-to-end latency.
+    /// 99th-percentile end-to-end latency (histogram estimate).
     pub p99: Duration,
 }
 
@@ -132,7 +167,9 @@ impl ModelStats {
     }
 
     /// The bookkeeping invariants every drained service must satisfy:
-    /// every offer is accounted exactly once, terminally.
+    /// every offer is accounted exactly once, terminally. Only guaranteed
+    /// for post-drain readings — a live reading may transiently observe a
+    /// request between counters.
     pub fn is_balanced(&self) -> bool {
         self.offered == self.admitted + self.shed_queue_full + self.shed_shutdown
             && self.admitted == self.completed + self.shed_deadline + self.failed
@@ -142,6 +179,18 @@ impl ModelStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::metrics::LatencyHistogram as Hist;
+
+    /// Assert a histogram percentile estimate against its exact value:
+    /// never below, and high by at most the exact value's bucket width.
+    fn assert_within_one_bucket(estimate: Duration, exact_ns: u64) {
+        let (_, high) = Hist::bucket_bounds_of(exact_ns);
+        let estimate = estimate.as_nanos() as u64;
+        assert!(
+            estimate >= exact_ns && estimate <= high,
+            "estimate {estimate} outside [{exact_ns}, {high}]"
+        );
+    }
 
     #[test]
     fn percentiles_and_balance() {
@@ -157,8 +206,11 @@ mod tests {
         counters.record_batch(5);
         let stats = counters.snapshot("m", 2);
         assert!(stats.is_balanced(), "{stats:?}");
-        assert_eq!(stats.p50, Duration::from_millis(4));
-        assert_eq!(stats.p99, Duration::from_millis(7));
+        // Exact sorted percentiles of [1..7]ms are 4ms (p50) and 7ms
+        // (p99); the histogram estimate may exceed them by at most one
+        // bucket width.
+        assert_within_one_bucket(stats.p50, Duration::from_millis(4).as_nanos() as u64);
+        assert_within_one_bucket(stats.p99, Duration::from_millis(7).as_nanos() as u64);
         assert_eq!(stats.shed(), 3);
         assert!((stats.shed_rate() - 0.3).abs() < 1e-9);
         assert!((stats.mean_batch() - 4.0).abs() < 1e-9);
@@ -172,5 +224,21 @@ mod tests {
         assert_eq!(stats.shed_rate(), 0.0);
         assert_eq!(stats.mean_batch(), 0.0);
         assert!(stats.is_balanced());
+    }
+
+    #[test]
+    fn completion_accounting_is_bounded_in_memory() {
+        let counters = ModelCounters::default();
+        counters.record_completion(Duration::from_micros(10));
+        let before = counters.latency.footprint_bytes();
+        for i in 0..10_000u64 {
+            counters.record_completion(Duration::from_nanos(1_000 + i * 97));
+        }
+        assert_eq!(
+            counters.latency.footprint_bytes(),
+            before,
+            "latency accounting must not grow with request count"
+        );
+        assert_eq!(counters.completed.load(Ordering::Acquire), 10_001);
     }
 }

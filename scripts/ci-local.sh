@@ -37,13 +37,18 @@ cargo test -q -p mlexray-serve
 cargo test -q -p mlexray-core --test sink_stress
 MLEXRAY_QUICK=1 cargo test -q -p mlexray-bench --test experiments_smoke fig_serving
 
+step "metrics suite (histogram properties + wire Metrics acceptance + fig_metrics smoke)"
+cargo test -q -p mlexray-serve --test metrics_suite
+MLEXRAY_QUICK=1 cargo test -q -p mlexray-bench --test experiments_smoke fig_metrics
+
 step "cargo build --release"
 cargo build --release
 
-step "rpc suite (release: protocol robustness + 32-session loaded proof + fig_rpc floors + loadgen + BENCH_PR7)"
+step "rpc suite (release: protocol robustness + 32-session loaded proof + fig_rpc floors + loadgen + metrics scrape + BENCH_PR8)"
 cargo test --release -q -p mlexray-serve --test rpc_protocol --test rpc_loaded
 MLEXRAY_QUICK=1 MLEXRAY_ENFORCE_SCALING=1 cargo test --release -q -p mlexray-bench --test experiments_smoke fig_rpc
 MLEXRAY_QUICK=1 cargo run --release -q -p mlexray-bench --bin rpc_loadgen
+MLEXRAY_QUICK=1 cargo run --release -q -p mlexray-bench --bin rpc_loadgen -- --metrics
 scripts/bench-record.sh --quick
 
 step "exray-lint over the zoo and goldens (fails on any Deny finding)"
