@@ -1,0 +1,5 @@
+//! Prints the SIMD backend + parallel invoke figure.
+fn main() {
+    let scale = mlexray_bench::support::Scale::from_env();
+    println!("{}", mlexray_bench::experiments::fig_simd::run(&scale));
+}

@@ -27,4 +27,5 @@ fn main() {
         mlexray_bench::experiments::fig_differential::run(&scale)
     );
     println!("{}\n", mlexray_bench::experiments::fig_serving::run(&scale));
+    println!("{}\n", mlexray_bench::experiments::fig_simd::run(&scale));
 }

@@ -160,7 +160,7 @@ pub fn measure(scale: &Scale) -> DifferentialResult {
         BackendSpec::Optimized {
             bugs: KernelBugs {
                 optimized_dwconv_i16_accumulator: true,
-                avgpool_double_division: false,
+                ..KernelBugs::none()
             },
         },
         &v2_frames,
@@ -179,8 +179,8 @@ pub fn measure(scale: &Scale) -> DifferentialResult {
         BackendSpec::reference(),
         BackendSpec::Reference {
             bugs: KernelBugs {
-                optimized_dwconv_i16_accumulator: false,
                 avgpool_double_division: true,
+                ..KernelBugs::none()
             },
         },
         &v3_frames,

@@ -56,15 +56,18 @@
 
 #![warn(missing_docs)]
 
+pub mod budget;
 mod error;
 mod log;
 mod monitor;
+mod parallel;
 mod pipeline;
 mod reference;
 pub mod replay;
 mod sink;
 mod validate;
 
+pub use budget::{available_cores, machine_parallelism, reserve_cores, reserve_up_to, CoreLease};
 pub use error::ExrayError;
 pub use log::{
     layer_latency_key, layer_output_key, LogRecord, LogSet, LogValue, SensorReading, KEY_DECISION,
@@ -72,6 +75,9 @@ pub use log::{
     KEY_PREPROCESS_OUTPUT,
 };
 pub use monitor::{LayerCapture, Monitor, MonitorConfig, MonitorLayerObserver};
+pub use parallel::{
+    invoke_batch_parallel, InvokeLayerRecord, ParallelInvoke, ParallelInvokeOptions,
+};
 pub use pipeline::{
     AudioPipeline, AudioRunner, ImagePipeline, ImageRunner, LabeledFrame, TextPipeline, TextRunner,
 };

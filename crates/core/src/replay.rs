@@ -34,7 +34,10 @@ use crate::Result;
 /// Tuning for a sharded replay run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ReplayOptions {
-    /// Worker threads. `0` means one per available core.
+    /// Worker threads. `0` sizes the pool elastically from the global
+    /// [`crate::budget`] ledger (machine parallelism minus whatever other
+    /// pools have reserved); an explicit count is honored verbatim and
+    /// recorded in the ledger for the run's duration.
     pub workers: usize,
     /// Frames per shard. Fixes the shard partition — keep it constant when
     /// comparing runs across worker counts, or the merged drift/report
@@ -74,15 +77,18 @@ impl ReplayOptions {
         }
     }
 
-    pub(crate) fn effective_workers(&self, shards: usize) -> usize {
-        let requested = if self.workers == 0 {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
+    /// Takes the run's core lease and derives the worker count from it:
+    /// elastic against the global [`crate::budget`] ledger for
+    /// `workers == 0`, an exact (ledger-recorded) claim otherwise, never
+    /// more workers than shards. Callers hold the lease for the run's
+    /// duration so concurrent pools size themselves around it.
+    pub(crate) fn lease_workers(&self, shards: usize) -> crate::budget::CoreLease {
+        let cap = shards.max(1);
+        if self.workers == 0 {
+            crate::budget::reserve_up_to(cap)
         } else {
-            self.workers
-        };
-        requested.clamp(1, shards.max(1))
+            crate::budget::reserve_cores(self.workers.min(cap))
+        }
     }
 
     pub(crate) fn effective_queue_depth(&self, workers: usize) -> usize {
@@ -307,7 +313,8 @@ pub fn replay_sharded(
 ) -> Result<(LogSet, ReplayStats)> {
     let started = Instant::now();
     let partition = shard_partition(frames.len(), options.shard_frames);
-    let workers = options.effective_workers(partition.len());
+    let lease = options.lease_workers(partition.len());
+    let workers = lease.cores();
     let monitor_config = options.monitor;
     let micro_batch = options.micro_batch;
     let chunks = run_sharded(
@@ -348,7 +355,8 @@ pub fn replay_sharded_to_sink(
 ) -> Result<ReplayStats> {
     let started = Instant::now();
     let partition = shard_partition(frames.len(), options.shard_frames);
-    let workers = options.effective_workers(partition.len());
+    let lease = options.lease_workers(partition.len());
+    let workers = lease.cores();
     let monitor_config = options.monitor;
     let micro_batch = options.micro_batch;
     run_sharded(
@@ -413,7 +421,8 @@ pub fn replay_validate_sharded(
 
     let started = Instant::now();
     let partition = shard_partition(frames.len(), options.shard_frames);
-    let workers = options.effective_workers(partition.len());
+    let lease = options.lease_workers(partition.len());
+    let workers = lease.cores();
     let monitor_config = options.monitor;
     let micro_batch = options.micro_batch;
     let reference_pipeline = reference.pipeline();

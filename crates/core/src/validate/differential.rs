@@ -104,7 +104,8 @@ fn run_backend_sharded(
     replay: &ReplayOptions,
 ) -> Result<LogSet> {
     let partition = shard_partition(frames.len(), replay.shard_frames);
-    let workers = replay.effective_workers(partition.len());
+    let lease = replay.lease_workers(partition.len());
+    let workers = lease.cores();
     let micro_batch = replay.micro_batch.max(1);
     let chunks = run_sharded(
         &partition,
@@ -678,8 +679,8 @@ mod tests {
             BackendSpec::optimized(),
             BackendSpec::Optimized {
                 bugs: KernelBugs {
-                    optimized_dwconv_i16_accumulator: false,
                     avgpool_double_division: true,
+                    ..KernelBugs::none()
                 },
             },
             &frames,

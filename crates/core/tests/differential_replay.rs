@@ -189,7 +189,7 @@ fn injected_bug_report_identical_across_workers_and_micro_batch() {
         BackendSpec::Optimized {
             bugs: KernelBugs {
                 optimized_dwconv_i16_accumulator: true,
-                avgpool_double_division: false,
+                ..KernelBugs::none()
             },
         },
         &frames,

@@ -1,0 +1,241 @@
+//! Determinism suite for the parallel batched invoke: splitting one
+//! `invoke_batch` across workers drawn from the global core budget must
+//! change *nothing* but wall-clock — outputs and captured layer records
+//! are identical across worker counts (1/2/4), identical to the
+//! sequential single-shard path, and identical to invoking each frame
+//! alone — for every execution backend, including the SIMD backend whose
+//! conv path runs whole-batch im2col GEMM.
+
+use mlexray_core::{
+    available_cores, invoke_batch_parallel, machine_parallelism, reserve_cores, InvokeLayerRecord,
+    ParallelInvokeOptions,
+};
+use mlexray_nn::{
+    calibrate, quantize_model, Activation, BackendSpec, Graph, GraphBuilder, Model, ModelVariant,
+    Padding, QuantizationOptions,
+};
+use mlexray_tensor::{Shape, Tensor};
+
+/// Deterministic pseudo-random values (mirrors the golden generator's
+/// xorshift; no RNG dep in this crate's dev-deps).
+fn det(n: usize, seed: u64, lo: f32, hi: f32) -> Vec<f32> {
+    let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..n)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            lo + ((s >> 40) as f32 / (1u64 << 24) as f32) * (hi - lo)
+        })
+        .collect()
+}
+
+/// Multi-op float graph exercising every GEMM-family path: conv (K = 27,
+/// not lane-aligned), depthwise, 1x1 conv (the copy-free direct arm) and
+/// an fc head.
+fn float_graph() -> (Graph, Shape) {
+    let in_shape = Shape::nhwc(1, 6, 6, 3);
+    let mut b = GraphBuilder::new("pinv");
+    let x = b.input("x", in_shape.clone());
+    let w1 = b.constant(
+        "w1",
+        Tensor::from_f32(Shape::new(vec![4, 3, 3, 3]), det(108, 21, -0.5, 0.5)).unwrap(),
+    );
+    let c1 = b
+        .conv2d("conv1", x, w1, None, 1, Padding::Same, Activation::Relu)
+        .unwrap();
+    let wd = b.constant(
+        "wd",
+        Tensor::from_f32(Shape::new(vec![1, 3, 3, 4]), det(36, 22, -0.5, 0.5)).unwrap(),
+    );
+    let d = b
+        .depthwise_conv2d("dw", c1, wd, None, 1, Padding::Same, Activation::Relu6)
+        .unwrap();
+    let w2 = b.constant(
+        "w2",
+        Tensor::from_f32(Shape::new(vec![5, 1, 1, 4]), det(20, 23, -0.6, 0.6)).unwrap(),
+    );
+    let c2 = b
+        .conv2d("conv1x1", d, w2, None, 1, Padding::Same, Activation::None)
+        .unwrap();
+    let m = b.mean("gap", c2).unwrap();
+    let wf = b.constant(
+        "wf",
+        Tensor::from_f32(Shape::matrix(3, 5), det(15, 24, -0.6, 0.6)).unwrap(),
+    );
+    let f = b
+        .fully_connected("fc", m, wf, None, Activation::None)
+        .unwrap();
+    b.output(f);
+    (b.finish().unwrap(), in_shape)
+}
+
+fn float_frames(shape: &Shape, n: usize) -> Vec<Vec<Tensor>> {
+    (0..n)
+        .map(|i| {
+            vec![Tensor::from_f32(
+                shape.clone(),
+                det(shape.num_elements(), 300 + i as u64, -1.0, 1.0),
+            )
+            .unwrap()]
+        })
+        .collect()
+}
+
+fn quantized(graph: Graph, samples: &[Vec<Tensor>]) -> Graph {
+    let calib = calibrate(&graph, samples.iter().map(Vec::as_slice)).unwrap();
+    let model = Model {
+        graph,
+        family: "pinv".into(),
+        variant: ModelVariant::MobileFloat,
+    };
+    quantize_model(&model, &calib, QuantizationOptions::default())
+        .unwrap()
+        .graph
+}
+
+/// The wall-clock-free projection of captured records.
+fn record_contents(
+    records: &[InvokeLayerRecord],
+) -> Vec<(usize, usize, String, String, Tensor, u64)> {
+    records
+        .iter()
+        .map(|r| {
+            (
+                r.frame,
+                r.index,
+                r.name.clone(),
+                r.op.to_string(),
+                r.output.clone(),
+                r.macs,
+            )
+        })
+        .collect()
+}
+
+fn options(workers: usize, shard_frames: usize) -> ParallelInvokeOptions {
+    ParallelInvokeOptions {
+        workers,
+        shard_frames,
+        queue_depth: 0,
+        capture_layers: true,
+    }
+}
+
+/// Outputs and merged layer records are identical across worker counts,
+/// identical to the single-shard sequential path, and outputs match
+/// per-frame solo invokes — for all four backends.
+#[test]
+fn parallel_invoke_identical_across_workers_and_to_sequential() {
+    let (graph, shape) = float_graph();
+    let frames = float_frames(&shape, 13);
+    for spec in [
+        BackendSpec::reference(),
+        BackendSpec::optimized(),
+        BackendSpec::simd(),
+        BackendSpec::emulator(mlexray_nn::EdgeNumerics::faithful()),
+    ] {
+        // Sequential baseline: one worker, one shard = one plain
+        // `invoke_batch` with the sequential observer's record stream.
+        let sequential =
+            invoke_batch_parallel(&graph, &spec, &frames, &options(1, frames.len())).unwrap();
+        assert_eq!(sequential.workers, 1);
+        assert_eq!(sequential.shards, 1);
+
+        // Per-frame solo invokes pin batching-invariance end to end.
+        let mut backend = spec.build(&graph).unwrap();
+        for (frame, outputs) in frames.iter().zip(&sequential.outputs) {
+            let solo = backend.invoke(frame).unwrap();
+            assert_eq!(&solo, outputs, "batched != solo under {}", spec.label());
+        }
+
+        let expected_records = record_contents(&sequential.records);
+        assert!(
+            !expected_records.is_empty(),
+            "capture_layers must produce records"
+        );
+        for workers in [1usize, 2, 4] {
+            let run = invoke_batch_parallel(&graph, &spec, &frames, &options(workers, 3)).unwrap();
+            assert_eq!(run.shards, 5);
+            assert_eq!(
+                run.outputs,
+                sequential.outputs,
+                "outputs diverged at workers={workers} under {}",
+                spec.label()
+            );
+            assert_eq!(
+                record_contents(&run.records),
+                expected_records,
+                "merged records diverged at workers={workers} under {}",
+                spec.label()
+            );
+        }
+    }
+}
+
+/// Quantized graphs: the SIMD backend's i8×i8→i32 path is exact, so its
+/// parallel invoke is bitwise-identical to the reference backend at every
+/// worker count.
+#[test]
+fn quantized_simd_parallel_invoke_matches_reference_bitwise() {
+    let (graph, shape) = float_graph();
+    let frames = float_frames(&shape, 9);
+    let graph = quantized(graph, &frames);
+    let reference =
+        invoke_batch_parallel(&graph, &BackendSpec::reference(), &frames, &options(1, 9)).unwrap();
+    for workers in [1usize, 2, 4] {
+        let simd =
+            invoke_batch_parallel(&graph, &BackendSpec::simd(), &frames, &options(workers, 2))
+                .unwrap();
+        assert_eq!(
+            simd.outputs, reference.outputs,
+            "quantized SIMD != reference at workers={workers}"
+        );
+    }
+}
+
+/// The auto-sized pool (workers = 0) draws from the global core budget:
+/// it never exceeds the ledger headroom or the shard count, and a
+/// concurrent reservation visibly shrinks what a new run may take.
+#[test]
+fn auto_sized_pool_respects_core_budget() {
+    let (graph, shape) = float_graph();
+    let frames = float_frames(&shape, 6);
+    let auto = ParallelInvokeOptions {
+        shard_frames: 2,
+        capture_layers: false,
+        ..Default::default()
+    };
+    let run = invoke_batch_parallel(&graph, &BackendSpec::simd(), &frames, &auto).unwrap();
+    assert!(run.workers >= 1);
+    assert!(run.workers <= 3, "never more workers than shards");
+    assert!(run.workers <= machine_parallelism());
+    assert_eq!(run.outputs.len(), 6);
+
+    // Hog the whole ledger: an elastic run must squeeze to one worker.
+    let hog = reserve_cores(machine_parallelism() * 2);
+    assert_eq!(available_cores(), 1);
+    let squeezed = invoke_batch_parallel(&graph, &BackendSpec::simd(), &frames, &auto).unwrap();
+    assert_eq!(squeezed.workers, 1, "no headroom left under the hog lease");
+    assert_eq!(
+        squeezed.outputs, run.outputs,
+        "pressure must not change bits"
+    );
+    drop(hog);
+}
+
+/// Degenerate inputs stay well-formed: zero frames produce an empty run.
+#[test]
+fn empty_batch_is_a_clean_no_op() {
+    let (graph, _) = float_graph();
+    let run = invoke_batch_parallel(
+        &graph,
+        &BackendSpec::simd(),
+        &[],
+        &ParallelInvokeOptions::default(),
+    )
+    .unwrap();
+    assert!(run.outputs.is_empty());
+    assert!(run.records.is_empty());
+    assert_eq!(run.shards, 0);
+}

@@ -137,10 +137,17 @@ impl DeviceProfile {
         flavor: KernelFlavor,
         processor: Processor,
     ) -> CostTable {
+        // The device cost tables predate the SIMD resolver; until a profile
+        // ships dedicated SIMD timings, model it with the optimized-kernel
+        // costs (both are the device's "fast path").
         let base = match (dtype, flavor) {
-            (DtypeClass::Float, KernelFlavor::Optimized) => self.float_optimized,
+            (DtypeClass::Float, KernelFlavor::Optimized | KernelFlavor::Simd) => {
+                self.float_optimized
+            }
             (DtypeClass::Float, KernelFlavor::Reference) => self.float_reference,
-            (DtypeClass::Quant, KernelFlavor::Optimized) => self.quant_optimized,
+            (DtypeClass::Quant, KernelFlavor::Optimized | KernelFlavor::Simd) => {
+                self.quant_optimized
+            }
             (DtypeClass::Quant, KernelFlavor::Reference) => self.quant_reference,
         };
         match (processor, dtype, self.gpu_float_speedup) {

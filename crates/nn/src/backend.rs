@@ -5,7 +5,7 @@
 //! outputs. That only works if "runtime" is a first-class, swappable
 //! abstraction — this module provides it. [`ExecutionBackend`] is the
 //! execution surface (single and batched invokes with per-layer
-//! observation); the [`Interpreter`] is the shared engine behind all three
+//! observation); the [`Interpreter`] is the shared engine behind all four
 //! implementations:
 //!
 //! * [`ReferenceBackend`] — the debugging-grade reference kernels
@@ -13,6 +13,11 @@
 //! * [`OptimizedBackend`] — the production kernels (`OpResolver`): blocked
 //!   accumulation, whole-batch im2col GEMM, and the surface the injected
 //!   [`KernelBugs`] live in.
+//! * [`SimdBackend`] — the raw-speed kernels (`SimdOpResolver`): the
+//!   runtime-feature-dispatched virtual-SIMD GEMM of `kernels::gemm`
+//!   (AVX2/FMA on x86_64, a bitwise-identical scalar mirror elsewhere)
+//!   behind the im2col conv, depthwise and fully-connected paths, with a
+//!   true i8×i8→i32 quantized batched GEMM.
 //! * [`EdgeEmulatorBackend`] — reproduces a *different* edge runtime's
 //!   numerics ([`EdgeNumerics`]): configurable GEMM accumulation order,
 //!   fused multiply-add contraction, flush-to-zero denormals, and
@@ -212,6 +217,47 @@ impl<'g> OptimizedBackend<'g> {
 
 delegate_backend!(OptimizedBackend, "optimized");
 
+/// The raw-speed runtime: SIMD-tiled GEMM kernels with one-time runtime
+/// feature dispatch (`kernels::gemm`). Float GEMM outputs differ from the
+/// scalar flavors only by benign accumulation-order drift; quantized
+/// outputs are bitwise-identical to the reference kernels.
+#[derive(Debug)]
+pub struct SimdBackend<'g> {
+    interp: Interpreter<'g>,
+}
+
+impl<'g> SimdBackend<'g> {
+    /// Prepares a SIMD backend for `graph`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph-validation errors.
+    pub fn new(graph: &'g Graph) -> Result<Self> {
+        Self::with_bugs(graph, KernelBugs::none())
+    }
+
+    /// A SIMD backend with injected defects active (this is where the
+    /// test-only K-tail tile-boundary defect lives).
+    ///
+    /// # Errors
+    ///
+    /// Propagates graph-validation errors.
+    pub fn with_bugs(graph: &'g Graph, bugs: KernelBugs) -> Result<Self> {
+        Ok(SimdBackend {
+            interp: Interpreter::new(
+                graph,
+                InterpreterOptions {
+                    flavor: KernelFlavor::Simd,
+                    bugs,
+                    numerics: None,
+                },
+            )?,
+        })
+    }
+}
+
+delegate_backend!(SimdBackend, "simd");
+
 /// An emulated foreign edge runtime: the interpreter's kernels with the
 /// numeric deviations of [`EdgeNumerics`] applied — the "suspect pipeline"
 /// side of a cross-runtime differential run when no real second runtime is
@@ -298,6 +344,11 @@ pub enum BackendSpec {
         /// Injected defects.
         bugs: KernelBugs,
     },
+    /// [`SimdBackend`].
+    Simd {
+        /// Injected defects.
+        bugs: KernelBugs,
+    },
     /// [`EdgeEmulatorBackend`].
     EdgeEmulator {
         /// Emulated numerics.
@@ -325,6 +376,13 @@ impl BackendSpec {
         }
     }
 
+    /// The clean SIMD runtime.
+    pub fn simd() -> Self {
+        BackendSpec::Simd {
+            bugs: KernelBugs::none(),
+        }
+    }
+
     /// A clean emulator with the given numerics (reference kernel
     /// structure).
     pub fn emulator(numerics: EdgeNumerics) -> Self {
@@ -347,6 +405,7 @@ impl BackendSpec {
             },
             (None, KernelFlavor::Reference) => BackendSpec::Reference { bugs: options.bugs },
             (None, KernelFlavor::Optimized) => BackendSpec::Optimized { bugs: options.bugs },
+            (None, KernelFlavor::Simd) => BackendSpec::Simd { bugs: options.bugs },
         }
     }
 
@@ -360,6 +419,11 @@ impl BackendSpec {
             },
             BackendSpec::Optimized { bugs } => InterpreterOptions {
                 flavor: KernelFlavor::Optimized,
+                bugs,
+                numerics: None,
+            },
+            BackendSpec::Simd { bugs } => InterpreterOptions {
+                flavor: KernelFlavor::Simd,
                 bugs,
                 numerics: None,
             },
@@ -380,6 +444,7 @@ impl BackendSpec {
         match self {
             BackendSpec::Reference { .. } => "reference",
             BackendSpec::Optimized { .. } => "optimized",
+            BackendSpec::Simd { .. } => "simd",
             BackendSpec::EdgeEmulator { .. } => "edge-emulator",
         }
     }
@@ -393,6 +458,7 @@ impl BackendSpec {
         Ok(match *self {
             BackendSpec::Reference { bugs } => Box::new(ReferenceBackend::with_bugs(graph, bugs)?),
             BackendSpec::Optimized { bugs } => Box::new(OptimizedBackend::with_bugs(graph, bugs)?),
+            BackendSpec::Simd { bugs } => Box::new(SimdBackend::with_bugs(graph, bugs)?),
             BackendSpec::EdgeEmulator {
                 numerics,
                 bugs,
@@ -444,6 +510,7 @@ mod tests {
         for (spec, label) in [
             (BackendSpec::reference(), "reference"),
             (BackendSpec::optimized(), "optimized"),
+            (BackendSpec::simd(), "simd"),
             (
                 BackendSpec::emulator(EdgeNumerics::faithful()),
                 "edge-emulator",

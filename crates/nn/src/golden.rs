@@ -211,6 +211,23 @@ const REF_BITWISE_OPT_TOL: [(KernelFlavor, f32); 2] = [
     (KernelFlavor::Optimized, 1e-4),
 ];
 
+/// SIMD recorded **bitwise** — the dual-engine GEMM produces identical bits
+/// whichever engine runtime dispatch picks (AVX2+FMA or the scalar mirror),
+/// so these goldens are host-portable and the CI forced-scalar run
+/// (`MLEXRAY_SIMD=scalar`) must reproduce them exactly — plus reference
+/// within the tiled kernel's reassociation tolerance.
+const SIMD_BITWISE_REF_TOL: [(KernelFlavor, f32); 2] =
+    [(KernelFlavor::Simd, 0.0), (KernelFlavor::Reference, 1e-4)];
+
+/// Arms whose SIMD arithmetic is exact (integer i8×i8→i32 GEMM) or
+/// order-preserving (channel-vectorized depthwise): every flavor compares
+/// bitwise against one recording.
+const ALL_THREE_BITWISE: [(KernelFlavor, f32); 3] = [
+    (KernelFlavor::Simd, 0.0),
+    (KernelFlavor::Reference, 0.0),
+    (KernelFlavor::Optimized, 0.0),
+];
+
 fn f32_input(shape: Shape, seed: u64, lo: f32, hi: f32) -> Tensor {
     let n = shape.num_elements();
     Tensor::from_f32(shape, det_values(n, seed, lo, hi)).expect("length matches")
@@ -751,7 +768,7 @@ pub fn cases() -> Vec<GoldenCase> {
         &[(KernelFlavor::Optimized, 0.0)],
         KernelBugs {
             optimized_dwconv_i16_accumulator: true,
-            avgpool_double_division: false,
+            ..KernelBugs::none()
         },
         dwconv_q_graph(),
         vec![u8_input(Shape::nhwc(1, 5, 5, 3), 132, 0.05, 128)],
@@ -812,8 +829,8 @@ pub fn cases() -> Vec<GoldenCase> {
         "avgpool_q_bug",
         &BOTH_BITWISE,
         KernelBugs {
-            optimized_dwconv_i16_accumulator: false,
             avgpool_double_division: true,
+            ..KernelBugs::none()
         },
         avgpool_q_graph(4, "avgpool_q_bug"),
         vec![u8_input(Shape::nhwc(1, 4, 4, 2), 151, 0.04, 128)],
@@ -980,6 +997,178 @@ pub fn cases() -> Vec<GoldenCase> {
             none,
             b.finish().unwrap(),
             vec![u8_input(Shape::vector(16), 181, 0.05, 128)],
+        ));
+    }
+    // --- SIMD GEMM dispatch arms --------------------------------------------
+    // One case per arm of the SIMD backend's cache-blocked GEMM: the tiled
+    // f32 im2col path (ragged K + row-tile + column-remainder coverage), the
+    // 1x1 stride-1 copy-free path, the channel-vectorized depthwise path,
+    // the fc path and the exact i8×i8→i32 quantized paths. SIMD goldens are
+    // recorded from the SIMD flavor itself and compared bitwise: the
+    // dual-engine kernels guarantee the same bits under AVX2+FMA and the
+    // scalar mirror, so the `MLEXRAY_SIMD=scalar` CI rerun must reproduce
+    // every one of these exactly.
+    let simd_conv_graph = |name: &str| {
+        // 5x5x3 input, 3x3 kernel: K = 27 (ragged lane tail), 25 output
+        // rows (> the 16-row tile), 5 output channels (one 4-wide column
+        // block + a remainder column).
+        let mut b = GraphBuilder::new(name);
+        let x = b.input("x", Shape::nhwc(1, 5, 5, 3));
+        let w = b.constant("w", f32_input(Shape::new(vec![5, 3, 3, 3]), 311, -0.5, 0.5));
+        let bias = b.constant("b", f32_input(Shape::vector(5), 312, -0.2, 0.2));
+        let y = b
+            .conv2d("conv", x, w, Some(bias), 1, Padding::Same, Activation::Relu)
+            .unwrap();
+        b.output(y);
+        b.finish().unwrap()
+    };
+    let simd_conv_input = || vec![f32_input(Shape::nhwc(1, 5, 5, 3), 313, -1.0, 1.0)];
+    all.push(case(
+        "simd_conv2d_f32",
+        &SIMD_BITWISE_REF_TOL,
+        none,
+        simd_conv_graph("simd_conv2d_f32"),
+        simd_conv_input(),
+    ));
+    // The injected K-tail truncation (`simd_gemm_k_tail_skip`): recorded
+    // from the bugged SIMD kernel so the defect's exact wrong bits are
+    // pinned; the other flavors ignore the flag and are not checked.
+    all.push(case(
+        "simd_conv2d_f32_k_tail_bug",
+        &[(KernelFlavor::Simd, 0.0)],
+        KernelBugs {
+            simd_gemm_k_tail_skip: true,
+            ..KernelBugs::none()
+        },
+        simd_conv_graph("simd_conv2d_f32_k_tail_bug"),
+        simd_conv_input(),
+    ));
+    {
+        // 1x1 stride-1 conv: the copy-free direct arm (no im2col buffer).
+        // c = 8 makes K exactly one lane wide, so the vector loop runs with
+        // no scalar tail.
+        let mut b = GraphBuilder::new("simd_conv2d_f32_1x1");
+        let x = b.input("x", Shape::nhwc(1, 4, 4, 8));
+        let w = b.constant("w", f32_input(Shape::new(vec![6, 1, 1, 8]), 321, -0.6, 0.6));
+        let y = b
+            .conv2d("conv", x, w, None, 1, Padding::Same, Activation::None)
+            .unwrap();
+        b.output(y);
+        all.push(case(
+            "simd_conv2d_f32_1x1",
+            &SIMD_BITWISE_REF_TOL,
+            none,
+            b.finish().unwrap(),
+            vec![f32_input(Shape::nhwc(1, 4, 4, 8), 322, -1.0, 1.0)],
+        ));
+    }
+    {
+        // Depthwise: the channel-vectorized arm walks taps in the same
+        // (ky, kx) order as both scalar kernels, so all three flavors are
+        // bitwise-identical. c = 10 covers one 8-lane chunk plus a 2-channel
+        // scalar remainder.
+        let mut b = GraphBuilder::new("simd_dwconv_f32");
+        let x = b.input("x", Shape::nhwc(1, 5, 5, 10));
+        let w = b.constant(
+            "w",
+            f32_input(Shape::new(vec![1, 3, 3, 10]), 331, -0.5, 0.5),
+        );
+        let bias = b.constant("b", f32_input(Shape::vector(10), 332, -0.2, 0.2));
+        let y = b
+            .depthwise_conv2d(
+                "dw",
+                x,
+                w,
+                Some(bias),
+                1,
+                Padding::Same,
+                Activation::HardSwish,
+            )
+            .unwrap();
+        b.output(y);
+        all.push(case(
+            "simd_dwconv_f32",
+            &ALL_THREE_BITWISE,
+            none,
+            b.finish().unwrap(),
+            vec![f32_input(Shape::nhwc(1, 5, 5, 10), 333, -1.0, 1.0)],
+        ));
+    }
+    {
+        // FC through the same tiled GEMM: ragged in-features (27), 6 output
+        // features (4-wide block + remainder), 3 batch rows.
+        let mut b = GraphBuilder::new("simd_fc_f32");
+        let x = b.input("x", Shape::matrix(3, 27));
+        let w = b.constant("w", f32_input(Shape::matrix(6, 27), 341, -0.4, 0.4));
+        let bias = b.constant("b", f32_input(Shape::vector(6), 342, -0.2, 0.2));
+        let y = b
+            .fully_connected("fc", x, w, Some(bias), Activation::Relu)
+            .unwrap();
+        b.output(y);
+        all.push(case(
+            "simd_fc_f32",
+            &SIMD_BITWISE_REF_TOL,
+            none,
+            b.finish().unwrap(),
+            vec![f32_input(Shape::matrix(3, 27), 343, -1.0, 1.0)],
+        ));
+    }
+    {
+        // Quantized conv through the i8×i8→i32 SIMD GEMM: integer dot
+        // products are order-free, so SIMD is bitwise-identical to both
+        // scalar flavors. Per-channel weights + bias cover the full requant
+        // path behind the GEMM.
+        let mut b = GraphBuilder::new("simd_conv2d_q");
+        let x = q_input(&mut b, "x", Shape::nhwc(1, 5, 5, 3), 0.02, 128);
+        let w = b.constant(
+            "w",
+            i8_weights_per_channel(Shape::new(vec![5, 3, 3, 3]), 351, 0),
+        );
+        let bias = b.constant("b", i32_bias(vec![40, -25, 0, 12, -8]));
+        let y = b.push_node(
+            "conv",
+            OpKind::Conv2d {
+                stride: 1,
+                padding: Padding::Same,
+                activation: Activation::Relu,
+            },
+            vec![x, w, bias],
+            Shape::nhwc(1, 5, 5, 5),
+            DType::U8,
+            pt(0.06, 10),
+        );
+        b.output(y);
+        all.push(case(
+            "simd_conv2d_q",
+            &ALL_THREE_BITWISE,
+            none,
+            b.finish().unwrap(),
+            vec![u8_input(Shape::nhwc(1, 5, 5, 3), 352, 0.02, 128)],
+        ));
+    }
+    {
+        // Quantized fc through the same integer GEMM, ragged in-features.
+        let mut b = GraphBuilder::new("simd_fc_q");
+        let x = q_input(&mut b, "x", Shape::matrix(2, 27), 0.03, 128);
+        let w = b.constant("w", i8_weights(Shape::matrix(6, 27), 361, 0.6));
+        let bias = b.constant("b", i32_bias(vec![50, -30, 10, 0, 22, -5]));
+        let y = b.push_node(
+            "fc",
+            OpKind::FullyConnected {
+                activation: Activation::Relu,
+            },
+            vec![x, w, bias],
+            Shape::matrix(2, 6),
+            DType::U8,
+            pt(0.08, 20),
+        );
+        b.output(y);
+        all.push(case(
+            "simd_fc_q",
+            &ALL_THREE_BITWISE,
+            none,
+            b.finish().unwrap(),
+            vec![u8_input(Shape::matrix(2, 27), 362, 0.03, 128)],
         ));
     }
     // --- edge-emulator numerics knobs ---------------------------------------

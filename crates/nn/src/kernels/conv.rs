@@ -34,22 +34,22 @@ fn dot_blocked(a: &[f32], b: &[f32]) -> f32 {
     (s[0] + s[1]) + (s[2] + s[3]) + rest
 }
 
-struct ConvGeom {
-    n: usize,
-    in_h: usize,
-    in_w: usize,
-    in_c: usize,
-    out_h: usize,
-    out_w: usize,
+pub(super) struct ConvGeom {
+    pub(super) n: usize,
+    pub(super) in_h: usize,
+    pub(super) in_w: usize,
+    pub(super) in_c: usize,
+    pub(super) out_h: usize,
+    pub(super) out_w: usize,
     #[allow(dead_code)]
-    kh: usize,
+    pub(super) kh: usize,
     #[allow(dead_code)]
-    kw: usize,
-    pad_top: usize,
-    pad_left: usize,
+    pub(super) kw: usize,
+    pub(super) pad_top: usize,
+    pub(super) pad_left: usize,
 }
 
-fn geometry(
+pub(super) fn geometry(
     input: &Tensor,
     out_def: &TensorDef,
     kh: usize,
@@ -137,7 +137,10 @@ pub(crate) fn conv2d_f32(
                 }
             }
         }
-        KernelFlavor::Optimized => {
+        // A Simd-flavor conv dispatches to `gemm::conv2d_f32_simd` before
+        // reaching this kernel; if it ever lands here it gets the optimized
+        // scalar arithmetic.
+        KernelFlavor::Optimized | KernelFlavor::Simd => {
             // Per-pixel im2col + blocked dot products.
             let mut patch = vec![0.0f32; ksize];
             for n in 0..g.n {
@@ -613,7 +616,7 @@ pub(crate) fn dwconv_f32_emulated(
     Ok(())
 }
 
-fn weight_scale(q: &QuantParams, c: usize) -> f32 {
+pub(super) fn weight_scale(q: &QuantParams, c: usize) -> f32 {
     q.for_channel(c).0
 }
 

@@ -42,7 +42,10 @@ pub(crate) fn fc_f32(
                     }
                     acc
                 }
-                KernelFlavor::Optimized => {
+                // A Simd-flavor fc dispatches to `gemm::fc_f32_simd` before
+                // reaching this kernel; if it ever lands here it gets the
+                // optimized scalar arithmetic.
+                KernelFlavor::Optimized | KernelFlavor::Simd => {
                     let mut s = [0.0f32; 4];
                     let chunks = in_f / 4;
                     for i in 0..chunks {

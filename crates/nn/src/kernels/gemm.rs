@@ -1,0 +1,859 @@
+//! Runtime-feature-dispatched SIMD GEMM micro-kernels — the
+//! [`KernelFlavor::Simd`](crate::KernelFlavor::Simd) execution paths.
+//!
+//! # The dual-engine contract
+//!
+//! Every kernel here is defined in terms of one canonical "8-lane virtual
+//! SIMD" arithmetic, implemented twice:
+//!
+//! * an **AVX2/FMA** engine (x86_64 only, behind one-time runtime feature
+//!   detection), and
+//! * a **scalar mirror** that performs the *same* per-lane operations in the
+//!   same order with [`f32::mul_add`] (IEEE-754 fused multiply-add, exactly
+//!   what `vfmadd` computes).
+//!
+//! The two engines are **bitwise identical** by construction: per-lane FMA
+//! (`_mm256_fmadd_ps` ≡ `f32::mul_add` lane by lane), a fixed-order
+//! horizontal reduction `((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7))` (never
+//! `hadd`), and a sequential fused tail. Consequently the engine choice never
+//! changes a single output bit: golden records made on an AVX2 machine
+//! verify on any host, and the CI forced-scalar run (`MLEXRAY_SIMD=scalar`)
+//! must match the feature-dispatched run exactly. Quantized kernels
+//! accumulate in exact `i32` arithmetic, where any summation order is
+//! identical — they are bitwise-equal to the *reference* kernels too.
+//!
+//! Feature detection runs **once** per process ([`OnceLock`]); per-call
+//! dispatch is a single atomic load. `MLEXRAY_SIMD=scalar` in the
+//! environment forces the scalar engine (the CI fallback leg); tests that
+//! need both engines in one process use the engine-explicit entry points
+//! instead of mutating the environment.
+
+use std::sync::OnceLock;
+
+use mlexray_tensor::{QuantParams, Tensor};
+
+use crate::graph::{Node, TensorDef};
+use crate::kernels::conv::{geometry, weight_scale};
+use crate::kernels::{act_qbounds, f32_slot, out_qparams, qparams_of, requantize, u8_slot};
+use crate::ops::{Activation, Padding};
+use crate::resolver::{KernelBugs, RequantMode};
+use crate::Result;
+
+/// Vector width of the canonical virtual-SIMD arithmetic (f32 lanes).
+pub const SIMD_LANES: usize = 8;
+
+/// The instruction engine backing the SIMD kernels.
+///
+/// Both engines compute bit-identical results (see the module docs); the
+/// enum only selects how fast the bits are produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimdEngine {
+    /// 256-bit AVX2 + FMA intrinsics (x86_64, runtime-detected).
+    Avx2Fma,
+    /// The portable scalar mirror of the same arithmetic.
+    Scalar,
+}
+
+impl SimdEngine {
+    /// Stable label for logs and benchmark artifacts.
+    pub fn label(self) -> &'static str {
+        match self {
+            SimdEngine::Avx2Fma => "avx2+fma",
+            SimdEngine::Scalar => "scalar",
+        }
+    }
+}
+
+/// The engine the SIMD kernels dispatch to on this host.
+///
+/// Detection runs once per process and is cached; `MLEXRAY_SIMD=scalar`
+/// forces the scalar mirror regardless of CPU features.
+pub fn active_engine() -> SimdEngine {
+    static ENGINE: OnceLock<SimdEngine> = OnceLock::new();
+    *ENGINE.get_or_init(detect_engine)
+}
+
+fn detect_engine() -> SimdEngine {
+    if std::env::var_os("MLEXRAY_SIMD").is_some_and(|v| v == "scalar") {
+        return SimdEngine::Scalar;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+        {
+            return SimdEngine::Avx2Fma;
+        }
+    }
+    SimdEngine::Scalar
+}
+
+// ---------------------------------------------------------------------------
+// f32 dot micro-kernel (single row and 4-row variants)
+// ---------------------------------------------------------------------------
+
+/// Canonical virtual-SIMD dot product under an explicit engine: 8 fused
+/// multiply-add lanes striped over the index, fixed-order lane reduction,
+/// sequential fused tail. Public so test suites can pin the two engines
+/// against each other in one process.
+pub fn dot_f32_with(engine: SimdEngine, a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    match engine {
+        SimdEngine::Avx2Fma => dot_f32_avx2(a, b, a.len()),
+        SimdEngine::Scalar => dot_f32_scalar(a, b, a.len()),
+    }
+}
+
+/// `dot_f32_with` with a truncated logical length (the injected K-tail
+/// defect drops the final element).
+fn dot_f32_len(engine: SimdEngine, a: &[f32], b: &[f32], len: usize) -> f32 {
+    match engine {
+        SimdEngine::Avx2Fma => dot_f32_avx2(a, b, len),
+        SimdEngine::Scalar => dot_f32_scalar(a, b, len),
+    }
+}
+
+/// Logical reduction length for the f32 GEMM paths: the injected
+/// tile-boundary defect skips the last element of the K-loop remainder —
+/// but only when K is not a multiple of the vector width, exactly the shape
+/// a hand-unrolled remainder loop gets wrong.
+fn k_len(k: usize, bugs: &KernelBugs) -> usize {
+    if bugs.simd_gemm_k_tail_skip && !k.is_multiple_of(SIMD_LANES) {
+        k - 1
+    } else {
+        k
+    }
+}
+
+fn dot_f32_scalar(a: &[f32], b: &[f32], len: usize) -> f32 {
+    let mut lanes = [0.0f32; SIMD_LANES];
+    let chunks = len / SIMD_LANES;
+    for i in 0..chunks {
+        let o = i * SIMD_LANES;
+        for (l, acc) in lanes.iter_mut().enumerate() {
+            *acc = a[o + l].mul_add(b[o + l], *acc);
+        }
+    }
+    let mut sum = reduce8(lanes);
+    for i in chunks * SIMD_LANES..len {
+        sum = a[i].mul_add(b[i], sum);
+    }
+    sum
+}
+
+/// The canonical lane reduction: a fixed binary tree, never reassociated.
+#[inline]
+fn reduce8(l: [f32; 8]) -> f32 {
+    ((l[0] + l[1]) + (l[2] + l[3])) + ((l[4] + l[5]) + (l[6] + l[7]))
+}
+
+#[cfg(target_arch = "x86_64")]
+fn dot_f32_avx2(a: &[f32], b: &[f32], len: usize) -> f32 {
+    // SAFETY: `Avx2Fma` is only ever produced by `detect_engine` (after
+    // runtime feature checks) or by tests that themselves gate on
+    // `active_engine()`.
+    unsafe { dot_f32_avx2_inner(a, b, len) }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn dot_f32_avx2_inner(a: &[f32], b: &[f32], len: usize) -> f32 {
+    use std::arch::x86_64::*;
+    let mut acc = _mm256_setzero_ps();
+    let chunks = len / SIMD_LANES;
+    for i in 0..chunks {
+        let o = i * SIMD_LANES;
+        let va = _mm256_loadu_ps(a.as_ptr().add(o));
+        let vb = _mm256_loadu_ps(b.as_ptr().add(o));
+        acc = _mm256_fmadd_ps(va, vb, acc);
+    }
+    let mut lanes = [0.0f32; SIMD_LANES];
+    _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+    let mut sum = reduce8(lanes);
+    for i in chunks * SIMD_LANES..len {
+        sum = a[i].mul_add(b[i], sum);
+    }
+    sum
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn dot_f32_avx2(a: &[f32], b: &[f32], len: usize) -> f32 {
+    // Unreachable in practice (`detect_engine` never yields `Avx2Fma` off
+    // x86_64); the scalar mirror is the same arithmetic by contract.
+    dot_f32_scalar(a, b, len)
+}
+
+/// Four dot products sharing one left-hand row (four independent lane
+/// accumulators keep four FMA chains in flight). Each output is
+/// bitwise-identical to [`dot_f32_with`] on the same pair.
+fn dot_f32_x4(
+    engine: SimdEngine,
+    a: &[f32],
+    b0: &[f32],
+    b1: &[f32],
+    b2: &[f32],
+    b3: &[f32],
+    len: usize,
+) -> [f32; 4] {
+    match engine {
+        SimdEngine::Avx2Fma => dot_f32_x4_avx2(a, b0, b1, b2, b3, len),
+        SimdEngine::Scalar => [
+            dot_f32_scalar(a, b0, len),
+            dot_f32_scalar(a, b1, len),
+            dot_f32_scalar(a, b2, len),
+            dot_f32_scalar(a, b3, len),
+        ],
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn dot_f32_x4_avx2(
+    a: &[f32],
+    b0: &[f32],
+    b1: &[f32],
+    b2: &[f32],
+    b3: &[f32],
+    len: usize,
+) -> [f32; 4] {
+    // SAFETY: see `dot_f32_avx2`.
+    unsafe { dot_f32_x4_avx2_inner(a, b0, b1, b2, b3, len) }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn dot_f32_x4_avx2_inner(
+    a: &[f32],
+    b0: &[f32],
+    b1: &[f32],
+    b2: &[f32],
+    b3: &[f32],
+    len: usize,
+) -> [f32; 4] {
+    use std::arch::x86_64::*;
+    let mut acc0 = _mm256_setzero_ps();
+    let mut acc1 = _mm256_setzero_ps();
+    let mut acc2 = _mm256_setzero_ps();
+    let mut acc3 = _mm256_setzero_ps();
+    let chunks = len / SIMD_LANES;
+    for i in 0..chunks {
+        let o = i * SIMD_LANES;
+        let va = _mm256_loadu_ps(a.as_ptr().add(o));
+        acc0 = _mm256_fmadd_ps(va, _mm256_loadu_ps(b0.as_ptr().add(o)), acc0);
+        acc1 = _mm256_fmadd_ps(va, _mm256_loadu_ps(b1.as_ptr().add(o)), acc1);
+        acc2 = _mm256_fmadd_ps(va, _mm256_loadu_ps(b2.as_ptr().add(o)), acc2);
+        acc3 = _mm256_fmadd_ps(va, _mm256_loadu_ps(b3.as_ptr().add(o)), acc3);
+    }
+    let mut out = [0.0f32; 4];
+    for (slot, acc) in out.iter_mut().zip([acc0, acc1, acc2, acc3]) {
+        let mut lanes = [0.0f32; SIMD_LANES];
+        _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+        *slot = reduce8(lanes);
+    }
+    for i in chunks * SIMD_LANES..len {
+        out[0] = a[i].mul_add(b0[i], out[0]);
+        out[1] = a[i].mul_add(b1[i], out[1]);
+        out[2] = a[i].mul_add(b2[i], out[2]);
+        out[3] = a[i].mul_add(b3[i], out[3]);
+    }
+    out
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn dot_f32_x4_avx2(
+    a: &[f32],
+    b0: &[f32],
+    b1: &[f32],
+    b2: &[f32],
+    b3: &[f32],
+    len: usize,
+) -> [f32; 4] {
+    [
+        dot_f32_scalar(a, b0, len),
+        dot_f32_scalar(a, b1, len),
+        dot_f32_scalar(a, b2, len),
+        dot_f32_scalar(a, b3, len),
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// i8 × i8 → i32 dot micro-kernel
+// ---------------------------------------------------------------------------
+
+/// Integer dot product over zero-point-corrected `u8` activations and `i8`
+/// weights, accumulating in exact `i32` — bitwise-identical under any
+/// engine (and to the reference kernels), absent overflow. Public for the
+/// cross-engine test suites.
+pub fn dot_q8_with(engine: SimdEngine, a: &[u8], zp: i32, w: &[i8]) -> i32 {
+    debug_assert_eq!(a.len(), w.len());
+    match engine {
+        SimdEngine::Avx2Fma => dot_q8_avx2(a, zp, w),
+        SimdEngine::Scalar => dot_q8_scalar(a, zp, w),
+    }
+}
+
+fn dot_q8_scalar(a: &[u8], zp: i32, w: &[i8]) -> i32 {
+    let mut acc = 0i32;
+    for i in 0..a.len() {
+        acc += (a[i] as i32 - zp) * w[i] as i32;
+    }
+    acc
+}
+
+#[cfg(target_arch = "x86_64")]
+fn dot_q8_avx2(a: &[u8], zp: i32, w: &[i8]) -> i32 {
+    // SAFETY: see `dot_f32_avx2`.
+    unsafe { dot_q8_avx2_inner(a, zp, w) }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn dot_q8_avx2_inner(a: &[u8], zp: i32, w: &[i8]) -> i32 {
+    use std::arch::x86_64::*;
+    // 16 MACs per iteration: widen u8→i16 / i8→i16, subtract the zero
+    // point in i16 (exact: 0..=255 minus −255..=255 fits), then madd pairs
+    // into i32. Integer arithmetic is associative, so the lane order does
+    // not matter for bit-equality with the scalar mirror.
+    let vzp = _mm256_set1_epi16(zp as i16);
+    let mut acc = _mm256_setzero_si256();
+    let chunks = a.len() / 16;
+    for i in 0..chunks {
+        let o = i * 16;
+        let va = _mm256_cvtepu8_epi16(_mm_loadu_si128(a.as_ptr().add(o) as *const _));
+        let vw = _mm256_cvtepi8_epi16(_mm_loadu_si128(w.as_ptr().add(o) as *const _));
+        let vx = _mm256_sub_epi16(va, vzp);
+        acc = _mm256_add_epi32(acc, _mm256_madd_epi16(vx, vw));
+    }
+    let mut lanes = [0i32; 8];
+    _mm256_storeu_si256(lanes.as_mut_ptr() as *mut _, acc);
+    let mut sum: i32 = lanes.iter().sum();
+    for i in chunks * 16..a.len() {
+        sum += (a[i] as i32 - zp) * w[i] as i32;
+    }
+    sum
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn dot_q8_avx2(a: &[u8], zp: i32, w: &[i8]) -> i32 {
+    dot_q8_scalar(a, zp, w)
+}
+
+// ---------------------------------------------------------------------------
+// Kernel entry points (dispatched from `execute_node` for KernelFlavor::Simd)
+// ---------------------------------------------------------------------------
+
+/// Output rows sharing one weight fetch per GEMM tile (same blocking shape
+/// as the optimized scalar GEMM).
+const ROW_TILE: usize = 16;
+
+/// SIMD float convolution: whole-batch im2col (1×1 stride-1 convolutions
+/// read the input buffer copy-free) + row/output-channel tiled virtual-SIMD
+/// GEMM. Handles any batch size natively, so both `invoke` and
+/// `invoke_batch` land here.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn conv2d_f32_simd(
+    node: &Node,
+    inputs: &[&Tensor],
+    out_def: &TensorDef,
+    stride: usize,
+    padding: Padding,
+    activation: Activation,
+    bugs: &KernelBugs,
+    scratch: &mut Vec<f32>,
+    out_t: &mut Tensor,
+) -> Result<()> {
+    let _ = node;
+    let engine = active_engine();
+    let input = inputs[0];
+    let weights = inputs[1];
+    let bias = inputs.get(2).map(|t| t.as_f32()).transpose()?;
+    let x = input.as_f32()?;
+    let w = weights.as_f32()?;
+    let ws = weights.shape().dims();
+    let (out_c, kh, kw) = (ws[0], ws[1], ws[2]);
+    let g = geometry(input, out_def, kh, kw, stride, padding);
+    let out = f32_slot(out_t, out_def)?;
+    let ksize = kh * kw * g.in_c;
+    let rows = g.n * g.out_h * g.out_w;
+    let len = k_len(ksize, bugs);
+
+    // 1×1 stride-1: the im2col matrix *is* the input buffer (copy-free).
+    let direct = kh == 1 && kw == 1 && stride == 1 && g.out_h == g.in_h && g.out_w == g.in_w;
+    let matrix: &[f32] = if direct {
+        x
+    } else {
+        scratch.clear();
+        scratch.resize(rows * ksize, 0.0);
+        let mut row = 0usize;
+        for n in 0..g.n {
+            for oy in 0..g.out_h {
+                for ox in 0..g.out_w {
+                    let pbase = row * ksize;
+                    for ky in 0..kh {
+                        let iy = (oy * stride + ky) as isize - g.pad_top as isize;
+                        if iy < 0 || iy >= g.in_h as isize {
+                            continue;
+                        }
+                        for kx in 0..kw {
+                            let ix = (ox * stride + kx) as isize - g.pad_left as isize;
+                            if ix < 0 || ix >= g.in_w as isize {
+                                continue;
+                            }
+                            let ibase =
+                                ((n * g.in_h + iy as usize) * g.in_w + ix as usize) * g.in_c;
+                            let dst = pbase + (ky * kw + kx) * g.in_c;
+                            scratch[dst..dst + g.in_c].copy_from_slice(&x[ibase..ibase + g.in_c]);
+                        }
+                    }
+                    row += 1;
+                }
+            }
+        }
+        scratch
+    };
+
+    for r0 in (0..rows).step_by(ROW_TILE) {
+        let r1 = (r0 + ROW_TILE).min(rows);
+        let mut oc = 0usize;
+        while oc + 4 <= out_c {
+            let w0 = &w[oc * ksize..(oc + 1) * ksize];
+            let w1 = &w[(oc + 1) * ksize..(oc + 2) * ksize];
+            let w2 = &w[(oc + 2) * ksize..(oc + 3) * ksize];
+            let w3 = &w[(oc + 3) * ksize..(oc + 4) * ksize];
+            let b: [f32; 4] = std::array::from_fn(|k| bias.map(|b| b[oc + k]).unwrap_or(0.0));
+            for r in r0..r1 {
+                let accs = dot_f32_x4(
+                    engine,
+                    &matrix[r * ksize..(r + 1) * ksize],
+                    w0,
+                    w1,
+                    w2,
+                    w3,
+                    len,
+                );
+                let obase = r * out_c + oc;
+                for k in 0..4 {
+                    out[obase + k] = activation.apply(accs[k] + b[k]);
+                }
+            }
+            oc += 4;
+        }
+        while oc < out_c {
+            let wrow = &w[oc * ksize..(oc + 1) * ksize];
+            let b = bias.map(|b| b[oc]).unwrap_or(0.0);
+            for r in r0..r1 {
+                let acc = dot_f32_len(engine, &matrix[r * ksize..(r + 1) * ksize], wrow, len) + b;
+                out[r * out_c + oc] = activation.apply(acc);
+            }
+            oc += 1;
+        }
+    }
+    Ok(())
+}
+
+/// SIMD float depthwise convolution: NHWC channels are contiguous, so the
+/// channel loop vectorizes directly — 8 channels per step, vertical
+/// multiply + add (deliberately **no** FMA: each channel's sum must stay
+/// `acc += x*w` in `(ky, kx)` order, which keeps this kernel
+/// bitwise-identical to both scalar flavors of `dwconv_f32`).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn dwconv_f32_simd(
+    node: &Node,
+    inputs: &[&Tensor],
+    out_def: &TensorDef,
+    stride: usize,
+    padding: Padding,
+    activation: Activation,
+    out_t: &mut Tensor,
+) -> Result<()> {
+    let _ = node;
+    let engine = active_engine();
+    let input = inputs[0];
+    let weights = inputs[1];
+    let bias = inputs.get(2).map(|t| t.as_f32()).transpose()?;
+    let x = input.as_f32()?;
+    let w = weights.as_f32()?;
+    let ws = weights.shape().dims();
+    let (kh, kw, c) = (ws[1], ws[2], ws[3]);
+    let g = geometry(input, out_def, kh, kw, stride, padding);
+    let out = f32_slot(out_t, out_def)?;
+
+    for n in 0..g.n {
+        for oy in 0..g.out_h {
+            for ox in 0..g.out_w {
+                let obase = ((n * g.out_h + oy) * g.out_w + ox) * c;
+                // Gather the in-bounds taps once per output cell; the
+                // validity pattern is shared by every channel.
+                let mut ch = 0usize;
+                while ch + SIMD_LANES <= c {
+                    let mut acc = [0.0f32; SIMD_LANES];
+                    for (l, a) in acc.iter_mut().enumerate() {
+                        *a = bias.map(|b| b[ch + l]).unwrap_or(0.0);
+                    }
+                    dw_cell(engine, x, w, &g, stride, kh, kw, c, n, oy, ox, ch, &mut acc);
+                    for (l, a) in acc.iter().enumerate() {
+                        out[obase + ch + l] = activation.apply(*a);
+                    }
+                    ch += SIMD_LANES;
+                }
+                while ch < c {
+                    let mut acc = bias.map(|b| b[ch]).unwrap_or(0.0);
+                    for ky in 0..kh {
+                        let iy = (oy * stride + ky) as isize - g.pad_top as isize;
+                        if iy < 0 || iy >= g.in_h as isize {
+                            continue;
+                        }
+                        for kx in 0..kw {
+                            let ix = (ox * stride + kx) as isize - g.pad_left as isize;
+                            if ix < 0 || ix >= g.in_w as isize {
+                                continue;
+                            }
+                            let i = ((n * g.in_h + iy as usize) * g.in_w + ix as usize) * c + ch;
+                            acc += x[i] * w[(ky * kw + kx) * c + ch];
+                        }
+                    }
+                    out[obase + ch] = activation.apply(acc);
+                    ch += 1;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// One 8-channel depthwise output cell: taps in `(ky, kx)` order, vertical
+/// unfused multiply + add per channel.
+#[allow(clippy::too_many_arguments)]
+fn dw_cell(
+    engine: SimdEngine,
+    x: &[f32],
+    w: &[f32],
+    g: &crate::kernels::conv::ConvGeom,
+    stride: usize,
+    kh: usize,
+    kw: usize,
+    c: usize,
+    n: usize,
+    oy: usize,
+    ox: usize,
+    ch: usize,
+    acc: &mut [f32; SIMD_LANES],
+) {
+    for ky in 0..kh {
+        let iy = (oy * stride + ky) as isize - g.pad_top as isize;
+        if iy < 0 || iy >= g.in_h as isize {
+            continue;
+        }
+        for kx in 0..kw {
+            let ix = (ox * stride + kx) as isize - g.pad_left as isize;
+            if ix < 0 || ix >= g.in_w as isize {
+                continue;
+            }
+            let i = ((n * g.in_h + iy as usize) * g.in_w + ix as usize) * c + ch;
+            let wb = (ky * kw + kx) * c + ch;
+            match engine {
+                SimdEngine::Avx2Fma => {
+                    dw_tap_avx2(&x[i..i + SIMD_LANES], &w[wb..wb + SIMD_LANES], acc)
+                }
+                SimdEngine::Scalar => {
+                    for l in 0..SIMD_LANES {
+                        acc[l] += x[i + l] * w[wb + l];
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn dw_tap_avx2(x: &[f32], w: &[f32], acc: &mut [f32; SIMD_LANES]) {
+    // SAFETY: see `dot_f32_avx2`.
+    unsafe { dw_tap_avx2_inner(x, w, acc) }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn dw_tap_avx2_inner(x: &[f32], w: &[f32], acc: &mut [f32; SIMD_LANES]) {
+    use std::arch::x86_64::*;
+    let va = _mm256_loadu_ps(acc.as_ptr());
+    let prod = _mm256_mul_ps(_mm256_loadu_ps(x.as_ptr()), _mm256_loadu_ps(w.as_ptr()));
+    _mm256_storeu_ps(acc.as_mut_ptr(), _mm256_add_ps(va, prod));
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn dw_tap_avx2(x: &[f32], w: &[f32], acc: &mut [f32; SIMD_LANES]) {
+    for l in 0..SIMD_LANES {
+        acc[l] += x[l] * w[l];
+    }
+}
+
+/// SIMD float fully-connected layer: each `[row] × [weight row]` reduction
+/// runs through the virtual-SIMD dot, four output features per weight
+/// fetch.
+pub(crate) fn fc_f32_simd(
+    node: &Node,
+    inputs: &[&Tensor],
+    out_def: &TensorDef,
+    activation: Activation,
+    bugs: &KernelBugs,
+    out_t: &mut Tensor,
+) -> Result<()> {
+    let _ = node;
+    let engine = active_engine();
+    let x = inputs[0].as_f32()?;
+    let w = inputs[1].as_f32()?;
+    let bias = inputs.get(2).map(|t| t.as_f32()).transpose()?;
+    let in_f = inputs[1].shape().dims()[1];
+    let out_f = inputs[1].shape().dims()[0];
+    let batch = inputs[0].shape().dims()[0];
+    let out = f32_slot(out_t, out_def)?;
+    let len = k_len(in_f, bugs);
+    for n in 0..batch {
+        let xrow = &x[n * in_f..(n + 1) * in_f];
+        let mut o = 0usize;
+        while o + 4 <= out_f {
+            let accs = dot_f32_x4(
+                engine,
+                xrow,
+                &w[o * in_f..(o + 1) * in_f],
+                &w[(o + 1) * in_f..(o + 2) * in_f],
+                &w[(o + 2) * in_f..(o + 3) * in_f],
+                &w[(o + 3) * in_f..(o + 4) * in_f],
+                len,
+            );
+            for k in 0..4 {
+                let b = bias.map(|b| b[o + k]).unwrap_or(0.0);
+                out[n * out_f + o + k] = activation.apply(accs[k] + b);
+            }
+            o += 4;
+        }
+        while o < out_f {
+            let acc = dot_f32_len(engine, xrow, &w[o * in_f..(o + 1) * in_f], len);
+            out[n * out_f + o] = activation.apply(acc + bias.map(|b| b[o]).unwrap_or(0.0));
+            o += 1;
+        }
+    }
+    Ok(())
+}
+
+/// SIMD quantized convolution: whole-batch `u8` im2col — padding taps are
+/// filled with the input zero point, so they contribute exactly zero — then
+/// an i8×i8→i32 batched GEMM. Integer accumulation is exact, so outputs
+/// are bitwise-identical to [`conv2d_q`](super::conv::conv2d_q) in every
+/// flavor and engine.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn conv2d_q_simd(
+    node: &Node,
+    inputs: &[&Tensor],
+    out_def: &TensorDef,
+    stride: usize,
+    padding: Padding,
+    activation: Activation,
+    requant: RequantMode,
+    out_t: &mut Tensor,
+) -> Result<()> {
+    let engine = active_engine();
+    let input = inputs[0];
+    let weights = inputs[1];
+    let bias = inputs.get(2).map(|t| t.as_i32()).transpose()?;
+    let (s_in, zp_in) = qparams_of(node, input)?;
+    let (s_out, zp_out) = out_qparams(node, out_def)?;
+    let wq = weights.quant().cloned().unwrap_or(QuantParams::PerTensor {
+        scale: 1.0,
+        zero_point: 0,
+    });
+    let x = input.as_u8()?;
+    let w = weights.as_i8()?;
+    let ws = weights.shape().dims();
+    let (out_c, kh, kw) = (ws[0], ws[1], ws[2]);
+    let g = geometry(input, out_def, kh, kw, stride, padding);
+    let (qlo, qhi) = act_qbounds(activation, s_out, zp_out);
+    let out = u8_slot(out_t, out_def)?;
+    let ksize = kh * kw * g.in_c;
+    let rows = g.n * g.out_h * g.out_w;
+
+    // 1×1 stride-1: read the activation buffer directly.
+    let direct = kh == 1 && kw == 1 && stride == 1 && g.out_h == g.in_h && g.out_w == g.in_w;
+    let patches: Vec<u8>;
+    let matrix: &[u8] = if direct {
+        x
+    } else {
+        let mut m = vec![
+            // Zero-point fill: an untouched (padding) tap contributes
+            // (zp - zp) * w == 0, matching the reference kernel's skip.
+            zp_in.clamp(0, 255) as u8;
+            rows * ksize
+        ];
+        let mut row = 0usize;
+        for n in 0..g.n {
+            for oy in 0..g.out_h {
+                for ox in 0..g.out_w {
+                    let pbase = row * ksize;
+                    for ky in 0..kh {
+                        let iy = (oy * stride + ky) as isize - g.pad_top as isize;
+                        if iy < 0 || iy >= g.in_h as isize {
+                            continue;
+                        }
+                        for kx in 0..kw {
+                            let ix = (ox * stride + kx) as isize - g.pad_left as isize;
+                            if ix < 0 || ix >= g.in_w as isize {
+                                continue;
+                            }
+                            let ibase =
+                                ((n * g.in_h + iy as usize) * g.in_w + ix as usize) * g.in_c;
+                            let dst = pbase + (ky * kw + kx) * g.in_c;
+                            m[dst..dst + g.in_c].copy_from_slice(&x[ibase..ibase + g.in_c]);
+                        }
+                    }
+                    row += 1;
+                }
+            }
+        }
+        patches = m;
+        &patches
+    };
+
+    for r0 in (0..rows).step_by(ROW_TILE) {
+        let r1 = (r0 + ROW_TILE).min(rows);
+        for oc in 0..out_c {
+            let wrow = &w[oc * ksize..(oc + 1) * ksize];
+            let b = bias.map(|b| b[oc]).unwrap_or(0);
+            let m = (s_in as f64) * (weight_scale(&wq, oc) as f64) / (s_out as f64);
+            for r in r0..r1 {
+                let acc = b + dot_q8_with(engine, &matrix[r * ksize..(r + 1) * ksize], zp_in, wrow);
+                out[r * out_c + oc] = requantize(acc, m, zp_out, qlo, qhi, requant);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// SIMD quantized fully-connected layer: i8×i8→i32 row reductions, exact
+/// and bitwise-identical to [`fc_q`](super::fc::fc_q).
+pub(crate) fn fc_q_simd(
+    node: &Node,
+    inputs: &[&Tensor],
+    out_def: &TensorDef,
+    activation: Activation,
+    requant: RequantMode,
+    out_t: &mut Tensor,
+) -> Result<()> {
+    let engine = active_engine();
+    let input = inputs[0];
+    let weights = inputs[1];
+    let bias = inputs.get(2).map(|t| t.as_i32()).transpose()?;
+    let (s_in, zp_in) = qparams_of(node, input)?;
+    let (s_out, zp_out) = out_qparams(node, out_def)?;
+    let wq = weights.quant().cloned().unwrap_or(QuantParams::PerTensor {
+        scale: 1.0,
+        zero_point: 0,
+    });
+    let x = input.as_u8()?;
+    let w = weights.as_i8()?;
+    let in_f = weights.shape().dims()[1];
+    let out_f = weights.shape().dims()[0];
+    let batch = input.shape().dims()[0];
+    let (qlo, qhi) = act_qbounds(activation, s_out, zp_out);
+    let out = u8_slot(out_t, out_def)?;
+    for n in 0..batch {
+        let xrow = &x[n * in_f..(n + 1) * in_f];
+        for o in 0..out_f {
+            let acc = bias.map(|b| b[o]).unwrap_or(0)
+                + dot_q8_with(engine, xrow, zp_in, &w[o * in_f..(o + 1) * in_f]);
+            let m = (s_in as f64) * (wq.for_channel(o).0 as f64) / (s_out as f64);
+            out[n * out_f + o] = requantize(acc, m, zp_out, qlo, qhi, requant);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det_f32(seed: u64, n: usize) -> Vec<f32> {
+        let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        (0..n)
+            .map(|_| {
+                s ^= s >> 12;
+                s ^= s << 25;
+                s ^= s >> 27;
+                let bits = s.wrapping_mul(0x2545_F491_4F6C_DD1D);
+                ((bits >> 40) as f32 / (1u64 << 24) as f32) * 3.0 - 1.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn engines_agree_bitwise_on_f32_dots() {
+        if active_engine() == SimdEngine::Scalar {
+            // No vector unit to cross-check against on this host; the
+            // scalar mirror *is* the canonical arithmetic.
+            return;
+        }
+        for len in [0, 1, 3, 7, 8, 9, 15, 16, 17, 27, 64, 129, 1000] {
+            let a = det_f32(len as u64 + 1, len);
+            let b = det_f32(len as u64 + 2, len);
+            let fast = dot_f32_with(SimdEngine::Avx2Fma, &a, &b);
+            let slow = dot_f32_with(SimdEngine::Scalar, &a, &b);
+            assert_eq!(
+                fast.to_bits(),
+                slow.to_bits(),
+                "engine divergence at len {len}: {fast} vs {slow}"
+            );
+        }
+    }
+
+    #[test]
+    fn engines_agree_bitwise_on_q8_dots() {
+        if active_engine() == SimdEngine::Scalar {
+            return;
+        }
+        for len in [0, 1, 5, 15, 16, 17, 31, 32, 33, 100, 1000] {
+            let a: Vec<u8> = (0..len).map(|i| (i * 37 % 256) as u8).collect();
+            let w: Vec<i8> = (0..len)
+                .map(|i| ((i * 53 % 255) as i16 - 127) as i8)
+                .collect();
+            for zp in [0, 7, 128, 255] {
+                assert_eq!(
+                    dot_q8_with(SimdEngine::Avx2Fma, &a, zp, &w),
+                    dot_q8_with(SimdEngine::Scalar, &a, zp, &w),
+                    "q8 engine divergence at len {len}, zp {zp}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn x4_matches_single_row_dots() {
+        let engine = active_engine();
+        for len in [1, 8, 17, 65] {
+            let a = det_f32(9, len);
+            let rows: Vec<Vec<f32>> = (0..4).map(|r| det_f32(100 + r, len)).collect();
+            let x4 = dot_f32_x4(engine, &a, &rows[0], &rows[1], &rows[2], &rows[3], len);
+            for k in 0..4 {
+                assert_eq!(
+                    x4[k].to_bits(),
+                    dot_f32_with(engine, &a, &rows[k]).to_bits(),
+                    "x4 lane {k} diverged at len {len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn k_tail_bug_fires_only_on_ragged_k() {
+        let bug = KernelBugs {
+            simd_gemm_k_tail_skip: true,
+            ..KernelBugs::none()
+        };
+        assert_eq!(k_len(16, &bug), 16, "aligned K must be untouched");
+        assert_eq!(k_len(17, &bug), 16, "ragged K drops its last element");
+        assert_eq!(k_len(17, &KernelBugs::none()), 17);
+    }
+
+    #[test]
+    fn detection_is_cached_and_labelled() {
+        let e = active_engine();
+        assert_eq!(e, active_engine());
+        assert!(["avx2+fma", "scalar"].contains(&e.label()));
+    }
+}

@@ -19,6 +19,7 @@
 mod conv;
 mod elementwise;
 mod fc;
+pub mod gemm;
 mod pool;
 
 use mlexray_tensor::{DType, QuantParams, Tensor, TensorData};
@@ -88,6 +89,18 @@ pub(crate) fn execute_node(
                     ctx.scratch,
                     out,
                 )
+            } else if flavor == KernelFlavor::Simd {
+                gemm::conv2d_f32_simd(
+                    node,
+                    inputs,
+                    out_def,
+                    *stride,
+                    *padding,
+                    *activation,
+                    ctx.bugs,
+                    ctx.scratch,
+                    out,
+                )
             } else if ctx.batched && flavor == KernelFlavor::Optimized {
                 conv::conv2d_f32_gemm(
                     node,
@@ -119,16 +132,31 @@ pub(crate) fn execute_node(
                 activation,
             },
             true,
-        ) => conv::conv2d_q(
-            node,
-            inputs,
-            out_def,
-            *stride,
-            *padding,
-            *activation,
-            ctx.requant_mode(),
-            out,
-        ),
+        ) => {
+            if flavor == KernelFlavor::Simd {
+                gemm::conv2d_q_simd(
+                    node,
+                    inputs,
+                    out_def,
+                    *stride,
+                    *padding,
+                    *activation,
+                    ctx.requant_mode(),
+                    out,
+                )
+            } else {
+                conv::conv2d_q(
+                    node,
+                    inputs,
+                    out_def,
+                    *stride,
+                    *padding,
+                    *activation,
+                    ctx.requant_mode(),
+                    out,
+                )
+            }
+        }
         (
             OpKind::DepthwiseConv2d {
                 stride,
@@ -149,6 +177,8 @@ pub(crate) fn execute_node(
                     ctx.scratch,
                     out,
                 )
+            } else if flavor == KernelFlavor::Simd {
+                gemm::dwconv_f32_simd(node, inputs, out_def, *stride, *padding, *activation, out)
             } else if ctx.batched && flavor == KernelFlavor::Optimized {
                 conv::dwconv_f32_batched(node, inputs, out_def, *stride, *padding, *activation, out)
             } else {
@@ -186,12 +216,18 @@ pub(crate) fn execute_node(
         (OpKind::FullyConnected { activation }, false) => {
             if let Some(numerics) = ctx.numerics {
                 fc::fc_f32_emulated(node, inputs, out_def, *activation, &numerics, out)
+            } else if flavor == KernelFlavor::Simd {
+                gemm::fc_f32_simd(node, inputs, out_def, *activation, ctx.bugs, out)
             } else {
                 fc::fc_f32(node, inputs, out_def, *activation, flavor, out)
             }
         }
         (OpKind::FullyConnected { activation }, true) => {
-            fc::fc_q(node, inputs, out_def, *activation, ctx.requant_mode(), out)
+            if flavor == KernelFlavor::Simd {
+                gemm::fc_q_simd(node, inputs, out_def, *activation, ctx.requant_mode(), out)
+            } else {
+                fc::fc_q(node, inputs, out_def, *activation, ctx.requant_mode(), out)
+            }
         }
         (OpKind::MatMul { transpose_b }, _) => {
             fc::matmul_f32(node, inputs, out_def, *transpose_b, out)

@@ -18,12 +18,14 @@
 //! default.
 //!
 //! Execution is pluggable behind the [`ExecutionBackend`] trait: the
-//! [`ReferenceBackend`] and [`OptimizedBackend`] wrap the two kernel
-//! flavors, and the [`EdgeEmulatorBackend`] reproduces a foreign edge
-//! runtime's numerics ([`EdgeNumerics`]: GEMM accumulation order, fused
-//! multiply-add, flush-to-zero denormals, reduced-precision
-//! requantization) — the substrate of `mlexray-core`'s per-layer
-//! differential debugger.
+//! [`ReferenceBackend`] and [`OptimizedBackend`] wrap the two scalar kernel
+//! flavors, the [`SimdBackend`] dispatches the runtime-feature-detected
+//! virtual-SIMD GEMM micro-kernels of the [`simd`] module (AVX2/FMA on
+//! x86_64, a bitwise-identical scalar mirror elsewhere), and the
+//! [`EdgeEmulatorBackend`] reproduces a foreign edge runtime's numerics
+//! ([`EdgeNumerics`]: GEMM accumulation order, fused multiply-add,
+//! flush-to-zero denormals, reduced-precision requantization) — the
+//! substrate of `mlexray-core`'s per-layer differential debugger.
 //!
 //! # Example
 //!
@@ -62,7 +64,7 @@ mod resolver;
 
 pub use backend::{
     BackendSpec, BoxedBackend, EdgeEmulatorBackend, ExecutionBackend, OptimizedBackend,
-    ReferenceBackend,
+    ReferenceBackend, SimdBackend,
 };
 pub use convert::convert_to_mobile;
 pub use error::NnError;
@@ -70,6 +72,7 @@ pub use graph::{Graph, GraphBuilder, Node, NodeId, TensorDef, TensorId};
 pub use interpreter::{
     Interpreter, InterpreterOptions, InvokeStats, LayerObserver, LayerRecord, NullObserver,
 };
+pub use kernels::gemm as simd;
 pub use model::{Model, ModelVariant};
 pub use ops::{Activation, OpKind, Padding};
 pub use plan::{MemoryPlan, PlannedTensor};

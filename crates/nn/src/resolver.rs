@@ -15,6 +15,11 @@ pub enum KernelFlavor {
     Optimized,
     /// Naive reference kernels.
     Reference,
+    /// SIMD-tiled kernels: GEMM-family ops run through the runtime-feature-
+    /// dispatched micro-kernel in `kernels::gemm` (AVX2/FMA on x86_64, a
+    /// bitwise-identical scalar mirror elsewhere); every other op shares the
+    /// optimized implementations.
+    Simd,
 }
 
 impl KernelFlavor {
@@ -23,6 +28,7 @@ impl KernelFlavor {
         match self {
             KernelFlavor::Optimized => "OpResolver",
             KernelFlavor::Reference => "RefOpResolver",
+            KernelFlavor::Simd => "SimdOpResolver",
         }
     }
 }
@@ -50,6 +56,13 @@ pub struct KernelBugs {
     /// in Fig. 5 and the periodic rMSE peaks of Fig. 6 (right). Small branch
     /// pools (Inception's 3x3) are unaffected, as in the paper.
     pub avgpool_double_division: bool,
+    /// The **SIMD** float GEMM micro-kernel drops the last element of the
+    /// K-loop remainder whenever K is not a multiple of the 8-wide vector
+    /// width — the classic tile-boundary off-by-one a hand-unrolled kernel
+    /// ships with. Only the [`KernelFlavor::Simd`] f32 GEMM paths (conv /
+    /// fully-connected) are affected; it is a test-only knob pinning the
+    /// differential debugger against tile-boundary defects.
+    pub simd_gemm_k_tail_skip: bool,
 }
 
 impl KernelBugs {
@@ -58,17 +71,22 @@ impl KernelBugs {
         KernelBugs::default()
     }
 
-    /// The two defects active in the paper's 2021 TFLite snapshot.
+    /// The two defects active in the paper's 2021 TFLite snapshot. The SIMD
+    /// tile-boundary knob stays off — it models this repo's own kernel
+    /// campaign, not the paper's snapshot.
     pub fn paper_2021() -> Self {
         KernelBugs {
             optimized_dwconv_i16_accumulator: true,
             avgpool_double_division: true,
+            simd_gemm_k_tail_skip: false,
         }
     }
 
     /// True if any defect is enabled.
     pub fn any(self) -> bool {
-        self.optimized_dwconv_i16_accumulator || self.avgpool_double_division
+        self.optimized_dwconv_i16_accumulator
+            || self.avgpool_double_division
+            || self.simd_gemm_k_tail_skip
     }
 }
 
@@ -156,5 +174,6 @@ mod tests {
     fn labels() {
         assert_eq!(KernelFlavor::Optimized.label(), "OpResolver");
         assert_eq!(KernelFlavor::Reference.label(), "RefOpResolver");
+        assert_eq!(KernelFlavor::Simd.label(), "SimdOpResolver");
     }
 }

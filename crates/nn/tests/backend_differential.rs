@@ -43,11 +43,15 @@ fn bug_for(site: BugSite) -> KernelBugs {
     match site {
         BugSite::Dwconv => KernelBugs {
             optimized_dwconv_i16_accumulator: true,
-            avgpool_double_division: false,
+            ..KernelBugs::none()
         },
         BugSite::AvgPool16 => KernelBugs {
-            optimized_dwconv_i16_accumulator: false,
             avgpool_double_division: true,
+            ..KernelBugs::none()
+        },
+        BugSite::SimdKTail => KernelBugs {
+            simd_gemm_k_tail_skip: true,
+            ..KernelBugs::none()
         },
     }
 }
@@ -241,6 +245,60 @@ fn injected_defects_fire_and_localize_on_generated_graphs() {
         "avgpool defect fired on only {}/{SEEDS} graphs — fixture too tame",
         fired[1]
     );
+}
+
+/// The injected SIMD tile-boundary defect (an off-by-one truncation of
+/// the GEMM K-loop remainder): a clean-SIMD baseline against a bugged-SIMD
+/// candidate is same-flavor, so the GEMM-free prefix stays bitwise clean
+/// and the debugger must localize the ragged-K target conv exactly and
+/// bisect it op-local — on every generated graph, since dropping a
+/// continuous random product term essentially always changes bits.
+#[test]
+fn simd_k_tail_bug_localizes_and_bisects_op_local() {
+    const SEEDS: u64 = 8;
+    let mut fired = 0usize;
+    for seed in 0..SEEDS {
+        let mut rng = SmallRng::seed_from_u64(0x51d0 + seed);
+        let (graph, in_shape) = random_graph_with_site(&mut rng, BugSite::SimdKTail);
+        let samples = sample_batch(&mut rng, &in_shape, 4);
+        if assert_localizes(
+            &graph,
+            BackendSpec::simd(),
+            BackendSpec::Simd {
+                bugs: bug_for(BugSite::SimdKTail),
+            },
+            &samples,
+            BugSite::SimdKTail,
+        ) {
+            fired += 1;
+        }
+    }
+    assert_eq!(
+        fired, SEEDS as usize,
+        "the K-tail truncation must fire on every ragged-K graph"
+    );
+}
+
+/// The K-tail defect lives only in the SIMD GEMM: reference and optimized
+/// backends carrying the flag stay bitwise-identical to their clean
+/// counterparts.
+#[test]
+fn simd_k_tail_bug_is_inert_outside_the_simd_backend() {
+    let bugs = bug_for(BugSite::SimdKTail);
+    let mut rng = SmallRng::seed_from_u64(0x51df);
+    let (graph, in_shape) = random_graph_with_site(&mut rng, BugSite::SimdKTail);
+    let samples = sample_batch(&mut rng, &in_shape, 4);
+    for (clean, bugged) in [
+        (BackendSpec::reference(), BackendSpec::Reference { bugs }),
+        (BackendSpec::optimized(), BackendSpec::Optimized { bugs }),
+    ] {
+        let report = diff_backends(&graph, clean, bugged, &samples, &options(0.0))
+            .expect("differential run succeeds");
+        assert!(
+            report.is_equivalent(),
+            "non-SIMD kernels must ignore the SIMD defect:\n{report}"
+        );
+    }
 }
 
 /// The emulator's non-faithful knobs must themselves be localizable: the

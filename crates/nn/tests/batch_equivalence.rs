@@ -1,9 +1,12 @@
 //! Property suite for batched in-interpreter inference: for random small
 //! graphs and shapes, `invoke_batch` over N inputs must be **bitwise
-//! identical** to N sequential `invoke` calls — in both kernel flavors,
-//! float and fully-integer quantized, with and without the injected
-//! [`KernelBugs`] — and per-frame observer records must carry the right
-//! frame index and data.
+//! identical** to N sequential `invoke` calls — in all three kernel
+//! flavors (reference, optimized, SIMD), float and fully-integer
+//! quantized, with and without the injected [`KernelBugs`] — and
+//! per-frame observer records must carry the right frame index and data.
+//! The SIMD flavor additionally tracks the reference flavor across random
+//! graphs: within reassociation tolerance in float, bitwise in quantized
+//! form (its i8×i8→i32 path is exact integer arithmetic).
 
 mod common;
 
@@ -42,13 +45,13 @@ fn assert_batch_equivalence(graph: &Graph, samples: &[Vec<Tensor>], options: Int
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
-    /// Float graphs: batched == sequential, bitwise, in both flavors.
+    /// Float graphs: batched == sequential, bitwise, in every flavor.
     #[test]
     fn float_batched_equals_sequential(seed in 0u64..100_000, n in 2usize..6) {
         let mut rng = SmallRng::seed_from_u64(seed);
         let (graph, in_shape) = random_graph(&mut rng);
         let samples = sample_batch(&mut rng, &in_shape, n);
-        for flavor in [KernelFlavor::Optimized, KernelFlavor::Reference] {
+        for flavor in [KernelFlavor::Optimized, KernelFlavor::Reference, KernelFlavor::Simd] {
             assert_batch_equivalence(
                 &graph,
                 &samples,
@@ -58,7 +61,7 @@ proptest! {
     }
 
     /// Quantized graphs (full-integer, via calibration + quantize_model):
-    /// batched == sequential, bitwise, in both flavors, with and without the
+    /// batched == sequential, bitwise, in every flavor, with and without the
     /// injected §4.4 kernel defects.
     #[test]
     fn quantized_batched_equals_sequential(seed in 0u64..100_000, n in 2usize..5) {
@@ -74,7 +77,7 @@ proptest! {
         };
         let quant = quantize_model(&model, &calib, QuantizationOptions::default())
             .expect("quantizable op set");
-        for flavor in [KernelFlavor::Optimized, KernelFlavor::Reference] {
+        for flavor in [KernelFlavor::Optimized, KernelFlavor::Reference, KernelFlavor::Simd] {
             for bugs in [KernelBugs::none(), KernelBugs::paper_2021()] {
                 assert_batch_equivalence(
                     &quant.graph,
@@ -84,6 +87,70 @@ proptest! {
             }
         }
     }
+
+    /// SIMD flavor vs reference flavor on random graphs and batch sizes:
+    /// float outputs agree within the tiled GEMM's reassociation
+    /// tolerance; fully-integer-quantized outputs agree **bitwise**.
+    #[test]
+    fn simd_tracks_reference_across_random_graphs(seed in 0u64..100_000, n in 2usize..5) {
+        let mut rng = SmallRng::seed_from_u64(seed.wrapping_add(0x51d));
+        let (graph, in_shape) = random_graph(&mut rng);
+        let samples = sample_batch(&mut rng, &in_shape, n);
+
+        let reference = run_batched(&graph, &samples, KernelFlavor::Reference);
+        let simd = run_batched(&graph, &samples, KernelFlavor::Simd);
+        for (frame, (r, s)) in reference.iter().zip(&simd).enumerate() {
+            for (rt, st) in r.iter().zip(s) {
+                let err = max_rel_err(rt, st);
+                prop_assert!(
+                    err <= 1e-4,
+                    "float SIMD drifted {err:.3e} from reference at frame {frame}"
+                );
+            }
+        }
+
+        let calib = calibrate(&graph, samples.iter().map(Vec::as_slice))
+            .expect("calibration over the sample batch");
+        let model = Model {
+            graph,
+            family: "prop".into(),
+            variant: ModelVariant::MobileFloat,
+        };
+        let quant = quantize_model(&model, &calib, QuantizationOptions::default())
+            .expect("quantizable op set");
+        prop_assert_eq!(
+            run_batched(&quant.graph, &samples, KernelFlavor::Reference),
+            run_batched(&quant.graph, &samples, KernelFlavor::Simd),
+            "quantized SIMD must be bitwise-identical to reference"
+        );
+    }
+}
+
+/// Runs one batched invoke under a flavor, returning per-frame outputs.
+fn run_batched(graph: &Graph, samples: &[Vec<Tensor>], flavor: KernelFlavor) -> Vec<Vec<Tensor>> {
+    let mut interp = Interpreter::new(
+        graph,
+        InterpreterOptions {
+            flavor,
+            bugs: KernelBugs::none(),
+            numerics: None,
+        },
+    )
+    .expect("graph validates");
+    let refs: Vec<&[Tensor]> = samples.iter().map(Vec::as_slice).collect();
+    interp.invoke_batch(&refs).expect("batched invoke")
+}
+
+/// Largest elementwise error of `b` against `a`, relative to `a`'s
+/// magnitude (floored at 1 so tiny values compare absolutely).
+fn max_rel_err(a: &Tensor, b: &Tensor) -> f32 {
+    let av = a.to_f32_vec();
+    let bv = b.to_f32_vec();
+    assert_eq!(av.len(), bv.len(), "shape mismatch");
+    av.iter()
+        .zip(&bv)
+        .map(|(x, y)| (x - y).abs() / x.abs().max(1.0))
+        .fold(0.0, f32::max)
 }
 
 /// A squeeze-excite style gate (`Mul` with a `[n,1,1,c]` activation rhs)

@@ -124,6 +124,12 @@ pub enum BugSite {
     /// A quantized `AveragePool2d` with window area >= 16 — the
     /// double-division defect's target (small windows are unaffected).
     AvgPool16,
+    /// A float convolution whose im2col depth is not a multiple of the
+    /// 8-wide SIMD lane count — the `simd_gemm_k_tail_skip` tile-boundary
+    /// defect's target. The generated prefix is GEMM-free (no conv/fc),
+    /// so under the injected defect the target is the unique
+    /// first-divergent layer and the prefix stays bitwise clean.
+    SimdKTail,
 }
 
 impl BugSite {
@@ -132,6 +138,7 @@ impl BugSite {
         match self {
             BugSite::Dwconv => "target_dw",
             BugSite::AvgPool16 => "target_ap",
+            BugSite::SimdKTail => "target_conv",
         }
     }
 }
@@ -149,8 +156,16 @@ pub fn random_graph_with_site(rng: &mut SmallRng, site: BugSite) -> (Graph, Shap
     let mut b = GraphBuilder::new("prop_site");
     let mut cur = b.input("x", in_shape.clone());
     let mut cur_c = c;
+    // The SIMD K-tail defect fires in *any* float GEMM whose depth is
+    // ragged, so its prefix must stay GEMM-free to keep the target the
+    // unique first-divergent layer.
+    let prefix_arms = if site == BugSite::SimdKTail {
+        1..3u8
+    } else {
+        0..3u8
+    };
     for i in 0..rng.gen_range(0..3usize) {
-        match rng.gen_range(0..3u8) {
+        match rng.gen_range(prefix_arms.clone()) {
             0 => {
                 let out_c = rng.gen_range(2..5usize);
                 let k = rng.gen_range(1..4usize);
@@ -210,6 +225,28 @@ pub fn random_graph_with_site(rng: &mut SmallRng, site: BugSite) -> (Graph, Shap
             cur = b
                 .avg_pool2d(site.layer_name(), cur, 4, 4, 4, Padding::Valid)
                 .expect("spatial size stays >= 4 through the prefix");
+        }
+        BugSite::SimdKTail => {
+            // 3x3 over 2..4 channels: im2col depth K = 9*c ∈ {18, 27} —
+            // never a multiple of the 8-wide lane count, so the SIMD GEMM
+            // always takes (and, bugged, always truncates) the K tail.
+            let out_c = rng.gen_range(2..5usize);
+            let w = b.constant(
+                "target_w",
+                rand_tensor(rng, Shape::new(vec![out_c, 3, 3, cur_c])),
+            );
+            cur = b
+                .conv2d(
+                    site.layer_name(),
+                    cur,
+                    w,
+                    None,
+                    1,
+                    Padding::Same,
+                    Activation::None,
+                )
+                .expect("stride-1 Same conv fits");
+            cur_c = out_c;
         }
     }
     let m = b.mean("gap", cur).expect("rank-4 mean");

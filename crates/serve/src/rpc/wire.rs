@@ -179,6 +179,10 @@ pub enum WireSpec {
     Reference,
     /// The optimized serving backend.
     Optimized,
+    /// The SIMD-tiled GEMM backend (runtime feature dispatch with a
+    /// bitwise-identical scalar fallback, so the tag means the same
+    /// numerics on every host).
+    Simd,
 }
 
 impl WireSpec {
@@ -187,6 +191,7 @@ impl WireSpec {
         match self {
             WireSpec::Reference => BackendSpec::reference(),
             WireSpec::Optimized => BackendSpec::optimized(),
+            WireSpec::Simd => BackendSpec::simd(),
         }
     }
 
@@ -194,6 +199,7 @@ impl WireSpec {
         match self {
             WireSpec::Reference => 0,
             WireSpec::Optimized => 1,
+            WireSpec::Simd => 2,
         }
     }
 
@@ -201,6 +207,7 @@ impl WireSpec {
         match value {
             0 => Ok(WireSpec::Reference),
             1 => Ok(WireSpec::Optimized),
+            2 => Ok(WireSpec::Simd),
             other => Err(WireError::Malformed(format!(
                 "unknown backend spec tag {other}"
             ))),
@@ -1201,6 +1208,15 @@ mod tests {
                 source: LoadSource::GraphJson {
                     name: "uploaded".into(),
                     json: "{\"graph\":{}}".into(),
+                },
+            },
+            RpcRequest::Load {
+                spec: WireSpec::Simd,
+                source: LoadSource::Zoo {
+                    family: "mini_mobilenet_v2".into(),
+                    input: 24,
+                    classes: 8,
+                    seed: 7,
                 },
             },
             RpcRequest::Seal {

@@ -48,8 +48,8 @@ use std::time::{Duration, Instant};
 use parking_lot::RwLock;
 
 use mlexray_core::{
-    layer_output_key, DriftAlarm, LogRecord, LogSink, LogValue, OnlineValidator,
-    OnlineValidatorConfig, OnlineValidatorStats, KEY_INFERENCE_LATENCY,
+    available_cores, layer_output_key, reserve_cores, CoreLease, DriftAlarm, LogRecord, LogSink,
+    LogValue, OnlineValidator, OnlineValidatorConfig, OnlineValidatorStats, KEY_INFERENCE_LATENCY,
 };
 use mlexray_edgesim::SimulatedDevice;
 use mlexray_nn::{BackendSpec, ExecutionBackend, LayerObserver, LayerRecord};
@@ -179,8 +179,12 @@ pub struct ServiceConfig {
     pub workers_per_model: usize,
     /// Global cap on worker threads across all models, so serving pools
     /// compose with the replay engine's sharding instead of oversubscribing
-    /// cores. `0` means the machine's available parallelism. Every model
-    /// still gets at least one worker.
+    /// cores. `0` means the unreserved headroom of the process-global
+    /// [`mlexray_core::budget`] ledger (machine parallelism minus whatever
+    /// replay runs and parallel invokes currently hold). Every model still
+    /// gets at least one worker, and each spawned pool registers its
+    /// workers on the same ledger for its lifetime. Explicit values are
+    /// honored verbatim.
     pub core_budget: usize,
     /// Dynamic-batching policy.
     pub batch: BatchPolicy,
@@ -230,6 +234,9 @@ struct ModelServer {
     worker_count: usize,
     next_id: AtomicU64,
     sample_clock: AtomicU64,
+    /// The pool's claim on the global core ledger, released when the pool
+    /// drains (so replay/parallel-invoke runs see serving pressure).
+    lease: Option<CoreLease>,
 }
 
 /// The in-process inference service: spawn it over a [`ModelRegistry`],
@@ -280,9 +287,10 @@ impl InferenceService {
             ));
         }
         let budget = if config.core_budget == 0 {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
+            // Size against the global core ledger, not the raw machine: a
+            // concurrent sharded replay (or parallel invoke) holding cores
+            // shrinks the serving budget instead of being oversubscribed.
+            available_cores()
         } else {
             config.core_budget
         };
@@ -310,6 +318,8 @@ impl InferenceService {
         let workers = self.config.workers_per_model.min(remaining.max(1)).max(1);
         self.budget_left
             .store(remaining.saturating_sub(workers), Ordering::Release);
+        // Register the pool on the global ledger for its lifetime.
+        let lease = reserve_cores(workers);
         let queue = Arc::new(RequestQueue::new(
             self.config.queue_capacity,
             self.config.start_paused,
@@ -347,6 +357,7 @@ impl InferenceService {
             worker_count: workers,
             next_id: AtomicU64::new(0),
             sample_clock: AtomicU64::new(0),
+            lease: Some(lease),
         })
     }
 
@@ -623,6 +634,10 @@ impl InferenceService {
         // to dead-lock against a reader of the map.
         let handles: Vec<JoinHandle<()>> = {
             let mut servers = self.servers.write();
+            // Return each pool's cores to the global ledger as it drains.
+            for server in servers.values_mut() {
+                server.lease.take();
+            }
             servers
                 .values_mut()
                 .flat_map(|s| s.workers.drain(..))

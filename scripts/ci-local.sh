@@ -32,6 +32,12 @@ step "backend suites (differential property + emulator goldens + report determin
 cargo test -q -p mlexray-nn --test backend_differential --test golden_kernels
 cargo test -q -p mlexray-core --test differential_replay
 
+step "kernel-simd suites (native dispatch, then MLEXRAY_SIMD=scalar forced fallback)"
+cargo test -q -p mlexray-nn --test golden_kernels --test batch_equivalence --test backend_differential
+cargo test -q -p mlexray-core --test parallel_invoke
+MLEXRAY_SIMD=scalar cargo test -q -p mlexray-nn --test golden_kernels --test batch_equivalence --test backend_differential
+MLEXRAY_SIMD=scalar cargo test -q -p mlexray-core --test parallel_invoke
+
 step "serve suite (loaded serving integration + sink backpressure stress + fig_serving smoke)"
 cargo test -q -p mlexray-serve
 cargo test -q -p mlexray-core --test sink_stress
@@ -44,7 +50,7 @@ MLEXRAY_QUICK=1 cargo test -q -p mlexray-bench --test experiments_smoke fig_metr
 step "cargo build --release"
 cargo build --release
 
-step "rpc suite (release: protocol robustness + 32-session loaded proof + fig_rpc floors + loadgen + metrics scrape + BENCH_PR8)"
+step "rpc suite (release: protocol robustness + 32-session loaded proof + fig_rpc floors + loadgen + metrics scrape + BENCH_PR9)"
 cargo test --release -q -p mlexray-serve --test rpc_protocol --test rpc_loaded
 MLEXRAY_QUICK=1 MLEXRAY_ENFORCE_SCALING=1 cargo test --release -q -p mlexray-bench --test experiments_smoke fig_rpc
 MLEXRAY_QUICK=1 cargo run --release -q -p mlexray-bench --bin rpc_loadgen
