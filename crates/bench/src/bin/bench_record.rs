@@ -1,7 +1,7 @@
 //! `bench-record`: collects the headline numbers of the perf experiments
-//! (`fig_batching`, `fig_serving`, `fig_rpc`, `fig_metrics`, `fig_simd`)
-//! into one `experiment → metric → value` record,
-//! `target/experiment-artifacts/BENCH_PR9.json`, which CI uploads per PR.
+//! (`fig_batching`, `fig_serving`, `fig_rpc`, `fig_metrics`, `fig_simd`,
+//! `fig_trace`) into one `experiment → metric → value` record,
+//! `target/experiment-artifacts/BENCH_PR10.json`, which CI uploads per PR.
 //!
 //! Any experiment whose structured artifact
 //! (`<name>_metrics.json`) is missing is run first at the scale
@@ -9,15 +9,18 @@
 //! `cargo run --release --bin bench_record` is self-contained, while a CI
 //! job that already ran the smoke suite only pays for collection.
 
-use mlexray_bench::experiments::{fig_batching, fig_metrics, fig_rpc, fig_serving, fig_simd};
+use mlexray_bench::experiments::{
+    fig_batching, fig_metrics, fig_rpc, fig_serving, fig_simd, fig_trace,
+};
 use mlexray_bench::support::{artifact_dir, collect_headline_metrics, Scale};
 
-const EXPERIMENTS: [&str; 5] = [
+const EXPERIMENTS: [&str; 6] = [
     "fig_batching",
     "fig_serving",
     "fig_rpc",
     "fig_metrics",
     "fig_simd",
+    "fig_trace",
 ];
 
 fn main() {
@@ -35,6 +38,7 @@ fn main() {
             "fig_rpc" => drop(fig_rpc::run_measured(&scale)),
             "fig_metrics" => drop(fig_metrics::run_measured(&scale)),
             "fig_simd" => drop(fig_simd::run_measured(&scale)),
+            "fig_trace" => drop(fig_trace::run_measured(&scale)),
             other => unreachable!("unknown experiment {other}"),
         }
     }
@@ -46,9 +50,9 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let path = dir.join("BENCH_PR9.json");
+    let path = dir.join("BENCH_PR10.json");
     let json = serde_json::to_string(&record).expect("record serializes");
-    std::fs::write(&path, &json).expect("write BENCH_PR9.json");
+    std::fs::write(&path, &json).expect("write BENCH_PR10.json");
     println!("wrote {}", path.display());
 
     // A human-readable echo of what landed in the record.

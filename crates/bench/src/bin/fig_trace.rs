@@ -1,0 +1,7 @@
+//! Prints the tracing figure: the span pipeline's p95 tax at 1/16
+//! sampling, the bounded ring footprint under a 100k-span flood, the
+//! profiler-vs-histogram reconciliation and the slow-batch attribution.
+fn main() {
+    let scale = mlexray_bench::support::Scale::from_env();
+    println!("{}", mlexray_bench::experiments::fig_trace::run(&scale));
+}

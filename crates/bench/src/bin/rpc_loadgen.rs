@@ -17,6 +17,14 @@
 //! (and, on the loopback server, the drain) completes, a final scrape is
 //! held against the drained books counter for counter.
 //!
+//! With `--trace`, the loopback server runs with the span pipeline on:
+//! every fourth arrival carries a client-minted wire trace context
+//! (protocol v3), a burst of already-expired deadlines forces
+//! always-sample-on-shed traces, and the final `Trace` round-trip must
+//! return Chrome-trace JSON that parses and contains the full span chain
+//! (`rpc_decode` → `queue_wait` → `exec` → `respond_encode`) plus the
+//! forced `shed` spans.
+//!
 //! Environment knobs:
 //!
 //! | variable | default | meaning |
@@ -32,13 +40,16 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 use mlexray_bench::support::Scale;
+use mlexray_core::{trace_id_for, TraceContext};
 use mlexray_datasets::synth_image::{self, SynthImageSpec};
 use mlexray_datasets::{InMemoryPlayback, TrafficGenerator};
 use mlexray_models::canonical_preprocess;
 use mlexray_nn::BackendSpec;
 use mlexray_serve::metrics::{parse_exposition, sample};
 use mlexray_serve::rpc::{ErrorCode, RpcClient, RpcServer, RpcServerConfig, WireSpec};
-use mlexray_serve::{BatchPolicy, InferenceService, ModelRegistry, MonitorPolicy, ServiceConfig};
+use mlexray_serve::{
+    BatchPolicy, InferenceService, ModelRegistry, MonitorPolicy, ServiceConfig, TracePolicy,
+};
 use mlexray_tensor::Tensor;
 
 const MODEL: &str = "mini_mobilenet_v2";
@@ -98,6 +109,10 @@ fn main() {
     // `--metrics`: scrape the Prometheus exposition while the load runs
     // and hold the final scrape against the drained books.
     let metrics_mode = std::env::args().any(|a| a == "--metrics");
+    // `--trace`: wire-propagated trace contexts on every fourth arrival,
+    // a forced-shed burst, and a `Trace` round-trip held to the full
+    // span chain (loopback only; external targets just get the scrape).
+    let trace_mode = std::env::args().any(|a| a == "--trace");
 
     // No target address: stand up a loopback server on an ephemeral port.
     let (addr, loopback) = match std::env::var("MLEXRAY_RPC_ADDR") {
@@ -121,6 +136,17 @@ fn main() {
                     queue_capacity: sessions * 4,
                     batch: BatchPolicy::windowed(8, Duration::from_micros(200)),
                     monitor: MonitorPolicy::off(),
+                    // Under --trace only wire-carried contexts and forced
+                    // anomalies sample (the service clock practically
+                    // never fires), so the trace set is client-determined.
+                    trace: if trace_mode {
+                        TracePolicy {
+                            completed_capacity: 256,
+                            ..TracePolicy::sampled(1_000_000)
+                        }
+                    } else {
+                        TracePolicy::off()
+                    },
                     ..Default::default()
                 },
                 None,
@@ -217,12 +243,22 @@ fn main() {
                     let mut tally = SessionTally::default();
                     let bytes_out0 = client.bytes_sent();
                     let bytes_in0 = client.bytes_received();
-                    for (at, input) in arrivals.iter().skip(s).step_by(sessions) {
+                    for (i, (at, input)) in arrivals.iter().enumerate().skip(s).step_by(sessions) {
                         if let Some(wait) = at.checked_sub(started.elapsed()) {
                             std::thread::sleep(wait); // open loop: pace the offer
                         }
                         let sent = Instant::now();
-                        match client.infer(MODEL, vec![input.clone()], deadline) {
+                        // Under --trace every fourth arrival carries a
+                        // client-minted wire context, exercising the v3
+                        // propagation path end to end.
+                        let outcome = if trace_mode && i % 4 == 0 {
+                            let context =
+                                TraceContext::sampled(trace_id_for("rpc-loadgen", i as u64));
+                            client.infer_traced(MODEL, vec![input.clone()], deadline, context)
+                        } else {
+                            client.infer(MODEL, vec![input.clone()], deadline)
+                        };
+                        match outcome {
                             Ok(_) => {
                                 tally.latencies_ms.push(sent.elapsed().as_secs_f64() * 1e3);
                                 tally.completed += 1;
@@ -275,11 +311,88 @@ fn main() {
     );
     println!("wire bytes: {bytes_sent} sent, {bytes_received} received");
     println!(
-        "server status: ready={} models={} sealed_bytes={}",
+        "server status: ready={} models={} sealed_bytes={} \
+         trace_sampled={} dropped_spans={}",
         status.ready,
         status.models.len(),
         status.sealed_bytes,
+        status.trace_sampled,
+        status.dropped_spans,
     );
+    // --trace, loopback: force always-sample-on-shed traces with
+    // already-expired deadlines (enforced at dequeue, so the shed is
+    // deterministic), on a dedicated session kept alive past the load.
+    let mut tracer = (trace_mode && loopback.is_some()).then(|| {
+        let mut client = RpcClient::connect(addr.as_str()).expect("tracer connects");
+        if let Some(token) = &token {
+            client.hello(token).expect("token accepted");
+        }
+        client
+    });
+    if tracer.is_some() {
+        // The wire carries whole milliseconds, so an already-expired
+        // deadline is not expressible — instead 12 closed-loop sessions
+        // pile 1 ms-deadline requests onto the two workers until the
+        // queue wait alone exceeds the deadline. Retried rounds make the
+        // shed deterministic whatever the hardware.
+        let frame = &arrivals[0].1;
+        let mut deadline_sheds = 0u64;
+        for _round in 0..10 {
+            if deadline_sheds >= 4 {
+                break;
+            }
+            let round_sheds: u64 = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..12)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut client =
+                                RpcClient::connect(addr.as_str()).expect("shed session connects");
+                            if let Some(token) = &token {
+                                client.hello(token).expect("token accepted");
+                            }
+                            let mut sheds = 0u64;
+                            for _ in 0..4 {
+                                let result = client.infer(
+                                    MODEL,
+                                    vec![frame.clone()],
+                                    Some(Duration::from_millis(1)),
+                                );
+                                if let Err(e) = result {
+                                    if e.server_code() == Some(ErrorCode::DeadlineExpired) {
+                                        sheds += 1;
+                                    }
+                                }
+                            }
+                            sheds
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shed session thread"))
+                    .sum()
+            });
+            deadline_sheds += round_sheds;
+        }
+        assert!(
+            deadline_sheds > 0,
+            "the overload burst produced no deadline sheds to force-trace"
+        );
+        println!("trace: forced {deadline_sheds} deadline sheds for always-sampling");
+    }
+    // --trace, external target: the Trace verb must still answer with
+    // parseable Chrome-trace JSON (the export may be empty — sampling is
+    // the target's policy, and deliberate sheds are not ours to force).
+    if trace_mode && loopback.is_none() {
+        let reply = clients[0].trace(0).expect("Trace verb answers");
+        serde_json::parse_value(&reply.json).expect("Chrome-trace JSON parses");
+        println!(
+            "trace: external target exported {} traces ({} B JSON, {} spans dropped)",
+            reply.traces,
+            reply.json.len(),
+            reply.dropped_spans,
+        );
+    }
     drop(clients);
 
     if let Some(server) = loopback {
@@ -320,6 +433,48 @@ fn main() {
                  {} B, {} series, counters match the drained books",
                 text.len(),
                 samples.len(),
+            );
+        }
+        if let Some(mut tracer) = tracer.take() {
+            // The Trace round-trip: the export must parse as Chrome-trace
+            // JSON and contain the full span chain of the wire-traced
+            // requests plus the forced shed traces.
+            let reply = tracer.trace(0).expect("Trace verb answers");
+            let doc = serde_json::parse_value(&reply.json).expect("Chrome-trace JSON parses");
+            let events = match doc.get("traceEvents") {
+                Some(serde_json::Value::Array(events)) => events,
+                _ => panic!("Trace export has no traceEvents array"),
+            };
+            let has = |name: &str| {
+                events.iter().any(|e| {
+                    matches!(e.get("name"),
+                        Some(serde_json::Value::String(n)) if n == name)
+                })
+            };
+            for name in [
+                "request",
+                "rpc_decode",
+                "admission",
+                "queue_wait",
+                "batch_form",
+                "exec",
+                "respond",
+                "respond_encode",
+            ] {
+                assert!(has(name), "span chain missing `{name}` in the Trace export");
+            }
+            assert!(
+                has("shed"),
+                "forced deadline sheds must be always-sampled into the export"
+            );
+            assert!(reply.traces > 0, "wire-traced requests must export");
+            println!(
+                "trace: {} traces exported ({} B JSON, {} events, {} spans dropped); \
+                 full span chain + forced sheds present",
+                reply.traces,
+                reply.json.len(),
+                events.len(),
+                reply.dropped_spans,
             );
         }
         let report = server.shutdown();

@@ -14,6 +14,7 @@ pub mod fig_rpc;
 pub mod fig_scaling;
 pub mod fig_serving;
 pub mod fig_simd;
+pub mod fig_trace;
 pub mod table1;
 pub mod table2;
 pub mod table3_5;

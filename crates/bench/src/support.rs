@@ -163,7 +163,7 @@ pub fn record_json_artifact<T: serde::Serialize>(
 /// artifact (`<artifact_dir>/<name>_metrics.json`, written by its
 /// `run_measured`) is parsed and its scalar metrics (numbers and booleans)
 /// are kept; strings, arrays and nested objects are dropped. This is the
-/// `BENCH_PR9.json` schema the `bench_record` binary and
+/// `BENCH_PR10.json` schema the `bench_record` binary and
 /// `scripts/bench-record.sh` publish as a CI artifact.
 ///
 /// # Errors

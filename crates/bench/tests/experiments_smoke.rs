@@ -458,6 +458,87 @@ fn fig_simd_beats_scalar_and_parallel_invoke_stays_bitwise() {
 }
 
 #[test]
+fn fig_trace_bounds_the_tax_reconciles_and_attributes() {
+    let mut result = None;
+    let out = smoke("fig_trace", |scale| {
+        let (r, rendered) = experiments::fig_trace::run_measured(scale);
+        result = Some(r);
+        rendered
+    });
+    let result = result.expect("smoke ran the closure");
+    // Correctness bars hold at any scale, debug or release:
+    assert!(
+        result.footprint_constant,
+        "ring footprint moved under a {}-span flood — not fixed-size:\n{out}",
+        result.flood_spans
+    );
+    assert!(
+        result.flood_spans >= 100_000,
+        "the footprint phase must push at least 100k spans:\n{out}"
+    );
+    assert!(
+        result.drops_accounted && result.spans_dropped > 0,
+        "every overflowed span must be counted dropped, never silently \
+         lost ({} dropped, accounted: {}):\n{out}",
+        result.spans_dropped,
+        result.drops_accounted
+    );
+    assert!(
+        result.reconciled,
+        "profiler root-span total must reconcile with the latency \
+         histogram within one sub-bucket ({} ns diff, bound {} ns):\n{out}",
+        result.reconcile_diff_ns, result.reconcile_bound_ns
+    );
+    assert!(
+        result.slow_attributed,
+        "an injected slow batch must be attributed to batch formation, \
+         not exec ({:.1} ms batch vs {:.2} ms exec):\n{out}",
+        result.slow_batch_wait_ms, result.slow_exec_ms
+    );
+    assert!(
+        result.chrome_events > 0,
+        "the Chrome-trace export of the reconciliation traces is empty:\n{out}"
+    );
+    assert!(
+        result.sampled >= result.tax_requests / experiments::fig_trace::TAX_SAMPLING,
+        "the 1/16 clock sampled too few requests ({} of {}):\n{out}",
+        result.sampled,
+        result.tax_requests
+    );
+    assert!(
+        result.balanced,
+        "serving books must balance across every tracing phase:\n{out}"
+    );
+    // At any scale, tracing must never be catastrophically expensive.
+    assert!(
+        result.tracing_tax < 4.0,
+        "tracing catastrophically expensive: {:.2}x p95:\n{out}",
+        result.tracing_tax
+    );
+    // The strict perf bar (<=5% p95 tax at 1/16 sampling) is enforced
+    // with MLEXRAY_ENFORCE_SCALING=1 in release mode at **default
+    // scale**, mirroring fig_simd: at quick scale requests are sub-ms,
+    // so the fixed per-sample cost and scheduler noise dominate what the
+    // bar is meant to measure — the marginal cost of tracing real work.
+    let enforce = std::env::var("MLEXRAY_ENFORCE_SCALING")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    if enforce && cfg!(not(debug_assertions)) {
+        let _guard = EXPERIMENT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let (full, full_out) = experiments::fig_trace::run_measured(&Scale::default_scale());
+        assert!(
+            full.tracing_tax <= 1.05,
+            "expected <=5% p95 tracing tax at 1/{} sampling, got {:.3}x:\n{full_out}",
+            experiments::fig_trace::TAX_SAMPLING,
+            full.tracing_tax
+        );
+    }
+    // The structured metrics artifact rides along with the rendered one.
+    let metrics = mlexray_bench::support::artifact_dir().join("fig_trace_metrics.json");
+    assert!(metrics.exists(), "structured metrics artifact missing");
+}
+
+#[test]
 fn fig_scaling_renders_scales_and_is_deterministic() {
     // run_measured pays for the (expensive) worker sweep once and hands
     // back both the rendering (artifact + string checks) and the numbers

@@ -65,6 +65,7 @@ mod pipeline;
 mod reference;
 pub mod replay;
 mod sink;
+pub mod trace;
 mod validate;
 
 pub use budget::{available_cores, machine_parallelism, reserve_cores, reserve_up_to, CoreLease};
@@ -89,6 +90,10 @@ pub use replay::{
 pub use sink::{
     ChannelSink, ChannelSinkConfig, JsonlFileSink, LogSink, MemorySink, OverflowPolicy,
     SinkBackpressure, TeeSink,
+};
+pub use trace::{
+    chrome_trace_json, span_id_for, trace_id_for, trace_report, Span, SpanRing, SpanStage,
+    StageBreakdown, Trace, TraceContext, TraceCounters, TraceHub, TraceProfiler,
 };
 pub use validate::{
     compare_layer_latency, diff_backends, diff_image_pipelines, first_drift_jump, layers_above,

@@ -67,7 +67,9 @@ pub struct LayerRecord<'a> {
     /// The operation performed.
     pub op: &'a OpKind,
     /// The node's output tensor. During a batched invoke this is the
-    /// per-frame view, so logging stays per-frame.
+    /// per-frame view, so logging stays per-frame — unless the observer
+    /// declined it via [`LayerObserver::wants_output`], in which case it
+    /// is an empty placeholder the observer promised not to read.
     pub output: &'a Tensor,
     /// Index of the frame within the invoked batch (`0` for single invokes).
     pub batch: usize,
@@ -89,6 +91,18 @@ pub trait LayerObserver {
     /// [`NullObserver`] does) lets batched invokes skip materializing
     /// per-frame output views entirely.
     fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Whether the observer will read [`LayerRecord::output`] for this
+    /// frame of the batch. A batched invoke materializes the per-frame
+    /// output view — an activation-sized copy per layer per frame — only
+    /// for frames that want it; other frames still receive their records
+    /// (index, latency share, MACs) with an empty placeholder output.
+    /// Observers that only consume timings (e.g. span capture) override
+    /// this to return `false`, keeping deep telemetry's copy cost off
+    /// timing-only instrumentation.
+    fn wants_output(&self, _batch: usize) -> bool {
         true
     }
 }
@@ -428,6 +442,10 @@ impl<'g> Interpreter<'g> {
         batch_base: usize,
     ) -> Result<()> {
         let frames = state.batch;
+        // Frames whose observer declined the output view share this one
+        // empty placeholder (contract: they never read it, so the dtype
+        // is immaterial).
+        let placeholder = Tensor::zeros(DType::F32, Shape::new([0usize; 0]));
         for (index, node) in graph.nodes().iter().enumerate() {
             let out_id = node.output.0;
             // Degenerate graphs may write a constant slot; give them a
@@ -486,13 +504,18 @@ impl<'g> Interpreter<'g> {
                     let per_shape = graph.tensor(TensorId(out_id)).shape();
                     let share = latency / frames as u32;
                     for b in 0..frames {
-                        let view = frame_view(produced, per_shape, b)?;
+                        let frame = batch_base + b;
+                        let view = if observer.wants_output(frame) {
+                            Some(frame_view(produced, per_shape, b)?)
+                        } else {
+                            None
+                        };
                         observer.on_layer(&LayerRecord {
                             index,
                             name: &node.name,
                             op: &node.op,
-                            output: &view,
-                            batch: batch_base + b,
+                            output: view.as_ref().unwrap_or(&placeholder),
+                            batch: frame,
                             latency: share,
                             macs,
                         });

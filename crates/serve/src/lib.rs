@@ -91,5 +91,7 @@ mod stats;
 pub use error::{Result, ServeError};
 pub use registry::{ModelRegistry, ServedModel};
 pub use request::{InferResponse, PendingResponse, RejectReason, Rejection, ServeResult};
-pub use service::{BatchPolicy, InferenceService, MonitorPolicy, ServeReport, ServiceConfig};
+pub use service::{
+    BatchPolicy, InferenceService, MonitorPolicy, ServeReport, ServiceConfig, TracePolicy,
+};
 pub use stats::ModelStats;

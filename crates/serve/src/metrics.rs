@@ -474,6 +474,86 @@ impl Collect for mlexray_core::ChannelSink {
     }
 }
 
+/// Implemented for the span-pipeline hub so the latency-attribution
+/// profiler and the pipeline's own health counters join the exposition:
+/// register the service's [`TraceHub`](mlexray_core::TraceHub) and every
+/// scrape reports `mlexray_trace_*` counters plus the per-model per-stage
+/// attribution totals (`docs/tracing.md`). A scrape runs a collector pass,
+/// so the profiler is current as of the scrape.
+impl Collect for mlexray_core::TraceHub {
+    fn collect(&self, out: &mut MetricsBuilder) {
+        let profile = self.profile();
+        let counters = self.counters();
+        out.counter(
+            "mlexray_trace_sampled_total",
+            "Requests sampled into the span pipeline by the every-Nth clock.",
+            &[],
+            counters.sampled,
+        );
+        out.counter(
+            "mlexray_trace_forced_total",
+            "Anomalies force-traced (sheds, deadline misses, drift alarms).",
+            &[],
+            counters.forced,
+        );
+        out.counter(
+            "mlexray_trace_completed_total",
+            "Traces completed (terminal span observed).",
+            &[],
+            counters.completed,
+        );
+        out.counter(
+            "mlexray_trace_dropped_spans_total",
+            "Spans overwritten, torn or evicted before collection — bounded \
+             rings drop under pressure, but always count what they drop.",
+            &[],
+            counters.dropped_spans,
+        );
+        out.counter(
+            "mlexray_trace_evicted_traces_total",
+            "Pending traces evicted before their terminal span arrived.",
+            &[],
+            counters.evicted_traces,
+        );
+        out.gauge(
+            "mlexray_trace_ring_bytes",
+            "Total fixed footprint of the registered span rings.",
+            &[],
+            self.footprint_bytes() as f64,
+        );
+        for (model, breakdown) in profile.breakdowns() {
+            let model_label = &[("model", model)];
+            out.counter(
+                "mlexray_trace_traces_total",
+                "Completed request traces folded into the profiler.",
+                model_label,
+                breakdown.traces,
+            );
+            out.counter(
+                "mlexray_trace_shed_traces_total",
+                "Completed shed traces folded into the profiler.",
+                model_label,
+                breakdown.sheds,
+            );
+            for (stage, nanos) in [
+                ("admission", breakdown.admission_ns),
+                ("queue_wait", breakdown.queue_ns),
+                ("batch_form", breakdown.batch_wait_ns),
+                ("exec", breakdown.exec_ns),
+                ("respond", breakdown.respond_ns),
+                ("total", breakdown.total_ns),
+            ] {
+                out.counter(
+                    "mlexray_trace_stage_ns_total",
+                    "Attributed nanoseconds per serving stage over traced requests.",
+                    &[("model", model), ("stage", stage)],
+                    nanos,
+                );
+            }
+        }
+    }
+}
+
 fn escape_label_value(value: &str) -> String {
     let mut out = String::with_capacity(value.len());
     for c in value.chars() {

@@ -6,6 +6,7 @@ use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use mlexray_core::TraceContext;
 use mlexray_tensor::Tensor;
 
 /// Why the service refused (or shed) a request. Every shed path produces
@@ -119,6 +120,9 @@ pub(crate) struct InferRequest {
     pub(crate) deadline: Option<Instant>,
     pub(crate) admitted_at: Instant,
     pub(crate) sampled: bool,
+    /// Wire-propagated or admission-minted trace identity; `None` when the
+    /// service runs with tracing off.
+    pub(crate) trace: Option<TraceContext>,
     pub(crate) reply: SyncSender<ServeResult>,
 }
 

@@ -6,11 +6,12 @@ use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
+use mlexray_core::TraceContext;
 use mlexray_tensor::Tensor;
 
 use crate::rpc::wire::{
     self, ErrorCode, InferPayload, LoadSource, RpcRequest, RpcResponse, SealHandle, StatusReply,
-    WireError, WireInferResponse, WireSpec,
+    TraceReply, WireError, WireInferResponse, WireSpec,
 };
 
 /// A client-side RPC failure.
@@ -280,7 +281,25 @@ impl RpcClient {
         tensors: Vec<Tensor>,
         deadline: Option<Duration>,
     ) -> ClientResult<WireInferResponse> {
-        self.infer_payload(model, InferPayload::Tensors(tensors), deadline)
+        self.infer_payload(model, InferPayload::Tensors(tensors), deadline, None)
+    }
+
+    /// One inference carrying a caller-minted trace context (wire v3): the
+    /// server threads `trace` through its whole serving path and, when
+    /// `trace.sampled` and the service traces, the request's spans show up
+    /// under the caller's `trace_id` in [`RpcClient::trace`] documents.
+    ///
+    /// # Errors
+    ///
+    /// Typed admission refusals, as [`RpcClient::infer`].
+    pub fn infer_traced(
+        &mut self,
+        model: &str,
+        tensors: Vec<Tensor>,
+        deadline: Option<Duration>,
+        trace: TraceContext,
+    ) -> ClientResult<WireInferResponse> {
+        self.infer_payload(model, InferPayload::Tensors(tensors), deadline, Some(trace))
     }
 
     /// One inference against sealed tensors.
@@ -295,7 +314,7 @@ impl RpcClient {
         handle: SealHandle,
         deadline: Option<Duration>,
     ) -> ClientResult<WireInferResponse> {
-        self.infer_payload(model, InferPayload::Sealed(handle), deadline)
+        self.infer_payload(model, InferPayload::Sealed(handle), deadline, None)
     }
 
     fn infer_payload(
@@ -303,12 +322,14 @@ impl RpcClient {
         model: &str,
         payload: InferPayload,
         deadline: Option<Duration>,
+        trace: Option<TraceContext>,
     ) -> ClientResult<WireInferResponse> {
         let deadline_ms = deadline.map(|d| d.as_millis().max(1) as u32).unwrap_or(0);
         let response = self.roundtrip(&RpcRequest::Infer {
             model: model.to_string(),
             payload,
             deadline_ms,
+            trace,
         })?;
         Self::expect(response, |r| match r {
             RpcResponse::Infer(infer) => Ok(infer),
@@ -354,6 +375,30 @@ impl RpcClient {
         let response = self.roundtrip(&RpcRequest::Metrics)?;
         Self::expect(response, |r| match r {
             RpcResponse::Metrics { exposition } => Ok(exposition),
+            other => Err(other),
+        })
+    }
+
+    /// `Trace`: take up to `max` recently completed traces (`0` = all
+    /// retained) as a Chrome-trace JSON document. Keeps answering during
+    /// drain, like `Metrics`. A server with tracing off answers an empty
+    /// document — never an error.
+    ///
+    /// # Errors
+    ///
+    /// Transport, wire, or server-reported errors.
+    pub fn trace(&mut self, max: u32) -> ClientResult<TraceReply> {
+        let response = self.roundtrip(&RpcRequest::Trace { max })?;
+        Self::expect(response, |r| match r {
+            RpcResponse::Trace {
+                json,
+                traces,
+                dropped_spans,
+            } => Ok(TraceReply {
+                json,
+                traces,
+                dropped_spans,
+            }),
             other => Err(other),
         })
     }

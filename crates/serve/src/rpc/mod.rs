@@ -13,6 +13,8 @@
 //!        ── Infer(model, handle) ─▶ outputs   … re-infer for 8 bytes/request
 //!        ── Unseal(handle)                release the arena entry
 //!        ── Status ─▶ readiness, drain state, per-model load
+//!        ── Metrics ─▶ Prometheus text exposition
+//!        ── Trace ─▶ Chrome-trace JSON of recent sampled requests (v3)
 //! ```
 //!
 //! The *seal* verbs are the point: a client uploads an input once,
@@ -38,5 +40,5 @@ pub use client::{ClientError, ClientResult, RpcClient};
 pub use server::{RpcReport, RpcServer, RpcServerConfig};
 pub use wire::{
     ErrorCode, InferPayload, LoadSource, ModelStatus, RpcRequest, RpcResponse, SealHandle,
-    StatusReply, WireError, WireInferResponse, WireSpec,
+    StatusReply, TraceReply, WireError, WireInferResponse, WireSpec,
 };

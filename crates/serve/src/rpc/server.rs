@@ -28,7 +28,9 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
-use mlexray_core::{LogRecord, LogSink, LogValue};
+use mlexray_core::{
+    chrome_trace_json, span_id_for, LogRecord, LogSink, LogValue, Span, SpanStage, TraceContext,
+};
 use mlexray_nn::{Graph, Model};
 use mlexray_tensor::Tensor;
 
@@ -253,6 +255,11 @@ impl RpcServer {
         inner
             .metrics
             .register(Arc::new(DoorMetrics(Arc::downgrade(&inner))));
+        // When the service traces, its span pipeline joins the scrape too:
+        // sampler counters, drop/evict totals, per-stage attribution.
+        if let Some(hub) = inner.service.trace_hub() {
+            inner.metrics.register(hub.clone());
+        }
         let acceptor = {
             let inner = inner.clone();
             std::thread::Builder::new()
@@ -360,6 +367,7 @@ fn accept_loop(inner: Arc<Inner>, listener: TcpListener) {
             send_response(
                 &inner,
                 &stream,
+                wire::VERSION,
                 0,
                 &RpcResponse::Error {
                     code: ErrorCode::ShuttingDown,
@@ -456,11 +464,11 @@ fn read_polled(stream: &TcpStream, buf: &mut [u8], inner: &Inner, mid_frame: boo
 /// Writes a response frame, accounting bytes; write failures are swallowed
 /// (a peer that disconnected mid-`Infer` simply never reads its reply —
 /// the server must not care).
-fn send_response(inner: &Inner, stream: &TcpStream, id: u64, response: &RpcResponse) {
+fn send_response(inner: &Inner, stream: &TcpStream, version: u8, id: u64, response: &RpcResponse) {
     if matches!(response, RpcResponse::Error { .. }) {
         inner.errors_sent.fetch_add(1, Ordering::AcqRel);
     }
-    let payload = wire::encode_response(id, response);
+    let payload = wire::encode_response_versioned(version, id, response);
     let mut writer = stream;
     // The frame cap is a *request* defense; responses (tensor outputs) are
     // whatever the model produced, so write without the cap.
@@ -473,6 +481,7 @@ fn send_response(inner: &Inner, stream: &TcpStream, id: u64, response: &RpcRespo
 fn send_error(
     inner: &Inner,
     stream: &TcpStream,
+    version: u8,
     id: u64,
     code: ErrorCode,
     message: String,
@@ -481,6 +490,7 @@ fn send_error(
     send_response(
         inner,
         stream,
+        version,
         id,
         &RpcResponse::Error {
             code,
@@ -492,7 +502,10 @@ fn send_error(
 
 fn log_request(inner: &Inner, conn_id: u64, session: &Session, verb: &str, outcome: &str) {
     if let Some(sink) = &inner.sink {
-        let tenant = session.tenant.as_deref().unwrap_or("-");
+        // Same label `record_verb` uses for the exposition — the telemetry
+        // stream and `mlexray_rpc_requests_total` must agree on who an
+        // unauthenticated peer is.
+        let tenant = session.tenant.as_deref().unwrap_or("anonymous");
         sink.write(LogRecord {
             frame: conn_id,
             key: format!("rpc/{verb}"),
@@ -519,6 +532,7 @@ fn handle_connection(inner: &Arc<Inner>, stream: TcpStream, conn_id: u64) {
                 send_error(
                     inner,
                     &stream,
+                    wire::VERSION,
                     0,
                     ErrorCode::Truncated,
                     "stream ended mid-frame".into(),
@@ -534,6 +548,7 @@ fn handle_connection(inner: &Arc<Inner>, stream: TcpStream, conn_id: u64) {
             send_error(
                 inner,
                 &stream,
+                wire::VERSION,
                 0,
                 ErrorCode::PayloadTooLarge,
                 format!(
@@ -552,6 +567,7 @@ fn handle_connection(inner: &Arc<Inner>, stream: TcpStream, conn_id: u64) {
                 send_error(
                     inner,
                     &stream,
+                    wire::VERSION,
                     0,
                     ErrorCode::Truncated,
                     "stream ended mid-frame".into(),
@@ -561,9 +577,18 @@ fn handle_connection(inner: &Arc<Inner>, stream: TcpStream, conn_id: u64) {
             }
         }
         inner.bytes_in.fetch_add(4 + len as u64, Ordering::AcqRel);
+        let decode_started = Instant::now();
         match wire::decode_request(&payload) {
             Ok(frame) => {
-                if !dispatch(inner, &stream, &mut session, conn_id, frame) {
+                let decoded_at = Instant::now();
+                if !dispatch(
+                    inner,
+                    &stream,
+                    &mut session,
+                    conn_id,
+                    frame,
+                    (decode_started, decoded_at),
+                ) {
                     break;
                 }
             }
@@ -580,6 +605,7 @@ fn handle_connection(inner: &Arc<Inner>, stream: TcpStream, conn_id: u64) {
                 send_error(
                     inner,
                     &stream,
+                    wire::VERSION,
                     id,
                     err.code(),
                     err.to_string(),
@@ -597,14 +623,19 @@ fn handle_connection(inner: &Arc<Inner>, stream: TcpStream, conn_id: u64) {
 }
 
 /// Serves one decoded request; returns `false` to close the connection.
+/// Replies are encoded at the version the request frame arrived with, so a
+/// v2 peer never receives v3-only fields. `decode_span` brackets the wire
+/// decode of this frame, feeding the `rpc_decode` span of traced infers.
 fn dispatch(
     inner: &Arc<Inner>,
     stream: &TcpStream,
     session: &mut Session,
     conn_id: u64,
     frame: wire::RequestFrame,
+    decode_span: (Instant, Instant),
 ) -> bool {
     let id = frame.id;
+    let version = frame.version;
     let verb = frame.request.verb();
     // Token-table servers require an authenticated session for everything
     // except the handshake itself and health probes.
@@ -617,12 +648,33 @@ fn dispatch(
         send_error(
             inner,
             stream,
+            version,
             id,
             ErrorCode::Unauthenticated,
             "session must Hello with a known token first".into(),
             String::new(),
         );
         return true;
+    }
+    // A sampled wire-propagated trace gets door-side spans too: the frame
+    // decode that already happened, and the response encode further down.
+    let door_trace = match &frame.request {
+        RpcRequest::Infer {
+            model,
+            trace: Some(t),
+            ..
+        } if t.sampled => Some((*t, model.clone())),
+        _ => None,
+    };
+    if let Some((t, model)) = &door_trace {
+        emit_door_span(
+            inner,
+            t,
+            model,
+            SpanStage::RpcDecode,
+            decode_span.0,
+            decode_span.1,
+        );
     }
     let reply = match frame.request {
         RpcRequest::Hello { token } => handle_hello(inner, session, token),
@@ -632,27 +684,72 @@ fn dispatch(
             model,
             payload,
             deadline_ms,
-        } => handle_infer(inner, session, &model, payload, deadline_ms),
+            trace,
+        } => handle_infer(inner, session, &model, payload, deadline_ms, trace),
         RpcRequest::Unseal { handle } => handle_unseal(inner, session, handle),
         RpcRequest::Status => Ok(handle_status(inner, session)),
         // Like Status, Metrics keeps answering during drain — drain is
         // exactly when an operator wants to watch the books settle.
         RpcRequest::Metrics => Ok(handle_metrics(inner)),
+        // Trace answers during drain for the same reason: the spans of the
+        // final admitted requests are exactly what an operator wants.
+        RpcRequest::Trace { max } => Ok(handle_trace(inner, max)),
     };
     match reply {
         Ok(response) => {
             inner.requests_served.fetch_add(1, Ordering::AcqRel);
             log_request(inner, conn_id, session, verb, "ok");
             record_verb(inner, session, verb, "ok");
-            send_response(inner, stream, id, &response);
+            let encode_started = Instant::now();
+            send_response(inner, stream, version, id, &response);
+            if let Some((t, model)) = &door_trace {
+                emit_door_span(
+                    inner,
+                    t,
+                    model,
+                    SpanStage::RespondEncode,
+                    encode_started,
+                    Instant::now(),
+                );
+            }
         }
         Err((code, message, detail)) => {
             log_request(inner, conn_id, session, verb, &code.to_string());
             record_verb(inner, session, verb, &code.to_string());
-            send_error(inner, stream, id, code, message, detail);
+            send_error(inner, stream, version, id, code, message, detail);
         }
     }
     true
+}
+
+/// Pushes one door-side span (RPC decode / response encode) of a sampled
+/// wire-propagated trace into the service's shared span ring. No-op when
+/// the service runs with tracing off — the wire context still rides the
+/// request untraced.
+fn emit_door_span(
+    inner: &Inner,
+    trace: &TraceContext,
+    model: &str,
+    stage: SpanStage,
+    started: Instant,
+    ended: Instant,
+) {
+    let Some(hub) = inner.service.trace_hub() else {
+        return;
+    };
+    let start_ns = hub.ns_of(started);
+    hub.shared_ring().push(&Span {
+        trace_id: trace.trace_id,
+        span_id: span_id_for(trace.trace_id, stage, 0),
+        parent_span_id: span_id_for(trace.trace_id, SpanStage::Request, 0),
+        stage,
+        flavor: 0,
+        model: hub.intern_model(model),
+        start_ns,
+        dur_ns: hub.ns_of(ended).saturating_sub(start_ns),
+        arg_a: 0,
+        arg_b: 0,
+    });
 }
 
 /// Bumps the per-(tenant, verb, outcome) request counter feeding
@@ -819,6 +916,7 @@ fn handle_infer(
     model: &str,
     payload: InferPayload,
     deadline_ms: u32,
+    trace: Option<TraceContext>,
 ) -> VerbResult {
     if inner.draining.load(Ordering::Acquire) {
         return Err((
@@ -842,7 +940,7 @@ fn handle_infer(
     let deadline = (deadline_ms > 0).then(|| Duration::from_millis(u64::from(deadline_ms)));
     let pending = inner
         .service
-        .submit_shared(model, inputs, deadline)
+        .submit_shared_traced(model, inputs, deadline, trace)
         .map_err(rejection_to_wire)?;
     let response = pending.wait().map_err(rejection_to_wire)?;
     Ok(RpcResponse::Infer(WireInferResponse {
@@ -898,17 +996,50 @@ fn handle_status(inner: &Inner, session: &Session) -> RpcResponse {
     } else {
         inner.sealed_bytes.load(Ordering::Acquire)
     };
+    // v3 trace visibility: how much the sampler admitted and whether the
+    // ring pipeline ever lost a span. Zeros when tracing is off — v2
+    // clients never see the fields at all.
+    let (dropped_spans, trace_sampled) = match inner.service.trace_hub() {
+        Some(hub) => {
+            hub.collect();
+            let counters = hub.counters();
+            (counters.dropped_spans, counters.sampled)
+        }
+        None => (0, 0),
+    };
     RpcResponse::Status(StatusReply {
         ready: !draining && inner.service.is_accepting(),
         draining,
         open_connections: inner.open_connections.load(Ordering::Acquire),
         sealed_bytes,
         models,
+        dropped_spans,
+        trace_sampled,
     })
 }
 
 fn handle_metrics(inner: &Inner) -> RpcResponse {
     RpcResponse::Metrics {
         exposition: inner.metrics.render(),
+    }
+}
+
+/// Answers the v3 `Trace` verb: drains the span pipeline and renders the
+/// retained completed traces as Chrome-trace JSON (Perfetto-loadable).
+/// With tracing off the reply is an empty — still loadable — document, not
+/// an error: a scraper should not have to know the service's trace policy.
+fn handle_trace(inner: &Inner, max: u32) -> RpcResponse {
+    let Some(hub) = inner.service.trace_hub() else {
+        return RpcResponse::Trace {
+            json: chrome_trace_json(&[]),
+            traces: 0,
+            dropped_spans: 0,
+        };
+    };
+    let traces = hub.take_completed(max as usize);
+    RpcResponse::Trace {
+        json: chrome_trace_json(&traces),
+        traces: traces.len() as u32,
+        dropped_spans: hub.counters().dropped_spans,
     }
 }

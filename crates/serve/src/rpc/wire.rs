@@ -33,14 +33,22 @@
 use std::fmt;
 use std::io::{self, Read, Write};
 
+use mlexray_core::TraceContext;
 use mlexray_nn::BackendSpec;
 use mlexray_tensor::{DType, QuantParams, Shape, Tensor};
 
 /// Protocol magic: `"XR"` little-endian, first on every frame payload.
 pub const MAGIC: u16 = 0x5852;
 /// Current protocol revision. Version 2 added the `Metrics` verb
-/// (kind 7); v1 peers are refused with `UnsupportedVersion`.
-pub const VERSION: u8 = 2;
+/// (kind 7); version 3 added the optional trace-context extension on
+/// `Infer` bodies, the `Trace` verb (kind 8) and the trace counters on
+/// `Status` replies. v1 peers are refused with `UnsupportedVersion`.
+pub const VERSION: u8 = 3;
+/// Oldest revision this implementation still speaks. A v2 peer is served
+/// under v2 semantics: no trace extension, no `Trace` verb, v2 `Status`
+/// bodies — the server always answers in the version the request arrived
+/// in.
+pub const MIN_VERSION: u8 = 2;
 /// Default upper bound on one frame's payload length (32 MiB).
 pub const DEFAULT_MAX_FRAME_LEN: u32 = 32 * 1024 * 1024;
 
@@ -56,6 +64,7 @@ const KIND_INFER: u8 = 4;
 const KIND_UNSEAL: u8 = 5;
 const KIND_STATUS: u8 = 6;
 const KIND_METRICS: u8 = 7;
+const KIND_TRACE: u8 = 8;
 const RESP_BIT: u8 = 0x80;
 const KIND_ERROR: u8 = 0xFF;
 
@@ -288,6 +297,12 @@ pub enum RpcRequest {
         payload: InferPayload,
         /// Per-request deadline in milliseconds (`0` = none).
         deadline_ms: u32,
+        /// The v3 trace-context extension: a caller-propagated trace
+        /// identity the server carries through the whole serving path.
+        /// `None` leaves sampling to the server's own deterministic clock.
+        /// Silently dropped when the frame is encoded for a v2 peer (the
+        /// request still runs, untraced).
+        trace: Option<TraceContext>,
     },
     /// Releases a sealed handle's tensors.
     Unseal {
@@ -301,6 +316,16 @@ pub enum RpcRequest {
     /// backpressure, RPC session counters). Answered during drain;
     /// requires authentication when the server runs with a token table.
     Metrics,
+    /// Takes up to `max` recently completed traces from the span pipeline
+    /// as Chrome-trace-format JSON (v3 only; a v2 frame with this kind is
+    /// answered [`ErrorCode::UnknownVerb`]). Like `Metrics`, answered
+    /// during drain — tracing is exactly what you want from a draining
+    /// server. A server running with tracing off answers an empty
+    /// document, not an error.
+    Trace {
+        /// Most traces to return (`0` = all currently retained).
+        max: u32,
+    },
 }
 
 impl RpcRequest {
@@ -313,6 +338,7 @@ impl RpcRequest {
             RpcRequest::Unseal { .. } => KIND_UNSEAL,
             RpcRequest::Status => KIND_STATUS,
             RpcRequest::Metrics => KIND_METRICS,
+            RpcRequest::Trace { .. } => KIND_TRACE,
         }
     }
 
@@ -326,6 +352,7 @@ impl RpcRequest {
             RpcRequest::Unseal { .. } => "unseal",
             RpcRequest::Status => "status",
             RpcRequest::Metrics => "metrics",
+            RpcRequest::Trace { .. } => "trace",
         }
     }
 }
@@ -374,6 +401,27 @@ pub struct StatusReply {
     pub sealed_bytes: u64,
     /// Per-model load, sorted by name.
     pub models: Vec<ModelStatus>,
+    /// Spans the span pipeline dropped (ring overwrites, torn reads,
+    /// pending-trace evictions) — bounded tracing sheds under pressure,
+    /// but the shed is always visible here. `0` when tracing is off.
+    /// v3-only on the wire: a v2 `Status` body omits it (decodes as 0).
+    pub dropped_spans: u64,
+    /// Requests the trace sampler selected (every-Nth clock plus forced
+    /// anomaly samples). `0` when tracing is off; v3-only on the wire.
+    pub trace_sampled: u64,
+}
+
+/// The `Trace` verb's reply as the typed client surfaces it
+/// ([`RpcClient::trace`](crate::rpc::RpcClient::trace)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceReply {
+    /// Chrome-trace-format JSON — write to a file and load in Perfetto or
+    /// `chrome://tracing`. An empty event list when tracing is off.
+    pub json: String,
+    /// How many traces the document carries.
+    pub traces: u32,
+    /// The span pipeline's dropped-span counter at reply time.
+    pub dropped_spans: u64,
 }
 
 /// A server → client message. Every response echoes the request's
@@ -415,6 +463,18 @@ pub enum RpcResponse {
         /// Rendered exposition (format 0.0.4); see `docs/metrics.md`.
         exposition: String,
     },
+    /// `Trace` reply: recently completed traces, ready for Perfetto
+    /// ([`RpcClient::trace`](crate::rpc::RpcClient::trace) lifts this into
+    /// a [`TraceReply`]).
+    Trace {
+        /// Chrome-trace-format JSON (`{"traceEvents":[...]}`); an empty
+        /// event list when the server runs with tracing off.
+        json: String,
+        /// How many traces the document carries.
+        traces: u32,
+        /// The pipeline's dropped-span counter at reply time.
+        dropped_spans: u64,
+    },
     /// The request failed; see [`ErrorCode`] for the taxonomy.
     Error {
         /// Typed failure code.
@@ -437,6 +497,7 @@ impl RpcResponse {
             RpcResponse::Unseal { .. } => KIND_UNSEAL | RESP_BIT,
             RpcResponse::Status(_) => KIND_STATUS | RESP_BIT,
             RpcResponse::Metrics { .. } => KIND_METRICS | RESP_BIT,
+            RpcResponse::Trace { .. } => KIND_TRACE | RESP_BIT,
             RpcResponse::Error { .. } => KIND_ERROR,
         }
     }
@@ -447,6 +508,9 @@ impl RpcResponse {
 pub struct RequestFrame {
     /// Client-chosen correlation id, echoed on the response.
     pub id: u64,
+    /// Protocol revision the frame arrived in ([`MIN_VERSION`]..=
+    /// [`VERSION`]). The server answers in this same version.
+    pub version: u8,
     /// The verb.
     pub request: RpcRequest,
 }
@@ -456,6 +520,8 @@ pub struct RequestFrame {
 pub struct ResponseFrame {
     /// Correlation id of the request this answers.
     pub id: u64,
+    /// Protocol revision the frame arrived in.
+    pub version: u8,
     /// The payload.
     pub response: RpcResponse,
 }
@@ -825,37 +891,48 @@ impl<'a> ByteReader<'a> {
     }
 }
 
-fn header(kind: u8, id: u64) -> ByteWriter {
+fn header(version: u8, kind: u8, id: u64) -> ByteWriter {
     let mut w = ByteWriter::default();
     w.put_u16(MAGIC);
-    w.put_u8(VERSION);
+    w.put_u8(version);
     w.put_u8(kind);
     w.put_u64(id);
     w
 }
 
-/// Reads magic/version/kind/id off a payload. Unknown kinds are *not*
-/// rejected here — [`decode_request`]/[`decode_response`] police the kind
-/// against their own tables.
-fn decode_header(payload: &[u8]) -> Result<(u8, u64, ByteReader<'_>), WireError> {
+/// Reads magic/version/kind/id off a payload. Any revision in
+/// [`MIN_VERSION`]`..=`[`VERSION`] is accepted and reported back — body
+/// decoding branches on it. Unknown kinds are *not* rejected here —
+/// [`decode_request`]/[`decode_response`] police the kind against their
+/// own (per-version) tables.
+fn decode_header(payload: &[u8]) -> Result<(u8, u8, u64, ByteReader<'_>), WireError> {
     let mut r = ByteReader::new(payload);
     let magic = r.take_u16().map_err(|_| WireError::Truncated)?;
     if magic != MAGIC {
         return Err(WireError::BadMagic(magic));
     }
     let version = r.take_u8().map_err(|_| WireError::Truncated)?;
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(WireError::UnsupportedVersion(version));
     }
     let kind = r.take_u8().map_err(|_| WireError::Truncated)?;
     let id = r.take_u64().map_err(|_| WireError::Truncated)?;
-    Ok((kind, id, r))
+    Ok((version, kind, id, r))
 }
 
 /// Encodes a request into a frame payload (header included, length prefix
-/// not — [`write_frame`] adds that).
+/// not — [`write_frame`] adds that) in the current protocol revision.
 pub fn encode_request(id: u64, request: &RpcRequest) -> Vec<u8> {
-    let mut w = header(request.kind(), id);
+    encode_request_versioned(VERSION, id, request)
+}
+
+/// Encodes a request in an explicit protocol revision — how a client
+/// negotiated down to a v2 server keeps talking to it. Version-gated
+/// content degrades instead of erroring: a v2 `Infer` simply omits the
+/// trace extension. (`Trace` has no v2 body; encoding it at v2 produces a
+/// frame the server answers with [`ErrorCode::UnknownVerb`].)
+pub fn encode_request_versioned(version: u8, id: u64, request: &RpcRequest) -> Vec<u8> {
+    let mut w = header(version, request.kind(), id);
     match request {
         RpcRequest::Hello { token } => w.put_str(token),
         RpcRequest::Load { spec, source } => {
@@ -885,6 +962,7 @@ pub fn encode_request(id: u64, request: &RpcRequest) -> Vec<u8> {
             model,
             payload,
             deadline_ms,
+            trace,
         } => {
             w.put_str(model);
             w.put_u32(*deadline_ms);
@@ -898,9 +976,23 @@ pub fn encode_request(id: u64, request: &RpcRequest) -> Vec<u8> {
                     w.put_u64(*handle);
                 }
             }
+            // v3 trace-context extension: a presence flag, then the
+            // context. v2 bodies end at the payload.
+            if version >= 3 {
+                match trace {
+                    Some(t) => {
+                        w.put_u8(1);
+                        w.put_u64(t.trace_id);
+                        w.put_u64(t.parent_span_id);
+                        w.put_u8(u8::from(t.sampled));
+                    }
+                    None => w.put_u8(0),
+                }
+            }
         }
         RpcRequest::Unseal { handle } => w.put_u64(*handle),
         RpcRequest::Status | RpcRequest::Metrics => {}
+        RpcRequest::Trace { max } => w.put_u32(*max),
     }
     w.buf
 }
@@ -912,7 +1004,7 @@ pub fn encode_request(id: u64, request: &RpcRequest) -> Vec<u8> {
 /// The full [`WireError`] taxonomy; see the module docs for which errors
 /// keep the connection alive.
 pub fn decode_request(payload: &[u8]) -> Result<RequestFrame, WireError> {
-    let (kind, id, mut r) = decode_header(payload)?;
+    let (version, kind, id, mut r) = decode_header(payload)?;
     let request = match kind {
         KIND_HELLO => RpcRequest::Hello {
             token: r.take_str()?,
@@ -953,10 +1045,28 @@ pub fn decode_request(payload: &[u8]) -> Result<RequestFrame, WireError> {
                     )))
                 }
             };
+            let trace = if version >= 3 {
+                match r.take_u8()? {
+                    0 => None,
+                    1 => Some(TraceContext {
+                        trace_id: r.take_u64()?,
+                        parent_span_id: r.take_u64()?,
+                        sampled: r.take_u8()? != 0,
+                    }),
+                    other => {
+                        return Err(WireError::Malformed(format!(
+                            "unknown trace-context tag {other}"
+                        )))
+                    }
+                }
+            } else {
+                None
+            };
             RpcRequest::Infer {
                 model,
                 payload,
                 deadline_ms,
+                trace,
             }
         }
         KIND_UNSEAL => RpcRequest::Unseal {
@@ -964,15 +1074,28 @@ pub fn decode_request(payload: &[u8]) -> Result<RequestFrame, WireError> {
         },
         KIND_STATUS => RpcRequest::Status,
         KIND_METRICS => RpcRequest::Metrics,
+        // The Trace verb joined in v3: to a v2 peer kind 8 does not exist.
+        KIND_TRACE if version >= 3 => RpcRequest::Trace { max: r.take_u32()? },
         other => return Err(WireError::UnknownKind { kind: other, id }),
     };
     r.expect_end()?;
-    Ok(RequestFrame { id, request })
+    Ok(RequestFrame {
+        id,
+        version,
+        request,
+    })
 }
 
 /// Encodes a response into a frame payload.
 pub fn encode_response(id: u64, response: &RpcResponse) -> Vec<u8> {
-    let mut w = header(response.kind(), id);
+    encode_response_versioned(VERSION, id, response)
+}
+
+/// Encodes a response frame at an explicit wire `version` — the server
+/// answers every request at the version the request frame arrived with, so
+/// a v2 client never sees v3-only fields.
+pub fn encode_response_versioned(version: u8, id: u64, response: &RpcResponse) -> Vec<u8> {
+    let mut w = header(version, response.kind(), id);
     match response {
         RpcResponse::Hello { tenant } => w.put_str(tenant),
         RpcResponse::Load { model, existing } => {
@@ -1004,8 +1127,21 @@ pub fn encode_response(id: u64, response: &RpcResponse) -> Vec<u8> {
                 w.put_u64(m.offered);
                 w.put_u64(m.completed);
             }
+            if version >= 3 {
+                w.put_u64(status.dropped_spans);
+                w.put_u64(status.trace_sampled);
+            }
         }
         RpcResponse::Metrics { exposition } => w.put_str(exposition),
+        RpcResponse::Trace {
+            json,
+            traces,
+            dropped_spans,
+        } => {
+            w.put_str(json);
+            w.put_u32(*traces);
+            w.put_u64(*dropped_spans);
+        }
         RpcResponse::Error {
             code,
             message,
@@ -1025,7 +1161,7 @@ pub fn encode_response(id: u64, response: &RpcResponse) -> Vec<u8> {
 ///
 /// The full [`WireError`] taxonomy.
 pub fn decode_response(payload: &[u8]) -> Result<ResponseFrame, WireError> {
-    let (kind, id, mut r) = decode_header(payload)?;
+    let (version, kind, id, mut r) = decode_header(payload)?;
     let response = match kind {
         k if k == KIND_HELLO | RESP_BIT => RpcResponse::Hello {
             tenant: r.take_str()?,
@@ -1077,16 +1213,28 @@ pub fn decode_response(payload: &[u8]) -> Result<ResponseFrame, WireError> {
                     completed: r.take_u64()?,
                 });
             }
+            let (dropped_spans, trace_sampled) = if version >= 3 {
+                (r.take_u64()?, r.take_u64()?)
+            } else {
+                (0, 0)
+            };
             RpcResponse::Status(StatusReply {
                 ready,
                 draining,
                 open_connections,
                 sealed_bytes,
                 models,
+                dropped_spans,
+                trace_sampled,
             })
         }
         k if k == KIND_METRICS | RESP_BIT => RpcResponse::Metrics {
             exposition: r.take_str()?,
+        },
+        k if k == KIND_TRACE | RESP_BIT && version >= 3 => RpcResponse::Trace {
+            json: r.take_str()?,
+            traces: r.take_u32()?,
+            dropped_spans: r.take_u64()?,
         },
         KIND_ERROR => RpcResponse::Error {
             code: ErrorCode::from_u16(r.take_u16()?),
@@ -1096,7 +1244,11 @@ pub fn decode_response(payload: &[u8]) -> Result<ResponseFrame, WireError> {
         other => return Err(WireError::UnknownKind { kind: other, id }),
     };
     r.expect_end()?;
-    Ok(ResponseFrame { id, response })
+    Ok(ResponseFrame {
+        id,
+        version,
+        response,
+    })
 }
 
 /// Writes one length-prefixed frame; returns the bytes put on the wire
@@ -1226,15 +1378,22 @@ mod tests {
                 model: "m".into(),
                 payload: InferPayload::Tensors(sample_tensors()),
                 deadline_ms: 250,
+                trace: None,
             },
             RpcRequest::Infer {
                 model: "m".into(),
                 payload: InferPayload::Sealed(42),
                 deadline_ms: 0,
+                trace: Some(TraceContext {
+                    trace_id: 0xDEAD_BEEF_CAFE_F00D,
+                    parent_span_id: 77,
+                    sampled: true,
+                }),
             },
             RpcRequest::Unseal { handle: 42 },
             RpcRequest::Status,
             RpcRequest::Metrics,
+            RpcRequest::Trace { max: 16 },
         ];
         for (i, request) in requests.into_iter().enumerate() {
             let id = 1000 + i as u64;
@@ -1279,9 +1438,16 @@ mod tests {
                     offered: 100,
                     completed: 98,
                 }],
+                dropped_spans: 12,
+                trace_sampled: 345,
             }),
             RpcResponse::Metrics {
                 exposition: "# TYPE up gauge\nup 1\n".into(),
+            },
+            RpcResponse::Trace {
+                json: "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}".into(),
+                traces: 0,
+                dropped_spans: 3,
             },
             RpcResponse::Error {
                 code: ErrorCode::LintRejected,
@@ -1295,6 +1461,62 @@ mod tests {
             let frame = decode_response(&payload).expect("round trip");
             assert_eq!(frame.id, id);
             assert_eq!(frame.response, response);
+        }
+    }
+
+    #[test]
+    fn v2_frames_round_trip_without_v3_fields() {
+        // A v2 `Infer` omits the trace extension: the context is dropped
+        // on encode and decodes back as `None` — degrade, don't error.
+        let request = RpcRequest::Infer {
+            model: "m".into(),
+            payload: InferPayload::Sealed(9),
+            deadline_ms: 10,
+            trace: Some(TraceContext {
+                trace_id: 1,
+                parent_span_id: 2,
+                sampled: true,
+            }),
+        };
+        let payload = encode_request_versioned(2, 11, &request);
+        let frame = decode_request(&payload).expect("v2 infer");
+        assert_eq!(frame.version, 2);
+        match frame.request {
+            RpcRequest::Infer { trace, .. } => assert_eq!(trace, None),
+            other => panic!("expected Infer, got {other:?}"),
+        }
+
+        // A v2 `Status` body omits the trace counters; they decode as 0.
+        let status = RpcResponse::Status(StatusReply {
+            ready: true,
+            draining: false,
+            open_connections: 1,
+            sealed_bytes: 0,
+            models: vec![],
+            dropped_spans: 55,
+            trace_sampled: 66,
+        });
+        let payload = encode_response_versioned(2, 12, &status);
+        let frame = decode_response(&payload).expect("v2 status");
+        assert_eq!(frame.version, 2);
+        match frame.response {
+            RpcResponse::Status(reply) => {
+                assert_eq!(reply.dropped_spans, 0);
+                assert_eq!(reply.trace_sampled, 0);
+            }
+            other => panic!("expected Status, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_verb_does_not_exist_at_v2() {
+        let payload = encode_request_versioned(2, 21, &RpcRequest::Trace { max: 4 });
+        match decode_request(&payload) {
+            Err(WireError::UnknownKind {
+                kind: KIND_TRACE,
+                id: 21,
+            }) => {}
+            other => panic!("expected UnknownKind, got {other:?}"),
         }
     }
 

@@ -48,8 +48,9 @@ use std::time::{Duration, Instant};
 use parking_lot::RwLock;
 
 use mlexray_core::{
-    available_cores, layer_output_key, reserve_cores, CoreLease, DriftAlarm, LogRecord, LogSink,
-    LogValue, OnlineValidator, OnlineValidatorConfig, OnlineValidatorStats, KEY_INFERENCE_LATENCY,
+    available_cores, layer_output_key, reserve_cores, span_id_for, trace_id_for, CoreLease,
+    DriftAlarm, LogRecord, LogSink, LogValue, OnlineValidator, OnlineValidatorConfig,
+    OnlineValidatorStats, Span, SpanRing, SpanStage, TraceContext, TraceHub, KEY_INFERENCE_LATENCY,
 };
 use mlexray_edgesim::SimulatedDevice;
 use mlexray_nn::{BackendSpec, ExecutionBackend, LayerObserver, LayerRecord};
@@ -168,6 +169,46 @@ impl MonitorPolicy {
     }
 }
 
+/// The end-to-end tracing policy: deterministic every-Nth sampling per
+/// model, plus the always-sample rule — sheds, deadline misses and drift
+/// alarms are force-traced regardless of the clock so anomalies are never
+/// unobserved (see `docs/tracing.md`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TracePolicy {
+    /// Trace every `every`-th admitted request per model. `0` disables the
+    /// span pipeline entirely (no hub, no rings, no per-request cost).
+    pub every: u64,
+    /// Capacity (spans) of each per-thread ring buffer.
+    pub ring_capacity: usize,
+    /// How many completed traces the hub retains for the `Trace` verb.
+    pub completed_capacity: usize,
+}
+
+impl Default for TracePolicy {
+    fn default() -> Self {
+        Self::off()
+    }
+}
+
+impl TracePolicy {
+    /// Tracing disabled: no hub is created and requests carry no context.
+    pub fn off() -> Self {
+        TracePolicy {
+            every: 0,
+            ring_capacity: mlexray_core::trace::DEFAULT_RING_CAPACITY,
+            completed_capacity: mlexray_core::trace::DEFAULT_COMPLETED_CAPACITY,
+        }
+    }
+
+    /// Trace every `n`-th request per model with default ring sizing.
+    pub fn sampled(n: u64) -> Self {
+        TracePolicy {
+            every: n,
+            ..Self::off()
+        }
+    }
+}
+
 /// Service-wide tuning.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServiceConfig {
@@ -196,6 +237,8 @@ pub struct ServiceConfig {
     pub start_paused: bool,
     /// Monitoring policy.
     pub monitor: MonitorPolicy,
+    /// End-to-end tracing policy.
+    pub trace: TracePolicy,
 }
 
 impl Default for ServiceConfig {
@@ -208,6 +251,7 @@ impl Default for ServiceConfig {
             default_deadline: None,
             start_paused: false,
             monitor: MonitorPolicy::default(),
+            trace: TracePolicy::off(),
         }
     }
 }
@@ -234,6 +278,11 @@ struct ModelServer {
     worker_count: usize,
     next_id: AtomicU64,
     sample_clock: AtomicU64,
+    /// Deterministic trace-sampling clock (same optimistic-tick-with-
+    /// rollback discipline as `sample_clock`).
+    trace_clock: AtomicU64,
+    /// The model's interned span tag ([`TraceHub::intern_model`]).
+    model_tag: u16,
     /// The pool's claim on the global core ledger, released when the pool
     /// drains (so replay/parallel-invoke runs see serving pressure).
     lease: Option<CoreLease>,
@@ -252,6 +301,8 @@ pub struct InferenceService {
     accepting: Arc<AtomicBool>,
     sink: Option<Arc<dyn LogSink>>,
     config: ServiceConfig,
+    /// The span pipeline, present when [`TracePolicy::every`] > 0.
+    trace_hub: Option<Arc<TraceHub>>,
     /// Worker-thread budget still unspent (feeds [`Self::add_model`]).
     budget_left: AtomicUsize,
 }
@@ -294,11 +345,18 @@ impl InferenceService {
         } else {
             config.core_budget
         };
+        let trace_hub = (config.trace.every > 0).then(|| {
+            Arc::new(TraceHub::new(
+                config.trace.ring_capacity,
+                config.trace.completed_capacity,
+            ))
+        });
         let service = InferenceService {
             servers: RwLock::new(BTreeMap::new()),
             accepting: Arc::new(AtomicBool::new(true)),
             sink,
             config,
+            trace_hub,
             budget_left: AtomicUsize::new(budget),
         };
         for entry in entries {
@@ -331,6 +389,12 @@ impl InferenceService {
             .validator
             .filter(|_| self.config.monitor.sample_every > 0)
             .map(|cfg| Arc::new(OnlineValidator::new(cfg)));
+        let model_tag = self
+            .trace_hub
+            .as_ref()
+            .map(|hub| hub.intern_model(entry.name()))
+            .unwrap_or(0);
+        let flavor = flavor_tag(&entry.spec());
         let handles = (0..workers)
             .map(|i| {
                 let ctx = WorkerCtx {
@@ -341,6 +405,9 @@ impl InferenceService {
                     sink: self.sink.clone(),
                     batch: self.config.batch,
                     monitor: self.config.monitor,
+                    hub: self.trace_hub.clone(),
+                    model_tag,
+                    flavor,
                 };
                 std::thread::Builder::new()
                     .name(format!("mlexray-serve-{}-{i}", entry.name()))
@@ -357,6 +424,8 @@ impl InferenceService {
             worker_count: workers,
             next_id: AtomicU64::new(0),
             sample_clock: AtomicU64::new(0),
+            trace_clock: AtomicU64::new(0),
+            model_tag,
             lease: Some(lease),
         })
     }
@@ -466,6 +535,30 @@ impl InferenceService {
         inputs: Arc<Vec<Tensor>>,
         deadline: Option<Duration>,
     ) -> std::result::Result<PendingResponse, Rejection> {
+        self.submit_shared_traced(model, inputs, deadline, None)
+    }
+
+    /// [`InferenceService::submit_shared`] with a caller-provided
+    /// [`TraceContext`] — the RPC layer passes the wire-propagated context
+    /// of a v3 `Infer` frame here so a client-sampled request keeps its
+    /// trace identity across the network hop. `None` falls back to the
+    /// service's own deterministic every-Nth sampling clock. Ignored
+    /// entirely when the service runs with [`TracePolicy::off`].
+    ///
+    /// # Errors
+    ///
+    /// A typed [`Rejection`] when admission control refuses the request.
+    /// Refusals are *force-traced*: a shed request always produces a
+    /// completed trace with a [`SpanStage::Shed`] span, whatever the
+    /// sampling clock said, so anomalies are never unobserved.
+    pub fn submit_shared_traced(
+        &self,
+        model: &str,
+        inputs: Arc<Vec<Tensor>>,
+        deadline: Option<Duration>,
+        wire: Option<TraceContext>,
+    ) -> std::result::Result<PendingResponse, Rejection> {
+        let entered_at = Instant::now();
         let servers = self.servers.read();
         let Some(server) = servers.get(model) else {
             return Err(Rejection {
@@ -474,9 +567,25 @@ impl InferenceService {
                 reason: RejectReason::UnknownModel,
             });
         };
-        server.counters.offered.fetch_add(1, Ordering::AcqRel);
+        let offered_tick = server.counters.offered.fetch_add(1, Ordering::AcqRel);
         if !self.accepting.load(Ordering::Acquire) {
             server.counters.shed_shutdown.fetch_add(1, Ordering::AcqRel);
+            if let Some(hub) = &self.trace_hub {
+                // No admission id exists yet: mint the forced shed trace
+                // from the offered tick in a disjoint id namespace.
+                let trace = wire.unwrap_or_else(|| {
+                    TraceContext::sampled(trace_id_for(model, offered_tick) | (1 << 63))
+                });
+                hub.note_forced();
+                emit_shed_trace(
+                    hub,
+                    &trace,
+                    server.model_tag,
+                    entered_at,
+                    SHED_CODE_SHUTDOWN,
+                    0,
+                );
+            }
             return Err(Rejection {
                 model: model.to_string(),
                 request_id: 0,
@@ -492,18 +601,53 @@ impl InferenceService {
         let sample_tick =
             (sample_every > 0).then(|| server.sample_clock.fetch_add(1, Ordering::AcqRel));
         let sampled = sample_tick.is_some_and(|tick| tick % sample_every == 0);
+        // Trace sampling: a wire context wins (the caller already decided);
+        // otherwise the per-model deterministic clock ticks, with the same
+        // optimistic-tick-with-rollback discipline as `sample_clock`.
+        let trace_every = self.config.trace.every;
+        let mut trace_tick = None;
+        let trace = self.trace_hub.as_ref().map(|_| {
+            wire.unwrap_or_else(|| {
+                let tick = server.trace_clock.fetch_add(1, Ordering::AcqRel);
+                trace_tick = Some(tick);
+                TraceContext {
+                    trace_id: trace_id_for(model, id),
+                    parent_span_id: 0,
+                    sampled: tick % trace_every == 0,
+                }
+            })
+        });
         let (reply, rx) = sync_channel(1);
         let request = InferRequest {
             id,
             inputs,
             deadline: deadline.map(|d| Instant::now() + d),
-            admitted_at: Instant::now(),
+            admitted_at: entered_at,
             sampled,
+            trace,
             reply,
         };
         let refusal = match server.queue.try_push(request) {
             Ok(_) => {
                 server.counters.admitted.fetch_add(1, Ordering::AcqRel);
+                if let (Some(hub), Some(t)) = (&self.trace_hub, trace) {
+                    if t.sampled {
+                        hub.note_sampled();
+                        let start_ns = hub.ns_of(entered_at);
+                        hub.shared_ring().push(&Span {
+                            trace_id: t.trace_id,
+                            span_id: span_id_for(t.trace_id, SpanStage::Admission, 0),
+                            parent_span_id: span_id_for(t.trace_id, SpanStage::Request, 0),
+                            stage: SpanStage::Admission,
+                            flavor: 0,
+                            model: server.model_tag,
+                            start_ns,
+                            dur_ns: hub.now_ns().saturating_sub(start_ns),
+                            arg_a: 0,
+                            arg_b: 0,
+                        });
+                    }
+                }
                 return Ok(PendingResponse {
                     model: model.to_string(),
                     request_id: id,
@@ -515,27 +659,60 @@ impl InferenceService {
         if sample_tick.is_some() {
             server.sample_clock.fetch_sub(1, Ordering::AcqRel);
         }
-        match refusal {
+        if trace_tick.is_some() {
+            server.trace_clock.fetch_sub(1, Ordering::AcqRel);
+        }
+        let (reason, shed_code, shed_detail) = match refusal {
             PushRefusal::Full(_, depth) => {
                 server
                     .counters
                     .shed_queue_full
                     .fetch_add(1, Ordering::AcqRel);
-                Err(Rejection {
-                    model: model.to_string(),
-                    request_id: id,
-                    reason: RejectReason::QueueFull { depth },
-                })
+                (
+                    RejectReason::QueueFull { depth },
+                    SHED_CODE_QUEUE_FULL,
+                    depth as u64,
+                )
             }
             PushRefusal::Closed(_) => {
                 server.counters.shed_shutdown.fetch_add(1, Ordering::AcqRel);
-                Err(Rejection {
-                    model: model.to_string(),
-                    request_id: id,
-                    reason: RejectReason::ShuttingDown,
-                })
+                (RejectReason::ShuttingDown, SHED_CODE_SHUTDOWN, 0)
             }
+        };
+        if let (Some(hub), Some(t)) = (&self.trace_hub, trace) {
+            // Always-sample-on-shed: the trace is forced whatever the
+            // sampling clock decided.
+            hub.note_forced();
+            emit_shed_trace(
+                hub,
+                &t,
+                server.model_tag,
+                entered_at,
+                shed_code,
+                shed_detail,
+            );
         }
+        Err(Rejection {
+            model: model.to_string(),
+            request_id: id,
+            reason,
+        })
+    }
+
+    /// The span pipeline's hub, when the service runs with tracing on
+    /// ([`TracePolicy::every`] > 0).
+    pub fn trace_hub(&self) -> Option<&Arc<TraceHub>> {
+        self.trace_hub.as_ref()
+    }
+
+    /// A snapshot of a model's end-to-end latency histogram — the exact
+    /// books the attribution profiler's per-request root spans must
+    /// reconcile against.
+    pub fn latency_histogram(&self, model: &str) -> Option<crate::metrics::HistogramSnapshot> {
+        self.servers
+            .read()
+            .get(model)
+            .map(|s| s.counters.latency_snapshot())
     }
 
     /// Current queue depth of a model.
@@ -588,11 +765,48 @@ impl InferenceService {
         let Some(validator) = &server.validator else {
             return Ok(None);
         };
-        Ok(validator.check(
+        let check_start = Instant::now();
+        let alarm = validator.check(
             server.entry.graph(),
             BackendSpec::reference(),
             server.entry.spec(),
-        )?)
+        )?;
+        if let (Some(hub), Some(_)) = (&self.trace_hub, &alarm) {
+            // Always-sample-on-drift-alarm: a raised alarm produces a
+            // forced trace carrying the offload's cost, so the anomaly is
+            // visible in the span stream, not only in the drift books.
+            hub.note_forced();
+            let checks = server.counters.offered.load(Ordering::Acquire);
+            let trace_id = trace_id_for(model, checks) | (1 << 62);
+            let root = span_id_for(trace_id, SpanStage::Request, 0);
+            let start_ns = hub.ns_of(check_start);
+            let end_ns = hub.now_ns();
+            hub.shared_ring().push(&Span {
+                trace_id,
+                span_id: span_id_for(trace_id, SpanStage::DriftCheck, 0),
+                parent_span_id: root,
+                stage: SpanStage::DriftCheck,
+                flavor: 0,
+                model: server.model_tag,
+                start_ns,
+                dur_ns: end_ns.saturating_sub(start_ns),
+                arg_a: 1,
+                arg_b: 0,
+            });
+            hub.shared_ring().push(&Span {
+                trace_id,
+                span_id: root,
+                parent_span_id: 0,
+                stage: SpanStage::Request,
+                flavor: 0,
+                model: server.model_tag,
+                start_ns,
+                dur_ns: end_ns.saturating_sub(start_ns),
+                arg_a: 0,
+                arg_b: 0,
+            });
+        }
+        Ok(alarm)
     }
 
     /// The online validator's counters for `model`, when validation is on.
@@ -648,6 +862,11 @@ impl InferenceService {
         }
         if let Some(sink) = &self.sink {
             let _ = sink.flush();
+        }
+        if let Some(hub) = &self.trace_hub {
+            // Final collector pass: every span the drained workers emitted
+            // is folded into completed traces before the books are read.
+            hub.collect();
         }
         let servers = self.servers.read();
         ServeReport {
@@ -773,6 +992,62 @@ impl Drop for InferenceService {
     }
 }
 
+/// Shed codes carried in [`SpanStage::Shed`] spans (`arg_a`).
+pub(crate) const SHED_CODE_QUEUE_FULL: u64 = 1;
+pub(crate) const SHED_CODE_DEADLINE: u64 = 2;
+pub(crate) const SHED_CODE_SHUTDOWN: u64 = 3;
+pub(crate) const SHED_CODE_FAILED: u64 = 4;
+
+/// Maps a backend spec to the span flavor tag (SIMD-vs-scalar attribution
+/// comes free on every `exec`/`layer` span).
+fn flavor_tag(spec: &BackendSpec) -> u8 {
+    match spec.label() {
+        "reference" => 0,
+        "optimized" => 1,
+        "simd" => 2,
+        _ => 3,
+    }
+}
+
+/// Emits the forced two-span trace of a shed request (a [`SpanStage::Shed`]
+/// marker plus the terminal root) into the hub's shared ring.
+fn emit_shed_trace(
+    hub: &TraceHub,
+    trace: &TraceContext,
+    model_tag: u16,
+    started_at: Instant,
+    shed_code: u64,
+    shed_detail: u64,
+) {
+    let root = span_id_for(trace.trace_id, SpanStage::Request, 0);
+    let start_ns = hub.ns_of(started_at);
+    let end_ns = hub.now_ns();
+    hub.shared_ring().push(&Span {
+        trace_id: trace.trace_id,
+        span_id: span_id_for(trace.trace_id, SpanStage::Shed, 0),
+        parent_span_id: root,
+        stage: SpanStage::Shed,
+        flavor: 0,
+        model: model_tag,
+        start_ns: end_ns,
+        dur_ns: 0,
+        arg_a: shed_code,
+        arg_b: shed_detail,
+    });
+    hub.shared_ring().push(&Span {
+        trace_id: trace.trace_id,
+        span_id: root,
+        parent_span_id: trace.parent_span_id,
+        stage: SpanStage::Request,
+        flavor: 0,
+        model: model_tag,
+        start_ns,
+        dur_ns: end_ns.saturating_sub(start_ns),
+        arg_a: 0,
+        arg_b: 0,
+    });
+}
+
 struct WorkerCtx {
     entry: Arc<ServedModel>,
     queue: Arc<RequestQueue<InferRequest>>,
@@ -781,20 +1056,44 @@ struct WorkerCtx {
     sink: Option<Arc<dyn LogSink>>,
     batch: BatchPolicy,
     monitor: MonitorPolicy,
+    hub: Option<Arc<TraceHub>>,
+    model_tag: u16,
+    flavor: u8,
 }
 
 /// Streams sampled frames' per-layer records out of a batched invoke.
-/// Frames whose request was not sampled produce nothing.
+/// Frames whose request was not sampled produce nothing. When a frame of
+/// the batch is trace-sampled, its per-layer `(index, latency, macs)`
+/// stream is collected once (layer latencies are per-frame shares,
+/// identical across the batch) and fanned out as `layer` spans to every
+/// traced request afterwards.
 struct SampledCapture {
     request_ids: Vec<u64>,
     sampled: Vec<bool>,
     full: bool,
+    log: bool,
     records: Vec<LogRecord>,
+    trace_frame: Option<usize>,
+    trace_layers: Vec<(u32, u64, u64)>,
 }
 
 impl LayerObserver for SampledCapture {
+    /// Only deep-monitored frames read layer outputs; trace-only frames
+    /// consume `(index, latency, macs)` and skip the per-frame view copy,
+    /// so span capture costs timer reads, not activation copies.
+    fn wants_output(&self, batch: usize) -> bool {
+        self.log && self.sampled[batch]
+    }
+
     fn on_layer(&mut self, record: &LayerRecord<'_>) {
-        if !self.sampled[record.batch] {
+        if Some(record.batch) == self.trace_frame {
+            self.trace_layers.push((
+                record.index as u32,
+                record.latency.as_nanos() as u64,
+                record.macs,
+            ));
+        }
+        if !self.log || !self.sampled[record.batch] {
             return;
         }
         self.records.push(LogRecord {
@@ -811,16 +1110,19 @@ fn worker_loop(ctx: WorkerCtx) {
         .spec()
         .build(ctx.entry.graph())
         .expect("spec validated at service start");
+    // One fixed-footprint span ring per worker thread, registered with the
+    // hub for its lifetime; pushes after this never allocate.
+    let ring = ctx.hub.as_ref().map(|hub| hub.register_ring());
     loop {
         let Some(leader) = ctx.queue.pop() else {
             break; // Closed and drained: deterministic exit.
         };
-        let mut batch = vec![leader];
+        let mut batch = vec![(leader, Instant::now())];
         if ctx.batch.max_batch > 1 {
             let window_ends = Instant::now() + ctx.batch.window;
             while batch.len() < ctx.batch.max_batch {
                 match ctx.queue.pop_until(window_ends) {
-                    TimedPop::Popped(request) => batch.push(request),
+                    TimedPop::Popped(request) => batch.push((request, Instant::now())),
                     TimedPop::TimedOut | TimedPop::Drained => break,
                 }
             }
@@ -830,13 +1132,40 @@ fn worker_loop(ctx: WorkerCtx) {
         let now = Instant::now();
         let (live, expired): (Vec<_>, Vec<_>) = batch
             .into_iter()
-            .partition(|r| r.deadline.map(|d| now <= d).unwrap_or(true));
-        for request in expired {
+            .partition(|(r, _)| r.deadline.map(|d| now <= d).unwrap_or(true));
+        for (request, popped_at) in expired {
             ctx.counters.shed_deadline.fetch_add(1, Ordering::AcqRel);
             let missed_by = request
                 .deadline
                 .map(|d| now.duration_since(d))
                 .unwrap_or_default();
+            if let (Some(hub), Some(ring), Some(t)) = (&ctx.hub, &ring, request.trace) {
+                // Always-sample-on-deadline-miss: the forced trace carries
+                // the queue wait that ate the deadline.
+                hub.note_forced();
+                let admitted_ns = hub.ns_of(request.admitted_at);
+                let popped_ns = hub.ns_of(popped_at);
+                ring.push(&Span {
+                    trace_id: t.trace_id,
+                    span_id: span_id_for(t.trace_id, SpanStage::QueueWait, 0),
+                    parent_span_id: span_id_for(t.trace_id, SpanStage::Request, 0),
+                    stage: SpanStage::QueueWait,
+                    flavor: 0,
+                    model: ctx.model_tag,
+                    start_ns: admitted_ns,
+                    dur_ns: popped_ns.saturating_sub(admitted_ns),
+                    arg_a: 0,
+                    arg_b: 0,
+                });
+                emit_shed_trace(
+                    hub,
+                    &t,
+                    ctx.model_tag,
+                    request.admitted_at,
+                    SHED_CODE_DEADLINE,
+                    missed_by.as_nanos() as u64,
+                );
+            }
             let _ = request.reply.send(Err(Rejection {
                 model: ctx.entry.name().to_string(),
                 request_id: request.id,
@@ -846,28 +1175,47 @@ fn worker_loop(ctx: WorkerCtx) {
         if live.is_empty() {
             continue;
         }
-        run_batch(&ctx, backend.as_mut(), live);
+        run_batch(&ctx, ring.as_deref(), backend.as_mut(), live);
     }
 }
 
-fn run_batch(ctx: &WorkerCtx, backend: &mut dyn ExecutionBackend, requests: Vec<InferRequest>) {
-    let inputs: Vec<&[Tensor]> = requests.iter().map(|r| r.inputs.as_slice()).collect();
-    let deep = ctx.sink.is_some() && requests.iter().any(|r| r.sampled);
-    let result = if deep {
+fn run_batch(
+    ctx: &WorkerCtx,
+    ring: Option<&SpanRing>,
+    backend: &mut dyn ExecutionBackend,
+    requests: Vec<(InferRequest, Instant)>,
+) {
+    let formed_at = Instant::now();
+    let leader_id = requests[0].0.id;
+    let inputs: Vec<&[Tensor]> = requests.iter().map(|(r, _)| r.inputs.as_slice()).collect();
+    let traced = |r: &InferRequest| r.trace.is_some_and(|t| t.sampled);
+    let deep_monitor = ctx.sink.is_some() && requests.iter().any(|(r, _)| r.sampled);
+    // Per-layer span collection rides the same observed invoke as deep
+    // monitoring; either alone is enough to pay the observer.
+    let trace_frame = ring
+        .and(Some(()))
+        .and_then(|()| requests.iter().position(|(r, _)| traced(r)));
+    let result = if deep_monitor || trace_frame.is_some() {
         let mut capture = SampledCapture {
-            request_ids: requests.iter().map(|r| r.id).collect(),
-            sampled: requests.iter().map(|r| r.sampled).collect(),
+            request_ids: requests.iter().map(|(r, _)| r.id).collect(),
+            sampled: requests.iter().map(|(r, _)| r.sampled).collect(),
             full: ctx.monitor.full_capture,
+            log: deep_monitor,
             records: Vec::new(),
+            trace_frame,
+            trace_layers: Vec::new(),
         };
         backend
             .invoke_batch_observed(&inputs, &mut capture)
-            .map(|outputs| (outputs, capture.records))
+            .map(|outputs| (outputs, capture.records, capture.trace_layers))
     } else {
-        backend.invoke_batch(&inputs).map(|o| (o, Vec::new()))
+        backend
+            .invoke_batch(&inputs)
+            .map(|o| (o, Vec::new(), Vec::new()))
     };
+    let exec_ended = Instant::now();
     match result {
-        Ok((outputs, layer_records)) => {
+        Ok((outputs, layer_records, trace_layers)) => {
             let size = requests.len();
             ctx.counters.record_batch(size);
             let exec_latency = backend
@@ -878,11 +1226,14 @@ fn run_batch(ctx: &WorkerCtx, backend: &mut dyn ExecutionBackend, requests: Vec<
                 ctx.counters.record_exec_latency(exec_latency);
             }
             let mut telemetry = layer_records;
-            for (request, outputs) in requests.into_iter().zip(outputs) {
+            for ((request, popped_at), outputs) in requests.into_iter().zip(outputs) {
+                let mut drift_ns = None;
                 if request.sampled {
                     ctx.counters.sampled.fetch_add(1, Ordering::AcqRel);
                     if let Some(validator) = &ctx.validator {
+                        let observe_start = Instant::now();
                         validator.observe(request.inputs.as_slice());
+                        drift_ns = Some((observe_start, Instant::now()));
                     }
                 }
                 let total_latency = request.admitted_at.elapsed();
@@ -894,6 +1245,26 @@ fn run_batch(ctx: &WorkerCtx, backend: &mut dyn ExecutionBackend, requests: Vec<
                     });
                 }
                 ctx.counters.record_completion(total_latency);
+                if let (Some(hub), Some(ring), Some(t)) = (&ctx.hub, ring, request.trace) {
+                    if t.sampled {
+                        emit_request_spans(RequestSpans {
+                            hub,
+                            ring,
+                            trace: &t,
+                            model_tag: ctx.model_tag,
+                            flavor: ctx.flavor,
+                            admitted_at: request.admitted_at,
+                            popped_at,
+                            formed_at,
+                            exec_ended,
+                            batch_size: size as u64,
+                            leader_id,
+                            total_latency,
+                            trace_layers: &trace_layers,
+                            drift_ns,
+                        });
+                    }
+                }
                 let _ = request.reply.send(Ok(InferResponse {
                     request_id: request.id,
                     outputs,
@@ -911,8 +1282,20 @@ fn run_batch(ctx: &WorkerCtx, backend: &mut dyn ExecutionBackend, requests: Vec<
         }
         Err(error) => {
             let detail = error.to_string();
-            for request in requests {
+            for (request, _) in requests {
                 ctx.counters.failed.fetch_add(1, Ordering::AcqRel);
+                if let (Some(hub), Some(t)) = (&ctx.hub, request.trace) {
+                    // Failures are anomalies: force-traced like sheds.
+                    hub.note_forced();
+                    emit_shed_trace(
+                        hub,
+                        &t,
+                        ctx.model_tag,
+                        request.admitted_at,
+                        SHED_CODE_FAILED,
+                        0,
+                    );
+                }
                 let _ = request.reply.send(Err(Rejection {
                     model: ctx.entry.name().to_string(),
                     request_id: request.id,
@@ -923,4 +1306,124 @@ fn run_batch(ctx: &WorkerCtx, backend: &mut dyn ExecutionBackend, requests: Vec<
             }
         }
     }
+}
+
+struct RequestSpans<'a> {
+    hub: &'a TraceHub,
+    ring: &'a SpanRing,
+    trace: &'a TraceContext,
+    model_tag: u16,
+    flavor: u8,
+    admitted_at: Instant,
+    popped_at: Instant,
+    formed_at: Instant,
+    exec_ended: Instant,
+    batch_size: u64,
+    leader_id: u64,
+    total_latency: Duration,
+    trace_layers: &'a [(u32, u64, u64)],
+    drift_ns: Option<(Instant, Instant)>,
+}
+
+/// Emits the full span chain of one completed traced request: queue wait,
+/// batch formation, execution, per-layer kernels, drift-check offload,
+/// respond, and — last, because its arrival completes the trace — the
+/// terminal root whose duration is *exactly* the latency recorded into the
+/// model's bounded histogram (the profiler reconciles against those books).
+fn emit_request_spans(s: RequestSpans<'_>) {
+    let t = s.trace;
+    let root = span_id_for(t.trace_id, SpanStage::Request, 0);
+    let admitted_ns = s.hub.ns_of(s.admitted_at);
+    let popped_ns = s.hub.ns_of(s.popped_at);
+    let formed_ns = s.hub.ns_of(s.formed_at);
+    let exec_end_ns = s.hub.ns_of(s.exec_ended);
+    let span = |stage, index, start_ns: u64, end_ns: u64, flavor, arg_a, arg_b| Span {
+        trace_id: t.trace_id,
+        span_id: span_id_for(t.trace_id, stage, index),
+        parent_span_id: root,
+        stage,
+        flavor,
+        model: s.model_tag,
+        start_ns,
+        dur_ns: end_ns.saturating_sub(start_ns),
+        arg_a,
+        arg_b,
+    };
+    s.ring.push(&span(
+        SpanStage::QueueWait,
+        0,
+        admitted_ns,
+        popped_ns,
+        0,
+        0,
+        0,
+    ));
+    s.ring.push(&span(
+        SpanStage::BatchForm,
+        0,
+        popped_ns,
+        formed_ns,
+        0,
+        s.batch_size,
+        s.leader_id,
+    ));
+    s.ring.push(&span(
+        SpanStage::Exec,
+        0,
+        formed_ns,
+        exec_end_ns,
+        s.flavor,
+        s.batch_size,
+        0,
+    ));
+    // Layer spans are laid end to end from the invoke start; each carries
+    // its per-frame latency share, layer index and MAC estimate.
+    let mut layer_cursor = formed_ns;
+    for (index, latency_ns, macs) in s.trace_layers {
+        s.ring.push(&span(
+            SpanStage::Layer,
+            u64::from(*index),
+            layer_cursor,
+            layer_cursor + latency_ns,
+            s.flavor,
+            u64::from(*index),
+            *macs,
+        ));
+        layer_cursor += latency_ns;
+    }
+    if let Some((start, end)) = s.drift_ns {
+        let start_ns = s.hub.ns_of(start);
+        s.ring.push(&span(
+            SpanStage::DriftCheck,
+            0,
+            start_ns,
+            s.hub.ns_of(end),
+            0,
+            0,
+            0,
+        ));
+    }
+    let respond_end_ns = s.hub.now_ns();
+    s.ring.push(&span(
+        SpanStage::Respond,
+        0,
+        exec_end_ns,
+        respond_end_ns,
+        0,
+        0,
+        0,
+    ));
+    let mut terminal = span(
+        SpanStage::Request,
+        0,
+        admitted_ns,
+        admitted_ns,
+        0,
+        s.batch_size,
+        0,
+    );
+    terminal.span_id = root;
+    terminal.parent_span_id = t.parent_span_id;
+    terminal.dur_ns = s.total_latency.as_nanos() as u64;
+    s.ring.push(&terminal);
 }

@@ -256,6 +256,7 @@ fn mid_infer_disconnect_does_not_wedge_the_server() {
                 model: "m".into(),
                 payload: mlexray_serve::rpc::InferPayload::Tensors(frame_input(9)),
                 deadline_ms: 0,
+                trace: None,
             },
         );
         stream

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Collects the headline numbers of the perf experiments (fig_batching,
-# fig_serving, fig_rpc, fig_metrics, fig_simd) into
-# target/experiment-artifacts/BENCH_PR9.json
+# fig_serving, fig_rpc, fig_metrics, fig_simd, fig_trace) into
+# target/experiment-artifacts/BENCH_PR10.json
 # (schema: experiment -> metric -> value), via the bench_record binary.
 # Stale structured artifacts are removed first, so every number in the
 # record comes from the build under test; experiments whose artifacts are
@@ -20,6 +20,8 @@ rm -f "$ARTIFACTS"/fig_batching_metrics.json \
       "$ARTIFACTS"/fig_rpc_metrics.json \
       "$ARTIFACTS"/fig_metrics_metrics.json \
       "$ARTIFACTS"/fig_simd_metrics.json \
-      "$ARTIFACTS"/BENCH_PR9.json
+      "$ARTIFACTS"/fig_trace_metrics.json \
+      "$ARTIFACTS"/BENCH_PR9.json \
+      "$ARTIFACTS"/BENCH_PR10.json
 
 cargo run --release -q -p mlexray-bench --bin bench_record

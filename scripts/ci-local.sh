@@ -50,12 +50,18 @@ MLEXRAY_QUICK=1 cargo test -q -p mlexray-bench --test experiments_smoke fig_metr
 step "cargo build --release"
 cargo build --release
 
-step "rpc suite (release: protocol robustness + 32-session loaded proof + fig_rpc floors + loadgen + metrics scrape + BENCH_PR9)"
+step "rpc suite (release: protocol robustness + 32-session loaded proof + fig_rpc floors + loadgen + metrics scrape + BENCH_PR10)"
 cargo test --release -q -p mlexray-serve --test rpc_protocol --test rpc_loaded
 MLEXRAY_QUICK=1 MLEXRAY_ENFORCE_SCALING=1 cargo test --release -q -p mlexray-bench --test experiments_smoke fig_rpc
 MLEXRAY_QUICK=1 cargo run --release -q -p mlexray-bench --bin rpc_loadgen
 MLEXRAY_QUICK=1 cargo run --release -q -p mlexray-bench --bin rpc_loadgen -- --metrics
 scripts/bench-record.sh --quick
+
+step "trace suite (release: span pipeline units + trace_suite integration + fig_trace bars + loadgen wire-trace smoke)"
+cargo test --release -q -p mlexray-core --lib trace
+cargo test --release -q -p mlexray-serve --test trace_suite
+MLEXRAY_QUICK=1 MLEXRAY_ENFORCE_SCALING=1 cargo test --release -q -p mlexray-bench --test experiments_smoke fig_trace
+MLEXRAY_QUICK=1 cargo run --release -q -p mlexray-bench --bin rpc_loadgen -- --trace
 
 step "exray-lint over the zoo and goldens (fails on any Deny finding)"
 cargo run --release -q -p mlexray-models --bin exray-lint -- --zoo --goldens
